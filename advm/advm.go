@@ -1,0 +1,296 @@
+// Package advm is the public API of the ADVM reproduction: an
+// assembler-driven verification methodology (MacBeth, Heinz, Gray — DATE
+// 2004) implemented over a synthetic SC88 chip-card SoC.
+//
+// The package re-exports the library's building blocks:
+//
+//   - Test environments: a System holds module Envs, each with Global
+//     Defines and Base Functions (the abstraction layer) plus directed
+//     TestCells (the test layer); the global layer (startup, trap
+//     handlers, embedded software, register definitions) is generated per
+//     Derivative.
+//   - Execution platforms: the same linked image runs on the golden
+//     reference model, HDL-RTL simulation, gate-level simulation, the
+//     hardware accelerator, bondout silicon, and product silicon.
+//   - Methodology machinery: release labels, the regression runner, the
+//     abstraction-violation lint, the porting engine with cost
+//     accounting, the hardwired baseline comparator, and
+//     constrained-random Global-Defines generation.
+//
+// Quickstart:
+//
+//	sys := advm.StandardSystem()
+//	res, err := sys.RunTest("NVM", "TEST_NVM_PAGE_SELECT",
+//	    advm.DerivativeA(), advm.KindGolden, advm.RunSpec{})
+package advm
+
+import (
+	"repro/internal/asm"
+	"repro/internal/baseline"
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/content"
+	"repro/internal/core/defines"
+	"repro/internal/core/derivative"
+	"repro/internal/core/env"
+	"repro/internal/core/lint"
+	"repro/internal/core/port"
+	"repro/internal/core/randgen"
+	"repro/internal/core/regress"
+	"repro/internal/core/release"
+	"repro/internal/core/sysenv"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+
+	// Link in all six execution platforms so that NewPlatform can build
+	// any of them.
+	_ "repro/internal/bondout"
+	_ "repro/internal/emu"
+	_ "repro/internal/gate"
+	_ "repro/internal/golden"
+	_ "repro/internal/rtl"
+	_ "repro/internal/silicon"
+)
+
+// Environment model.
+type (
+	// System is a complete verification environment (Figure 4/5).
+	System = sysenv.System
+	// Env is one module test environment (Figure 1/3).
+	Env = env.Env
+	// TestCell is one directed test.
+	TestCell = env.TestCell
+	// DefineSet is the Global Defines component of an abstraction layer.
+	DefineSet = defines.Set
+	// Define is one Global Defines entry.
+	Define = defines.Entry
+	// FuncLibrary is the Base Functions component of an abstraction layer.
+	FuncLibrary = basefuncs.Library
+	// BaseFunction is one base function.
+	BaseFunction = basefuncs.Function
+)
+
+// Define kinds.
+const (
+	DefineEqu   = defines.KindEqu
+	DefineAlias = defines.KindDefine
+)
+
+// Derivatives and hardware.
+type (
+	// Derivative is one member of the SC88 chip family.
+	Derivative = derivative.Derivative
+	// HWConfig is a derivative's hardware ground truth.
+	HWConfig = soc.HWConfig
+)
+
+// Platforms.
+type (
+	// Platform is one execution target.
+	Platform = platform.Platform
+	// Kind enumerates the six platform classes.
+	Kind = platform.Kind
+	// RunSpec bounds and instruments a run.
+	RunSpec = platform.RunSpec
+	// TraceRecord is one executed instruction on a tracing platform.
+	TraceRecord = platform.TraceRecord
+	// Result is a run outcome.
+	Result = platform.Result
+	// Caps describes a platform's observability.
+	Caps = platform.Caps
+	// Image is a linked, loadable program.
+	Image = obj.Image
+)
+
+// Platform kinds in the paper's order.
+const (
+	KindGolden   = platform.KindGolden
+	KindRTL      = platform.KindRTL
+	KindGate     = platform.KindGate
+	KindEmulator = platform.KindEmulator
+	KindBondout  = platform.KindBondout
+	KindSilicon  = platform.KindSilicon
+)
+
+// Methodology machinery.
+type (
+	// Label freezes one module environment (Section 3).
+	Label = release.Label
+	// SystemLabel composes module labels for a system regression.
+	SystemLabel = release.SystemLabel
+	// RegressionSpec selects the regression matrix.
+	RegressionSpec = regress.Spec
+	// RegressionReport is a completed regression.
+	RegressionReport = regress.Report
+	// Violation is one abstraction-violation lint finding (Figure 2).
+	Violation = lint.Violation
+	// LintOptions tunes the violation checker.
+	LintOptions = lint.Options
+	// Change is one derivative/specification change event (Section 4).
+	Change = port.Change
+	// PortResult is the outcome of applying a change list.
+	PortResult = port.Result
+	// CostReport quantifies a port in files and lines touched.
+	CostReport = port.CostReport
+	// BaselineSuite is the hardwired non-ADVM comparator suite.
+	BaselineSuite = baseline.Suite
+	// Generator draws constrained-random Global-Defines instances.
+	Generator = randgen.Generator
+	// Constraint bounds one randomised define.
+	Constraint = randgen.Constraint
+	// Instance is one random assignment.
+	Instance = randgen.Instance
+	// Coverage tracks values drawn across instances.
+	Coverage = randgen.Coverage
+)
+
+// Change event constructors (Section 4 change classes).
+type (
+	// FieldWiden widens a named bit field for a derivative.
+	FieldWiden = port.FieldWiden
+	// FieldShift moves a named bit field for a derivative.
+	FieldShift = port.FieldShift
+	// RegisterRename re-maps a renamed global register definition.
+	RegisterRename = port.RegisterRename
+	// ESArgSwap adapts a wrapper to re-written embedded software whose
+	// input registers were swapped (Figure 7).
+	ESArgSwap = port.ESArgSwap
+	// ReplaceFunction re-factors one base function.
+	ReplaceFunction = port.ReplaceFunction
+)
+
+// NewSystem creates an empty system environment.
+func NewSystem(name string) *System { return sysenv.New(name) }
+
+// NewEnv creates an empty module test environment. Derivative-specific
+// names are rejected.
+func NewEnv(module string) (*Env, error) { return env.New(module) }
+
+// StandardSystem returns the shipped, fully ported system environment:
+// the NVM, UART, and Register module environments of the paper's
+// Figure 5, passing on every family derivative and platform.
+func StandardSystem() *System { return content.PortedSystem() }
+
+// UnportedSystem returns the shipped environment as first written for
+// SC88-A only; apply FamilyChanges to port it.
+func UnportedSystem() *System { return content.UnportedSystem() }
+
+// FamilyChanges is the canonical change list that ports UnportedSystem to
+// the whole derivative family.
+func FamilyChanges() []Change { return port.FamilyChanges() }
+
+// ApplyChanges applies change events to a system's abstraction layers and
+// reports the edit cost.
+func ApplyChanges(s *System, changes ...Change) (*PortResult, error) {
+	return port.ApplyAll(s, changes...)
+}
+
+// DerivativeA returns the SC88-A baseline chip.
+func DerivativeA() *Derivative { return derivative.A() }
+
+// DerivativeB returns SC88-B (widened page field, larger NVM).
+func DerivativeB() *Derivative { return derivative.B() }
+
+// DerivativeC returns SC88-C (shifted page field, relocated UART).
+func DerivativeC() *Derivative { return derivative.C() }
+
+// DerivativeSEC returns SC88-SEC (both field changes, renamed register,
+// re-written embedded software).
+func DerivativeSEC() *Derivative { return derivative.SEC() }
+
+// Family returns all four derivatives in release order.
+func Family() []*Derivative { return derivative.Family() }
+
+// DerivativeByName resolves a derivative by name or macro.
+func DerivativeByName(name string) (*Derivative, error) { return derivative.ByName(name) }
+
+// NewPlatform instantiates an execution platform over a derivative's
+// hardware.
+func NewPlatform(kind Kind, d *Derivative) (Platform, error) {
+	return platform.New(kind, d.HW)
+}
+
+// AllPlatformKinds lists the registered platform kinds in the paper's
+// order.
+func AllPlatformKinds() []Kind { return platform.AllKinds() }
+
+// Snapshot freezes a module environment under a release label.
+func Snapshot(name string, e *Env) *Label { return release.Snapshot(name, e) }
+
+// ComposeSystemLabel builds a system regression label from module
+// sub-labels; every module environment must be covered.
+func ComposeSystemLabel(name string, s *System, subs ...*Label) (*SystemLabel, error) {
+	return release.ComposeSystem(name, s, subs...)
+}
+
+// FreezeSystem snapshots every module environment and composes a system
+// label in one step.
+func FreezeSystem(name string, s *System) (*SystemLabel, error) {
+	var subs []*Label
+	for _, e := range s.Envs() {
+		subs = append(subs, release.Snapshot(name+"_"+e.Module, e))
+	}
+	return release.ComposeSystem(name, s, subs...)
+}
+
+// Regress runs the regression matrix against a frozen system label.
+func Regress(s *System, label *SystemLabel, spec RegressionSpec) (*RegressionReport, error) {
+	return regress.Run(s, label, spec)
+}
+
+// Lint checks every test cell for abstraction violations (Figure 2).
+func Lint(s *System, d *Derivative, opts LintOptions) []Violation {
+	return lint.CheckSystem(s, d, opts)
+}
+
+// DefaultLintOptions returns the default lint configuration.
+func DefaultLintOptions() LintOptions { return lint.NewOptions() }
+
+// GenerateBaseline produces the hardwired non-ADVM comparator suite for a
+// derivative.
+func GenerateBaseline(d *Derivative) *BaselineSuite { return baseline.Generate(d) }
+
+// BaselinePortCost measures the re-factoring cost of moving the hardwired
+// suite between derivatives.
+func BaselinePortCost(from, to *Derivative) *CostReport { return baseline.PortCost(from, to) }
+
+// NewGenerator creates a constrained-random Global-Defines generator.
+func NewGenerator(seed int64) *Generator { return randgen.New(seed) }
+
+// NewCoverage creates an empty coverage store.
+func NewCoverage() *Coverage { return randgen.NewCoverage() }
+
+// Randomise applies a constrained-random instance to a clone of the
+// environment's Global Defines.
+func Randomise(e *Env, inst Instance) (*Env, error) { return randgen.Apply(e, inst) }
+
+// Assembler access for custom flows.
+type (
+	// AsmOptions configures one assembly.
+	AsmOptions = asm.Options
+	// SourceFS is an in-memory include resolver.
+	SourceFS = asm.MapFS
+	// Object is a relocatable object file.
+	Object = obj.Object
+	// LinkConfig controls image layout.
+	LinkConfig = obj.LinkConfig
+)
+
+// Assemble assembles one source file into a relocatable object.
+func Assemble(name, src string, opts AsmOptions) (*Object, error) {
+	return asm.Assemble(name, src, opts)
+}
+
+// LinkObjects links objects into a loadable image.
+func LinkObjects(cfg LinkConfig, objects ...*Object) (*Image, error) {
+	return obj.Link(cfg, objects...)
+}
+
+// LinkFor returns the link configuration matching a derivative's memory
+// map.
+func LinkFor(d *Derivative) LinkConfig {
+	return LinkConfig{TextBase: d.HW.RomBase, DataBase: d.HW.RamBase, Entry: "_start"}
+}
+
+// GlobalLayer renders the global-layer sources for a derivative.
+func GlobalLayer(d *Derivative) map[string]string { return sysenv.GlobalLayer(d) }

@@ -1,0 +1,159 @@
+package advm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/advm"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart must work exactly as documented.
+	sys := advm.StandardSystem()
+	res, err := sys.RunTest("NVM", "TEST_NVM_PAGE_SELECT",
+		advm.DerivativeA(), advm.KindGolden, advm.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("quickstart failed: %+v", res)
+	}
+}
+
+func TestAllPlatformsRegistered(t *testing.T) {
+	kinds := advm.AllPlatformKinds()
+	if len(kinds) != 6 {
+		t.Fatalf("platforms registered = %d, want 6", len(kinds))
+	}
+	for _, k := range kinds {
+		p, err := advm.NewPlatform(k, advm.DerivativeA())
+		if err != nil {
+			t.Errorf("NewPlatform(%s): %v", k, err)
+			continue
+		}
+		if p.Kind() != k {
+			t.Errorf("kind mismatch: %s vs %s", p.Kind(), k)
+		}
+		if !strings.Contains(p.Name(), "SC88-A") {
+			t.Errorf("platform name %q should carry the derivative", p.Name())
+		}
+	}
+}
+
+func TestCustomEnvironmentEndToEnd(t *testing.T) {
+	e, err := advm.NewEnv("DEMO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Defines.AddInclude("registers.inc")
+	e.Defines.MustAdd(advm.Define{Name: "REG_MBOX_RESULT", Default: "MBOX_BASE+MBOX_RESULT_OFF"})
+	e.Defines.MustAdd(advm.Define{Name: "RESULT_PASS", Default: "0x600D"})
+	e.MustAddTest(advm.TestCell{
+		ID: "TEST_DEMO", Description: "trivial",
+		Source: ".INCLUDE \"Globals.inc\"\ntest_main:\n    LOAD d15, RESULT_PASS\n    STORE [REG_MBOX_RESULT], d15\n    HALT\n",
+	})
+	sys := advm.NewSystem("T")
+	if err := sys.AddEnv(e); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range advm.Family() {
+		res, err := sys.RunTest("DEMO", "TEST_DEMO", d, advm.KindGolden, advm.RunSpec{})
+		if err != nil || !res.Passed() {
+			t.Errorf("%s: %v %+v", d.Name, err, res)
+		}
+	}
+}
+
+func TestFreezeAndRegressFacade(t *testing.T) {
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem("R1", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := advm.Regress(sys, sl, advm.RegressionSpec{
+		Derivatives: []*advm.Derivative{advm.DerivativeA()},
+		Kinds:       []advm.Kind{advm.KindGolden},
+		Modules:     []string{"IRQ"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("IRQ regression failed: %s", rep.Summary())
+	}
+}
+
+func TestAssembleLinkRunFacade(t *testing.T) {
+	o, err := advm.Assemble("t.asm", `
+_main:
+    LOAD d0, 0x600D
+    STORE [0x80000000], d0
+    HALT
+`, advm.AsmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := advm.DerivativeA()
+	cfg := advm.LinkFor(d)
+	cfg.Entry = "_main"
+	img, err := advm.LinkObjects(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := advm.NewPlatform(advm.KindGolden, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(advm.RunSpec{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+}
+
+func TestLintFacade(t *testing.T) {
+	sys := advm.StandardSystem()
+	if vs := advm.Lint(sys, advm.DerivativeA(), advm.DefaultLintOptions()); len(vs) != 0 {
+		t.Errorf("shipped system should be clean, got %v", vs)
+	}
+}
+
+func TestGlobalLayerFacade(t *testing.T) {
+	layer := advm.GlobalLayer(advm.DerivativeSEC())
+	if len(layer) != 4 {
+		t.Errorf("global layer files = %d", len(layer))
+	}
+}
+
+func TestTraceWithDisassembly(t *testing.T) {
+	sys := advm.StandardSystem()
+	img, err := sys.BuildTest("NVM", "TEST_NVM_PAGE_SELECT", advm.DerivativeA(), advm.KindGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := advm.NewPlatform(advm.KindGolden, advm.DerivativeA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	sawDisasm := false
+	sawSource := false
+	res, err := p.Run(advm.RunSpec{Trace: func(r advm.TraceRecord) {
+		if r.Disasm != "" && r.Disasm != "?" {
+			sawDisasm = true
+		}
+		if strings.Contains(r.File, "test.asm") {
+			sawSource = true
+		}
+	}})
+	if err != nil || !res.Passed() {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+	if !sawDisasm || !sawSource {
+		t.Errorf("trace annotations missing: disasm=%v source=%v", sawDisasm, sawSource)
+	}
+}

@@ -1,0 +1,375 @@
+// Package repro's root benchmark harness regenerates every experiment of
+// EXPERIMENTS.md (E1..E10), one benchmark per figure/claim of the ADVM
+// paper. Custom metrics carry the experiment's headline numbers (files
+// touched, lines touched, corner coverage, gate evaluations) alongside
+// the usual time/op.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/advm"
+	"repro/internal/baseline"
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/core/lint"
+	"repro/internal/core/port"
+	"repro/internal/core/randgen"
+	"repro/internal/core/release"
+	"repro/internal/core/sysenv"
+	"repro/internal/difftest"
+	"repro/internal/gate"
+	"repro/internal/isa"
+	"repro/internal/platform"
+	"repro/internal/rtl"
+	"repro/internal/testprog"
+)
+
+func lineCount(s string) int { return len(strings.Split(strings.TrimRight(s, "\n"), "\n")) }
+
+// BenchmarkE1_TestDevelopment regenerates the Figure 1/3 claim: once the
+// abstraction layer exists, a new directed test is much smaller than the
+// same test written stand-alone. Metrics: average source lines per test
+// in the ADVM suite vs the hardwired baseline suite.
+func BenchmarkE1_TestDevelopment(b *testing.B) {
+	var advmLines, advmTests, baseLines, baseTests int
+	for i := 0; i < b.N; i++ {
+		s := content.PortedSystem()
+		advmLines, advmTests = 0, 0
+		for _, e := range s.Envs() {
+			for _, t := range e.Tests() {
+				advmLines += lineCount(t.Source)
+				advmTests++
+			}
+		}
+		bl := advm.GenerateBaseline(derivative.A())
+		baseLines, baseTests = 0, 0
+		for _, t := range bl.Tests {
+			baseLines += lineCount(t.Source)
+			baseTests++
+		}
+	}
+	b.ReportMetric(float64(advmLines)/float64(advmTests), "advm_loc/test")
+	b.ReportMetric(float64(baseLines)/float64(baseTests), "baseline_loc/test")
+}
+
+// BenchmarkE2_ViolationCost regenerates the Figure 2 experiment: the lint
+// checker finds every class of abstraction abuse. Metric: violations
+// found in the seeded abusive environment (expected 4) and lint time.
+func BenchmarkE2_ViolationCost(b *testing.B) {
+	s := content.PortedSystem()
+	e, _ := s.Env("NVM")
+	e.MustAddTest(advm.TestCell{
+		ID:          "TEST_NVM_ABUSE",
+		Description: "abusive",
+		Source:      ".INCLUDE \"registers.inc\"\ntest_main:\n    LOAD d14, [0x80002014]\n    STORE [0x80002014], d14\n    LOAD CallAddr, ES_Nvm_Unlock\n    CALL CallAddr\n    HALT\n",
+	})
+	d := derivative.A()
+	found := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found = len(lint.CheckSystem(s, d, lint.NewOptions()))
+	}
+	b.ReportMetric(float64(found), "violations")
+}
+
+// BenchmarkE3_SystemRegression regenerates the Figure 4/5 experiment: a
+// frozen system regression over the module environments. Metric:
+// tests/sec through the full build+run pipeline on the golden model.
+func BenchmarkE3_SystemRegression(b *testing.B) {
+	s := content.PortedSystem()
+	sl := mustFreeze(b, s)
+	spec := advm.RegressionSpec{
+		Derivatives: []*derivative.Derivative{derivative.A()},
+		Kinds:       []platform.Kind{platform.KindGolden},
+	}
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := advm.Regress(s, sl, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AllPassed() {
+			b.Fatal("regression failed")
+		}
+		cells = len(rep.Outcomes)
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+}
+
+func mustFreeze(b *testing.B, s *sysenv.System) *release.SystemLabel {
+	b.Helper()
+	var subs []*release.Label
+	for _, e := range s.Envs() {
+		subs = append(subs, release.Snapshot(e.Module+"_R", e))
+	}
+	sl, err := release.ComposeSystem("BENCH", s, subs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sl
+}
+
+// BenchmarkE4_FieldChangePort regenerates the Figure 6 experiment: the
+// field-shift and field-widen changes are absorbed in the Global Defines
+// alone. Metrics: ADVM vs baseline files/lines for the B and C ports.
+func BenchmarkE4_FieldChangePort(b *testing.B) {
+	var advmFiles, advmLines int
+	for i := 0; i < b.N; i++ {
+		s := content.UnportedSystem()
+		res, err := port.ApplyAll(s,
+			port.FieldWiden{Module: "NVM", Define: "PAGE_FIELD_SIZE", DerivMacro: "DERIV_B", NewValue: "6"},
+			port.FieldShift{Module: "NVM", Define: "PAGE_FIELD_START_POSITION", DerivMacro: "DERIV_C", NewValue: "1"},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, r := res.Cost.LinesTouched()
+		advmFiles, advmLines = res.Cost.FilesTouched(), a+r
+	}
+	cb := advm.BaselinePortCost(derivative.A(), derivative.B())
+	cc := advm.BaselinePortCost(derivative.A(), derivative.C())
+	ba, br := cb.LinesTouched()
+	ca, cr := cc.LinesTouched()
+	b.ReportMetric(float64(advmFiles), "advm_files")
+	b.ReportMetric(float64(advmLines), "advm_lines")
+	b.ReportMetric(float64(cb.FilesTouched()+cc.FilesTouched()), "baseline_files")
+	b.ReportMetric(float64(ba+br+ca+cr), "baseline_lines")
+}
+
+// BenchmarkE5_ESFunctionChange regenerates the Figure 7 experiment: the
+// re-written embedded software (swapped input registers) is absorbed by
+// one adapter per base-function library, while the baseline must edit
+// every call site. The baseline cost is isolated by diffing against an
+// SC88-A that merely ships the v2 embedded software.
+func BenchmarkE5_ESFunctionChange(b *testing.B) {
+	var advmFiles, advmLines int
+	for i := 0; i < b.N; i++ {
+		s := content.UnportedSystem()
+		res, err := port.ApplyAll(s, port.ESArgSwap{Wrapper: "Base_Init_Register"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, r := res.Cost.LinesTouched()
+		advmFiles, advmLines = res.Cost.FilesTouched(), a+r
+	}
+	aV2 := derivative.A()
+	aV2.ES = derivative.ESv2
+	c := advm.BaselinePortCost(derivative.A(), aV2)
+	ba, br := c.LinesTouched()
+	b.ReportMetric(float64(advmFiles), "advm_files")
+	b.ReportMetric(float64(advmLines), "advm_lines")
+	b.ReportMetric(float64(c.FilesTouched()), "baseline_files")
+	b.ReportMetric(float64(ba+br), "baseline_lines")
+}
+
+// BenchmarkE6_PlatformLadder regenerates the Section 1 platform list as a
+// speed ladder: the same program on all six platforms. Metric: simulated
+// instructions per wall-clock second (golden fastest, gate slowest).
+func BenchmarkE6_PlatformLadder(b *testing.B) {
+	cfg := derivative.A().HW
+	img := testprog.MustBuild(cfg, nil, map[string]string{"t.asm": testprog.LoopProgram(20000)})
+	for _, kind := range []platform.Kind{
+		platform.KindGolden, platform.KindRTL, platform.KindGate,
+		platform.KindEmulator, platform.KindBondout, platform.KindSilicon,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				p, err := platform.New(kind, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Load(img); err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Run(platform.RunSpec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Passed() {
+					b.Fatalf("loop failed on %s: %+v", kind, res)
+				}
+				insts += res.Instructions
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "inst/s")
+		})
+	}
+}
+
+// BenchmarkE7_FullPort regenerates the Section 5 "rapid porting" claim
+// end to end: apply every family change, then re-verify the whole suite
+// on every derivative on the golden model.
+func BenchmarkE7_FullPort(b *testing.B) {
+	var files, lines int
+	for i := 0; i < b.N; i++ {
+		s := content.UnportedSystem()
+		res, err := port.ApplyAll(s, port.FamilyChanges()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, r := res.Cost.LinesTouched()
+		files, lines = res.Cost.FilesTouched(), a+r
+		for _, d := range derivative.Family() {
+			for _, e := range s.Envs() {
+				for _, id := range e.TestIDs() {
+					run, err := s.RunTest(e.Module, id, d, platform.KindGolden, platform.RunSpec{})
+					if err != nil || !run.Passed() {
+						b.Fatalf("%s/%s on %s: %v %v", e.Module, id, d.Name, err, run)
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(files), "advm_files")
+	b.ReportMetric(float64(lines), "advm_lines")
+}
+
+// BenchmarkE8_RandGen regenerates the Section 2 outlook: constrained-
+// random Global-Defines instances. Metrics: draws/sec and corner coverage
+// after 64 draws.
+func BenchmarkE8_RandGen(b *testing.B) {
+	corners := []int64{0, 1, 31}
+	var coverage float64
+	for i := 0; i < b.N; i++ {
+		g := randgen.New(int64(i + 1))
+		g.MustAdd(randgen.Constraint{Name: "TEST1_TARGET_PAGE", Min: 0, Max: 31, Corners: corners})
+		cv := randgen.NewCoverage()
+		for j := 0; j < 64; j++ {
+			cv.Record(g.Draw())
+		}
+		coverage = cv.CornerCoverage("TEST1_TARGET_PAGE", corners)
+	}
+	b.ReportMetric(coverage*100, "corner_cov_%")
+	b.ReportMetric(float64(b.N)*64/b.Elapsed().Seconds(), "draws/s")
+}
+
+// BenchmarkE9_ReleaseFreeze regenerates the Section 3 release mechanism:
+// snapshotting every module environment, composing a system label, and
+// verifying it.
+func BenchmarkE9_ReleaseFreeze(b *testing.B) {
+	s := content.PortedSystem()
+	for i := 0; i < b.N; i++ {
+		var subs []*release.Label
+		for _, e := range s.Envs() {
+			subs = append(subs, release.Snapshot(e.Module, e))
+		}
+		sl, err := release.ComposeSystem("R", s, subs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sl.Verify(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_GateEquivalence regenerates the gate-level platform's
+// work model: the synthesised ALU against the behavioural one. Metrics:
+// gate evaluations per operation and the behavioural baseline.
+func BenchmarkE10_GateEquivalence(b *testing.B) {
+	b.Run("netlist", func(b *testing.B) {
+		alu := gate.NewNetALU()
+		for i := 0; i < b.N; i++ {
+			alu.Execute(isa.OpAdd, uint32(i), uint32(i)*3)
+		}
+		b.ReportMetric(float64(alu.GateEvals())/float64(b.N), "gate_evals/op")
+	})
+	b.Run("direct", func(b *testing.B) {
+		alu := rtl.DirectALU{}
+		for i := 0; i < b.N; i++ {
+			alu.Execute(isa.OpAdd, uint32(i), uint32(i)*3)
+		}
+	})
+}
+
+// BenchmarkE7b_ScalingAblation is the suite-growth ablation behind the
+// paper's porting claim: as the number of directed tests grows, the ADVM
+// port cost stays flat (abstraction-layer files only) while the hardwired
+// baseline cost grows linearly. Sub-benchmarks report both at several
+// suite sizes.
+func BenchmarkE7b_ScalingAblation(b *testing.B) {
+	for _, n := range []int{0, 48, 96} {
+		b.Run(fmt.Sprintf("extra=%d", n), func(b *testing.B) {
+			var advmFiles, baseFiles, baseLines int
+			for i := 0; i < b.N; i++ {
+				s := content.UnportedSystem()
+				if err := content.AddScaledTests(s, n); err != nil {
+					b.Fatal(err)
+				}
+				res, err := port.ApplyAll(s, port.FamilyChanges()...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				advmFiles = res.Cost.FilesTouched()
+				c := baseline.ScaledPortCost(derivative.A(), derivative.C(), n)
+				a, r := c.LinesTouched()
+				baseFiles, baseLines = c.FilesTouched(), a+r
+			}
+			b.ReportMetric(float64(advmFiles), "advm_files")
+			b.ReportMetric(float64(baseFiles), "baseline_files")
+			b.ReportMetric(float64(baseLines), "baseline_lines")
+		})
+	}
+}
+
+// BenchmarkDifftest measures differential-testing throughput: random
+// programs cross-checked golden vs RTL.
+func BenchmarkDifftest(b *testing.B) {
+	cfg := derivative.A().HW
+	gen := difftest.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		src := difftest.Generate(int64(i+1), gen)
+		g, err := difftest.RunOn(platform.KindGolden, cfg, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := difftest.RunOn(platform.KindRTL, cfg, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diff := difftest.Compare(g, r); diff != "" {
+			b.Fatalf("seed %d diverged: %s", i+1, diff)
+		}
+	}
+}
+
+// BenchmarkIrqLatency measures interrupt latency (cycles from a running
+// timer's arm point to handler entry, including the 200-cycle count) on
+// the instruction-approximate golden model and the cycle-accurate RTL
+// model. The RTL figure is the trustworthy one — which is why the paper's
+// flow runs the same test on both.
+func BenchmarkIrqLatency(b *testing.B) {
+	cfg := derivative.A().HW
+	img := testprog.MustBuild(cfg, nil, map[string]string{"t.asm": testprog.IrqLatencyProgram})
+	for _, kind := range []platform.Kind{platform.KindGolden, platform.KindRTL} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var latency float64
+			for i := 0; i < b.N; i++ {
+				p, err := platform.New(kind, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Load(img); err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Run(platform.RunSpec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Passed() || len(res.Checkpoints) != 1 {
+					b.Fatalf("latency program failed on %s: %+v", kind, res)
+				}
+				latency = float64(res.Checkpoints[0])
+			}
+			b.ReportMetric(latency, "cycles_arm_to_handler")
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command advm-export materialises the ADVM system verification
+// environment to the file system in the paper's Figure 5 directory
+// structure — global libraries, module environments with their
+// Abstraction_Layer directories, TESTPLAN.TXT files, and one directory
+// per test cell — so the generated tree can be inspected, diffed, or fed
+// to external tooling.
+//
+// Usage:
+//
+//	advm-export -out ./advm-tree -deriv SC88-SEC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/advm"
+)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "advm-tree", "output directory")
+	deriv := flag.String("deriv", "SC88-A", "derivative whose global layer to render")
+	unported := flag.Bool("unported", false, "export the suite as first written for SC88-A")
+	flag.Parse()
+
+	d, err := advm.DerivativeByName(*deriv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := advm.StandardSystem()
+	if *unported {
+		sys = advm.UnportedSystem()
+	}
+	tree := sys.Materialise(d)
+
+	paths := make([]string, 0, len(tree))
+	for p := range tree {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	root := filepath.Join(*out, sys.Name)
+	for _, p := range paths {
+		full := filepath.Join(root, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(tree[p]), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(full)
+	}
+	fmt.Printf("exported %d file(s) for %s under %s\n", len(paths), d.Name, root)
+}

@@ -1,0 +1,65 @@
+// Command advm-lint runs the abstraction-violation checker over the
+// shipped system environment (or over a demonstration environment with a
+// deliberately abusive test, to show what the checker catches — the
+// paper's Figure 2).
+//
+// Usage:
+//
+//	advm-lint              # lint the shipped system (expected clean)
+//	advm-lint -demo        # inject a Figure 2 violation and report it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/advm"
+)
+
+func main() {
+	log.SetFlags(0)
+	demo := flag.Bool("demo", false, "inject a deliberately abusive test before linting")
+	deriv := flag.String("deriv", "SC88-A", "derivative whose global layer defines the forbidden names")
+	threshold := flag.Int64("magic-threshold", 15, "literals above this magnitude are hardwired values")
+	flag.Parse()
+
+	d, err := advm.DerivativeByName(*deriv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := advm.StandardSystem()
+
+	if *demo {
+		e, _ := sys.Env("NVM")
+		e.MustAddTest(advm.TestCell{
+			ID:          "TEST_NVM_ABUSE",
+			Description: "deliberately bypasses the abstraction layer (Figure 2)",
+			Source: `;; abusive test: hardwired values, direct global references
+.INCLUDE "registers.inc"
+test_main:
+    LOAD d14, [0x80002014]
+    INSERT d14, d14, 8, 0, 5
+    STORE [0x80002014], d14
+    LOAD CallAddr, ES_Nvm_Unlock
+    CALL CallAddr
+    HALT
+`,
+		})
+		fmt.Println("injected TEST_NVM_ABUSE into the NVM environment")
+	}
+
+	opts := advm.DefaultLintOptions()
+	opts.MagicThreshold = *threshold
+	vs := advm.Lint(sys, d, opts)
+	if len(vs) == 0 {
+		fmt.Println("no abstraction violations: every test goes through its abstraction layer")
+		return
+	}
+	fmt.Printf("%d abstraction violation(s):\n", len(vs))
+	for _, v := range vs {
+		fmt.Println("  " + v.String())
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command advm-port replays the paper's porting experiment: it takes the
+// suite as first written for SC88-A, verifies where it breaks on the
+// other derivatives, applies the change events to the abstraction layer,
+// re-verifies, and prints the edit-cost comparison against the hardwired
+// baseline suite.
+//
+// Usage:
+//
+//	advm-port              # full report
+//	advm-port -to SC88-C   # cost of one derivative only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/advm"
+)
+
+func suiteStatus(sys *advm.System, d *advm.Derivative) (pass, bad int) {
+	for _, e := range sys.Envs() {
+		for _, id := range e.TestIDs() {
+			res, err := sys.RunTest(e.Module, id, d, advm.KindGolden, advm.RunSpec{})
+			if err != nil || !res.Passed() {
+				bad++
+			} else {
+				pass++
+			}
+		}
+	}
+	return
+}
+
+func main() {
+	log.SetFlags(0)
+	to := flag.String("to", "", "report baseline cost for one target derivative only")
+	flag.Parse()
+
+	if *to != "" {
+		target, err := advm.DerivativeByName(*to)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := advm.BaselinePortCost(advm.DerivativeA(), target)
+		fmt.Printf("baseline port SC88-A -> %s:\n%s", target.Name, c)
+		return
+	}
+
+	sys := advm.UnportedSystem()
+	fmt.Println("before the port (suite written for SC88-A):")
+	for _, d := range advm.Family() {
+		p, b := suiteStatus(sys, d)
+		fmt.Printf("  %-10s pass=%2d broken/failing=%2d\n", d.Name, p, b)
+	}
+
+	res, err := advm.ApplyChanges(sys, advm.FamilyChanges()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nchange events applied to the abstraction layer:")
+	for _, c := range res.Changes {
+		fmt.Printf("  - %s\n", c.Describe())
+	}
+	fmt.Printf("\nADVM cost:\n%s", res.Cost)
+
+	fmt.Println("\nafter the port:")
+	for _, d := range advm.Family() {
+		p, b := suiteStatus(sys, d)
+		fmt.Printf("  %-10s pass=%2d broken/failing=%2d\n", d.Name, p, b)
+	}
+
+	fmt.Println("\nbaseline (hardwired) cost per derivative:")
+	for _, target := range advm.Family()[1:] {
+		c := advm.BaselinePortCost(advm.DerivativeA(), target)
+		a, r := c.LinesTouched()
+		fmt.Printf("  SC88-A -> %-9s %2d file(s), %3d line(s)\n", target.Name, c.FilesTouched(), a+r)
+	}
+}

@@ -1,0 +1,93 @@
+// Command advm-regress freezes the shipped system environment under a
+// release label and runs the regression matrix: every test cell on every
+// selected derivative and platform. The paper's Section 3 discipline is
+// enforced: the regression only runs against the frozen label.
+//
+// Usage:
+//
+//	advm-regress                      # family x golden
+//	advm-regress -platforms all       # family x all six platforms
+//	advm-regress -derivs SC88-A,SC88-SEC -platforms golden,rtl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/advm"
+)
+
+func main() {
+	log.SetFlags(0)
+	derivs := flag.String("derivs", "all", "comma-separated derivatives or 'all'")
+	plats := flag.String("platforms", "golden", "comma-separated platforms or 'all'")
+	label := flag.String("label", "SYSREG_LOCAL", "release label name")
+	verbose := flag.Bool("v", false, "print each failing cell")
+	junit := flag.String("junit", "", "write a JUnit XML report to this file")
+	workers := flag.Int("workers", 1, "concurrent matrix cells")
+	flag.Parse()
+
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem(*label, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frozen release: %s\n\n", sl)
+
+	spec := advm.RegressionSpec{Workers: *workers}
+	if *derivs != "all" {
+		for _, name := range strings.Split(*derivs, ",") {
+			d, err := advm.DerivativeByName(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.Derivatives = append(spec.Derivatives, d)
+		}
+	}
+	if *plats != "all" {
+		for _, name := range strings.Split(*plats, ",") {
+			found := false
+			for _, k := range advm.AllPlatformKinds() {
+				if strings.EqualFold(k.String(), strings.TrimSpace(name)) {
+					spec.Kinds = append(spec.Kinds, k)
+					found = true
+				}
+			}
+			if !found {
+				log.Fatalf("unknown platform %q", name)
+			}
+		}
+	}
+
+	rep, err := advm.Regress(sys, sl, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Table())
+	fmt.Println(rep.Summary())
+	if *junit != "" {
+		f, err := os.Create(*junit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJUnit(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("junit report written to %s\n", *junit)
+	}
+	if !rep.AllPassed() {
+		if *verbose {
+			for _, f := range rep.Failures() {
+				fmt.Printf("FAIL %s/%s on %s/%s: %s %s %s\n",
+					f.Module, f.Test, f.Derivative, f.Platform, f.Reason, f.Detail, f.BuildErr)
+			}
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command crossplatform reproduces the paper's Section 1 platform list:
+// the same suite of assembler tests runs unmodified on all six
+// simulation/emulation platforms, with identical verdicts and the
+// expected speed ladder (experiment E6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/advm"
+)
+
+func main() {
+	sys := advm.StandardSystem()
+	d := advm.DerivativeA()
+
+	fmt.Println("E6: one test suite, six platforms (derivative SC88-A)")
+	fmt.Printf("%-10s %8s %10s %12s %12s %10s\n",
+		"platform", "pass", "insts", "cycles", "wall", "Minst/s")
+
+	for _, kind := range advm.AllPlatformKinds() {
+		var passed, total int
+		var insts, cycles uint64
+		start := time.Now()
+		for _, e := range sys.Envs() {
+			for _, id := range e.TestIDs() {
+				res, err := sys.RunTest(e.Module, id, d, kind, advm.RunSpec{})
+				if err != nil {
+					log.Fatalf("%s %s/%s: %v", kind, e.Module, id, err)
+				}
+				total++
+				if res.Passed() {
+					passed++
+				}
+				insts += res.Instructions
+				cycles += res.Cycles
+			}
+		}
+		wall := time.Since(start)
+		mips := float64(insts) / wall.Seconds() / 1e6
+		fmt.Printf("%-10s %5d/%-2d %10d %12d %12s %10.2f\n",
+			kind, passed, total, insts, cycles, wall.Round(time.Microsecond), mips)
+	}
+
+	fmt.Println("\nPlatform capabilities (why you need all six):")
+	fmt.Printf("%-10s %6s %6s %6s %6s %6s\n", "platform", "trace", "bkpt", "regs", "mem", "cycacc")
+	for _, kind := range advm.AllPlatformKinds() {
+		p, err := advm.NewPlatform(kind, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := p.Caps()
+		fmt.Printf("%-10s %6v %6v %6v %6v %6v\n",
+			kind, c.Trace, c.Breakpoints, c.RegVisibility, c.MemVisibility, c.CycleAccurate)
+	}
+}

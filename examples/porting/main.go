@@ -1,0 +1,94 @@
+// Command porting reproduces the paper's central claim (experiments E4,
+// E5, E7): porting the directed-test suite to new derivatives costs a
+// handful of abstraction-layer edits under ADVM, while the hardwired
+// baseline suite needs edits in nearly every test file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/advm"
+)
+
+func passCount(sys *advm.System, d *advm.Derivative) (pass, bad int) {
+	for _, e := range sys.Envs() {
+		for _, id := range e.TestIDs() {
+			res, err := sys.RunTest(e.Module, id, d, advm.KindGolden, advm.RunSpec{})
+			if err != nil || !res.Passed() {
+				bad++
+			} else {
+				pass++
+			}
+		}
+	}
+	return
+}
+
+func main() {
+	sys := advm.UnportedSystem()
+
+	fmt.Println("Suite as first written (SC88-A only):")
+	for _, d := range advm.Family() {
+		p, b := passCount(sys, d)
+		fmt.Printf("  %-10s pass=%2d broken/failing=%2d\n", d.Name, p, b)
+	}
+
+	fmt.Println("\nApplying the derivative change events to the abstraction layer:")
+	for _, c := range advm.FamilyChanges() {
+		fmt.Printf("  - [%s] %s\n", c.Name(), c.Describe())
+	}
+	res, err := advm.ApplyChanges(sys, advm.FamilyChanges()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nADVM port cost (abstraction layer only):")
+	fmt.Print(indent(res.Cost.String()))
+
+	fmt.Println("\nSuite after the port:")
+	for _, d := range advm.Family() {
+		p, b := passCount(sys, d)
+		fmt.Printf("  %-10s pass=%2d broken/failing=%2d\n", d.Name, p, b)
+	}
+
+	fmt.Println("\nBaseline (hardwired, no abstraction layer) port cost:")
+	totalFiles, totalLines := 0, 0
+	for _, to := range advm.Family()[1:] {
+		c := advm.BaselinePortCost(advm.DerivativeA(), to)
+		a, r := c.LinesTouched()
+		totalFiles += c.FilesTouched()
+		totalLines += a + r
+		fmt.Printf("  SC88-A -> %-9s %2d file(s), %3d line(s) touched\n",
+			to.Name, c.FilesTouched(), a+r)
+	}
+	advmA, advmR := res.Cost.LinesTouched()
+	fmt.Printf("\nTotal: ADVM %d files / %d lines  vs  baseline %d files / %d lines\n",
+		res.Cost.FilesTouched(), advmA+advmR, totalFiles, totalLines)
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		if line != "" {
+			out += "  " + line + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

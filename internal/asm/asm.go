@@ -1,0 +1,681 @@
+package asm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// Options configures one assembly.
+type Options struct {
+	// Defines are predefined preprocessor symbols (-D NAME[=value]); the
+	// ADVM core uses them to select derivative and platform variants.
+	Defines map[string]string
+	// Resolver supplies .INCLUDE files. Defaults to an empty MapFS.
+	Resolver Resolver
+	// Listing, when non-nil, receives a human-readable listing.
+	Listing io.Writer
+}
+
+// maxErrors bounds diagnostics per assembly.
+const maxErrors = 50
+
+// Assemble assembles one source file into a relocatable object. name is
+// used for diagnostics and as the object name; include files are pulled
+// from opts.Resolver.
+func Assemble(name, src string, opts Options) (*obj.Object, error) {
+	res := opts.Resolver
+	if res == nil {
+		res = MapFS{}
+	}
+	pp := newPreprocessor(res, opts.Defines)
+	lines := strings.Split(src, "\n")
+	for i, text := range lines {
+		toks, err := lexLine(name, i+1, text)
+		if err != nil {
+			pp.errs = append(pp.errs, err)
+			continue
+		}
+		pp.handleLine(Line{File: name, Num: i + 1, Toks: toks}, 0)
+	}
+	if pp.collecting != nil {
+		pp.errf(pp.collecting.file, pp.collecting.line, "unterminated .MACRO %s", pp.collecting.name)
+	}
+	if len(pp.conds) > 0 {
+		pp.errs = append(pp.errs, fmt.Errorf("%s: unterminated conditional block", name))
+	}
+	u := &unit{name: name, syms: make(map[string]*symEntry)}
+	u.errs = append(u.errs, pp.errs...)
+
+	u.pass1(pp.out)
+	u.pass2()
+
+	if len(u.errs) > 0 {
+		if len(u.errs) > maxErrors {
+			u.errs = append(u.errs[:maxErrors],
+				fmt.Errorf("%s: too many errors (%d total)", name, len(u.errs)))
+		}
+		return nil, errors.Join(u.errs...)
+	}
+	if opts.Listing != nil {
+		u.writeListing(opts.Listing)
+	}
+	return u.out, nil
+}
+
+type symKind uint8
+
+const (
+	symLabel symKind = iota
+	symEqu
+)
+
+type symEntry struct {
+	name     string
+	kind     symKind
+	section  obj.Section
+	off      uint32 // labels: section offset
+	expr     Expr   // EQUs
+	cached   Value
+	resolved bool
+	visiting bool
+	file     string
+	line     int
+}
+
+type stmtKind uint8
+
+const (
+	stLabel stmtKind = iota
+	stData           // .WORD/.HALF/.BYTE/.ASCII/.ASCIIZ/.SPACE/.ALIGN
+	stInst
+)
+
+type stmt struct {
+	ln      Line
+	kind    stmtKind
+	section obj.Section
+	off     uint32 // section offset, assigned in pass 1
+	size    uint32 // bytes
+
+	// stLabel
+	label string
+
+	// stData
+	dir   string
+	exprs []Expr
+	str   string
+	pad   uint32 // .SPACE/.ALIGN byte count resolved in pass 1
+
+	// stInst
+	plans []instPlan
+}
+
+// unit is one assembly in progress.
+type unit struct {
+	name  string
+	syms  map[string]*symEntry
+	stmts []stmt
+	cur   obj.Section
+	lc    [3]uint32
+	errs  []error
+	out   *obj.Object
+
+	text, data []byte
+	lines      []obj.LineInfo
+}
+
+func (u *unit) errf(ln Line, format string, args ...interface{}) {
+	if len(u.errs) <= maxErrors {
+		u.errs = append(u.errs, errAt(ln.File, ln.Num, format, args...))
+	}
+}
+
+// ResolveSym implements SymResolver over the unit's symbol table.
+func (u *unit) ResolveSym(name string) (Value, error) {
+	e, ok := u.syms[name]
+	if !ok {
+		// Unknown here: assumed external, resolved by the linker.
+		return Value{Sym: name}, nil
+	}
+	switch e.kind {
+	case symLabel:
+		return Value{Sym: name}, nil
+	default: // symEqu
+		if e.resolved {
+			return e.cached, nil
+		}
+		if e.visiting {
+			return Value{}, fmt.Errorf("circular .EQU definition of %q", name)
+		}
+		e.visiting = true
+		v, err := Eval(e.expr, u)
+		e.visiting = false
+		if err != nil {
+			return Value{}, err
+		}
+		e.cached, e.resolved = v, true
+		return v, nil
+	}
+}
+
+// evalConst evaluates e and reports whether it is a known constant.
+func (u *unit) evalConst(e Expr) (int64, bool) {
+	v, err := Eval(e, u)
+	if err != nil || !v.Const {
+		return 0, false
+	}
+	return v.Val, true
+}
+
+// ---- pass 1: parse statements, assign sizes and symbol offsets ----
+
+func (u *unit) pass1(lines []Line) {
+	for _, ln := range lines {
+		u.parseLine(ln)
+	}
+}
+
+func (u *unit) parseLine(ln Line) {
+	toks := ln.Toks
+	// Leading label(s): IDENT ':'
+	for len(toks) >= 2 && toks[0].Kind == TokIdent && toks[1].IsPunct(":") {
+		u.defineLabel(ln, toks[0].Text)
+		toks = toks[2:]
+	}
+	if len(toks) == 0 {
+		return
+	}
+	t0 := toks[0]
+
+	// NAME .EQU expr (paper style) or .EQU NAME, expr.
+	if len(toks) >= 2 && t0.Kind == TokIdent && toks[1].Kind == TokDirective && toks[1].Text == "EQU" {
+		u.defineEqu(ln, t0.Text, toks[2:])
+		return
+	}
+	if t0.Kind == TokDirective {
+		switch t0.Text {
+		case "EQU":
+			rest := toks[1:]
+			if len(rest) >= 2 && rest[0].Kind == TokIdent && rest[1].IsPunct(",") {
+				u.defineEqu(ln, rest[0].Text, rest[2:])
+			} else {
+				u.errf(ln, ".EQU expects NAME, expression")
+			}
+			return
+		case "SECTION":
+			u.switchSection(ln, toks[1:])
+			return
+		case "GLOBAL", "EXPORT", "EXTERN":
+			// All labels are linker-visible; accepted for compatibility.
+			return
+		case "WORD", "HALF", "BYTE", "ASCII", "ASCIIZ", "SPACE", "ALIGN":
+			u.parseData(ln, t0.Text, toks[1:])
+			return
+		case "ENTRY":
+			// Accepted and ignored: entry selection is a link option.
+			return
+		default:
+			u.errf(ln, "unknown directive .%s", t0.Text)
+			return
+		}
+	}
+
+	if t0.Kind != TokIdent {
+		u.errf(ln, "expected label, directive, or instruction; found %s", t0)
+		return
+	}
+	// Instruction.
+	plans, err := u.selectInst(ln, toks)
+	if err != nil {
+		u.errs = append(u.errs, err)
+		return
+	}
+	if u.cur != obj.SecText {
+		u.errf(ln, "instructions are only allowed in .SECTION text")
+		return
+	}
+	var size uint32
+	for _, p := range plans {
+		size += uint32(p.op.Words()) * 4
+	}
+	u.stmts = append(u.stmts, stmt{
+		ln: ln, kind: stInst, section: u.cur, off: u.lc[u.cur], size: size, plans: plans,
+	})
+	u.lc[u.cur] += size
+}
+
+func (u *unit) defineLabel(ln Line, name string) {
+	if prev, dup := u.syms[name]; dup {
+		u.errf(ln, "symbol %q already defined at %s:%d", name, prev.file, prev.line)
+		return
+	}
+	u.syms[name] = &symEntry{
+		name: name, kind: symLabel, section: u.cur, off: u.lc[u.cur],
+		file: ln.File, line: ln.Num,
+	}
+	u.stmts = append(u.stmts, stmt{ln: ln, kind: stLabel, section: u.cur, off: u.lc[u.cur], label: name})
+}
+
+func (u *unit) defineEqu(ln Line, name string, rest []Token) {
+	if prev, dup := u.syms[name]; dup {
+		u.errf(ln, "symbol %q already defined at %s:%d", name, prev.file, prev.line)
+		return
+	}
+	e, next, err := parseExpr(rest, 0, ln.File, ln.Num)
+	if err != nil {
+		u.errs = append(u.errs, err)
+		return
+	}
+	if next != len(rest) {
+		u.errf(ln, "trailing tokens after .EQU expression")
+		return
+	}
+	u.syms[name] = &symEntry{name: name, kind: symEqu, expr: e, file: ln.File, line: ln.Num}
+}
+
+func (u *unit) switchSection(ln Line, rest []Token) {
+	if len(rest) != 1 || rest[0].Kind != TokIdent {
+		u.errf(ln, ".SECTION expects one of text, data, bss")
+		return
+	}
+	switch strings.ToLower(rest[0].Text) {
+	case "text":
+		u.cur = obj.SecText
+	case "data":
+		u.cur = obj.SecData
+	case "bss":
+		u.cur = obj.SecBss
+	default:
+		u.errf(ln, "unknown section %q", rest[0].Text)
+	}
+}
+
+func (u *unit) parseData(ln Line, dir string, rest []Token) {
+	s := stmt{ln: ln, kind: stData, section: u.cur, off: u.lc[u.cur], dir: dir}
+	switch dir {
+	case "ASCII", "ASCIIZ":
+		if len(rest) != 1 || rest[0].Kind != TokString {
+			u.errf(ln, ".%s expects one quoted string", dir)
+			return
+		}
+		s.str = rest[0].Text
+		s.size = uint32(len(s.str))
+		if dir == "ASCIIZ" {
+			s.size++
+		}
+	case "SPACE", "ALIGN":
+		e, next, err := parseExpr(rest, 0, ln.File, ln.Num)
+		if err != nil {
+			u.errs = append(u.errs, err)
+			return
+		}
+		if next != len(rest) {
+			u.errf(ln, "trailing tokens after .%s", dir)
+			return
+		}
+		n, ok := u.evalConst(e)
+		if !ok {
+			u.errf(ln, ".%s operand must be a constant known at this point", dir)
+			return
+		}
+		if n < 0 || n > 1<<20 {
+			u.errf(ln, ".%s size %d out of range", dir, n)
+			return
+		}
+		if dir == "ALIGN" {
+			if n == 0 || n&(n-1) != 0 {
+				u.errf(ln, ".ALIGN requires a power of two, got %d", n)
+				return
+			}
+			cur := u.lc[u.cur]
+			s.pad = (uint32(n) - cur%uint32(n)) % uint32(n)
+		} else {
+			s.pad = uint32(n)
+		}
+		s.size = s.pad
+	default: // WORD, HALF, BYTE
+		var unitSize uint32
+		switch dir {
+		case "WORD":
+			unitSize = 4
+		case "HALF":
+			unitSize = 2
+		case "BYTE":
+			unitSize = 1
+		}
+		args := splitArgs(rest)
+		if len(rest) == 0 {
+			u.errf(ln, ".%s expects at least one value", dir)
+			return
+		}
+		for _, arg := range args {
+			e, next, err := parseExpr(arg, 0, ln.File, ln.Num)
+			if err != nil {
+				u.errs = append(u.errs, err)
+				return
+			}
+			if next != len(arg) {
+				u.errf(ln, "trailing tokens in .%s operand", dir)
+				return
+			}
+			s.exprs = append(s.exprs, e)
+		}
+		s.size = unitSize * uint32(len(s.exprs))
+	}
+	if u.cur == obj.SecBss && dir != "SPACE" && dir != "ALIGN" {
+		u.errf(ln, ".%s is not allowed in .SECTION bss", dir)
+		return
+	}
+	u.stmts = append(u.stmts, s)
+	u.lc[u.cur] += s.size
+}
+
+// ---- pass 2: encode ----
+
+func (u *unit) pass2() {
+	// Clear EQU caches: pass-1 sizing may have resolved symbols before
+	// all definitions were seen.
+	for _, e := range u.syms {
+		e.resolved, e.visiting = false, false
+		e.cached = Value{}
+	}
+	u.out = &obj.Object{Name: u.name, BssSize: u.lc[obj.SecBss]}
+	u.text = make([]byte, 0, u.lc[obj.SecText])
+	u.data = make([]byte, 0, u.lc[obj.SecData])
+
+	for i := range u.stmts {
+		s := &u.stmts[i]
+		switch s.kind {
+		case stLabel:
+			// Symbols are exported below.
+		case stData:
+			u.emitData(s)
+		case stInst:
+			u.emitInst(s)
+		}
+	}
+	u.out.Text = u.text
+	u.out.Data = u.data
+	u.out.Lines = u.lines
+
+	// Export symbols: labels by section offset; constant EQUs as absolute.
+	for _, e := range u.syms {
+		switch e.kind {
+		case symLabel:
+			u.out.Symbols = append(u.out.Symbols, obj.Symbol{
+				Name: e.name, Section: e.section, Off: e.off,
+			})
+		case symEqu:
+			v, err := u.ResolveSym(e.name)
+			if err != nil {
+				u.errs = append(u.errs, err)
+				continue
+			}
+			if v.Const {
+				u.out.Symbols = append(u.out.Symbols, obj.Symbol{
+					Name: e.name, Abs: true, Value: v.Val,
+				})
+			}
+			// Address-valued EQUs stay object-local: uses inside this
+			// object resolved through the EQU chain to the underlying
+			// label, which is itself exported.
+		}
+	}
+	sortSymbols(u.out.Symbols)
+}
+
+func sortSymbols(syms []obj.Symbol) {
+	for i := 1; i < len(syms); i++ {
+		for j := i; j > 0 && syms[j].Name < syms[j-1].Name; j-- {
+			syms[j], syms[j-1] = syms[j-1], syms[j]
+		}
+	}
+}
+
+func (u *unit) buf(sec obj.Section) *[]byte {
+	if sec == obj.SecData {
+		return &u.data
+	}
+	return &u.text
+}
+
+func (u *unit) emitData(s *stmt) {
+	if s.section == obj.SecBss {
+		return // bss has no bytes
+	}
+	buf := u.buf(s.section)
+	switch s.dir {
+	case "ASCII", "ASCIIZ":
+		*buf = append(*buf, s.str...)
+		if s.dir == "ASCIIZ" {
+			*buf = append(*buf, 0)
+		}
+	case "SPACE", "ALIGN":
+		*buf = append(*buf, make([]byte, s.pad)...)
+	case "WORD":
+		for i, e := range s.exprs {
+			off := s.off + uint32(i*4)
+			v, err := Eval(e, u)
+			if err != nil {
+				u.errs = append(u.errs, err)
+				v = Value{Const: true}
+			}
+			var word uint32
+			if v.Const {
+				word = uint32(v.Val)
+			} else {
+				u.out.Relocs = append(u.out.Relocs, obj.Reloc{
+					Section: s.section, Off: off, Kind: obj.RelAbs32, Sym: v.Sym, Addend: v.Val,
+				})
+			}
+			*buf = appendWord(*buf, word)
+		}
+	case "HALF", "BYTE":
+		for _, e := range s.exprs {
+			v, err := Eval(e, u)
+			if err != nil {
+				u.errs = append(u.errs, err)
+				continue
+			}
+			if !v.Const {
+				u.errf(s.ln, ".%s values must be constant (relocations are word-sized)", s.dir)
+				continue
+			}
+			if s.dir == "HALF" {
+				if v.Val < -32768 || v.Val > 65535 {
+					u.errf(s.ln, ".HALF value %d out of range", v.Val)
+				}
+				*buf = append(*buf, byte(v.Val), byte(v.Val>>8))
+			} else {
+				if v.Val < -128 || v.Val > 255 {
+					u.errf(s.ln, ".BYTE value %d out of range", v.Val)
+				}
+				*buf = append(*buf, byte(v.Val))
+			}
+		}
+	}
+}
+
+func appendWord(b []byte, w uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], w)
+	return append(b, tmp[:]...)
+}
+
+func (u *unit) emitInst(s *stmt) {
+	if s.section == obj.SecText {
+		u.lines = append(u.lines, obj.LineInfo{Off: s.off, File: s.ln.File, Line: s.ln.Num})
+	}
+	buf := u.buf(s.section)
+	off := s.off
+	for pi := range s.plans {
+		p := &s.plans[pi]
+		in := isa.Inst{Op: p.op, Rd: p.rd, Rs: p.rs, Rt: p.rt}
+
+		// Bitfield geometry must be assembly-time constant.
+		if p.op.IsBitfield() {
+			pos, ok1 := u.constOperand(s.ln, p.pos, "bit position")
+			width, ok2 := u.constOperand(s.ln, p.width, "field width")
+			if ok1 && ok2 {
+				if pos < 0 || pos > 31 {
+					u.errf(s.ln, "bit position %d out of range 0..31", pos)
+				} else if width < 1 || width > 32 || pos+width > 32 {
+					u.errf(s.ln, "field width %d invalid at position %d (must satisfy 1 <= width and pos+width <= 32)", width, pos)
+				} else {
+					in.Pos, in.Width = uint8(pos), uint8(width)
+				}
+			}
+			if in.Width == 0 {
+				in.Pos, in.Width = 0, 1 // keep encoding valid after an error
+			}
+		}
+
+		// Immediate / extension word.
+		var relocValue *Value
+		if p.immFixed {
+			in.Imm = int32(p.immVal)
+		} else if p.imm != nil {
+			v, err := Eval(p.imm, u)
+			if err != nil {
+				u.errs = append(u.errs, err)
+				v = Value{Const: true}
+			}
+			switch {
+			case p.branch:
+				u.encodeBranch(s.ln, &in, off, v)
+			case p.op.HasExt():
+				if v.Const {
+					in.Imm = int32(v.Val)
+					if v.Val < -(1<<31) || v.Val > 0xffffffff {
+						u.errf(s.ln, "immediate %d does not fit in 32 bits", v.Val)
+					}
+				} else {
+					relocValue = &v
+				}
+			default:
+				if !v.Const {
+					u.errf(s.ln, "%s requires a constant immediate; %q is relocatable", p.op, v.Sym)
+				} else if !immFits(p.op, v.Val) {
+					u.errf(s.ln, "immediate %d out of range for %s", v.Val, p.op)
+				} else {
+					in.Imm = int32(v.Val) // encoder masks to 16 bits
+				}
+			}
+		}
+
+		words := in.Encode(nil)
+		if relocValue != nil {
+			// The extension word is the second word of the instruction.
+			u.out.Relocs = append(u.out.Relocs, obj.Reloc{
+				Section: s.section, Off: off + 4, Kind: obj.RelAbs32,
+				Sym: relocValue.Sym, Addend: relocValue.Val,
+			})
+		}
+		for _, w := range words {
+			*buf = appendWord(*buf, w)
+		}
+		off += uint32(len(words) * 4)
+	}
+}
+
+func (u *unit) encodeBranch(ln Line, in *isa.Inst, off uint32, v Value) {
+	if v.Const {
+		u.errf(ln, "branch target must be a label, not a constant")
+		return
+	}
+	if e, ok := u.syms[v.Sym]; ok && e.kind == symLabel {
+		if e.section != obj.SecText {
+			u.errf(ln, "branch to %q crosses sections", v.Sym)
+			return
+		}
+		target := int64(e.off) + v.Val
+		disp := (target - int64(off) - 4) / 4
+		if (target-int64(off)-4)%4 != 0 {
+			u.errf(ln, "branch target %q is not word-aligned", v.Sym)
+			return
+		}
+		if disp < -32768 || disp > 32767 {
+			u.errf(ln, "branch to %q out of range (%d words)", v.Sym, disp)
+			return
+		}
+		in.Imm = int32(disp)
+		return
+	}
+	// External label: leave for the linker.
+	u.out.Relocs = append(u.out.Relocs, obj.Reloc{
+		Section: obj.SecText, Off: off, Kind: obj.RelBr16, Sym: v.Sym, Addend: v.Val,
+	})
+}
+
+func (u *unit) constOperand(ln Line, e Expr, what string) (int64, bool) {
+	if e == nil {
+		u.errf(ln, "missing %s operand", what)
+		return 0, false
+	}
+	v, err := Eval(e, u)
+	if err != nil {
+		u.errs = append(u.errs, err)
+		return 0, false
+	}
+	if !v.Const {
+		u.errf(ln, "%s must be an assembly-time constant, got relocatable %q (%s)", what, v.Sym, exprString(e))
+		return 0, false
+	}
+	return v.Val, true
+}
+
+// immFits checks the 16-bit immediate range per opcode class: arithmetic
+// immediates are signed; logical and shift immediates are unsigned (the
+// execution cores zero-extend them).
+func immFits(op isa.Opcode, v int64) bool {
+	switch op {
+	case isa.OpAndI, isa.OpOrI, isa.OpXorI:
+		return v >= 0 && v <= 0xffff
+	case isa.OpShlI, isa.OpShrI, isa.OpSarI:
+		return v >= 0 && v <= 31
+	case isa.OpTrap:
+		return v >= 0 && v <= 255
+	case isa.OpMfcr, isa.OpMtcr:
+		return v >= 0 && v <= 0xff
+	case isa.OpHalt:
+		return v >= 0 && v <= 0xffff
+	default:
+		return v >= -32768 && v <= 32767
+	}
+}
+
+// writeListing emits a simple address/words/source listing.
+func (u *unit) writeListing(w io.Writer) {
+	fmt.Fprintf(w, ";; listing of %s\n", u.name)
+	for i := range u.stmts {
+		s := &u.stmts[i]
+		switch s.kind {
+		case stLabel:
+			fmt.Fprintf(w, "%-10s %s:\n", "", s.label)
+		case stInst:
+			off := s.off
+			for _, p := range s.plans {
+				nWords := p.op.Words()
+				var words []string
+				for wi := 0; wi < nWords; wi++ {
+					idx := off + uint32(wi*4)
+					if s.section == obj.SecText && int(idx)+4 <= len(u.text) {
+						words = append(words, fmt.Sprintf("%08x",
+							binary.LittleEndian.Uint32(u.text[idx:])))
+					}
+				}
+				fmt.Fprintf(w, "%s:%08x  %-18s %s\n", s.section, off,
+					strings.Join(words, " "), p.op)
+				off += uint32(nWords * 4)
+			}
+		case stData:
+			fmt.Fprintf(w, "%s:%08x  .%s (%d bytes)\n", s.section, s.off, strings.ToLower(s.dir), s.size)
+		}
+	}
+}

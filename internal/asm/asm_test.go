@@ -1,0 +1,638 @@
+package asm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+func mustAssemble(t *testing.T, src string, opts Options) *obj.Object {
+	t.Helper()
+	o, err := Assemble("test.asm", src, opts)
+	if err != nil {
+		t.Fatalf("assemble failed: %v", err)
+	}
+	return o
+}
+
+func textWords(o *obj.Object) []uint32 {
+	out := make([]uint32, len(o.Text)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(o.Text[i*4:])
+	}
+	return out
+}
+
+func decodeAll(t *testing.T, o *obj.Object) []isa.Inst {
+	t.Helper()
+	words := textWords(o)
+	var insts []isa.Inst
+	for i := 0; i < len(words); {
+		in, size, ok := isa.Decode(words[i:])
+		if !ok {
+			t.Fatalf("bad encoding at word %d", i)
+		}
+		insts = append(insts, in)
+		i += size
+	}
+	return insts
+}
+
+func TestBasicInstructions(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    NOP
+    LOAD d0, 5
+    LOAD d1, d0
+    ADD d2, d0, d1
+    ADD d2, 1
+    SUB d3, d2, 4
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	want := []isa.Opcode{isa.OpNop, isa.OpMovI, isa.OpMov, isa.OpAdd, isa.OpAddI, isa.OpAddI, isa.OpHalt}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d: %v", len(insts), len(want), insts)
+	}
+	for i, op := range want {
+		if insts[i].Op != op {
+			t.Errorf("inst %d = %s, want %s", i, insts[i].Op, op)
+		}
+	}
+	if insts[5].Imm != -4 {
+		t.Errorf("SUB imm should negate: %d", insts[5].Imm)
+	}
+}
+
+func TestFigure6Example(t *testing.T) {
+	// The paper's Figure 6 code, verbatim structure: globals file with
+	// field geometry, test file using INSERT with define-controlled
+	// operands.
+	globals := `
+;; Globals.inc
+PAGE_FIELD_SIZE .EQU 5
+PAGE_FIELD_START_POSITION .EQU 0
+TEST1_TARGET_PAGE .EQU 8
+TEST2_TARGET_PAGE .EQU 7
+`
+	test1 := `
+;; Code for test 1
+.INCLUDE "Globals.inc"
+TEST_PAGE .EQU TEST1_TARGET_PAGE
+_main:
+    INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    HALT
+`
+	o := mustAssemble(t, test1, Options{Resolver: MapFS{"Globals.inc": globals}})
+	insts := decodeAll(t, o)
+	if insts[0].Op != isa.OpInsertX {
+		t.Fatalf("expected INSERTX, got %s", insts[0].Op)
+	}
+	if insts[0].Imm != 8 || insts[0].Pos != 0 || insts[0].Width != 5 {
+		t.Errorf("INSERT operands: imm=%d pos=%d width=%d", insts[0].Imm, insts[0].Pos, insts[0].Width)
+	}
+	// A spec change shifts the field: only the globals file changes.
+	globalsShifted := strings.Replace(globals, "PAGE_FIELD_START_POSITION .EQU 0",
+		"PAGE_FIELD_START_POSITION .EQU 1", 1)
+	o2 := mustAssemble(t, test1, Options{Resolver: MapFS{"Globals.inc": globalsShifted}})
+	insts2 := decodeAll(t, o2)
+	if insts2[0].Pos != 1 {
+		t.Errorf("shifted field pos = %d, want 1", insts2[0].Pos)
+	}
+}
+
+func TestFigure7Example(t *testing.T) {
+	// The paper's Figure 7: a register alias through .DEFINE, an
+	// abstraction-layer wrapper function, and an indirect call.
+	globals := `
+;; Globals.inc
+.DEFINE CallAddr A12
+`
+	src := `
+.INCLUDE "Globals.inc"
+_main:
+    LOAD CallAddr, Base_Init_Register
+    CALL CallAddr
+    RETURN
+Base_Init_Register:
+    LOAD CallAddr, ES_Init_Register
+    CALL CallAddr
+    RETURN
+`
+	o := mustAssemble(t, src, Options{Resolver: MapFS{"Globals.inc": globals}})
+	insts := decodeAll(t, o)
+	if insts[0].Op != isa.OpLea || insts[0].Rd != isa.A(12) {
+		t.Fatalf("LOAD CallAddr, label should be LEA a12: %v", insts[0])
+	}
+	if insts[1].Op != isa.OpCallI || insts[1].Rs != isa.A(12) {
+		t.Fatalf("CALL CallAddr should be CALLI a12: %v", insts[1])
+	}
+	// ES_Init_Register is external: there must be a relocation for it.
+	found := false
+	for _, r := range o.Relocs {
+		if r.Sym == "ES_Init_Register" && r.Kind == obj.RelAbs32 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing relocation for external ES function")
+	}
+}
+
+func TestEquBothSpellings(t *testing.T) {
+	o := mustAssemble(t, `
+FOO .EQU 3
+.EQU BAR, FOO+1
+_main:
+    LOAD d0, FOO
+    LOAD d1, BAR
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	if insts[0].Imm != 3 || insts[1].Imm != 4 {
+		t.Errorf("EQU values: %d %d", insts[0].Imm, insts[1].Imm)
+	}
+	// Constant EQUs are exported as absolute symbols.
+	var foundFoo bool
+	for _, s := range o.Symbols {
+		if s.Name == "FOO" && s.Abs && s.Value == 3 {
+			foundFoo = true
+		}
+	}
+	if !foundFoo {
+		t.Error("FOO not exported as absolute symbol")
+	}
+}
+
+func TestEquForwardReferenceAndChain(t *testing.T) {
+	o := mustAssemble(t, `
+K1 .EQU K2+1
+_main:
+    LOAD d0, K1
+    HALT
+K2 .EQU K3*2
+K3 .EQU 10
+`, Options{})
+	insts := decodeAll(t, o)
+	// Forward reference forces the long form, but the value must be right.
+	if insts[0].Op != isa.OpMovX || insts[0].Imm != 21 {
+		t.Errorf("forward EQU chain: %v imm=%d", insts[0].Op, insts[0].Imm)
+	}
+}
+
+func TestCircularEquRejected(t *testing.T) {
+	_, err := Assemble("t.asm", `
+X .EQU Y
+Y .EQU X
+_main:
+    LOAD d0, X
+    HALT
+`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "circular") {
+		t.Errorf("expected circular EQU error, got %v", err)
+	}
+}
+
+func TestMoviVsMovxSelection(t *testing.T) {
+	o := mustAssemble(t, `
+SMALL .EQU 100
+BIG .EQU 0x12345678
+_main:
+    LOAD d0, SMALL
+    LOAD d1, BIG
+    LOAD d2, -32768
+    LOAD d3, 32768
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	wantOps := []isa.Opcode{isa.OpMovI, isa.OpMovX, isa.OpMovI, isa.OpMovX, isa.OpHalt}
+	for i, op := range wantOps {
+		if insts[i].Op != op {
+			t.Errorf("inst %d: %s, want %s", i, insts[i].Op, op)
+		}
+	}
+	if insts[1].Imm != 0x12345678 {
+		t.Errorf("BIG value = %#x", insts[1].Imm)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	o := mustAssemble(t, `
+REG_BASE .EQU 0x80000000
+_main:
+    LOAD d0, [a0]
+    LOAD d1, [a0+4]
+    LOAD d2, [a0-4]
+    LOAD d3, [REG_BASE+8]
+    STORE [a1], d0
+    STORE [a1+12], d1
+    STORE [REG_BASE], d2
+    LDB d4, [a2+1]
+    STH [a2+2], d5
+    LDA a3, [sp+0]
+    STA [sp+4], a4
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	checks := []struct {
+		i   int
+		op  isa.Opcode
+		imm int32
+	}{
+		{0, isa.OpLdW, 0}, {1, isa.OpLdW, 4}, {2, isa.OpLdW, -4},
+		{3, isa.OpLdWX, int32(0x80000008 - (1 << 32))},
+		{4, isa.OpStW, 0}, {5, isa.OpStW, 12},
+		{6, isa.OpStWX, int32(0x80000000 - (1 << 32))},
+		{7, isa.OpLdB, 1}, {8, isa.OpStH, 2},
+		{9, isa.OpLdA, 0}, {10, isa.OpStA, 4},
+	}
+	for _, c := range checks {
+		if insts[c.i].Op != c.op {
+			t.Errorf("inst %d: %s, want %s", c.i, insts[c.i].Op, c.op)
+			continue
+		}
+		if insts[c.i].Imm != c.imm {
+			t.Errorf("inst %d (%s): imm %d, want %d", c.i, c.op, insts[c.i].Imm, c.imm)
+		}
+	}
+}
+
+func TestBranchesLocal(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    LOAD d0, 0
+loop:
+    ADD d0, 1
+    BNE d0, d1, loop
+    BEQ d0, d1, done
+done:
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	// BNE at word 2 (after MOVI, ADD); target 'loop' at word 1.
+	// disp = (1 - (2+1)) = -2.
+	if insts[2].Op != isa.OpBne || insts[2].Imm != -2 {
+		t.Errorf("BNE backward: %v imm=%d, want -2", insts[2].Op, insts[2].Imm)
+	}
+	if insts[3].Op != isa.OpBeq || insts[3].Imm != 0 {
+		t.Errorf("BEQ forward to next: imm=%d, want 0", insts[3].Imm)
+	}
+}
+
+func TestBranchExternalReloc(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    BEQ d0, d1, elsewhere
+    HALT
+`, Options{})
+	if len(o.Relocs) != 1 || o.Relocs[0].Kind != obj.RelBr16 || o.Relocs[0].Sym != "elsewhere" {
+		t.Errorf("relocs = %+v", o.Relocs)
+	}
+}
+
+func TestConditionalAssembly(t *testing.T) {
+	src := `
+.IFDEF DERIV_B
+VAL .EQU 2
+.ELSE
+VAL .EQU 1
+.ENDIF
+.IFNDEF MISSING
+FLAG .EQU 1
+.ENDIF
+.IF VAL_SEL
+SEL .EQU 10
+.ELSE
+SEL .EQU 20
+.ENDIF
+_main:
+    LOAD d0, VAL
+    LOAD d1, SEL
+    HALT
+`
+	o := mustAssemble(t, src, Options{Defines: map[string]string{"DERIV_B": "", "VAL_SEL": "1"}})
+	insts := decodeAll(t, o)
+	if insts[0].Imm != 2 || insts[1].Imm != 10 {
+		t.Errorf("defined path: %d %d", insts[0].Imm, insts[1].Imm)
+	}
+	o2 := mustAssemble(t, src, Options{Defines: map[string]string{"VAL_SEL": "0"}})
+	insts2 := decodeAll(t, o2)
+	if insts2[0].Imm != 1 || insts2[1].Imm != 20 {
+		t.Errorf("undefined path: %d %d", insts2[0].Imm, insts2[1].Imm)
+	}
+}
+
+func TestNestedConditionals(t *testing.T) {
+	src := `
+.IFDEF A
+.IFDEF B
+V .EQU 11
+.ELSE
+V .EQU 10
+.ENDIF
+.ELSE
+.IFDEF B
+V .EQU 1
+.ELSE
+V .EQU 0
+.ENDIF
+.ENDIF
+_main:
+    LOAD d0, V
+    HALT
+`
+	cases := []struct {
+		defs map[string]string
+		want int32
+	}{
+		{map[string]string{"A": "", "B": ""}, 11},
+		{map[string]string{"A": ""}, 10},
+		{map[string]string{"B": ""}, 1},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		o := mustAssemble(t, src, Options{Defines: c.defs})
+		if insts := decodeAll(t, o); insts[0].Imm != c.want {
+			t.Errorf("defines %v: got %d, want %d", c.defs, insts[0].Imm, c.want)
+		}
+	}
+}
+
+func TestMacros(t *testing.T) {
+	src := `
+.MACRO WRITE_RESULT code
+    LOAD d15, code
+    STORE [0x80000000], d15
+.ENDM
+.MACRO DELAY n
+    LOAD d14, n
+wait\@:
+    SUB d14, 1
+    BNE d14, d13, wait\@
+.ENDM
+_main:
+    DELAY 3
+    DELAY 5
+    WRITE_RESULT 0x600D
+    HALT
+`
+	o := mustAssemble(t, src, Options{})
+	insts := decodeAll(t, o)
+	// DELAY expands to MOVI, SUB(ADDI), BNE. Two instances must not
+	// collide on the wait label.
+	if insts[0].Op != isa.OpMovI || insts[0].Imm != 3 {
+		t.Errorf("first DELAY: %v", insts[0])
+	}
+	if insts[3].Op != isa.OpMovI || insts[3].Imm != 5 {
+		t.Errorf("second DELAY: %v", insts[3])
+	}
+	if insts[6].Op != isa.OpMovI || insts[6].Imm != 0x600D {
+		t.Errorf("WRITE_RESULT: %v", insts[6])
+	}
+}
+
+func TestMacroArgCountMismatch(t *testing.T) {
+	_, err := Assemble("t.asm", `
+.MACRO TWO a, b
+    LOAD d0, a
+    LOAD d1, b
+.ENDM
+_main:
+    TWO 1
+    HALT
+`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "expects 2") {
+		t.Errorf("expected arg count error, got %v", err)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    HALT
+.SECTION data
+table:
+    .WORD 1, 2, 0x30
+    .HALF 0x1234
+    .BYTE 0xab
+    .ALIGN 4
+    .ASCIIZ "hi"
+    .SPACE 3
+.SECTION bss
+buf:
+    .SPACE 64
+`, Options{})
+	if len(o.Data) != 12+2+1+1+3+3 {
+		t.Errorf("data size = %d", len(o.Data))
+	}
+	if binary.LittleEndian.Uint32(o.Data[8:]) != 0x30 {
+		t.Errorf("third word = %#x", binary.LittleEndian.Uint32(o.Data[8:]))
+	}
+	if o.Data[16] != 'h' || o.Data[17] != 'i' || o.Data[18] != 0 {
+		t.Errorf("asciiz bytes: %v", o.Data[16:19])
+	}
+	if o.BssSize != 64 {
+		t.Errorf("bss size = %d", o.BssSize)
+	}
+	var haveBuf bool
+	for _, s := range o.Symbols {
+		if s.Name == "buf" && s.Section == obj.SecBss && s.Off == 0 {
+			haveBuf = true
+		}
+	}
+	if !haveBuf {
+		t.Error("bss label missing")
+	}
+}
+
+func TestWordWithLabelReloc(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    HALT
+.SECTION data
+vec:
+    .WORD handler, handler+8
+`, Options{})
+	count := 0
+	for _, r := range o.Relocs {
+		if r.Section == obj.SecData && r.Sym == "handler" && r.Kind == obj.RelAbs32 {
+			count++
+			if r.Off == 4 && r.Addend != 8 {
+				t.Errorf("addend = %d", r.Addend)
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("expected 2 data relocs, got %d (%+v)", count, o.Relocs)
+	}
+}
+
+func TestErrorsAreReported(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "_main:\n    FROB d0\n", "unknown mnemonic"},
+		{"unknown directive", ".WIBBLE 3\n_main:\n HALT\n", "unknown directive"},
+		{"duplicate label", "x:\nx:\n_main:\n HALT\n", "already defined"},
+		{"duplicate equ", "A .EQU 1\nA .EQU 2\n_main:\n HALT\n", "already defined"},
+		{"imm out of range", "_main:\n ADD d0, d0, 99999\n HALT\n", "out of range"},
+		{"bitfield too wide", "_main:\n INSERT d0, d0, 1, 30, 5\n HALT\n", "width"},
+		{"bitfield reloc", "_main:\n INSERT d0, d0, 1, lbl, 5\n HALT\nlbl:\n NOP\n", "constant"},
+		{"branch to const", "_main:\n BEQ d0, d1, 16\n HALT\n", "label"},
+		{"bad register bank", "_main:\n ADD a0, d1, d2\n HALT\n", "expects"},
+		{"div immediate", "_main:\n DIV d0, d1, 3\n HALT\n", "no immediate form"},
+		{"instr in data", ".SECTION data\n_main:\n NOP\n", "only allowed in"},
+		{"unterminated if", ".IFDEF X\n_main:\n HALT\n", "unterminated conditional"},
+		{"unterminated macro", ".MACRO M\n NOP\n", "unterminated .MACRO"},
+		{"else without if", ".ELSE\n_main:\n HALT\n", ".ELSE without"},
+		{"endif without if", ".ENDIF\n_main:\n HALT\n", ".ENDIF without"},
+		{"missing include", `.INCLUDE "nope.inc"` + "\n_main:\n HALT\n", "not found"},
+		{"bad string", "_main:\n HALT\n.SECTION data\n.ASCII \"abc\n", "unterminated string"},
+		{"shift count", "_main:\n SHL d0, d0, 32\n HALT\n", "out of range"},
+		{"cross-section branch", "_main:\n BEQ d0, d1, dlab\n HALT\n.SECTION data\ndlab: .WORD 0\n", "crosses sections"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t.asm", c.src, Options{})
+			if err == nil {
+				t.Fatalf("expected error containing %q, got success", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err.Error(), c.wantSub)
+			}
+		})
+	}
+}
+
+func TestPushPopExpansion(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    PUSH d0
+    PUSH a1
+    POP a1
+    POP d0
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	want := []isa.Opcode{
+		isa.OpLeaO, isa.OpStW, isa.OpLeaO, isa.OpStA,
+		isa.OpLdA, isa.OpLeaO, isa.OpLdW, isa.OpLeaO, isa.OpHalt,
+	}
+	for i, op := range want {
+		if insts[i].Op != op {
+			t.Errorf("inst %d: %s, want %s", i, insts[i].Op, op)
+		}
+	}
+	if insts[0].Imm != -4 || insts[0].Rd != isa.SP {
+		t.Errorf("push pre-decrement wrong: %+v", insts[0])
+	}
+}
+
+func TestHashImmediateMarkerOptional(t *testing.T) {
+	o1 := mustAssemble(t, "_main:\n LOAD d0, #42\n HALT\n", Options{})
+	o2 := mustAssemble(t, "_main:\n LOAD d0, 42\n HALT\n", Options{})
+	if !bytes.Equal(o1.Text, o2.Text) {
+		t.Error("# marker changed encoding")
+	}
+}
+
+func TestTrapAndSystemOps(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    TRAP 4
+    MFCR d0, 0
+    MTCR 1, d2
+    RFE
+    DEBUG
+    HALT 0x77
+`, Options{})
+	insts := decodeAll(t, o)
+	if insts[0].Op != isa.OpTrap || insts[0].Imm != 4 {
+		t.Errorf("TRAP: %+v", insts[0])
+	}
+	if insts[2].Op != isa.OpMtcr || insts[2].Imm != 1 || insts[2].Rd != isa.D(2) {
+		t.Errorf("MTCR: %+v", insts[2])
+	}
+	if insts[5].Op != isa.OpHalt || insts[5].Imm != 0x77 {
+		t.Errorf("HALT code: %+v", insts[5])
+	}
+}
+
+func TestLineInfoRecorded(t *testing.T) {
+	o := mustAssemble(t, "_main:\n NOP\n NOP\n HALT\n", Options{})
+	if len(o.Lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(o.Lines))
+	}
+	if o.Lines[0].Line != 2 || o.Lines[2].Line != 4 {
+		t.Errorf("line numbers: %+v", o.Lines)
+	}
+}
+
+func TestListingOutput(t *testing.T) {
+	var sb strings.Builder
+	mustAssemble(t, "_main:\n LOAD d0, 1\n HALT\n", Options{Listing: &sb})
+	out := sb.String()
+	if !strings.Contains(out, "_main") || !strings.Contains(out, "MOVI") {
+		t.Errorf("listing missing content:\n%s", out)
+	}
+}
+
+func TestExpressionOperators(t *testing.T) {
+	o := mustAssemble(t, `
+A .EQU (1 << 4) | 3
+B .EQU ~0 & 0xff
+C .EQU (10 + 2) * 3 - 4 / 2
+D .EQU 7 % 3
+E .EQU 0xff ^ 0x0f
+_main:
+    LOAD d0, A
+    LOAD d1, B
+    LOAD d2, C
+    LOAD d3, D
+    LOAD d4, E
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	want := []int32{19, 255, 34, 1, 0xf0}
+	for i, w := range want {
+		if insts[i].Imm != w {
+			t.Errorf("expr %d = %d, want %d", i, insts[i].Imm, w)
+		}
+	}
+}
+
+func TestDefinesSubstituteInOperands(t *testing.T) {
+	// .DEFINE of a register alias inside a macro body and operands.
+	o := mustAssemble(t, `
+.DEFINE ResultReg d15
+.DEFINE MBOX 0x80000000
+_main:
+    LOAD ResultReg, 0x600D
+    STORE [MBOX], ResultReg
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	if insts[0].Rd != isa.D(15) {
+		t.Errorf("alias register: %v", insts[0].Rd)
+	}
+	if insts[1].Op != isa.OpStWX || uint32(insts[1].Imm) != 0x80000000 {
+		t.Errorf("alias address: %+v", insts[1])
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	o := mustAssemble(t, `
+;; double comment
+; single comment
+_main: ; trailing
+    NOP ;; trailing double
+    HALT
+`, Options{})
+	if len(decodeAll(t, o)) != 2 {
+		t.Error("comments altered parsing")
+	}
+}

@@ -1,0 +1,305 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an assembler expression AST node.
+type Expr interface {
+	pos() (string, int)
+}
+
+type numExpr struct {
+	val  int64
+	file string
+	line int
+}
+
+type symExpr struct {
+	name string
+	file string
+	line int
+}
+
+type unExpr struct {
+	op   string
+	x    Expr
+	file string
+	line int
+}
+
+type binExpr struct {
+	op   string
+	x, y Expr
+	file string
+	line int
+}
+
+func (e *numExpr) pos() (string, int) { return e.file, e.line }
+func (e *symExpr) pos() (string, int) { return e.file, e.line }
+func (e *unExpr) pos() (string, int)  { return e.file, e.line }
+func (e *binExpr) pos() (string, int) { return e.file, e.line }
+
+// Value is the result of evaluating an expression: either an absolute
+// constant, or a single relocatable symbol plus a constant addend.
+type Value struct {
+	Const bool
+	Val   int64  // constant value, or addend when Sym != ""
+	Sym   string // relocation symbol, empty for constants
+}
+
+// IsZero reports whether the value is the constant 0.
+func (v Value) IsZero() bool { return v.Const && v.Val == 0 }
+
+// SymResolver supplies symbol values during evaluation. For an
+// assembly-time constant it returns a Const Value; for a label or unknown
+// (external) symbol it returns a relocatable Value naming the symbol the
+// linker should resolve; EQU chains are followed inside the resolver.
+type SymResolver interface {
+	ResolveSym(name string) (Value, error)
+}
+
+// exprParser parses an expression from a token stream.
+type exprParser struct {
+	toks []Token
+	i    int
+	file string
+	line int
+}
+
+// parseExpr parses an expression starting at toks[i], returning the AST
+// and the index of the first unconsumed token. A leading '#' (immediate
+// marker) is permitted and skipped.
+func parseExpr(toks []Token, i int, file string, line int) (Expr, int, error) {
+	p := &exprParser{toks: toks, i: i, file: file, line: line}
+	if p.peekPunct("#") {
+		p.i++
+	}
+	e, err := p.parseBinary(0)
+	if err != nil {
+		return nil, p.i, err
+	}
+	return e, p.i, nil
+}
+
+func (p *exprParser) peek() (Token, bool) {
+	if p.i < len(p.toks) {
+		return p.toks[p.i], true
+	}
+	return Token{}, false
+}
+
+func (p *exprParser) peekPunct(s string) bool {
+	t, ok := p.peek()
+	return ok && t.IsPunct(s)
+}
+
+// Binary operator precedence (higher binds tighter).
+var binPrec = map[string]int{
+	"|":  1,
+	"^":  2,
+	"&":  3,
+	"<<": 4, ">>": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *exprParser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, isOp := binPrec[t.Text]
+		if !isOp || prec < minPrec {
+			return lhs, nil
+		}
+		p.i++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: t.Text, x: lhs, y: rhs, file: t.File, line: t.Line}
+	}
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, errAt(p.file, p.line, "expected expression, found end of line")
+	}
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "~", "+":
+			p.i++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "+" {
+				return x, nil
+			}
+			return &unExpr{op: t.Text, x: x, file: t.File, line: t.Line}, nil
+		case "(":
+			p.i++
+			x, err := p.parseBinary(0)
+			if err != nil {
+				return nil, err
+			}
+			close, ok := p.peek()
+			if !ok || !close.IsPunct(")") {
+				return nil, errAt(t.File, t.Line, "missing ')' in expression")
+			}
+			p.i++
+			return x, nil
+		}
+	}
+	switch t.Kind {
+	case TokNumber:
+		p.i++
+		return &numExpr{val: t.Val, file: t.File, line: t.Line}, nil
+	case TokIdent:
+		p.i++
+		return &symExpr{name: t.Text, file: t.File, line: t.Line}, nil
+	}
+	return nil, errAt(t.File, t.Line, "expected expression, found %s", t)
+}
+
+// evalDepthLimit bounds recursive EQU chains.
+const evalDepthLimit = 64
+
+// Eval evaluates an expression against a resolver. Relocatable symbols may
+// appear only in sym, sym+const, const+sym, or sym-const shapes; anything
+// else involving a relocatable symbol is an error (the object format
+// cannot express it).
+func Eval(e Expr, r SymResolver) (Value, error) {
+	return eval(e, r, 0)
+}
+
+func eval(e Expr, r SymResolver, depth int) (Value, error) {
+	if depth > evalDepthLimit {
+		f, l := e.pos()
+		return Value{}, errAt(f, l, "expression nesting too deep (circular EQU?)")
+	}
+	switch n := e.(type) {
+	case *numExpr:
+		return Value{Const: true, Val: n.val}, nil
+	case *symExpr:
+		v, err := r.ResolveSym(n.name)
+		if err != nil {
+			return Value{}, errAt(n.file, n.line, "%s", err)
+		}
+		return v, nil
+	case *unExpr:
+		x, err := eval(n.x, r, depth+1)
+		if err != nil {
+			return Value{}, err
+		}
+		if !x.Const {
+			return Value{}, errAt(n.file, n.line, "unary %q applied to relocatable symbol %q", n.op, x.Sym)
+		}
+		switch n.op {
+		case "-":
+			return Value{Const: true, Val: -x.Val}, nil
+		case "~":
+			return Value{Const: true, Val: int64(^uint32(uint64(x.Val)))}, nil
+		}
+		return Value{}, errAt(n.file, n.line, "unknown unary operator %q", n.op)
+	case *binExpr:
+		x, err := eval(n.x, r, depth+1)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := eval(n.y, r, depth+1)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Const && y.Const {
+			v, err := foldConst(n, x.Val, y.Val)
+			if err != nil {
+				return Value{}, err
+			}
+			return Value{Const: true, Val: v}, nil
+		}
+		// Relocatable arithmetic: only sym±const and const+sym.
+		switch {
+		case n.op == "+" && !x.Const && y.Const:
+			return Value{Sym: x.Sym, Val: x.Val + y.Val}, nil
+		case n.op == "+" && x.Const && !y.Const:
+			return Value{Sym: y.Sym, Val: y.Val + x.Val}, nil
+		case n.op == "-" && !x.Const && y.Const:
+			return Value{Sym: x.Sym, Val: x.Val - y.Val}, nil
+		}
+		return Value{}, errAt(n.file, n.line,
+			"operator %q not supported on relocatable symbols", n.op)
+	}
+	return Value{}, fmt.Errorf("asm: unknown expression node %T", e)
+}
+
+func foldConst(n *binExpr, a, b int64) (int64, error) {
+	switch n.op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, errAt(n.file, n.line, "division by zero in constant expression")
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return 0, errAt(n.file, n.line, "modulo by zero in constant expression")
+		}
+		return a % b, nil
+	case "<<":
+		if b < 0 || b > 63 {
+			return 0, errAt(n.file, n.line, "shift count %d out of range", b)
+		}
+		return int64(uint32(uint64(a)) << uint(b)), nil
+	case ">>":
+		if b < 0 || b > 63 {
+			return 0, errAt(n.file, n.line, "shift count %d out of range", b)
+		}
+		return int64(uint32(uint64(a)) >> uint(b)), nil
+	case "&":
+		return a & b, nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	}
+	return 0, errAt(n.file, n.line, "unknown operator %q", n.op)
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr) {
+	switch n := e.(type) {
+	case *numExpr:
+		fmt.Fprintf(sb, "%d", n.val)
+	case *symExpr:
+		sb.WriteString(n.name)
+	case *unExpr:
+		sb.WriteString(n.op)
+		writeExpr(sb, n.x)
+	case *binExpr:
+		sb.WriteByte('(')
+		writeExpr(sb, n.x)
+		sb.WriteString(n.op)
+		writeExpr(sb, n.y)
+		sb.WriteByte(')')
+	}
+}

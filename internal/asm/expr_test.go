@@ -1,0 +1,186 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// constRes resolves no symbols: everything unknown stays relocatable.
+type mapRes map[string]Value
+
+func (m mapRes) ResolveSym(name string) (Value, error) {
+	if v, ok := m[name]; ok {
+		return v, nil
+	}
+	return Value{Sym: name}, nil
+}
+
+func evalStr(t *testing.T, src string, res SymResolver) (Value, error) {
+	t.Helper()
+	toks, err := lexLine("e", 1, src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	e, next, err := parseExpr(toks, 0, "e", 1)
+	if err != nil {
+		return Value{}, err
+	}
+	if next != len(toks) {
+		t.Fatalf("trailing tokens in %q", src)
+	}
+	return Eval(e, res)
+}
+
+func TestExprPrecedenceTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"1 << 2 + 3", 1 << (2 + 3)}, // C-style: + binds tighter than <<
+		{"6 / 2 / 3", 1},
+		{"10 - 3 - 2", 5},
+		{"1 | 2 ^ 3 & 2", 1 | (2 ^ (3 & 2))},
+		{"~0 & 0xF", 15},
+		{"-4 + 10", 6},
+		{"2 * -3", -6},
+		{"'A' + 1", 66},
+		{"0b1010 | 0x5", 15},
+	}
+	for _, c := range cases {
+		v, err := evalStr(t, c.src, mapRes{})
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if !v.Const || v.Val != c.want {
+			t.Errorf("%q = %+v, want %d", c.src, v, c.want)
+		}
+	}
+}
+
+func TestExprShiftPrecedence(t *testing.T) {
+	// C-style precedence: addition binds tighter than shifts, so the
+	// shift count is the whole sum (documents binPrec).
+	v, err := evalStr(t, "1 << 2 + 3", mapRes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Val != 1<<(2+3) {
+		t.Errorf("1 << 2 + 3 = %d, want %d", v.Val, 1<<(2+3))
+	}
+}
+
+func TestRelocatableShapes(t *testing.T) {
+	res := mapRes{"K": {Const: true, Val: 4}}
+	ok := []struct {
+		src    string
+		sym    string
+		addend int64
+	}{
+		{"label", "label", 0},
+		{"label + 8", "label", 8},
+		{"8 + label", "label", 8},
+		{"label - 4", "label", -4},
+		{"label + K", "label", 4},
+	}
+	for _, c := range ok {
+		v, err := evalStr(t, c.src, res)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if v.Const || v.Sym != c.sym || v.Val != c.addend {
+			t.Errorf("%q = %+v", c.src, v)
+		}
+	}
+	bad := []string{
+		"label * 2", "label + other", "4 - label", "label << 1",
+		"-label", "~label", "label & 1",
+	}
+	for _, src := range bad {
+		if _, err := evalStr(t, src, res); err == nil {
+			t.Errorf("%q should be rejected", src)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 / 0", "division by zero"},
+		{"1 % 0", "modulo by zero"},
+		{"1 << 64", "shift count"},
+		{"(1 + 2", "missing ')'"},
+		{"+", "expected expression"},
+	}
+	for _, c := range cases {
+		_, err := evalStr(t, c.src, mapRes{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestExprRandomisedAgainstGo builds random expression trees, renders
+// them, and checks the evaluator against a direct Go computation with the
+// same 32-bit wrapping rules.
+func TestExprRandomisedAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var build func(depth int) (string, int64)
+	build = func(depth int) (string, int64) {
+		if depth == 0 || rng.Intn(3) == 0 {
+			v := int64(rng.Intn(1000))
+			return strings.TrimSpace(strings.Join([]string{" ", itoa(v)}, "")), v
+		}
+		ls, lv := build(depth - 1)
+		rs, rv := build(depth - 1)
+		switch rng.Intn(5) {
+		case 0:
+			return "(" + ls + "+" + rs + ")", lv + rv
+		case 1:
+			return "(" + ls + "-" + rs + ")", lv - rv
+		case 2:
+			return "(" + ls + "*" + rs + ")", lv * rv
+		case 3:
+			return "(" + ls + "&" + rs + ")", lv & rv
+		default:
+			return "(" + ls + "|" + rs + ")", lv | rv
+		}
+	}
+	for i := 0; i < 300; i++ {
+		src, want := build(4)
+		v, err := evalStr(t, src, mapRes{})
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if v.Val != want {
+			t.Fatalf("%q = %d, want %d", src, v.Val, want)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestExprStringRendering(t *testing.T) {
+	toks, _ := lexLine("e", 1, "(a + 2) * b")
+	e, _, err := parseExpr(toks, 0, "e", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exprString(e)
+	if !strings.Contains(got, "a") || !strings.Contains(got, "*") {
+		t.Errorf("exprString = %q", got)
+	}
+}

@@ -1,0 +1,513 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// instPlan is one machine instruction planned during pass 1 and encoded in
+// pass 2.
+type instPlan struct {
+	op         isa.Opcode
+	rd, rs, rt isa.Reg
+	imm        Expr // immediate / extension-word expression
+	immVal     int64
+	immFixed   bool // immVal is used instead of imm
+	pos, width Expr // bitfield geometry (must be constant by pass 2)
+	branch     bool // imm is a branch target
+}
+
+// operand is a parsed instruction operand.
+type operand struct {
+	isReg  bool
+	reg    isa.Reg
+	isMem  bool
+	base   isa.Reg
+	hasBas bool
+	disp   Expr // nil means 0 / absolute address in expr
+	expr   Expr // non-register, non-memory expression; or absolute memory address
+}
+
+// parseOperands splits and classifies the operand list.
+func (u *unit) parseOperands(ln Line, toks []Token) ([]operand, error) {
+	var out []operand
+	for _, arg := range splitArgs(toks) {
+		if len(arg) == 0 {
+			return nil, errAt(ln.File, ln.Num, "empty operand")
+		}
+		op, err := u.parseOperand(ln, arg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+func (u *unit) parseOperand(ln Line, toks []Token) (operand, error) {
+	// Register.
+	if len(toks) == 1 && toks[0].Kind == TokIdent {
+		if r, ok := isa.ParseReg(toks[0].Text); ok {
+			return operand{isReg: true, reg: r}, nil
+		}
+	}
+	// Memory: [reg], [reg+expr], [reg-expr], [expr].
+	if toks[0].IsPunct("[") {
+		if !toks[len(toks)-1].IsPunct("]") {
+			return operand{}, errAt(ln.File, ln.Num, "missing ']' in memory operand")
+		}
+		inner := toks[1 : len(toks)-1]
+		if len(inner) == 0 {
+			return operand{}, errAt(ln.File, ln.Num, "empty memory operand")
+		}
+		if inner[0].Kind == TokIdent {
+			if r, ok := isa.ParseReg(inner[0].Text); ok {
+				o := operand{isMem: true, base: r, hasBas: true}
+				if len(inner) == 1 {
+					return o, nil
+				}
+				// Require +/- then an expression.
+				if !inner[1].IsPunct("+") && !inner[1].IsPunct("-") {
+					return operand{}, errAt(ln.File, ln.Num, "expected '+' or '-' after base register")
+				}
+				e, next, err := parseExpr(inner[1:], 0, ln.File, ln.Num)
+				if err != nil {
+					return operand{}, err
+				}
+				if next != len(inner[1:]) {
+					return operand{}, errAt(ln.File, ln.Num, "trailing tokens in memory operand")
+				}
+				o.disp = e
+				return o, nil
+			}
+		}
+		e, next, err := parseExpr(inner, 0, ln.File, ln.Num)
+		if err != nil {
+			return operand{}, err
+		}
+		if next != len(inner) {
+			return operand{}, errAt(ln.File, ln.Num, "trailing tokens in memory operand")
+		}
+		return operand{isMem: true, expr: e}, nil
+	}
+	// Expression.
+	e, next, err := parseExpr(toks, 0, ln.File, ln.Num)
+	if err != nil {
+		return operand{}, err
+	}
+	if next != len(toks) {
+		return operand{}, errAt(ln.File, ln.Num, "trailing tokens in operand")
+	}
+	return operand{expr: e}, nil
+}
+
+func (o operand) isExpr() bool { return !o.isReg && !o.isMem }
+
+// selectInst translates a mnemonic line into one or more instruction
+// plans (pseudo-instructions expand to several).
+func (u *unit) selectInst(ln Line, toks []Token) ([]instPlan, error) {
+	mn := strings.ToUpper(toks[0].Text)
+	ops, err := u.parseOperands(ln, toks[1:])
+	if err != nil {
+		return nil, err
+	}
+	bad := func(format string, args ...interface{}) ([]instPlan, error) {
+		return nil, errAt(ln.File, ln.Num, format, args...)
+	}
+	one := func(p instPlan) ([]instPlan, error) { return []instPlan{p}, nil }
+
+	needRegs := func(n int) bool {
+		if len(ops) < n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !ops[i].isReg {
+				return false
+			}
+		}
+		return true
+	}
+
+	switch mn {
+	case "NOP":
+		return one(instPlan{op: isa.OpNop})
+	case "HALT":
+		p := instPlan{op: isa.OpHalt}
+		switch len(ops) {
+		case 0:
+		case 1:
+			if !ops[0].isExpr() {
+				return bad("HALT takes an optional halt code")
+			}
+			p.imm = ops[0].expr
+		default:
+			return bad("HALT takes at most one operand")
+		}
+		return one(p)
+	case "DEBUG":
+		return one(instPlan{op: isa.OpDebug})
+	case "RET", "RETURN":
+		if len(ops) != 0 {
+			return bad("%s takes no operands", mn)
+		}
+		return one(instPlan{op: isa.OpRet})
+	case "RFE":
+		return one(instPlan{op: isa.OpRfe})
+
+	case "LOAD", "MOVE", "MOV":
+		return u.selectLoad(ln, mn, ops)
+	case "STORE":
+		return u.selectStore(ln, ops)
+
+	case "LEA":
+		if len(ops) != 2 || !ops[0].isReg || !ops[0].reg.IsAddr() || !ops[1].isExpr() {
+			return bad("LEA expects: LEA aN, expression")
+		}
+		return one(instPlan{op: isa.OpLea, rd: ops[0].reg, imm: ops[1].expr})
+	case "LEAO":
+		if len(ops) != 3 || !needRegs(2) || !ops[0].reg.IsAddr() || !ops[1].reg.IsAddr() || !ops[2].isExpr() {
+			return bad("LEAO expects: LEAO aN, aM, offset")
+		}
+		return one(instPlan{op: isa.OpLeaO, rd: ops[0].reg, rs: ops[1].reg, imm: ops[2].expr})
+
+	case "LDW", "LDH", "LDHU", "LDB", "LDBU", "LDA":
+		opcode := map[string]isa.Opcode{
+			"LDW": isa.OpLdW, "LDH": isa.OpLdH, "LDHU": isa.OpLdHU,
+			"LDB": isa.OpLdB, "LDBU": isa.OpLdBU, "LDA": isa.OpLdA,
+		}[mn]
+		if len(ops) != 2 || !ops[0].isReg || !ops[1].isMem {
+			return bad("%s expects: %s reg, [aN+off]", mn, mn)
+		}
+		if mn == "LDA" && !ops[0].reg.IsAddr() {
+			return bad("LDA destination must be an address register")
+		}
+		if mn != "LDA" && !ops[0].reg.IsData() {
+			return bad("%s destination must be a data register", mn)
+		}
+		if !ops[1].hasBas {
+			if mn == "LDW" {
+				return one(instPlan{op: isa.OpLdWX, rd: ops[0].reg, imm: ops[1].expr})
+			}
+			return bad("%s requires a base register (absolute addressing is word-only)", mn)
+		}
+		return one(instPlan{op: opcode, rd: ops[0].reg, rs: ops[1].base, imm: dispExpr(ops[1])})
+	case "STW", "STH", "STB", "STA":
+		opcode := map[string]isa.Opcode{
+			"STW": isa.OpStW, "STH": isa.OpStH, "STB": isa.OpStB, "STA": isa.OpStA,
+		}[mn]
+		if len(ops) != 2 || !ops[0].isMem || !ops[1].isReg {
+			return bad("%s expects: %s [aN+off], reg", mn, mn)
+		}
+		if mn == "STA" && !ops[1].reg.IsAddr() {
+			return bad("STA source must be an address register")
+		}
+		if mn != "STA" && !ops[1].reg.IsData() {
+			return bad("%s source must be a data register", mn)
+		}
+		if !ops[0].hasBas {
+			if mn == "STW" {
+				return one(instPlan{op: isa.OpStWX, rd: ops[1].reg, imm: ops[0].expr})
+			}
+			return bad("%s requires a base register (absolute addressing is word-only)", mn)
+		}
+		return one(instPlan{op: opcode, rd: ops[1].reg, rs: ops[0].base, imm: dispExpr(ops[0])})
+	case "LDWX":
+		if len(ops) != 2 || !ops[0].isReg || !ops[0].reg.IsData() || !ops[1].isMem || ops[1].hasBas {
+			return bad("LDWX expects: LDWX dN, [address]")
+		}
+		return one(instPlan{op: isa.OpLdWX, rd: ops[0].reg, imm: ops[1].expr})
+	case "STWX":
+		if len(ops) != 2 || !ops[0].isMem || ops[0].hasBas || !ops[1].isReg || !ops[1].reg.IsData() {
+			return bad("STWX expects: STWX [address], dN")
+		}
+		return one(instPlan{op: isa.OpStWX, rd: ops[1].reg, imm: ops[0].expr})
+
+	case "ADD", "SUB", "AND", "OR", "XOR", "SHL", "SHR", "SAR", "MUL", "DIV", "REM":
+		return u.selectALU(ln, mn, ops)
+	case "CMP":
+		if len(ops) != 2 || !ops[0].isReg || !ops[0].reg.IsData() {
+			return bad("CMP expects: CMP dN, dM|imm")
+		}
+		if ops[1].isReg {
+			if !ops[1].reg.IsData() {
+				return bad("CMP operands must be data registers")
+			}
+			return one(instPlan{op: isa.OpCmp, rs: ops[0].reg, rt: ops[1].reg})
+		}
+		if !ops[1].isExpr() {
+			return bad("CMP second operand must be a register or immediate")
+		}
+		return one(instPlan{op: isa.OpCmpI, rs: ops[0].reg, imm: ops[1].expr})
+
+	case "INSERT":
+		if len(ops) != 5 || !ops[0].isReg || !ops[1].isReg ||
+			!ops[0].reg.IsData() || !ops[1].reg.IsData() ||
+			!ops[3].isExpr() || !ops[4].isExpr() {
+			return bad("INSERT expects: INSERT dN, dM, value, pos, width")
+		}
+		p := instPlan{rd: ops[0].reg, rs: ops[1].reg, pos: ops[3].expr, width: ops[4].expr}
+		switch {
+		case ops[2].isReg && ops[2].reg.IsData():
+			p.op = isa.OpInsert
+			p.rt = ops[2].reg
+		case ops[2].isExpr():
+			p.op = isa.OpInsertX
+			p.imm = ops[2].expr
+		default:
+			return bad("INSERT value must be a data register or an immediate")
+		}
+		return one(p)
+	case "EXTRACT", "EXTRU", "EXTRS":
+		if len(ops) != 4 || !ops[0].isReg || !ops[1].isReg ||
+			!ops[0].reg.IsData() || !ops[1].reg.IsData() ||
+			!ops[2].isExpr() || !ops[3].isExpr() {
+			return bad("%s expects: %s dN, dM, pos, width", mn, mn)
+		}
+		op := isa.OpExtractU
+		if mn == "EXTRS" {
+			op = isa.OpExtractS
+		}
+		return one(instPlan{op: op, rd: ops[0].reg, rs: ops[1].reg, pos: ops[2].expr, width: ops[3].expr})
+
+	case "JMP":
+		if len(ops) != 1 {
+			return bad("JMP expects one operand")
+		}
+		if ops[0].isReg {
+			if !ops[0].reg.IsAddr() {
+				return bad("indirect JMP requires an address register")
+			}
+			return one(instPlan{op: isa.OpJI, rs: ops[0].reg})
+		}
+		if !ops[0].isExpr() {
+			return bad("JMP target must be a label or address register")
+		}
+		return one(instPlan{op: isa.OpJmp, imm: ops[0].expr})
+	case "JI":
+		if len(ops) != 1 || !ops[0].isReg || !ops[0].reg.IsAddr() {
+			return bad("JI expects an address register")
+		}
+		return one(instPlan{op: isa.OpJI, rs: ops[0].reg})
+	case "CALL":
+		if len(ops) != 1 {
+			return bad("CALL expects one operand")
+		}
+		if ops[0].isReg {
+			if !ops[0].reg.IsAddr() {
+				return bad("indirect CALL requires an address register")
+			}
+			return one(instPlan{op: isa.OpCallI, rs: ops[0].reg})
+		}
+		if !ops[0].isExpr() {
+			return bad("CALL target must be a label or address register")
+		}
+		return one(instPlan{op: isa.OpCall, imm: ops[0].expr})
+	case "CALLI":
+		if len(ops) != 1 || !ops[0].isReg || !ops[0].reg.IsAddr() {
+			return bad("CALLI expects an address register")
+		}
+		return one(instPlan{op: isa.OpCallI, rs: ops[0].reg})
+
+	case "BEQ", "BNE", "BLT", "BGE", "BLTU", "BGEU":
+		opcode := map[string]isa.Opcode{
+			"BEQ": isa.OpBeq, "BNE": isa.OpBne, "BLT": isa.OpBlt,
+			"BGE": isa.OpBge, "BLTU": isa.OpBltU, "BGEU": isa.OpBgeU,
+		}[mn]
+		if len(ops) != 3 || !needRegs(2) || !ops[0].reg.IsData() || !ops[1].reg.IsData() || !ops[2].isExpr() {
+			return bad("%s expects: %s dN, dM, label", mn, mn)
+		}
+		return one(instPlan{op: opcode, rd: ops[0].reg, rs: ops[1].reg, imm: ops[2].expr, branch: true})
+
+	case "TRAP":
+		if len(ops) != 1 || !ops[0].isExpr() {
+			return bad("TRAP expects a trap number")
+		}
+		return one(instPlan{op: isa.OpTrap, imm: ops[0].expr})
+	case "MFCR":
+		if len(ops) != 2 || !ops[0].isReg || !ops[0].reg.IsData() || !ops[1].isExpr() {
+			return bad("MFCR expects: MFCR dN, cr")
+		}
+		return one(instPlan{op: isa.OpMfcr, rd: ops[0].reg, imm: ops[1].expr})
+	case "MTCR":
+		if len(ops) != 2 || !ops[0].isExpr() || !ops[1].isReg || !ops[1].reg.IsData() {
+			return bad("MTCR expects: MTCR cr, dN")
+		}
+		return one(instPlan{op: isa.OpMtcr, rd: ops[1].reg, imm: ops[0].expr})
+
+	case "PUSH":
+		if len(ops) != 1 || !ops[0].isReg {
+			return bad("PUSH expects one register")
+		}
+		st := instPlan{rd: ops[0].reg, rs: isa.SP, immVal: 0, immFixed: true}
+		if ops[0].reg.IsAddr() {
+			st.op = isa.OpStA
+		} else {
+			st.op = isa.OpStW
+		}
+		return []instPlan{
+			{op: isa.OpLeaO, rd: isa.SP, rs: isa.SP, immVal: -4, immFixed: true},
+			st,
+		}, nil
+	case "POP":
+		if len(ops) != 1 || !ops[0].isReg {
+			return bad("POP expects one register")
+		}
+		ld := instPlan{rd: ops[0].reg, rs: isa.SP, immVal: 0, immFixed: true}
+		if ops[0].reg.IsAddr() {
+			ld.op = isa.OpLdA
+		} else {
+			ld.op = isa.OpLdW
+		}
+		return []instPlan{
+			ld,
+			{op: isa.OpLeaO, rd: isa.SP, rs: isa.SP, immVal: 4, immFixed: true},
+		}, nil
+	case "MOVA", "MOVAD", "MOVDA":
+		if len(ops) != 2 || !ops[0].isReg || !ops[1].isReg {
+			return bad("%s expects two registers", mn)
+		}
+		switch mn {
+		case "MOVA":
+			if !ops[0].reg.IsAddr() || !ops[1].reg.IsAddr() {
+				return bad("MOVA expects two address registers")
+			}
+			return one(instPlan{op: isa.OpMovA, rd: ops[0].reg, rs: ops[1].reg})
+		case "MOVAD":
+			if !ops[0].reg.IsAddr() || !ops[1].reg.IsData() {
+				return bad("MOVAD expects: MOVAD aN, dM")
+			}
+			return one(instPlan{op: isa.OpMovAD, rd: ops[0].reg, rs: ops[1].reg})
+		default: // MOVDA
+			if !ops[0].reg.IsData() || !ops[1].reg.IsAddr() {
+				return bad("MOVDA expects: MOVDA dN, aM")
+			}
+			return one(instPlan{op: isa.OpMovDA, rd: ops[0].reg, rs: ops[1].reg})
+		}
+	case "MOVI", "MOVHI", "MOVX":
+		opcode := map[string]isa.Opcode{"MOVI": isa.OpMovI, "MOVHI": isa.OpMovHI, "MOVX": isa.OpMovX}[mn]
+		if len(ops) != 2 || !ops[0].isReg || !ops[0].reg.IsData() || !ops[1].isExpr() {
+			return bad("%s expects: %s dN, imm", mn, mn)
+		}
+		return one(instPlan{op: opcode, rd: ops[0].reg, imm: ops[1].expr})
+	}
+	return bad("unknown mnemonic %q", toks[0].Text)
+}
+
+func dispExpr(o operand) Expr { return o.disp }
+
+// selectLoad implements the polymorphic LOAD/MOV of the paper's examples:
+// the destination register's bank and the source operand's shape choose
+// the machine instruction.
+func (u *unit) selectLoad(ln Line, mn string, ops []operand) ([]instPlan, error) {
+	bad := func(format string, args ...interface{}) ([]instPlan, error) {
+		return nil, errAt(ln.File, ln.Num, format, args...)
+	}
+	if len(ops) != 2 || !ops[0].isReg {
+		return bad("%s expects: %s reg, source", mn, mn)
+	}
+	dst, src := ops[0], ops[1]
+	one := func(p instPlan) ([]instPlan, error) { return []instPlan{p}, nil }
+	switch {
+	case dst.reg.IsData():
+		switch {
+		case src.isReg && src.reg.IsData():
+			return one(instPlan{op: isa.OpMov, rd: dst.reg, rs: src.reg})
+		case src.isReg && src.reg.IsAddr():
+			return one(instPlan{op: isa.OpMovDA, rd: dst.reg, rs: src.reg})
+		case src.isMem && src.hasBas:
+			return one(instPlan{op: isa.OpLdW, rd: dst.reg, rs: src.base, imm: src.disp})
+		case src.isMem:
+			return one(instPlan{op: isa.OpLdWX, rd: dst.reg, imm: src.expr})
+		default:
+			// Immediate: MOVI when the value is a small constant known
+			// now, MOVX otherwise. The decision is fixed in pass 1, so
+			// symbols defined later always use the long form.
+			if v, ok := u.evalConst(src.expr); ok && v >= -32768 && v <= 32767 {
+				return one(instPlan{op: isa.OpMovI, rd: dst.reg, imm: src.expr})
+			}
+			return one(instPlan{op: isa.OpMovX, rd: dst.reg, imm: src.expr})
+		}
+	case dst.reg.IsAddr():
+		switch {
+		case src.isReg && src.reg.IsAddr():
+			return one(instPlan{op: isa.OpMovA, rd: dst.reg, rs: src.reg})
+		case src.isReg && src.reg.IsData():
+			return one(instPlan{op: isa.OpMovAD, rd: dst.reg, rs: src.reg})
+		case src.isMem && src.hasBas:
+			return one(instPlan{op: isa.OpLdA, rd: dst.reg, rs: src.base, imm: src.disp})
+		case src.isMem:
+			return bad("%s to an address register from an absolute address is not supported", mn)
+		default:
+			// LOAD aN, label  =>  LEA (the paper's Figure 7 idiom).
+			return one(instPlan{op: isa.OpLea, rd: dst.reg, imm: src.expr})
+		}
+	}
+	return bad("%s destination must be a register", mn)
+}
+
+// selectStore implements the polymorphic STORE of the paper's examples.
+func (u *unit) selectStore(ln Line, ops []operand) ([]instPlan, error) {
+	bad := func(format string, args ...interface{}) ([]instPlan, error) {
+		return nil, errAt(ln.File, ln.Num, format, args...)
+	}
+	if len(ops) != 2 || !ops[0].isMem || !ops[1].isReg {
+		return bad("STORE expects: STORE [address], reg")
+	}
+	dst, src := ops[0], ops[1]
+	one := func(p instPlan) ([]instPlan, error) { return []instPlan{p}, nil }
+	switch {
+	case dst.hasBas && src.reg.IsData():
+		return one(instPlan{op: isa.OpStW, rd: src.reg, rs: dst.base, imm: dst.disp})
+	case dst.hasBas && src.reg.IsAddr():
+		return one(instPlan{op: isa.OpStA, rd: src.reg, rs: dst.base, imm: dst.disp})
+	case !dst.hasBas && src.reg.IsData():
+		return one(instPlan{op: isa.OpStWX, rd: src.reg, imm: dst.expr})
+	default:
+		return bad("STORE of an address register requires a base register")
+	}
+}
+
+// selectALU handles three- and two-operand ALU forms with register or
+// immediate final operands.
+func (u *unit) selectALU(ln Line, mn string, ops []operand) ([]instPlan, error) {
+	bad := func(format string, args ...interface{}) ([]instPlan, error) {
+		return nil, errAt(ln.File, ln.Num, format, args...)
+	}
+	regOp := map[string]isa.Opcode{
+		"ADD": isa.OpAdd, "SUB": isa.OpSub, "AND": isa.OpAnd, "OR": isa.OpOr,
+		"XOR": isa.OpXor, "SHL": isa.OpShl, "SHR": isa.OpShr, "SAR": isa.OpSar,
+		"MUL": isa.OpMul, "DIV": isa.OpDiv, "REM": isa.OpRem,
+	}[mn]
+	immOp, hasImm := map[string]isa.Opcode{
+		"ADD": isa.OpAddI, "AND": isa.OpAndI, "OR": isa.OpOrI, "XOR": isa.OpXorI,
+		"SHL": isa.OpShlI, "SHR": isa.OpShrI, "SAR": isa.OpSarI, "MUL": isa.OpMulI,
+	}[mn]
+
+	// Two-operand form: OP rd, x  ==  OP rd, rd, x.
+	if len(ops) == 2 {
+		ops = []operand{ops[0], ops[0], ops[1]}
+	}
+	if len(ops) != 3 || !ops[0].isReg || !ops[1].isReg ||
+		!ops[0].reg.IsData() || !ops[1].reg.IsData() {
+		return bad("%s expects: %s dN, dM, dK|imm", mn, mn)
+	}
+	last := ops[2]
+	switch {
+	case last.isReg && last.reg.IsData():
+		return []instPlan{{op: regOp, rd: ops[0].reg, rs: ops[1].reg, rt: last.reg}}, nil
+	case last.isExpr():
+		if mn == "SUB" {
+			// SUB imm is ADD of the negated immediate.
+			f, l := last.expr.pos()
+			neg := &unExpr{op: "-", x: last.expr, file: f, line: l}
+			return []instPlan{{op: isa.OpAddI, rd: ops[0].reg, rs: ops[1].reg, imm: neg}}, nil
+		}
+		if !hasImm {
+			return bad("%s has no immediate form", mn)
+		}
+		return []instPlan{{op: immOp, rd: ops[0].reg, rs: ops[1].reg, imm: last.expr}}, nil
+	default:
+		return bad("%s last operand must be a data register or immediate", mn)
+	}
+}

@@ -1,0 +1,196 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+func TestExplicitMoveForms(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    MOVA a1, a2
+    MOVAD a3, d4
+    MOVDA d5, a6
+    MOVI d0, -7
+    MOVHI d1, 0x1234
+    MOVX d2, 0x89ABCDEF
+    LOAD a7, a8
+    LOAD d9, a7
+    LOAD a7, d9
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	want := []isa.Opcode{
+		isa.OpMovA, isa.OpMovAD, isa.OpMovDA, isa.OpMovI, isa.OpMovHI,
+		isa.OpMovX, isa.OpMovA, isa.OpMovDA, isa.OpMovAD, isa.OpHalt,
+	}
+	for i, op := range want {
+		if insts[i].Op != op {
+			t.Errorf("inst %d = %s, want %s", i, insts[i].Op, op)
+		}
+	}
+	if uint32(insts[5].Imm) != 0x89ABCDEF {
+		t.Errorf("MOVX imm = %#x", uint32(insts[5].Imm))
+	}
+}
+
+func TestExplicitLdStForms(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    LDWX d1, [0x20000000]
+    STWX [0x20000004], d2
+    LDHU d3, [a0+2]
+    LDBU d4, [a0+1]
+    HALT
+`, Options{})
+	insts := decodeAll(t, o)
+	want := []isa.Opcode{isa.OpLdWX, isa.OpStWX, isa.OpLdHU, isa.OpLdBU, isa.OpHalt}
+	for i, op := range want {
+		if insts[i].Op != op {
+			t.Errorf("inst %d = %s, want %s", i, insts[i].Op, op)
+		}
+	}
+}
+
+func TestJmpCallIndirectForms(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    JMP a5
+    JI a6
+    CALLI a7
+    LEAO a1, a2, -8
+    EXTRACT d1, d2, 3, 4
+    HALT 0x1F
+`, Options{})
+	insts := decodeAll(t, o)
+	want := []isa.Opcode{isa.OpJI, isa.OpJI, isa.OpCallI, isa.OpLeaO, isa.OpExtractU, isa.OpHalt}
+	for i, op := range want {
+		if insts[i].Op != op {
+			t.Errorf("inst %d = %s, want %s", i, insts[i].Op, op)
+		}
+	}
+	if insts[3].Imm != -8 {
+		t.Errorf("LEAO imm = %d", insts[3].Imm)
+	}
+	if insts[5].Imm != 0x1F {
+		t.Errorf("HALT code = %d", insts[5].Imm)
+	}
+}
+
+func TestMoreSelectionErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"mova banks", "_main:\n MOVA a0, d1\n HALT\n", "two address registers"},
+		{"movad banks", "_main:\n MOVAD d0, d1\n HALT\n", "MOVAD expects"},
+		{"movda banks", "_main:\n MOVDA a0, a1\n HALT\n", "MOVDA expects"},
+		{"lea dest", "_main:\n LEA d0, 4\n HALT\n", "LEA expects"},
+		{"leao operands", "_main:\n LEAO a0, d1, 4\n HALT\n", "LEAO expects"},
+		{"ldwx base", "_main:\n LDWX d0, [a0+4]\n HALT\n", "LDWX expects"},
+		{"stwx base", "_main:\n STWX [a0+4], d0\n HALT\n", "STWX expects"},
+		{"lda bank", "_main:\n LDA d0, [a0]\n HALT\n", "address register"},
+		{"sta bank", "_main:\n STA [a0], d0\n HALT\n", "address register"},
+		{"ldb abs", "_main:\n LDB d0, [0x2000]\n HALT\n", "base register"},
+		{"stb abs", "_main:\n STB [0x2000], d0\n HALT\n", "base register"},
+		{"store addr abs", "_main:\n STORE [0x2000], a1\n HALT\n", "base register"},
+		{"cmp banks", "_main:\n CMP a0, a1\n HALT\n", "CMP expects"},
+		{"insert value", "_main:\n INSERT d0, d1, a2, 0, 4\n HALT\n", "data register or an immediate"},
+		{"jmp operand", "_main:\n JMP [a0]\n HALT\n", "label or address register"},
+		{"call operand", "_main:\n CALL d0\n HALT\n", "address register"},
+		{"push count", "_main:\n PUSH d0, d1\n HALT\n", "PUSH expects"},
+		{"mtcr order", "_main:\n MTCR d0, 1\n HALT\n", "MTCR expects"},
+		{"trap range", "_main:\n TRAP 300\n HALT\n", "out of range"},
+		{"halt extra", "_main:\n HALT 1, 2\n HALT\n", "at most one"},
+		{"ret operands", "_main:\n RET d0\n HALT\n", "takes no operands"},
+		{"empty operand", "_main:\n ADD d0, , d1\n HALT\n", "empty operand"},
+		{"bad mem close", "_main:\n LOAD d0, [a0\n HALT\n", "missing ']'"},
+		{"mem op junk", "_main:\n LOAD d0, [a0*2]\n HALT\n", "'+' or '-'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t.asm", c.src, Options{})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDirectivesAcceptedAndIgnored(t *testing.T) {
+	o := mustAssemble(t, `
+.GLOBAL _main
+.EXTERN elsewhere
+.ENTRY _main
+_main:
+    HALT
+`, Options{})
+	if len(decodeAll(t, o)) != 1 {
+		t.Error("compat directives altered code")
+	}
+}
+
+func TestAlignInText(t *testing.T) {
+	o := mustAssemble(t, `
+_main:
+    NOP
+.ALIGN 16
+aligned:
+    HALT
+`, Options{})
+	var off uint32
+	for _, s := range o.Symbols {
+		if s.Name == "aligned" {
+			off = s.Off
+		}
+	}
+	if off != 16 {
+		t.Errorf("aligned label at %d, want 16", off)
+	}
+	if len(o.Text) != 20 {
+		t.Errorf("text size = %d", len(o.Text))
+	}
+}
+
+func TestBranchOutOfRangeLocal(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("_main:\n BEQ d0, d1, far\n")
+	for i := 0; i < 33000; i++ {
+		sb.WriteString(" NOP\n")
+	}
+	sb.WriteString("far:\n HALT\n")
+	_, err := Assemble("t.asm", sb.String(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected local branch range error, got %v", err)
+	}
+}
+
+func TestDataInDataSectionOnly(t *testing.T) {
+	_, err := Assemble("t.asm", ".SECTION bss\n.WORD 1\n_main:\n HALT\n", Options{})
+	if err == nil || !strings.Contains(err.Error(), "not allowed in") {
+		t.Errorf("expected bss data error, got %v", err)
+	}
+	_, err = Assemble("t.asm", ".SECTION wibble\n_main:\n HALT\n", Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown section") {
+		t.Errorf("expected unknown section error, got %v", err)
+	}
+}
+
+func TestWordRelocInTextSection(t *testing.T) {
+	// Vector tables in ROM: .WORD with label relocations in text.
+	o := mustAssemble(t, `
+_main:
+    HALT
+table:
+    .WORD _main, ext_handler
+`, Options{})
+	textRelocs := 0
+	for _, r := range o.Relocs {
+		if r.Section == obj.SecText && r.Kind == obj.RelAbs32 {
+			textRelocs++
+		}
+	}
+	if textRelocs != 2 {
+		t.Errorf("text .WORD relocs = %d, want 2", textRelocs)
+	}
+}

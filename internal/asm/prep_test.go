@@ -1,0 +1,213 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func firstImm(t *testing.T, src string, opts Options) int32 {
+	t.Helper()
+	o := mustAssemble(t, src, opts)
+	w := binary.LittleEndian.Uint32(o.Text)
+	in, size, ok := isa.Decode([]uint32{w, wordAt(o.Text, 4)})
+	if !ok {
+		t.Fatalf("bad first instruction")
+	}
+	_ = size
+	return in.Imm
+}
+
+func wordAt(b []byte, off int) uint32 {
+	if off+4 > len(b) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[off:])
+}
+
+func TestNestedIncludes(t *testing.T) {
+	fs := MapFS{
+		"a.inc": ".INCLUDE \"b.inc\"\nA .EQU B + 1\n",
+		"b.inc": ".INCLUDE \"c.inc\"\nB .EQU C * 2\n",
+		"c.inc": "C .EQU 10\n",
+	}
+	got := firstImm(t, ".INCLUDE \"a.inc\"\n_main:\n LOAD d0, A\n HALT\n", Options{Resolver: fs})
+	if got != 21 {
+		t.Errorf("nested include value = %d", got)
+	}
+}
+
+func TestIncludeCycleDetected(t *testing.T) {
+	fs := MapFS{
+		"x.inc": ".INCLUDE \"y.inc\"\n",
+		"y.inc": ".INCLUDE \"x.inc\"\n",
+	}
+	_, err := Assemble("t.asm", ".INCLUDE \"x.inc\"\n_main:\n HALT\n", Options{Resolver: fs})
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("expected include depth error, got %v", err)
+	}
+}
+
+func TestIncludeGuardIdiom(t *testing.T) {
+	// The generated Globals.inc guard pattern must make double inclusion
+	// harmless.
+	fs := MapFS{"g.inc": `.IFNDEF G_INC
+.DEFINE G_INC
+VAL .EQU 7
+.ENDIF
+`}
+	src := ".INCLUDE \"g.inc\"\n.INCLUDE \"g.inc\"\n_main:\n LOAD d0, VAL\n HALT\n"
+	if got := firstImm(t, src, Options{Resolver: fs}); got != 7 {
+		t.Errorf("guarded double include: %d", got)
+	}
+}
+
+func TestDefineChains(t *testing.T) {
+	src := `
+.DEFINE ONE 1
+.DEFINE TWO ONE + ONE
+.DEFINE FOUR TWO * TWO
+_main:
+    LOAD d0, FOUR
+    HALT
+`
+	// Token substitution: FOUR -> TWO*TWO -> (1+1)*(1+1). Without
+	// parentheses in the define, precedence gives 1 + (1*1) + 1 = 3 —
+	// the classic macro pitfall, faithfully reproduced.
+	if got := firstImm(t, src, Options{}); got != 3 {
+		t.Errorf("define chain = %d (expected textual-substitution semantics)", got)
+	}
+}
+
+func TestSelfReferentialDefineRejected(t *testing.T) {
+	_, err := Assemble("t.asm", ".DEFINE X X\n_main:\n LOAD d0, X\n HALT\n", Options{})
+	if err == nil || !strings.Contains(err.Error(), "expansion too deep") {
+		t.Errorf("expected expansion depth error, got %v", err)
+	}
+}
+
+func TestUndefRemovesDefine(t *testing.T) {
+	src := `
+.DEFINE SEL
+.UNDEF SEL
+.IFDEF SEL
+V .EQU 1
+.ELSE
+V .EQU 2
+.ENDIF
+_main:
+    LOAD d0, V
+    HALT
+`
+	if got := firstImm(t, src, Options{}); got != 2 {
+		t.Errorf("undef path = %d", got)
+	}
+}
+
+func TestMacroInsideInclude(t *testing.T) {
+	fs := MapFS{"m.inc": `.MACRO RESULT code
+    LOAD d15, code
+.ENDM
+`}
+	src := ".INCLUDE \"m.inc\"\n_main:\n RESULT 0x42\n HALT\n"
+	o := mustAssemble(t, src, Options{Resolver: fs})
+	insts := decodeAll(t, o)
+	if insts[0].Op != isa.OpMovI || insts[0].Imm != 0x42 {
+		t.Errorf("macro from include: %+v", insts[0])
+	}
+}
+
+func TestMacroWithLabelPrefix(t *testing.T) {
+	// "label: MACRO args" keeps the label and expands the macro.
+	src := `
+.MACRO NOPS
+    NOP
+    NOP
+.ENDM
+_main:
+here: NOPS
+    HALT
+`
+	o := mustAssemble(t, src, Options{})
+	var found bool
+	for _, sym := range o.Symbols {
+		if sym.Name == "here" && sym.Off == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("label before macro invocation lost")
+	}
+	if len(decodeAll(t, o)) != 3 {
+		t.Error("macro body not expanded")
+	}
+}
+
+func TestConditionalInsideMacro(t *testing.T) {
+	src := `
+.MACRO PICK
+.IFDEF WIDE
+    LOAD d0, 6
+.ELSE
+    LOAD d0, 5
+.ENDIF
+.ENDM
+_main:
+    PICK
+    HALT
+`
+	if got := firstImm(t, src, Options{Defines: map[string]string{"WIDE": ""}}); got != 6 {
+		t.Errorf("macro conditional (defined) = %d", got)
+	}
+	if got := firstImm(t, src, Options{}); got != 5 {
+		t.Errorf("macro conditional (undefined) = %d", got)
+	}
+}
+
+func TestPredefineWithValue(t *testing.T) {
+	src := "_main:\n LOAD d0, LIMIT\n HALT\n"
+	got := firstImm(t, src, Options{Defines: map[string]string{"LIMIT": "123"}})
+	if got != 123 {
+		t.Errorf("predefine value = %d", got)
+	}
+}
+
+func TestIfExpressionOverDefines(t *testing.T) {
+	src := `
+.IF MODE + 1 > 2
+V .EQU 1
+.ELSE
+V .EQU 0
+.ENDIF
+_main:
+    LOAD d0, V
+    HALT
+`
+	// ">" is not an expression operator; .IF sees "MODE + 1" then ">"...
+	// so this must be a syntax error, documenting the operator set.
+	_, err := Assemble("t.asm", src, Options{Defines: map[string]string{"MODE": "2"}})
+	if err == nil {
+		t.Error("relational operators are not supported in .IF; expected an error")
+	}
+}
+
+func TestIfArithmetic(t *testing.T) {
+	src := `
+.IF MODE & 2
+V .EQU 11
+.ELSE
+V .EQU 22
+.ENDIF
+_main:
+    LOAD d0, V
+    HALT
+`
+	if got := firstImm(t, src, Options{Defines: map[string]string{"MODE": "6"}}); got != 11 {
+		t.Errorf(".IF bitmask true path = %d", got)
+	}
+	if got := firstImm(t, src, Options{Defines: map[string]string{"MODE": "1"}}); got != 22 {
+		t.Errorf(".IF bitmask false path = %d", got)
+	}
+}

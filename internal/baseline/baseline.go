@@ -1,0 +1,499 @@
+// Package baseline implements the non-ADVM comparator: the hardware-facing
+// directed tests of the shipped ADVM environment (the NVM, UART, and
+// Register suites), but written the way the
+// paper's "existing verification environment" wrote them — every register
+// address, field position, field width, and constant hardwired into each
+// test, and global-layer functions (the embedded software) called
+// directly with their current calling convention baked into every call
+// site.
+//
+// Because the sources are a pure function of the derivative, the cost of
+// porting the baseline suite from derivative X to derivative Y is exactly
+// the textual difference between Generate(X) and Generate(Y): the edits a
+// human would have to make in every affected test file. That diff is the
+// comparator for the paper's porting-effort claims (experiments E4, E5,
+// E7).
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core/derivative"
+	"repro/internal/core/port"
+	"repro/internal/core/sysenv"
+	"repro/internal/obj"
+	"repro/internal/periph"
+	"repro/internal/platform"
+)
+
+// Test is one hardwired directed test.
+type Test struct {
+	Module string
+	ID     string
+	Source string
+}
+
+// Suite is the baseline suite generated for one derivative.
+type Suite struct {
+	Deriv *derivative.Derivative
+	Tests []Test
+}
+
+// addrs precomputes the literal addresses a hardwired test bakes in.
+type addrs struct {
+	mboxResult uint32
+	mboxMagic  uint32
+	pagesel    uint32
+	nvmCtrl    uint32
+	nvmStat    uint32
+	nvmAddr    uint32
+	nvmData    uint32
+	nvmKey     uint32
+	nvmBase    uint32
+	uartDR     uint32
+	uartSR     uint32
+	uartCR     uint32
+	uartBRR    uint32
+	gpioOut    uint32
+	gpioDir    uint32
+	timerRel   uint32
+	wdtPeriod  uint32
+	wdtCount   uint32
+	pos        uint8
+	width      uint8
+	maxPage    uint32
+}
+
+func addrsOf(d *derivative.Derivative) addrs {
+	hw := d.HW
+	return addrs{
+		mboxResult: hw.MboxBase + periph.MboxResult,
+		mboxMagic:  hw.MboxBase + periph.MboxMagic,
+		pagesel:    hw.NvmcBase + periph.NvmPagesel,
+		nvmCtrl:    hw.NvmcBase + periph.NvmCtrl,
+		nvmStat:    hw.NvmcBase + periph.NvmStat,
+		nvmAddr:    hw.NvmcBase + periph.NvmAddr,
+		nvmData:    hw.NvmcBase + periph.NvmData,
+		nvmKey:     hw.NvmcBase + periph.NvmKey,
+		nvmBase:    hw.NvmBase,
+		uartDR:     hw.UartBase + periph.UartDR,
+		uartSR:     hw.UartBase + periph.UartSR,
+		uartCR:     hw.UartBase + periph.UartCR,
+		uartBRR:    hw.UartBase + periph.UartBRR,
+		gpioOut:    hw.GpioBase + periph.GpioOut,
+		gpioDir:    hw.GpioBase + periph.GpioDir,
+		timerRel:   hw.TimerBase + periph.TimerReload,
+		wdtPeriod:  hw.WdtBase + periph.WdtPeriod,
+		wdtCount:   hw.WdtBase + periph.WdtCount,
+		pos:        hw.Nvm.PageFieldPos,
+		width:      hw.Nvm.PageFieldWidth,
+		maxPage:    (1 << hw.Nvm.PageFieldWidth) - 1,
+	}
+}
+
+// reportTail is the hardwired pass/fail epilogue every baseline test
+// duplicates (no shared base functions here).
+func reportTail(a addrs) string {
+	return fmt.Sprintf(`pass_report:
+    LOAD d15, 0x600D
+    STORE [0x%08X], d15
+    HALT
+fail_report:
+    LOAD d15, 0xBAD0
+    STORE [0x%08X], d15
+    HALT
+`, a.mboxResult, a.mboxResult)
+}
+
+// esInitCall emits a direct call of ES_Init_Register with the calling
+// convention of the derivative's embedded-software generation baked in —
+// the exact practice the abstraction layer exists to prevent.
+func esInitCall(d *derivative.Derivative, valueExpr string, addr uint32) string {
+	if d.ES == derivative.ESv2 {
+		return fmt.Sprintf(`    LOAD d0, 0x%08X
+    LOAD d1, %s
+    LOAD a12, ES_Init_Register
+    CALL a12
+`, addr, valueExpr)
+	}
+	return fmt.Sprintf(`    LOAD d0, %s
+    LOAD d1, 0x%08X
+    LOAD a12, ES_Init_Register
+    CALL a12
+`, valueExpr, addr)
+}
+
+// nvmWait is the duplicated busy-poll loop, with a unique label prefix
+// per instance.
+func nvmWait(a addrs, tag string) string {
+	return fmt.Sprintf(`    LOAD d14, 20000
+    LOAD d12, 0
+%[1]s_wait:
+    LOAD d13, [0x%08[2]X]
+    AND d13, d13, 1
+    BEQ d13, d12, %[1]s_ready
+    SUB d14, d14, 1
+    BNE d14, d12, %[1]s_wait
+    JMP fail_report
+%[1]s_ready:
+`, tag, a.nvmStat)
+}
+
+func nvmUnlock(a addrs) string {
+	return fmt.Sprintf(`    LOAD d14, 0xA5A5
+    STORE [0x%08[1]X], d14
+    LOAD d14, 0x5A5A
+    STORE [0x%08[1]X], d14
+`, a.nvmKey)
+}
+
+// Generate builds the hardwired suite for a derivative.
+func Generate(d *derivative.Derivative) *Suite {
+	a := addrsOf(d)
+	s := &Suite{Deriv: d}
+	add := func(module, id, source string) {
+		s.Tests = append(s.Tests, Test{Module: module, ID: id, Source: source})
+	}
+
+	// ---- NVM ----
+	add("NVM", "TEST_NVM_PAGE_SELECT", fmt.Sprintf(`;; hardwired TEST_NVM_PAGE_SELECT
+test_main:
+    LOAD d14, [0x%08[1]X]
+    INSERT d14, d14, 8, %[2]d, %[3]d
+    STORE [0x%08[1]X], d14
+    LOAD d2, [0x%08[1]X]
+    EXTRU d3, d2, %[2]d, %[3]d
+    LOAD d4, 8
+    BNE d3, d4, fail_report
+    LOAD d5, 8 << %[2]d
+    BNE d2, d5, fail_report
+    JMP pass_report
+`, a.pagesel, a.pos, a.width)+reportTail(a))
+
+	add("NVM", "TEST_NVM_PAGE_SELECT_ALT", fmt.Sprintf(`;; hardwired TEST_NVM_PAGE_SELECT_ALT
+test_main:
+    LOAD d14, [0x%08[1]X]
+    INSERT d14, d14, 7, %[2]d, %[3]d
+    STORE [0x%08[1]X], d14
+    LOAD d2, [0x%08[1]X]
+    EXTRU d3, d2, %[2]d, %[3]d
+    LOAD d4, 7
+    BNE d3, d4, fail_report
+    JMP pass_report
+`, a.pagesel, a.pos, a.width)+reportTail(a))
+
+	add("NVM", "TEST_NVM_FIELD_WIDTH", fmt.Sprintf(`;; hardwired TEST_NVM_FIELD_WIDTH
+test_main:
+    LOAD d0, 0xFFFFFFFF
+    STORE [0x%08[1]X], d0
+    LOAD d2, [0x%08[1]X]
+    LOAD d3, %[2]d
+    BNE d2, d3, fail_report
+    JMP pass_report
+`, a.pagesel, a.maxPage<<a.pos)+reportTail(a))
+
+	add("NVM", "TEST_NVM_ERASE", fmt.Sprintf(`;; hardwired TEST_NVM_ERASE
+test_main:
+%[1]s    LOAD d14, [0x%08[2]X]
+    INSERT d14, d14, 8, %[3]d, %[4]d
+    STORE [0x%08[2]X], d14
+    LOAD d14, 2
+    STORE [0x%08[5]X], d14
+%[6]s    LOAD d0, [0x%08[7]X]
+    LOAD d2, 0xFFFFFFFF
+    BNE d0, d2, fail_report
+    LOAD d0, [0x%08[8]X]
+    LOAD d2, 0
+    BNE d0, d2, fail_report
+    JMP pass_report
+`, nvmUnlock(a), a.pagesel, a.pos, a.width, a.nvmCtrl,
+		nvmWait(a, "ers"), a.nvmBase+8*512, a.nvmBase+9*512)+reportTail(a))
+
+	add("NVM", "TEST_NVM_PROGRAM", fmt.Sprintf(`;; hardwired TEST_NVM_PROGRAM
+test_main:
+%[1]s    LOAD d14, [0x%08[2]X]
+    INSERT d14, d14, 7, %[3]d, %[4]d
+    STORE [0x%08[2]X], d14
+    LOAD d14, 2
+    STORE [0x%08[5]X], d14
+%[6]s%[1]s    LOAD d14, %[7]d
+    STORE [0x%08[8]X], d14
+    LOAD d14, 0x600DF00D
+    STORE [0x%08[9]X], d14
+    LOAD d14, 1
+    STORE [0x%08[5]X], d14
+%[10]s    LOAD d0, [0x%08[11]X]
+    LOAD d2, 0x600DF00D
+    BNE d0, d2, fail_report
+    JMP pass_report
+`, nvmUnlock(a), a.pagesel, a.pos, a.width, a.nvmCtrl,
+		nvmWait(a, "ers"), 7*512, a.nvmAddr, a.nvmData,
+		nvmWait(a, "prg"), a.nvmBase+7*512)+reportTail(a))
+
+	add("NVM", "TEST_NVM_LOCKED_CMD", fmt.Sprintf(`;; hardwired TEST_NVM_LOCKED_CMD
+test_main:
+    LOAD d0, 2
+    STORE [0x%08[1]X], d0
+    LOAD d2, [0x%08[2]X]
+    AND d3, d2, 4
+    LOAD d4, 4
+    BNE d3, d4, fail_report
+    LOAD d5, 4
+    STORE [0x%08[2]X], d5
+    LOAD d2, [0x%08[2]X]
+    AND d3, d2, 4
+    LOAD d4, 0
+    BNE d3, d4, fail_report
+    JMP pass_report
+`, a.nvmCtrl, a.nvmStat)+reportTail(a))
+
+	// ---- UART ----
+	add("UART", "TEST_UART_LOOPBACK_SINGLE", fmt.Sprintf(`;; hardwired TEST_UART_LOOPBACK_SINGLE
+test_main:
+    LOAD d0, 1
+    STORE [0x%08[4]X], d0
+    LOAD d0, 9
+    STORE [0x%08[3]X], d0
+    LOAD d0, 0x5A
+    STORE [0x%08[1]X], d0
+    LOAD d14, 20000
+    LOAD d12, 0
+rx_wait:
+    LOAD d13, [0x%08[2]X]
+    AND d13, d13, 2
+    BNE d13, d12, rx_got
+    SUB d14, d14, 1
+    BNE d14, d12, rx_wait
+    JMP fail_report
+rx_got:
+    LOAD d0, [0x%08[1]X]
+    LOAD d2, 0x5A
+    BNE d0, d2, fail_report
+    JMP pass_report
+`, a.uartDR, a.uartSR, a.uartCR, a.uartBRR)+reportTail(a))
+
+	add("UART", "TEST_UART_LOOPBACK_BURST", fmt.Sprintf(`;; hardwired TEST_UART_LOOPBACK_BURST
+test_main:
+    LOAD d0, 1
+    STORE [0x%08[4]X], d0
+    LOAD d0, 9
+    STORE [0x%08[3]X], d0
+    LOAD d5, 0x10
+    LOAD d6, 0
+burst_send:
+    MOV d0, d5
+    ADD d0, d0, d6
+    STORE [0x%08[1]X], d0
+    ADD d6, d6, 1
+    LOAD d7, 4
+    BLT d6, d7, burst_send
+    LOAD d6, 0
+burst_recv:
+    LOAD d14, 20000
+    LOAD d12, 0
+brx_wait:
+    LOAD d13, [0x%08[2]X]
+    AND d13, d13, 2
+    BNE d13, d12, brx_got
+    SUB d14, d14, 1
+    BNE d14, d12, brx_wait
+    JMP fail_report
+brx_got:
+    LOAD d0, [0x%08[1]X]
+    MOV d8, d5
+    ADD d8, d8, d6
+    BNE d0, d8, fail_report
+    ADD d6, d6, 1
+    LOAD d7, 4
+    BLT d6, d7, burst_recv
+    JMP pass_report
+`, a.uartDR, a.uartSR, a.uartCR, a.uartBRR)+reportTail(a))
+
+	add("UART", "TEST_UART_TX_IDLE", fmt.Sprintf(`;; hardwired TEST_UART_TX_IDLE
+test_main:
+    LOAD d0, 64
+    STORE [0x%08[4]X], d0
+    LOAD d0, 1
+    STORE [0x%08[3]X], d0
+    LOAD d0, 0x77
+    STORE [0x%08[1]X], d0
+    LOAD d2, [0x%08[2]X]
+    AND d3, d2, 4
+    LOAD d4, 0
+    BNE d3, d4, fail_report
+    LOAD d14, 20000
+    LOAD d12, 0
+idle_wait:
+    LOAD d13, [0x%08[2]X]
+    AND d13, d13, 4
+    BNE d13, d12, idle_ok
+    SUB d14, d14, 1
+    BNE d14, d12, idle_wait
+    JMP fail_report
+idle_ok:
+    JMP pass_report
+`, a.uartDR, a.uartSR, a.uartCR, a.uartBRR)+reportTail(a))
+
+	add("UART", "TEST_UART_STATUS_RESET", fmt.Sprintf(`;; hardwired TEST_UART_STATUS_RESET
+test_main:
+    LOAD d0, 1
+    STORE [0x%08[2]X], d0
+    LOAD d2, [0x%08[1]X]
+    AND d3, d2, 1
+    LOAD d4, 1
+    BNE d3, d4, fail_report
+    AND d3, d2, 2
+    LOAD d4, 0
+    BNE d3, d4, fail_report
+    JMP pass_report
+`, a.uartSR, a.uartCR)+reportTail(a))
+
+	// ---- REGISTER ----
+	checkReg := func(valueExpr string, addr uint32, failTo string) string {
+		return esInitCall(d, valueExpr, addr) + fmt.Sprintf(`    LOAD d2, [0x%08X]
+    LOAD d3, %s
+    BNE d2, d3, %s
+`, addr, valueExpr, failTo)
+	}
+	add("REGISTER", "TEST_REG_GPIO_PATTERN", ";; hardwired TEST_REG_GPIO_PATTERN\ntest_main:\n"+
+		checkReg("0xA5A5A5A5", a.gpioOut, "fail_report")+
+		checkReg("0x5A5A5A5A", a.gpioOut, "fail_report")+
+		checkReg("0xA5A5A5A5", a.gpioDir, "fail_report")+
+		"    JMP pass_report\n"+reportTail(a))
+
+	add("REGISTER", "TEST_REG_TIMER_RELOAD", ";; hardwired TEST_REG_TIMER_RELOAD\ntest_main:\n"+
+		checkReg("0xA5A5A5A5", a.timerRel, "fail_report")+
+		checkReg("0x5A5A5A5A", a.timerRel, "fail_report")+
+		checkReg("0", a.timerRel, "fail_report")+
+		"    JMP pass_report\n"+reportTail(a))
+
+	add("REGISTER", "TEST_REG_MBOX_MAGIC", fmt.Sprintf(`;; hardwired TEST_REG_MBOX_MAGIC
+test_main:
+    LOAD d2, [0x%08X]
+    LOAD d3, 0x5C88AD00
+    BNE d2, d3, fail_report
+    JMP pass_report
+`, a.mboxMagic)+reportTail(a))
+
+	add("REGISTER", "TEST_REG_WDT_PERIOD", ";; hardwired TEST_REG_WDT_PERIOD\ntest_main:\n"+
+		esInitCall(d, "0x00001234", a.wdtPeriod)+
+		fmt.Sprintf(`    LOAD d2, [0x%08X]
+    LOAD d3, 0x00001234
+    BNE d2, d3, fail_report
+    JMP pass_report
+`, a.wdtCount)+reportTail(a))
+
+	return s
+}
+
+// Tree materialises the suite to a file tree.
+func (s *Suite) Tree() map[string]string {
+	tree := map[string]string{}
+	for _, t := range s.Tests {
+		tree["BASELINE/"+t.Module+"/"+t.ID+"/test.asm"] = t.Source
+	}
+	return tree
+}
+
+// Test returns a test by ID.
+func (s *Suite) Test(id string) (Test, bool) {
+	for _, t := range s.Tests {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Test{}, false
+}
+
+// BuildTest assembles and links one baseline test against the global
+// layer of the suite's generation derivative, targeting hardware
+// derivative hw (hw == generation derivative means "run where it was
+// written for").
+func (s *Suite) BuildTest(id string, hw *derivative.Derivative) (*obj.Image, error) {
+	t, ok := s.Test(id)
+	if !ok {
+		return nil, fmt.Errorf("baseline: no test %q", id)
+	}
+	layer := sysenv.GlobalLayer(hw)
+	res := asm.MapFS{}
+	for p, c := range layer {
+		// Global files include each other by bare name.
+		res[p[len(sysenv.GlobalDir)+1:]] = c
+	}
+	defs := map[string]string{}
+	var objects []*obj.Object
+	for _, unit := range []struct{ name, src string }{
+		{"crt0.asm", layer[sysenv.GlobalDir+"/"+sysenv.Crt0File]},
+		{"trap_handlers.asm", layer[sysenv.GlobalDir+"/"+sysenv.TrapHandlersFile]},
+		{"embedded_software.asm", layer[sysenv.GlobalDir+"/"+sysenv.EmbeddedSWFile]},
+		{id + "/test.asm", t.Source},
+	} {
+		o, err := asm.Assemble(unit.name, unit.src, asm.Options{Defines: defs, Resolver: res})
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %s on %s: %w", id, hw.Name, err)
+		}
+		objects = append(objects, o)
+	}
+	return obj.Link(obj.LinkConfig{
+		TextBase: hw.HW.RomBase, DataBase: hw.HW.RamBase, Entry: "_start",
+	}, objects...)
+}
+
+// RunTest builds and runs one test on the given hardware derivative and
+// platform kind.
+func (s *Suite) RunTest(id string, hw *derivative.Derivative, k platform.Kind, spec platform.RunSpec) (*platform.Result, error) {
+	img, err := s.BuildTest(id, hw)
+	if err != nil {
+		return nil, err
+	}
+	p, err := platform.New(k, hw.HW)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Load(img); err != nil {
+		return nil, err
+	}
+	return p.Run(spec)
+}
+
+// PortCost measures the re-factoring cost of moving the hardwired suite
+// from one derivative to another: the line diff between the two generated
+// suites, i.e. the edits a human would make across every affected test.
+func PortCost(from, to *derivative.Derivative) *port.CostReport {
+	return port.Diff(Generate(from).Tree(), Generate(to).Tree())
+}
+
+// GenerateScaled returns the baseline suite grown with n additional
+// hardwired page-select tests, mirroring content.AddScaledTests for the
+// suite-growth ablation. Every generated test bakes in the derivative's
+// PAGESEL address and field geometry, so each one must be edited when the
+// field moves or widens.
+func GenerateScaled(d *derivative.Derivative, n int) *Suite {
+	s := Generate(d)
+	a := addrsOf(d)
+	for k := 0; k < n; k++ {
+		page := k % 32
+		s.Tests = append(s.Tests, Test{
+			Module: "NVM",
+			ID:     fmt.Sprintf("TEST_NVM_PAGE_SCALE_%03d", k),
+			Source: fmt.Sprintf(`;; hardwired scaling-ablation test %03d
+test_main:
+    LOAD d14, [0x%08[2]X]
+    INSERT d14, d14, %[3]d, %[4]d, %[5]d
+    STORE [0x%08[2]X], d14
+    LOAD d2, [0x%08[2]X]
+    EXTRU d3, d2, %[4]d, %[5]d
+    LOAD d4, %[3]d
+    BNE d3, d4, fail_report
+    JMP pass_report
+`, k, a.pagesel, page, a.pos, a.width) + reportTail(a),
+		})
+	}
+	return s
+}
+
+// ScaledPortCost measures the baseline porting cost at suite size 14+n.
+func ScaledPortCost(from, to *derivative.Derivative, n int) *port.CostReport {
+	return port.Diff(GenerateScaled(from, n).Tree(), GenerateScaled(to, n).Tree())
+}

@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/derivative"
+	"repro/internal/platform"
+
+	_ "repro/internal/golden"
+)
+
+func TestSuiteShape(t *testing.T) {
+	s := Generate(derivative.A())
+	if len(s.Tests) != 14 {
+		t.Fatalf("tests = %d, want 14 (parity with the ADVM suite)", len(s.Tests))
+	}
+	tree := s.Tree()
+	if len(tree) != 14 {
+		t.Fatalf("tree = %d files", len(tree))
+	}
+	if _, ok := s.Test("TEST_NVM_ERASE"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := s.Test("NOPE"); ok {
+		t.Error("phantom test")
+	}
+}
+
+func TestBaselinePassesOnItsOwnDerivative(t *testing.T) {
+	for _, d := range derivative.Family() {
+		s := Generate(d)
+		for _, tc := range s.Tests {
+			res, err := s.RunTest(tc.ID, d, platform.KindGolden, platform.RunSpec{})
+			if err != nil {
+				t.Errorf("%s on %s: %v", tc.ID, d.Name, err)
+				continue
+			}
+			if !res.Passed() {
+				t.Errorf("%s on %s: %s mbox=%#x %s", tc.ID, d.Name, res.Reason, res.MboxResult, res.Detail)
+			}
+		}
+	}
+}
+
+func TestBaselineWrittenForABreaksOnDerivatives(t *testing.T) {
+	// The A-suite run on C hardware: hardwired field positions are wrong.
+	s := Generate(derivative.A())
+	c := derivative.C()
+	bad := 0
+	for _, tc := range s.Tests {
+		res, err := s.RunTest(tc.ID, c, platform.KindGolden, platform.RunSpec{})
+		if err != nil || !res.Passed() {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Error("A-hardwired suite should break on SC88-C")
+	}
+	// And on SEC (moved UART, swapped ES convention) it breaks more.
+	sec := derivative.SEC()
+	badSec := 0
+	for _, tc := range s.Tests {
+		res, err := s.RunTest(tc.ID, sec, platform.KindGolden, platform.RunSpec{})
+		if err != nil || !res.Passed() {
+			badSec++
+		}
+	}
+	if badSec <= bad {
+		t.Errorf("SEC should break more tests than C: %d vs %d", badSec, bad)
+	}
+}
+
+func TestPortCostScalesWithTests(t *testing.T) {
+	a := derivative.A()
+	// A -> B: the field width changes; every NVM test carrying the
+	// width literal must be edited.
+	cb := PortCost(a, derivative.B())
+	if cb.FilesTouched() < 4 {
+		t.Errorf("A->B should touch several NVM tests, got %d:\n%s", cb.FilesTouched(), cb)
+	}
+	for p := range cb.PerFile {
+		if !strings.Contains(p, "/NVM/") {
+			t.Errorf("A->B should only touch NVM tests, touched %s", p)
+		}
+	}
+	// A -> SEC: field, UART relocation, and ES convention all change;
+	// almost every test is edited.
+	cs := PortCost(a, derivative.SEC())
+	if cs.FilesTouched() < 12 {
+		t.Errorf("A->SEC should touch nearly all tests, got %d:\n%s", cs.FilesTouched(), cs)
+	}
+	if cs.FilesTouched() <= cb.FilesTouched() {
+		t.Error("bigger change set must cost more files")
+	}
+	// Identity port is free.
+	if c := PortCost(a, derivative.A()); c.FilesTouched() != 0 {
+		t.Errorf("identity port cost = %d files", c.FilesTouched())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := Generate(derivative.A())
+	if _, err := s.BuildTest("NOPE", derivative.A()); err == nil {
+		t.Error("unknown test must fail")
+	}
+}

@@ -1,0 +1,207 @@
+// Package bus implements the SC88 SoC interconnect: it routes CPU accesses
+// either to plain memory regions (ROM/RAM/NVM array) or to memory-mapped
+// peripheral devices, and accounts per-access wait states for the
+// cycle-approximate platforms.
+package bus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Device is a memory-mapped peripheral. Peripheral registers are 32-bit
+// and word-aligned; offsets are relative to the device window base.
+type Device interface {
+	// Name identifies the device instance for diagnostics.
+	Name() string
+	// Size is the size of the device's register window in bytes.
+	Size() uint32
+	// Read32 reads the register at the given word-aligned offset.
+	Read32(off uint32) (uint32, error)
+	// Write32 writes the register at the given word-aligned offset.
+	Write32(off uint32, v uint32) error
+	// Tick advances device-internal time by n bus clock cycles.
+	Tick(n uint64)
+}
+
+// window binds a device to a base address.
+type window struct {
+	base uint32
+	dev  Device
+}
+
+// Bus routes accesses and tracks wait states.
+type Bus struct {
+	Mem     *mem.Memory
+	windows []window
+	// waits maps region names to per-access extra cycles. Missing names
+	// cost DefaultWait.
+	waits map[string]uint64
+	// PeriphWait is the wait-state cost of a peripheral access.
+	PeriphWait uint64
+	// DefaultWait is the base cost of a memory access.
+	DefaultWait uint64
+	// LastCost is the wait-state cost of the most recent access.
+	LastCost uint64
+	// writeGuard, when set, can veto memory writes (the MPU hooks in
+	// here). Peripheral-window writes are not guarded.
+	writeGuard func(addr uint32, size int) error
+}
+
+// New creates a bus over the given memory.
+func New(m *mem.Memory) *Bus {
+	return &Bus{Mem: m, waits: make(map[string]uint64), PeriphWait: 2, DefaultWait: 1}
+}
+
+// SetWait assigns a per-access cycle cost to the named memory region.
+func (b *Bus) SetWait(region string, cycles uint64) { b.waits[region] = cycles }
+
+// SetWriteGuard installs a veto hook for memory writes; pass nil to
+// remove it.
+func (b *Bus) SetWriteGuard(g func(addr uint32, size int) error) { b.writeGuard = g }
+
+func (b *Bus) guardWrite(addr uint32, size int) error {
+	if b.writeGuard == nil {
+		return nil
+	}
+	return b.writeGuard(addr, size)
+}
+
+// Attach maps a device at base. Windows must not overlap each other or any
+// memory region; Attach panics on overlap because the memory map is fixed
+// at platform construction time.
+func (b *Bus) Attach(base uint32, dev Device) {
+	size := dev.Size()
+	if size == 0 || base%4 != 0 {
+		panic(fmt.Sprintf("bus: device %q bad window base=0x%x size=%d", dev.Name(), base, size))
+	}
+	for _, w := range b.windows {
+		if base < w.base+w.dev.Size() && w.base < base+size {
+			panic(fmt.Sprintf("bus: device %q window overlaps %q", dev.Name(), w.dev.Name()))
+		}
+	}
+	if r := b.Mem.FindRegion(base); r != nil {
+		panic(fmt.Sprintf("bus: device %q window overlaps memory region %q", dev.Name(), r.Name))
+	}
+	b.windows = append(b.windows, window{base: base, dev: dev})
+	sort.Slice(b.windows, func(i, j int) bool { return b.windows[i].base < b.windows[j].base })
+}
+
+// Devices returns the attached devices in ascending base order.
+func (b *Bus) Devices() []Device {
+	out := make([]Device, len(b.windows))
+	for i, w := range b.windows {
+		out[i] = w.dev
+	}
+	return out
+}
+
+// FindDevice returns the device window containing addr.
+func (b *Bus) findWindow(addr uint32) *window {
+	lo, hi := 0, len(b.windows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		w := &b.windows[mid]
+		switch {
+		case addr < w.base:
+			hi = mid
+		case addr-w.base >= w.dev.Size():
+			lo = mid + 1
+		default:
+			return w
+		}
+	}
+	return nil
+}
+
+// Tick advances every attached device by n cycles.
+func (b *Bus) Tick(n uint64) {
+	for _, w := range b.windows {
+		w.dev.Tick(n)
+	}
+}
+
+func (b *Bus) memCost(addr uint32) uint64 {
+	if r := b.Mem.FindRegion(addr); r != nil {
+		if c, ok := b.waits[r.Name]; ok {
+			return c
+		}
+	}
+	return b.DefaultWait
+}
+
+// Read32 reads a word from memory or a peripheral register.
+func (b *Bus) Read32(addr uint32, kind mem.Access) (uint32, error) {
+	if w := b.findWindow(addr); w != nil {
+		b.LastCost = b.PeriphWait
+		if addr%4 != 0 {
+			return 0, &mem.Fault{Addr: addr, Size: 4, Kind: kind, Reason: "misaligned peripheral access"}
+		}
+		if kind == mem.AccessFetch {
+			return 0, &mem.Fault{Addr: addr, Size: 4, Kind: kind, Reason: "fetch from peripheral window"}
+		}
+		return w.dev.Read32(addr - w.base)
+	}
+	b.LastCost = b.memCost(addr)
+	return b.Mem.Read32(addr, kind)
+}
+
+// Write32 writes a word to memory or a peripheral register.
+func (b *Bus) Write32(addr uint32, v uint32) error {
+	if w := b.findWindow(addr); w != nil {
+		b.LastCost = b.PeriphWait
+		if addr%4 != 0 {
+			return &mem.Fault{Addr: addr, Size: 4, Kind: mem.AccessWrite, Reason: "misaligned peripheral access"}
+		}
+		return w.dev.Write32(addr-w.base, v)
+	}
+	b.LastCost = b.memCost(addr)
+	if err := b.guardWrite(addr, 4); err != nil {
+		return err
+	}
+	return b.Mem.Write32(addr, v)
+}
+
+// Read16 reads a halfword. Peripheral windows only support word access.
+func (b *Bus) Read16(addr uint32, kind mem.Access) (uint16, error) {
+	if w := b.findWindow(addr); w != nil {
+		return 0, &mem.Fault{Addr: addr, Size: 2, Kind: kind, Reason: "sub-word peripheral access"}
+	}
+	b.LastCost = b.memCost(addr)
+	return b.Mem.Read16(addr, kind)
+}
+
+// Write16 writes a halfword. Peripheral windows only support word access.
+func (b *Bus) Write16(addr uint32, v uint16) error {
+	if w := b.findWindow(addr); w != nil {
+		return &mem.Fault{Addr: addr, Size: 2, Kind: mem.AccessWrite, Reason: "sub-word peripheral access"}
+	}
+	b.LastCost = b.memCost(addr)
+	if err := b.guardWrite(addr, 2); err != nil {
+		return err
+	}
+	return b.Mem.Write16(addr, v)
+}
+
+// Read8 reads a byte. Peripheral windows only support word access.
+func (b *Bus) Read8(addr uint32, kind mem.Access) (byte, error) {
+	if w := b.findWindow(addr); w != nil {
+		return 0, &mem.Fault{Addr: addr, Size: 1, Kind: kind, Reason: "sub-word peripheral access"}
+	}
+	b.LastCost = b.memCost(addr)
+	return b.Mem.Read8(addr, kind)
+}
+
+// Write8 writes a byte. Peripheral windows only support word access.
+func (b *Bus) Write8(addr uint32, v byte) error {
+	if w := b.findWindow(addr); w != nil {
+		return &mem.Fault{Addr: addr, Size: 1, Kind: mem.AccessWrite, Reason: "sub-word peripheral access"}
+	}
+	b.LastCost = b.memCost(addr)
+	if err := b.guardWrite(addr, 1); err != nil {
+		return err
+	}
+	return b.Mem.Write8(addr, v)
+}

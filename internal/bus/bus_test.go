@@ -1,0 +1,144 @@
+package bus
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// stubDev is a trivial register file device.
+type stubDev struct {
+	name  string
+	regs  [4]uint32
+	ticks uint64
+}
+
+func (d *stubDev) Name() string { return d.name }
+func (d *stubDev) Size() uint32 { return 16 }
+func (d *stubDev) Read32(off uint32) (uint32, error) {
+	return d.regs[off/4], nil
+}
+func (d *stubDev) Write32(off uint32, v uint32) error {
+	d.regs[off/4] = v
+	return nil
+}
+func (d *stubDev) Tick(n uint64) { d.ticks += n }
+
+func newTestBus() (*Bus, *stubDev) {
+	m := &mem.Memory{}
+	m.AddRegion("ram", 0x2000, 0x1000, mem.PermRead|mem.PermWrite)
+	b := New(m)
+	d := &stubDev{name: "dev0"}
+	b.Attach(0x8000_0000, d)
+	return b, d
+}
+
+func TestRouteMemory(t *testing.T) {
+	b, _ := newTestBus()
+	if err := b.Write32(0x2000, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Read32(0x2000, mem.AccessRead)
+	if err != nil || v != 42 {
+		t.Errorf("memory route: %v %v", v, err)
+	}
+}
+
+func TestRouteDevice(t *testing.T) {
+	b, d := newTestBus()
+	if err := b.Write32(0x8000_0004, 7); err != nil {
+		t.Fatal(err)
+	}
+	if d.regs[1] != 7 {
+		t.Errorf("device write missed: %v", d.regs)
+	}
+	v, err := b.Read32(0x8000_0004, mem.AccessRead)
+	if err != nil || v != 7 {
+		t.Errorf("device read: %v %v", v, err)
+	}
+}
+
+func TestDeviceAccessRules(t *testing.T) {
+	b, _ := newTestBus()
+	if _, err := b.Read32(0x8000_0002, mem.AccessRead); err == nil {
+		t.Error("misaligned peripheral read should fault")
+	}
+	if _, err := b.Read32(0x8000_0000, mem.AccessFetch); err == nil {
+		t.Error("fetch from peripheral should fault")
+	}
+	if _, err := b.Read16(0x8000_0000, mem.AccessRead); err == nil {
+		t.Error("sub-word peripheral read should fault")
+	}
+	if err := b.Write16(0x8000_0000, 0); err == nil {
+		t.Error("sub-word peripheral write should fault")
+	}
+	if _, err := b.Read8(0x8000_0000, mem.AccessRead); err == nil {
+		t.Error("byte peripheral read should fault")
+	}
+	if err := b.Write8(0x8000_0000, 0); err == nil {
+		t.Error("byte peripheral write should fault")
+	}
+}
+
+func TestWaitStates(t *testing.T) {
+	b, _ := newTestBus()
+	b.SetWait("ram", 3)
+	b.PeriphWait = 5
+	_, _ = b.Read32(0x2000, mem.AccessRead)
+	if b.LastCost != 3 {
+		t.Errorf("ram cost = %d, want 3", b.LastCost)
+	}
+	_, _ = b.Read32(0x8000_0000, mem.AccessRead)
+	if b.LastCost != 5 {
+		t.Errorf("periph cost = %d, want 5", b.LastCost)
+	}
+}
+
+func TestTickPropagates(t *testing.T) {
+	b, d := newTestBus()
+	b.Tick(17)
+	if d.ticks != 17 {
+		t.Errorf("ticks = %d", d.ticks)
+	}
+}
+
+func TestAttachOverlapPanics(t *testing.T) {
+	b, _ := newTestBus()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on overlapping device window")
+		}
+	}()
+	b.Attach(0x8000_0008, &stubDev{name: "dev1"})
+}
+
+func TestAttachOverMemoryPanics(t *testing.T) {
+	b, _ := newTestBus()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on device over memory")
+		}
+	}()
+	b.Attach(0x2000, &stubDev{name: "dev2"})
+}
+
+func TestDevicesSorted(t *testing.T) {
+	b, _ := newTestBus()
+	b.Attach(0x7000_0000, &stubDev{name: "below"})
+	devs := b.Devices()
+	if len(devs) != 2 || devs[0].Name() != "below" || devs[1].Name() != "dev0" {
+		t.Errorf("devices order wrong: %v, %v", devs[0].Name(), devs[1].Name())
+	}
+}
+
+func TestWindowEdges(t *testing.T) {
+	b, d := newTestBus()
+	// Last word of the window routes to the device...
+	if err := b.Write32(0x8000_000c, 9); err != nil || d.regs[3] != 9 {
+		t.Errorf("last word: %v, regs=%v", err, d.regs)
+	}
+	// ...one past faults as unmapped.
+	if _, err := b.Read32(0x8000_0010, mem.AccessRead); err == nil {
+		t.Error("read past window should fault")
+	}
+}

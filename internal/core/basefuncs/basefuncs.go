@@ -1,0 +1,157 @@
+// Package basefuncs models the ADVM 'Base Functions' component of the
+// abstraction layer (Figure 1): the library of assembler functions shared
+// by all tests of a module environment. Functions that need global-layer
+// services wrap them instead of letting tests call them directly, so a
+// re-written embedded-software routine (the paper's Figure 7 scenario) is
+// absorbed by re-factoring one wrapper body rather than every test.
+package basefuncs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Function is one base function.
+type Function struct {
+	// Name is the assembler label tests call (convention: Base_*).
+	Name string
+	// Doc describes the function for the library listing.
+	Doc string
+	// Params documents the register calling convention.
+	Params string
+	// Body is the assembler body, without the leading label and without
+	// the trailing RET (added by the renderer). It may use Globals.inc
+	// names and conditional assembly.
+	Body string
+	// WrapsGlobal names the global-layer function this wrapper
+	// encapsulates, if any; the lint checker uses it to verify that
+	// tests never call the global function directly.
+	WrapsGlobal string
+	// SavesRA: the renderer brackets the body with PUSH ra / POP ra so
+	// the wrapper may CALL other functions.
+	SavesRA bool
+}
+
+func (f *Function) clone() *Function {
+	c := *f
+	return &c
+}
+
+// Library is an ordered base-function collection.
+type Library struct {
+	funcs []*Function
+	index map[string]*Function
+}
+
+// NewLibrary creates an empty library.
+func NewLibrary() *Library {
+	return &Library{index: make(map[string]*Function)}
+}
+
+// Clone deep-copies the library.
+func (l *Library) Clone() *Library {
+	out := NewLibrary()
+	for _, f := range l.funcs {
+		c := f.clone()
+		out.funcs = append(out.funcs, c)
+		out.index[c.Name] = c
+	}
+	return out
+}
+
+// Len returns the function count.
+func (l *Library) Len() int { return len(l.funcs) }
+
+// Names lists functions in definition order.
+func (l *Library) Names() []string {
+	out := make([]string, len(l.funcs))
+	for i, f := range l.funcs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Add appends a function; duplicate names are an error.
+func (l *Library) Add(f Function) error {
+	if f.Name == "" {
+		return fmt.Errorf("basefuncs: function with empty name")
+	}
+	if _, dup := l.index[f.Name]; dup {
+		return fmt.Errorf("basefuncs: %q already defined", f.Name)
+	}
+	c := f.clone()
+	l.funcs = append(l.funcs, c)
+	l.index[c.Name] = c
+	return nil
+}
+
+// MustAdd is Add that panics on error, for static construction.
+func (l *Library) MustAdd(f Function) {
+	if err := l.Add(f); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns a function by name.
+func (l *Library) Get(name string) (*Function, bool) {
+	f, ok := l.index[name]
+	return f, ok
+}
+
+// Replace swaps a function's definition — the single-point-of-change
+// re-factor of the paper's Figure 7.
+func (l *Library) Replace(f Function) error {
+	old, ok := l.index[f.Name]
+	if !ok {
+		return fmt.Errorf("basefuncs: %q not defined", f.Name)
+	}
+	*old = *f.clone()
+	return nil
+}
+
+// WrappedGlobals lists the global-layer functions encapsulated by this
+// library, for the lint checker.
+func (l *Library) WrappedGlobals() []string {
+	var out []string
+	for _, f := range l.funcs {
+		if f.WrapsGlobal != "" {
+			out = append(out, f.WrapsGlobal)
+		}
+	}
+	return out
+}
+
+// Render emits Base_Functions.asm. The file includes Globals.inc so that
+// function bodies are controlled by the same defines as the tests — the
+// property the paper calls out as essential ("these functions do not
+// contain hardwired values").
+func (l *Library) Render(module string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ";; Base_Functions.asm -- ADVM base functions for module %s\n", module)
+	b.WriteString(";; GENERATED: tests call these wrappers; never the global layer directly.\n")
+	b.WriteString(".INCLUDE \"Globals.inc\"\n\n")
+	for _, f := range l.funcs {
+		if f.Doc != "" {
+			fmt.Fprintf(&b, "; %s\n", f.Doc)
+		}
+		if f.Params != "" {
+			fmt.Fprintf(&b, "; params: %s\n", f.Params)
+		}
+		if f.WrapsGlobal != "" {
+			fmt.Fprintf(&b, "; wraps global-layer function %s\n", f.WrapsGlobal)
+		}
+		fmt.Fprintf(&b, "%s:\n", f.Name)
+		if f.SavesRA {
+			b.WriteString("    PUSH ra\n")
+		}
+		body := strings.TrimRight(f.Body, "\n")
+		for _, line := range strings.Split(body, "\n") {
+			b.WriteString(line + "\n")
+		}
+		if f.SavesRA {
+			b.WriteString("    POP ra\n")
+		}
+		b.WriteString("    RET\n\n")
+	}
+	return b.String()
+}

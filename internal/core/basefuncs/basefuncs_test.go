@@ -1,0 +1,71 @@
+package basefuncs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddReplaceAndRender(t *testing.T) {
+	l := NewLibrary()
+	l.MustAdd(Function{
+		Name: "Base_A", Doc: "does A", Params: "d0 = x",
+		Body: "    NOP",
+	})
+	l.MustAdd(Function{
+		Name: "Base_Wrap", WrapsGlobal: "ES_Thing", SavesRA: true,
+		Body: "    CALL ES_Thing",
+	})
+	if err := l.Add(Function{Name: "Base_A"}); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if err := l.Add(Function{}); err == nil {
+		t.Error("empty name should fail")
+	}
+	out := l.Render("NVM")
+	for _, want := range []string{
+		`.INCLUDE "Globals.inc"`,
+		"; does A",
+		"; params: d0 = x",
+		"; wraps global-layer function ES_Thing",
+		"Base_A:",
+		"Base_Wrap:",
+		"    PUSH ra",
+		"    POP ra",
+		"    RET",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Replace changes the body in place (single point of change).
+	if err := l.Replace(Function{Name: "Base_A", Body: "    HALT"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replace(Function{Name: "Base_Zed"}); err == nil {
+		t.Error("replacing unknown function should fail")
+	}
+	if f, _ := l.Get("Base_A"); !strings.Contains(f.Body, "HALT") {
+		t.Error("replace did not take effect")
+	}
+	if got := l.WrappedGlobals(); len(got) != 1 || got[0] != "ES_Thing" {
+		t.Errorf("wrapped globals = %v", got)
+	}
+	if got := l.Names(); len(got) != 2 || got[0] != "Base_A" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := NewLibrary()
+	l.MustAdd(Function{Name: "F", Body: "    NOP"})
+	c := l.Clone()
+	if err := c.Replace(Function{Name: "F", Body: "    HALT"}); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := l.Get("F"); strings.Contains(f.Body, "HALT") {
+		t.Error("clone mutated original")
+	}
+	if c.Len() != 1 {
+		t.Errorf("clone len = %d", c.Len())
+	}
+}

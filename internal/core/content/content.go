@@ -1,0 +1,152 @@
+// Package content builds the standard ADVM system verification
+// environment shipped with this reproduction: four module test
+// environments — the NVM, UART, and Register environments of the paper's
+// Figure 5 plus an interrupt/trap environment exercising the Figure 4
+// trap-handler library — each
+// with its abstraction layer (Global Defines + Base Functions), a
+// plain-text test plan, and a set of self-checking directed test cells.
+//
+// Two construction entry points matter for the experiments:
+//
+//   - UnportedSystem returns the environment as first written for the
+//     SC88-A baseline: no derivative overrides in the defines, and base
+//     functions without the ES-v2 adapter. It passes on SC88-A only.
+//   - PortedSystem returns the environment after all derivative ports
+//     have been applied (the state the porting engine in core/port
+//     produces). It passes on every family derivative.
+package content
+
+import (
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+)
+
+// Module names (Figure 5's environments).
+const (
+	ModuleNVM      = "NVM"
+	ModuleUART     = "UART"
+	ModuleRegister = "REGISTER"
+	ModuleIRQ      = "IRQ"
+	ModuleSecurity = "SECURITY"
+)
+
+// SystemName is the default system environment name.
+const SystemName = "ADVM_System_Verification_Environment"
+
+// UnportedSystem builds the SC88-A-only environment.
+func UnportedSystem() *sysenv.System {
+	return build(false)
+}
+
+// PortedSystem builds the fully ported environment.
+func PortedSystem() *sysenv.System {
+	return build(true)
+}
+
+func build(ported bool) *sysenv.System {
+	s := sysenv.New(SystemName)
+	mustAdd(s, nvmEnv(ported))
+	mustAdd(s, uartEnv(ported))
+	mustAdd(s, registerEnv(ported))
+	mustAdd(s, irqEnv(ported))
+	mustAdd(s, securityEnv(ported))
+	return s
+}
+
+// NumTests is the number of test cells in the shipped system.
+const NumTests = 21
+
+func mustAdd(s *sysenv.System, e *env.Env) {
+	if err := s.AddEnv(e); err != nil {
+		panic(err)
+	}
+}
+
+// commonDefines installs the defines every environment needs: mailbox
+// re-maps, result codes, the Figure 7 CallAddr alias, and the
+// platform-controlled timeout.
+func commonDefines(set *defines.Set) {
+	// Globals.inc pulls in the global-layer register definitions and
+	// re-maps the names the environment uses; tests include only
+	// Globals.inc and never the global layer directly.
+	set.AddInclude("registers.inc")
+	set.MustAdd(defines.Entry{
+		Name: "CallAddr", Kind: defines.KindDefine, Default: "A12",
+		Comment: "indirect-call address register (Figure 7 idiom)",
+	})
+	set.MustAdd(defines.Entry{
+		Name: "REG_MBOX_RESULT", Default: "MBOX_BASE+MBOX_RESULT_OFF",
+		Comment: "re-mapped global mailbox result register",
+	})
+	set.MustAdd(defines.Entry{
+		Name: "REG_MBOX_CHAROUT", Default: "MBOX_BASE+MBOX_CHAROUT_OFF",
+	})
+	set.MustAdd(defines.Entry{
+		Name: "REG_MBOX_CHECKPT", Default: "MBOX_BASE+MBOX_CHECKPT_OFF",
+	})
+	set.MustAdd(defines.Entry{Name: "RESULT_PASS", Default: "0x600D"})
+	set.MustAdd(defines.Entry{Name: "RESULT_FAIL", Default: "0xBAD0"})
+	set.MustAdd(defines.Entry{
+		Name: "TIMEOUT_LOOPS", Default: "20000",
+		PerPlatform: map[string]string{
+			"PLAT_SILICON": "100000", // silicon runs long enough to need margin
+			"PLAT_GATE":    "5000",   // gate sim is slow; keep polls short
+		},
+		Comment: "status-poll budget, controlled per simulation target",
+	})
+}
+
+// commonFuncs installs the base functions every environment needs. Each
+// environment carries its own copies: environments are isolated and share
+// code only through the global layer.
+func commonFuncs(lib *basefuncs.Library, ported bool) {
+	lib.MustAdd(basefuncs.Function{
+		Name: "Base_Report_Pass",
+		Doc:  "Self-check success: write PASS to the mailbox and halt.",
+		Body: `    LOAD d15, RESULT_PASS
+    STORE [REG_MBOX_RESULT], d15
+    HALT`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name: "Base_Report_Fail",
+		Doc:  "Self-check failure: write FAIL to the mailbox and halt.",
+		Body: `    LOAD d15, RESULT_FAIL
+    STORE [REG_MBOX_RESULT], d15
+    HALT`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Checkpoint",
+		Doc:    "Record a scoreboard checkpoint value.",
+		Params: "d0 = checkpoint value",
+		Body:   `    STORE [REG_MBOX_CHECKPT], d0`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:        "Base_Init_Register",
+		Doc:         "Initialise a register through the customer embedded software.",
+		Params:      "d0 = value, d1 = register address",
+		WrapsGlobal: "ES_Init_Register",
+		SavesRA:     true,
+		Body:        initRegisterBody(ported),
+	})
+}
+
+// initRegisterBody is the Figure 7 wrapper. The ported variant carries
+// the adapter for the re-written v2 embedded software whose input
+// registers were swapped; the unported variant is the original plain
+// encapsulation.
+func initRegisterBody(ported bool) string {
+	if !ported {
+		return `    LOAD CallAddr, ES_Init_Register
+    CALL CallAddr`
+	}
+	return `.IFDEF ES_V2
+    ; adapter: ES v2 swapped its inputs to (addr=d0, value=d1)
+    MOV d14, d0
+    MOV d0, d1
+    MOV d1, d14
+.ENDIF
+    LOAD CallAddr, ES_Init_Register
+    CALL CallAddr`
+}

@@ -1,0 +1,154 @@
+package content
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/derivative"
+	"repro/internal/core/sysenv"
+	"repro/internal/platform"
+
+	_ "repro/internal/bondout"
+	_ "repro/internal/emu"
+	_ "repro/internal/gate"
+	_ "repro/internal/golden"
+	_ "repro/internal/rtl"
+	_ "repro/internal/silicon"
+)
+
+func runAll(t *testing.T, s *sysenv.System, d *derivative.Derivative, k platform.Kind) (passed, failed, broken int, failures []string) {
+	t.Helper()
+	for _, e := range s.Envs() {
+		for _, id := range e.TestIDs() {
+			res, err := s.RunTest(e.Module, id, d, k, platform.RunSpec{})
+			switch {
+			case err != nil:
+				broken++
+				failures = append(failures, e.Module+"/"+id+": BUILD: "+err.Error())
+			case res.Passed():
+				passed++
+			default:
+				failed++
+				failures = append(failures, e.Module+"/"+id+": "+string(res.Reason)+
+					" mbox="+hex(res.MboxResult)+" "+res.Detail)
+			}
+		}
+	}
+	return
+}
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		out[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return "0x" + string(out)
+}
+
+func TestPortedSystemPassesEverywhereOnGolden(t *testing.T) {
+	s := PortedSystem()
+	for _, d := range derivative.Family() {
+		passed, failed, broken, failures := runAll(t, s, d, platform.KindGolden)
+		if failed != 0 || broken != 0 {
+			t.Errorf("%s: passed=%d failed=%d broken=%d\n%s", d.Name, passed, failed, broken,
+				strings.Join(failures, "\n"))
+		}
+		if passed != NumTests {
+			t.Errorf("%s: passed=%d, want %d tests", d.Name, passed, NumTests)
+		}
+	}
+}
+
+func TestUnportedSystemPassesOnAOnly(t *testing.T) {
+	s := UnportedSystem()
+	passed, failed, broken, failures := runAll(t, s, derivative.A(), platform.KindGolden)
+	if failed != 0 || broken != 0 {
+		t.Fatalf("unported on A: passed=%d failed=%d broken=%d\n%s", passed, failed, broken,
+			strings.Join(failures, "\n"))
+	}
+	// On every other derivative the unported suite must break or fail
+	// somewhere — that breakage is what porting fixes.
+	for _, d := range derivative.Family()[1:] {
+		_, failed, broken, _ := runAll(t, s, d, platform.KindGolden)
+		if failed+broken == 0 {
+			t.Errorf("unported suite unexpectedly clean on %s", d.Name)
+		}
+	}
+}
+
+func TestPortedSystemAcrossPlatforms(t *testing.T) {
+	// E6 at unit scale: one derivative, every platform, identical verdicts.
+	s := PortedSystem()
+	d := derivative.A()
+	for _, k := range platform.AllKinds() {
+		passed, failed, broken, failures := runAll(t, s, d, k)
+		if failed != 0 || broken != 0 {
+			t.Errorf("%s: passed=%d failed=%d broken=%d\n%s", k, passed, failed, broken,
+				strings.Join(failures, "\n"))
+		}
+		_ = passed
+	}
+}
+
+func TestMaterialisedTreeShape(t *testing.T) {
+	s := PortedSystem()
+	tree := s.Materialise(derivative.A())
+	for _, want := range []string{
+		"Global_Libraries/registers.inc",
+		"Global_Libraries/crt0.asm",
+		"Global_Libraries/trap_handlers.asm",
+		"Global_Libraries/embedded_software.asm",
+		"NVM/Abstraction_Layer/Globals.inc",
+		"NVM/Abstraction_Layer/Base_Functions.asm",
+		"NVM/TESTPLAN.TXT",
+		"NVM/TEST_NVM_PAGE_SELECT/test.asm",
+		"UART/TESTPLAN.TXT",
+		"REGISTER/TESTPLAN.TXT",
+	} {
+		if _, ok := tree[want]; !ok {
+			t.Errorf("materialised tree missing %q", want)
+		}
+	}
+	// The test plan is grep-able plain text.
+	if !strings.Contains(tree["NVM/TESTPLAN.TXT"], "TEST_NVM_ERASE") {
+		t.Error("test plan missing entry")
+	}
+}
+
+// TestSuiteDetectsWrongSilicon is the paper's Section 1 point inverted:
+// "if they don't [execute the same way] then a bug or issue has been
+// found". Build the suite for SC88-A but run it on SC88-C silicon — the
+// hardware/specification mismatch must make directed tests fail.
+func TestSuiteDetectsWrongSilicon(t *testing.T) {
+	s := PortedSystem()
+	a, c := derivative.A(), derivative.C()
+	failed := 0
+	e, _ := s.Env(ModuleNVM)
+	for _, id := range e.TestIDs() {
+		// Assemble with A's defines against A's global layer...
+		img, err := s.BuildTest(ModuleNVM, id, a, platform.KindSilicon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ...but run on C hardware (the wrong chip in the socket).
+		p, err := platform.New(platform.KindSilicon, c.HW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(platform.RunSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("the directed suite must detect mismatched silicon")
+	}
+}

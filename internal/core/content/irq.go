@@ -1,0 +1,192 @@
+package content
+
+import (
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+)
+
+// irqEnv builds the interrupt/trap module test environment. Figure 4
+// lists "Trap/Interrupt Handlers" as a shared global library; this
+// environment verifies the interrupt fabric (vector dispatch, masking,
+// watchdog trap, software traps) with test-local handlers installed
+// through an abstraction-layer wrapper, so that even the vector table —
+// global-layer property — is never touched directly by a test.
+func irqEnv(ported bool) *env.Env {
+	e := env.MustNew("IRQ")
+	set := e.Defines
+	commonDefines(set)
+
+	set.MustAdd(defines.Entry{Name: "REG_TIMER_CNT", Default: "TIMER_BASE+TIMER_CNT_OFF",
+		Comment: "re-mapped interrupt-fabric registers"})
+	set.MustAdd(defines.Entry{Name: "REG_TIMER_CTRL", Default: "TIMER_BASE+TIMER_CTRL_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_TIMER_STAT", Default: "TIMER_BASE+TIMER_STAT_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_INTC_ENABLE", Default: "INTC_BASE+INTC_ENABLE_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_INTC_PENDING", Default: "INTC_BASE+INTC_PENDING_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_INTC_ACK", Default: "INTC_BASE+INTC_ACK_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_WDT_CTRL", Default: "WDT_BASE+WDT_CTRL_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_WDT_PERIOD", Default: "WDT_BASE+WDT_PERIOD_OFF"})
+
+	// Architectural numbers, re-mapped so a derivative could move them.
+	set.MustAdd(defines.Entry{Name: "VEC_SYSCALL", Default: "4"})
+	set.MustAdd(defines.Entry{Name: "VEC_WATCHDOG", Default: "5"})
+	set.MustAdd(defines.Entry{Name: "VEC_TIMER_IRQ", Default: "8"})
+	set.MustAdd(defines.Entry{Name: "IRQ_TIMER_MASK", Default: "1"})
+	set.MustAdd(defines.Entry{Name: "PSW_I_BIT", Default: "16"})
+	set.MustAdd(defines.Entry{Name: "CR_PSW", Default: "0"})
+	set.MustAdd(defines.Entry{Name: "CR_ICAUSE", Default: "7"})
+	set.MustAdd(defines.Entry{Name: "TIMER_START_ONESHOT", Default: "3",
+		Comment: "enable | irq-enable, no auto reload"})
+	set.MustAdd(defines.Entry{Name: "TIMER_TEST_COUNT", Default: "50"})
+	set.MustAdd(defines.Entry{Name: "WDT_TEST_PERIOD", Default: "64"})
+	set.MustAdd(defines.Entry{Name: "WDT_ENABLE", Default: "1"})
+	set.MustAdd(defines.Entry{Name: "MASK_SPIN_LOOPS", Default: "200"})
+
+	lib := e.Funcs
+	commonFuncs(lib, ported)
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Set_Vector",
+		Doc:    "Install a handler in the global vector table (the table itself stays global-layer property).",
+		Params: "d0 = vector number, d1 = handler address",
+		Body: `    LOAD a14, __vector_table
+    SHL d13, d0, 2
+    MOVDA d14, a14
+    ADD d14, d14, d13
+    MOVAD a14, d14
+    STORE [a14], d1`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Irq_Enable",
+		Doc:    "Unmask interrupt lines in the controller.",
+		Params: "d0 = line mask",
+		Body:   `    STORE [REG_INTC_ENABLE], d0`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Irq_Ack",
+		Doc:    "Acknowledge pending interrupt lines.",
+		Params: "d0 = line mask",
+		Body:   `    STORE [REG_INTC_ACK], d0`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name: "Base_Int_Global_Enable",
+		Doc:  "Set PSW.I to accept interrupts.",
+		Body: `    MFCR d14, CR_PSW
+    OR d14, d14, PSW_I_BIT
+    MTCR CR_PSW, d14`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Timer_Start_Oneshot",
+		Doc:    "Load the timer and start it in one-shot interrupt mode.",
+		Params: "d0 = count",
+		Body: `    STORE [REG_TIMER_CNT], d0
+    LOAD d14, TIMER_START_ONESHOT
+    STORE [REG_TIMER_CTRL], d14`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Wdt_Arm",
+		Doc:    "Set the watchdog period and enable it (enable is sticky).",
+		Params: "d0 = period in cycles",
+		Body: `    STORE [REG_WDT_PERIOD], d0
+    LOAD d14, WDT_ENABLE
+    STORE [REG_WDT_CTRL], d14`,
+	})
+
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_IRQ_TIMER",
+		Description: "a timer interrupt dispatches to the installed handler",
+		Source: `;; TEST_IRQ_TIMER
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, VEC_TIMER_IRQ
+    LOAD d1, tick_handler
+    CALL Base_Set_Vector
+    LOAD d0, IRQ_TIMER_MASK
+    CALL Base_Irq_Enable
+    LOAD d0, TIMER_TEST_COUNT
+    CALL Base_Timer_Start_Oneshot
+    CALL Base_Int_Global_Enable
+    LOAD d6, 0
+spin:
+    ADD d6, d6, 1
+    LOAD d7, TIMEOUT_LOOPS
+    BLT d6, d7, spin
+    CALL Base_Report_Fail
+tick_handler:
+    LOAD d0, IRQ_TIMER_MASK
+    CALL Base_Irq_Ack
+    CALL Base_Report_Pass
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_IRQ_SYSCALL",
+		Description: "a software trap delivers its number through ICAUSE and resumes after RFE",
+		Source: `;; TEST_IRQ_SYSCALL
+.INCLUDE "Globals.inc"
+TRAP_TEST_NUM .EQU 9
+test_main:
+    LOAD d0, VEC_SYSCALL
+    LOAD d1, sys_handler
+    CALL Base_Set_Vector
+    LOAD d3, 0
+    TRAP TRAP_TEST_NUM
+    ; execution resumes here after the handler's RFE
+    LOAD d4, TRAP_TEST_NUM
+    BNE d3, d4, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+sys_handler:
+    MFCR d3, CR_ICAUSE
+    SHR d3, d3, 8
+    RFE
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_IRQ_WDT",
+		Description: "a starved watchdog takes the non-maskable trap",
+		Source: `;; TEST_IRQ_WDT
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, VEC_WATCHDOG
+    LOAD d1, wdog_handler
+    CALL Base_Set_Vector
+    LOAD d0, WDT_TEST_PERIOD
+    CALL Base_Wdt_Arm
+spin:
+    JMP spin
+wdog_handler:
+    CALL Base_Report_Pass
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_IRQ_MASKING",
+		Description: "a pending but masked interrupt stays pending and is not delivered",
+		Source: `;; TEST_IRQ_MASKING
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, VEC_TIMER_IRQ
+    LOAD d1, must_not_fire
+    CALL Base_Set_Vector
+    ; interrupts globally on, but the controller mask stays closed
+    CALL Base_Int_Global_Enable
+    LOAD d0, TIMER_TEST_COUNT
+    CALL Base_Timer_Start_Oneshot
+    LOAD d6, 0
+spin:
+    ADD d6, d6, 1
+    LOAD d7, MASK_SPIN_LOOPS
+    BLT d6, d7, spin
+    ; the line must be pending in the controller...
+    LOAD d2, [REG_INTC_PENDING]
+    AND d3, d2, IRQ_TIMER_MASK
+    LOAD d4, IRQ_TIMER_MASK
+    BNE d3, d4, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+must_not_fire:
+    CALL Base_Report_Fail
+`,
+	})
+	return e
+}

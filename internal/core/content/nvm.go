@@ -1,0 +1,275 @@
+package content
+
+import (
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+)
+
+// nvmEnv builds the NVM module test environment: the Figure 6 material.
+// Its Global Defines own the page-field geometry; when ported they carry
+// the derivative overrides (width 5->6 on SC88-B/SEC, position 0->1 on
+// SC88-C/SEC).
+func nvmEnv(ported bool) *env.Env {
+	e := env.MustNew(ModuleNVM)
+	set := e.Defines
+	commonDefines(set)
+
+	// Re-mapped global-layer registers.
+	set.MustAdd(defines.Entry{Name: "REG_NVMC_CTRL", Default: "NVMC_BASE+NVMC_CTRL_OFF",
+		Comment: "re-mapped NVM controller registers"})
+	set.MustAdd(defines.Entry{Name: "REG_NVMC_STAT", Default: "NVMC_BASE+NVMC_STAT_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_NVMC_ADDR", Default: "NVMC_BASE+NVMC_ADDR_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_NVMC_DATA", Default: "NVMC_BASE+NVMC_DATA_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_NVMC_PAGESEL", Default: "NVMC_BASE+NVMC_PAGESEL_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_NVM_ARRAY", Default: "NVM_BASE"})
+
+	// The Figure 6 field geometry: the single point of change for the
+	// page-select field.
+	pfs := defines.Entry{
+		Name: "PAGE_FIELD_SIZE", Default: "5",
+		Comment: "page-number field width in PAGESEL (Figure 6)",
+	}
+	pfp := defines.Entry{
+		Name: "PAGE_FIELD_START_POSITION", Default: "0",
+		Comment: "page-number field position in PAGESEL (Figure 6)",
+	}
+	if ported {
+		pfs.PerDerivative = map[string]string{"DERIV_B": "6", "DERIV_SEC": "6"}
+		pfp.PerDerivative = map[string]string{"DERIV_C": "1", "DERIV_SEC": "1"}
+	}
+	set.MustAdd(pfs)
+	set.MustAdd(pfp)
+
+	set.MustAdd(defines.Entry{Name: "TEST1_TARGET_PAGE", Default: "8"})
+	set.MustAdd(defines.Entry{Name: "TEST2_TARGET_PAGE", Default: "7"})
+	set.MustAdd(defines.Entry{Name: "MAX_PAGE", Default: "(1 << PAGE_FIELD_SIZE) - 1"})
+	set.MustAdd(defines.Entry{Name: "NVM_PAGE_BYTES", Default: "512"})
+	set.MustAdd(defines.Entry{Name: "NVM_CMD_PROGRAM", Default: "1"})
+	set.MustAdd(defines.Entry{Name: "NVM_CMD_ERASE", Default: "2"})
+	set.MustAdd(defines.Entry{Name: "NVM_ST_BUSY", Default: "1"})
+	set.MustAdd(defines.Entry{Name: "NVM_ST_DONE", Default: "2"})
+	set.MustAdd(defines.Entry{Name: "NVM_ST_ERR", Default: "4"})
+	set.MustAdd(defines.Entry{Name: "ERASED_WORD", Default: "0xFFFFFFFF"})
+	set.MustAdd(defines.Entry{Name: "ALL_ONES_WORD", Default: "0xFFFFFFFF"})
+
+	lib := e.Funcs
+	commonFuncs(lib, ported)
+	lib.MustAdd(basefuncs.Function{
+		Name:        "Base_Nvm_Unlock",
+		Doc:         "Unlock the NVM controller for one command.",
+		WrapsGlobal: "ES_Nvm_Unlock",
+		SavesRA:     true,
+		Body: `    LOAD CallAddr, ES_Nvm_Unlock
+    CALL CallAddr`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Nvm_Select_Page",
+		Doc:    "Deposit a page number into the PAGESEL field (Figure 6).",
+		Params: "d0 = page number",
+		Body: `    LOAD d14, [REG_NVMC_PAGESEL]
+    INSERT d14, d14, d0, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    STORE [REG_NVMC_PAGESEL], d14`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Nvm_Wait_Ready",
+		Doc:    "Poll the controller until not busy.",
+		Params: "returns d0 = 1 ready, 0 timeout",
+		Body: `    LOAD d14, TIMEOUT_LOOPS
+    LOAD d12, 0
+BNW_loop:
+    LOAD d13, [REG_NVMC_STAT]
+    AND d13, d13, NVM_ST_BUSY
+    BEQ d13, d12, BNW_ready
+    SUB d14, d14, 1
+    BNE d14, d12, BNW_loop
+    LOAD d0, 0
+    JMP BNW_done
+BNW_ready:
+    LOAD d0, 1
+BNW_done:
+    NOP`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:    "Base_Nvm_Erase_Page",
+		Doc:     "Erase one page and wait for completion; fails the test on timeout.",
+		Params:  "d0 = page number",
+		SavesRA: true,
+		Body: `    MOV d11, d0
+    CALL Base_Nvm_Unlock
+    MOV d0, d11
+    CALL Base_Nvm_Select_Page
+    LOAD d14, NVM_CMD_ERASE
+    STORE [REG_NVMC_CTRL], d14
+    CALL Base_Nvm_Wait_Ready
+    LOAD d12, 0
+    BNE d0, d12, ERS_ok
+    CALL Base_Report_Fail
+ERS_ok:
+    NOP`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:    "Base_Nvm_Program_Word",
+		Doc:     "Program one word and wait for completion; fails the test on timeout.",
+		Params:  "d0 = byte offset in the array, d1 = data word",
+		SavesRA: true,
+		Body: `    MOV d11, d0
+    MOV d10, d1
+    CALL Base_Nvm_Unlock
+    STORE [REG_NVMC_ADDR], d11
+    STORE [REG_NVMC_DATA], d10
+    LOAD d14, NVM_CMD_PROGRAM
+    STORE [REG_NVMC_CTRL], d14
+    CALL Base_Nvm_Wait_Ready
+    LOAD d12, 0
+    BNE d0, d12, PRG_ok
+    CALL Base_Report_Fail
+PRG_ok:
+    NOP`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Nvm_Read_Word",
+		Doc:    "Read one word from the NVM array.",
+		Params: "d0 = byte offset; returns d0 = word",
+		Body: `    LOAD a14, REG_NVM_ARRAY
+    MOVDA d14, a14
+    ADD d14, d14, d0
+    MOVAD a14, d14
+    LOAD d0, [a14]`,
+	})
+
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_NVM_PAGE_SELECT",
+		Description: "Figure 6 test 1: deposit TEST1_TARGET_PAGE into the PAGESEL field and read it back",
+		Source: `;; TEST_NVM_PAGE_SELECT
+.INCLUDE "Globals.inc"
+TEST_PAGE .EQU TEST1_TARGET_PAGE
+test_main:
+    LOAD d14, [REG_NVMC_PAGESEL]
+    INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    STORE [REG_NVMC_PAGESEL], d14
+    LOAD d2, [REG_NVMC_PAGESEL]
+    EXTRU d3, d2, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    LOAD d4, TEST_PAGE
+    BNE d3, d4, t_fail
+    ; reserved bits must read back zero
+    LOAD d5, TEST_PAGE << PAGE_FIELD_START_POSITION
+    BNE d2, d5, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_NVM_PAGE_SELECT_ALT",
+		Description: "Figure 6 test 2: same sequence with TEST2_TARGET_PAGE",
+		Source: `;; TEST_NVM_PAGE_SELECT_ALT
+.INCLUDE "Globals.inc"
+TEST_PAGE .EQU TEST2_TARGET_PAGE
+test_main:
+    LOAD d14, [REG_NVMC_PAGESEL]
+    INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    STORE [REG_NVMC_PAGESEL], d14
+    LOAD d2, [REG_NVMC_PAGESEL]
+    EXTRU d3, d2, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    LOAD d4, TEST_PAGE
+    BNE d3, d4, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_NVM_FIELD_WIDTH",
+		Description: "corner: all-ones write exposes the implemented field width and position",
+		Source: `;; TEST_NVM_FIELD_WIDTH
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, ALL_ONES_WORD
+    STORE [REG_NVMC_PAGESEL], d0
+    LOAD d2, [REG_NVMC_PAGESEL]
+    LOAD d3, MAX_PAGE << PAGE_FIELD_START_POSITION
+    BNE d2, d3, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_NVM_ERASE",
+		Description: "erase TEST1_TARGET_PAGE: page reads erased, neighbour page untouched",
+		Source: `;; TEST_NVM_ERASE
+.INCLUDE "Globals.inc"
+TEST_PAGE .EQU TEST1_TARGET_PAGE
+test_main:
+    LOAD d0, TEST_PAGE
+    CALL Base_Nvm_Erase_Page
+    LOAD d0, TEST_PAGE * NVM_PAGE_BYTES
+    CALL Base_Nvm_Read_Word
+    LOAD d2, ERASED_WORD
+    BNE d0, d2, t_fail
+    LOAD d0, (TEST_PAGE + 1) * NVM_PAGE_BYTES
+    CALL Base_Nvm_Read_Word
+    LOAD d2, 0
+    BNE d0, d2, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_NVM_PROGRAM",
+		Description: "program a word in an erased page; programming only clears bits",
+		Source: `;; TEST_NVM_PROGRAM
+.INCLUDE "Globals.inc"
+TEST_PAGE .EQU TEST2_TARGET_PAGE
+PROGRAM_VALUE .EQU 0x600DF00D
+test_main:
+    LOAD d0, TEST_PAGE
+    CALL Base_Nvm_Erase_Page
+    LOAD d0, TEST_PAGE * NVM_PAGE_BYTES
+    LOAD d1, PROGRAM_VALUE
+    CALL Base_Nvm_Program_Word
+    LOAD d0, TEST_PAGE * NVM_PAGE_BYTES
+    CALL Base_Nvm_Read_Word
+    LOAD d2, PROGRAM_VALUE
+    BNE d0, d2, t_fail
+    ; a second program cannot set bits back
+    LOAD d0, TEST_PAGE * NVM_PAGE_BYTES
+    LOAD d1, ALL_ONES_WORD
+    CALL Base_Nvm_Program_Word
+    LOAD d0, TEST_PAGE * NVM_PAGE_BYTES
+    CALL Base_Nvm_Read_Word
+    LOAD d2, PROGRAM_VALUE
+    BNE d0, d2, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_NVM_LOCKED_CMD",
+		Description: "a command without the unlock sequence must set the error flag",
+		Source: `;; TEST_NVM_LOCKED_CMD
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, NVM_CMD_ERASE
+    STORE [REG_NVMC_CTRL], d0
+    LOAD d2, [REG_NVMC_STAT]
+    AND d3, d2, NVM_ST_ERR
+    LOAD d4, NVM_ST_ERR
+    BNE d3, d4, t_fail
+    ; W1C clears the error flag
+    LOAD d5, NVM_ST_ERR
+    STORE [REG_NVMC_STAT], d5
+    LOAD d2, [REG_NVMC_STAT]
+    AND d3, d2, NVM_ST_ERR
+    LOAD d4, 0
+    BNE d3, d4, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	return e
+}

@@ -1,0 +1,121 @@
+package content
+
+import (
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+)
+
+// registerEnv builds the Register (control/status register class) test
+// environment of Figure 5. Its tests drive registers through the
+// Base_Init_Register wrapper — the paper's Figure 7 function — so the
+// SC88-SEC embedded-software rewrite is absorbed entirely inside the
+// abstraction layer.
+func registerEnv(ported bool) *env.Env {
+	e := env.MustNew(ModuleRegister)
+	set := e.Defines
+	commonDefines(set)
+
+	set.MustAdd(defines.Entry{Name: "REG_GPIO_OUT", Default: "GPIO_BASE+GPIO_OUT_OFF",
+		Comment: "re-mapped global control/status registers"})
+	set.MustAdd(defines.Entry{Name: "REG_GPIO_DIR", Default: "GPIO_BASE+GPIO_DIR_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_TIMER_RELOAD", Default: "TIMER_BASE+TIMER_RELOAD_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_TIMER_CNT", Default: "TIMER_BASE+TIMER_CNT_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_WDT_PERIOD", Default: "WDT_BASE+WDT_PERIOD_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_WDT_COUNT", Default: "WDT_BASE+WDT_COUNT_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_MBOX_MAGIC", Default: "MBOX_BASE+MBOX_MAGIC_OFF"})
+
+	set.MustAdd(defines.Entry{Name: "MAGIC_EXPECTED", Default: "0x5C88AD00"})
+	set.MustAdd(defines.Entry{Name: "PATTERN_A", Default: "0xA5A5A5A5"})
+	set.MustAdd(defines.Entry{Name: "PATTERN_5", Default: "0x5A5A5A5A"})
+	set.MustAdd(defines.Entry{Name: "PATTERN_W", Default: "0x00001234"})
+
+	lib := e.Funcs
+	commonFuncs(lib, ported)
+	lib.MustAdd(basefuncs.Function{
+		Name:    "Base_Check_Register",
+		Doc:     "Write a register through the ES wrapper and verify the readback; fails the test on mismatch.",
+		Params:  "d0 = value, d1 = register address",
+		SavesRA: true,
+		Body: `    MOV d11, d0
+    MOV d10, d1
+    CALL Base_Init_Register
+    MOVAD a14, d10
+    LOAD d14, [a14]
+    BNE d14, d11, BCR_bad
+    JMP BCR_done
+BCR_bad:
+    CALL Base_Report_Fail
+BCR_done:
+    NOP`,
+	})
+
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_REG_GPIO_PATTERN",
+		Description: "GPIO output latch holds alternating bit patterns",
+		Source: `;; TEST_REG_GPIO_PATTERN
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, PATTERN_A
+    LOAD d1, REG_GPIO_OUT
+    CALL Base_Check_Register
+    LOAD d0, PATTERN_5
+    LOAD d1, REG_GPIO_OUT
+    CALL Base_Check_Register
+    LOAD d0, PATTERN_A
+    LOAD d1, REG_GPIO_DIR
+    CALL Base_Check_Register
+    CALL Base_Report_Pass
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_REG_TIMER_RELOAD",
+		Description: "timer reload register stores full-width patterns",
+		Source: `;; TEST_REG_TIMER_RELOAD
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, PATTERN_A
+    LOAD d1, REG_TIMER_RELOAD
+    CALL Base_Check_Register
+    LOAD d0, PATTERN_5
+    LOAD d1, REG_TIMER_RELOAD
+    CALL Base_Check_Register
+    LOAD d0, 0
+    LOAD d1, REG_TIMER_RELOAD
+    CALL Base_Check_Register
+    CALL Base_Report_Pass
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_REG_MBOX_MAGIC",
+		Description: "mailbox identification register reads the expected constant",
+		Source: `;; TEST_REG_MBOX_MAGIC
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d2, [REG_MBOX_MAGIC]
+    LOAD d3, MAGIC_EXPECTED
+    BNE d2, d3, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_REG_WDT_PERIOD",
+		Description: "watchdog period write reflects into the count while disabled",
+		Source: `;; TEST_REG_WDT_PERIOD
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, PATTERN_W
+    LOAD d1, REG_WDT_PERIOD
+    CALL Base_Init_Register
+    LOAD d2, [REG_WDT_COUNT]
+    LOAD d3, PATTERN_W
+    BNE d2, d3, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	return e
+}

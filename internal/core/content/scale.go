@@ -1,0 +1,58 @@
+package content
+
+import (
+	"fmt"
+
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+)
+
+// AddScaledTests grows the NVM environment with n additional generated
+// page-select tests, each targeting its own page through its own Global
+// Define. This is the suite-growth ablation: the paper's porting claim is
+// about how re-factoring cost scales with the number of tests, so the
+// experiment needs suites of different sizes that are otherwise
+// identical. The added tests follow the ADVM rules (no hardwired values,
+// abstraction-layer names only) and pass on every derivative.
+func AddScaledTests(s *sysenv.System, n int) error {
+	e, ok := s.Env(ModuleNVM)
+	if !ok {
+		return fmt.Errorf("content: system has no NVM environment")
+	}
+	for k := 0; k < n; k++ {
+		name := fmt.Sprintf("SCALE_PAGE_%03d", k)
+		// Pages 0..31 are valid for every family derivative (the
+		// narrowest field is 5 bits).
+		if err := e.Defines.Add(defines.Entry{
+			Name:    name,
+			Default: fmt.Sprintf("%d", k%32),
+			Comment: "generated scaling-ablation page target",
+		}); err != nil {
+			return err
+		}
+		err := e.AddTest(env.TestCell{
+			ID:          fmt.Sprintf("TEST_NVM_PAGE_SCALE_%03d", k),
+			Description: fmt.Sprintf("generated page-select variant %d (scaling ablation)", k),
+			Source: fmt.Sprintf(`;; generated scaling-ablation test %03d
+.INCLUDE "Globals.inc"
+TEST_PAGE .EQU %s
+test_main:
+    LOAD d14, [REG_NVMC_PAGESEL]
+    INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    STORE [REG_NVMC_PAGESEL], d14
+    LOAD d2, [REG_NVMC_PAGESEL]
+    EXTRU d3, d2, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
+    LOAD d4, TEST_PAGE
+    BNE d3, d4, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`, k, name),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package content
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core/derivative"
+	"repro/internal/core/port"
+	"repro/internal/platform"
+
+	_ "repro/internal/golden"
+)
+
+func TestScaledSuitePassesAndPortCostIsFlat(t *testing.T) {
+	const n = 24
+	s := UnportedSystem()
+	if err := AddScaledTests(s, n); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate scaled test IDs are rejected.
+	if err := AddScaledTests(s, 1); err == nil {
+		t.Error("re-adding scaled tests should fail")
+	}
+
+	res, err := port.ApplyAll(s, port.FamilyChanges()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ADVM port cost must not grow with the suite: still the same
+	// abstraction-layer files as the unscaled port.
+	if res.Cost.FilesTouched() != 7 {
+		t.Errorf("scaled ADVM port touched %d files, want 7:\n%s", res.Cost.FilesTouched(), res.Cost)
+	}
+
+	// A sample of the scaled tests passes on a changed derivative.
+	for _, id := range []string{"TEST_NVM_PAGE_SCALE_000", "TEST_NVM_PAGE_SCALE_023"} {
+		r, err := s.RunTest(ModuleNVM, id, derivative.C(), platform.KindGolden, platform.RunSpec{})
+		if err != nil || !r.Passed() {
+			t.Errorf("%s on C: %v %+v", id, err, r)
+		}
+	}
+
+	// The baseline cost grows linearly with n.
+	c0 := baseline.ScaledPortCost(derivative.A(), derivative.C(), 0)
+	cn := baseline.ScaledPortCost(derivative.A(), derivative.C(), n)
+	if cn.FilesTouched() != c0.FilesTouched()+n {
+		t.Errorf("baseline files: n=0 -> %d, n=%d -> %d; want +%d",
+			c0.FilesTouched(), n, cn.FilesTouched(), n)
+	}
+}
+
+func TestScaledBaselinePasses(t *testing.T) {
+	d := derivative.A()
+	s := baseline.GenerateScaled(d, 4)
+	for _, id := range []string{"TEST_NVM_PAGE_SCALE_000", "TEST_NVM_PAGE_SCALE_003"} {
+		r, err := s.RunTest(id, d, platform.KindGolden, platform.RunSpec{})
+		if err != nil || !r.Passed() {
+			t.Errorf("%s: %v %+v", id, err, r)
+		}
+	}
+}

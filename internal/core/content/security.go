@@ -1,0 +1,144 @@
+package content
+
+import (
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+)
+
+// securityEnv builds the SECURITY module test environment around the
+// memory-protection unit — the chip-card feature whose verification
+// motivates expected-fault tests: a test arms the MPU, installs its own
+// memory-fault handler through the abstraction layer, and *expects* the
+// protected write to trap.
+func securityEnv(ported bool) *env.Env {
+	e := env.MustNew("SECURITY")
+	set := e.Defines
+	commonDefines(set)
+
+	set.MustAdd(defines.Entry{Name: "REG_MPU_LO", Default: "MPU_BASE+MPU_LO_OFF",
+		Comment: "re-mapped memory-protection-unit registers"})
+	set.MustAdd(defines.Entry{Name: "REG_MPU_HI", Default: "MPU_BASE+MPU_HI_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_MPU_CTRL", Default: "MPU_BASE+MPU_CTRL_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_MPU_STAT", Default: "MPU_BASE+MPU_STAT_OFF"})
+	set.MustAdd(defines.Entry{Name: "MPU_ENABLE", Default: "1"})
+	set.MustAdd(defines.Entry{Name: "VEC_MEMFAULT", Default: "2"})
+
+	// The protected test window lives in RAM, well away from the stack
+	// and the vector table.
+	set.MustAdd(defines.Entry{Name: "SEC_WINDOW_LO", Default: "0x20002000"})
+	set.MustAdd(defines.Entry{Name: "SEC_WINDOW_HI", Default: "0x20002FFF"})
+	set.MustAdd(defines.Entry{Name: "SEC_INSIDE_ADDR", Default: "0x20002800"})
+	set.MustAdd(defines.Entry{Name: "SEC_OUTSIDE_ADDR", Default: "0x20003000"})
+	set.MustAdd(defines.Entry{Name: "SEC_PATTERN", Default: "0x5EC0DE"})
+
+	lib := e.Funcs
+	commonFuncs(lib, ported)
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Set_Vector",
+		Doc:    "Install a handler in the global vector table.",
+		Params: "d0 = vector number, d1 = handler address",
+		Body: `    LOAD a14, __vector_table
+    SHL d13, d0, 2
+    MOVDA d14, a14
+    ADD d14, d14, d13
+    MOVAD a14, d14
+    STORE [a14], d1`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:   "Base_Mpu_Arm",
+		Doc:    "Program the protection window and arm the MPU (sticky).",
+		Params: "d0 = low address, d1 = high address",
+		Body: `    STORE [REG_MPU_LO], d0
+    STORE [REG_MPU_HI], d1
+    LOAD d14, MPU_ENABLE
+    STORE [REG_MPU_CTRL], d14`,
+	})
+
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_SEC_MPU_BLOCKS",
+		Description: "an armed MPU faults writes inside the window and passes writes outside it",
+		Source: `;; TEST_SEC_MPU_BLOCKS
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, VEC_MEMFAULT
+    LOAD d1, blocked_ok
+    CALL Base_Set_Vector
+    LOAD d0, SEC_WINDOW_LO
+    LOAD d1, SEC_WINDOW_HI
+    CALL Base_Mpu_Arm
+    ; a write outside the window must still succeed
+    LOAD d3, SEC_PATTERN
+    STORE [SEC_OUTSIDE_ADDR], d3
+    LOAD d4, [SEC_OUTSIDE_ADDR]
+    BNE d4, d3, t_fail
+    ; a write inside the window must take the memory-fault trap
+    STORE [SEC_INSIDE_ADDR], d3
+    CALL Base_Report_Fail
+blocked_ok:
+    ; the protected location must be untouched
+    LOAD d5, [SEC_INSIDE_ADDR]
+    LOAD d6, 0
+    BNE d5, d6, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_SEC_MPU_STICKY",
+		Description: "once armed, the MPU cannot be disarmed and its window is frozen",
+		Source: `;; TEST_SEC_MPU_STICKY
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, SEC_WINDOW_LO
+    LOAD d1, SEC_WINDOW_HI
+    CALL Base_Mpu_Arm
+    ; attempt to disarm
+    LOAD d2, 0
+    STORE [REG_MPU_CTRL], d2
+    LOAD d3, [REG_MPU_CTRL]
+    AND d4, d3, MPU_ENABLE
+    LOAD d5, MPU_ENABLE
+    BNE d4, d5, t_fail
+    ; attempt to move the window
+    LOAD d6, SEC_OUTSIDE_ADDR
+    STORE [REG_MPU_LO], d6
+    LOAD d7, [REG_MPU_LO]
+    LOAD d8, SEC_WINDOW_LO
+    BNE d7, d8, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_SEC_MPU_COUNTS",
+		Description: "the MPU status register counts blocked writes",
+		Source: `;; TEST_SEC_MPU_COUNTS
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, VEC_MEMFAULT
+    LOAD d1, after_block
+    CALL Base_Set_Vector
+    LOAD d0, SEC_WINDOW_LO
+    LOAD d1, SEC_WINDOW_HI
+    CALL Base_Mpu_Arm
+    LOAD d3, SEC_PATTERN
+    STORE [SEC_INSIDE_ADDR], d3
+    CALL Base_Report_Fail
+after_block:
+    LOAD d4, [REG_MPU_STAT]
+    SHR d5, d4, 8          ; blocked-write count
+    LOAD d6, 1
+    BNE d5, d6, t_fail
+    AND d7, d4, MPU_ENABLE ; still armed
+    LOAD d8, MPU_ENABLE
+    BNE d7, d8, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	return e
+}

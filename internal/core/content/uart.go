@@ -1,0 +1,200 @@
+package content
+
+import (
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+)
+
+// uartEnv builds the UART module test environment. Its abstraction layer
+// re-maps every UART register name from the global layer; the ported
+// variant carries the SC88-SEC override for the renamed data register
+// (UART_DR_OFF -> UART_DATA_OFF). The relocated UART block of SC88-C/SEC
+// needs no environment change at all: the base address flows in through
+// the global register definitions under its stable name.
+func uartEnv(ported bool) *env.Env {
+	e := env.MustNew(ModuleUART)
+	set := e.Defines
+	commonDefines(set)
+
+	set.MustAdd(defines.Entry{Name: "REG_UART_BASE", Default: "UART_BASE",
+		Comment: "re-mapped global UART registers"})
+	dr := defines.Entry{Name: "REG_UART_DR", Default: "UART_BASE+UART_DR_OFF"}
+	if ported {
+		// SC88-SEC renamed the data register in the global definitions.
+		dr.PerDerivative = map[string]string{"DERIV_SEC": "UART_BASE+UART_DATA_OFF"}
+	}
+	set.MustAdd(dr)
+	set.MustAdd(defines.Entry{Name: "REG_UART_SR", Default: "UART_BASE+UART_SR_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_UART_CR", Default: "UART_BASE+UART_CR_OFF"})
+	set.MustAdd(defines.Entry{Name: "REG_UART_BRR", Default: "UART_BASE+UART_BRR_OFF"})
+
+	set.MustAdd(defines.Entry{Name: "UART_TEST_DIVIDER", Default: "1",
+		Comment: "test baud divider; one byte takes divider*10 cycles"})
+	set.MustAdd(defines.Entry{Name: "UART_SLOW_DIVIDER", Default: "64",
+		Comment: "slow divider for busy-state observation tests"})
+	set.MustAdd(defines.Entry{Name: "CR_ENABLE", Default: "1"})
+	set.MustAdd(defines.Entry{Name: "CR_LOOPBACK", Default: "8"})
+	set.MustAdd(defines.Entry{Name: "SR_TXREADY", Default: "1"})
+	set.MustAdd(defines.Entry{Name: "SR_RXAVAIL", Default: "2"})
+	set.MustAdd(defines.Entry{Name: "SR_TXIDLE", Default: "4"})
+
+	lib := e.Funcs
+	commonFuncs(lib, ported)
+	lib.MustAdd(basefuncs.Function{
+		Name:        "Base_Uart_Init",
+		Doc:         "Initialise the UART at the test divider.",
+		WrapsGlobal: "ES_Uart_Init",
+		SavesRA:     true,
+		Body: `    LOAD d0, UART_TEST_DIVIDER
+    LOAD CallAddr, ES_Uart_Init
+    CALL CallAddr`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:        "Base_Uart_Send",
+		Doc:         "Queue one byte for transmission.",
+		Params:      "d0 = byte",
+		WrapsGlobal: "ES_Uart_Send",
+		SavesRA:     true,
+		Body: `    LOAD CallAddr, ES_Uart_Send
+    CALL CallAddr`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name: "Base_Uart_Set_Loopback",
+		Doc:  "Route transmitted bytes back into the receiver.",
+		Body: `    LOAD d14, CR_ENABLE | CR_LOOPBACK
+    STORE [REG_UART_CR], d14`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:    "Base_Uart_Recv",
+		Doc:     "Wait for a received byte; fails the test on timeout.",
+		Params:  "returns d0 = byte",
+		SavesRA: true,
+		Body: `    LOAD d14, TIMEOUT_LOOPS
+    LOAD d12, 0
+URX_loop:
+    LOAD d13, [REG_UART_SR]
+    AND d13, d13, SR_RXAVAIL
+    BNE d13, d12, URX_got
+    SUB d14, d14, 1
+    BNE d14, d12, URX_loop
+    CALL Base_Report_Fail
+URX_got:
+    LOAD d0, [REG_UART_DR]`,
+	})
+	lib.MustAdd(basefuncs.Function{
+		Name:    "Base_Uart_Wait_Idle",
+		Doc:     "Wait until the transmitter is idle; fails the test on timeout.",
+		SavesRA: true,
+		Body: `    LOAD d14, TIMEOUT_LOOPS
+    LOAD d12, 0
+UWI_loop:
+    LOAD d13, [REG_UART_SR]
+    AND d13, d13, SR_TXIDLE
+    BNE d13, d12, UWI_done
+    SUB d14, d14, 1
+    BNE d14, d12, UWI_loop
+    CALL Base_Report_Fail
+UWI_done:
+    NOP`,
+	})
+
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_UART_LOOPBACK_SINGLE",
+		Description: "one byte through the loopback path returns unchanged",
+		Source: `;; TEST_UART_LOOPBACK_SINGLE
+.INCLUDE "Globals.inc"
+TEST_BYTE .EQU 0x5A
+test_main:
+    CALL Base_Uart_Init
+    CALL Base_Uart_Set_Loopback
+    LOAD d0, TEST_BYTE
+    CALL Base_Uart_Send
+    CALL Base_Uart_Recv
+    LOAD d2, TEST_BYTE
+    BNE d0, d2, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_UART_LOOPBACK_BURST",
+		Description: "four bytes in sequence survive the loopback FIFO path in order",
+		Source: `;; TEST_UART_LOOPBACK_BURST
+.INCLUDE "Globals.inc"
+BURST_BASE_BYTE .EQU 0x10
+BURST_LEN .EQU 4
+test_main:
+    CALL Base_Uart_Init
+    CALL Base_Uart_Set_Loopback
+    LOAD d5, BURST_BASE_BYTE
+    LOAD d6, 0
+burst_send:
+    MOV d0, d5
+    ADD d0, d0, d6
+    CALL Base_Uart_Send
+    ADD d6, d6, 1
+    LOAD d7, BURST_LEN
+    BLT d6, d7, burst_send
+    LOAD d6, 0
+burst_recv:
+    CALL Base_Uart_Recv
+    CALL Base_Checkpoint
+    MOV d8, d5
+    ADD d8, d8, d6
+    BNE d0, d8, t_fail
+    ADD d6, d6, 1
+    LOAD d7, BURST_LEN
+    BLT d6, d7, burst_recv
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_UART_TX_IDLE",
+		Description: "transmitter reports busy while shifting and idle afterwards",
+		Source: `;; TEST_UART_TX_IDLE
+.INCLUDE "Globals.inc"
+IDLE_TEST_BYTE .EQU 0x77
+test_main:
+    CALL Base_Uart_Init
+    ; slow the wire down so the busy state is observable
+    LOAD d0, UART_SLOW_DIVIDER
+    STORE [REG_UART_BRR], d0
+    CALL Base_Uart_Wait_Idle
+    LOAD d0, IDLE_TEST_BYTE
+    CALL Base_Uart_Send
+    ; immediately after queuing, the shifter must be busy
+    LOAD d2, [REG_UART_SR]
+    AND d3, d2, SR_TXIDLE
+    LOAD d4, 0
+    BNE d3, d4, t_fail
+    CALL Base_Uart_Wait_Idle
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	e.MustAddTest(env.TestCell{
+		ID:          "TEST_UART_STATUS_RESET",
+		Description: "after init: TX ready, nothing received",
+		Source: `;; TEST_UART_STATUS_RESET
+.INCLUDE "Globals.inc"
+test_main:
+    CALL Base_Uart_Init
+    LOAD d2, [REG_UART_SR]
+    AND d3, d2, SR_TXREADY
+    LOAD d4, SR_TXREADY
+    BNE d3, d4, t_fail
+    AND d3, d2, SR_RXAVAIL
+    LOAD d4, 0
+    BNE d3, d4, t_fail
+    CALL Base_Report_Pass
+t_fail:
+    CALL Base_Report_Fail
+`,
+	})
+	return e
+}

@@ -1,0 +1,266 @@
+// Package defines models the ADVM 'Global Defines' component of the
+// abstraction layer (Figure 1). A Set is an ordered collection of named
+// definitions, each with an optional per-derivative and per-platform
+// override, rendered to the Globals.inc file every test and base function
+// includes. Anywhere a test would previously have used a hardwired value
+// now references a name in this file, so a specification or derivative
+// change is absorbed by editing the Set — a single point of change —
+// instead of re-factoring tests (the paper's Section 4, Figure 6).
+package defines
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes .EQU value definitions from .DEFINE textual aliases.
+type Kind uint8
+
+// Definition kinds.
+const (
+	// KindEqu renders as `NAME .EQU expr` (values and re-mapped names).
+	KindEqu Kind = iota
+	// KindDefine renders as `.DEFINE NAME text` (register aliases such as
+	// the paper's `.DEFINE CallAddr A12`).
+	KindDefine
+)
+
+// Entry is one definition.
+type Entry struct {
+	Name    string
+	Kind    Kind
+	Default string
+	// PerDerivative maps a derivative macro (e.g. "DERIV_B") to an
+	// override expression.
+	PerDerivative map[string]string
+	// PerPlatform maps a platform macro (e.g. "PLAT_SILICON") to an
+	// override expression.
+	PerPlatform map[string]string
+	Comment     string
+}
+
+// clone deep-copies the entry.
+func (e *Entry) clone() *Entry {
+	c := *e
+	c.PerDerivative = copyMap(e.PerDerivative)
+	c.PerPlatform = copyMap(e.PerPlatform)
+	return &c
+}
+
+func copyMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Set is the ordered Global Defines collection.
+type Set struct {
+	entries  []*Entry
+	index    map[string]*Entry
+	includes []string
+}
+
+// NewSet creates an empty Set.
+func NewSet() *Set {
+	return &Set{index: make(map[string]*Entry)}
+}
+
+// Clone deep-copies the Set (used by releases and porting what-ifs).
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	out.includes = append([]string(nil), s.includes...)
+	for _, e := range s.entries {
+		c := e.clone()
+		out.entries = append(out.entries, c)
+		out.index[c.Name] = c
+	}
+	return out
+}
+
+// AddInclude makes the rendered Globals.inc include another file first —
+// typically the global-layer register definitions whose names the Set
+// re-maps.
+func (s *Set) AddInclude(name string) {
+	for _, inc := range s.includes {
+		if inc == name {
+			return
+		}
+	}
+	s.includes = append(s.includes, name)
+}
+
+// Includes returns the include list.
+func (s *Set) Includes() []string { return append([]string(nil), s.includes...) }
+
+// Len returns the number of entries.
+func (s *Set) Len() int { return len(s.entries) }
+
+// Names returns entry names in definition order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Add appends a new definition. It returns an error on duplicates: every
+// define has exactly one home, which is what makes it a single point of
+// change.
+func (s *Set) Add(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("defines: entry with empty name")
+	}
+	if _, dup := s.index[e.Name]; dup {
+		return fmt.Errorf("defines: %q already defined", e.Name)
+	}
+	c := e.clone()
+	s.entries = append(s.entries, c)
+	s.index[c.Name] = c
+	return nil
+}
+
+// MustAdd is Add for static construction; it panics on error.
+func (s *Set) MustAdd(e Entry) {
+	if err := s.Add(e); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the entry with the given name.
+func (s *Set) Get(name string) (*Entry, bool) {
+	e, ok := s.index[name]
+	return e, ok
+}
+
+// SetDefault changes an entry's default expression.
+func (s *Set) SetDefault(name, expr string) error {
+	e, ok := s.index[name]
+	if !ok {
+		return fmt.Errorf("defines: %q not defined", name)
+	}
+	e.Default = expr
+	return nil
+}
+
+// OverrideDerivative installs a derivative-specific value for an existing
+// entry — the mechanism that absorbs derivative changes.
+func (s *Set) OverrideDerivative(name, derivMacro, expr string) error {
+	e, ok := s.index[name]
+	if !ok {
+		return fmt.Errorf("defines: %q not defined", name)
+	}
+	if e.PerDerivative == nil {
+		e.PerDerivative = make(map[string]string)
+	}
+	e.PerDerivative[derivMacro] = expr
+	return nil
+}
+
+// OverridePlatform installs a platform-specific value for an existing
+// entry — the mechanism that adapts the environment to the simulation
+// target (e.g. longer timeouts on silicon).
+func (s *Set) OverridePlatform(name, platMacro, expr string) error {
+	e, ok := s.index[name]
+	if !ok {
+		return fmt.Errorf("defines: %q not defined", name)
+	}
+	if e.PerPlatform == nil {
+		e.PerPlatform = make(map[string]string)
+	}
+	e.PerPlatform[platMacro] = expr
+	return nil
+}
+
+// Remove deletes an entry.
+func (s *Set) Remove(name string) error {
+	if _, ok := s.index[name]; !ok {
+		return fmt.Errorf("defines: %q not defined", name)
+	}
+	delete(s.index, name)
+	for i, e := range s.entries {
+		if e.Name == name {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Render emits the Globals.inc text. Overrides render as .IFDEF chains on
+// the derivative/platform macros so that one file serves every target;
+// the include guard keeps double inclusion harmless.
+func (s *Set) Render(module string) string {
+	var b strings.Builder
+	guard := "GLOBALS_" + strings.ToUpper(module) + "_INC"
+	fmt.Fprintf(&b, ";; Globals.inc -- ADVM Global Defines for module %s\n", module)
+	b.WriteString(";; GENERATED: the single point of change for this environment.\n")
+	fmt.Fprintf(&b, ".IFNDEF %s\n.DEFINE %s\n\n", guard, guard)
+	for _, inc := range s.includes {
+		fmt.Fprintf(&b, ".INCLUDE %q\n", inc)
+	}
+	if len(s.includes) > 0 {
+		b.WriteString("\n")
+	}
+	for _, e := range s.entries {
+		if e.Comment != "" {
+			fmt.Fprintf(&b, "; %s\n", e.Comment)
+		}
+		writeEntry(&b, e)
+		b.WriteString("\n")
+	}
+	b.WriteString(".ENDIF\n")
+	return b.String()
+}
+
+func writeEntry(b *strings.Builder, e *Entry) {
+	// Derivative overrides first, then platform overrides, then default.
+	// Both override classes rarely apply to one entry; when they do,
+	// derivative wins (documented ADVM convention).
+	var conds []struct{ macro, expr string }
+	for _, m := range sortedKeys(e.PerDerivative) {
+		conds = append(conds, struct{ macro, expr string }{m, e.PerDerivative[m]})
+	}
+	for _, m := range sortedKeys(e.PerPlatform) {
+		conds = append(conds, struct{ macro, expr string }{m, e.PerPlatform[m]})
+	}
+	if len(conds) == 0 {
+		b.WriteString(renderLine(e, e.Default))
+		return
+	}
+	for i, c := range conds {
+		if i == 0 {
+			fmt.Fprintf(b, ".IFDEF %s\n", c.macro)
+		} else {
+			fmt.Fprintf(b, ".ELSE\n.IFDEF %s\n", c.macro)
+		}
+		b.WriteString(renderLine(e, c.expr))
+	}
+	b.WriteString(".ELSE\n")
+	b.WriteString(renderLine(e, e.Default))
+	for range conds {
+		b.WriteString(".ENDIF\n")
+	}
+}
+
+func renderLine(e *Entry, expr string) string {
+	if e.Kind == KindDefine {
+		return fmt.Sprintf(".DEFINE %s %s\n", e.Name, expr)
+	}
+	return fmt.Sprintf("%s .EQU %s\n", e.Name, expr)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package defines
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddGetAndDuplicates(t *testing.T) {
+	s := NewSet()
+	if err := s.Add(Entry{Name: "A", Default: "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Entry{Name: "A", Default: "2"}); err == nil {
+		t.Error("duplicate add should fail")
+	}
+	if err := s.Add(Entry{Default: "2"}); err == nil {
+		t.Error("empty name should fail")
+	}
+	e, ok := s.Get("A")
+	if !ok || e.Default != "1" {
+		t.Errorf("Get = %+v, %v", e, ok)
+	}
+	if s.Len() != 1 || s.Names()[0] != "A" {
+		t.Errorf("Len/Names wrong: %d %v", s.Len(), s.Names())
+	}
+}
+
+func TestOverridesAndRender(t *testing.T) {
+	s := NewSet()
+	s.MustAdd(Entry{Name: "PAGE_FIELD_SIZE", Default: "5", Comment: "field width"})
+	if err := s.OverrideDerivative("PAGE_FIELD_SIZE", "DERIV_B", "6"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OverridePlatform("PAGE_FIELD_SIZE", "PLAT_GATE", "5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OverrideDerivative("MISSING", "DERIV_B", "1"); err == nil {
+		t.Error("override of missing entry should fail")
+	}
+	out := s.Render("NVM")
+	for _, want := range []string{
+		".IFNDEF GLOBALS_NVM_INC",
+		"; field width",
+		".IFDEF DERIV_B",
+		"PAGE_FIELD_SIZE .EQU 6",
+		"PAGE_FIELD_SIZE .EQU 5",
+		".ELSE",
+		".ENDIF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDefineKind(t *testing.T) {
+	s := NewSet()
+	s.MustAdd(Entry{Name: "CallAddr", Kind: KindDefine, Default: "A12"})
+	out := s.Render("X")
+	if !strings.Contains(out, ".DEFINE CallAddr A12") {
+		t.Errorf("missing .DEFINE rendering:\n%s", out)
+	}
+}
+
+func TestIncludes(t *testing.T) {
+	s := NewSet()
+	s.AddInclude("registers.inc")
+	s.AddInclude("registers.inc") // dedup
+	if len(s.Includes()) != 1 {
+		t.Errorf("includes = %v", s.Includes())
+	}
+	out := s.Render("X")
+	if !strings.Contains(out, ".INCLUDE \"registers.inc\"") {
+		t.Errorf("missing include:\n%s", out)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewSet()
+	s.MustAdd(Entry{Name: "A", Default: "1",
+		PerDerivative: map[string]string{"DERIV_B": "2"}})
+	c := s.Clone()
+	if err := c.OverrideDerivative("A", "DERIV_C", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefault("A", "9"); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := s.Get("A")
+	if orig.Default != "1" || len(orig.PerDerivative) != 1 {
+		t.Errorf("clone mutated original: %+v", orig)
+	}
+}
+
+func TestRemoveAndSetDefault(t *testing.T) {
+	s := NewSet()
+	s.MustAdd(Entry{Name: "A", Default: "1"})
+	s.MustAdd(Entry{Name: "B", Default: "2"})
+	if err := s.Remove("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("A"); err == nil {
+		t.Error("double remove should fail")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if err := s.SetDefault("B", "7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDefault("A", "7"); err == nil {
+		t.Error("SetDefault on removed entry should fail")
+	}
+	e, _ := s.Get("B")
+	if e.Default != "7" {
+		t.Errorf("default = %q", e.Default)
+	}
+}
+
+func TestMultipleOverridesNest(t *testing.T) {
+	s := NewSet()
+	s.MustAdd(Entry{Name: "W", Default: "5", PerDerivative: map[string]string{
+		"DERIV_B": "6", "DERIV_SEC": "6",
+	}})
+	out := s.Render("M")
+	// Two overrides nest: .IFDEF a ... .ELSE .IFDEF b ... .ELSE default
+	if strings.Count(out, ".ENDIF") < 3 { // 2 nested + the include guard
+		t.Errorf("expected nested conditionals:\n%s", out)
+	}
+	if strings.Count(out, "W .EQU 6") != 2 || strings.Count(out, "W .EQU 5") != 1 {
+		t.Errorf("override rendering wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,250 @@
+// Package derivative models the chip-derivative family that the ADVM test
+// environment must port across. A Derivative bundles the hardware ground
+// truth (the soc.HWConfig the platforms instantiate) with the
+// software-visible interface the global layer publishes: register names,
+// register addresses, field geometry, and the embedded-software function
+// versions. The differences between derivatives are exactly the change
+// classes of the paper's Section 4: shifted bit fields, widened bit
+// fields, renamed registers, relocated register blocks, and re-written
+// embedded-software functions with a changed calling convention.
+package derivative
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/periph"
+	"repro/internal/soc"
+)
+
+// ESVersion selects the embedded-software implementation generation.
+type ESVersion int
+
+// Embedded-software generations.
+const (
+	// ESv1 passes (value, address) in d0, d1 — the original convention.
+	ESv1 ESVersion = 1
+	// ESv2 is the re-written embedded software of the paper's Figure 7
+	// scenario: "the input registers have been swapped around":
+	// (address, value) in d0, d1.
+	ESv2 ESVersion = 2
+)
+
+// Derivative is one member of the SC88 family.
+type Derivative struct {
+	// Name is the marketing name ("SC88-A").
+	Name string
+	// Macro is the preprocessor symbol selecting this derivative in
+	// conditional assembly ("DERIV_A").
+	Macro string
+	// HW is the hardware configuration the platforms instantiate.
+	HW soc.HWConfig
+	// RegNames maps canonical register identities to the names the
+	// global layer publishes for this derivative. A derivative that
+	// renames a register (the paper's "register name has been changed
+	// for a new derivative") has a different value here.
+	RegNames map[string]string
+	// ES is the embedded-software generation shipped with the chip.
+	ES ESVersion
+}
+
+// Canonical register identities (keys of RegNames). The global layer's
+// register-definition file publishes one symbol per identity.
+const (
+	RegMboxBase  = "MBOX_BASE"
+	RegUartBase  = "UART_BASE"
+	RegUartDR    = "UART_DR_OFF"
+	RegUartSR    = "UART_SR_OFF"
+	RegUartCR    = "UART_CR_OFF"
+	RegUartBRR   = "UART_BRR_OFF"
+	RegNvmcBase  = "NVMC_BASE"
+	RegTimerBase = "TIMER_BASE"
+	RegIntcBase  = "INTC_BASE"
+	RegWdtBase   = "WDT_BASE"
+	RegGpioBase  = "GPIO_BASE"
+	RegNvmBase   = "NVM_BASE"
+	RegMpuBase   = "MPU_BASE"
+)
+
+func defaultRegNames() map[string]string {
+	return map[string]string{
+		RegMboxBase:  "MBOX_BASE",
+		RegUartBase:  "UART_BASE",
+		RegUartDR:    "UART_DR_OFF",
+		RegUartSR:    "UART_SR_OFF",
+		RegUartCR:    "UART_CR_OFF",
+		RegUartBRR:   "UART_BRR_OFF",
+		RegNvmcBase:  "NVMC_BASE",
+		RegTimerBase: "TIMER_BASE",
+		RegIntcBase:  "INTC_BASE",
+		RegWdtBase:   "WDT_BASE",
+		RegGpioBase:  "GPIO_BASE",
+		RegNvmBase:   "NVM_BASE",
+		RegMpuBase:   "MPU_BASE",
+	}
+}
+
+// A builds the SC88-A baseline derivative.
+func A() *Derivative {
+	return &Derivative{
+		Name:     "SC88-A",
+		Macro:    "DERIV_A",
+		HW:       soc.DefaultConfig(),
+		RegNames: defaultRegNames(),
+		ES:       ESv1,
+	}
+}
+
+// B is the capacity derivative: the NVM grew, so the page-select field is
+// one bit wider (the paper's "capable of handling more pages ... field
+// size has increased by one bit").
+func B() *Derivative {
+	d := A()
+	d.Name = "SC88-B"
+	d.Macro = "DERIV_B"
+	d.HW.Name = d.Name
+	d.HW.DerivID = 0xB0
+	d.HW.NvmSize = 256 << 10 // twice the NVM
+	d.HW.Nvm.PageFieldWidth = 6
+	return d
+}
+
+// C is the spec-change derivative: the page field moved up by one bit
+// (the paper's "location of these control bits have been shifted by
+// one"), and the UART register block was relocated.
+func C() *Derivative {
+	d := A()
+	d.Name = "SC88-C"
+	d.Macro = "DERIV_C"
+	d.HW.Name = d.Name
+	d.HW.DerivID = 0xC0
+	d.HW.Nvm.PageFieldPos = 1
+	d.HW.UartBase = 0x8001_0000 // relocated block
+	return d
+}
+
+// SEC is the security derivative: it accumulates B's and C's hardware
+// changes, renames the UART data register in the published definitions,
+// and ships the re-written embedded software with swapped input registers
+// (the paper's Figure 7 scenario).
+func SEC() *Derivative {
+	d := A()
+	d.Name = "SC88-SEC"
+	d.Macro = "DERIV_SEC"
+	d.HW.Name = d.Name
+	d.HW.DerivID = 0x5E
+	d.HW.NvmSize = 256 << 10
+	d.HW.Nvm.PageFieldWidth = 6
+	d.HW.Nvm.PageFieldPos = 1
+	d.HW.UartBase = 0x8001_0000
+	d.RegNames[RegUartDR] = "UART_DATA_OFF" // renamed register
+	d.ES = ESv2
+	return d
+}
+
+// Family returns the standard four derivatives in release order.
+func Family() []*Derivative {
+	return []*Derivative{A(), B(), C(), SEC()}
+}
+
+// ByName finds a family derivative.
+func ByName(name string) (*Derivative, error) {
+	for _, d := range Family() {
+		if d.Name == name || d.Macro == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("derivative %q unknown (have %v)", name, Names())
+}
+
+// Names lists the family names.
+func Names() []string {
+	var out []string
+	for _, d := range Family() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// Nvm returns the derivative's NVM geometry.
+func (d *Derivative) Nvm() periph.NvmGeometry { return d.HW.Nvm }
+
+// RegName resolves a canonical register identity to this derivative's
+// published name, falling back to the identity itself.
+func (d *Derivative) RegName(canonical string) string {
+	if n, ok := d.RegNames[canonical]; ok {
+		return n
+	}
+	return canonical
+}
+
+// RegisterDefs renders the global layer's register-definition include
+// file for this derivative ("Global Control & Status Register
+// Definitions" in Figure 1). Test environments must not include it
+// directly; the abstraction layer re-maps its names through Globals.inc.
+func (d *Derivative) RegisterDefs() string {
+	type def struct {
+		name string
+		val  uint32
+	}
+	defs := []def{
+		{d.RegName(RegMboxBase), d.HW.MboxBase},
+		{d.RegName(RegUartBase), d.HW.UartBase},
+		{d.RegName(RegUartDR), periph.UartDR},
+		{d.RegName(RegUartSR), periph.UartSR},
+		{d.RegName(RegUartCR), periph.UartCR},
+		{d.RegName(RegUartBRR), periph.UartBRR},
+		{d.RegName(RegNvmcBase), d.HW.NvmcBase},
+		{d.RegName(RegTimerBase), d.HW.TimerBase},
+		{d.RegName(RegIntcBase), d.HW.IntcBase},
+		{d.RegName(RegWdtBase), d.HW.WdtBase},
+		{d.RegName(RegGpioBase), d.HW.GpioBase},
+		{d.RegName(RegNvmBase), d.HW.NvmBase},
+		{d.RegName(RegMpuBase), d.HW.MpuBase},
+		// Register offsets within the peripheral blocks (stable names).
+		{"MBOX_RESULT_OFF", periph.MboxResult},
+		{"MBOX_MAGIC_OFF", periph.MboxMagic},
+		{"MBOX_CHAROUT_OFF", periph.MboxCharOut},
+		{"MBOX_CHECKPT_OFF", periph.MboxCheckpt},
+		{"MBOX_COUNT_OFF", periph.MboxCount},
+		{"NVMC_CTRL_OFF", periph.NvmCtrl},
+		{"NVMC_STAT_OFF", periph.NvmStat},
+		{"NVMC_ADDR_OFF", periph.NvmAddr},
+		{"NVMC_DATA_OFF", periph.NvmData},
+		{"NVMC_KEY_OFF", periph.NvmKey},
+		{"NVMC_PAGESEL_OFF", periph.NvmPagesel},
+		{"TIMER_CNT_OFF", periph.TimerCnt},
+		{"TIMER_RELOAD_OFF", periph.TimerReload},
+		{"TIMER_CTRL_OFF", periph.TimerCtrl},
+		{"TIMER_STAT_OFF", periph.TimerStat},
+		{"INTC_ENABLE_OFF", periph.IntcEnable},
+		{"INTC_PENDING_OFF", periph.IntcPending},
+		{"INTC_ACTIVE_OFF", periph.IntcActive},
+		{"INTC_ACK_OFF", periph.IntcAck},
+		{"INTC_SRC_OFF", periph.IntcSrc},
+		{"WDT_CTRL_OFF", periph.WdtCtrl},
+		{"WDT_SERVICE_OFF", periph.WdtService},
+		{"WDT_COUNT_OFF", periph.WdtCount},
+		{"WDT_PERIOD_OFF", periph.WdtPeriod},
+		{"GPIO_OUT_OFF", periph.GpioOut},
+		{"GPIO_IN_OFF", periph.GpioIn},
+		{"GPIO_DIR_OFF", periph.GpioDir},
+		{"GPIO_IRQE_OFF", periph.GpioIrqE},
+		{"MPU_LO_OFF", periph.MpuLo},
+		{"MPU_HI_OFF", periph.MpuHi},
+		{"MPU_CTRL_OFF", periph.MpuCtrl},
+		{"MPU_STAT_OFF", periph.MpuStat},
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].name < defs[j].name })
+	out := fmt.Sprintf(";; register definitions for %s (GLOBAL LAYER - do not include from tests)\n", d.Name)
+	for _, df := range defs {
+		out += fmt.Sprintf("%s .EQU 0x%08X\n", df.name, df.val)
+	}
+	return out
+}
+
+// Defines returns the preprocessor defines that select this derivative
+// when assembling.
+func (d *Derivative) Defines() map[string]string {
+	return map[string]string{d.Macro: ""}
+}

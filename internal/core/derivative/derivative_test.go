@@ -1,0 +1,114 @@
+package derivative
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFamilyShape(t *testing.T) {
+	fam := Family()
+	if len(fam) != 4 {
+		t.Fatalf("family size = %d", len(fam))
+	}
+	seen := map[string]bool{}
+	for _, d := range fam {
+		if seen[d.Name] || seen[d.Macro] {
+			t.Errorf("duplicate name/macro: %s/%s", d.Name, d.Macro)
+		}
+		seen[d.Name], seen[d.Macro] = true, true
+		if d.HW.Name != d.Name {
+			t.Errorf("%s: HW.Name = %q", d.Name, d.HW.Name)
+		}
+		if len(d.Defines()) != 1 {
+			t.Errorf("%s: defines = %v", d.Name, d.Defines())
+		}
+	}
+}
+
+func TestChangeClasses(t *testing.T) {
+	a, b, c, sec := A(), B(), C(), SEC()
+	// B: widened field, larger NVM, same position.
+	if b.HW.Nvm.PageFieldWidth != a.HW.Nvm.PageFieldWidth+1 {
+		t.Error("B must widen the page field by one bit")
+	}
+	if b.HW.Nvm.PageFieldPos != a.HW.Nvm.PageFieldPos {
+		t.Error("B must not move the field")
+	}
+	if b.HW.NvmSize <= a.HW.NvmSize {
+		t.Error("B must grow the NVM")
+	}
+	// C: shifted field, relocated UART, same width.
+	if c.HW.Nvm.PageFieldPos != a.HW.Nvm.PageFieldPos+1 {
+		t.Error("C must shift the page field by one")
+	}
+	if c.HW.UartBase == a.HW.UartBase {
+		t.Error("C must relocate the UART block")
+	}
+	// SEC: accumulates both, renames the data register, ships ES v2.
+	if sec.HW.Nvm.PageFieldWidth != 6 || sec.HW.Nvm.PageFieldPos != 1 {
+		t.Errorf("SEC field geometry: pos=%d width=%d", sec.HW.Nvm.PageFieldPos, sec.HW.Nvm.PageFieldWidth)
+	}
+	if sec.RegName(RegUartDR) != "UART_DATA_OFF" {
+		t.Errorf("SEC must rename UART_DR_OFF, got %s", sec.RegName(RegUartDR))
+	}
+	if sec.ES != ESv2 || a.ES != ESv1 {
+		t.Error("ES versions wrong")
+	}
+	// Mutating one derivative must not leak into another (deep maps).
+	if a2 := A(); a2.RegNames[RegUartDR] != "UART_DR_OFF" {
+		t.Error("SEC rename leaked into A")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if d, err := ByName("SC88-B"); err != nil || d.Macro != "DERIV_B" {
+		t.Errorf("ByName(SC88-B) = %v, %v", d, err)
+	}
+	if d, err := ByName("DERIV_C"); err != nil || d.Name != "SC88-C" {
+		t.Errorf("ByName(DERIV_C) = %v, %v", d, err)
+	}
+	if _, err := ByName("SC99"); err == nil {
+		t.Error("unknown derivative should error")
+	}
+	if len(Names()) != 4 {
+		t.Errorf("names = %v", Names())
+	}
+}
+
+func TestRegisterDefsContent(t *testing.T) {
+	a := A()
+	defs := a.RegisterDefs()
+	for _, want := range []string{
+		"UART_BASE .EQU 0x80001000",
+		"UART_DR_OFF .EQU 0x00000000",
+		"NVMC_PAGESEL_OFF .EQU",
+		"MBOX_RESULT_OFF .EQU",
+		"WDT_SERVICE_OFF .EQU",
+		"GLOBAL LAYER",
+	} {
+		if !strings.Contains(defs, want) {
+			t.Errorf("registers.inc missing %q", want)
+		}
+	}
+	// SEC publishes the renamed data register and the relocated base.
+	sec := SEC().RegisterDefs()
+	if !strings.Contains(sec, "UART_DATA_OFF .EQU") {
+		t.Error("SEC registers.inc missing renamed register")
+	}
+	if strings.Contains(sec, "UART_DR_OFF") {
+		t.Error("SEC registers.inc still publishes the old name")
+	}
+	if !strings.Contains(sec, "UART_BASE .EQU 0x80010000") {
+		t.Error("SEC registers.inc missing relocated base")
+	}
+}
+
+func TestRegNameFallback(t *testing.T) {
+	d := A()
+	if d.RegName("SOMETHING_ELSE") != "SOMETHING_ELSE" {
+		t.Error("unknown canonical name should fall through")
+	}
+	if d.Nvm().PageSize != 512 {
+		t.Errorf("geometry accessor: %+v", d.Nvm())
+	}
+}

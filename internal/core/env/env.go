@@ -1,0 +1,181 @@
+// Package env models one ADVM module-level test environment (the paper's
+// Figures 1 and 3): a test layer of self-checking test cells, an
+// abstraction layer holding the Global Defines and Base Functions, and a
+// plain-text test plan. An Env materialises to the Figure 3 directory
+// structure:
+//
+//	MODULE_NAME/
+//	  Abstraction_Layer/Globals.inc
+//	  Abstraction_Layer/Base_Functions.asm
+//	  TESTPLAN.TXT
+//	  TEST_ID_NAME/test.asm
+//	  ...
+package env
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+)
+
+// TestCell is one directed test (one test cell directory in Figure 3).
+type TestCell struct {
+	// ID is the TEST_ID_NAME directory name, e.g. "TEST_NVM_PAGE_SELECT".
+	ID string
+	// Description is the test-plan entry.
+	Description string
+	// Source is the test.asm content. By ADVM convention it includes
+	// Globals.inc, defines test_main, uses only abstraction-layer names,
+	// and self-reports through Base_Report_Pass/Fail.
+	Source string
+}
+
+// Env is a module-level test environment.
+type Env struct {
+	// Module names the environment after the module under test (or the
+	// test class); derivative-specific names are not permitted.
+	Module string
+	// Defines is the Global Defines component of the abstraction layer.
+	Defines *defines.Set
+	// Funcs is the Base Functions component of the abstraction layer.
+	Funcs *basefuncs.Library
+	tests []*TestCell
+	index map[string]*TestCell
+}
+
+// New creates an environment. Derivative-specific module names are
+// rejected (the paper: "Derivative specific names are not permitted").
+func New(module string) (*Env, error) {
+	if module == "" {
+		return nil, fmt.Errorf("env: empty module name")
+	}
+	up := strings.ToUpper(module)
+	for _, frag := range []string{"SC88-A", "SC88-B", "SC88-C", "SC88-SEC", "DERIV_"} {
+		if strings.Contains(up, frag) {
+			return nil, fmt.Errorf("env: module name %q is derivative specific", module)
+		}
+	}
+	return &Env{
+		Module:  module,
+		Defines: defines.NewSet(),
+		Funcs:   basefuncs.NewLibrary(),
+		index:   make(map[string]*TestCell),
+	}, nil
+}
+
+// MustNew is New that panics on error, for static construction.
+func MustNew(module string) *Env {
+	e, err := New(module)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Clone deep-copies the environment (releases, porting what-ifs).
+func (e *Env) Clone() *Env {
+	out := &Env{
+		Module:  e.Module,
+		Defines: e.Defines.Clone(),
+		Funcs:   e.Funcs.Clone(),
+		index:   make(map[string]*TestCell),
+	}
+	for _, t := range e.tests {
+		c := *t
+		out.tests = append(out.tests, &c)
+		out.index[c.ID] = &c
+	}
+	return out
+}
+
+// AddTest appends a test cell.
+func (e *Env) AddTest(t TestCell) error {
+	if t.ID == "" {
+		return fmt.Errorf("env: test with empty ID")
+	}
+	if _, dup := e.index[t.ID]; dup {
+		return fmt.Errorf("env: test %q already present", t.ID)
+	}
+	c := t
+	e.tests = append(e.tests, &c)
+	e.index[c.ID] = &c
+	return nil
+}
+
+// MustAddTest is AddTest that panics on error.
+func (e *Env) MustAddTest(t TestCell) {
+	if err := e.AddTest(t); err != nil {
+		panic(err)
+	}
+}
+
+// Test returns a test cell by ID.
+func (e *Env) Test(id string) (*TestCell, bool) {
+	t, ok := e.index[id]
+	return t, ok
+}
+
+// Tests returns the test cells in definition order.
+func (e *Env) Tests() []*TestCell {
+	return append([]*TestCell(nil), e.tests...)
+}
+
+// TestIDs returns the test IDs in definition order.
+func (e *Env) TestIDs() []string {
+	out := make([]string, len(e.tests))
+	for i, t := range e.tests {
+		out[i] = t.ID
+	}
+	return out
+}
+
+// TestPlan renders TESTPLAN.TXT: plain text so that it "can be searched
+// (grep'ed) easily from the command line".
+func (e *Env) TestPlan() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TESTPLAN for module %s\n", e.Module)
+	b.WriteString(strings.Repeat("=", 40) + "\n")
+	for _, t := range e.tests {
+		fmt.Fprintf(&b, "%-32s : %s\n", t.ID, t.Description)
+	}
+	return b.String()
+}
+
+// Paths of the materialised tree, relative to the environment root.
+const (
+	GlobalsFile   = "Abstraction_Layer/Globals.inc"
+	BaseFuncsFile = "Abstraction_Layer/Base_Functions.asm"
+	TestPlanFile  = "TESTPLAN.TXT"
+)
+
+// TestSourcePath returns the materialised path of a test cell's source.
+func (e *Env) TestSourcePath(id string) string {
+	return e.Module + "/" + id + "/test.asm"
+}
+
+// Materialise renders the environment to a file tree (path -> content),
+// rooted at the module directory per Figure 3.
+func (e *Env) Materialise() map[string]string {
+	tree := map[string]string{
+		e.Module + "/" + GlobalsFile:   e.Defines.Render(e.Module),
+		e.Module + "/" + BaseFuncsFile: e.Funcs.Render(e.Module),
+		e.Module + "/" + TestPlanFile:  e.TestPlan(),
+	}
+	for _, t := range e.tests {
+		tree[e.TestSourcePath(t.ID)] = t.Source
+	}
+	return tree
+}
+
+// SortedPaths returns a tree's paths in deterministic order.
+func SortedPaths(tree map[string]string) []string {
+	out := make([]string, 0, len(tree))
+	for p := range tree {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

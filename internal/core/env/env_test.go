@@ -1,0 +1,76 @@
+package env
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/defines"
+)
+
+func TestDerivativeSpecificNamesRejected(t *testing.T) {
+	for _, bad := range []string{"NVM_SC88-B", "DERIV_C_UART", "sc88-sec"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("module name %q should be rejected", bad)
+		}
+	}
+	if _, err := New(""); err == nil {
+		t.Error("empty module name should be rejected")
+	}
+	if _, err := New("NVM"); err != nil {
+		t.Errorf("NVM rejected: %v", err)
+	}
+}
+
+func TestAddAndMaterialise(t *testing.T) {
+	e := MustNew("UART")
+	e.Defines.MustAdd(defines.Entry{Name: "X", Default: "1"})
+	e.Funcs.MustAdd(basefuncs.Function{Name: "Base_F", Body: "    NOP"})
+	e.MustAddTest(TestCell{ID: "TEST_A", Description: "first", Source: "test_main:\n HALT\n"})
+	e.MustAddTest(TestCell{ID: "TEST_B", Description: "second", Source: "test_main:\n HALT\n"})
+	if err := e.AddTest(TestCell{ID: "TEST_A"}); err == nil {
+		t.Error("duplicate test should fail")
+	}
+	if err := e.AddTest(TestCell{}); err == nil {
+		t.Error("empty test ID should fail")
+	}
+	tree := e.Materialise()
+	for _, want := range []string{
+		"UART/Abstraction_Layer/Globals.inc",
+		"UART/Abstraction_Layer/Base_Functions.asm",
+		"UART/TESTPLAN.TXT",
+		"UART/TEST_A/test.asm",
+		"UART/TEST_B/test.asm",
+	} {
+		if _, ok := tree[want]; !ok {
+			t.Errorf("tree missing %q (have %v)", want, SortedPaths(tree))
+		}
+	}
+	plan := e.TestPlan()
+	if !strings.Contains(plan, "TEST_A") || !strings.Contains(plan, "first") {
+		t.Errorf("test plan content:\n%s", plan)
+	}
+	if got := e.TestIDs(); len(got) != 2 || got[0] != "TEST_A" {
+		t.Errorf("test IDs = %v", got)
+	}
+	if _, ok := e.Test("TEST_B"); !ok {
+		t.Error("Test lookup failed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := MustNew("NVM")
+	e.Defines.MustAdd(defines.Entry{Name: "X", Default: "1"})
+	e.MustAddTest(TestCell{ID: "T1", Source: "a"})
+	c := e.Clone()
+	if err := c.Defines.SetDefault("X", "2"); err != nil {
+		t.Fatal(err)
+	}
+	c.MustAddTest(TestCell{ID: "T2", Source: "b"})
+	if orig, _ := e.Defines.Get("X"); orig.Default != "1" {
+		t.Error("clone mutated original defines")
+	}
+	if len(e.Tests()) != 1 {
+		t.Error("clone mutated original tests")
+	}
+}

@@ -1,0 +1,163 @@
+// Package lint implements the ADVM abstraction-violation checker: the
+// automated enforcement of the paper's Figure 2, which shows the "abuse"
+// of the module test environment — test code linking directly into the
+// global layer or carrying hardwired values instead of going through the
+// abstraction layer. The checker scans materialised test-cell sources
+// for:
+//
+//   - direct references to global-layer symbols (register definitions,
+//     embedded-software functions, trap handlers);
+//   - .INCLUDE of anything other than the abstraction layer's
+//     Globals.inc;
+//   - hardwired numeric literals in instruction operands.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core/derivative"
+	"repro/internal/core/sysenv"
+)
+
+// Kind classifies a violation.
+type Kind string
+
+// Violation kinds.
+const (
+	// DirectGlobalRef: a test references a global-layer name directly.
+	DirectGlobalRef Kind = "direct-global-reference"
+	// BypassInclude: a test includes a file other than Globals.inc.
+	BypassInclude Kind = "bypass-include"
+	// HardwiredValue: a numeric literal in an instruction operand.
+	HardwiredValue Kind = "hardwired-value"
+)
+
+// Violation is one finding.
+type Violation struct {
+	Path   string
+	Line   int
+	Kind   Kind
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", v.Path, v.Line, v.Kind, v.Detail)
+}
+
+// Options tunes the checker.
+type Options struct {
+	// MagicThreshold: literals with absolute value above this are flagged
+	// as hardwired. Small structural constants (loop steps, 0/1 flags)
+	// pass. Default 15.
+	MagicThreshold int64
+	// AllowLocalEqu: numeric literals on local .EQU lines are allowed
+	// (the paper permits local placeholder control in tests). Default
+	// true via NewOptions.
+	AllowLocalEqu bool
+}
+
+// NewOptions returns the default options.
+func NewOptions() Options {
+	return Options{MagicThreshold: 15, AllowLocalEqu: true}
+}
+
+// GlobalNames extracts the global-layer symbol names a test must never
+// reference directly: every .EQU name in the register definitions and
+// every label in the global assembler sources.
+func GlobalNames(d *derivative.Derivative) map[string]bool {
+	names := make(map[string]bool)
+	layer := sysenv.GlobalLayer(d)
+	for path, src := range layer {
+		isInc := strings.HasSuffix(path, ".inc")
+		for num, text := range strings.Split(src, "\n") {
+			toks, err := asm.LexLine(path, num+1, text)
+			if err != nil || len(toks) == 0 {
+				continue
+			}
+			// NAME .EQU expr
+			if len(toks) >= 2 && toks[0].Kind == asm.TokIdent &&
+				toks[1].Kind == asm.TokDirective && toks[1].Text == "EQU" {
+				names[toks[0].Text] = true
+				continue
+			}
+			// label:
+			if !isInc && len(toks) >= 2 && toks[0].Kind == asm.TokIdent && toks[1].IsPunct(":") {
+				names[toks[0].Text] = true
+			}
+		}
+	}
+	// Startup plumbing every image contains is not reachable from test
+	// code anyway; keep it flagged except the entry symbol.
+	delete(names, "_start")
+	return names
+}
+
+// CheckSystem lints every test cell of every module environment.
+func CheckSystem(s *sysenv.System, d *derivative.Derivative, opts Options) []Violation {
+	if opts.MagicThreshold == 0 {
+		opts.MagicThreshold = 15
+	}
+	globals := GlobalNames(d)
+	var out []Violation
+	for _, e := range s.Envs() {
+		for _, t := range e.Tests() {
+			path := e.TestSourcePath(t.ID)
+			out = append(out, CheckSource(path, t.Source, globals, opts)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// CheckSource lints one test-cell source against the global name set.
+func CheckSource(path, src string, globals map[string]bool, opts Options) []Violation {
+	var out []Violation
+	for num, text := range strings.Split(src, "\n") {
+		toks, err := asm.LexLine(path, num+1, text)
+		if err != nil || len(toks) == 0 {
+			continue
+		}
+		// .INCLUDE "x": only Globals.inc is legitimate from the test layer.
+		if toks[0].Kind == asm.TokDirective && toks[0].Text == "INCLUDE" {
+			if len(toks) == 2 && toks[1].Kind == asm.TokString && toks[1].Text != "Globals.inc" {
+				out = append(out, Violation{
+					Path: path, Line: num + 1, Kind: BypassInclude,
+					Detail: fmt.Sprintf("test includes %q directly; only Globals.inc is permitted", toks[1].Text),
+				})
+			}
+			continue
+		}
+		isEqu := len(toks) >= 2 && toks[0].Kind == asm.TokIdent &&
+			toks[1].Kind == asm.TokDirective && toks[1].Text == "EQU"
+		for _, tok := range toks {
+			switch tok.Kind {
+			case asm.TokIdent:
+				if globals[tok.Text] {
+					out = append(out, Violation{
+						Path: path, Line: num + 1, Kind: DirectGlobalRef,
+						Detail: fmt.Sprintf("global-layer symbol %q referenced directly; re-map it in Globals.inc or wrap it in Base_Functions", tok.Text),
+					})
+				}
+			case asm.TokNumber:
+				if isEqu && opts.AllowLocalEqu {
+					continue
+				}
+				if tok.Val > opts.MagicThreshold || tok.Val < -opts.MagicThreshold {
+					out = append(out, Violation{
+						Path: path, Line: num + 1, Kind: HardwiredValue,
+						Detail: fmt.Sprintf("hardwired value %s; give it a name in Globals.inc", tok.Text),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+)
+
+func TestShippedSystemIsClean(t *testing.T) {
+	s := content.PortedSystem()
+	for _, d := range derivative.Family() {
+		vs := CheckSystem(s, d, NewOptions())
+		for _, v := range vs {
+			t.Errorf("shipped violation on %s: %s", d.Name, v)
+		}
+	}
+}
+
+func TestGlobalNamesExtraction(t *testing.T) {
+	names := GlobalNames(derivative.A())
+	for _, want := range []string{
+		"UART_BASE", "UART_DR_OFF", "NVMC_PAGESEL_OFF",
+		"ES_Init_Register", "ES_Uart_Send", "Default_Trap_Handler",
+	} {
+		if !names[want] {
+			t.Errorf("global names missing %q", want)
+		}
+	}
+	if names["_start"] {
+		t.Error("_start should be exempt")
+	}
+	// SEC publishes the renamed register.
+	sec := GlobalNames(derivative.SEC())
+	if !sec["UART_DATA_OFF"] {
+		t.Error("SEC global names missing renamed register")
+	}
+}
+
+func TestDirectGlobalReferenceFlagged(t *testing.T) {
+	globals := GlobalNames(derivative.A())
+	src := `;; bad test
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD a0, UART_BASE        ; direct global reference
+    LOAD CallAddr, ES_Init_Register
+    CALL CallAddr
+    HALT
+`
+	vs := CheckSource("M/T/test.asm", src, globals, NewOptions())
+	var kinds []Kind
+	for _, v := range vs {
+		kinds = append(kinds, v.Kind)
+	}
+	countGlobal := 0
+	for _, k := range kinds {
+		if k == DirectGlobalRef {
+			countGlobal++
+		}
+	}
+	if countGlobal != 2 {
+		t.Errorf("expected 2 direct-global violations (UART_BASE, ES_Init_Register), got %d: %v", countGlobal, vs)
+	}
+	// Line numbers point at the offending lines.
+	if vs[0].Line != 4 {
+		t.Errorf("first violation line = %d", vs[0].Line)
+	}
+}
+
+func TestBypassIncludeFlagged(t *testing.T) {
+	src := `.INCLUDE "Globals.inc"
+.INCLUDE "registers.inc"
+test_main:
+    HALT
+`
+	vs := CheckSource("p", src, map[string]bool{}, NewOptions())
+	if len(vs) != 1 || vs[0].Kind != BypassInclude || vs[0].Line != 2 {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestHardwiredValueFlagged(t *testing.T) {
+	src := `test_main:
+    LOAD d0, 0x80001000
+    LOAD d1, 4
+    STORE [a0], d0
+LOCAL_CONST .EQU 0x1234
+    LOAD d2, LOCAL_CONST
+    HALT
+`
+	vs := CheckSource("p", src, map[string]bool{}, NewOptions())
+	if len(vs) != 1 || vs[0].Kind != HardwiredValue || vs[0].Line != 2 {
+		t.Errorf("violations = %v", vs)
+	}
+	// With AllowLocalEqu off, the .EQU literal is flagged too.
+	opts := NewOptions()
+	opts.AllowLocalEqu = false
+	vs = CheckSource("p", src, map[string]bool{}, opts)
+	if len(vs) != 2 {
+		t.Errorf("strict violations = %v", vs)
+	}
+}
+
+func TestViolatingEnvironmentDetected(t *testing.T) {
+	// Inject a Figure 2 style abuse into a clone of the shipped system
+	// and confirm the checker catches all three classes.
+	s := content.PortedSystem()
+	e, _ := s.Env("NVM")
+	bad := e.Clone()
+	bad.MustAddTest(env.TestCell{
+		ID:          "TEST_NVM_ABUSE",
+		Description: "deliberately bypasses the abstraction layer",
+		Source: `;; abusive test (Figure 2)
+.INCLUDE "registers.inc"
+test_main:
+    LOAD d14, [0x80002014]
+    INSERT d14, d14, 8, 0, 5
+    STORE [0x80002014], d14
+    LOAD CallAddr, ES_Nvm_Unlock
+    CALL CallAddr
+    HALT
+`,
+	})
+	sys := sysenv.New("SYS")
+	for _, m := range s.Modules() {
+		orig, _ := s.Env(m)
+		if m == bad.Module {
+			_ = sys.AddEnv(bad)
+		} else {
+			_ = sys.AddEnv(orig)
+		}
+	}
+	vs := CheckSystem(sys, derivative.A(), NewOptions())
+	kinds := map[Kind]int{}
+	for _, v := range vs {
+		if !strings.Contains(v.Path, "TEST_NVM_ABUSE") {
+			t.Errorf("violation outside the abusive test: %s", v)
+		}
+		kinds[v.Kind]++
+	}
+	if kinds[BypassInclude] == 0 || kinds[DirectGlobalRef] == 0 || kinds[HardwiredValue] == 0 {
+		t.Errorf("missing violation classes: %v", kinds)
+	}
+}

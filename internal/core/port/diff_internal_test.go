@@ -1,0 +1,13 @@
+package port
+
+import "testing"
+
+func TestDiffLCSProperty(t *testing.T) {
+	// Identical inputs cost nothing; disjoint inputs cost everything.
+	if a, r := diffLines([]string{"x", "y"}, []string{"x", "y"}); a != 0 || r != 0 {
+		t.Errorf("identical diff = +%d/-%d", a, r)
+	}
+	if a, r := diffLines([]string{"x", "y"}, []string{"p", "q", "r"}); a != 3 || r != 2 {
+		t.Errorf("disjoint diff = +%d/-%d", a, r)
+	}
+}

@@ -1,0 +1,354 @@
+// Package port implements the ADVM porting engine: it applies
+// derivative/specification change events to a system environment by
+// editing only the abstraction layer — the paper's central claim — and it
+// measures the cost of a port as the files and lines touched, for both
+// the ADVM environment and the non-ADVM baseline comparator.
+package port
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/basefuncs"
+	"repro/internal/core/sysenv"
+)
+
+// Change is one derivative or specification change event to absorb.
+type Change interface {
+	// Name is a short identifier ("field-widen").
+	Name() string
+	// Describe explains the change in paper terms.
+	Describe() string
+	// Apply edits the system's abstraction layers.
+	Apply(s *sysenv.System) error
+}
+
+// FieldWiden is the paper's "field size has increased by one bit"
+// derivative change: a named width define gets a derivative override.
+type FieldWiden struct {
+	// Module restricts the change to one environment ("" = wherever the
+	// define exists).
+	Module string
+	// Define is the width define ("PAGE_FIELD_SIZE").
+	Define string
+	// DerivMacro selects the derivative ("DERIV_B").
+	DerivMacro string
+	// NewValue is the override expression ("6").
+	NewValue string
+}
+
+// Name implements Change.
+func (c FieldWiden) Name() string { return "field-widen" }
+
+// Describe implements Change.
+func (c FieldWiden) Describe() string {
+	return fmt.Sprintf("%s = %s on %s (field widened)", c.Define, c.NewValue, c.DerivMacro)
+}
+
+// Apply implements Change.
+func (c FieldWiden) Apply(s *sysenv.System) error {
+	return overrideDefine(s, c.Module, c.Define, c.DerivMacro, c.NewValue)
+}
+
+// FieldShift is the paper's "control bits have been shifted by one"
+// specification change.
+type FieldShift struct {
+	Module     string
+	Define     string // the position define ("PAGE_FIELD_START_POSITION")
+	DerivMacro string
+	NewValue   string
+}
+
+// Name implements Change.
+func (c FieldShift) Name() string { return "field-shift" }
+
+// Describe implements Change.
+func (c FieldShift) Describe() string {
+	return fmt.Sprintf("%s = %s on %s (field shifted)", c.Define, c.NewValue, c.DerivMacro)
+}
+
+// Apply implements Change.
+func (c FieldShift) Apply(s *sysenv.System) error {
+	return overrideDefine(s, c.Module, c.Define, c.DerivMacro, c.NewValue)
+}
+
+// RegisterRename is the paper's "register name has been changed for a new
+// derivative": the abstraction layer's re-map define gets a derivative
+// override pointing at the new global name.
+type RegisterRename struct {
+	Module     string
+	Define     string // the re-map define ("REG_UART_DR")
+	DerivMacro string
+	NewExpr    string // expression using the new global name
+}
+
+// Name implements Change.
+func (c RegisterRename) Name() string { return "register-rename" }
+
+// Describe implements Change.
+func (c RegisterRename) Describe() string {
+	return fmt.Sprintf("%s re-mapped to %s on %s (register renamed)", c.Define, c.NewExpr, c.DerivMacro)
+}
+
+// Apply implements Change.
+func (c RegisterRename) Apply(s *sysenv.System) error {
+	return overrideDefine(s, c.Module, c.Define, c.DerivMacro, c.NewExpr)
+}
+
+// ESArgSwap is the paper's Figure 7 scenario: a global-layer function
+// "has now been re-written in such a way that the input registers have
+// been swapped around". The wrapper in every environment's base-function
+// library gains an adapter that swaps the arguments back when the ES_V2
+// generation is selected.
+type ESArgSwap struct {
+	// Wrapper is the base-function name ("Base_Init_Register").
+	Wrapper string
+}
+
+// Name implements Change.
+func (c ESArgSwap) Name() string { return "es-arg-swap" }
+
+// Describe implements Change.
+func (c ESArgSwap) Describe() string {
+	return fmt.Sprintf("adapter in %s for the re-written embedded software (inputs swapped)", c.Wrapper)
+}
+
+// adapterPrefix swaps d0 and d1 when the v2 embedded software is in use.
+const adapterPrefix = `.IFDEF ES_V2
+    ; adapter: ES v2 swapped its inputs to (addr=d0, value=d1)
+    MOV d14, d0
+    MOV d0, d1
+    MOV d1, d14
+.ENDIF
+`
+
+// Apply implements Change. Applying it twice is a no-op: an adapter that
+// is already present is left alone.
+func (c ESArgSwap) Apply(s *sysenv.System) error {
+	found := false
+	for _, e := range s.Envs() {
+		f, ok := e.Funcs.Get(c.Wrapper)
+		if !ok {
+			continue
+		}
+		found = true
+		if strings.Contains(f.Body, "ES_V2") {
+			continue // adapter already present
+		}
+		nf := *f
+		nf.Body = adapterPrefix + f.Body
+		if err := e.Funcs.Replace(nf); err != nil {
+			return err
+		}
+	}
+	if !found {
+		return fmt.Errorf("port: no environment defines wrapper %q", c.Wrapper)
+	}
+	return nil
+}
+
+func overrideDefine(s *sysenv.System, module, name, macro, expr string) error {
+	touched := 0
+	for _, e := range s.Envs() {
+		if module != "" && e.Module != module {
+			continue
+		}
+		if _, ok := e.Defines.Get(name); !ok {
+			continue
+		}
+		if err := e.Defines.OverrideDerivative(name, macro, expr); err != nil {
+			return err
+		}
+		touched++
+	}
+	if touched == 0 {
+		return fmt.Errorf("port: define %q not found in any targeted environment", name)
+	}
+	return nil
+}
+
+// ReplaceFunction is a general base-function re-factor change (the single
+// point of change for any wrapper rework).
+type ReplaceFunction struct {
+	Module string
+	Func   basefuncs.Function
+}
+
+// Name implements Change.
+func (c ReplaceFunction) Name() string { return "replace-function" }
+
+// Describe implements Change.
+func (c ReplaceFunction) Describe() string {
+	return fmt.Sprintf("re-factor %s in %s", c.Func.Name, c.Module)
+}
+
+// Apply implements Change.
+func (c ReplaceFunction) Apply(s *sysenv.System) error {
+	e, ok := s.Env(c.Module)
+	if !ok {
+		return fmt.Errorf("port: no environment %q", c.Module)
+	}
+	return e.Funcs.Replace(c.Func)
+}
+
+// ---- cost accounting ----
+
+// FileDelta is the per-file edit cost.
+type FileDelta struct {
+	Added, Removed int
+	Created        bool
+	Deleted        bool
+}
+
+// Changed reports whether the file was touched at all.
+func (d FileDelta) Changed() bool {
+	return d.Added != 0 || d.Removed != 0 || d.Created || d.Deleted
+}
+
+// CostReport quantifies a port.
+type CostReport struct {
+	// PerFile maps path to its delta; untouched files are absent.
+	PerFile map[string]FileDelta
+}
+
+// FilesTouched counts edited files.
+func (r *CostReport) FilesTouched() int { return len(r.PerFile) }
+
+// LinesTouched sums added+removed lines.
+func (r *CostReport) LinesTouched() (added, removed int) {
+	for _, d := range r.PerFile {
+		added += d.Added
+		removed += d.Removed
+	}
+	return
+}
+
+// String renders a sorted cost summary.
+func (r *CostReport) String() string {
+	paths := make([]string, 0, len(r.PerFile))
+	for p := range r.PerFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	a, rm := r.LinesTouched()
+	fmt.Fprintf(&b, "%d file(s) touched, +%d/-%d line(s)\n", len(paths), a, rm)
+	for _, p := range paths {
+		d := r.PerFile[p]
+		switch {
+		case d.Created:
+			fmt.Fprintf(&b, "  A %s (+%d)\n", p, d.Added)
+		case d.Deleted:
+			fmt.Fprintf(&b, "  D %s (-%d)\n", p, d.Removed)
+		default:
+			fmt.Fprintf(&b, "  M %s (+%d/-%d)\n", p, d.Added, d.Removed)
+		}
+	}
+	return b.String()
+}
+
+// Diff computes the edit cost between two file trees using per-file LCS
+// line diffs.
+func Diff(before, after map[string]string) *CostReport {
+	rep := &CostReport{PerFile: map[string]FileDelta{}}
+	for p, b := range before {
+		a, ok := after[p]
+		if !ok {
+			rep.PerFile[p] = FileDelta{Removed: lineCount(b), Deleted: true}
+			continue
+		}
+		if a == b {
+			continue
+		}
+		add, rem := diffLines(strings.Split(b, "\n"), strings.Split(a, "\n"))
+		rep.PerFile[p] = FileDelta{Added: add, Removed: rem}
+	}
+	for p, a := range after {
+		if _, ok := before[p]; !ok {
+			rep.PerFile[p] = FileDelta{Added: lineCount(a), Created: true}
+		}
+	}
+	return rep
+}
+
+func lineCount(s string) int { return len(strings.Split(s, "\n")) }
+
+// diffLines returns (added, removed) line counts via an LCS computation.
+func diffLines(before, after []string) (added, removed int) {
+	n, m := len(before), len(after)
+	// Classic DP; environment files are small (hundreds of lines).
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if before[i-1] == after[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	lcs := prev[m]
+	return m - lcs, n - lcs
+}
+
+// ---- application ----
+
+// EnvTree materialises only the environment-owned files of a system (the
+// module environments), excluding the global layer: porting cost counts
+// what the verification team edits, and the global layer is not theirs.
+func EnvTree(s *sysenv.System) map[string]string {
+	tree := map[string]string{}
+	for _, e := range s.Envs() {
+		for p, c := range e.Materialise() {
+			tree[p] = c
+		}
+	}
+	return tree
+}
+
+// Result is the outcome of applying a change list.
+type Result struct {
+	Changes []Change
+	Cost    *CostReport
+}
+
+// ApplyAll applies the changes to the system in order and reports the
+// total abstraction-layer edit cost.
+func ApplyAll(s *sysenv.System, changes ...Change) (*Result, error) {
+	before := EnvTree(s)
+	for _, c := range changes {
+		if err := c.Apply(s); err != nil {
+			return nil, fmt.Errorf("port: applying %s: %w", c.Name(), err)
+		}
+	}
+	after := EnvTree(s)
+	return &Result{Changes: changes, Cost: Diff(before, after)}, nil
+}
+
+// FamilyChanges returns the canonical change list that ports the shipped
+// unported (SC88-A-only) system to the whole derivative family. Applying
+// it to content.UnportedSystem yields an environment equivalent in
+// behaviour to content.PortedSystem.
+func FamilyChanges() []Change {
+	return []Change{
+		// SC88-B: the NVM grew; the page field is one bit wider.
+		FieldWiden{Module: "NVM", Define: "PAGE_FIELD_SIZE", DerivMacro: "DERIV_B", NewValue: "6"},
+		// SC88-C: the page field moved up one bit. (The relocated UART
+		// block needs no change: its base flows through the global
+		// register definitions under a stable name.)
+		FieldShift{Module: "NVM", Define: "PAGE_FIELD_START_POSITION", DerivMacro: "DERIV_C", NewValue: "1"},
+		// SC88-SEC accumulates both field changes...
+		FieldWiden{Module: "NVM", Define: "PAGE_FIELD_SIZE", DerivMacro: "DERIV_SEC", NewValue: "6"},
+		FieldShift{Module: "NVM", Define: "PAGE_FIELD_START_POSITION", DerivMacro: "DERIV_SEC", NewValue: "1"},
+		// ...renames the UART data register in the global definitions...
+		RegisterRename{Module: "UART", Define: "REG_UART_DR", DerivMacro: "DERIV_SEC",
+			NewExpr: "UART_BASE+UART_DATA_OFF"},
+		// ...and ships the re-written embedded software (Figure 7).
+		ESArgSwap{Wrapper: "Base_Init_Register"},
+	}
+}

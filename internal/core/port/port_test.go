@@ -1,0 +1,175 @@
+package port_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	. "repro/internal/core/port"
+	"repro/internal/core/sysenv"
+	"repro/internal/platform"
+
+	_ "repro/internal/golden"
+)
+
+func countRuns(t *testing.T, s *sysenv.System, d *derivative.Derivative) (passed, bad int) {
+	t.Helper()
+	for _, e := range s.Envs() {
+		for _, id := range e.TestIDs() {
+			res, err := s.RunTest(e.Module, id, d, platform.KindGolden, platform.RunSpec{})
+			if err != nil || !res.Passed() {
+				bad++
+			} else {
+				passed++
+			}
+		}
+	}
+	return
+}
+
+// TestE4E5FamilyPort is the central porting experiment: applying the
+// canonical change list to the unported system makes the whole suite pass
+// on every derivative, touching only abstraction-layer files.
+func TestE4E5FamilyPort(t *testing.T) {
+	s := content.UnportedSystem()
+
+	// Before: passes on A, broken elsewhere.
+	if _, bad := countRuns(t, s, derivative.A()); bad != 0 {
+		t.Fatalf("unported suite must pass on A, %d bad", bad)
+	}
+	preBad := 0
+	for _, d := range derivative.Family()[1:] {
+		_, bad := countRuns(t, s, d)
+		preBad += bad
+	}
+	if preBad == 0 {
+		t.Fatal("unported suite unexpectedly clean on derivatives")
+	}
+
+	res, err := ApplyAll(s, FamilyChanges()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// After: passes everywhere.
+	for _, d := range derivative.Family() {
+		if passed, bad := countRuns(t, s, d); bad != 0 {
+			t.Errorf("ported suite on %s: %d passed, %d bad", d.Name, passed, bad)
+		}
+	}
+
+	// Cost: only abstraction-layer files were touched.
+	for p := range res.Cost.PerFile {
+		if !strings.Contains(p, "Abstraction_Layer/") {
+			t.Errorf("port touched a non-abstraction-layer file: %s", p)
+		}
+	}
+	// NVM Globals, UART Globals, and the five Base_Functions copies.
+	if got := res.Cost.FilesTouched(); got != 7 {
+		t.Errorf("files touched = %d, want 7:\n%s", got, res.Cost)
+	}
+	added, removed := res.Cost.LinesTouched()
+	if added == 0 || added > 60 {
+		t.Errorf("suspicious line count: +%d/-%d", added, removed)
+	}
+	if !strings.Contains(res.Cost.String(), "file(s) touched") {
+		t.Error("cost report rendering broken")
+	}
+}
+
+// TestADVMBeatsBaselineOnPortCost quantifies the paper's claim: the ADVM
+// port touches O(abstraction-layer) files while the hardwired baseline
+// port touches O(tests) files, and the gap grows with the change set.
+func TestADVMBeatsBaselineOnPortCost(t *testing.T) {
+	s := content.UnportedSystem()
+	res, err := ApplyAll(s, FamilyChanges()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advmFiles := res.Cost.FilesTouched()
+	advmAdd, advmRem := res.Cost.LinesTouched()
+
+	// Baseline: port A -> each derivative, accumulate distinct files.
+	totalFiles := 0
+	totalAdd, totalRem := 0, 0
+	for _, to := range derivative.Family()[1:] {
+		c := baseline.PortCost(derivative.A(), to)
+		totalFiles += c.FilesTouched()
+		a, r := c.LinesTouched()
+		totalAdd += a
+		totalRem += r
+	}
+	if totalFiles <= advmFiles {
+		t.Errorf("baseline files (%d) should exceed ADVM files (%d)", totalFiles, advmFiles)
+	}
+	if totalAdd+totalRem <= advmAdd+advmRem {
+		t.Errorf("baseline lines (%d) should exceed ADVM lines (%d)",
+			totalAdd+totalRem, advmAdd+advmRem)
+	}
+	t.Logf("ADVM: %d files, %d lines; baseline: %d files, %d lines",
+		advmFiles, advmAdd+advmRem, totalFiles, totalAdd+totalRem)
+}
+
+func TestChangeDescriptions(t *testing.T) {
+	for _, c := range FamilyChanges() {
+		if c.Name() == "" || c.Describe() == "" {
+			t.Errorf("change %T lacks name/description", c)
+		}
+	}
+}
+
+func TestChangeErrors(t *testing.T) {
+	s := content.UnportedSystem()
+	if err := (FieldWiden{Define: "NO_SUCH", DerivMacro: "DERIV_B", NewValue: "1"}).Apply(s); err == nil {
+		t.Error("widen of unknown define should fail")
+	}
+	if err := (ESArgSwap{Wrapper: "Base_Nope"}).Apply(s); err == nil {
+		t.Error("swap of unknown wrapper should fail")
+	}
+	if err := (ReplaceFunction{Module: "NOPE"}).Apply(s); err == nil {
+		t.Error("replace in unknown module should fail")
+	}
+}
+
+func TestESArgSwapIdempotent(t *testing.T) {
+	s := content.UnportedSystem()
+	if err := (ESArgSwap{Wrapper: "Base_Init_Register"}).Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	before := EnvTree(s)
+	if err := (ESArgSwap{Wrapper: "Base_Init_Register"}).Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(before, EnvTree(s)); d.FilesTouched() != 0 {
+		t.Errorf("second apply should be a no-op, touched %d", d.FilesTouched())
+	}
+}
+
+func TestDiffMechanics(t *testing.T) {
+	before := map[string]string{
+		"a": "1\n2\n3\n",
+		"b": "x\n",
+		"c": "gone\n",
+	}
+	after := map[string]string{
+		"a": "1\n2changed\n3\n",
+		"b": "x\n",
+		"d": "new\nfile\n",
+	}
+	rep := Diff(before, after)
+	if rep.FilesTouched() != 3 {
+		t.Fatalf("files touched = %d: %s", rep.FilesTouched(), rep)
+	}
+	da := rep.PerFile["a"]
+	if da.Added != 1 || da.Removed != 1 {
+		t.Errorf("a delta = %+v", da)
+	}
+	if !rep.PerFile["c"].Deleted || !rep.PerFile["d"].Created {
+		t.Errorf("create/delete flags wrong: %+v", rep.PerFile)
+	}
+	if _, ok := rep.PerFile["b"]; ok {
+		t.Error("unchanged file reported")
+	}
+}

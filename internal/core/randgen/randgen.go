@@ -1,0 +1,180 @@
+// Package randgen implements the paper's Section 2 outlook: "this test
+// environment structure provides the ability to generate
+// constrained-random instances of the 'Global Defines' file from a higher
+// level language". Here the higher-level language is Go: a Generator
+// draws constrained-random values for selected defines (with weighted
+// corner values), renders them into a Globals.inc instance, and tracks
+// corner coverage across seeds.
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core/env"
+)
+
+// Constraint bounds one randomised define.
+type Constraint struct {
+	// Name is the define to randomise (e.g. "TEST1_TARGET_PAGE").
+	Name string
+	// Min and Max bound the value (inclusive).
+	Min, Max int64
+	// Corners are high-value boundary cases drawn with CornerWeight
+	// probability. Corners outside [Min,Max] are clamped out.
+	Corners []int64
+	// CornerWeight is the probability of drawing a corner instead of a
+	// uniform value; 0 means the default of 0.35.
+	CornerWeight float64
+}
+
+func (c Constraint) corners() []int64 {
+	var out []int64
+	for _, v := range c.Corners {
+		if v >= c.Min && v <= c.Max {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Instance is one random assignment of define values.
+type Instance map[string]int64
+
+// Generator draws constrained-random instances.
+type Generator struct {
+	rng         *rand.Rand
+	constraints []Constraint
+	index       map[string]int
+}
+
+// New creates a generator with a deterministic seed.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), index: map[string]int{}}
+}
+
+// Add registers a constraint. Duplicate names or empty ranges are errors.
+func (g *Generator) Add(c Constraint) error {
+	if c.Name == "" {
+		return fmt.Errorf("randgen: constraint with empty name")
+	}
+	if _, dup := g.index[c.Name]; dup {
+		return fmt.Errorf("randgen: constraint %q already added", c.Name)
+	}
+	if c.Max < c.Min {
+		return fmt.Errorf("randgen: constraint %q has empty range [%d,%d]", c.Name, c.Min, c.Max)
+	}
+	g.index[c.Name] = len(g.constraints)
+	g.constraints = append(g.constraints, c)
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (g *Generator) MustAdd(c Constraint) {
+	if err := g.Add(c); err != nil {
+		panic(err)
+	}
+}
+
+// Names lists constrained define names in registration order.
+func (g *Generator) Names() []string {
+	out := make([]string, len(g.constraints))
+	for i, c := range g.constraints {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Draw produces one instance.
+func (g *Generator) Draw() Instance {
+	inst := make(Instance, len(g.constraints))
+	for _, c := range g.constraints {
+		w := c.CornerWeight
+		if w == 0 {
+			w = 0.35
+		}
+		corners := c.corners()
+		if len(corners) > 0 && g.rng.Float64() < w {
+			inst[c.Name] = corners[g.rng.Intn(len(corners))]
+			continue
+		}
+		span := c.Max - c.Min + 1
+		inst[c.Name] = c.Min + g.rng.Int63n(span)
+	}
+	return inst
+}
+
+// Apply writes the instance values into a clone of the environment's
+// Global Defines and returns the randomised environment, leaving the
+// original untouched (randomised instances are throwaway, never released).
+func Apply(e *env.Env, inst Instance) (*env.Env, error) {
+	out := e.Clone()
+	for name, v := range inst {
+		if _, ok := out.Defines.Get(name); !ok {
+			return nil, fmt.Errorf("randgen: environment %s has no define %q", e.Module, name)
+		}
+		if err := out.Defines.SetDefault(name, fmt.Sprintf("%d", v)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RenderOverlay renders an instance as a standalone include fragment
+// (useful for logging what a seed produced).
+func (inst Instance) RenderOverlay() string {
+	names := make([]string, 0, len(inst))
+	for n := range inst {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ";; constrained-random Global Defines instance\n"
+	for _, n := range names {
+		out += fmt.Sprintf("%s .EQU %d\n", n, inst[n])
+	}
+	return out
+}
+
+// Coverage accumulates which values each define has taken.
+type Coverage struct {
+	hits map[string]map[int64]int
+}
+
+// NewCoverage creates an empty coverage store.
+func NewCoverage() *Coverage {
+	return &Coverage{hits: map[string]map[int64]int{}}
+}
+
+// Record accumulates an instance.
+func (cv *Coverage) Record(inst Instance) {
+	for n, v := range inst {
+		m := cv.hits[n]
+		if m == nil {
+			m = map[int64]int{}
+			cv.hits[n] = m
+		}
+		m[v]++
+	}
+}
+
+// Distinct returns how many distinct values a define has taken.
+func (cv *Coverage) Distinct(name string) int { return len(cv.hits[name]) }
+
+// Hits returns how often a define took a specific value.
+func (cv *Coverage) Hits(name string, v int64) int { return cv.hits[name][v] }
+
+// CornerCoverage returns the fraction of the given corners that have been
+// drawn at least once.
+func (cv *Coverage) CornerCoverage(name string, corners []int64) float64 {
+	if len(corners) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, c := range corners {
+		if cv.hits[name][c] > 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(corners))
+}

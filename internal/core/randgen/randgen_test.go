@@ -1,0 +1,177 @@
+package randgen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/core/sysenv"
+	"repro/internal/platform"
+
+	_ "repro/internal/golden"
+)
+
+func TestConstraintValidation(t *testing.T) {
+	g := New(1)
+	if err := g.Add(Constraint{Name: "", Min: 0, Max: 1}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := g.Add(Constraint{Name: "X", Min: 5, Max: 4}); err == nil {
+		t.Error("empty range should fail")
+	}
+	g.MustAdd(Constraint{Name: "X", Min: 0, Max: 10})
+	if err := g.Add(Constraint{Name: "X", Min: 0, Max: 1}); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if got := g.Names(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestDrawRespectsBounds(t *testing.T) {
+	g := New(7)
+	g.MustAdd(Constraint{Name: "P", Min: 0, Max: 31, Corners: []int64{0, 31}})
+	g.MustAdd(Constraint{Name: "Q", Min: 3, Max: 3})
+	for i := 0; i < 500; i++ {
+		inst := g.Draw()
+		if v := inst["P"]; v < 0 || v > 31 {
+			t.Fatalf("P = %d out of range", v)
+		}
+		if inst["Q"] != 3 {
+			t.Fatalf("Q = %d, want 3", inst["Q"])
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	mk := func(seed int64) []Instance {
+		g := New(seed)
+		g.MustAdd(Constraint{Name: "P", Min: 0, Max: 100, Corners: []int64{0, 100}})
+		var out []Instance
+		for i := 0; i < 20; i++ {
+			out = append(out, g.Draw())
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i]["P"] != b[i]["P"] {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i]["P"] != c[i]["P"] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestCornerWeighting(t *testing.T) {
+	g := New(11)
+	g.MustAdd(Constraint{Name: "P", Min: 0, Max: 1 << 20, Corners: []int64{0, 1 << 20}, CornerWeight: 0.5})
+	cv := NewCoverage()
+	for i := 0; i < 400; i++ {
+		cv.Record(g.Draw())
+	}
+	// With 50% corner weight over a huge range, the two corners must
+	// dominate relative to any uniform value.
+	if cv.CornerCoverage("P", []int64{0, 1 << 20}) != 1 {
+		t.Error("corners not covered")
+	}
+	if cv.Hits("P", 0)+cv.Hits("P", 1<<20) < 100 {
+		t.Errorf("corner hits = %d + %d", cv.Hits("P", 0), cv.Hits("P", 1<<20))
+	}
+	if cv.Distinct("P") < 50 {
+		t.Errorf("distinct values = %d; uniform draws missing", cv.Distinct("P"))
+	}
+}
+
+func TestCoverageProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		g := New(seed)
+		g.MustAdd(Constraint{Name: "V", Min: -4, Max: 4, Corners: []int64{-4, 4}})
+		cv := NewCoverage()
+		total := int(n%50) + 1
+		for i := 0; i < total; i++ {
+			cv.Record(g.Draw())
+		}
+		sum := 0
+		for v := int64(-4); v <= 4; v++ {
+			sum += cv.Hits("V", v)
+		}
+		return sum == total && cv.Distinct("V") <= 9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderOverlay(t *testing.T) {
+	inst := Instance{"B": 2, "A": 1}
+	out := inst.RenderOverlay()
+	if !strings.Contains(out, "A .EQU 1") || !strings.Contains(out, "B .EQU 2") {
+		t.Errorf("overlay:\n%s", out)
+	}
+	if strings.Index(out, "A .EQU") > strings.Index(out, "B .EQU") {
+		t.Error("overlay must be sorted")
+	}
+}
+
+// TestE8RandomisedEnvironmentRuns draws constrained-random page targets
+// and runs the Figure 6 test with each instance — the paper's envisioned
+// constrained-random Global Defines generation, end to end.
+func TestE8RandomisedEnvironmentRuns(t *testing.T) {
+	s := content.PortedSystem()
+	nvm, _ := s.Env("NVM")
+	d := derivative.A()
+	maxPage := int64(1)<<d.HW.Nvm.PageFieldWidth - 1
+
+	g := New(88)
+	g.MustAdd(Constraint{Name: "TEST1_TARGET_PAGE", Min: 0, Max: maxPage,
+		Corners: []int64{0, 1, maxPage}})
+	cv := NewCoverage()
+	for i := 0; i < 12; i++ {
+		inst := g.Draw()
+		cv.Record(inst)
+		re, err := Apply(nvm, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := sysenv.New("RAND")
+		if err := sys.AddEnv(re); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.RunTest("NVM", "TEST_NVM_PAGE_SELECT", d, platform.KindGolden, platform.RunSpec{})
+		if err != nil {
+			t.Fatalf("instance %v: %v", inst, err)
+		}
+		if !res.Passed() {
+			t.Fatalf("instance %v failed: %+v", inst, res)
+		}
+	}
+	if cv.Distinct("TEST1_TARGET_PAGE") < 3 {
+		t.Errorf("too few distinct pages: %d", cv.Distinct("TEST1_TARGET_PAGE"))
+	}
+}
+
+func TestApplyUnknownDefine(t *testing.T) {
+	s := content.PortedSystem()
+	nvm, _ := s.Env("NVM")
+	if _, err := Apply(nvm, Instance{"NO_SUCH_DEFINE": 1}); err == nil {
+		t.Error("unknown define must fail")
+	}
+	// Apply must not mutate the original.
+	if _, err := Apply(nvm, Instance{"TEST1_TARGET_PAGE": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := nvm.Defines.Get("TEST1_TARGET_PAGE"); e.Default != "8" {
+		t.Error("Apply mutated the original environment")
+	}
+}

@@ -1,0 +1,67 @@
+package regress
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// junitFailure is the <failure> element.
+type junitFailure struct {
+	Message string `xml:"message,attr"`
+	Type    string `xml:"type,attr"`
+}
+
+// junitCase is one <testcase>.
+type junitCase struct {
+	ClassName string        `xml:"classname,attr"`
+	Name      string        `xml:"name,attr"`
+	Failure   *junitFailure `xml:"failure,omitempty"`
+}
+
+// junitSuite is the <testsuite> root.
+type junitSuite struct {
+	XMLName  xml.Name    `xml:"testsuite"`
+	Name     string      `xml:"name,attr"`
+	Tests    int         `xml:"tests,attr"`
+	Failures int         `xml:"failures,attr"`
+	Errors   int         `xml:"errors,attr"`
+	Cases    []junitCase `xml:"testcase"`
+}
+
+// WriteJUnit renders the regression report in JUnit XML, one testcase per
+// matrix cell, so CI systems can ingest ADVM regressions directly.
+// Build/link problems map to JUnit errors; test failures to failures.
+func (r *Report) WriteJUnit(w io.Writer) error {
+	suite := junitSuite{Name: "advm-regression/" + r.Label}
+	for _, o := range r.Outcomes {
+		c := junitCase{
+			ClassName: fmt.Sprintf("%s.%s", o.Module, o.Test),
+			Name:      fmt.Sprintf("%s/%s", o.Derivative, o.Platform),
+		}
+		suite.Tests++
+		switch {
+		case o.BuildErr != "":
+			suite.Errors++
+			c.Failure = &junitFailure{Type: "build", Message: o.BuildErr}
+		case !o.Passed:
+			suite.Failures++
+			c.Failure = &junitFailure{
+				Type: "verdict",
+				Message: fmt.Sprintf("reason=%s mbox=0x%04x %s",
+					o.Reason, o.MboxResult, o.Detail),
+			}
+		}
+		suite.Cases = append(suite.Cases, c)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

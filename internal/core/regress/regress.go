@@ -1,0 +1,241 @@
+// Package regress runs ADVM regressions: the full matrix of test cells ×
+// derivatives × platforms. Following the paper's Section 3, a regression
+// only runs against a frozen system release label — if any module
+// environment has drifted from its sub-label, the run is refused, because
+// abstraction-layer changes have a global effect on the tests.
+package regress
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core/derivative"
+	"repro/internal/core/release"
+	"repro/internal/core/sysenv"
+	"repro/internal/platform"
+)
+
+// Spec selects the regression matrix.
+type Spec struct {
+	// Derivatives to cover; default: the whole family.
+	Derivatives []*derivative.Derivative
+	// Kinds are the platforms to cover; default: all registered.
+	Kinds []platform.Kind
+	// Modules restricts to named environments; default: all.
+	Modules []string
+	// RunSpec bounds each individual run.
+	RunSpec platform.RunSpec
+	// Workers runs matrix cells concurrently (each cell builds its own
+	// image and platform instance, so cells are independent). 0 or 1
+	// means serial. The report order is deterministic regardless.
+	Workers int
+}
+
+// Outcome is one cell of the regression matrix.
+type Outcome struct {
+	Module     string
+	Test       string
+	Derivative string
+	Platform   platform.Kind
+	Passed     bool
+	Reason     platform.StopReason
+	MboxResult uint32
+	Cycles     uint64
+	Insts      uint64
+	// BuildErr is non-empty when the test failed to assemble or link.
+	BuildErr string
+	Detail   string
+}
+
+// Report is a completed regression.
+type Report struct {
+	Label    string
+	Outcomes []Outcome
+}
+
+// Run executes the regression. The system must match the frozen label.
+func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, error) {
+	if label == nil {
+		return nil, fmt.Errorf("regress: a frozen release label is required to run a regression")
+	}
+	if err := label.Verify(s); err != nil {
+		return nil, fmt.Errorf("regress: refusing to run: %w", err)
+	}
+	derivs := spec.Derivatives
+	if len(derivs) == 0 {
+		derivs = derivative.Family()
+	}
+	kinds := spec.Kinds
+	if len(kinds) == 0 {
+		kinds = platform.AllKinds()
+	}
+	modules := spec.Modules
+	if len(modules) == 0 {
+		modules = s.Modules()
+	}
+
+	// Enumerate the matrix first so the report order is deterministic
+	// even under concurrency.
+	type cell struct {
+		module, test string
+		d            *derivative.Derivative
+		k            platform.Kind
+	}
+	var cells []cell
+	for _, module := range modules {
+		e, ok := s.Env(module)
+		if !ok {
+			return nil, fmt.Errorf("regress: unknown module %q", module)
+		}
+		for _, id := range e.TestIDs() {
+			for _, d := range derivs {
+				for _, k := range kinds {
+					cells = append(cells, cell{module, id, d, k})
+				}
+			}
+		}
+	}
+
+	rep := &Report{Label: label.Name}
+	rep.Outcomes = make([]Outcome, len(cells))
+	runCell := func(i int) {
+		c := cells[i]
+		out := Outcome{
+			Module: c.module, Test: c.test,
+			Derivative: c.d.Name, Platform: c.k,
+		}
+		res, err := s.RunTest(c.module, c.test, c.d, c.k, spec.RunSpec)
+		if err != nil {
+			out.BuildErr = err.Error()
+		} else {
+			out.Passed = res.Passed()
+			out.Reason = res.Reason
+			out.MboxResult = res.MboxResult
+			out.Cycles = res.Cycles
+			out.Insts = res.Instructions
+			out.Detail = res.Detail
+		}
+		rep.Outcomes[i] = out
+	}
+
+	workers := spec.Workers
+	if workers <= 1 {
+		for i := range cells {
+			runCell(i)
+		}
+		return rep, nil
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runCell(i)
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return rep, nil
+}
+
+// AllPassed reports whether every cell passed.
+func (r *Report) AllPassed() bool {
+	for _, o := range r.Outcomes {
+		if !o.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts returns (passed, failed, broken).
+func (r *Report) Counts() (passed, failed, broken int) {
+	for _, o := range r.Outcomes {
+		switch {
+		case o.BuildErr != "":
+			broken++
+		case o.Passed:
+			passed++
+		default:
+			failed++
+		}
+	}
+	return
+}
+
+// Failures lists the non-passing outcomes.
+func (r *Report) Failures() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if !o.Passed {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line result.
+func (r *Report) Summary() string {
+	p, f, b := r.Counts()
+	return fmt.Sprintf("regression %s: %d passed, %d failed, %d broken (of %d)",
+		r.Label, p, f, b, len(r.Outcomes))
+}
+
+// Table renders a per-platform × derivative pass-count matrix, the row
+// format the cross-platform experiment (E6) reports.
+func (r *Report) Table() string {
+	type key struct {
+		k platform.Kind
+		d string
+	}
+	pass := map[key]int{}
+	total := map[key]int{}
+	kindSet := map[platform.Kind]bool{}
+	derivSet := map[string]bool{}
+	for _, o := range r.Outcomes {
+		kk := key{o.Platform, o.Derivative}
+		total[kk]++
+		if o.Passed {
+			pass[kk]++
+		}
+		kindSet[o.Platform] = true
+		derivSet[o.Derivative] = true
+	}
+	var kinds []platform.Kind
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var derivs []string
+	for d := range derivSet {
+		derivs = append(derivs, d)
+	}
+	sort.Strings(derivs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "platform")
+	for _, d := range derivs {
+		fmt.Fprintf(&b, " %12s", d)
+	}
+	b.WriteString("\n")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-10s", k)
+		for _, d := range derivs {
+			kk := key{k, d}
+			fmt.Fprintf(&b, " %7d/%-4d", pass[kk], total[kk])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

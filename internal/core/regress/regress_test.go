@@ -1,0 +1,193 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/core/release"
+	"repro/internal/core/sysenv"
+	"repro/internal/platform"
+
+	_ "repro/internal/emu"
+	_ "repro/internal/golden"
+)
+
+func freeze(t *testing.T, s *sysenv.System) *release.SystemLabel {
+	t.Helper()
+	var subs []*release.Label
+	for _, e := range s.Envs() {
+		subs = append(subs, release.Snapshot(e.Module+"_R1", e))
+	}
+	sl, err := release.ComposeSystem("SYSREG", s, subs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+func TestRegressionRequiresFrozenLabel(t *testing.T) {
+	s := content.PortedSystem()
+	if _, err := Run(s, nil, Spec{}); err == nil {
+		t.Error("regression without a label must be refused")
+	}
+	sl := freeze(t, s)
+	// Drift after freezing is refused too.
+	e, _ := s.Env("NVM")
+	if err := e.Defines.SetDefault("TEST1_TARGET_PAGE", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, sl, Spec{}); err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Errorf("drifted environment must be refused, got %v", err)
+	}
+}
+
+func TestFullRegressionOnGolden(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	rep, err := Run(s, sl, Spec{
+		Derivatives: derivative.Family(),
+		Kinds:       []platform.Kind{platform.KindGolden},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		for _, f := range rep.Failures() {
+			t.Errorf("FAIL %s/%s %s %s: %s %s", f.Module, f.Test, f.Derivative, f.Platform, f.Reason, f.BuildErr)
+		}
+	}
+	p, f, b := rep.Counts()
+	if p != 21*4 || f != 0 || b != 0 {
+		t.Errorf("counts = %d/%d/%d, want 84/0/0", p, f, b)
+	}
+	if !strings.Contains(rep.Summary(), "84 passed") {
+		t.Errorf("summary: %s", rep.Summary())
+	}
+	table := rep.Table()
+	for _, want := range []string{"golden", "SC88-A", "SC88-SEC", "21/21"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestModuleFilterAndUnknownModule(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	rep, err := Run(s, sl, Spec{
+		Derivatives: []*derivative.Derivative{derivative.A()},
+		Kinds:       []platform.Kind{platform.KindGolden},
+		Modules:     []string{"UART"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 4 {
+		t.Errorf("outcomes = %d, want 4 UART tests", len(rep.Outcomes))
+	}
+	if _, err := Run(s, sl, Spec{Modules: []string{"NOPE"}}); err == nil {
+		t.Error("unknown module must fail")
+	}
+}
+
+func TestFailureReporting(t *testing.T) {
+	// The unported system on derivative C fails some NVM tests; the
+	// report must carry the mailbox verdicts.
+	s := content.UnportedSystem()
+	sl := freeze(t, s)
+	rep, err := Run(s, sl, Spec{
+		Derivatives: []*derivative.Derivative{derivative.C()},
+		Kinds:       []platform.Kind{platform.KindGolden},
+		Modules:     []string{"NVM"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllPassed() {
+		t.Fatal("unported NVM on C should fail somewhere")
+	}
+	fails := rep.Failures()
+	if len(fails) == 0 {
+		t.Fatal("no failures reported")
+	}
+	for _, f := range fails {
+		if f.BuildErr == "" && f.Reason == "" {
+			t.Errorf("failure lacks diagnosis: %+v", f)
+		}
+	}
+}
+
+func TestJUnitOutput(t *testing.T) {
+	s := content.UnportedSystem()
+	sl := freeze(t, s)
+	rep, err := Run(s, sl, Spec{
+		Derivatives: []*derivative.Derivative{derivative.C()},
+		Kinds:       []platform.Kind{platform.KindGolden},
+		Modules:     []string{"NVM"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJUnit(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<testsuite", "advm-regression/SYSREG", "tests=\"6\"",
+		"<testcase", "NVM.TEST_NVM_ERASE", "SC88-C/golden", "<failure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("junit missing %q:\n%s", want, out)
+		}
+	}
+	// A clean report has no failure elements.
+	repOK, err := Run(s, sl, Spec{
+		Derivatives: []*derivative.Derivative{derivative.A()},
+		Kinds:       []platform.Kind{platform.KindGolden},
+		Modules:     []string{"UART"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := repOK.WriteJUnit(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<failure") {
+		t.Error("clean report should have no failures")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	spec := Spec{
+		Derivatives: derivative.Family(),
+		Kinds:       []platform.Kind{platform.KindGolden},
+	}
+	serial, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 8
+	par, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Outcomes) != len(par.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(serial.Outcomes), len(par.Outcomes))
+	}
+	for i := range serial.Outcomes {
+		a, b := serial.Outcomes[i], par.Outcomes[i]
+		if a.Module != b.Module || a.Test != b.Test || a.Derivative != b.Derivative ||
+			a.Platform != b.Platform || a.Passed != b.Passed || a.Cycles != b.Cycles {
+			t.Fatalf("cell %d differs:\n serial %+v\n parallel %+v", i, a, b)
+		}
+	}
+	if !par.AllPassed() {
+		t.Error("parallel regression failed")
+	}
+}

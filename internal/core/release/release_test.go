@@ -1,0 +1,143 @@
+package release
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/content"
+	"repro/internal/core/defines"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+)
+
+func TestSnapshotAndVerify(t *testing.T) {
+	e := env.MustNew("NVM")
+	e.Defines.MustAdd(defines.Entry{Name: "X", Default: "1"})
+	l := Snapshot("NVM_R1", e)
+	if l.Module != "NVM" || l.Hash == "" || len(l.Files) == 0 {
+		t.Fatalf("label = %+v", l)
+	}
+	if err := l.Verify(e); err != nil {
+		t.Fatalf("fresh label must verify: %v", err)
+	}
+	// Any abstraction-layer edit invalidates the label.
+	if err := e.Defines.SetDefault("X", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Verify(e); err == nil {
+		t.Error("label must detect drift")
+	} else if !strings.Contains(err.Error(), "has changed since") {
+		t.Errorf("error text: %v", err)
+	}
+	// Wrong module.
+	if err := l.Verify(env.MustNew("UART")); err == nil {
+		t.Error("module mismatch must fail")
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	tree1 := map[string]string{"a": "1", "b": "2"}
+	tree2 := map[string]string{"b": "2", "a": "1"}
+	if HashTree(tree1) != HashTree(tree2) {
+		t.Error("hash must not depend on map order")
+	}
+	if HashTree(tree1) == HashTree(map[string]string{"a": "1", "b": "3"}) {
+		t.Error("different content must hash differently")
+	}
+	// Path/content confusion must not collide.
+	if HashTree(map[string]string{"ab": "c"}) == HashTree(map[string]string{"a": "bc"}) {
+		t.Error("path/content boundary collision")
+	}
+}
+
+func TestComposeSystem(t *testing.T) {
+	s := content.PortedSystem()
+	var subs []*Label
+	for _, e := range s.Envs() {
+		subs = append(subs, Snapshot(e.Module+"_R1", e))
+	}
+	sl, err := ComposeSystem("SYSREG_1", s, subs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Verify(s); err != nil {
+		t.Fatalf("fresh system label must verify: %v", err)
+	}
+	str := sl.String()
+	for _, want := range []string{"SYSREG_1", "NVM=NVM_R1", "UART=UART_R1", "REGISTER=REGISTER_R1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("label string missing %q: %s", want, str)
+		}
+	}
+
+	// Missing sub-label is refused.
+	if _, err := ComposeSystem("BAD", s, subs[:2]...); err == nil {
+		t.Error("missing sub-label must fail")
+	}
+	// Duplicate sub-labels for one module are refused.
+	if _, err := ComposeSystem("BAD2", s, append(subs, subs[0])...); err == nil {
+		t.Error("duplicate sub-label must fail")
+	}
+	// Unknown module is refused.
+	other := sysenv.New("OTHER")
+	_ = other.AddEnv(env.MustNew("ZED"))
+	zl := Snapshot("Z_R1", mustEnv(other, "ZED"))
+	if _, err := ComposeSystem("BAD3", s, append(subs, zl)...); err == nil {
+		t.Error("sub-label for foreign module must fail")
+	}
+}
+
+func mustEnv(s *sysenv.System, name string) *env.Env {
+	e, ok := s.Env(name)
+	if !ok {
+		panic("missing env " + name)
+	}
+	return e
+}
+
+func TestSystemLabelDetectsDrift(t *testing.T) {
+	s := content.PortedSystem()
+	var subs []*Label
+	for _, e := range s.Envs() {
+		subs = append(subs, Snapshot(e.Module+"_R1", e))
+	}
+	sl, err := ComposeSystem("SYSREG_1", s, subs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.Env("NVM")
+	if err := e.Defines.SetDefault("TEST1_TARGET_PAGE", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Verify(s); err == nil {
+		t.Error("system label must detect module drift")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	e := env.MustNew("NVM")
+	l := Snapshot("R1", e)
+	if err := r.Add(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(l); err == nil {
+		t.Error("labels are immutable: duplicate add must fail")
+	}
+	if got, ok := r.Get("R1"); !ok || got != l {
+		t.Error("registry lookup failed")
+	}
+	if _, ok := r.Get("R2"); ok {
+		t.Error("phantom label")
+	}
+	sl := &SystemLabel{Name: "S1", Sub: map[string]*Label{"NVM": l}}
+	if err := r.AddSystem(sl); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSystem(sl); err == nil {
+		t.Error("duplicate system label must fail")
+	}
+	if got, ok := r.GetSystem("S1"); !ok || got != sl {
+		t.Error("system registry lookup failed")
+	}
+}

@@ -1,0 +1,320 @@
+// Package sysenv models the complete ADVM test environment (the paper's
+// Figures 4 and 5): multiple isolated module-level test environments plus
+// a shared global layer (startup code, trap/interrupt handler library,
+// embedded software, and the register definitions), and the build
+// pipeline that assembles and links one test cell for one derivative and
+// one platform.
+//
+// Each module environment is isolated; the only code shared between
+// environments lives in the global layer, and tests reach it exclusively
+// through their abstraction layer.
+package sysenv
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core/derivative"
+	"repro/internal/core/env"
+	"repro/internal/obj"
+	"repro/internal/platform"
+)
+
+// GlobalDir is the global-layer directory in the materialised tree
+// (Figure 5's "Global Library" directories).
+const GlobalDir = "Global_Libraries"
+
+// Global-layer file names.
+const (
+	RegisterDefsFile = "registers.inc"
+	Crt0File         = "crt0.asm"
+	TrapHandlersFile = "trap_handlers.asm"
+	EmbeddedSWFile   = "embedded_software.asm"
+)
+
+// ESv2Macro is defined when assembling for a derivative that ships the
+// re-written (swapped-argument) embedded software.
+const ESv2Macro = "ES_V2"
+
+// System is the complete verification environment.
+type System struct {
+	Name  string
+	envs  []*env.Env
+	index map[string]*env.Env
+}
+
+// New creates an empty system environment.
+func New(name string) *System {
+	return &System{Name: name, index: make(map[string]*env.Env)}
+}
+
+// Clone deep-copies the system.
+func (s *System) Clone() *System {
+	out := New(s.Name)
+	for _, e := range s.envs {
+		_ = out.AddEnv(e.Clone())
+	}
+	return out
+}
+
+// AddEnv attaches a module environment. Module names must be unique.
+func (s *System) AddEnv(e *env.Env) error {
+	if _, dup := s.index[e.Module]; dup {
+		return fmt.Errorf("sysenv: module %q already present", e.Module)
+	}
+	s.envs = append(s.envs, e)
+	s.index[e.Module] = e
+	return nil
+}
+
+// Env returns a module environment by name.
+func (s *System) Env(module string) (*env.Env, bool) {
+	e, ok := s.index[module]
+	return e, ok
+}
+
+// Envs returns the module environments in attach order.
+func (s *System) Envs() []*env.Env {
+	return append([]*env.Env(nil), s.envs...)
+}
+
+// Modules lists module names in attach order.
+func (s *System) Modules() []string {
+	out := make([]string, len(s.envs))
+	for i, e := range s.envs {
+		out[i] = e.Module
+	}
+	return out
+}
+
+// GlobalLayer renders the global-layer files for a derivative. These
+// files are outwith the module test owners' control — precisely why the
+// abstraction layer must re-map everything it uses from them.
+func GlobalLayer(d *derivative.Derivative) map[string]string {
+	return map[string]string{
+		GlobalDir + "/" + RegisterDefsFile: d.RegisterDefs(),
+		GlobalDir + "/" + Crt0File:         crt0Source(d),
+		GlobalDir + "/" + TrapHandlersFile: trapHandlersSource(d),
+		GlobalDir + "/" + EmbeddedSWFile:   embeddedSWSource(d),
+	}
+}
+
+// Materialise renders the full Figure 5 tree for a derivative: the global
+// libraries plus every module environment.
+func (s *System) Materialise(d *derivative.Derivative) map[string]string {
+	tree := GlobalLayer(d)
+	for _, e := range s.envs {
+		for p, content := range e.Materialise() {
+			tree[p] = content
+		}
+	}
+	return tree
+}
+
+// resolver resolves .INCLUDE names against the materialised tree with the
+// ADVM search order: exact path, then the module's abstraction layer (the
+// per-test-cell link of Figure 3), then the global libraries.
+type resolver struct {
+	tree   map[string]string
+	module string
+}
+
+// ReadFile implements asm.Resolver.
+func (r resolver) ReadFile(name string) ([]byte, error) {
+	candidates := []string{
+		name,
+		r.module + "/Abstraction_Layer/" + name,
+		GlobalDir + "/" + name,
+	}
+	for _, c := range candidates {
+		if src, ok := r.tree[c]; ok {
+			return []byte(src), nil
+		}
+	}
+	return nil, fmt.Errorf("include %q not found (searched %v)", name, candidates)
+}
+
+// BuildDefines returns the preprocessor define set for one
+// derivative/platform combination.
+func BuildDefines(d *derivative.Derivative, k platform.Kind) map[string]string {
+	defs := d.Defines()
+	defs[k.Macro()] = ""
+	if d.ES == derivative.ESv2 {
+		defs[ESv2Macro] = ""
+	}
+	return defs
+}
+
+// BuildTest assembles and links one test cell for a derivative and
+// platform, returning the loadable image.
+func (s *System) BuildTest(module, testID string, d *derivative.Derivative, k platform.Kind) (*obj.Image, error) {
+	e, ok := s.index[module]
+	if !ok {
+		return nil, fmt.Errorf("sysenv: no module environment %q", module)
+	}
+	if _, ok := e.Test(testID); !ok {
+		return nil, fmt.Errorf("sysenv: module %q has no test %q", module, testID)
+	}
+	tree := s.Materialise(d)
+	res := resolver{tree: tree, module: module}
+	defs := BuildDefines(d, k)
+
+	units := []struct{ name, path string }{
+		{"crt0.asm", GlobalDir + "/" + Crt0File},
+		{"trap_handlers.asm", GlobalDir + "/" + TrapHandlersFile},
+		{"embedded_software.asm", GlobalDir + "/" + EmbeddedSWFile},
+		{"Base_Functions.asm", module + "/" + env.BaseFuncsFile},
+		{testID + "/test.asm", e.TestSourcePath(testID)},
+	}
+	var objects []*obj.Object
+	for _, u := range units {
+		src, ok := tree[u.path]
+		if !ok {
+			return nil, fmt.Errorf("sysenv: missing source %q", u.path)
+		}
+		o, err := asm.Assemble(u.name, src, asm.Options{Defines: defs, Resolver: res})
+		if err != nil {
+			return nil, fmt.Errorf("sysenv: %s/%s on %s: %w", module, testID, d.Name, err)
+		}
+		objects = append(objects, o)
+	}
+	img, err := obj.Link(obj.LinkConfig{
+		TextBase: d.HW.RomBase,
+		DataBase: d.HW.RamBase,
+		Entry:    "_start",
+	}, objects...)
+	if err != nil {
+		return nil, fmt.Errorf("sysenv: link %s/%s on %s: %w", module, testID, d.Name, err)
+	}
+	return img, nil
+}
+
+// RunTest builds the image, instantiates the platform for the derivative
+// hardware, loads, and runs.
+func (s *System) RunTest(module, testID string, d *derivative.Derivative, k platform.Kind, spec platform.RunSpec) (*platform.Result, error) {
+	img, err := s.BuildTest(module, testID, d, k)
+	if err != nil {
+		return nil, err
+	}
+	p, err := platform.New(k, d.HW)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Load(img); err != nil {
+		return nil, err
+	}
+	return p.Run(spec)
+}
+
+// ---- global layer sources ----
+
+// crt0Source renders the startup object: it installs the RAM vector
+// table, calls the test cell's test_main, and reports a failure if the
+// test falls off the end without self-reporting.
+func crt0Source(d *derivative.Derivative) string {
+	mbox := d.RegName(derivative.RegMboxBase)
+	var b strings.Builder
+	b.WriteString(";; crt0.asm -- GLOBAL LAYER startup (outwith module owners' control)\n")
+	b.WriteString(".INCLUDE \"registers.inc\"\n")
+	b.WriteString("_start:\n")
+	b.WriteString("    LOAD d0, __vector_table\n")
+	b.WriteString("    MTCR 1, d0\n")
+	b.WriteString("    CALL test_main\n")
+	b.WriteString("    LOAD d15, 0xBAD1      ; test returned without reporting\n")
+	fmt.Fprintf(&b, "    STORE [%s+MBOX_RESULT_OFF], d15\n", mbox)
+	b.WriteString("    HALT\n")
+	b.WriteString(".SECTION data\n")
+	b.WriteString("__vector_table:\n")
+	b.WriteString("    .WORD 0                       ; 0 reset (unused)\n")
+	for v := 1; v <= 6; v++ {
+		fmt.Fprintf(&b, "    .WORD Default_Trap_Handler    ; %d\n", v)
+	}
+	b.WriteString("    .WORD 0                       ; 7 reserved\n")
+	for irq := 0; irq < 16; irq++ {
+		fmt.Fprintf(&b, "    .WORD Default_Irq_Handler     ; irq %d\n", irq)
+	}
+	return b.String()
+}
+
+func trapHandlersSource(d *derivative.Derivative) string {
+	mbox := d.RegName(derivative.RegMboxBase)
+	return fmt.Sprintf(`;; trap_handlers.asm -- GLOBAL LAYER default handlers
+.INCLUDE "registers.inc"
+; Unexpected synchronous trap: report and stop.
+Default_Trap_Handler:
+    LOAD d15, 0xDEAD
+    STORE [%[1]s+MBOX_RESULT_OFF], d15
+    HALT
+; Unexpected interrupt: report and stop.
+Default_Irq_Handler:
+    LOAD d15, 0xDEAF
+    STORE [%[1]s+MBOX_RESULT_OFF], d15
+    HALT
+`, mbox)
+}
+
+// embeddedSWSource renders the customer embedded-software library. The
+// paper's Figure 7 change scenario is the v2 generation: ES_Init_Register
+// was re-written with its input registers swapped.
+func embeddedSWSource(d *derivative.Derivative) string {
+	uartBase := d.RegName(derivative.RegUartBase)
+	uartDR := d.RegName(derivative.RegUartDR)
+	uartSR := d.RegName(derivative.RegUartSR)
+	uartCR := d.RegName(derivative.RegUartCR)
+	uartBRR := d.RegName(derivative.RegUartBRR)
+	nvmc := d.RegName(derivative.RegNvmcBase)
+	wdt := d.RegName(derivative.RegWdtBase)
+
+	var init string
+	if d.ES == derivative.ESv2 {
+		init = `; ES_Init_Register (v2): addr=d0, value=d1   ** INPUTS SWAPPED vs v1 **
+ES_Init_Register:
+    MOVAD a14, d0
+    STORE [a14], d1
+    RET
+`
+	} else {
+		init = `; ES_Init_Register (v1): value=d0, addr=d1
+ES_Init_Register:
+    MOVAD a14, d1
+    STORE [a14], d0
+    RET
+`
+	}
+	return fmt.Sprintf(`;; embedded_software.asm -- GLOBAL LAYER customer library (ES v%[8]d)
+.INCLUDE "registers.inc"
+%[1]s
+; ES_Uart_Init: divider=d0. Enables the UART.
+ES_Uart_Init:
+    LOAD a14, %[2]s
+    STORE [a14+%[6]s], d0
+    LOAD d14, 1
+    STORE [a14+%[5]s], d14
+    RET
+; ES_Uart_Send: byte=d0. Busy-waits for TX ready, then queues the byte.
+ES_Uart_Send:
+    LOAD a14, %[2]s
+ES_Uart_Send_wait:
+    LOAD d14, [a14+%[4]s]
+    AND d14, d14, 1
+    LOAD d13, 1
+    BNE d14, d13, ES_Uart_Send_wait
+    STORE [a14+%[3]s], d0
+    RET
+; ES_Nvm_Unlock: writes the controller key sequence.
+ES_Nvm_Unlock:
+    LOAD a14, %[7]s
+    LOAD d14, 0xA5A5
+    STORE [a14+NVMC_KEY_OFF], d14
+    LOAD d14, 0x5A5A
+    STORE [a14+NVMC_KEY_OFF], d14
+    RET
+; ES_Wdt_Service: feeds the watchdog.
+ES_Wdt_Service:
+    LOAD a14, %[9]s
+    LOAD d14, 0x5C
+    STORE [a14+WDT_SERVICE_OFF], d14
+    RET
+`, init, uartBase, uartDR, uartSR, uartCR, uartBRR, nvmc, int(d.ES), wdt)
+}

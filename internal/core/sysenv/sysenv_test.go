@@ -1,0 +1,124 @@
+package sysenv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/derivative"
+	"repro/internal/core/env"
+)
+
+func TestGlobalLayerContent(t *testing.T) {
+	a := derivative.A()
+	layer := GlobalLayer(a)
+	if len(layer) != 4 {
+		t.Fatalf("global layer files = %d", len(layer))
+	}
+	crt0 := layer[GlobalDir+"/"+Crt0File]
+	for _, want := range []string{"_start:", "__vector_table:", "CALL test_main", "MTCR 1, d0"} {
+		if !strings.Contains(crt0, want) {
+			t.Errorf("crt0 missing %q", want)
+		}
+	}
+	traps := layer[GlobalDir+"/"+TrapHandlersFile]
+	if !strings.Contains(traps, "Default_Trap_Handler:") || !strings.Contains(traps, "0xDEAD") {
+		t.Error("trap handlers incomplete")
+	}
+	es := layer[GlobalDir+"/"+EmbeddedSWFile]
+	for _, want := range []string{"ES_Init_Register:", "ES_Uart_Send:", "ES_Nvm_Unlock:", "ES_Wdt_Service:", "value=d0, addr=d1"} {
+		if !strings.Contains(es, want) {
+			t.Errorf("embedded software missing %q", want)
+		}
+	}
+	// The SEC generation swaps the convention and uses the renamed register.
+	esSec := GlobalLayer(derivative.SEC())[GlobalDir+"/"+EmbeddedSWFile]
+	if !strings.Contains(esSec, "INPUTS SWAPPED") {
+		t.Error("SEC embedded software must be the v2 rewrite")
+	}
+	if !strings.Contains(esSec, "UART_DATA_OFF") {
+		t.Error("SEC embedded software must use the renamed register")
+	}
+}
+
+func TestAddEnvAndLookup(t *testing.T) {
+	s := New("SYS")
+	e := env.MustNew("NVM")
+	if err := s.AddEnv(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEnv(env.MustNew("NVM")); err == nil {
+		t.Error("duplicate module should fail")
+	}
+	if _, ok := s.Env("NVM"); !ok {
+		t.Error("lookup failed")
+	}
+	if got := s.Modules(); len(got) != 1 || got[0] != "NVM" {
+		t.Errorf("modules = %v", got)
+	}
+	if len(s.Envs()) != 1 {
+		t.Error("envs accessor broken")
+	}
+}
+
+func TestBuildTestErrors(t *testing.T) {
+	s := New("SYS")
+	e := env.MustNew("M")
+	_ = s.AddEnv(e)
+	d := derivative.A()
+	if _, err := s.BuildTest("NOPE", "T", d, 0); err == nil {
+		t.Error("unknown module should fail")
+	}
+	if _, err := s.BuildTest("M", "NOPE", d, 0); err == nil {
+		t.Error("unknown test should fail")
+	}
+}
+
+func TestBuildDefines(t *testing.T) {
+	defs := BuildDefines(derivative.SEC(), 0 /* golden */)
+	if _, ok := defs["DERIV_SEC"]; !ok {
+		t.Error("missing derivative macro")
+	}
+	if _, ok := defs["PLAT_GOLDEN"]; !ok {
+		t.Error("missing platform macro")
+	}
+	if _, ok := defs[ESv2Macro]; !ok {
+		t.Error("missing ES_V2 for the v2 derivative")
+	}
+	defsA := BuildDefines(derivative.A(), 0)
+	if _, ok := defsA[ESv2Macro]; ok {
+		t.Error("A must not define ES_V2")
+	}
+}
+
+func TestResolverSearchOrder(t *testing.T) {
+	r := resolver{
+		tree: map[string]string{
+			"M/Abstraction_Layer/Globals.inc": "abstraction",
+			GlobalDir + "/registers.inc":      "global",
+			"exact.inc":                       "exact",
+		},
+		module: "M",
+	}
+	if b, err := r.ReadFile("Globals.inc"); err != nil || string(b) != "abstraction" {
+		t.Errorf("abstraction layer lookup: %q %v", b, err)
+	}
+	if b, err := r.ReadFile("registers.inc"); err != nil || string(b) != "global" {
+		t.Errorf("global lookup: %q %v", b, err)
+	}
+	if b, err := r.ReadFile("exact.inc"); err != nil || string(b) != "exact" {
+		t.Errorf("exact lookup: %q %v", b, err)
+	}
+	if _, err := r.ReadFile("nope.inc"); err == nil {
+		t.Error("missing include should fail")
+	}
+}
+
+func TestSystemClone(t *testing.T) {
+	s := New("SYS")
+	_ = s.AddEnv(env.MustNew("NVM"))
+	c := s.Clone()
+	_ = c.AddEnv(env.MustNew("UART"))
+	if len(s.Envs()) != 1 || len(c.Envs()) != 2 {
+		t.Error("clone not independent")
+	}
+}

@@ -1,0 +1,157 @@
+// Package cover collects execution coverage from tracing platforms:
+// which opcodes a test suite exercised (ISA coverage) and which source
+// lines of each test ran (test-layer coverage). Directed suites live and
+// die by coverage arguments; this gives the ADVM regression runner the
+// numbers.
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// Coverage accumulates opcode and source-line hits.
+type Coverage struct {
+	opcodes [isa.NumOpcodes]uint64
+	lines   map[string]map[int]uint64
+}
+
+// New creates an empty coverage store.
+func New() *Coverage {
+	return &Coverage{lines: map[string]map[int]uint64{}}
+}
+
+// Tracer returns a platform.RunSpec trace hook that decodes the
+// instruction at each traced PC from the platform's memory and records
+// it. Attach it before Run:
+//
+//	cov := cover.New()
+//	spec.Trace = cov.Tracer(p.SoC())
+func (c *Coverage) Tracer(s *soc.SoC) func(platform.TraceRecord) {
+	return func(r platform.TraceRecord) {
+		if op, ok := opcodeAt(s, r.PC); ok {
+			c.opcodes[op]++
+		}
+		if r.File != "" {
+			m := c.lines[r.File]
+			if m == nil {
+				m = map[int]uint64{}
+				c.lines[r.File] = m
+			}
+			m[r.Line]++
+		}
+	}
+}
+
+func opcodeAt(s *soc.SoC, addr uint32) (isa.Opcode, bool) {
+	raw, err := s.Mem.Dump(addr, 4)
+	if err != nil {
+		return 0, false
+	}
+	op := isa.Opcode(raw[3]) // little-endian word: opcode is the top byte
+	return op, op.Valid()
+}
+
+// Merge folds another coverage store into this one.
+func (c *Coverage) Merge(other *Coverage) {
+	for i, n := range other.opcodes {
+		c.opcodes[i] += n
+	}
+	for file, m := range other.lines {
+		dst := c.lines[file]
+		if dst == nil {
+			dst = map[int]uint64{}
+			c.lines[file] = dst
+		}
+		for line, n := range m {
+			dst[line] += n
+		}
+	}
+}
+
+// OpcodeHits returns how often an opcode retired.
+func (c *Coverage) OpcodeHits(op isa.Opcode) uint64 {
+	if !op.Valid() {
+		return 0
+	}
+	return c.opcodes[op]
+}
+
+// CoveredOpcodes counts distinct opcodes executed.
+func (c *Coverage) CoveredOpcodes() int {
+	n := 0
+	for _, hits := range c.opcodes {
+		if hits > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MissingOpcodes lists opcodes never executed, in mnemonic order.
+func (c *Coverage) MissingOpcodes() []isa.Opcode {
+	var out []isa.Opcode
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if c.opcodes[op] == 0 {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// ISACoverage returns the fraction of defined opcodes executed.
+func (c *Coverage) ISACoverage() float64 {
+	return float64(c.CoveredOpcodes()) / float64(isa.NumOpcodes)
+}
+
+// LineHits returns how often a source line retired an instruction.
+func (c *Coverage) LineHits(file string, line int) uint64 { return c.lines[file][line] }
+
+// Files lists files with recorded coverage, sorted.
+func (c *Coverage) Files() []string {
+	out := make([]string, 0, len(c.lines))
+	for f := range c.lines {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report renders a summary: ISA coverage, hot opcodes, missing opcodes.
+func (c *Coverage) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ISA coverage: %d/%d opcodes (%.0f%%)\n",
+		c.CoveredOpcodes(), isa.NumOpcodes, 100*c.ISACoverage())
+	type hit struct {
+		op isa.Opcode
+		n  uint64
+	}
+	var hits []hit
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if c.opcodes[op] > 0 {
+			hits = append(hits, hit{op, c.opcodes[op]})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].n > hits[j].n })
+	b.WriteString("hottest:\n")
+	for i, h := range hits {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-8s %d\n", h.op, h.n)
+	}
+	missing := c.MissingOpcodes()
+	if len(missing) > 0 {
+		names := make([]string, len(missing))
+		for i, op := range missing {
+			names[i] = op.String()
+		}
+		fmt.Fprintf(&b, "never executed: %s\n", strings.Join(names, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package cover
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/isa"
+	"repro/internal/platform"
+
+	_ "repro/internal/golden"
+)
+
+func TestSuiteISACoverage(t *testing.T) {
+	s := content.PortedSystem()
+	d := derivative.A()
+	cov := New()
+	for _, e := range s.Envs() {
+		for _, id := range e.TestIDs() {
+			img, err := s.BuildTest(e.Module, id, d, platform.KindGolden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := platform.New(platform.KindGolden, d.HW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Load(img); err != nil {
+				t.Fatal(err)
+			}
+			local := New()
+			res, err := p.Run(platform.RunSpec{Trace: local.Tracer(p.SoC())})
+			if err != nil || !res.Passed() {
+				t.Fatalf("%s/%s: %v %+v", e.Module, id, err, res)
+			}
+			cov.Merge(local)
+		}
+	}
+	// The directed suite must exercise the core of the ISA.
+	for _, op := range []isa.Opcode{
+		isa.OpMovI, isa.OpMovX, isa.OpAdd, isa.OpAndI, isa.OpInsert,
+		isa.OpInsertX, isa.OpExtractU, isa.OpLdWX, isa.OpStWX, isa.OpCall,
+		isa.OpCallI, isa.OpRet, isa.OpBne, isa.OpHalt, isa.OpMfcr,
+		isa.OpMtcr, isa.OpTrap, isa.OpRfe, isa.OpLea,
+	} {
+		if cov.OpcodeHits(op) == 0 {
+			t.Errorf("suite never executes %s", op)
+		}
+	}
+	if cov.ISACoverage() < 0.5 {
+		t.Errorf("ISA coverage %.0f%% is suspiciously low", 100*cov.ISACoverage())
+	}
+	rep := cov.Report()
+	for _, want := range []string{"ISA coverage:", "hottest:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// Test-layer line coverage is attributed to the right files.
+	foundTestFile := false
+	for _, f := range cov.Files() {
+		if strings.Contains(f, "test.asm") {
+			foundTestFile = true
+		}
+	}
+	if !foundTestFile {
+		t.Errorf("no test-layer files in line coverage: %v", cov.Files())
+	}
+}
+
+func TestMergeAndAccessors(t *testing.T) {
+	a, b := New(), New()
+	a.opcodes[isa.OpAdd] = 3
+	a.lines["f"] = map[int]uint64{4: 2}
+	b.opcodes[isa.OpAdd] = 2
+	b.opcodes[isa.OpSub] = 1
+	b.lines["f"] = map[int]uint64{4: 1, 5: 1}
+	b.lines["g"] = map[int]uint64{1: 1}
+	a.Merge(b)
+	if a.OpcodeHits(isa.OpAdd) != 5 || a.OpcodeHits(isa.OpSub) != 1 {
+		t.Errorf("merge opcodes: add=%d sub=%d", a.OpcodeHits(isa.OpAdd), a.OpcodeHits(isa.OpSub))
+	}
+	if a.LineHits("f", 4) != 3 || a.LineHits("f", 5) != 1 || a.LineHits("g", 1) != 1 {
+		t.Error("merge lines wrong")
+	}
+	if a.CoveredOpcodes() != 2 {
+		t.Errorf("covered = %d", a.CoveredOpcodes())
+	}
+	if a.OpcodeHits(isa.Opcode(200)) != 0 {
+		t.Error("invalid opcode should report zero")
+	}
+	if len(a.Files()) != 2 || a.Files()[0] != "f" {
+		t.Errorf("files = %v", a.Files())
+	}
+	missing := a.MissingOpcodes()
+	if len(missing) != isa.NumOpcodes-2 {
+		t.Errorf("missing = %d", len(missing))
+	}
+}

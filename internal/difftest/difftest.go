@@ -1,0 +1,316 @@
+// Package difftest implements differential random testing across the
+// SC88 execution platforms: it generates constrained-random assembler
+// programs (straight-line ALU/bitfield/memory code with bounded forward
+// branches and guarded divisions), runs each program on the golden model,
+// the RTL simulation, and the gate-level simulation, and compares the
+// final architectural state and data memory. Divergence between
+// independently implemented models is exactly the class of bug the
+// paper's cross-platform directed suite exists to find; this package
+// automates the hunt.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/golden"
+	"repro/internal/platform"
+	"repro/internal/rtl"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+)
+
+// BufBase is the scratch RAM buffer random programs address through a0.
+const BufBase = 0x2000_1000
+
+// BufSize is the scratch buffer size in bytes.
+const BufSize = 256
+
+// Config tunes program generation.
+type Config struct {
+	// Insts is the number of generated body instructions.
+	Insts int
+	// Divs enables guarded DIV/REM generation.
+	Divs bool
+	// Branches enables bounded forward branches.
+	Branches bool
+}
+
+// DefaultConfig returns a balanced generation profile.
+func DefaultConfig() Config { return Config{Insts: 80, Divs: true, Branches: true} }
+
+// gen holds generation state.
+type gen struct {
+	rng    *rand.Rand
+	sb     strings.Builder
+	label  int
+	budget int
+	cfg    Config
+}
+
+func (g *gen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *gen) dreg() int { return g.rng.Intn(16) }
+
+// Generate produces one random program for the given seed.
+func Generate(seed int64, cfg Config) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	g.emit(";; difftest program seed=%d", seed)
+	g.emit("_main:")
+	g.emit("    LOAD a0, 0x%08X", BufBase)
+	g.emit("    LEAO a1, a0, 64")
+	for r := 0; r < 16; r++ {
+		g.emit("    LOAD d%d, 0x%08X", r, g.rng.Uint32())
+	}
+	g.budget = cfg.Insts
+	for g.budget > 0 {
+		g.budget--
+		g.step()
+	}
+	g.emit("    HALT")
+	return g.sb.String()
+}
+
+// step emits one random instruction (or a short branch block).
+func (g *gen) step() {
+	switch g.rng.Intn(20) {
+	case 0, 1, 2:
+		ops := []string{"ADD", "SUB", "AND", "OR", "XOR", "MUL"}
+		g.emit("    %s d%d, d%d, d%d", ops[g.rng.Intn(len(ops))], g.dreg(), g.dreg(), g.dreg())
+	case 3, 4:
+		ops := []string{"ADD", "AND", "OR", "XOR"}
+		op := ops[g.rng.Intn(len(ops))]
+		imm := g.rng.Intn(0x7fff)
+		g.emit("    %s d%d, d%d, %d", op, g.dreg(), g.dreg(), imm)
+	case 5:
+		ops := []string{"SHL", "SHR", "SAR"}
+		g.emit("    %s d%d, d%d, %d", ops[g.rng.Intn(3)], g.dreg(), g.dreg(), g.rng.Intn(32))
+	case 6:
+		ops := []string{"SHL", "SHR", "SAR"}
+		g.emit("    %s d%d, d%d, d%d", ops[g.rng.Intn(3)], g.dreg(), g.dreg(), g.dreg())
+	case 7:
+		g.emit("    CMP d%d, d%d", g.dreg(), g.dreg())
+	case 8:
+		pos := g.rng.Intn(32)
+		width := g.rng.Intn(32-pos) + 1
+		if g.rng.Intn(2) == 0 {
+			g.emit("    INSERT d%d, d%d, d%d, %d, %d", g.dreg(), g.dreg(), g.dreg(), pos, width)
+		} else {
+			g.emit("    INSERT d%d, d%d, 0x%X, %d, %d", g.dreg(), g.dreg(), g.rng.Uint32(), pos, width)
+		}
+	case 9:
+		pos := g.rng.Intn(32)
+		width := g.rng.Intn(32-pos) + 1
+		op := "EXTRU"
+		if g.rng.Intn(2) == 0 {
+			op = "EXTRS"
+		}
+		g.emit("    %s d%d, d%d, %d, %d", op, g.dreg(), g.dreg(), pos, width)
+	case 10:
+		g.emit("    MOV d%d, d%d", g.dreg(), g.dreg())
+	case 11:
+		// Keep a0/a1 stable: only a2..a9 are scratch.
+		g.emit("    MOVAD a%d, d%d", 2+g.rng.Intn(8), g.dreg())
+	case 12:
+		g.emit("    MOVDA d%d, a%d", g.dreg(), g.rng.Intn(10))
+	case 13, 14:
+		off := g.rng.Intn(BufSize/4) * 4
+		base := "a0"
+		if g.rng.Intn(4) == 0 && off >= 64 {
+			base, off = "a1", off-64
+		}
+		g.emit("    STW [%s+%d], d%d", base, off, g.dreg())
+	case 15, 16:
+		off := g.rng.Intn(BufSize/4) * 4
+		g.emit("    LDW d%d, [a0+%d]", g.dreg(), off)
+	case 17:
+		switch g.rng.Intn(4) {
+		case 0:
+			g.emit("    STB [a0+%d], d%d", g.rng.Intn(BufSize), g.dreg())
+		case 1:
+			g.emit("    STH [a0+%d], d%d", g.rng.Intn(BufSize/2)*2, g.dreg())
+		case 2:
+			g.emit("    LDB d%d, [a0+%d]", g.dreg(), g.rng.Intn(BufSize))
+		default:
+			g.emit("    LDHU d%d, [a0+%d]", g.dreg(), g.rng.Intn(BufSize/2)*2)
+		}
+	case 18:
+		if !g.cfg.Divs {
+			g.emit("    NOP")
+			return
+		}
+		// Guarded division: force the divisor odd (hence non-zero).
+		div := g.dreg()
+		g.emit("    OR d%d, d%d, 1", div, div)
+		op := "DIV"
+		if g.rng.Intn(2) == 0 {
+			op = "REM"
+		}
+		g.emit("    %s d%d, d%d, d%d", op, g.dreg(), g.dreg(), div)
+	case 19:
+		if !g.cfg.Branches || g.budget < 4 {
+			g.emit("    NOP")
+			return
+		}
+		// Bounded forward branch over 1..3 generated instructions.
+		g.label++
+		lbl := fmt.Sprintf("fwd%d", g.label)
+		ops := []string{"BEQ", "BNE", "BLT", "BGE", "BLTU", "BGEU"}
+		g.emit("    %s d%d, d%d, %s", ops[g.rng.Intn(len(ops))], g.dreg(), g.dreg(), lbl)
+		skip := 1 + g.rng.Intn(3)
+		for i := 0; i < skip && g.budget > 0; i++ {
+			g.budget--
+			g.stepNoBranch()
+		}
+		g.emit("%s:", lbl)
+	}
+}
+
+// stepNoBranch emits a non-branching instruction (used inside branch
+// shadows so labels stay well-formed).
+func (g *gen) stepNoBranch() {
+	saveB, saveD := g.cfg.Branches, g.cfg.Divs
+	g.cfg.Branches = false
+	g.step()
+	g.cfg.Branches, g.cfg.Divs = saveB, saveD
+}
+
+// Outcome is one platform's result plus observable memory.
+type Outcome struct {
+	Res *platform.Result
+	Buf []byte
+}
+
+// RunOn executes a program on one platform kind.
+func RunOn(kind platform.Kind, cfg soc.HWConfig, src string) (*Outcome, error) {
+	img, err := testprog.Build(cfg, nil, map[string]string{"p.asm": src})
+	if err != nil {
+		return nil, fmt.Errorf("difftest build: %w", err)
+	}
+	p, err := platform.New(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Load(img); err != nil {
+		return nil, err
+	}
+	res, err := p.Run(platform.RunSpec{})
+	if err != nil {
+		return nil, err
+	}
+	buf, err := p.SoC().Mem.Dump(BufBase, BufSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Res: res, Buf: buf}, nil
+}
+
+// Compare checks two outcomes for architectural equivalence. It returns a
+// description of the first divergence, or "".
+func Compare(a, b *Outcome) string {
+	if a.Res.Reason != b.Res.Reason {
+		return fmt.Sprintf("stop reason: %s vs %s (%s | %s)", a.Res.Reason, b.Res.Reason, a.Res.Detail, b.Res.Detail)
+	}
+	if a.Res.State != nil && b.Res.State != nil {
+		for i := 0; i < 16; i++ {
+			if a.Res.State.D[i] != b.Res.State.D[i] {
+				return fmt.Sprintf("d%d: %#x vs %#x", i, a.Res.State.D[i], b.Res.State.D[i])
+			}
+			if a.Res.State.A[i] != b.Res.State.A[i] {
+				return fmt.Sprintf("a%d: %#x vs %#x", i, a.Res.State.A[i], b.Res.State.A[i])
+			}
+		}
+		if a.Res.State.PSW != b.Res.State.PSW {
+			return fmt.Sprintf("psw: %#x vs %#x", a.Res.State.PSW, b.Res.State.PSW)
+		}
+	}
+	for i := range a.Buf {
+		if a.Buf[i] != b.Buf[i] {
+			return fmt.Sprintf("mem[0x%x]: %#x vs %#x", BufBase+uint32(i), a.Buf[i], b.Buf[i])
+		}
+	}
+	if a.Res.Instructions != b.Res.Instructions {
+		return fmt.Sprintf("instructions: %d vs %d", a.Res.Instructions, b.Res.Instructions)
+	}
+	return ""
+}
+
+// Lockstep runs a program on the golden core and the RTL core in
+// lockstep, comparing architectural state after every retired
+// instruction. Where Compare only reports end-of-run divergence, Lockstep
+// pinpoints the first divergent instruction — the debugging workflow a
+// real golden-vs-RTL methodology needs. It returns "" when the cores stay
+// equivalent to the halt.
+func Lockstep(cfg soc.HWConfig, src string, maxInsts uint64) (string, error) {
+	img, err := testprog.Build(cfg, nil, map[string]string{"p.asm": src})
+	if err != nil {
+		return "", fmt.Errorf("difftest lockstep build: %w", err)
+	}
+	g := golden.NewCore(soc.New(cfg))
+	if err := g.LoadImage(img); err != nil {
+		return "", err
+	}
+	rsoc := soc.New(cfg)
+	if err := platform.Load(rsoc, img); err != nil {
+		return "", err
+	}
+	r := rtl.NewCPU(rsoc, rtl.DirectALU{})
+	r.PC = img.Entry
+	r.SetSP(cfg.RamBase + cfg.RamSize - 16)
+
+	if maxInsts == 0 {
+		maxInsts = platform.DefaultMaxInstructions
+	}
+	for g.Insts < maxInsts {
+		gpc := g.PC
+		if out := g.PollAsync(); out == golden.StepUnhandled {
+			return fmt.Sprintf("golden unhandled trap at 0x%08x", gpc), nil
+		}
+		gout := g.Step()
+		// Clock the RTL core until it retires the next instruction or
+		// terminates.
+		target := g.Insts
+		for r.Insts < target && !r.Halted && !r.Unhandled {
+			if err := r.Clk.Cycles(1); err != nil {
+				return "", err
+			}
+		}
+		if d := lockstepState(g, r, gpc); d != "" {
+			return d, nil
+		}
+		if gout == golden.StepHalted {
+			if !r.Halted {
+				return fmt.Sprintf("golden halted at 0x%08x but rtl did not", gpc), nil
+			}
+			return "", nil
+		}
+		if gout == golden.StepUnhandled || r.Unhandled {
+			if (gout == golden.StepUnhandled) != r.Unhandled {
+				return fmt.Sprintf("trap handling diverges after 0x%08x", gpc), nil
+			}
+			return "", nil
+		}
+	}
+	return "instruction budget exhausted without halt", nil
+}
+
+func lockstepState(g *golden.Core, r *rtl.CPU, pc uint32) string {
+	for i := 0; i < 16; i++ {
+		if g.D[i] != r.D[i] {
+			return fmt.Sprintf("after 0x%08x: d%d %#x vs %#x", pc, i, g.D[i], r.D[i])
+		}
+		if g.A[i] != r.A[i] {
+			return fmt.Sprintf("after 0x%08x: a%d %#x vs %#x", pc, i, g.A[i], r.A[i])
+		}
+	}
+	if g.PSW != r.PSW {
+		return fmt.Sprintf("after 0x%08x: psw %#x vs %#x", pc, g.PSW, r.PSW)
+	}
+	if g.PC != r.PC {
+		return fmt.Sprintf("after 0x%08x: pc %#x vs %#x", pc, g.PC, r.PC)
+	}
+	return ""
+}

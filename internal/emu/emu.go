@@ -1,0 +1,69 @@
+// Package emu implements the hardware-accelerator platform (the paper's
+// Quickturn/IKOS emulator): functionally identical to the design, fast,
+// but with coarse timing and restricted debug visibility — no
+// per-instruction trace, no breakpoints, and no register window while
+// running. Firmware sign-off regressions run here.
+package emu
+
+import (
+	"repro/internal/golden"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// emuCyclesPerInst is the accelerator's coarse cycle approximation.
+const emuCyclesPerInst = 2
+
+func init() {
+	platform.Register(platform.KindEmulator, func(cfg soc.HWConfig) platform.Platform {
+		return New(cfg)
+	})
+}
+
+// Box is an emulator instance.
+type Box struct {
+	core *golden.Core
+	name string
+}
+
+// New creates an emulator platform.
+func New(cfg soc.HWConfig) *Box {
+	b := &Box{core: golden.NewCore(soc.New(cfg)), name: "emulator/" + cfg.Name}
+	b.core.CyclesPerInst = emuCyclesPerInst
+	return b
+}
+
+// Name implements platform.Platform.
+func (b *Box) Name() string { return b.name }
+
+// Kind implements platform.Platform.
+func (b *Box) Kind() platform.Kind { return platform.KindEmulator }
+
+// Caps implements platform.Platform.
+func (b *Box) Caps() platform.Caps {
+	return platform.Caps{
+		Trace:         false,
+		Breakpoints:   false,
+		RegVisibility: false,
+		MemVisibility: true, // memories can be dumped at stop
+		CycleAccurate: false,
+	}
+}
+
+// SoC implements platform.Platform.
+func (b *Box) SoC() *soc.SoC { return b.core.S }
+
+// Load implements platform.Platform.
+func (b *Box) Load(img *obj.Image) error {
+	b.core = golden.NewCore(soc.New(b.core.S.Cfg))
+	b.core.CyclesPerInst = emuCyclesPerInst
+	return b.core.LoadImage(img)
+}
+
+// Run implements platform.Platform.
+func (b *Box) Run(spec platform.RunSpec) (*platform.Result, error) {
+	// The accelerator ignores trace requests: it has no trace port.
+	spec.Trace = nil
+	return golden.RunCore(b.core, b.name, platform.KindEmulator, b.Caps(), spec)
+}

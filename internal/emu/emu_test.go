@@ -1,0 +1,84 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+)
+
+func TestEmulatorRunsAndRestrictsVisibility(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.ArithProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(cfg)
+	if err := b.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	traced := 0
+	res, err := b.Run(platform.RunSpec{Trace: func(platform.TraceRecord) { traced++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("arith failed on emulator: %+v", res)
+	}
+	if traced != 0 {
+		t.Error("emulator must ignore trace requests (no trace port)")
+	}
+	if res.State != nil {
+		t.Error("emulator must not expose register state")
+	}
+	if res.Kind != platform.KindEmulator {
+		t.Errorf("kind = %s", res.Kind)
+	}
+}
+
+func TestEmulatorCoarseTiming(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.LoopProgram(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(cfg)
+	if err := b.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatal("loop failed")
+	}
+	// Coarse model: at least 2 cycles per instruction.
+	if res.Cycles < 2*res.Instructions {
+		t.Errorf("cycles=%d insts=%d: expected coarse 2x model", res.Cycles, res.Instructions)
+	}
+}
+
+func TestEmulatorDebugIsNop(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": `
+_main:
+    DEBUG
+    JMP pass
+` + testprog.PassTail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(cfg)
+	if err := b.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("DEBUG should be a NOP on the emulator: %+v", res)
+	}
+}

@@ -1,0 +1,133 @@
+package gate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/platform"
+	"repro/internal/rtl"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+)
+
+func TestNetALUMatchesDirectALU(t *testing.T) {
+	// E10: post-synthesis (gate) vs RTL (behavioural) ALU equivalence.
+	g := NewNetALU()
+	d := rtl.DirectALU{}
+	ops := []isa.Opcode{
+		isa.OpAdd, isa.OpSub, isa.OpCmp, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar,
+	}
+	rng := rand.New(rand.NewSource(10))
+	vecs := []uint32{0, 1, 0x7fffffff, 0x80000000, 0xffffffff}
+	for i := 0; i < 200; i++ {
+		vecs = append(vecs, rng.Uint32())
+	}
+	for _, op := range ops {
+		for i := 0; i < 300; i++ {
+			a := vecs[rng.Intn(len(vecs))]
+			b := vecs[rng.Intn(len(vecs))]
+			gr, gf := g.Execute(op, a, b)
+			dr, df := d.Execute(op, a, b)
+			if gr != dr || gf != df {
+				t.Fatalf("%s(%#x,%#x): gate=(%#x,%+v) direct=(%#x,%+v)", op, a, b, gr, gf, dr, df)
+			}
+		}
+	}
+	if g.GateEvals() == 0 {
+		t.Error("gate evals not counted")
+	}
+}
+
+func TestGatePlatformRunsPrograms(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	for name, src := range map[string]string{
+		"arith":    testprog.ArithProgram,
+		"bitfield": testprog.BitfieldProgram,
+		"mem":      testprog.MemProgram,
+	} {
+		img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(cfg)
+		if err := s.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(platform.RunSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("%s failed on gate platform: %+v", name, res)
+		}
+	}
+}
+
+func TestGateCountsWork(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.LoopProgram(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	if err := s.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("loop failed: %+v", res)
+	}
+	// Every ADD in the loop runs through the netlist: at least
+	// iterations * gate-count evaluations.
+	minEvals := uint64(100) * uint64(s.ALU().Netlist().NumGates())
+	if s.ALU().GateEvals() < minEvals {
+		t.Errorf("gate evals = %d, want >= %d", s.ALU().GateEvals(), minEvals)
+	}
+}
+
+func TestGateIdentity(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	s := New(cfg)
+	if s.Kind() != platform.KindGate {
+		t.Errorf("kind = %s", s.Kind())
+	}
+	if s.Name() != "gate/SC88-A" {
+		t.Errorf("name = %s", s.Name())
+	}
+	if !s.Caps().CycleAccurate {
+		t.Error("gate platform should be cycle accurate")
+	}
+}
+
+func TestNetALUPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewNetALU().Execute(isa.OpMul, 1, 2)
+}
+
+func TestAllOpsOnGate(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.AllOpsProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	if err := s.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("all-ops failed on gate: %+v", res)
+	}
+}

@@ -1,0 +1,642 @@
+// Package golden implements the golden reference model: a functional
+// (instruction-accurate) simulator of the SC88 core. It is the fastest
+// platform, offers full register and memory visibility, and serves as the
+// behavioural reference that the RTL and gate-level models are checked
+// against. The emulator, bondout, and product-silicon platforms reuse this
+// core with different capability wrappers and timing models.
+package golden
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// StepOutcome tells the run loop what a step did.
+type StepOutcome uint8
+
+// Step outcomes.
+const (
+	StepOK StepOutcome = iota
+	StepHalted
+	StepDebug     // DEBUG instruction retired with debug trapping enabled
+	StepUnhandled // trap taken with no handler installed
+)
+
+// Core is the functional SC88 CPU model.
+type Core struct {
+	S *soc.SoC
+
+	D   [16]uint32
+	A   [16]uint32
+	PC  uint32
+	PSW uint32
+
+	VBR    uint32
+	SPC    uint32
+	SPSW   uint32
+	ICause uint32
+
+	Cycles uint64
+	Insts  uint64
+
+	HaltCode uint16
+
+	// CyclesPerInst is the base cost of every instruction before bus
+	// wait states; the emulator platform uses a coarser value.
+	CyclesPerInst uint64
+
+	// DebugStops makes the DEBUG instruction stop execution (bondout);
+	// elsewhere DEBUG retires as a NOP.
+	DebugStops bool
+
+	// Img allows source-level trace annotation.
+	Img *obj.Image
+
+	// stepCost accumulates this instruction's bus costs.
+	stepCost uint64
+	// unhandledDetail records why StepUnhandled was returned.
+	unhandledDetail string
+}
+
+// NewCore creates a core over a SoC, in reset state.
+func NewCore(s *soc.SoC) *Core {
+	c := &Core{S: s, CyclesPerInst: 1}
+	c.Reset()
+	return c
+}
+
+// Reset puts the core into its architectural reset state.
+func (c *Core) Reset() {
+	c.D = [16]uint32{}
+	c.A = [16]uint32{}
+	c.PC = c.S.Cfg.RomBase
+	c.PSW = 0
+	c.VBR = 0
+	c.SPC, c.SPSW, c.ICause = 0, 0, 0
+	c.Cycles, c.Insts = 0, 0
+	c.HaltCode = 0
+	c.S.Hub.Reset()
+}
+
+// LoadImage loads a linked image and points the core at its entry.
+// Conventionally the stack pointer starts at the top of RAM.
+func (c *Core) LoadImage(img *obj.Image) error {
+	if err := platform.Load(c.S, img); err != nil {
+		return err
+	}
+	c.Img = img
+	c.PC = img.Entry
+	c.A[isa.SP.Index()] = c.S.Cfg.RamBase + c.S.Cfg.RamSize - 16
+	return nil
+}
+
+// State snapshots the architectural registers.
+func (c *Core) State() *platform.ArchState {
+	return &platform.ArchState{D: c.D, A: c.A, PC: c.PC, PSW: c.PSW}
+}
+
+// UnhandledDetail describes the most recent StepUnhandled outcome.
+func (c *Core) UnhandledDetail() string { return c.unhandledDetail }
+
+func (c *Core) reg(r isa.Reg) uint32 {
+	if r.IsAddr() {
+		return c.A[r.Index()]
+	}
+	return c.D[r.Index()]
+}
+
+func (c *Core) setReg(r isa.Reg, v uint32) {
+	if r.IsAddr() {
+		c.A[r.Index()] = v
+	} else {
+		c.D[r.Index()] = v
+	}
+}
+
+func (c *Core) busRead32(addr uint32) (uint32, error) {
+	v, err := c.S.Bus.Read32(addr, mem.AccessRead)
+	c.stepCost += c.S.Bus.LastCost
+	return v, err
+}
+
+func (c *Core) busWrite32(addr, v uint32) error {
+	err := c.S.Bus.Write32(addr, v)
+	c.stepCost += c.S.Bus.LastCost
+	return err
+}
+
+// setFlagsZN updates the Z and N flags from v.
+func (c *Core) setFlagsZN(v uint32) {
+	c.PSW &^= isa.FlagZ | isa.FlagN
+	if v == 0 {
+		c.PSW |= isa.FlagZ
+	}
+	if int32(v) < 0 {
+		c.PSW |= isa.FlagN
+	}
+}
+
+// setFlagsAddSub updates all arithmetic flags for a+b or a-b.
+func (c *Core) setFlagsAddSub(a, b, res uint32, sub bool) {
+	c.setFlagsZN(res)
+	c.PSW &^= isa.FlagC | isa.FlagV
+	if sub {
+		if a < b {
+			c.PSW |= isa.FlagC // borrow
+		}
+		if (a^b)&(a^res)&0x8000_0000 != 0 {
+			c.PSW |= isa.FlagV
+		}
+	} else {
+		if res < a {
+			c.PSW |= isa.FlagC
+		}
+		if ^(a^b)&(a^res)&0x8000_0000 != 0 {
+			c.PSW |= isa.FlagV
+		}
+	}
+}
+
+// trap enters the handler for vector vec. faultPC selects what RFE
+// returns to: the faulting instruction (retry semantics, used for faults
+// and interrupts) or the next instruction (used for TRAP). cause is
+// stored in ICAUSE.
+func (c *Core) trap(vec int, returnPC uint32, cause uint32) StepOutcome {
+	entryAddr := c.VBR + uint32(vec)*4
+	handler, err := c.S.Bus.Read32(entryAddr, mem.AccessRead)
+	c.stepCost += c.S.Bus.LastCost
+	if err != nil || handler == 0 {
+		c.unhandledDetail = fmt.Sprintf("unhandled trap: vector %d (cause 0x%x) at pc 0x%08x", vec, cause, c.PC)
+		return StepUnhandled
+	}
+	c.SPC = returnPC
+	c.SPSW = c.PSW
+	c.ICause = cause
+	c.PSW &^= isa.FlagI
+	c.PSW |= isa.FlagS
+	c.PC = handler
+	return StepOK
+}
+
+// PollAsync checks for watchdog expiry and enabled interrupts; it must be
+// called between instructions. It returns StepUnhandled if a trap was
+// taken with no handler.
+func (c *Core) PollAsync() StepOutcome {
+	if c.S.Hub.WatchdogFired {
+		c.S.Hub.WatchdogFired = false
+		return c.trap(isa.VecWatchdog, c.PC, isa.VecWatchdog)
+	}
+	if c.PSW&isa.FlagI != 0 {
+		if line, ok := c.S.Intc.Next(); ok {
+			vec := isa.VecIRQBase + line
+			return c.trap(vec, c.PC, uint32(vec))
+		}
+	}
+	return StepOK
+}
+
+// Step executes one instruction. Memory faults are converted into traps;
+// a fault inside trap dispatch surfaces as StepUnhandled.
+func (c *Core) Step() StepOutcome {
+	c.stepCost = c.CyclesPerInst
+
+	w0, err := c.S.Bus.Read32(c.PC, mem.AccessFetch)
+	c.stepCost += c.S.Bus.LastCost
+	if err != nil {
+		// A faulting fetch still consumes an issue slot so that trap
+		// ping-pong through a corrupt vector table cannot run unbounded.
+		c.Insts++
+		return c.finish(c.trap(isa.VecMemFault, c.PC, isa.VecMemFault))
+	}
+	words := [2]uint32{w0, 0}
+	n := 1
+	if isa.Opcode(w0 >> 24).HasExt() {
+		w1, err := c.S.Bus.Read32(c.PC+4, mem.AccessFetch)
+		c.stepCost += c.S.Bus.LastCost
+		if err != nil {
+			c.Insts++
+			return c.finish(c.trap(isa.VecMemFault, c.PC, isa.VecMemFault))
+		}
+		words[1] = w1
+		n = 2
+	}
+	in, size, ok := isa.Decode(words[:n])
+	if !ok {
+		c.Insts++
+		return c.finish(c.trap(isa.VecIllegal, c.PC, isa.VecIllegal))
+	}
+	next := c.PC + uint32(size)*4
+	out := c.exec(in, next)
+	c.Insts++
+	return c.finish(out)
+}
+
+// finish commits this step's cycle cost and advances device time.
+func (c *Core) finish(out StepOutcome) StepOutcome {
+	c.Cycles += c.stepCost
+	c.S.Bus.Tick(c.stepCost)
+	return out
+}
+
+func (c *Core) exec(in isa.Inst, next uint32) StepOutcome {
+	// dataFault converts a data-access error into the memory-fault trap.
+	dataFault := func() StepOutcome {
+		return c.trap(isa.VecMemFault, c.PC, isa.VecMemFault)
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+		c.PC = next
+	case isa.OpHalt:
+		c.HaltCode = uint16(uint32(in.Imm))
+		c.PC = next
+		return StepHalted
+	case isa.OpDebug:
+		c.PC = next
+		if c.DebugStops {
+			return StepDebug
+		}
+
+	case isa.OpMovI:
+		c.D[in.Rd.Index()] = uint32(in.Imm)
+		c.PC = next
+	case isa.OpMovHI:
+		c.D[in.Rd.Index()] = uint32(in.Imm) << 16
+		c.PC = next
+	case isa.OpMovX:
+		c.D[in.Rd.Index()] = uint32(in.Imm)
+		c.PC = next
+	case isa.OpMov:
+		c.D[in.Rd.Index()] = c.D[in.Rs.Index()]
+		c.PC = next
+	case isa.OpMovA:
+		c.A[in.Rd.Index()] = c.A[in.Rs.Index()]
+		c.PC = next
+	case isa.OpMovDA:
+		c.D[in.Rd.Index()] = c.A[in.Rs.Index()]
+		c.PC = next
+	case isa.OpMovAD:
+		c.A[in.Rd.Index()] = c.D[in.Rs.Index()]
+		c.PC = next
+	case isa.OpLea:
+		c.A[in.Rd.Index()] = uint32(in.Imm)
+		c.PC = next
+	case isa.OpLeaO:
+		c.A[in.Rd.Index()] = c.A[in.Rs.Index()] + uint32(in.Imm)
+		c.PC = next
+
+	case isa.OpLdW, isa.OpLdA:
+		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
+		v, err := c.busRead32(addr)
+		if err != nil {
+			return dataFault()
+		}
+		c.setReg(in.Rd, v)
+		c.PC = next
+	case isa.OpLdH, isa.OpLdHU:
+		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
+		v, err := c.S.Bus.Read16(addr, mem.AccessRead)
+		c.stepCost += c.S.Bus.LastCost
+		if err != nil {
+			return dataFault()
+		}
+		if in.Op == isa.OpLdH {
+			c.D[in.Rd.Index()] = uint32(int32(int16(v)))
+		} else {
+			c.D[in.Rd.Index()] = uint32(v)
+		}
+		c.PC = next
+	case isa.OpLdB, isa.OpLdBU:
+		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
+		v, err := c.S.Bus.Read8(addr, mem.AccessRead)
+		c.stepCost += c.S.Bus.LastCost
+		if err != nil {
+			return dataFault()
+		}
+		if in.Op == isa.OpLdB {
+			c.D[in.Rd.Index()] = uint32(int32(int8(v)))
+		} else {
+			c.D[in.Rd.Index()] = uint32(v)
+		}
+		c.PC = next
+	case isa.OpStW, isa.OpStA:
+		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
+		if err := c.busWrite32(addr, c.reg(in.Rd)); err != nil {
+			return dataFault()
+		}
+		c.PC = next
+	case isa.OpStH:
+		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
+		err := c.S.Bus.Write16(addr, uint16(c.D[in.Rd.Index()]))
+		c.stepCost += c.S.Bus.LastCost
+		if err != nil {
+			return dataFault()
+		}
+		c.PC = next
+	case isa.OpStB:
+		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
+		err := c.S.Bus.Write8(addr, byte(c.D[in.Rd.Index()]))
+		c.stepCost += c.S.Bus.LastCost
+		if err != nil {
+			return dataFault()
+		}
+		c.PC = next
+	case isa.OpLdWX:
+		v, err := c.busRead32(uint32(in.Imm))
+		if err != nil {
+			return dataFault()
+		}
+		c.D[in.Rd.Index()] = v
+		c.PC = next
+	case isa.OpStWX:
+		if err := c.busWrite32(uint32(in.Imm), c.D[in.Rd.Index()]); err != nil {
+			return dataFault()
+		}
+		c.PC = next
+
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar, isa.OpMul:
+		a, b := c.D[in.Rs.Index()], c.D[in.Rt.Index()]
+		c.D[in.Rd.Index()] = c.alu(in.Op, a, b)
+		c.PC = next
+	case isa.OpDiv, isa.OpRem:
+		a, b := c.D[in.Rs.Index()], c.D[in.Rt.Index()]
+		if b == 0 {
+			return c.trap(isa.VecDivZero, c.PC, isa.VecDivZero)
+		}
+		res := divide(in.Op, a, b)
+		c.D[in.Rd.Index()] = res
+		c.setFlagsZN(res)
+		c.PC = next
+	case isa.OpCmp:
+		a, b := c.D[in.Rs.Index()], c.D[in.Rt.Index()]
+		c.setFlagsAddSub(a, b, a-b, true)
+		c.PC = next
+	case isa.OpAddI:
+		a, b := c.D[in.Rs.Index()], uint32(in.Imm)
+		c.D[in.Rd.Index()] = c.alu(isa.OpAdd, a, b)
+		c.PC = next
+	case isa.OpAndI, isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI, isa.OpSarI:
+		// Logical and shift immediates zero-extend the 16-bit field.
+		a, b := c.D[in.Rs.Index()], uint32(in.Imm)&0xffff
+		var regOp isa.Opcode
+		switch in.Op {
+		case isa.OpAndI:
+			regOp = isa.OpAnd
+		case isa.OpOrI:
+			regOp = isa.OpOr
+		case isa.OpXorI:
+			regOp = isa.OpXor
+		case isa.OpShlI:
+			regOp = isa.OpShl
+		case isa.OpShrI:
+			regOp = isa.OpShr
+		case isa.OpSarI:
+			regOp = isa.OpSar
+		}
+		c.D[in.Rd.Index()] = c.alu(regOp, a, b)
+		c.PC = next
+	case isa.OpMulI:
+		a, b := c.D[in.Rs.Index()], uint32(in.Imm)
+		c.D[in.Rd.Index()] = c.alu(isa.OpMul, a, b)
+		c.PC = next
+	case isa.OpCmpI:
+		a, b := c.D[in.Rs.Index()], uint32(in.Imm)
+		c.setFlagsAddSub(a, b, a-b, true)
+		c.PC = next
+
+	case isa.OpInsert:
+		c.D[in.Rd.Index()] = isa.InsertBits(c.D[in.Rs.Index()], c.D[in.Rt.Index()], in.Pos, in.Width)
+		c.PC = next
+	case isa.OpInsertX:
+		c.D[in.Rd.Index()] = isa.InsertBits(c.D[in.Rs.Index()], uint32(in.Imm), in.Pos, in.Width)
+		c.PC = next
+	case isa.OpExtractU:
+		c.D[in.Rd.Index()] = isa.ExtractBitsU(c.D[in.Rs.Index()], in.Pos, in.Width)
+		c.PC = next
+	case isa.OpExtractS:
+		c.D[in.Rd.Index()] = isa.ExtractBitsS(c.D[in.Rs.Index()], in.Pos, in.Width)
+		c.PC = next
+
+	case isa.OpJmp:
+		c.PC = uint32(in.Imm)
+	case isa.OpJI:
+		c.PC = c.A[in.Rs.Index()]
+	case isa.OpCall:
+		c.A[isa.RA.Index()] = next
+		c.PC = uint32(in.Imm)
+	case isa.OpCallI:
+		c.A[isa.RA.Index()] = next
+		c.PC = c.A[in.Rs.Index()]
+	case isa.OpRet:
+		c.PC = c.A[isa.RA.Index()]
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltU, isa.OpBgeU:
+		a, b := c.D[in.Rd.Index()], c.D[in.Rs.Index()]
+		taken := false
+		switch in.Op {
+		case isa.OpBeq:
+			taken = a == b
+		case isa.OpBne:
+			taken = a != b
+		case isa.OpBlt:
+			taken = int32(a) < int32(b)
+		case isa.OpBge:
+			taken = int32(a) >= int32(b)
+		case isa.OpBltU:
+			taken = a < b
+		case isa.OpBgeU:
+			taken = a >= b
+		}
+		if taken {
+			c.PC = next + uint32(in.Imm)*4
+			c.stepCost++ // taken-branch penalty
+		} else {
+			c.PC = next
+		}
+
+	case isa.OpTrap:
+		n := uint32(in.Imm) & 0xff
+		return c.trap(isa.VecSyscall, next, uint32(isa.VecSyscall)|n<<8)
+	case isa.OpRfe:
+		c.PC = c.SPC
+		c.PSW = c.SPSW
+	case isa.OpMfcr:
+		c.D[in.Rd.Index()] = c.readCR(uint16(in.Imm))
+		c.PC = next
+	case isa.OpMtcr:
+		c.writeCR(uint16(in.Imm), c.D[in.Rd.Index()])
+		c.PC = next
+
+	default:
+		return c.trap(isa.VecIllegal, c.PC, isa.VecIllegal)
+	}
+	return StepOK
+}
+
+// divide implements signed division with the architectural overflow case
+// pinned down: INT_MIN / -1 wraps to INT_MIN with remainder 0 (Go's
+// native division would panic on it).
+func divide(op isa.Opcode, a, b uint32) uint32 {
+	if a == 0x8000_0000 && b == 0xffff_ffff {
+		if op == isa.OpDiv {
+			return 0x8000_0000
+		}
+		return 0
+	}
+	if op == isa.OpDiv {
+		return uint32(int32(a) / int32(b))
+	}
+	return uint32(int32(a) % int32(b))
+}
+
+// alu computes a register-form ALU result and updates flags.
+func (c *Core) alu(op isa.Opcode, a, b uint32) uint32 {
+	var res uint32
+	switch op {
+	case isa.OpAdd:
+		res = a + b
+		c.setFlagsAddSub(a, b, res, false)
+		return res
+	case isa.OpSub:
+		res = a - b
+		c.setFlagsAddSub(a, b, res, true)
+		return res
+	case isa.OpAnd:
+		res = a & b
+	case isa.OpOr:
+		res = a | b
+	case isa.OpXor:
+		res = a ^ b
+	case isa.OpShl:
+		res = a << (b & 31)
+	case isa.OpShr:
+		res = a >> (b & 31)
+	case isa.OpSar:
+		res = uint32(int32(a) >> (b & 31))
+	case isa.OpMul:
+		res = a * b
+	}
+	c.setFlagsZN(res)
+	c.PSW &^= isa.FlagC | isa.FlagV
+	return res
+}
+
+func (c *Core) readCR(idx uint16) uint32 {
+	switch idx {
+	case isa.CrPSW:
+		return c.PSW
+	case isa.CrVBR:
+		return c.VBR
+	case isa.CrSPC:
+		return c.SPC
+	case isa.CrSPSW:
+		return c.SPSW
+	case isa.CrCPUID:
+		return 0x5C88_0001
+	case isa.CrDERIVID:
+		return c.S.Cfg.DerivID
+	case isa.CrCYCLE:
+		return uint32(c.Cycles)
+	case isa.CrICAUSE:
+		return c.ICause
+	}
+	return 0
+}
+
+func (c *Core) writeCR(idx uint16, v uint32) {
+	switch idx {
+	case isa.CrPSW:
+		c.PSW = v
+	case isa.CrVBR:
+		c.VBR = v &^ 3
+	case isa.CrSPC:
+		c.SPC = v
+	case isa.CrSPSW:
+		c.SPSW = v
+	}
+}
+
+// RunCore drives a core to completion under a RunSpec; shared by the
+// golden-core-based platforms.
+func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec platform.RunSpec) (*platform.Result, error) {
+	maxInsts := spec.MaxInstructions
+	if maxInsts == 0 {
+		maxInsts = platform.DefaultMaxInstructions
+	}
+	res := &platform.Result{Platform: name, Kind: kind}
+	for {
+		if c.Insts >= maxInsts {
+			res.Reason = platform.StopMaxInsts
+			break
+		}
+		if spec.MaxCycles > 0 && c.Cycles >= spec.MaxCycles {
+			res.Reason = platform.StopMaxCycles
+			break
+		}
+		if out := c.PollAsync(); out == StepUnhandled {
+			res.Reason = platform.StopUnhandled
+			res.Detail = c.UnhandledDetail()
+			break
+		}
+		if caps.Trace && spec.Trace != nil {
+			rec := platform.TraceRecord{PC: c.PC, Disasm: DisasmAt(c.S, c.PC)}
+			if c.Img != nil {
+				rec.File, rec.Line, _ = c.Img.SourceAt(c.PC)
+			}
+			spec.Trace(rec)
+		}
+		out := c.Step()
+		if out == StepOK {
+			continue
+		}
+		switch out {
+		case StepHalted:
+			res.Reason = platform.StopHalt
+			res.HaltCode = c.HaltCode
+		case StepDebug:
+			res.Reason = platform.StopBreakpoint
+			res.Detail = fmt.Sprintf("DEBUG instruction at pc 0x%08x", c.PC-4)
+		case StepUnhandled:
+			res.Reason = platform.StopUnhandled
+			res.Detail = c.UnhandledDetail()
+		}
+		break
+	}
+	res.Instructions = c.Insts
+	res.Cycles = c.Cycles
+	res.MboxResult, res.MboxDone = c.S.Mbox.Result()
+	res.Console = c.S.Mbox.Console()
+	res.Checkpoints = c.S.Mbox.Checkpoints()
+	if caps.RegVisibility {
+		res.State = c.State()
+	}
+	return res, nil
+}
+
+// DisasmAt disassembles the instruction at addr for trace records,
+// bypassing permission checks. It returns "?" on unmapped or undecodable
+// words.
+func DisasmAt(s *soc.SoC, addr uint32) string {
+	raw, err := s.Mem.Dump(addr, 8)
+	if err != nil {
+		raw, err = s.Mem.Dump(addr, 4)
+		if err != nil {
+			return "?"
+		}
+	}
+	words := make([]uint32, len(raw)/4)
+	for i := range words {
+		words[i] = uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 |
+			uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
+	}
+	in, _, ok := isa.Decode(words)
+	if !ok {
+		return "?"
+	}
+	return in.String()
+}

@@ -1,0 +1,557 @@
+package golden
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// build assembles and links the given sources (name -> source) into an
+// image for the default derivative.
+func build(t *testing.T, cfg soc.HWConfig, defines map[string]string, sources map[string]string) *obj.Image {
+	t.Helper()
+	fs := asm.MapFS(sources)
+	var objects []*obj.Object
+	for _, name := range fs.Files() {
+		if !strings.HasSuffix(name, ".asm") {
+			continue
+		}
+		o, err := asm.Assemble(name, sources[name], asm.Options{Defines: defines, Resolver: fs})
+		if err != nil {
+			t.Fatalf("assemble %s: %v", name, err)
+		}
+		objects = append(objects, o)
+	}
+	img, err := obj.Link(obj.LinkConfig{TextBase: cfg.RomBase, DataBase: cfg.RamBase}, objects...)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+func run(t *testing.T, src string) (*platform.Result, *Model) {
+	t.Helper()
+	cfg := soc.DefaultConfig()
+	img := build(t, cfg, nil, map[string]string{"test.asm": src})
+	m := NewModel(cfg)
+	if err := m.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m
+}
+
+const passTail = `
+pass:
+    LOAD d15, 0x600D
+    STORE [0x80000000], d15
+    HALT
+fail:
+    LOAD d15, 0xBAD0
+    STORE [0x80000000], d15
+    HALT
+`
+
+func TestArithmeticProgram(t *testing.T) {
+	res, m := run(t, `
+_main:
+    LOAD d0, 6
+    LOAD d1, 7
+    MUL d2, d0, d1
+    LOAD d3, 42
+    BNE d2, d3, fail
+    SUB d4, d2, 40
+    LOAD d5, 2
+    BNE d4, d5, fail
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("program failed: %+v", res)
+	}
+	if res.State == nil {
+		t.Fatal("golden must expose state")
+	}
+	if m.Core().D[2] != 42 {
+		t.Errorf("d2 = %d", m.Core().D[2])
+	}
+	if res.Instructions == 0 || res.Cycles < res.Instructions {
+		t.Errorf("counters: insts=%d cycles=%d", res.Instructions, res.Cycles)
+	}
+}
+
+func TestFailurePathReported(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    LOAD d0, 1
+    LOAD d1, 2
+    BEQ d0, d1, pass
+    JMP fail
+`+passTail)
+	if res.Passed() {
+		t.Fatal("test should have failed")
+	}
+	if res.MboxResult != 0xBAD0 {
+		t.Errorf("result = %#x", res.MboxResult)
+	}
+	if res.Reason != platform.StopHalt {
+		t.Errorf("reason = %s", res.Reason)
+	}
+}
+
+func TestInsertExtractAndConsole(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    LOAD d14, 0
+    INSERT d14, d14, 8, 0, 5
+    LOAD d2, 8
+    BNE d14, d2, fail
+    INSERT d14, d14, 3, 5, 3
+    EXTRU d3, d14, 5, 3
+    LOAD d4, 3
+    BNE d3, d4, fail
+    LOAD d5, 'O'
+    STORE [0x80000008], d5
+    LOAD d5, 'K'
+    STORE [0x80000008], d5
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("failed: %+v", res)
+	}
+	if res.Console != "OK" {
+		t.Errorf("console = %q", res.Console)
+	}
+}
+
+func TestCallStackAndFunctions(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    LOAD d0, 5
+    CALL double
+    LOAD d2, 10
+    BNE d0, d2, fail
+    CALL double
+    LOAD d2, 20
+    BNE d0, d2, fail
+    JMP pass
+double:
+    PUSH ra
+    ADD d0, d0, d0
+    POP ra
+    RET
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("failed: %+v", res)
+	}
+}
+
+func TestTrapSyscall(t *testing.T) {
+	res, _ := run(t, `
+.DEFINE VEC_TABLE 0x20000100
+_main:
+    ; build a vector table in RAM: entry 4 (syscall) -> handler
+    LOAD a0, VEC_TABLE
+    LOAD d0, handler
+    STORE [a0+16], d0
+    LOAD d1, VEC_TABLE
+    MTCR 1, d1          ; VBR
+    LOAD d3, 0
+    TRAP 9
+    ; handler sets d3 = 9 (trap number from ICAUSE)
+    LOAD d4, 9
+    BNE d3, d4, fail
+    JMP pass
+handler:
+    MFCR d3, 7          ; ICAUSE
+    SHR d3, d3, 8       ; trap number in high byte
+    RFE
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("failed: %+v", res)
+	}
+}
+
+func TestUnhandledTrapStops(t *testing.T) {
+	// Point VBR at zeroed RAM: every vector entry is 0 (no handler).
+	res, _ := run(t, `
+_main:
+    LOAD d9, 0x2000f000
+    MTCR 1, d9
+    TRAP 1
+    JMP pass
+`+passTail)
+	if res.Reason != platform.StopUnhandled {
+		t.Fatalf("reason = %s, want unhandled", res.Reason)
+	}
+	if res.Detail == "" {
+		t.Error("missing detail for unhandled trap")
+	}
+}
+
+func TestMemFaultTrap(t *testing.T) {
+	// Write to ROM faults; without a handler the run stops.
+	res, _ := run(t, `
+_main:
+    LOAD d9, 0x2000f000
+    MTCR 1, d9
+    LOAD d0, 1
+    STORE [0x00000000], d0
+    JMP pass
+`+passTail)
+	if res.Reason != platform.StopUnhandled {
+		t.Fatalf("reason = %s", res.Reason)
+	}
+}
+
+func TestDivideByZeroTrap(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    LOAD d9, 0x2000f000
+    MTCR 1, d9
+    LOAD d0, 10
+    LOAD d1, 0
+    DIV d2, d0, d1
+    JMP pass
+`+passTail)
+	if res.Reason != platform.StopUnhandled || !strings.Contains(res.Detail, "vector 3") {
+		t.Fatalf("expected div-zero trap, got %s (%s)", res.Reason, res.Detail)
+	}
+}
+
+func TestTimerInterrupt(t *testing.T) {
+	res, _ := run(t, `
+TIMER .EQU 0x80003000
+INTC .EQU 0x80004000
+VEC .EQU 0x20000200
+_main:
+    LOAD a0, VEC
+    LOAD d0, tick
+    STORE [a0+32], d0   ; vector 8 = timer irq
+    LOAD d1, VEC
+    MTCR 1, d1
+    LOAD a1, INTC
+    LOAD d2, 1          ; enable line 0 (timer)
+    STORE [a1+0], d2
+    LOAD a2, TIMER
+    LOAD d3, 50
+    STORE [a2+0], d3    ; count
+    LOAD d4, 3          ; enable + irq
+    STORE [a2+8], d4
+    MFCR d5, 0
+    OR d5, d5, 16       ; set PSW.I
+    MTCR 0, d5
+    LOAD d6, 0
+spin:
+    ADD d6, d6, 1
+    LOAD d7, 10000
+    BLT d6, d7, spin
+    JMP fail            ; interrupt never came
+tick:
+    LOAD a3, TIMER
+    LOAD d8, 1
+    STORE [a3+12], d8   ; W1C expired (clears hub line)
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("timer interrupt test failed: %+v", res)
+	}
+}
+
+func TestWatchdogTrap(t *testing.T) {
+	res, _ := run(t, `
+WDT .EQU 0x80005000
+VEC .EQU 0x20000300
+_main:
+    LOAD a0, VEC
+    LOAD d0, wdog
+    STORE [a0+20], d0   ; vector 5 = watchdog
+    LOAD d1, VEC
+    MTCR 1, d1
+    LOAD a1, WDT
+    LOAD d2, 30
+    STORE [a1+12], d2   ; short period
+    LOAD d3, 1
+    STORE [a1+0], d3    ; enable
+spin:
+    JMP spin
+wdog:
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("watchdog test failed: %+v", res)
+	}
+}
+
+func TestDerivIDReadable(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    MFCR d0, 5
+    LOAD d1, 0xA0
+    BNE d0, d1, fail
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("DERIVID test failed: %+v", res)
+	}
+}
+
+func TestMaxInstructionsStops(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img := build(t, cfg, nil, map[string]string{"test.asm": "_main:\n JMP _main\n"})
+	m := NewModel(cfg)
+	if err := m.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(platform.RunSpec{MaxInstructions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != platform.StopMaxInsts || res.Instructions != 100 {
+		t.Errorf("reason=%s insts=%d", res.Reason, res.Instructions)
+	}
+}
+
+func TestDebugIsNopOnGolden(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    DEBUG
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("DEBUG should be a NOP on golden: %+v", res)
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    LOAD d0, 0x11
+    STORE [0x8000000c], d0
+    LOAD d0, 0x22
+    STORE [0x8000000c], d0
+    JMP pass
+`+passTail)
+	if len(res.Checkpoints) != 2 || res.Checkpoints[0] != 0x11 || res.Checkpoints[1] != 0x22 {
+		t.Errorf("checkpoints = %v", res.Checkpoints)
+	}
+}
+
+func TestDataSectionAccess(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    LOAD a0, table
+    LOAD d0, [a0+0]
+    LOAD d1, [a0+4]
+    ADD d2, d0, d1
+    LOAD d3, 30
+    BNE d2, d3, fail
+    LOAD a1, buf
+    STORE [a1], d2
+    LOAD d4, [a1+0]
+    BNE d4, d2, fail
+    JMP pass
+`+passTail+`
+.SECTION data
+table:
+    .WORD 10, 20
+.SECTION bss
+buf:
+    .SPACE 8
+`)
+	if !res.Passed() {
+		t.Fatalf("data section test failed: %+v", res)
+	}
+}
+
+func TestFlagsViaMfcr(t *testing.T) {
+	res, _ := run(t, `
+_main:
+    LOAD d0, 5
+    CMP d0, 5
+    MFCR d1, 0
+    AND d1, d1, 1       ; Z flag
+    LOAD d2, 1
+    BNE d1, d2, fail
+    CMP d0, 6
+    MFCR d1, 0
+    AND d3, d1, 2       ; N flag set (5-6 < 0)
+    LOAD d2, 2
+    BNE d3, d2, fail
+    AND d3, d1, 4       ; C flag set (borrow)
+    LOAD d2, 4
+    BNE d3, d2, fail
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("flags test failed: %+v", res)
+	}
+}
+
+func TestUartLoopbackProgram(t *testing.T) {
+	res, _ := run(t, `
+UART .EQU 0x80001000
+_main:
+    LOAD a0, UART
+    LOAD d0, 11          ; enable | loopback
+    STORE [a0+8], d0
+    LOAD d1, 1
+    STORE [a0+12], d1    ; fastest baud
+    LOAD d2, 0x5A
+    STORE [a0+0], d2     ; transmit
+wait:
+    LOAD d3, [a0+4]      ; SR
+    AND d4, d3, 2        ; RXAVAIL
+    LOAD d5, 2
+    BNE d4, d5, wait
+    LOAD d6, [a0+0]      ; read back
+    LOAD d7, 0x5A
+    BNE d6, d7, fail
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("uart loopback program failed: %+v", res)
+	}
+}
+
+func TestNvmProgramViaController(t *testing.T) {
+	res, _ := run(t, `
+NVMC .EQU 0x80002000
+NVM .EQU 0x40000000
+_main:
+    LOAD a0, NVMC
+    ; unlock
+    LOAD d0, 0xA5A5
+    STORE [a0+16], d0
+    LOAD d0, 0x5A5A
+    STORE [a0+16], d0
+    ; erase page 0
+    LOAD d1, 0
+    STORE [a0+20], d1    ; pagesel
+    LOAD d2, 2
+    STORE [a0+0], d2     ; erase cmd
+ewait:
+    LOAD d3, [a0+4]
+    AND d4, d3, 1
+    LOAD d5, 0
+    BNE d4, d5, ewait
+    ; check erased word reads 0xFFFFFFFF
+    LOAD a1, NVM
+    LOAD d6, [a1+0]
+    LOAD d7, 0xFFFFFFFF
+    BNE d6, d7, fail
+    ; program word 0 with 0x600D
+    LOAD d0, 0xA5A5
+    STORE [a0+16], d0
+    LOAD d0, 0x5A5A
+    STORE [a0+16], d0
+    LOAD d1, 0
+    STORE [a0+8], d1     ; addr
+    LOAD d2, 0x600D
+    STORE [a0+12], d2    ; data
+    LOAD d2, 1
+    STORE [a0+0], d2     ; program cmd
+pwait:
+    LOAD d3, [a0+4]
+    AND d4, d3, 1
+    LOAD d5, 0
+    BNE d4, d5, pwait
+    LOAD d6, [a1+0]
+    LOAD d7, 0x600D
+    BNE d6, d7, fail
+    JMP pass
+`+passTail)
+	if !res.Passed() {
+		t.Fatalf("nvm program failed: %+v", res)
+	}
+}
+
+func TestMpuBlocksWrites(t *testing.T) {
+	// Lock a RAM window through the MPU, then attempt a write into it:
+	// the bus faults and, with a zeroed vector table, the run stops on
+	// the unhandled memory-fault trap.
+	res, _ := run(t, `
+MPU .EQU 0x80007000
+_main:
+    LOAD d9, 0x2000f000
+    MTCR 1, d9           ; empty vector table
+    LOAD a0, MPU
+    LOAD d0, 0x20002000
+    STORE [a0+0], d0     ; lo
+    LOAD d1, 0x20002fff
+    STORE [a0+4], d1     ; hi
+    LOAD d2, 1
+    STORE [a0+8], d2     ; arm
+    ; write outside the window still works
+    LOAD d3, 0x42
+    STORE [0x20003000], d3
+    ; write inside the window must trap
+    STORE [0x20002800], d3
+    JMP pass
+`+passTail)
+	if res.Reason != platform.StopUnhandled || !strings.Contains(res.Detail, "vector 2") {
+		t.Fatalf("expected mem-fault trap from MPU, got %s (%s)", res.Reason, res.Detail)
+	}
+}
+
+// TestFlagVectors pins the PSW flag definition on directed corner
+// vectors — the contract both the RTL ALU and the gate netlist are
+// checked against.
+func TestFlagVectors(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	c := NewCore(soc.New(cfg))
+	cases := []struct {
+		op          isa.Opcode
+		a, b        uint32
+		z, n, cf, v bool
+	}{
+		{isa.OpAdd, 0, 0, true, false, false, false},
+		{isa.OpAdd, 0xffffffff, 1, true, false, true, false},
+		{isa.OpAdd, 0x7fffffff, 1, false, true, false, true},
+		{isa.OpAdd, 0x80000000, 0x80000000, true, false, true, true},
+		{isa.OpSub, 5, 5, true, false, false, false},
+		{isa.OpSub, 0, 1, false, true, true, false},
+		{isa.OpSub, 0x80000000, 1, false, false, false, true},
+		{isa.OpAnd, 0xf0, 0x0f, true, false, false, false},
+		{isa.OpOr, 0x80000000, 0, false, true, false, false},
+	}
+	for _, tc := range cases {
+		c.PSW = 0
+		c.alu(tc.op, tc.a, tc.b)
+		flags := []struct {
+			bit  uint32
+			want bool
+			name string
+		}{
+			{isa.FlagZ, tc.z, "Z"}, {isa.FlagN, tc.n, "N"},
+			{isa.FlagC, tc.cf, "C"}, {isa.FlagV, tc.v, "V"},
+		}
+		for _, f := range flags {
+			if got := c.PSW&f.bit != 0; got != f.want {
+				t.Errorf("%s(%#x,%#x): flag %s = %v, want %v", tc.op, tc.a, tc.b, f.name, got, f.want)
+			}
+		}
+	}
+}
+
+func TestDisasmAt(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	s := soc.New(cfg)
+	words := isa.Inst{Op: isa.OpMovI, Rd: isa.D(3), Imm: -5}.Encode(nil)
+	s.Mem.SetRelaxed(true)
+	_ = s.Mem.Write32(cfg.RomBase, words[0])
+	s.Mem.SetRelaxed(false)
+	if got := DisasmAt(s, cfg.RomBase); got != "MOVI d3, -5" {
+		t.Errorf("DisasmAt = %q", got)
+	}
+	if got := DisasmAt(s, 0xdead0000); got != "?" {
+		t.Errorf("DisasmAt unmapped = %q", got)
+	}
+}

@@ -1,0 +1,61 @@
+package golden
+
+import (
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// Model is the golden-reference-model platform: instruction-accurate,
+// fully visible, fastest.
+type Model struct {
+	core *Core
+	name string
+}
+
+func init() {
+	platform.Register(platform.KindGolden, func(cfg soc.HWConfig) platform.Platform {
+		return NewModel(cfg)
+	})
+}
+
+// NewModel creates a golden platform over a derivative configuration.
+func NewModel(cfg soc.HWConfig) *Model {
+	return &Model{core: NewCore(soc.New(cfg)), name: "golden/" + cfg.Name}
+}
+
+// Name implements platform.Platform.
+func (m *Model) Name() string { return m.name }
+
+// Kind implements platform.Platform.
+func (m *Model) Kind() platform.Kind { return platform.KindGolden }
+
+// Caps implements platform.Platform.
+func (m *Model) Caps() platform.Caps {
+	return platform.Caps{
+		Trace:         true,
+		Breakpoints:   false,
+		RegVisibility: true,
+		MemVisibility: true,
+		CycleAccurate: false, // instruction-approximate timing only
+	}
+}
+
+// SoC implements platform.Platform.
+func (m *Model) SoC() *soc.SoC { return m.core.S }
+
+// Core exposes the underlying functional core for white-box checks and
+// cross-platform state comparison.
+func (m *Model) Core() *Core { return m.core }
+
+// Load implements platform.Platform.
+func (m *Model) Load(img *obj.Image) error {
+	s := soc.New(m.core.S.Cfg)
+	m.core = NewCore(s)
+	return m.core.LoadImage(img)
+}
+
+// Run implements platform.Platform.
+func (m *Model) Run(spec platform.RunSpec) (*platform.Result, error) {
+	return RunCore(m.core, m.name, platform.KindGolden, m.Caps(), spec)
+}

@@ -1,0 +1,297 @@
+// Package hdl is a miniature event-driven HDL simulation kernel in the
+// style of a VHDL/Verilog simulator: signals with scheduled updates, delta
+// cycles, processes with sensitivity lists, clocks, and VCD waveform dump.
+// The SC88 RTL platform (internal/rtl) is written against this kernel so
+// that "HDL-RTL simulation" in the paper's platform list is a genuinely
+// signal-level, cycle-driven model rather than a relabelled ISS.
+package hdl
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Time is simulation time in whole cycles of the base time unit.
+type Time uint64
+
+// Signal is a 64-bit-valued wire/register with delta-cycle update
+// semantics: writes are scheduled and become visible to readers only at
+// the next delta boundary, as in VHDL signal assignment.
+type Signal struct {
+	name    string
+	width   int
+	cur     uint64
+	next    uint64
+	hasNext bool
+	sim     *Simulator
+	watch   []*Process
+	vcdID   string
+	lastVCD uint64
+}
+
+// Name returns the signal's declared name.
+func (s *Signal) Name() string { return s.name }
+
+// Width returns the declared bit width.
+func (s *Signal) Width() int { return s.width }
+
+// Get returns the current (settled) value.
+func (s *Signal) Get() uint64 { return s.cur }
+
+// GetBool returns the current value as a boolean (bit 0).
+func (s *Signal) GetBool() bool { return s.cur&1 != 0 }
+
+// Set schedules v as the signal's value at the next delta cycle.
+func (s *Signal) Set(v uint64) {
+	v &= widthMask(s.width)
+	s.next = v
+	s.hasNext = true
+	s.sim.touched = append(s.sim.touched, s)
+}
+
+// SetBool schedules a boolean value.
+func (s *Signal) SetBool(v bool) {
+	if v {
+		s.Set(1)
+	} else {
+		s.Set(0)
+	}
+}
+
+// SetAfter schedules v to be driven after a delay in time units.
+func (s *Signal) SetAfter(v uint64, delay Time) {
+	s.sim.schedule(s.sim.now+delay, func() { s.Set(v) })
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}
+
+// Process is a simulation process executed whenever a signal in its
+// sensitivity list changes value.
+type Process struct {
+	name string
+	fn   func()
+}
+
+// Simulator is the event kernel.
+type Simulator struct {
+	now     Time
+	signals []*Signal
+	procs   []*Process
+	touched []*Signal // signals with pending delta updates
+	events  eventQueue
+	seq     uint64 // tie-break for deterministic event ordering
+
+	// Deltas counts executed delta cycles; DeltaLimit guards against
+	// zero-delay oscillation (combinational loops).
+	Deltas     uint64
+	DeltaLimit int
+
+	vcd     io.Writer
+	vcdNext int
+}
+
+// NewSimulator creates an empty simulator.
+func NewSimulator() *Simulator {
+	return &Simulator{DeltaLimit: 10000}
+}
+
+// Now returns the current simulation time.
+func (sim *Simulator) Now() Time { return sim.now }
+
+// NewSignal declares a signal with an initial value.
+func (sim *Simulator) NewSignal(name string, width int, init uint64) *Signal {
+	s := &Signal{name: name, width: width, cur: init & widthMask(width), sim: sim}
+	sim.signals = append(sim.signals, s)
+	return s
+}
+
+// NewProcess registers a process sensitive to the given signals.
+func (sim *Simulator) NewProcess(name string, fn func(), sensitivity ...*Signal) *Process {
+	p := &Process{name: name, fn: fn}
+	sim.procs = append(sim.procs, p)
+	for _, s := range sensitivity {
+		s.watch = append(s.watch, p)
+	}
+	return p
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+func (sim *Simulator) schedule(at Time, fn func()) {
+	sim.seq++
+	heap.Push(&sim.events, event{at: at, seq: sim.seq, fn: fn})
+}
+
+// Settle runs delta cycles until no signal changes, then returns. It
+// returns an error if the delta limit is exceeded (combinational loop).
+func (sim *Simulator) settle() error {
+	for round := 0; len(sim.touched) > 0; round++ {
+		if round >= sim.DeltaLimit {
+			return fmt.Errorf("hdl: delta limit exceeded at t=%d (combinational loop?)", sim.now)
+		}
+		sim.Deltas++
+		touched := sim.touched
+		sim.touched = nil
+		// Commit all scheduled values, collecting processes to wake.
+		var wake []*Process
+		seen := map[*Process]bool{}
+		for _, s := range touched {
+			if !s.hasNext {
+				continue
+			}
+			s.hasNext = false
+			if s.next == s.cur {
+				continue
+			}
+			s.cur = s.next
+			sim.emitVCD(s)
+			for _, p := range s.watch {
+				if !seen[p] {
+					seen[p] = true
+					wake = append(wake, p)
+				}
+			}
+		}
+		for _, p := range wake {
+			p.fn()
+		}
+	}
+	return nil
+}
+
+// Advance moves simulation time forward by d units, executing scheduled
+// events and settling deltas after each.
+func (sim *Simulator) Advance(d Time) error {
+	target := sim.now + d
+	if err := sim.settle(); err != nil {
+		return err
+	}
+	for len(sim.events) > 0 && sim.events[0].at <= target {
+		e := heap.Pop(&sim.events).(event)
+		if e.at > sim.now {
+			sim.now = e.at
+			sim.timeVCD()
+		}
+		e.fn()
+		if err := sim.settle(); err != nil {
+			return err
+		}
+	}
+	if target > sim.now {
+		sim.now = target
+		sim.timeVCD()
+	}
+	return nil
+}
+
+// Clock drives a signal as a clock: period time units per full cycle,
+// starting low. It returns the signal.
+type Clock struct {
+	Sig    *Signal
+	period Time
+	sim    *Simulator
+}
+
+// NewClock declares a clock signal with the given full period (must be
+// even and at least 2).
+func (sim *Simulator) NewClock(name string, period Time) *Clock {
+	if period < 2 || period%2 != 0 {
+		panic("hdl: clock period must be even and >= 2")
+	}
+	c := &Clock{Sig: sim.NewSignal(name, 1, 0), period: period, sim: sim}
+	return c
+}
+
+// Cycles advances the simulation by n full clock cycles, toggling the
+// clock signal.
+func (c *Clock) Cycles(n uint64) error {
+	half := c.period / 2
+	for i := uint64(0); i < n; i++ {
+		c.Sig.Set(1)
+		if err := c.sim.Advance(half); err != nil {
+			return err
+		}
+		c.Sig.Set(0)
+		if err := c.sim.Advance(half); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- VCD waveform dump ----
+
+// StartVCD begins writing a VCD waveform of all declared signals.
+func (sim *Simulator) StartVCD(w io.Writer) {
+	sim.vcd = w
+	fmt.Fprintf(w, "$timescale 1ns $end\n$scope module sc88 $end\n")
+	sigs := append([]*Signal(nil), sim.signals...)
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].name < sigs[j].name })
+	for _, s := range sigs {
+		s.vcdID = vcdID(sim.vcdNext)
+		sim.vcdNext++
+		fmt.Fprintf(w, "$var wire %d %s %s $end\n", s.width, s.vcdID, s.name)
+	}
+	fmt.Fprintf(w, "$upscope $end\n$enddefinitions $end\n$dumpvars\n")
+	for _, s := range sigs {
+		s.lastVCD = ^s.cur // force emit
+		sim.emitVCD(s)
+	}
+	fmt.Fprintf(w, "$end\n")
+}
+
+func vcdID(n int) string {
+	const chars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if n < len(chars) {
+		return string(chars[n])
+	}
+	return string(chars[n%len(chars)]) + vcdID(n/len(chars)-1)
+}
+
+func (sim *Simulator) emitVCD(s *Signal) {
+	if sim.vcd == nil || s.vcdID == "" || s.cur == s.lastVCD {
+		return
+	}
+	s.lastVCD = s.cur
+	if s.width == 1 {
+		fmt.Fprintf(sim.vcd, "%d%s\n", s.cur&1, s.vcdID)
+		return
+	}
+	fmt.Fprintf(sim.vcd, "b%b %s\n", s.cur, s.vcdID)
+}
+
+func (sim *Simulator) timeVCD() {
+	if sim.vcd != nil {
+		fmt.Fprintf(sim.vcd, "#%d\n", sim.now)
+	}
+}

@@ -1,0 +1,161 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSignalDeltaSemantics(t *testing.T) {
+	sim := NewSimulator()
+	s := sim.NewSignal("s", 8, 0)
+	s.Set(5)
+	if s.Get() != 0 {
+		t.Error("write must not be visible before settle")
+	}
+	if err := sim.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get() != 5 {
+		t.Errorf("after settle s = %d", s.Get())
+	}
+}
+
+func TestWidthMasking(t *testing.T) {
+	sim := NewSimulator()
+	s := sim.NewSignal("s", 4, 0xff)
+	if s.Get() != 0xf {
+		t.Errorf("init masked = %#x", s.Get())
+	}
+	s.Set(0x12)
+	_ = sim.Advance(1)
+	if s.Get() != 0x2 {
+		t.Errorf("set masked = %#x", s.Get())
+	}
+}
+
+func TestProcessWakesOnChange(t *testing.T) {
+	sim := NewSimulator()
+	a := sim.NewSignal("a", 1, 0)
+	b := sim.NewSignal("b", 1, 0)
+	runs := 0
+	sim.NewProcess("inv", func() {
+		runs++
+		b.SetBool(!a.GetBool())
+	}, a)
+	a.Set(1)
+	_ = sim.Advance(1)
+	if runs != 1 {
+		t.Errorf("process ran %d times", runs)
+	}
+	if b.Get() != 0 {
+		t.Errorf("b should be !1 = 0, got %d", b.Get())
+	}
+	// Setting the same value must not wake the process.
+	a.Set(1)
+	_ = sim.Advance(1)
+	if runs != 1 {
+		t.Errorf("no-change set woke process: %d runs", runs)
+	}
+}
+
+func TestCombinationalChainSettles(t *testing.T) {
+	// a -> b -> c through two processes within one Advance.
+	sim := NewSimulator()
+	a := sim.NewSignal("a", 8, 0)
+	b := sim.NewSignal("b", 8, 0)
+	c := sim.NewSignal("c", 8, 0)
+	sim.NewProcess("p1", func() { b.Set(a.Get() + 1) }, a)
+	sim.NewProcess("p2", func() { c.Set(b.Get() * 2) }, b)
+	a.Set(10)
+	if err := sim.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get() != 22 {
+		t.Errorf("c = %d, want 22", c.Get())
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	sim := NewSimulator()
+	a := sim.NewSignal("a", 1, 0)
+	sim.NewProcess("osc", func() { a.SetBool(!a.GetBool()) }, a) // ring oscillator
+	a.Set(1)
+	if err := sim.Advance(1); err == nil {
+		t.Error("oscillating loop should exceed the delta limit")
+	} else if !strings.Contains(err.Error(), "delta limit") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestClockAndEdges(t *testing.T) {
+	sim := NewSimulator()
+	clk := sim.NewClock("clk", 2)
+	edges := 0
+	sim.NewProcess("count", func() {
+		if clk.Sig.GetBool() {
+			edges++
+		}
+	}, clk.Sig)
+	if err := clk.Cycles(10); err != nil {
+		t.Fatal(err)
+	}
+	if edges != 10 {
+		t.Errorf("posedges = %d, want 10", edges)
+	}
+	if sim.Now() != 20 {
+		t.Errorf("time = %d, want 20", sim.Now())
+	}
+}
+
+func TestSetAfter(t *testing.T) {
+	sim := NewSimulator()
+	s := sim.NewSignal("s", 8, 0)
+	s.SetAfter(9, 5)
+	_ = sim.Advance(4)
+	if s.Get() != 0 {
+		t.Error("SetAfter fired early")
+	}
+	_ = sim.Advance(1)
+	if s.Get() != 9 {
+		t.Errorf("SetAfter value = %d", s.Get())
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	sim := NewSimulator()
+	var order []int
+	sim.schedule(5, func() { order = append(order, 1) })
+	sim.schedule(5, func() { order = append(order, 2) })
+	sim.schedule(3, func() { order = append(order, 0) })
+	_ = sim.Advance(10)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestVCDOutput(t *testing.T) {
+	sim := NewSimulator()
+	s := sim.NewSignal("data", 8, 0)
+	c := sim.NewSignal("bit", 1, 0)
+	var sb strings.Builder
+	sim.StartVCD(&sb)
+	s.Set(0xa5)
+	c.Set(1)
+	_ = sim.Advance(2)
+	out := sb.String()
+	for _, want := range []string{"$timescale", "$var wire 8", "data", "bit", "b10100101", "#2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClockPeriodValidation(t *testing.T) {
+	sim := NewSimulator()
+	defer func() {
+		if recover() == nil {
+			t.Error("odd clock period should panic")
+		}
+	}()
+	sim.NewClock("bad", 3)
+}

@@ -1,0 +1,532 @@
+// Package isa defines the SC88 instruction-set architecture: a synthetic
+// 32-bit chip-card controller core in the spirit of the Infineon SLE88
+// family that the ADVM paper targets. The ISA deliberately includes the
+// bitfield INSERT/EXTRACT operations and the LOAD/STORE/CALL/RETURN forms
+// used verbatim in the paper's Figures 6 and 7, so that the paper's code
+// examples assemble and run unchanged in structure.
+//
+// Encoding: every instruction occupies one 32-bit base word, optionally
+// followed by one 32-bit immediate-extension word (fixed per opcode).
+//
+//	base word: [31:24] opcode  [23:20] rd  [19:16] rs
+//	  I format: [15:0]  imm16 (sign-extended)
+//	  R format: [15:12] rt
+//	  F format: [15:11] pos   [10:6] width  [5:2] rt
+//
+// Register banks: sixteen 32-bit data registers D0..D15 and sixteen 32-bit
+// address registers A0..A15. A10 is the conventional stack pointer, A11 the
+// return-address register. The opcode determines which bank a register
+// field refers to.
+package isa
+
+import "fmt"
+
+// Reg identifies a register in either bank. Values 0..15 are the data
+// registers D0..D15; values 16..31 are the address registers A0..A15.
+type Reg uint8
+
+// Register bank boundaries.
+const (
+	// D0 is the first data register.
+	D0 Reg = 0
+	// A0 is the first address register.
+	A0 Reg = 16
+	// SP is the conventional stack pointer (A10).
+	SP = A0 + 10
+	// RA is the conventional return-address register (A11).
+	RA = A0 + 11
+	// NumRegs is the total number of architectural general registers.
+	NumRegs = 32
+)
+
+// D returns the n-th data register.
+func D(n int) Reg { return Reg(n & 15) }
+
+// A returns the n-th address register.
+func A(n int) Reg { return A0 + Reg(n&15) }
+
+// IsData reports whether r is a data register.
+func (r Reg) IsData() bool { return r < A0 }
+
+// IsAddr reports whether r is an address register.
+func (r Reg) IsAddr() bool { return r >= A0 && r < NumRegs }
+
+// Index returns the 4-bit in-bank index of r.
+func (r Reg) Index() uint8 { return uint8(r) & 15 }
+
+// String returns the assembler spelling of the register (d0..d15, a0..a15).
+func (r Reg) String() string {
+	switch {
+	case r.IsData():
+		return fmt.Sprintf("d%d", r.Index())
+	case r.IsAddr():
+		return fmt.Sprintf("a%d", r.Index())
+	default:
+		return fmt.Sprintf("r?%d", uint8(r))
+	}
+}
+
+// Opcode enumerates the SC88 opcodes. The numeric values are the encoding's
+// [31:24] field and must remain stable: object files and linked images use
+// them directly.
+type Opcode uint8
+
+// Opcodes. Suffix conventions: I = 16-bit immediate in the base word,
+// X = 32-bit immediate in an extension word, U = unsigned.
+const (
+	OpNop Opcode = iota
+	OpHalt
+	OpDebug // breakpoint hint: debug stop on bondout, NOP elsewhere
+
+	// Data movement.
+	OpMovI  // rd(D) <- signext(imm16)
+	OpMovHI // rd(D) <- imm16 << 16
+	OpMovX  // rd(D) <- imm32 (ext)
+	OpMov   // rd(D) <- rs(D)
+	OpMovA  // rd(A) <- rs(A)
+	OpMovDA // rd(D) <- rs(A)
+	OpMovAD // rd(A) <- rs(D)
+	OpLea   // rd(A) <- imm32 (ext)
+	OpLeaO  // rd(A) <- rs(A) + signext(imm16)
+
+	// Memory. Offsets are signed 16-bit; X forms take a 32-bit absolute
+	// address in the extension word.
+	OpLdW  // rd(D) <- mem32[rs(A)+imm16]
+	OpLdH  // rd(D) <- signext(mem16[rs(A)+imm16])
+	OpLdHU // rd(D) <- zeroext(mem16[rs(A)+imm16])
+	OpLdB  // rd(D) <- signext(mem8[rs(A)+imm16])
+	OpLdBU // rd(D) <- zeroext(mem8[rs(A)+imm16])
+	OpStW  // mem32[rs(A)+imm16] <- rd(D)
+	OpStH  // mem16[rs(A)+imm16] <- rd(D) low half
+	OpStB  // mem8[rs(A)+imm16] <- rd(D) low byte
+	OpLdWX // rd(D) <- mem32[imm32] (ext)
+	OpStWX // mem32[imm32] <- rd(D) (ext)
+	OpLdA  // rd(A) <- mem32[rs(A)+imm16]
+	OpStA  // mem32[rs(A)+imm16] <- rd(A)
+
+	// ALU, register forms: rd <- rs OP rt (all D bank). Set PSW flags.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSar
+	OpMul
+	OpDiv // traps on divide-by-zero
+	OpRem // traps on divide-by-zero
+	OpCmp // flags only: rd unused, compares rs with rt
+
+	// ALU, immediate forms: rd <- rs OP signext(imm16). Set PSW flags.
+	OpAddI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+	OpSarI
+	OpMulI
+	OpCmpI // flags only: compares rs with signext(imm16)
+
+	// Bitfield operations (F format). INSERT deposits the low `width` bits
+	// of the source value into rd at bit position `pos`, all other bits
+	// taken from rs. EXTRACT pulls `width` bits at `pos` out of rs.
+	OpInsert   // rd <- insert(rs, rt, pos, width)
+	OpInsertX  // rd <- insert(rs, imm32, pos, width) (ext)
+	OpExtractU // rd <- zeroext(rs[pos+width-1:pos])
+	OpExtractS // rd <- signext(rs[pos+width-1:pos])
+
+	// Control flow. Branch displacements are signed 16-bit word counts
+	// relative to the *next* base word.
+	OpJmp   // pc <- imm32 (ext)
+	OpJI    // pc <- rs(A)
+	OpCall  // RA <- return; pc <- imm32 (ext)
+	OpCallI // RA <- return; pc <- rs(A)
+	OpRet   // pc <- RA
+	OpBeq   // if rd(D) == rs(D): pc += imm16 words
+	OpBne
+	OpBlt  // signed
+	OpBge  // signed
+	OpBltU // unsigned
+	OpBgeU // unsigned
+
+	// System.
+	OpTrap // software trap: vector = imm16 & 0xff
+	OpRfe  // return from exception: restore PC/PSW from shadow
+	OpMfcr // rd(D) <- core register imm16
+	OpMtcr // core register imm16 <- rd(D)
+
+	numOpcodes // sentinel; must be last
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// Core (special-function) register indices for MFCR/MTCR.
+const (
+	CrPSW     uint16 = 0 // program status word
+	CrVBR     uint16 = 1 // vector base register
+	CrSPC     uint16 = 2 // shadow PC (saved on trap)
+	CrSPSW    uint16 = 3 // shadow PSW (saved on trap)
+	CrCPUID   uint16 = 4 // core identification
+	CrDERIVID uint16 = 5 // derivative identification (per-chip)
+	CrCYCLE   uint16 = 6 // free-running cycle counter (low 32 bits)
+	CrICAUSE  uint16 = 7 // cause of the last taken trap/interrupt
+)
+
+// PSW flag and control bits.
+const (
+	FlagZ uint32 = 1 << 0 // zero
+	FlagN uint32 = 1 << 1 // negative
+	FlagC uint32 = 1 << 2 // carry / unsigned borrow-out
+	FlagV uint32 = 1 << 3 // signed overflow
+	FlagI uint32 = 1 << 4 // interrupt enable
+	FlagS uint32 = 1 << 5 // supervisor mode (set on trap entry)
+)
+
+// Trap and interrupt vector numbers. The vector table holds one 32-bit
+// handler address per vector at VBR + 4*vector.
+const (
+	VecReset    = 0
+	VecIllegal  = 1 // illegal or unknown instruction
+	VecMemFault = 2 // bus error / protection violation
+	VecDivZero  = 3
+	VecSyscall  = 4 // TRAP instruction base (TRAP n => VecSyscall for any n; n in ICAUSE high byte)
+	VecWatchdog = 5
+	VecDebug    = 6 // DEBUG instruction on platforms that trap it
+	VecIRQBase  = 8 // first external interrupt line
+	NumVectors  = 32
+)
+
+// IRQ line numbers (offsets from VecIRQBase) wired on the SC88 SoC.
+const (
+	IRQTimer  = 0
+	IRQUartRx = 1
+	IRQUartTx = 2
+	IRQNvm    = 3
+	IRQGpio   = 4
+	NumIRQs   = 16
+)
+
+// Inst is a decoded SC88 instruction.
+type Inst struct {
+	Op         Opcode
+	Rd, Rs, Rt Reg
+	Imm        int32 // imm16 sign-extended, or the extension word
+	Pos, Width uint8 // bitfield position and width (F format)
+}
+
+// opInfo captures static per-opcode properties.
+type opInfo struct {
+	name   string
+	ext    bool // has a 32-bit extension word
+	fmtF   bool // uses the bitfield (F) format
+	fmtR   bool // uses the three-register (R) format
+	rdAddr bool // rd field selects the address bank
+	rsAddr bool // rs field selects the address bank
+}
+
+var opTable = [NumOpcodes]opInfo{
+	OpNop:      {name: "NOP"},
+	OpHalt:     {name: "HALT"},
+	OpDebug:    {name: "DEBUG"},
+	OpMovI:     {name: "MOVI"},
+	OpMovHI:    {name: "MOVHI"},
+	OpMovX:     {name: "MOVX", ext: true},
+	OpMov:      {name: "MOV"},
+	OpMovA:     {name: "MOVA", rdAddr: true, rsAddr: true},
+	OpMovDA:    {name: "MOVDA", rsAddr: true},
+	OpMovAD:    {name: "MOVAD", rdAddr: true},
+	OpLea:      {name: "LEA", ext: true, rdAddr: true},
+	OpLeaO:     {name: "LEAO", rdAddr: true, rsAddr: true},
+	OpLdW:      {name: "LDW", rsAddr: true},
+	OpLdH:      {name: "LDH", rsAddr: true},
+	OpLdHU:     {name: "LDHU", rsAddr: true},
+	OpLdB:      {name: "LDB", rsAddr: true},
+	OpLdBU:     {name: "LDBU", rsAddr: true},
+	OpStW:      {name: "STW", rsAddr: true},
+	OpStH:      {name: "STH", rsAddr: true},
+	OpStB:      {name: "STB", rsAddr: true},
+	OpLdWX:     {name: "LDWX", ext: true},
+	OpStWX:     {name: "STWX", ext: true},
+	OpLdA:      {name: "LDA", rdAddr: true, rsAddr: true},
+	OpStA:      {name: "STA", rdAddr: true, rsAddr: true},
+	OpAdd:      {name: "ADD", fmtR: true},
+	OpSub:      {name: "SUB", fmtR: true},
+	OpAnd:      {name: "AND", fmtR: true},
+	OpOr:       {name: "OR", fmtR: true},
+	OpXor:      {name: "XOR", fmtR: true},
+	OpShl:      {name: "SHL", fmtR: true},
+	OpShr:      {name: "SHR", fmtR: true},
+	OpSar:      {name: "SAR", fmtR: true},
+	OpMul:      {name: "MUL", fmtR: true},
+	OpDiv:      {name: "DIV", fmtR: true},
+	OpRem:      {name: "REM", fmtR: true},
+	OpCmp:      {name: "CMP", fmtR: true},
+	OpAddI:     {name: "ADDI"},
+	OpAndI:     {name: "ANDI"},
+	OpOrI:      {name: "ORI"},
+	OpXorI:     {name: "XORI"},
+	OpShlI:     {name: "SHLI"},
+	OpShrI:     {name: "SHRI"},
+	OpSarI:     {name: "SARI"},
+	OpMulI:     {name: "MULI"},
+	OpCmpI:     {name: "CMPI"},
+	OpInsert:   {name: "INSERT", fmtF: true},
+	OpInsertX:  {name: "INSERTX", fmtF: true, ext: true},
+	OpExtractU: {name: "EXTRU", fmtF: true},
+	OpExtractS: {name: "EXTRS", fmtF: true},
+	OpJmp:      {name: "JMP", ext: true},
+	OpJI:       {name: "JI", rsAddr: true},
+	OpCall:     {name: "CALL", ext: true},
+	OpCallI:    {name: "CALLI", rsAddr: true},
+	OpRet:      {name: "RET"},
+	OpBeq:      {name: "BEQ"},
+	OpBne:      {name: "BNE"},
+	OpBlt:      {name: "BLT"},
+	OpBge:      {name: "BGE"},
+	OpBltU:     {name: "BLTU"},
+	OpBgeU:     {name: "BGEU"},
+	OpTrap:     {name: "TRAP"},
+	OpRfe:      {name: "RFE"},
+	OpMfcr:     {name: "MFCR"},
+	OpMtcr:     {name: "MTCR"},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return int(op) < NumOpcodes }
+
+// String returns the canonical mnemonic.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("OP(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// HasExt reports whether op carries a 32-bit extension word.
+func (op Opcode) HasExt() bool { return op.Valid() && opTable[op].ext }
+
+// IsBranch reports whether op is a PC-relative conditional branch.
+func (op Opcode) IsBranch() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltU, OpBgeU:
+		return true
+	}
+	return false
+}
+
+// IsBitfield reports whether op uses the bitfield (F) format.
+func (op Opcode) IsBitfield() bool { return op.Valid() && opTable[op].fmtF }
+
+// Words returns the encoded size of op in 32-bit words (1 or 2).
+func (op Opcode) Words() int {
+	if op.HasExt() {
+		return 2
+	}
+	return 1
+}
+
+// bankReg maps a 4-bit encoding field to a register in the bank the opcode
+// implies for that field position.
+func bankReg(idx uint32, addr bool) Reg {
+	if addr {
+		return A0 + Reg(idx&15)
+	}
+	return Reg(idx & 15)
+}
+
+// Encode encodes the instruction into one or two 32-bit words appended to
+// dst. It panics on structurally invalid instructions (unknown opcode,
+// bitfield geometry out of range) because those indicate assembler bugs,
+// not user errors: the assembler validates operands before encoding.
+func (in Inst) Encode(dst []uint32) []uint32 {
+	if !in.Op.Valid() {
+		panic(fmt.Sprintf("isa: encode of invalid opcode %d", uint8(in.Op)))
+	}
+	info := opTable[in.Op]
+	w := uint32(in.Op) << 24
+	w |= uint32(in.Rd.Index()) << 20
+	w |= uint32(in.Rs.Index()) << 16
+	switch {
+	case info.fmtF:
+		if in.Pos > 31 || in.Width == 0 || in.Width > 32 || uint32(in.Pos)+uint32(in.Width) > 32 {
+			panic(fmt.Sprintf("isa: encode %s with bad bitfield pos=%d width=%d", in.Op, in.Pos, in.Width))
+		}
+		w |= uint32(in.Pos) << 11
+		w |= (uint32(in.Width) & 31) << 6 // width 32 encodes as 0
+		w |= uint32(in.Rt.Index()) << 2
+	case info.fmtR:
+		w |= uint32(in.Rt.Index()) << 12
+	default:
+		w |= uint32(in.Imm) & 0xffff
+	}
+	dst = append(dst, w)
+	if info.ext {
+		dst = append(dst, uint32(in.Imm))
+	}
+	return dst
+}
+
+// Decode decodes the instruction starting at words[0]. It returns the
+// decoded instruction and its size in words. Decoding never fails for
+// sizing purposes; an unknown opcode is returned as-is with size 1 and
+// ok=false so the executing platform can raise an illegal-instruction trap.
+func Decode(words []uint32) (in Inst, size int, ok bool) {
+	if len(words) == 0 {
+		return Inst{}, 0, false
+	}
+	w := words[0]
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Inst{Op: op}, 1, false
+	}
+	info := opTable[op]
+	in.Op = op
+	in.Rd = bankReg(w>>20, info.rdAddr)
+	in.Rs = bankReg(w>>16, info.rsAddr)
+	switch {
+	case info.fmtF:
+		in.Pos = uint8((w >> 11) & 31)
+		in.Width = uint8((w >> 6) & 31)
+		if in.Width == 0 {
+			in.Width = 32
+		}
+		in.Rt = bankReg(w>>2, false)
+	case info.fmtR:
+		in.Rt = bankReg(w>>12, false)
+	default:
+		in.Imm = int32(int16(uint16(w)))
+	}
+	size = 1
+	if info.ext {
+		if len(words) < 2 {
+			return in, 1, false
+		}
+		in.Imm = int32(words[1])
+		size = 2
+	}
+	return in, size, true
+}
+
+// InsertBits implements the INSERT semantics: the low width bits of val are
+// deposited into base at bit position pos; all other bits of base are
+// preserved. Width 32 at pos 0 replaces the whole word.
+func InsertBits(base, val uint32, pos, width uint8) uint32 {
+	mask := widthMask(width) << pos
+	return (base &^ mask) | ((val << pos) & mask)
+}
+
+// ExtractBitsU implements EXTRU: zero-extended field extraction.
+func ExtractBitsU(v uint32, pos, width uint8) uint32 {
+	return (v >> pos) & widthMask(width)
+}
+
+// ExtractBitsS implements EXTRS: sign-extended field extraction.
+func ExtractBitsS(v uint32, pos, width uint8) uint32 {
+	f := ExtractBitsU(v, pos, width)
+	if width < 32 && f&(1<<(width-1)) != 0 {
+		f |= ^widthMask(width)
+	}
+	return f
+}
+
+func widthMask(width uint8) uint32 {
+	if width >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << width) - 1
+}
+
+// String renders the instruction in canonical assembler syntax.
+func (in Inst) String() string {
+	info := opTable[in.Op]
+	switch in.Op {
+	case OpNop, OpHalt, OpDebug, OpRet, OpRfe:
+		return in.Op.String()
+	case OpMovI, OpMovHI, OpMovX:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpMov, OpMovA, OpMovDA, OpMovAD:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+	case OpLea:
+		return fmt.Sprintf("%s %s, 0x%x", in.Op, in.Rd, uint32(in.Imm))
+	case OpLeaO:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpLdW, OpLdH, OpLdHU, OpLdB, OpLdBU, OpLdA:
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpStW, OpStH, OpStB, OpStA:
+		return fmt.Sprintf("%s [%s%+d], %s", in.Op, in.Rs, in.Imm, in.Rd)
+	case OpLdWX:
+		return fmt.Sprintf("%s %s, [0x%x]", in.Op, in.Rd, uint32(in.Imm))
+	case OpStWX:
+		return fmt.Sprintf("%s [0x%x], %s", in.Op, uint32(in.Imm), in.Rd)
+	case OpInsert:
+		return fmt.Sprintf("%s %s, %s, %s, %d, %d", in.Op, in.Rd, in.Rs, in.Rt, in.Pos, in.Width)
+	case OpInsertX:
+		return fmt.Sprintf("%s %s, %s, %d, %d, %d", in.Op, in.Rd, in.Rs, in.Imm, in.Pos, in.Width)
+	case OpExtractU, OpExtractS:
+		return fmt.Sprintf("%s %s, %s, %d, %d", in.Op, in.Rd, in.Rs, in.Pos, in.Width)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint32(in.Imm))
+	case OpJI, OpCallI:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltU, OpBgeU:
+		return fmt.Sprintf("%s %s, %s, %+d", in.Op, in.Rd, in.Rs, in.Imm)
+	case OpTrap:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm&0xff)
+	case OpMfcr, OpMtcr:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case OpCmp:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rs, in.Rt)
+	case OpCmpI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rs, in.Imm)
+	default:
+		if info.fmtR {
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	}
+}
+
+// ParseReg parses an assembler register spelling ("d0".."d15", "a0".."a15",
+// case-insensitive, plus the aliases "sp" and "ra").
+func ParseReg(s string) (Reg, bool) {
+	if len(s) < 2 {
+		return 0, false
+	}
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	switch {
+	case len(s) == 2 && lower(s[0]) == 's' && lower(s[1]) == 'p':
+		return SP, true
+	case len(s) == 2 && lower(s[0]) == 'r' && lower(s[1]) == 'a':
+		return RA, true
+	}
+	bank := lower(s[0])
+	if bank != 'd' && bank != 'a' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 15 {
+			return 0, false
+		}
+	}
+	if len(s) == 1 {
+		return 0, false
+	}
+	if bank == 'd' {
+		return D(n), true
+	}
+	return A(n), true
+}

@@ -1,0 +1,309 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Reg
+		ok   bool
+	}{
+		{"d0", D(0), true},
+		{"D15", D(15), true},
+		{"a0", A(0), true},
+		{"A15", A(15), true},
+		{"sp", SP, true},
+		{"SP", SP, true},
+		{"ra", RA, true},
+		{"d16", 0, false},
+		{"a16", 0, false},
+		{"x3", 0, false},
+		{"d", 0, false},
+		{"", 0, false},
+		{"d1x", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseReg(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseReg(%q) = %v,%v; want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if D(3).String() != "d3" {
+		t.Errorf("D(3) = %q", D(3).String())
+	}
+	if A(12).String() != "a12" {
+		t.Errorf("A(12) = %q", A(12).String())
+	}
+	if !SP.IsAddr() || SP.Index() != 10 {
+		t.Errorf("SP misdefined: %v index %d", SP, SP.Index())
+	}
+	if !RA.IsAddr() || RA.Index() != 11 {
+		t.Errorf("RA misdefined: %v index %d", RA, RA.Index())
+	}
+}
+
+func TestRegBanks(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		if !D(i).IsData() || D(i).IsAddr() {
+			t.Errorf("D(%d) bank wrong", i)
+		}
+		if !A(i).IsAddr() || A(i).IsData() {
+			t.Errorf("A(%d) bank wrong", i)
+		}
+		if D(i).Index() != uint8(i) || A(i).Index() != uint8(i) {
+			t.Errorf("index mismatch at %d", i)
+		}
+	}
+}
+
+func TestOpcodeProperties(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if op.Words() != 1 && op.Words() != 2 {
+			t.Errorf("%s: bad word count %d", op, op.Words())
+		}
+		if op.HasExt() != (op.Words() == 2) {
+			t.Errorf("%s: HasExt/Words mismatch", op)
+		}
+	}
+	if Opcode(200).Valid() {
+		t.Error("opcode 200 should be invalid")
+	}
+	for _, op := range []Opcode{OpBeq, OpBne, OpBlt, OpBge, OpBltU, OpBgeU} {
+		if !op.IsBranch() {
+			t.Errorf("%s should be a branch", op)
+		}
+	}
+	if OpJmp.IsBranch() || OpCall.IsBranch() {
+		t.Error("JMP/CALL are not conditional branches")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpHalt, Imm: 0x1234},
+		{Op: OpMovI, Rd: D(3), Imm: -42},
+		{Op: OpMovHI, Rd: D(7), Imm: 0x7fff},
+		{Op: OpMovX, Rd: D(15), Imm: -559038737}, // 0xdeadbeef
+		{Op: OpMov, Rd: D(1), Rs: D(2)},
+		{Op: OpMovA, Rd: A(3), Rs: A(4)},
+		{Op: OpMovDA, Rd: D(5), Rs: A(6)},
+		{Op: OpMovAD, Rd: A(7), Rs: D(8)},
+		{Op: OpLea, Rd: A(12), Imm: 0x20001000},
+		{Op: OpLeaO, Rd: A(10), Rs: A(10), Imm: -4},
+		{Op: OpLdW, Rd: D(0), Rs: A(1), Imm: 16},
+		{Op: OpStW, Rd: D(2), Rs: A(3), Imm: -8},
+		{Op: OpLdWX, Rd: D(4), Imm: int32(0x80000000 - 0x100000000)},
+		{Op: OpStWX, Rd: D(5), Imm: 0x40000000},
+		{Op: OpAdd, Rd: D(1), Rs: D(2), Rt: D(3)},
+		{Op: OpCmp, Rs: D(4), Rt: D(5)},
+		{Op: OpAddI, Rd: D(6), Rs: D(7), Imm: 1000},
+		{Op: OpInsert, Rd: D(14), Rs: D(14), Rt: D(2), Pos: 5, Width: 6},
+		{Op: OpInsertX, Rd: D(14), Rs: D(14), Imm: 8, Pos: 0, Width: 5},
+		{Op: OpExtractU, Rd: D(1), Rs: D(2), Pos: 31, Width: 1},
+		{Op: OpExtractS, Rd: D(3), Rs: D(4), Pos: 0, Width: 32},
+		{Op: OpJmp, Imm: 0x100},
+		{Op: OpJI, Rs: A(12)},
+		{Op: OpCall, Imm: 0x2000},
+		{Op: OpCallI, Rs: A(12)},
+		{Op: OpRet},
+		{Op: OpBeq, Rd: D(0), Rs: D(1), Imm: -3},
+		{Op: OpTrap, Imm: 4},
+		{Op: OpRfe},
+		{Op: OpMfcr, Rd: D(0), Imm: 7},
+		{Op: OpMtcr, Rd: D(1), Imm: 1},
+	}
+	for _, in := range cases {
+		words := in.Encode(nil)
+		if len(words) != in.Op.Words() {
+			t.Errorf("%v: encoded %d words, want %d", in, len(words), in.Op.Words())
+			continue
+		}
+		got, size, ok := Decode(words)
+		if !ok {
+			t.Errorf("%v: decode failed", in)
+			continue
+		}
+		if size != len(words) {
+			t.Errorf("%v: decode size %d, want %d", in, size, len(words))
+		}
+		// Normalise the expected immediate: single-word I-format carries
+		// a sign-extended 16-bit value.
+		want := in
+		if !in.Op.HasExt() && !in.Op.IsBitfield() {
+			switch in.Op {
+			case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpMul, OpDiv, OpRem, OpCmp:
+				want.Imm = 0
+			default:
+				want.Imm = int32(int16(uint16(uint32(in.Imm))))
+			}
+		}
+		if got != want {
+			t.Errorf("round trip mismatch:\n in  %+v\n out %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	if _, _, ok := Decode(nil); ok {
+		t.Error("decode of empty slice should fail")
+	}
+	if _, size, ok := Decode([]uint32{uint32(numOpcodes) << 24}); ok || size != 1 {
+		t.Errorf("decode of invalid opcode: ok=%v size=%d", ok, size)
+	}
+	// Extension opcode with a truncated stream.
+	w := Inst{Op: OpJmp, Imm: 4}.Encode(nil)
+	if _, _, ok := Decode(w[:1]); ok {
+		t.Error("decode of truncated ext instruction should fail")
+	}
+}
+
+func TestEncodePanicsOnBadBitfield(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for pos+width > 32")
+		}
+	}()
+	Inst{Op: OpInsert, Pos: 30, Width: 5}.Encode(nil)
+}
+
+func TestEncodePanicsOnInvalidOpcode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid opcode")
+		}
+	}()
+	Inst{Op: Opcode(250)}.Encode(nil)
+}
+
+func TestInsertBits(t *testing.T) {
+	cases := []struct {
+		base, val  uint32
+		pos, width uint8
+		want       uint32
+	}{
+		{0x00000000, 0xffffffff, 0, 5, 0x0000001f},
+		{0xffffffff, 0, 0, 5, 0xffffffe0},
+		{0x00000000, 8, 0, 5, 8},  // Figure 6: page 8 at pos 0, width 5
+		{0x00000000, 8, 1, 5, 16}, // shifted field position
+		{0xdeadbeef, 0xdeadbeef, 0, 32, 0xdeadbeef},
+		{0x12345678, 0xf, 28, 4, 0xf2345678},
+		{0xffffffff, 0, 31, 1, 0x7fffffff},
+	}
+	for _, c := range cases {
+		if got := InsertBits(c.base, c.val, c.pos, c.width); got != c.want {
+			t.Errorf("InsertBits(%#x,%#x,%d,%d) = %#x, want %#x",
+				c.base, c.val, c.pos, c.width, got, c.want)
+		}
+	}
+}
+
+func TestExtractBits(t *testing.T) {
+	if got := ExtractBitsU(0xf2345678, 28, 4); got != 0xf {
+		t.Errorf("ExtractBitsU top nibble = %#x", got)
+	}
+	if got := ExtractBitsS(0xf2345678, 28, 4); got != 0xffffffff {
+		t.Errorf("ExtractBitsS top nibble = %#x", got)
+	}
+	if got := ExtractBitsS(0x00000008, 0, 5); got != 8 {
+		t.Errorf("ExtractBitsS positive = %#x", got)
+	}
+	if got := ExtractBitsS(0x00000010, 0, 5); got != 0xfffffff0 {
+		t.Errorf("ExtractBitsS sign bit = %#x", got)
+	}
+	if got := ExtractBitsU(0xdeadbeef, 0, 32); got != 0xdeadbeef {
+		t.Errorf("full-width extract = %#x", got)
+	}
+}
+
+// TestInsertExtractProperty: extracting an inserted field returns the
+// field, and bits outside the field are untouched.
+func TestInsertExtractProperty(t *testing.T) {
+	f := func(base, val uint32, posRaw, widthRaw uint8) bool {
+		pos := posRaw % 32
+		width := widthRaw%32 + 1
+		if uint32(pos)+uint32(width) > 32 {
+			width = uint8(32 - uint32(pos))
+		}
+		ins := InsertBits(base, val, pos, width)
+		mask := uint32(1)<<width - 1
+		if width == 32 {
+			mask = ^uint32(0)
+		}
+		if ExtractBitsU(ins, pos, width) != val&mask {
+			return false
+		}
+		outside := ^(mask << pos)
+		return ins&outside == base&outside
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeDecodeProperty: every structurally valid instruction survives
+// an encode/decode round trip.
+func TestEncodeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 5000; i++ {
+		op := Opcode(rng.Intn(NumOpcodes))
+		in := Inst{Op: op}
+		info := opTable[op]
+		in.Rd = bankReg(uint32(rng.Intn(16)), info.rdAddr)
+		in.Rs = bankReg(uint32(rng.Intn(16)), info.rsAddr)
+		switch {
+		case info.fmtF:
+			in.Pos = uint8(rng.Intn(32))
+			in.Width = uint8(rng.Intn(32-int(in.Pos)) + 1)
+			in.Rt = Reg(rng.Intn(16))
+			if info.ext {
+				in.Imm = int32(rng.Uint32())
+			}
+		case info.fmtR:
+			in.Rt = Reg(rng.Intn(16))
+		case info.ext:
+			in.Imm = int32(rng.Uint32())
+		default:
+			in.Imm = int32(int16(rng.Intn(1 << 16)))
+		}
+		words := in.Encode(nil)
+		got, size, ok := Decode(words)
+		if !ok || size != len(words) {
+			t.Fatalf("decode failed for %+v", in)
+		}
+		if got != in {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, got)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// Smoke-test the disassembly strings used in listings and traces.
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpNop}, "NOP"},
+		{Inst{Op: OpMovI, Rd: D(3), Imm: -5}, "MOVI d3, -5"},
+		{Inst{Op: OpInsertX, Rd: D(14), Rs: D(14), Imm: 8, Pos: 0, Width: 5}, "INSERTX d14, d14, 8, 0, 5"},
+		{Inst{Op: OpLdW, Rd: D(0), Rs: A(1), Imm: 4}, "LDW d0, [a1+4]"},
+		{Inst{Op: OpStW, Rd: D(2), Rs: A(3), Imm: -4}, "STW [a3-4], d2"},
+		{Inst{Op: OpCallI, Rs: A(12)}, "CALLI a12"},
+		{Inst{Op: OpBeq, Rd: D(0), Rs: D(1), Imm: -2}, "BEQ d0, d1, -2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

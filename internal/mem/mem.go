@@ -1,0 +1,276 @@
+// Package mem provides the byte-addressable memory model used by every
+// SC88 execution platform: fixed-size RAM/ROM/NVM regions with access
+// permissions, watchpoints, and fault reporting. All multi-byte accesses
+// are little-endian.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Perm is a bitmask of permitted access kinds for a region.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// Access identifies the kind of a memory access, for fault reporting and
+// watchpoints.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessFetch
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "access?"
+}
+
+// Fault describes a failed memory access.
+type Fault struct {
+	Addr   uint32
+	Size   int
+	Kind   Access
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: %s of %d byte(s) at 0x%08x: %s", f.Kind, f.Size, f.Addr, f.Reason)
+}
+
+// Region is a contiguous span of memory with uniform permissions.
+type Region struct {
+	Name  string
+	Base  uint32
+	Size  uint32
+	Perm  Perm
+	bytes []byte
+}
+
+// Contains reports whether addr lies inside the region.
+func (r *Region) Contains(addr uint32) bool {
+	return addr >= r.Base && addr-r.Base < r.Size
+}
+
+// Watchpoint triggers a callback when an address range is accessed. Used by
+// the bondout platform's debug hardware.
+type Watchpoint struct {
+	Lo, Hi uint32 // inclusive range
+	Kind   Access
+	Hit    func(addr uint32, kind Access, value uint32)
+}
+
+// Memory is an ordered set of regions. The zero value is an empty memory
+// in which every access faults.
+type Memory struct {
+	regions []*Region
+	watches []Watchpoint
+	// Relaxed disables permission checks (write-to-ROM etc). The loader
+	// uses it to initialise ROM contents.
+	relaxed bool
+}
+
+// AddRegion creates a region and returns it. Overlapping regions are an
+// error: the SoC memory map is constructed once at platform build time, so
+// AddRegion panics on overlap to fail fast during bring-up.
+func (m *Memory) AddRegion(name string, base, size uint32, perm Perm) *Region {
+	if size == 0 {
+		panic(fmt.Sprintf("mem: region %q has zero size", name))
+	}
+	for _, r := range m.regions {
+		if base < r.Base+r.Size && r.Base < base+size {
+			panic(fmt.Sprintf("mem: region %q [0x%x,0x%x) overlaps %q [0x%x,0x%x)",
+				name, base, base+size, r.Name, r.Base, r.Base+r.Size))
+		}
+	}
+	reg := &Region{Name: name, Base: base, Size: size, Perm: perm, bytes: make([]byte, size)}
+	m.regions = append(m.regions, reg)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return reg
+}
+
+// Regions returns the regions in ascending base order.
+func (m *Memory) Regions() []*Region { return m.regions }
+
+// FindRegion returns the region containing addr, or nil.
+func (m *Memory) FindRegion(addr uint32) *Region {
+	// Binary search over sorted regions.
+	lo, hi := 0, len(m.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := m.regions[mid]
+		switch {
+		case addr < r.Base:
+			hi = mid
+		case addr-r.Base >= r.Size:
+			lo = mid + 1
+		default:
+			return r
+		}
+	}
+	return nil
+}
+
+// AddWatchpoint registers a watchpoint. Watchpoints fire after a
+// successful access.
+func (m *Memory) AddWatchpoint(w Watchpoint) { m.watches = append(m.watches, w) }
+
+// ClearWatchpoints removes all watchpoints.
+func (m *Memory) ClearWatchpoints() { m.watches = nil }
+
+// SetRelaxed toggles permission checking. With relaxed=true all regions
+// are readable and writable; used by image loaders and debug pokes.
+func (m *Memory) SetRelaxed(relaxed bool) { m.relaxed = relaxed }
+
+func (m *Memory) check(addr uint32, size int, kind Access) (*Region, error) {
+	r := m.FindRegion(addr)
+	if r == nil || !r.Contains(addr+uint32(size)-1) {
+		return nil, &Fault{Addr: addr, Size: size, Kind: kind, Reason: "unmapped"}
+	}
+	if m.relaxed {
+		return r, nil
+	}
+	var need Perm
+	switch kind {
+	case AccessRead:
+		need = PermRead
+	case AccessWrite:
+		need = PermWrite
+	case AccessFetch:
+		need = PermExec
+	}
+	if r.Perm&need == 0 {
+		return nil, &Fault{Addr: addr, Size: size, Kind: kind,
+			Reason: fmt.Sprintf("%s not permitted in region %q", kind, r.Name)}
+	}
+	if size > 1 && addr%uint32(size) != 0 {
+		return nil, &Fault{Addr: addr, Size: size, Kind: kind, Reason: "misaligned"}
+	}
+	return r, nil
+}
+
+func (m *Memory) fire(addr uint32, kind Access, value uint32) {
+	for i := range m.watches {
+		w := &m.watches[i]
+		if w.Kind == kind && addr >= w.Lo && addr <= w.Hi && w.Hit != nil {
+			w.Hit(addr, kind, value)
+		}
+	}
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint32, kind Access) (byte, error) {
+	r, err := m.check(addr, 1, kind)
+	if err != nil {
+		return 0, err
+	}
+	v := r.bytes[addr-r.Base]
+	m.fire(addr, kind, uint32(v))
+	return v, nil
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint32, v byte) error {
+	r, err := m.check(addr, 1, AccessWrite)
+	if err != nil {
+		return err
+	}
+	r.bytes[addr-r.Base] = v
+	m.fire(addr, AccessWrite, uint32(v))
+	return nil
+}
+
+// Read16 reads a little-endian halfword.
+func (m *Memory) Read16(addr uint32, kind Access) (uint16, error) {
+	r, err := m.check(addr, 2, kind)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - r.Base
+	v := uint16(r.bytes[off]) | uint16(r.bytes[off+1])<<8
+	m.fire(addr, kind, uint32(v))
+	return v, nil
+}
+
+// Write16 writes a little-endian halfword.
+func (m *Memory) Write16(addr uint32, v uint16) error {
+	r, err := m.check(addr, 2, AccessWrite)
+	if err != nil {
+		return err
+	}
+	off := addr - r.Base
+	r.bytes[off] = byte(v)
+	r.bytes[off+1] = byte(v >> 8)
+	m.fire(addr, AccessWrite, uint32(v))
+	return nil
+}
+
+// Read32 reads a little-endian word.
+func (m *Memory) Read32(addr uint32, kind Access) (uint32, error) {
+	r, err := m.check(addr, 4, kind)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - r.Base
+	v := uint32(r.bytes[off]) | uint32(r.bytes[off+1])<<8 |
+		uint32(r.bytes[off+2])<<16 | uint32(r.bytes[off+3])<<24
+	m.fire(addr, kind, v)
+	return v, nil
+}
+
+// Write32 writes a little-endian word.
+func (m *Memory) Write32(addr uint32, v uint32) error {
+	r, err := m.check(addr, 4, AccessWrite)
+	if err != nil {
+		return err
+	}
+	off := addr - r.Base
+	r.bytes[off] = byte(v)
+	r.bytes[off+1] = byte(v >> 8)
+	r.bytes[off+2] = byte(v >> 16)
+	r.bytes[off+3] = byte(v >> 24)
+	m.fire(addr, AccessWrite, v)
+	return nil
+}
+
+// LoadBlob copies data into memory starting at addr, bypassing permission
+// checks. Used by image loaders.
+func (m *Memory) LoadBlob(addr uint32, data []byte) error {
+	for i, b := range data {
+		r := m.FindRegion(addr + uint32(i))
+		if r == nil {
+			return &Fault{Addr: addr + uint32(i), Size: 1, Kind: AccessWrite, Reason: "unmapped (load)"}
+		}
+		r.bytes[addr+uint32(i)-r.Base] = b
+	}
+	return nil
+}
+
+// Dump copies size bytes starting at addr, bypassing permission checks.
+func (m *Memory) Dump(addr uint32, size int) ([]byte, error) {
+	out := make([]byte, size)
+	for i := range out {
+		r := m.FindRegion(addr + uint32(i))
+		if r == nil {
+			return nil, &Fault{Addr: addr + uint32(i), Size: 1, Kind: AccessRead, Reason: "unmapped (dump)"}
+		}
+		out[i] = r.bytes[addr+uint32(i)-r.Base]
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package netlist
+
+// ALU operation select codes (the "op" input bus of the synthesised ALU).
+const (
+	ALUAdd uint64 = iota
+	ALUSub
+	ALUAnd
+	ALUOr
+	ALUXor
+	ALUShl
+	ALUShr
+	ALUSar
+)
+
+// BuildALU synthesises the SC88 execution-unit ALU as a gate netlist.
+//
+// Inputs:  a[32], b[32], op[3]
+// Outputs: y[32], c[1] (carry/borrow), v[1] (signed overflow)
+//
+// Add/sub share one ripple-carry adder (b is conditionally inverted);
+// shifts use three barrel shifters; the result is selected by a mux tree
+// on the op code. Carry and overflow are meaningful for add/sub only, as
+// in the behavioural ALU.
+func BuildALU() *Netlist {
+	b := NewBuilder()
+	a := b.Input("a", 32)
+	bb := b.Input("b", 32)
+	op := b.Input("op", 3)
+
+	// isSub = (op == ALUSub): op2..0 == 001.
+	isSub := b.And(b.And(b.Not(op[2]), b.Not(op[1])), op[0])
+
+	// Adder operand: b ^ isSub (conditional invert), carry-in = isSub.
+	bInv := make([]Net, 32)
+	for i := 0; i < 32; i++ {
+		bInv[i] = b.Xor(bb[i], isSub)
+	}
+	sum, cout := b.Adder(a, bInv, isSub)
+
+	// Carry flag: carry-out for add, borrow (= !carry-out) for subtract.
+	cFlag := b.Xor(cout, isSub)
+	// Overflow: operands with equal effective sign, result sign differs.
+	// Using the adder's effective b (bInv): V = (a31 == bInv31) && (sum31 != a31).
+	sameSign := b.Not(b.Xor(a[31], bInv[31]))
+	diffRes := b.Xor(sum[31], a[31])
+	vFlag := b.And(sameSign, diffRes)
+
+	andBus := b.BitwiseAnd(a, bb)
+	orBus := b.BitwiseOr(a, bb)
+	xorBus := b.BitwiseXor(a, bb)
+
+	sh := bb[:5]
+	shlBus := b.BarrelShifter(a, sh, false, false)
+	shrBus := b.BarrelShifter(a, sh, true, false)
+	sarBus := b.BarrelShifter(a, sh, true, true)
+
+	// Result mux tree on op[2:0]:
+	// 000 add, 001 sub, 010 and, 011 or, 100 xor, 101 shl, 110 shr, 111 sar.
+	m00 := sum // add or sub: both come from the shared adder
+	m01 := b.MuxBus(op[0], andBus, orBus)
+	m0 := b.MuxBus(op[1], m00, m01)
+	m10 := b.MuxBus(op[0], xorBus, shlBus)
+	m11 := b.MuxBus(op[0], shrBus, sarBus)
+	m1 := b.MuxBus(op[1], m10, m11)
+	y := b.MuxBus(op[2], m0, m1)
+
+	// C/V valid only for add/sub: op[2:1] == 00.
+	isAddSub := b.And(b.Not(op[2]), b.Not(op[1]))
+	b.Output("y", y)
+	b.Output("c", []Net{b.And(cFlag, isAddSub)})
+	b.Output("v", []Net{b.And(vFlag, isAddSub)})
+	return b.Build()
+}

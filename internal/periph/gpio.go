@@ -1,0 +1,86 @@
+package periph
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// GPIO register offsets.
+const (
+	GpioOut  = 0x00 // R/W: output latch
+	GpioIn   = 0x04 // R: input pins
+	GpioDir  = 0x08 // R/W: 1 = output
+	GpioIrqE = 0x0c // R/W: per-pin input-change interrupt enable
+)
+
+// Gpio is a 32-pin general-purpose I/O block.
+type Gpio struct {
+	name string
+	hub  *IrqHub
+	out  uint32
+	in   uint32
+	dir  uint32
+	irqe uint32
+}
+
+// NewGpio creates a GPIO block.
+func NewGpio(name string, hub *IrqHub) *Gpio {
+	return &Gpio{name: name, hub: hub}
+}
+
+// Name implements bus.Device.
+func (g *Gpio) Name() string { return g.name }
+
+// Size implements bus.Device.
+func (g *Gpio) Size() uint32 { return 0x10 }
+
+// Tick implements bus.Device.
+func (g *Gpio) Tick(uint64) {}
+
+// Read32 implements bus.Device.
+func (g *Gpio) Read32(off uint32) (uint32, error) {
+	switch off {
+	case GpioOut:
+		return g.out, nil
+	case GpioIn:
+		return g.in, nil
+	case GpioDir:
+		return g.dir, nil
+	case GpioIrqE:
+		return g.irqe, nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "gpio: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (g *Gpio) Write32(off uint32, v uint32) error {
+	switch off {
+	case GpioOut:
+		g.out = v
+		return nil
+	case GpioDir:
+		g.dir = v
+		return nil
+	case GpioIrqE:
+		g.irqe = v
+		return nil
+	case GpioIn:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "gpio: IN is read-only"}
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "gpio: no such register"}
+	}
+}
+
+// SetPins drives the input pins from the external environment, raising the
+// input-change interrupt for enabled pins that changed.
+func (g *Gpio) SetPins(v uint32) {
+	changed := (g.in ^ v) & g.irqe
+	g.in = v
+	if changed != 0 {
+		g.hub.Raise(isa.IRQGpio)
+	}
+}
+
+// Out returns the output latch as driven by software.
+func (g *Gpio) Pins() uint32 { return (g.out & g.dir) | (g.in &^ g.dir) }

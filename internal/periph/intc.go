@@ -1,0 +1,94 @@
+package periph
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Interrupt controller register offsets.
+const (
+	IntcEnable  = 0x00 // R/W: per-line enable mask
+	IntcPending = 0x04 // R: raw pending lines
+	IntcActive  = 0x08 // R: pending & enabled
+	IntcAck     = 0x0c // W: clear pending for written mask
+	IntcSrc     = 0x10 // R: lowest-numbered active line, or NoSource
+)
+
+// NoSource is read from IntcSrc when no enabled interrupt is pending.
+const NoSource = 0xffffffff
+
+// Intc is the interrupt controller. It masks the raw IrqHub lines and
+// presents the highest-priority (lowest-numbered) active line to the CPU.
+type Intc struct {
+	name   string
+	hub    *IrqHub
+	enable uint32
+}
+
+// NewIntc creates an interrupt controller over hub.
+func NewIntc(name string, hub *IrqHub) *Intc {
+	return &Intc{name: name, hub: hub}
+}
+
+// Name implements bus.Device.
+func (ic *Intc) Name() string { return ic.name }
+
+// Size implements bus.Device.
+func (ic *Intc) Size() uint32 { return 0x14 }
+
+// Tick implements bus.Device.
+func (ic *Intc) Tick(uint64) {}
+
+func (ic *Intc) active() uint32 { return ic.hub.Pending() & ic.enable }
+
+// Next returns the lowest-numbered active interrupt line, if any. CPU
+// cores call this between instructions when PSW.I is set.
+func (ic *Intc) Next() (line int, ok bool) {
+	act := ic.active()
+	if act == 0 {
+		return 0, false
+	}
+	for i := 0; i < isa.NumIRQs; i++ {
+		if act&(1<<uint(i)) != 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Read32 implements bus.Device.
+func (ic *Intc) Read32(off uint32) (uint32, error) {
+	switch off {
+	case IntcEnable:
+		return ic.enable, nil
+	case IntcPending:
+		return ic.hub.Pending(), nil
+	case IntcActive:
+		return ic.active(), nil
+	case IntcSrc:
+		if line, ok := ic.Next(); ok {
+			return uint32(line), nil
+		}
+		return NoSource, nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "intc: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (ic *Intc) Write32(off uint32, v uint32) error {
+	switch off {
+	case IntcEnable:
+		ic.enable = v & ((1 << isa.NumIRQs) - 1)
+		return nil
+	case IntcAck:
+		for i := 0; i < isa.NumIRQs; i++ {
+			if v&(1<<uint(i)) != 0 {
+				ic.hub.Clear(i)
+			}
+		}
+		return nil
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "intc: no such register"}
+	}
+}

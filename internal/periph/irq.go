@@ -1,0 +1,42 @@
+// Package periph implements the SC88 SoC's memory-mapped peripherals: the
+// test mailbox, UART, NVM controller, timer, interrupt controller,
+// watchdog, and GPIO block. Peripheral register layouts are the hardware
+// ground truth that the ADVM Global-Defines abstraction layer describes;
+// derivative-specific differences (field positions, widths, window bases)
+// are injected through the constructor parameters.
+package periph
+
+import "repro/internal/isa"
+
+// IrqHub collects interrupt requests from devices. The interrupt
+// controller device exposes masking and acknowledge on top of it, and CPU
+// cores poll it between instructions.
+type IrqHub struct {
+	pending uint32 // one bit per IRQ line
+	// WatchdogFired is latched by the watchdog on expiry; CPU cores take
+	// the non-maskable watchdog trap when set.
+	WatchdogFired bool
+}
+
+// Raise asserts the given IRQ line.
+func (h *IrqHub) Raise(line int) {
+	if line >= 0 && line < isa.NumIRQs {
+		h.pending |= 1 << uint(line)
+	}
+}
+
+// Clear deasserts the given IRQ line.
+func (h *IrqHub) Clear(line int) {
+	if line >= 0 && line < isa.NumIRQs {
+		h.pending &^= 1 << uint(line)
+	}
+}
+
+// Pending returns the raw pending bitmask.
+func (h *IrqHub) Pending() uint32 { return h.pending }
+
+// Reset clears all pending state.
+func (h *IrqHub) Reset() {
+	h.pending = 0
+	h.WatchdogFired = false
+}

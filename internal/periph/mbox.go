@@ -1,0 +1,91 @@
+package periph
+
+import (
+	"bytes"
+
+	"repro/internal/mem"
+)
+
+// Mailbox register offsets (word-aligned). The mailbox is the
+// self-checking test protocol's I/O port: a test reports PASS/FAIL by
+// writing a result code to MboxResult and then executing HALT. Because
+// product silicon offers no internal visibility, the mailbox is the only
+// observation channel guaranteed on every platform.
+const (
+	MboxResult  = 0x00 // W: test result code; latches Done
+	MboxMagic   = 0x04 // R: identification constant
+	MboxCharOut = 0x08 // W: low byte appended to the console stream
+	MboxCheckpt = 0x0c // W: scoreboard checkpoint value (appended)
+	MboxCount   = 0x10 // R: number of checkpoints recorded
+)
+
+// MagicValue is read back from MboxMagic ("SC88 ADVM" identification).
+const MagicValue = 0x5C88AD00
+
+// Result codes conventionally written to MboxResult by tests.
+const (
+	ResultPass = 0x600D // test passed
+	ResultFail = 0xBAD0 // test failed (low nibble may carry a site index)
+)
+
+// Mailbox is the test-result and console port.
+type Mailbox struct {
+	name        string
+	result      uint32
+	done        bool
+	console     bytes.Buffer
+	checkpoints []uint32
+}
+
+// NewMailbox creates a mailbox device.
+func NewMailbox() *Mailbox { return &Mailbox{name: "mbox"} }
+
+// Name implements bus.Device.
+func (m *Mailbox) Name() string { return m.name }
+
+// Size implements bus.Device.
+func (m *Mailbox) Size() uint32 { return 0x20 }
+
+// Tick implements bus.Device.
+func (m *Mailbox) Tick(uint64) {}
+
+// Read32 implements bus.Device.
+func (m *Mailbox) Read32(off uint32) (uint32, error) {
+	switch off {
+	case MboxResult:
+		return m.result, nil
+	case MboxMagic:
+		return MagicValue, nil
+	case MboxCount:
+		return uint32(len(m.checkpoints)), nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "mbox: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (m *Mailbox) Write32(off uint32, v uint32) error {
+	switch off {
+	case MboxResult:
+		m.result = v
+		m.done = true
+		return nil
+	case MboxCharOut:
+		m.console.WriteByte(byte(v))
+		return nil
+	case MboxCheckpt:
+		m.checkpoints = append(m.checkpoints, v)
+		return nil
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "mbox: no such register"}
+	}
+}
+
+// Result returns the reported result code and whether one was reported.
+func (m *Mailbox) Result() (uint32, bool) { return m.result, m.done }
+
+// Console returns everything written to the character-out port.
+func (m *Mailbox) Console() string { return m.console.String() }
+
+// Checkpoints returns the recorded scoreboard checkpoints.
+func (m *Mailbox) Checkpoints() []uint32 { return m.checkpoints }

@@ -1,0 +1,90 @@
+package periph
+
+import "repro/internal/mem"
+
+// MPU register offsets. The memory-protection unit is a chip-card
+// essential: once armed it blocks CPU writes inside [LO, HI] (inclusive),
+// turning them into bus faults. Like the watchdog, arming is sticky —
+// card firmware locks its secrets and the lock cannot be undone without
+// reset.
+const (
+	MpuLo   = 0x00 // R/W: first protected byte address
+	MpuHi   = 0x04 // R/W: last protected byte address
+	MpuCtrl = 0x08 // R/W: bit0 enable (sticky)
+	MpuStat = 0x0c // R: bit0 armed, bits[31:8] blocked-write count
+)
+
+// MpuCtrlEnable arms the unit.
+const MpuCtrlEnable = 1 << 0
+
+// Mpu is the memory-protection unit.
+type Mpu struct {
+	name    string
+	lo, hi  uint32
+	ctrl    uint32
+	blocked uint32
+}
+
+// NewMpu creates a disarmed MPU.
+func NewMpu(name string) *Mpu { return &Mpu{name: name} }
+
+// Name implements bus.Device.
+func (m *Mpu) Name() string { return m.name }
+
+// Size implements bus.Device.
+func (m *Mpu) Size() uint32 { return 0x10 }
+
+// Tick implements bus.Device.
+func (m *Mpu) Tick(uint64) {}
+
+// Read32 implements bus.Device.
+func (m *Mpu) Read32(off uint32) (uint32, error) {
+	switch off {
+	case MpuLo:
+		return m.lo, nil
+	case MpuHi:
+		return m.hi, nil
+	case MpuCtrl:
+		return m.ctrl, nil
+	case MpuStat:
+		return (m.blocked << 8) | (m.ctrl & 1), nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "mpu: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (m *Mpu) Write32(off uint32, v uint32) error {
+	switch off {
+	case MpuLo:
+		if m.ctrl&MpuCtrlEnable == 0 {
+			m.lo = v
+		}
+		return nil
+	case MpuHi:
+		if m.ctrl&MpuCtrlEnable == 0 {
+			m.hi = v
+		}
+		return nil
+	case MpuCtrl:
+		m.ctrl |= v & MpuCtrlEnable // sticky
+		return nil
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "mpu: read-only or no such register"}
+	}
+}
+
+// Check implements the bus write guard: an armed MPU faults writes that
+// touch the protected window.
+func (m *Mpu) Check(addr uint32, size int) error {
+	if m.ctrl&MpuCtrlEnable == 0 {
+		return nil
+	}
+	end := addr + uint32(size) - 1
+	if end >= m.lo && addr <= m.hi {
+		m.blocked++
+		return &mem.Fault{Addr: addr, Size: size, Kind: mem.AccessWrite,
+			Reason: "write blocked by memory-protection unit"}
+	}
+	return nil
+}

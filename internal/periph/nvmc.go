@@ -1,0 +1,246 @@
+package periph
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// NVM controller register offsets. The controller fronts the NVM array:
+// the array itself is directly readable as a memory region, but all
+// programming and erasing goes through these registers.
+//
+// PAGESEL carries the page-number bitfield whose position and width are
+// DERIVATIVE-SPECIFIC — this register is the hardware behind the paper's
+// Figure 6 example (PAGE_FIELD_START_POSITION / PAGE_FIELD_SIZE defines).
+const (
+	NvmCtrl    = 0x00 // W: command (1=program word, 2=erase page); R: last command
+	NvmStat    = 0x04 // R: status; W1C for Done and Err
+	NvmAddr    = 0x08 // R/W: byte offset into the NVM array for programming
+	NvmData    = 0x0c // R/W: word to program
+	NvmKey     = 0x10 // W: unlock sequence KeyA then KeyB
+	NvmPagesel = 0x14 // R/W: page-select register (derivative-specific field layout)
+)
+
+// NVM status bits.
+const (
+	NvmStBusy   = 1 << 0
+	NvmStDone   = 1 << 1
+	NvmStErr    = 1 << 2
+	NvmStLocked = 1 << 3
+)
+
+// NVM commands.
+const (
+	NvmCmdProgram = 1
+	NvmCmdErase   = 2
+)
+
+// Unlock key sequence values.
+const (
+	NvmKeyA = 0xA5A5
+	NvmKeyB = 0x5A5A
+)
+
+// NvmGeometry describes the derivative-specific shape of the NVM block.
+type NvmGeometry struct {
+	// PageSize is the erase-page size in bytes.
+	PageSize uint32
+	// PageFieldPos is the bit position of the page-number field in PAGESEL.
+	PageFieldPos uint8
+	// PageFieldWidth is the width in bits of the page-number field.
+	PageFieldWidth uint8
+	// ProgramCycles and EraseCycles are the busy durations.
+	ProgramCycles uint64
+	EraseCycles   uint64
+}
+
+// Pages returns the number of addressable pages.
+func (g NvmGeometry) Pages() uint32 { return 1 << g.PageFieldWidth }
+
+// Nvm is the non-volatile-memory controller device.
+type Nvm struct {
+	name    string
+	hub     *IrqHub
+	geom    NvmGeometry
+	array   *mem.Memory // the NVM array lives in a named region of this memory
+	region  string
+	base    uint32
+	size    uint32
+	cmd     uint32
+	stat    uint32
+	addr    uint32
+	data    uint32
+	pagesel uint32
+	keyStep int // 0 = locked, 1 = KeyA seen, 2 = unlocked
+	busy    uint64
+	pending func() // effect applied when busy reaches zero
+}
+
+// NewNvm creates the controller for the NVM region named region in m.
+func NewNvm(name string, hub *IrqHub, m *mem.Memory, region string, geom NvmGeometry) *Nvm {
+	var base, size uint32
+	for _, r := range m.Regions() {
+		if r.Name == region {
+			base, size = r.Base, r.Size
+		}
+	}
+	if size == 0 {
+		panic("periph: NVM region " + region + " not found")
+	}
+	n := &Nvm{name: name, hub: hub, geom: geom, array: m, region: region, base: base, size: size}
+	n.stat = NvmStLocked
+	return n
+}
+
+// Geometry returns the controller's geometry.
+func (n *Nvm) Geometry() NvmGeometry { return n.geom }
+
+// Name implements bus.Device.
+func (n *Nvm) Name() string { return n.name }
+
+// Size implements bus.Device.
+func (n *Nvm) Size() uint32 { return 0x18 }
+
+// SelectedPage decodes the page number from PAGESEL using the
+// derivative-specific field geometry.
+func (n *Nvm) SelectedPage() uint32 {
+	return isa.ExtractBitsU(n.pagesel, n.geom.PageFieldPos, n.geom.PageFieldWidth)
+}
+
+// Read32 implements bus.Device.
+func (n *Nvm) Read32(off uint32) (uint32, error) {
+	switch off {
+	case NvmCtrl:
+		return n.cmd, nil
+	case NvmStat:
+		return n.stat, nil
+	case NvmAddr:
+		return n.addr, nil
+	case NvmData:
+		return n.data, nil
+	case NvmPagesel:
+		return n.pagesel, nil
+	case NvmKey:
+		return 0, nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "nvmc: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (n *Nvm) Write32(off uint32, v uint32) error {
+	switch off {
+	case NvmKey:
+		switch {
+		case n.keyStep == 0 && v == NvmKeyA:
+			n.keyStep = 1
+		case n.keyStep == 1 && v == NvmKeyB:
+			n.keyStep = 2
+			n.stat &^= NvmStLocked
+		default:
+			n.keyStep = 0
+			n.stat |= NvmStLocked
+		}
+		return nil
+	case NvmAddr:
+		n.addr = v
+		return nil
+	case NvmData:
+		n.data = v
+		return nil
+	case NvmPagesel:
+		// Only the page-number field is implemented; reserved bits are
+		// not writable and read back as zero. The field's position and
+		// width are derivative-specific.
+		mask := (uint32(1)<<n.geom.PageFieldWidth - 1) << n.geom.PageFieldPos
+		n.pagesel = v & mask
+		return nil
+	case NvmStat:
+		n.stat &^= v & (NvmStDone | NvmStErr)
+		return nil
+	case NvmCtrl:
+		return n.command(v)
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "nvmc: no such register"}
+	}
+}
+
+func (n *Nvm) command(v uint32) error {
+	n.cmd = v
+	if n.stat&NvmStBusy != 0 {
+		n.stat |= NvmStErr
+		return nil
+	}
+	if n.keyStep != 2 {
+		n.stat |= NvmStErr | NvmStLocked
+		return nil
+	}
+	switch v {
+	case NvmCmdProgram:
+		if n.addr%4 != 0 || n.addr >= n.size {
+			n.stat |= NvmStErr
+			return nil
+		}
+		addr, data := n.base+n.addr, n.data
+		n.start(n.geom.ProgramCycles, func() {
+			// NVM programming can only clear bits; erase sets them.
+			old, _ := n.array.Read32(addr, mem.AccessRead)
+			n.array.SetRelaxed(true)
+			_ = n.array.Write32(addr, old&data)
+			n.array.SetRelaxed(false)
+		})
+	case NvmCmdErase:
+		page := n.SelectedPage()
+		start := page * n.geom.PageSize
+		if start >= n.size {
+			n.stat |= NvmStErr
+			return nil
+		}
+		end := start + n.geom.PageSize
+		if end > n.size {
+			end = n.size
+		}
+		base := n.base
+		n.start(n.geom.EraseCycles, func() {
+			n.array.SetRelaxed(true)
+			for a := start; a < end; a += 4 {
+				_ = n.array.Write32(base+a, 0xffffffff)
+			}
+			n.array.SetRelaxed(false)
+		})
+	default:
+		n.stat |= NvmStErr
+	}
+	return nil
+}
+
+func (n *Nvm) start(cycles uint64, effect func()) {
+	if cycles == 0 {
+		cycles = 1
+	}
+	n.busy = cycles
+	n.stat |= NvmStBusy
+	n.pending = effect
+	// A command consumes the unlock; the next one needs the key again.
+	n.keyStep = 0
+	n.stat |= NvmStLocked
+}
+
+// Tick implements bus.Device: counts down command busy time.
+func (n *Nvm) Tick(c uint64) {
+	if n.busy == 0 {
+		return
+	}
+	if c >= n.busy {
+		n.busy = 0
+		n.stat &^= NvmStBusy
+		n.stat |= NvmStDone
+		if n.pending != nil {
+			n.pending()
+			n.pending = nil
+		}
+		n.hub.Raise(isa.IRQNvm)
+		return
+	}
+	n.busy -= c
+}

@@ -1,0 +1,123 @@
+package periph
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Timer register offsets.
+const (
+	TimerCnt    = 0x00 // R: current count; W: load count
+	TimerReload = 0x04 // R/W: auto-reload value
+	TimerCtrl   = 0x08 // R/W: control
+	TimerStat   = 0x0c // R: status; W1C expired flag
+)
+
+// Timer control bits.
+const (
+	TimerCtrlEnable = 1 << 0
+	TimerCtrlIrqEn  = 1 << 1
+	TimerCtrlAuto   = 1 << 2 // auto-reload on expiry
+)
+
+// Timer status bits.
+const (
+	TimerStExpired = 1 << 0
+)
+
+// Timer is a 32-bit down-counter clocked by the bus clock.
+type Timer struct {
+	name   string
+	hub    *IrqHub
+	cnt    uint32
+	reload uint32
+	ctrl   uint32
+	stat   uint32
+}
+
+// NewTimer creates a timer raising interrupts on hub.
+func NewTimer(name string, hub *IrqHub) *Timer {
+	return &Timer{name: name, hub: hub}
+}
+
+// Name implements bus.Device.
+func (t *Timer) Name() string { return t.name }
+
+// Size implements bus.Device.
+func (t *Timer) Size() uint32 { return 0x10 }
+
+// Read32 implements bus.Device.
+func (t *Timer) Read32(off uint32) (uint32, error) {
+	switch off {
+	case TimerCnt:
+		return t.cnt, nil
+	case TimerReload:
+		return t.reload, nil
+	case TimerCtrl:
+		return t.ctrl, nil
+	case TimerStat:
+		return t.stat, nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "timer: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (t *Timer) Write32(off uint32, v uint32) error {
+	switch off {
+	case TimerCnt:
+		t.cnt = v
+		return nil
+	case TimerReload:
+		t.reload = v
+		return nil
+	case TimerCtrl:
+		t.ctrl = v & 7
+		return nil
+	case TimerStat:
+		t.stat &^= v & TimerStExpired
+		if t.stat&TimerStExpired == 0 {
+			t.hub.Clear(isa.IRQTimer)
+		}
+		return nil
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "timer: no such register"}
+	}
+}
+
+// Tick implements bus.Device.
+func (t *Timer) Tick(n uint64) {
+	if t.ctrl&TimerCtrlEnable == 0 {
+		return
+	}
+	for n > 0 {
+		if t.cnt == 0 {
+			if t.ctrl&TimerCtrlAuto == 0 {
+				return
+			}
+			t.cnt = t.reload
+			if t.cnt == 0 {
+				return
+			}
+		}
+		step := uint32(n)
+		if uint64(step) != n || step > t.cnt {
+			step = t.cnt
+		}
+		t.cnt -= step
+		n -= uint64(step)
+		if t.cnt == 0 {
+			t.expire()
+			if t.ctrl&TimerCtrlAuto == 0 {
+				return
+			}
+		}
+	}
+}
+
+func (t *Timer) expire() {
+	t.stat |= TimerStExpired
+	if t.ctrl&TimerCtrlIrqEn != 0 {
+		t.hub.Raise(isa.IRQTimer)
+	}
+}

@@ -1,0 +1,191 @@
+package periph
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// UART register offsets.
+const (
+	UartDR  = 0x00 // R: pop rx FIFO; W: push tx FIFO
+	UartSR  = 0x04 // R: status
+	UartCR  = 0x08 // R/W: control
+	UartBRR = 0x0c // R/W: baud-rate divider (cycles per byte / 10)
+)
+
+// UART status bits.
+const (
+	UartSrTxReady = 1 << 0 // tx FIFO has room
+	UartSrRxAvail = 1 << 1 // rx FIFO non-empty
+	UartSrTxIdle  = 1 << 2 // tx FIFO empty and shifter idle
+	UartSrOverrun = 1 << 3 // rx FIFO overflowed; cleared on SR read
+)
+
+// UART control bits.
+const (
+	UartCrEnable   = 1 << 0
+	UartCrTxIrqEn  = 1 << 1
+	UartCrRxIrqEn  = 1 << 2
+	UartCrLoopback = 1 << 3
+)
+
+// uartFifoDepth is the depth of both FIFOs.
+const uartFifoDepth = 8
+
+// Uart models a byte-oriented serial port (an ISO-7816-flavoured I/O
+// channel on a chip card). Transmission takes BRR*10 bus cycles per byte;
+// in loopback mode transmitted bytes re-enter the rx FIFO, which is how
+// directed tests exercise the receive path without an external host.
+type Uart struct {
+	name    string
+	hub     *IrqHub
+	cr, brr uint32
+	overrun bool
+	tx, rx  []byte
+	// shifting counts down the cycles remaining for the byte currently
+	// on the wire; 0 means the shifter is idle.
+	shifting uint64
+	shiftVal byte
+	// line collects bytes leaving the device when not in loopback.
+	line []byte
+}
+
+// NewUart creates a UART raising interrupts on hub.
+func NewUart(name string, hub *IrqHub) *Uart {
+	return &Uart{name: name, hub: hub, brr: 4}
+}
+
+// Name implements bus.Device.
+func (u *Uart) Name() string { return u.name }
+
+// Size implements bus.Device.
+func (u *Uart) Size() uint32 { return 0x10 }
+
+func (u *Uart) status() uint32 {
+	var s uint32
+	if len(u.tx) < uartFifoDepth {
+		s |= UartSrTxReady
+	}
+	if len(u.rx) > 0 {
+		s |= UartSrRxAvail
+	}
+	if len(u.tx) == 0 && u.shifting == 0 {
+		s |= UartSrTxIdle
+	}
+	if u.overrun {
+		s |= UartSrOverrun
+	}
+	return s
+}
+
+// Read32 implements bus.Device.
+func (u *Uart) Read32(off uint32) (uint32, error) {
+	switch off {
+	case UartDR:
+		if len(u.rx) == 0 {
+			return 0, nil
+		}
+		b := u.rx[0]
+		u.rx = u.rx[1:]
+		if len(u.rx) == 0 {
+			u.hub.Clear(isa.IRQUartRx)
+		}
+		return uint32(b), nil
+	case UartSR:
+		s := u.status()
+		u.overrun = false
+		return s, nil
+	case UartCR:
+		return u.cr, nil
+	case UartBRR:
+		return u.brr, nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "uart: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (u *Uart) Write32(off uint32, v uint32) error {
+	switch off {
+	case UartDR:
+		if u.cr&UartCrEnable == 0 {
+			return nil // writes to a disabled UART are dropped
+		}
+		if len(u.tx) < uartFifoDepth {
+			u.tx = append(u.tx, byte(v))
+		}
+		return nil
+	case UartCR:
+		u.cr = v & 0xf
+		return nil
+	case UartBRR:
+		if v == 0 {
+			v = 1
+		}
+		u.brr = v & 0xffff
+		return nil
+	case UartSR:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "uart: SR is read-only"}
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "uart: no such register"}
+	}
+}
+
+// Tick implements bus.Device: advances the transmit shifter.
+func (u *Uart) Tick(n uint64) {
+	if u.cr&UartCrEnable == 0 {
+		return
+	}
+	for n > 0 {
+		if u.shifting == 0 {
+			if len(u.tx) == 0 {
+				return
+			}
+			u.shiftVal = u.tx[0]
+			u.tx = u.tx[1:]
+			u.shifting = uint64(u.brr) * 10
+		}
+		step := n
+		if step > u.shifting {
+			step = u.shifting
+		}
+		u.shifting -= step
+		n -= step
+		if u.shifting == 0 {
+			u.deliver(u.shiftVal)
+			if len(u.tx) == 0 && u.cr&UartCrTxIrqEn != 0 {
+				u.hub.Raise(isa.IRQUartTx)
+			}
+		}
+	}
+}
+
+func (u *Uart) deliver(b byte) {
+	if u.cr&UartCrLoopback != 0 {
+		u.receive(b)
+		return
+	}
+	u.line = append(u.line, b)
+}
+
+func (u *Uart) receive(b byte) {
+	if len(u.rx) >= uartFifoDepth {
+		u.overrun = true
+		return
+	}
+	u.rx = append(u.rx, b)
+	if u.cr&UartCrRxIrqEn != 0 {
+		u.hub.Raise(isa.IRQUartRx)
+	}
+}
+
+// InjectRx delivers a byte from the external host into the rx FIFO, as if
+// received on the wire.
+func (u *Uart) InjectRx(b byte) { u.receive(b) }
+
+// Line returns and clears the bytes transmitted onto the external line.
+func (u *Uart) Line() []byte {
+	out := u.line
+	u.line = nil
+	return out
+}

@@ -1,0 +1,90 @@
+package periph
+
+import "repro/internal/mem"
+
+// Watchdog register offsets.
+const (
+	WdtCtrl    = 0x00 // R/W: control (bit0 enable)
+	WdtService = 0x04 // W: feed with WdtKey
+	WdtCount   = 0x08 // R: remaining cycles
+	WdtPeriod  = 0x0c // R/W: reload period
+)
+
+// WdtCtrlEnable starts the watchdog; once set it cannot be cleared
+// (chip-card watchdogs are one-way, a classic directed-test corner case).
+const WdtCtrlEnable = 1 << 0
+
+// WdtKey is the service (feed) key.
+const WdtKey = 0x5C
+
+// Wdt is the window-less watchdog timer. On expiry it latches the
+// non-maskable watchdog trap in the IrqHub.
+type Wdt struct {
+	name    string
+	hub     *IrqHub
+	ctrl    uint32
+	period  uint32
+	count   uint64
+	expired bool
+}
+
+// NewWdt creates a watchdog with the given default period in cycles.
+func NewWdt(name string, hub *IrqHub, period uint32) *Wdt {
+	return &Wdt{name: name, hub: hub, period: period, count: uint64(period)}
+}
+
+// Name implements bus.Device.
+func (w *Wdt) Name() string { return w.name }
+
+// Size implements bus.Device.
+func (w *Wdt) Size() uint32 { return 0x10 }
+
+// Read32 implements bus.Device.
+func (w *Wdt) Read32(off uint32) (uint32, error) {
+	switch off {
+	case WdtCtrl:
+		return w.ctrl, nil
+	case WdtCount:
+		return uint32(w.count), nil
+	case WdtPeriod:
+		return w.period, nil
+	default:
+		return 0, &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessRead, Reason: "wdt: no such register"}
+	}
+}
+
+// Write32 implements bus.Device.
+func (w *Wdt) Write32(off uint32, v uint32) error {
+	switch off {
+	case WdtCtrl:
+		w.ctrl |= v & WdtCtrlEnable // enable is sticky
+		return nil
+	case WdtService:
+		if v == WdtKey {
+			w.count = uint64(w.period)
+		}
+		return nil
+	case WdtPeriod:
+		w.period = v
+		if w.ctrl&WdtCtrlEnable == 0 {
+			w.count = uint64(v)
+		}
+		return nil
+	default:
+		return &mem.Fault{Addr: off, Size: 4, Kind: mem.AccessWrite, Reason: "wdt: no such register"}
+	}
+}
+
+// Tick implements bus.Device.
+func (w *Wdt) Tick(n uint64) {
+	if w.ctrl&WdtCtrlEnable == 0 || w.expired {
+		return
+	}
+	if n >= w.count {
+		w.count = 0
+		w.expired = true
+		w.hub.WatchdogFired = true
+		return
+	}
+	w.count -= n
+}

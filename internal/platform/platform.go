@@ -1,0 +1,219 @@
+// Package platform defines the common contract implemented by all six
+// SC88 execution platforms from the paper's Section 1 list: golden
+// reference model, HDL-RTL simulation, HDL gate-level simulation, hardware
+// accelerator, bondout silicon, and product silicon. The same linked test
+// image runs on every platform; what differs is timing fidelity, execution
+// speed, and how much internal state is observable.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+	"repro/internal/soc"
+)
+
+// Kind enumerates the platform classes.
+type Kind uint8
+
+// Platform kinds, in the paper's order.
+const (
+	KindGolden Kind = iota
+	KindRTL
+	KindGate
+	KindEmulator
+	KindBondout
+	KindSilicon
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGolden:
+		return "golden"
+	case KindRTL:
+		return "rtl"
+	case KindGate:
+		return "gate"
+	case KindEmulator:
+		return "emulator"
+	case KindBondout:
+		return "bondout"
+	case KindSilicon:
+		return "silicon"
+	}
+	return "platform?"
+}
+
+// Caps describes a platform's observability and debug capabilities.
+type Caps struct {
+	// Trace: per-instruction tracing is available.
+	Trace bool
+	// Breakpoints: DEBUG instructions and hardware breakpoints stop the run.
+	Breakpoints bool
+	// RegVisibility: final architectural register state is reported.
+	RegVisibility bool
+	// MemVisibility: memory can be inspected after the run.
+	MemVisibility bool
+	// CycleAccurate: reported cycle counts are cycle-true rather than
+	// approximate.
+	CycleAccurate bool
+}
+
+// ArchState is a snapshot of the architectural registers.
+type ArchState struct {
+	D, A    [16]uint32
+	PC, PSW uint32
+}
+
+// TraceRecord describes one executed instruction on a tracing platform.
+type TraceRecord struct {
+	PC     uint32
+	Disasm string
+	File   string
+	Line   int
+}
+
+// RunSpec bounds and instruments a run.
+type RunSpec struct {
+	// MaxInstructions stops the run after this many instructions
+	// (0 = default limit).
+	MaxInstructions uint64
+	// MaxCycles stops the run after this many cycles (0 = no limit).
+	MaxCycles uint64
+	// Trace receives per-instruction records on platforms with Caps.Trace.
+	Trace func(TraceRecord)
+}
+
+// DefaultMaxInstructions bounds runaway tests.
+const DefaultMaxInstructions = 2_000_000
+
+// StopReason says why a run ended.
+type StopReason string
+
+// Stop reasons.
+const (
+	StopHalt        StopReason = "halt"
+	StopMaxInsts    StopReason = "max-instructions"
+	StopMaxCycles   StopReason = "max-cycles"
+	StopBreakpoint  StopReason = "breakpoint"
+	StopUnhandled   StopReason = "unhandled-trap"
+	StopDoubleFault StopReason = "double-fault"
+)
+
+// Result is the outcome of one run.
+type Result struct {
+	Platform     string
+	Kind         Kind
+	Reason       StopReason
+	HaltCode     uint16
+	MboxResult   uint32
+	MboxDone     bool
+	Instructions uint64
+	Cycles       uint64
+	Console      string
+	Checkpoints  []uint32
+	// State is the final architectural state on platforms that expose it.
+	State *ArchState
+	// Detail carries extra context for abnormal stops (trap vector, fault).
+	Detail string
+}
+
+// Passed reports whether the test self-reported PASS through the mailbox
+// and the run ended with a clean halt — the only criterion available on
+// every platform including product silicon.
+func (r *Result) Passed() bool {
+	return r.Reason == StopHalt && r.MboxDone && r.MboxResult == passResult
+}
+
+// passResult mirrors periph.ResultPass without importing periph here.
+const passResult = 0x600D
+
+// Platform is one execution target.
+type Platform interface {
+	// Name identifies the instance (e.g. "rtl/SC88-B").
+	Name() string
+	// Kind is the platform class.
+	Kind() Kind
+	// Caps describes observability.
+	Caps() Caps
+	// SoC exposes the simulated chip for pin-level stimulus (UART
+	// injection, GPIO). Register-level visibility is still governed by
+	// Caps: product silicon exposes only its pins and the mailbox.
+	SoC() *soc.SoC
+	// Load resets the platform and loads a linked image.
+	Load(img *obj.Image) error
+	// Run executes until halt or a limit.
+	Run(spec RunSpec) (*Result, error)
+}
+
+// Factory builds a platform instance over a derivative hardware config.
+type Factory func(cfg soc.HWConfig) Platform
+
+var factories = map[Kind]Factory{}
+
+// Register installs a platform factory; platform packages call it from
+// init. Re-registering a kind panics.
+func Register(kind Kind, f Factory) {
+	if _, dup := factories[kind]; dup {
+		panic(fmt.Sprintf("platform: kind %s registered twice", kind))
+	}
+	factories[kind] = f
+}
+
+// New builds a platform of the given kind. It returns an error if the
+// kind's package has not been linked in.
+func New(kind Kind, cfg soc.HWConfig) (Platform, error) {
+	f, ok := factories[kind]
+	if !ok {
+		return nil, fmt.Errorf("platform: kind %s not registered", kind)
+	}
+	return f(cfg), nil
+}
+
+// AllKinds lists the registered kinds in the paper's order.
+func AllKinds() []Kind {
+	var out []Kind
+	for _, k := range []Kind{KindGolden, KindRTL, KindGate, KindEmulator, KindBondout, KindSilicon} {
+		if _, ok := factories[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Load initialises a SoC's memory from an image: segments are copied,
+// BSS is cleared. Shared by all platform implementations.
+func Load(s *soc.SoC, img *obj.Image) error {
+	for _, seg := range img.Segments {
+		if err := s.Mem.LoadBlob(seg.Addr, seg.Data); err != nil {
+			return fmt.Errorf("load segment at 0x%08x: %w", seg.Addr, err)
+		}
+	}
+	if img.BssSize > 0 {
+		zero := make([]byte, img.BssSize)
+		if err := s.Mem.LoadBlob(img.BssAddr, zero); err != nil {
+			return fmt.Errorf("clear bss at 0x%08x: %w", img.BssAddr, err)
+		}
+	}
+	return nil
+}
+
+// Macro returns the preprocessor symbol that selects this platform in
+// conditional assembly (the ADVM abstraction layer's platform control).
+func (k Kind) Macro() string {
+	switch k {
+	case KindGolden:
+		return "PLAT_GOLDEN"
+	case KindRTL:
+		return "PLAT_RTL"
+	case KindGate:
+		return "PLAT_GATE"
+	case KindEmulator:
+		return "PLAT_EMULATOR"
+	case KindBondout:
+		return "PLAT_BONDOUT"
+	case KindSilicon:
+		return "PLAT_SILICON"
+	}
+	return "PLAT_UNKNOWN"
+}

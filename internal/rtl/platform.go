@@ -1,0 +1,132 @@
+package rtl
+
+import (
+	"io"
+
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// Sim is the RTL simulation platform.
+type Sim struct {
+	name string
+	cfg  soc.HWConfig
+	cpu  *CPU
+	img  *obj.Image
+	alu  ALUBackend
+	kind platform.Kind
+	vcd  io.Writer
+}
+
+func init() {
+	platform.Register(platform.KindRTL, func(cfg soc.HWConfig) platform.Platform {
+		return NewSim(cfg)
+	})
+}
+
+// NewSim creates an RTL platform with the behavioural ALU backend.
+func NewSim(cfg soc.HWConfig) *Sim {
+	return &Sim{name: "rtl/" + cfg.Name, cfg: cfg, alu: DirectALU{}, kind: platform.KindRTL}
+}
+
+// NewSimWithALU creates an RTL-style platform with a custom ALU backend
+// and identity; the gate-level platform builds on this.
+func NewSimWithALU(name string, kind platform.Kind, cfg soc.HWConfig, alu ALUBackend) *Sim {
+	return &Sim{name: name, cfg: cfg, alu: alu, kind: kind}
+}
+
+// Name implements platform.Platform.
+func (s *Sim) Name() string { return s.name }
+
+// Kind implements platform.Platform.
+func (s *Sim) Kind() platform.Kind { return s.kind }
+
+// Caps implements platform.Platform.
+func (s *Sim) Caps() platform.Caps {
+	return platform.Caps{
+		Trace:         true,
+		Breakpoints:   false,
+		RegVisibility: true,
+		MemVisibility: true,
+		CycleAccurate: true,
+	}
+}
+
+// SoC implements platform.Platform.
+func (s *Sim) SoC() *soc.SoC {
+	if s.cpu == nil {
+		s.cpu = NewCPU(soc.New(s.cfg), s.alu)
+	}
+	return s.cpu.S
+}
+
+// CPU exposes the core for white-box inspection (waveforms, state).
+func (s *Sim) CPU() *CPU { return s.cpu }
+
+// SetVCD enables waveform dumping for the next Load/Run.
+func (s *Sim) SetVCD(w io.Writer) { s.vcd = w }
+
+// Load implements platform.Platform.
+func (s *Sim) Load(img *obj.Image) error {
+	sc := soc.New(s.cfg)
+	if err := platform.Load(sc, img); err != nil {
+		return err
+	}
+	s.cpu = NewCPU(sc, s.alu)
+	s.img = img
+	s.cpu.PC = img.Entry
+	s.cpu.SetSP(s.cfg.RamBase + s.cfg.RamSize - 16)
+	if s.vcd != nil {
+		s.cpu.Sim.StartVCD(s.vcd)
+	}
+	return nil
+}
+
+// Run implements platform.Platform.
+func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
+	c := s.cpu
+	maxInsts := spec.MaxInstructions
+	if maxInsts == 0 {
+		maxInsts = platform.DefaultMaxInstructions
+	}
+	res := &platform.Result{Platform: s.name, Kind: s.kind}
+	var lastTracedPC uint32 = 1 // unaligned: never a valid PC
+	for {
+		switch {
+		case c.Halted:
+			res.Reason = platform.StopHalt
+			res.HaltCode = c.HaltCode
+		case c.Unhandled:
+			res.Reason = platform.StopUnhandled
+			res.Detail = c.UnhandledAt
+		case c.DebugStop:
+			res.Reason = platform.StopBreakpoint
+		case c.Insts >= maxInsts:
+			res.Reason = platform.StopMaxInsts
+		case spec.MaxCycles > 0 && c.Cycles >= spec.MaxCycles:
+			res.Reason = platform.StopMaxCycles
+		}
+		if res.Reason != "" {
+			break
+		}
+		if spec.Trace != nil && c.state == stFetch && c.PC != lastTracedPC {
+			lastTracedPC = c.PC
+			rec := platform.TraceRecord{PC: c.PC}
+			if s.img != nil {
+				rec.File, rec.Line, _ = s.img.SourceAt(c.PC)
+			}
+			spec.Trace(rec)
+		}
+		if err := c.Clk.Cycles(1); err != nil {
+			return nil, err
+		}
+	}
+	res.Instructions = c.Insts
+	res.Cycles = c.Cycles
+	res.MboxResult, res.MboxDone = c.S.Mbox.Result()
+	res.Console = c.S.Mbox.Console()
+	res.Checkpoints = c.S.Mbox.Checkpoints()
+	res.State = &platform.ArchState{D: c.D, A: c.A, PC: c.PC, PSW: c.PSW}
+	return res, nil
+}

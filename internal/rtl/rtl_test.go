@@ -1,0 +1,244 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/platform"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+)
+
+func runRTL(t *testing.T, src string) *platform.Result {
+	t.Helper()
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(cfg)
+	if err := s.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runBoth(t *testing.T, src string) (*platform.Result, *platform.Result) {
+	t.Helper()
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := golden.NewModel(cfg)
+	if err := g.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	gres, err := g.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewSim(cfg)
+	if err := r.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	rres, err := r.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gres, rres
+}
+
+// checkEquivalent asserts the two platforms agree on everything
+// architecturally observable.
+func checkEquivalent(t *testing.T, gres, rres *platform.Result) {
+	t.Helper()
+	if gres.Reason != rres.Reason {
+		t.Fatalf("stop reason: golden=%s rtl=%s (%s)", gres.Reason, rres.Reason, rres.Detail)
+	}
+	if gres.MboxResult != rres.MboxResult || gres.MboxDone != rres.MboxDone {
+		t.Fatalf("mbox: golden=%#x/%v rtl=%#x/%v", gres.MboxResult, gres.MboxDone, rres.MboxResult, rres.MboxDone)
+	}
+	if gres.Console != rres.Console {
+		t.Fatalf("console: golden=%q rtl=%q", gres.Console, rres.Console)
+	}
+	if gres.State != nil && rres.State != nil {
+		if gres.State.D != rres.State.D {
+			t.Fatalf("D regs diverge:\n golden %v\n rtl    %v", gres.State.D, rres.State.D)
+		}
+		if gres.State.A != rres.State.A {
+			t.Fatalf("A regs diverge:\n golden %v\n rtl    %v", gres.State.A, rres.State.A)
+		}
+		if gres.State.PSW != rres.State.PSW {
+			t.Fatalf("PSW diverges: golden %#x rtl %#x", gres.State.PSW, rres.State.PSW)
+		}
+	}
+}
+
+func TestCrossCheckArith(t *testing.T) {
+	g, r := runBoth(t, testprog.ArithProgram)
+	if !g.Passed() || !r.Passed() {
+		t.Fatalf("pass: golden=%v rtl=%v (%s)", g.Passed(), r.Passed(), r.Detail)
+	}
+	checkEquivalent(t, g, r)
+}
+
+func TestCrossCheckBitfield(t *testing.T) {
+	g, r := runBoth(t, testprog.BitfieldProgram)
+	checkEquivalent(t, g, r)
+	if !r.Passed() {
+		t.Fatal("bitfield program failed on RTL")
+	}
+}
+
+func TestCrossCheckMem(t *testing.T) {
+	g, r := runBoth(t, testprog.MemProgram)
+	checkEquivalent(t, g, r)
+	if !r.Passed() {
+		t.Fatal("mem program failed on RTL")
+	}
+}
+
+func TestRTLIsCycleAccurateAndSlower(t *testing.T) {
+	g, r := runBoth(t, testprog.LoopProgram(500))
+	checkEquivalent(t, g, r)
+	if r.Instructions != g.Instructions {
+		t.Errorf("instruction counts differ: golden=%d rtl=%d", g.Instructions, r.Instructions)
+	}
+	// The multi-cycle FSM must charge strictly more cycles per
+	// instruction than the golden model's approximation.
+	if r.Cycles <= g.Cycles {
+		t.Errorf("RTL cycles (%d) should exceed golden cycles (%d)", r.Cycles, g.Cycles)
+	}
+	if r.Cycles < 4*r.Instructions {
+		t.Errorf("multi-cycle CPU: %d cycles for %d instructions is too few", r.Cycles, r.Instructions)
+	}
+}
+
+func TestRTLTrapsAndInterrupts(t *testing.T) {
+	// The golden suite's trap/timer programs must behave identically.
+	src := `
+TIMER .EQU 0x80003000
+INTC .EQU 0x80004000
+VEC .EQU 0x20000200
+_main:
+    LOAD a0, VEC
+    LOAD d0, tick
+    STORE [a0+32], d0
+    LOAD d1, VEC
+    MTCR 1, d1
+    LOAD a1, INTC
+    LOAD d2, 1
+    STORE [a1+0], d2
+    LOAD a2, TIMER
+    LOAD d3, 50
+    STORE [a2+0], d3
+    LOAD d4, 3
+    STORE [a2+8], d4
+    MFCR d5, 0
+    OR d5, d5, 16
+    MTCR 0, d5
+    LOAD d6, 0
+spin:
+    ADD d6, d6, 1
+    LOAD d7, 100000
+    BLT d6, d7, spin
+    JMP fail
+tick:
+    LOAD a3, TIMER
+    LOAD d8, 1
+    STORE [a3+12], d8
+    JMP pass
+` + testprog.PassTail
+	g, r := runBoth(t, src)
+	if !g.Passed() || !r.Passed() {
+		t.Fatalf("timer: golden=%v rtl=%v (%s)", g.Passed(), r.Passed(), r.Detail)
+	}
+}
+
+func TestRTLUnhandledTrap(t *testing.T) {
+	res := runRTL(t, `
+_main:
+    LOAD d9, 0x2000f000
+    MTCR 1, d9
+    TRAP 1
+    JMP pass
+`+testprog.PassTail)
+	if res.Reason != platform.StopUnhandled {
+		t.Fatalf("reason = %s", res.Reason)
+	}
+	if !strings.Contains(res.Detail, "vector 4") {
+		t.Errorf("detail = %q", res.Detail)
+	}
+}
+
+func TestRTLWaveformDump(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.LoopProgram(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(cfg)
+	var sb strings.Builder
+	s.SetVCD(&sb)
+	if err := s.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(platform.RunSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	vcd := sb.String()
+	for _, want := range []string{"$var wire 1 ", "clk", "pc", "state", "$enddefinitions"} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	if strings.Count(vcd, "#") < 10 {
+		t.Error("VCD has too few time steps")
+	}
+}
+
+func TestRTLMaxCycles(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": "_main:\n JMP _main\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(cfg)
+	if err := s.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(platform.RunSpec{MaxCycles: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != platform.StopMaxCycles {
+		t.Errorf("reason = %s", res.Reason)
+	}
+	if res.Cycles < 200 || res.Cycles > 210 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestDirectALUPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for MUL through ALU backend")
+		}
+	}()
+	DirectALU{}.Execute(42, 1, 2)
+}
+
+func TestAllOpsCrossCheck(t *testing.T) {
+	// Every opcode, golden vs RTL, same verdict and final state.
+	g, r := runBoth(t, testprog.AllOpsProgram)
+	if !g.Passed() || !r.Passed() {
+		t.Fatalf("all-ops: golden=%v rtl=%v (%s | %s)", g.Passed(), r.Passed(), g.Detail, r.Detail)
+	}
+	checkEquivalent(t, g, r)
+}

@@ -1,0 +1,62 @@
+// Package silicon implements the product-silicon platform: the final
+// customer chip. Debug features are fused off — no trace, no breakpoints
+// (DEBUG retires as a NOP), no register or memory visibility. The only
+// observation channels are the chip's pins and the test mailbox, which is
+// why every directed test in the ADVM suite must be self-checking.
+package silicon
+
+import (
+	"repro/internal/golden"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+func init() {
+	platform.Register(platform.KindSilicon, func(cfg soc.HWConfig) platform.Platform {
+		return New(cfg)
+	})
+}
+
+// Chip is a product-silicon device.
+type Chip struct {
+	core *golden.Core
+	name string
+}
+
+// New creates a product-silicon platform.
+func New(cfg soc.HWConfig) *Chip {
+	return &Chip{core: golden.NewCore(soc.New(cfg)), name: "silicon/" + cfg.Name}
+}
+
+// Name implements platform.Platform.
+func (c *Chip) Name() string { return c.name }
+
+// Kind implements platform.Platform.
+func (c *Chip) Kind() platform.Kind { return platform.KindSilicon }
+
+// Caps implements platform.Platform.
+func (c *Chip) Caps() platform.Caps { return platform.Caps{} }
+
+// SoC implements platform.Platform: product silicon exposes its pins
+// (UART, GPIO) — the SoC handle is the pin interface.
+func (c *Chip) SoC() *soc.SoC { return c.core.S }
+
+// Load implements platform.Platform (the production programmer writes the
+// ROM/NVM images).
+func (c *Chip) Load(img *obj.Image) error {
+	c.core = golden.NewCore(soc.New(c.core.S.Cfg))
+	return c.core.LoadImage(img)
+}
+
+// Run implements platform.Platform.
+func (c *Chip) Run(spec platform.RunSpec) (*platform.Result, error) {
+	spec.Trace = nil // no trace port on product silicon
+	res, err := golden.RunCore(c.core, c.name, platform.KindSilicon, c.Caps(), spec)
+	if err != nil {
+		return nil, err
+	}
+	// Fused-off visibility: strip everything not observable on pins.
+	res.State = nil
+	return res, nil
+}

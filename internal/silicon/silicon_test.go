@@ -1,0 +1,108 @@
+package silicon
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+)
+
+func TestSiliconRunsSelfCheckingTests(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.ArithProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg)
+	if err := c.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("arith failed on silicon: %+v", res)
+	}
+	if res.State != nil {
+		t.Error("product silicon must not expose register state")
+	}
+	caps := c.Caps()
+	if caps.Trace || caps.Breakpoints || caps.RegVisibility || caps.MemVisibility {
+		t.Errorf("debug features must be fused off: %+v", caps)
+	}
+}
+
+func TestSiliconDebugFusedOff(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": `
+_main:
+    DEBUG
+    JMP pass
+` + testprog.PassTail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg)
+	if err := c.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(platform.RunSpec{Trace: func(platform.TraceRecord) {
+		t.Error("silicon produced a trace record")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("DEBUG must retire as NOP on silicon: %+v", res)
+	}
+}
+
+func TestSiliconPinsStillWork(t *testing.T) {
+	// The only stimulus channels are pins: inject a UART byte and have
+	// the test echo it back; observe the line output.
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": `
+UART .EQU 0x80001000
+_main:
+    LOAD a0, UART
+    LOAD d0, 1
+    STORE [a0+8], d0     ; enable
+    LOAD d1, 1
+    STORE [a0+12], d1    ; fast baud
+rxwait:
+    LOAD d2, [a0+4]
+    AND d3, d2, 2
+    LOAD d4, 2
+    BNE d3, d4, rxwait
+    LOAD d5, [a0+0]      ; read byte
+    ADD d5, d5, 1        ; transform
+    STORE [a0+0], d5     ; echo+1
+txwait:
+    LOAD d2, [a0+4]
+    AND d3, d2, 4        ; TXIDLE
+    LOAD d4, 4
+    BNE d3, d4, txwait
+    JMP pass
+` + testprog.PassTail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg)
+	if err := c.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	c.SoC().Uart.InjectRx('A')
+	res, err := c.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("echo failed: %+v", res)
+	}
+	line := c.SoC().Uart.Line()
+	if len(line) != 1 || line[0] != 'B' {
+		t.Errorf("line = %q, want \"B\"", line)
+	}
+}

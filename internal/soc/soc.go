@@ -1,0 +1,141 @@
+// Package soc assembles the SC88 system-on-chip: memory map, bus, and
+// peripheral set, parameterised by a hardware configuration. Derivatives
+// of the chip (the paper's SLE88 family members) differ only in their
+// HWConfig — relocated peripheral windows, resized NVM page fields, wider
+// memories — which is exactly the change surface the ADVM abstraction
+// layer is designed to absorb.
+package soc
+
+import (
+	"repro/internal/bus"
+	"repro/internal/mem"
+	"repro/internal/periph"
+)
+
+// HWConfig is the hardware ground truth for one chip derivative.
+type HWConfig struct {
+	// Name identifies the derivative (e.g. "SC88-A").
+	Name string
+	// DerivID is readable by software through the DERIVID core register.
+	DerivID uint32
+
+	// Memory map.
+	RomBase, RomSize uint32
+	RamBase, RamSize uint32
+	NvmBase, NvmSize uint32
+
+	// Peripheral window bases (absolute addresses).
+	MboxBase  uint32
+	UartBase  uint32
+	NvmcBase  uint32
+	TimerBase uint32
+	IntcBase  uint32
+	WdtBase   uint32
+	GpioBase  uint32
+	MpuBase   uint32
+
+	// Nvm is the derivative-specific NVM geometry (the Figure 6 field).
+	Nvm periph.NvmGeometry
+
+	// WdtPeriod is the watchdog default period in cycles.
+	WdtPeriod uint32
+
+	// Wait states per region name; zero-value entries fall back to the
+	// bus default.
+	RomWait, RamWait, NvmWait uint64
+}
+
+// DefaultConfig returns the SC88-A baseline hardware configuration.
+func DefaultConfig() HWConfig {
+	return HWConfig{
+		Name:      "SC88-A",
+		DerivID:   0xA0,
+		RomBase:   0x0000_0000,
+		RomSize:   128 << 10,
+		RamBase:   0x2000_0000,
+		RamSize:   64 << 10,
+		NvmBase:   0x4000_0000,
+		NvmSize:   128 << 10,
+		MboxBase:  0x8000_0000,
+		UartBase:  0x8000_1000,
+		NvmcBase:  0x8000_2000,
+		TimerBase: 0x8000_3000,
+		IntcBase:  0x8000_4000,
+		WdtBase:   0x8000_5000,
+		GpioBase:  0x8000_6000,
+		MpuBase:   0x8000_7000,
+		Nvm: periph.NvmGeometry{
+			PageSize:       512,
+			PageFieldPos:   0,
+			PageFieldWidth: 5,
+			ProgramCycles:  24,
+			EraseCycles:    96,
+		},
+		WdtPeriod: 1 << 20,
+		RomWait:   1,
+		RamWait:   1,
+		NvmWait:   3,
+	}
+}
+
+// Region names used in the memory map.
+const (
+	RegionRom = "rom"
+	RegionRam = "ram"
+	RegionNvm = "nvm"
+)
+
+// SoC is an instantiated SC88 system.
+type SoC struct {
+	Cfg   HWConfig
+	Mem   *mem.Memory
+	Bus   *bus.Bus
+	Hub   *periph.IrqHub
+	Mbox  *periph.Mailbox
+	Uart  *periph.Uart
+	Nvmc  *periph.Nvm
+	Timer *periph.Timer
+	Intc  *periph.Intc
+	Wdt   *periph.Wdt
+	Gpio  *periph.Gpio
+	Mpu   *periph.Mpu
+}
+
+// New builds a SoC from the configuration.
+func New(cfg HWConfig) *SoC {
+	m := &mem.Memory{}
+	m.AddRegion(RegionRom, cfg.RomBase, cfg.RomSize, mem.PermRead|mem.PermExec)
+	m.AddRegion(RegionRam, cfg.RamBase, cfg.RamSize, mem.PermRead|mem.PermWrite|mem.PermExec)
+	m.AddRegion(RegionNvm, cfg.NvmBase, cfg.NvmSize, mem.PermRead)
+
+	b := bus.New(m)
+	b.SetWait(RegionRom, cfg.RomWait)
+	b.SetWait(RegionRam, cfg.RamWait)
+	b.SetWait(RegionNvm, cfg.NvmWait)
+
+	hub := &periph.IrqHub{}
+	s := &SoC{
+		Cfg:   cfg,
+		Mem:   m,
+		Bus:   b,
+		Hub:   hub,
+		Mbox:  periph.NewMailbox(),
+		Uart:  periph.NewUart("uart0", hub),
+		Nvmc:  periph.NewNvm("nvmc", hub, m, RegionNvm, cfg.Nvm),
+		Timer: periph.NewTimer("timer0", hub),
+		Intc:  periph.NewIntc("intc", hub),
+		Wdt:   periph.NewWdt("wdt", hub, cfg.WdtPeriod),
+		Gpio:  periph.NewGpio("gpio", hub),
+		Mpu:   periph.NewMpu("mpu"),
+	}
+	b.Attach(cfg.MboxBase, s.Mbox)
+	b.Attach(cfg.UartBase, s.Uart)
+	b.Attach(cfg.NvmcBase, s.Nvmc)
+	b.Attach(cfg.TimerBase, s.Timer)
+	b.Attach(cfg.IntcBase, s.Intc)
+	b.Attach(cfg.WdtBase, s.Wdt)
+	b.Attach(cfg.GpioBase, s.Gpio)
+	b.Attach(cfg.MpuBase, s.Mpu)
+	b.SetWriteGuard(s.Mpu.Check)
+	return s
+}

@@ -1,0 +1,56 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestDefaultConfigMapIsConsistent(t *testing.T) {
+	s := New(DefaultConfig())
+	// All three memory regions exist with the right permissions.
+	rom := s.Mem.FindRegion(s.Cfg.RomBase)
+	if rom == nil || rom.Perm&mem.PermWrite != 0 || rom.Perm&mem.PermExec == 0 {
+		t.Errorf("rom region: %+v", rom)
+	}
+	ram := s.Mem.FindRegion(s.Cfg.RamBase)
+	if ram == nil || ram.Perm&mem.PermWrite == 0 {
+		t.Errorf("ram region: %+v", ram)
+	}
+	nvm := s.Mem.FindRegion(s.Cfg.NvmBase)
+	if nvm == nil || nvm.Perm&mem.PermWrite != 0 {
+		t.Errorf("nvm must not be directly writable: %+v", nvm)
+	}
+	// All eight peripherals are attached.
+	if got := len(s.Bus.Devices()); got != 8 {
+		t.Errorf("devices = %d, want 8", got)
+	}
+	// Mailbox is reachable through the bus at its configured base.
+	v, err := s.Bus.Read32(s.Cfg.MboxBase+0x04, mem.AccessRead)
+	if err != nil || v == 0 {
+		t.Errorf("mbox magic via bus: %#x %v", v, err)
+	}
+}
+
+func TestDerivativeRelocationChangesRouting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UartBase = 0x8001_0000
+	s := New(cfg)
+	// Old address is unmapped; new one routes to the UART.
+	if _, err := s.Bus.Read32(0x8000_1000, mem.AccessRead); err == nil {
+		t.Error("old UART window should be unmapped")
+	}
+	if _, err := s.Bus.Read32(0x8001_0004, mem.AccessRead); err != nil {
+		t.Errorf("relocated UART SR: %v", err)
+	}
+}
+
+func TestNvmGeometryFlowsThrough(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nvm.PageFieldPos = 1
+	cfg.Nvm.PageFieldWidth = 6
+	s := New(cfg)
+	if s.Nvmc.Geometry().PageFieldPos != 1 || s.Nvmc.Geometry().PageFieldWidth != 6 {
+		t.Errorf("geometry not applied: %+v", s.Nvmc.Geometry())
+	}
+}

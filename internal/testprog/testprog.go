@@ -1,0 +1,411 @@
+// Package testprog provides assembly/link helpers and canned SC88 test
+// programs shared by the platform test suites and benchmarks.
+package testprog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+	"repro/internal/soc"
+)
+
+// Build assembles every ".asm" file in sources (resolving includes from
+// the same map) and links them for the given hardware config.
+func Build(cfg soc.HWConfig, defines map[string]string, sources map[string]string) (*obj.Image, error) {
+	fs := asm.MapFS(sources)
+	var objects []*obj.Object
+	for _, name := range fs.Files() {
+		if !strings.HasSuffix(name, ".asm") {
+			continue
+		}
+		o, err := asm.Assemble(name, sources[name], asm.Options{Defines: defines, Resolver: fs})
+		if err != nil {
+			return nil, fmt.Errorf("assemble %s: %w", name, err)
+		}
+		objects = append(objects, o)
+	}
+	return obj.Link(obj.LinkConfig{TextBase: cfg.RomBase, DataBase: cfg.RamBase}, objects...)
+}
+
+// MustBuild is Build that panics on error, for benchmarks and examples.
+func MustBuild(cfg soc.HWConfig, defines map[string]string, sources map[string]string) *obj.Image {
+	img, err := Build(cfg, defines, sources)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// PassTail is the canonical self-checking epilogue: report PASS or FAIL
+// through the mailbox, then halt.
+const PassTail = `
+pass:
+    LOAD d15, 0x600D
+    STORE [0x80000000], d15
+    HALT
+fail:
+    LOAD d15, 0xBAD0
+    STORE [0x80000000], d15
+    HALT
+`
+
+// ArithProgram exercises ALU operations, branches, and calls; it passes
+// on a correct implementation.
+const ArithProgram = `
+_main:
+    LOAD d0, 6
+    LOAD d1, 7
+    MUL d2, d0, d1
+    LOAD d3, 42
+    BNE d2, d3, fail
+    ADD d4, d2, d2
+    LOAD d5, 84
+    BNE d4, d5, fail
+    SUB d6, d4, 80
+    LOAD d7, 4
+    BNE d6, d7, fail
+    AND d8, d2, 0x0f
+    LOAD d9, 10
+    BNE d8, d9, fail
+    OR d8, d8, 0x30
+    LOAD d9, 0x3a
+    BNE d8, d9, fail
+    XOR d8, d8, d8
+    LOAD d9, 0
+    BNE d8, d9, fail
+    LOAD d0, 1
+    SHL d0, d0, 12
+    LOAD d1, 0x1000
+    BNE d0, d1, fail
+    SHR d0, d0, 4
+    LOAD d1, 0x100
+    BNE d0, d1, fail
+    LOAD d0, 0x80000000
+    SAR d0, d0, 31
+    LOAD d1, 0xFFFFFFFF
+    BNE d0, d1, fail
+    LOAD d0, 100
+    LOAD d1, 7
+    DIV d2, d0, d1
+    LOAD d3, 14
+    BNE d2, d3, fail
+    REM d2, d0, d1
+    LOAD d3, 2
+    BNE d2, d3, fail
+    CALL helper
+    LOAD d3, 99
+    BNE d0, d3, fail
+    JMP pass
+helper:
+    LOAD d0, 99
+    RET
+` + PassTail
+
+// BitfieldProgram exercises INSERT/EXTRACT (the Figure 6 operations).
+const BitfieldProgram = `
+_main:
+    LOAD d14, 0
+    INSERT d14, d14, 8, 0, 5
+    LOAD d2, 8
+    BNE d14, d2, fail
+    INSERT d14, d14, 5, 8, 4
+    EXTRU d3, d14, 8, 4
+    LOAD d4, 5
+    BNE d3, d4, fail
+    LOAD d5, 0xF0
+    INSERT d14, d14, d5, 16, 8
+    EXTRU d6, d14, 16, 8
+    LOAD d7, 0xF0
+    BNE d6, d7, fail
+    EXTRS d8, d14, 16, 8
+    LOAD d9, 0xFFFFFFF0
+    BNE d8, d9, fail
+    JMP pass
+` + PassTail
+
+// MemProgram exercises loads/stores of all widths against RAM and data.
+const MemProgram = `
+_main:
+    LOAD a0, buf
+    LOAD d0, 0x12345678
+    STORE [a0], d0
+    LOAD d1, [a0+0]
+    BNE d1, d0, fail
+    LDB d2, [a0+3]
+    LOAD d3, 0x12
+    BNE d2, d3, fail
+    LDH d4, [a0+0]
+    LOAD d5, 0x5678
+    BNE d4, d5, fail
+    LOAD d6, 0xAB
+    STB [a0+1], d6
+    LOAD d7, [a0+0]
+    LOAD d8, 0x1234AB78
+    BNE d7, d8, fail
+    LOAD a1, words
+    LOAD d9, [a1+4]
+    LOAD d10, 222
+    BNE d9, d10, fail
+    JMP pass
+` + PassTail + `
+.SECTION data
+words:
+    .WORD 111, 222, 333
+.SECTION bss
+buf:
+    .SPACE 16
+`
+
+// LoopProgram runs a counted loop; used for timing ladders.
+func LoopProgram(iterations int) string {
+	return fmt.Sprintf(`
+_main:
+    LOAD d0, 0
+    LOAD d1, %d
+loop:
+    ADD d0, d0, 1
+    BLT d0, d1, loop
+    BNE d0, d1, fail
+    JMP pass
+`, iterations) + PassTail
+}
+
+// AllOpsProgram exercises every SC88 opcode at least once (TRAP/RFE via a
+// RAM vector table), self-checking throughout. Platform test suites use
+// it to close ISA coverage on each implementation.
+const AllOpsProgram = `
+VEC .EQU 0x2000F000
+_main:
+    NOP
+    DEBUG               ; NOP except on bondout
+    ; vector table for the TRAP test
+    LOAD a0, VEC
+    LOAD d0, trap_handler
+    STORE [a0+16], d0   ; vector 4 = syscall
+    LOAD d1, VEC
+    MTCR 1, d1
+    ; data moves
+    LOAD d0, 0x1234
+    MOVHI d1, 0x5678
+    LOAD d2, 0x56780000
+    BNE d1, d2, fail
+    MOV d3, d0
+    BNE d3, d0, fail
+    MOVAD a2, d0
+    MOVA a3, a2
+    MOVDA d4, a3
+    BNE d4, d0, fail
+    LEA a4, buf
+    LEAO a5, a4, 8
+    ; stores of all widths
+    LOAD d5, 0xA1B2C3D4
+    STORE [a4], d5
+    STW [a4+4], d5
+    STH [a4+8], d5
+    STB [a4+10], d5
+    STA [a4+12], a2
+    STORE [0x20000F00], d5    ; STWX
+    ; loads of all widths
+    LOAD d6, [a4]
+    BNE d6, d5, fail
+    LDW d6, [a4+4]
+    BNE d6, d5, fail
+    LDH d7, [a4+8]
+    LOAD d8, 0xFFFFC3D4
+    BNE d7, d8, fail
+    LDHU d7, [a4+8]
+    LOAD d8, 0xC3D4
+    BNE d7, d8, fail
+    LDB d7, [a4+10]
+    LOAD d8, 0xFFFFFFD4
+    BNE d7, d8, fail
+    LDBU d7, [a4+10]
+    LOAD d8, 0xD4
+    BNE d7, d8, fail
+    LDA a6, [a4+12]
+    MOVDA d7, a6
+    BNE d7, d0, fail
+    LDWX d7, [0x20000F00]
+    BNE d7, d5, fail
+    ; ALU register forms
+    LOAD d0, 12
+    LOAD d1, 5
+    ADD d2, d0, d1
+    SUB d2, d2, d1
+    BNE d2, d0, fail
+    AND d3, d0, d1
+    LOAD d4, 4
+    BNE d3, d4, fail
+    OR d3, d0, d1
+    LOAD d4, 13
+    BNE d3, d4, fail
+    XOR d3, d0, d0
+    LOAD d4, 0
+    BNE d3, d4, fail
+    LOAD d3, 1
+    SHL d3, d3, d1
+    LOAD d4, 32
+    BNE d3, d4, fail
+    SHR d3, d3, d1
+    LOAD d4, 1
+    BNE d3, d4, fail
+    LOAD d3, 0x80000000
+    LOAD d4, 31
+    SAR d3, d3, d4
+    LOAD d4, 0xFFFFFFFF
+    BNE d3, d4, fail
+    MUL d3, d0, d1
+    LOAD d4, 60
+    BNE d3, d4, fail
+    DIV d3, d3, d1
+    BNE d3, d0, fail
+    LOAD d3, 13
+    REM d3, d3, d1
+    LOAD d4, 3
+    BNE d3, d4, fail
+    CMP d0, d0
+    MFCR d3, 0
+    AND d3, d3, 1       ; Z set
+    LOAD d4, 1
+    BNE d3, d4, fail
+    ; ALU immediate forms
+    ADD d3, d0, 3
+    LOAD d4, 15
+    BNE d3, d4, fail
+    AND d3, d0, 0xC
+    LOAD d4, 12
+    BNE d3, d4, fail
+    OR d3, d0, 3
+    LOAD d4, 15
+    BNE d3, d4, fail
+    XOR d3, d0, 0xF
+    LOAD d4, 3
+    BNE d3, d4, fail
+    LOAD d3, 1
+    SHL d3, d3, 4
+    LOAD d4, 16
+    BNE d3, d4, fail
+    SHR d3, d3, 4
+    LOAD d4, 1
+    BNE d3, d4, fail
+    LOAD d3, 0x80000000
+    SAR d3, d3, 31
+    LOAD d4, 0xFFFFFFFF
+    BNE d3, d4, fail
+    MUL d3, d0, 2
+    LOAD d4, 24
+    BNE d3, d4, fail
+    CMP d0, 12
+    MFCR d3, 0
+    AND d3, d3, 1
+    LOAD d4, 1
+    BNE d3, d4, fail
+    ; bitfields
+    LOAD d3, 0
+    INSERT d3, d3, 0x1F, 4, 5
+    LOAD d4, 0x1F0
+    BNE d3, d4, fail
+    LOAD d5, 3
+    INSERT d3, d3, d5, 0, 2
+    LOAD d4, 0x1F3
+    BNE d3, d4, fail
+    EXTRU d6, d3, 4, 5
+    LOAD d4, 0x1F
+    BNE d6, d4, fail
+    EXTRS d6, d3, 4, 5
+    LOAD d4, 0xFFFFFFFF
+    BNE d6, d4, fail
+    ; control flow
+    CALL sub1
+    LOAD d4, 99
+    BNE d0, d4, fail
+    LOAD a7, sub2
+    CALLI a7
+    LOAD d4, 98
+    BNE d0, d4, fail
+    LOAD d1, 1
+    LOAD d2, 2
+    BEQ d1, d1, b1
+    JMP fail
+b1: BNE d1, d2, b2
+    JMP fail
+b2: BLT d1, d2, b3
+    JMP fail
+b3: BGE d2, d1, b4
+    JMP fail
+b4: BLTU d1, d2, b5
+    JMP fail
+b5: BGEU d2, d1, b6
+    JMP fail
+b6:
+    ; trap and return
+    LOAD d3, 0
+    TRAP 7
+    LOAD d4, 7
+    BNE d3, d4, fail
+    ; indirect jump
+    LOAD a8, tail
+    JI a8
+    JMP fail
+sub1:
+    LOAD d0, 99
+    RET
+sub2:
+    LOAD d0, 98
+    RET
+trap_handler:
+    MFCR d3, 7
+    SHR d3, d3, 8
+    RFE
+tail:
+    LOAD d15, 0x600D
+    STORE [0x80000000], d15
+    HALT
+fail:
+    LOAD d15, 0xBAD0
+    STORE [0x80000000], d15
+    HALT
+.SECTION bss
+buf:
+    .SPACE 32
+`
+
+// IrqLatencyProgram measures interrupt latency: it records the cycle
+// counter when interrupts are enabled with a timer already counting, and
+// again at handler entry; the difference (minus the programmed count)
+// lands in the mailbox checkpoint stream.
+const IrqLatencyProgram = `
+TIMER .EQU 0x80003000
+INTC .EQU 0x80004000
+VEC .EQU 0x2000F000
+ARM_COUNT .EQU 200
+_main:
+    LOAD a0, VEC
+    LOAD d0, tick
+    STORE [a0+32], d0     ; vector 8 = timer
+    LOAD d1, VEC
+    MTCR 1, d1
+    LOAD a1, INTC
+    LOAD d2, 1
+    STORE [a1+0], d2
+    LOAD a2, TIMER
+    LOAD d3, ARM_COUNT
+    STORE [a2+0], d3
+    LOAD d4, 3
+    STORE [a2+8], d4      ; enable + irq
+    MFCR d9, 6            ; cycle counter at arm time
+    MFCR d5, 0
+    OR d5, d5, 16
+    MTCR 0, d5            ; global interrupt enable
+spin:
+    JMP spin
+tick:
+    MFCR d8, 6            ; cycle counter at handler entry
+    SUB d8, d8, d9
+    STORE [0x8000000C], d8 ; checkpoint: cycles from arm to handler
+    LOAD d15, 0x600D
+    STORE [0x80000000], d15
+    HALT
+`
