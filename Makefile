@@ -1,0 +1,32 @@
+# ADVM reproduction — build/test entry points.
+#
+#   make           tier-1: build + test everything
+#   make race      vet + full test suite under the race detector
+#   make bench     regenerate the EXPERIMENTS.md benchmarks
+#   make cache     the build-cache benchmarks only (off/cold/warm)
+
+GO ?= go
+
+.PHONY: all tier1 vet race bench cache tools
+
+all: tier1
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency gate: the regression runner, the build cache's
+# singleflight, and every cached build path run under -race.
+race: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench=. -benchmem .
+
+cache:
+	$(GO) test -run xxx -bench 'BenchmarkBuildCache|BenchmarkE3_SystemRegression|BenchmarkE7' -benchtime 5x .
+
+tools:
+	$(GO) build -o bin/ ./cmd/...

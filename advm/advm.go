@@ -28,6 +28,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/baseline"
 	"repro/internal/core/basefuncs"
+	"repro/internal/core/buildcache"
 	"repro/internal/core/content"
 	"repro/internal/core/defines"
 	"repro/internal/core/derivative"
@@ -142,6 +143,17 @@ type (
 	Instance = randgen.Instance
 	// Coverage tracks values drawn across instances.
 	Coverage = randgen.Coverage
+	// BuildCache memoises materialised trees, assembled objects, and
+	// linked images by content hash, with singleflight deduplication.
+	BuildCache = buildcache.Cache
+	// BuildCacheStats is a cache hit/miss/size snapshot.
+	BuildCacheStats = buildcache.Stats
+	// BuildContext binds a BuildCache to a system content epoch.
+	BuildContext = sysenv.BuildContext
+	// KindTime aggregates per-cell build/run time for one platform kind.
+	KindTime = regress.KindTime
+	// VerifyStatus summarises a port re-verification.
+	VerifyStatus = port.VerifyStatus
 )
 
 // Change event constructors (Section 4 change classes).
@@ -236,6 +248,18 @@ func FreezeSystem(name string, s *System) (*SystemLabel, error) {
 // Regress runs the regression matrix against a frozen system label.
 func Regress(s *System, label *SystemLabel, spec RegressionSpec) (*RegressionReport, error) {
 	return regress.Run(s, label, spec)
+}
+
+// NewBuildCache creates an empty build cache. Share one cache across
+// regressions, ports, and custom builds of the same session; pass it to
+// RegressionSpec.Cache or wrap it with System.NewBuildContext.
+func NewBuildCache() *BuildCache { return buildcache.New() }
+
+// ReverifyPort re-runs every test cell of the system around a port,
+// building through the given cache context (zero context = uncached).
+// Defaults: the whole family on the golden model.
+func ReverifyPort(s *System, bc BuildContext, derivs []*Derivative, kinds []Kind, spec RunSpec) *VerifyStatus {
+	return port.Reverify(s, bc, derivs, kinds, spec)
 }
 
 // Lint checks every test cell for abstraction violations (Figure 2).

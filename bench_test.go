@@ -81,27 +81,39 @@ func BenchmarkE2_ViolationCost(b *testing.B) {
 
 // BenchmarkE3_SystemRegression regenerates the Figure 4/5 experiment: a
 // frozen system regression over the module environments. Metric:
-// tests/sec through the full build+run pipeline on the golden model.
+// tests/sec through the full build+run pipeline on the golden model,
+// without the build cache and with a warm one.
 func BenchmarkE3_SystemRegression(b *testing.B) {
 	s := content.PortedSystem()
 	sl := mustFreeze(b, s)
-	spec := advm.RegressionSpec{
+	base := advm.RegressionSpec{
 		Derivatives: []*derivative.Derivative{derivative.A()},
 		Kinds:       []platform.Kind{platform.KindGolden},
 	}
-	cells := 0
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rep, err := advm.Regress(s, sl, spec)
-		if err != nil {
+	run := func(b *testing.B, spec advm.RegressionSpec) {
+		cells := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := advm.Regress(s, sl, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.AllPassed() {
+				b.Fatal("regression failed")
+			}
+			cells = len(rep.Outcomes)
+		}
+		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+	}
+	b.Run("nocache", func(b *testing.B) { run(b, base) })
+	b.Run("warmcache", func(b *testing.B) {
+		spec := base
+		spec.Cache = advm.NewBuildCache()
+		if _, err := advm.Regress(s, sl, spec); err != nil { // prime
 			b.Fatal(err)
 		}
-		if !rep.AllPassed() {
-			b.Fatal("regression failed")
-		}
-		cells = len(rep.Outcomes)
-	}
-	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+		run(b, spec)
+	})
 }
 
 func mustFreeze(b *testing.B, s *sysenv.System) *release.SystemLabel {
@@ -206,30 +218,48 @@ func BenchmarkE6_PlatformLadder(b *testing.B) {
 
 // BenchmarkE7_FullPort regenerates the Section 5 "rapid porting" claim
 // end to end: apply every family change, then re-verify the whole suite
-// on every derivative on the golden model.
+// on every derivative on the golden model — uncached, and through a
+// shared build cache (the ported content is identical every iteration,
+// so the cached mode shows the steady-state cost of "port, re-verify").
 func BenchmarkE7_FullPort(b *testing.B) {
-	var files, lines int
-	for i := 0; i < b.N; i++ {
+	portAndReverify := func(b *testing.B, cache *advm.BuildCache) (files, lines int) {
+		b.Helper()
 		s := content.UnportedSystem()
 		res, err := port.ApplyAll(s, port.FamilyChanges()...)
 		if err != nil {
 			b.Fatal(err)
 		}
-		a, r := res.Cost.LinesTouched()
-		files, lines = res.Cost.FilesTouched(), a+r
-		for _, d := range derivative.Family() {
-			for _, e := range s.Envs() {
-				for _, id := range e.TestIDs() {
-					run, err := s.RunTest(e.Module, id, d, platform.KindGolden, platform.RunSpec{})
-					if err != nil || !run.Passed() {
-						b.Fatalf("%s/%s on %s: %v %v", e.Module, id, d.Name, err, run)
-					}
-				}
-			}
+		bc := sysenv.BuildContext{}
+		if cache != nil {
+			bc = s.NewBuildContext(cache)
 		}
+		if st := port.Reverify(s, bc, nil, nil, platform.RunSpec{}); st.Fail != 0 {
+			b.Fatalf("re-verify failed: %v", st.Failures)
+		}
+		a, r := res.Cost.LinesTouched()
+		return res.Cost.FilesTouched(), a + r
 	}
-	b.ReportMetric(float64(files), "advm_files")
-	b.ReportMetric(float64(lines), "advm_lines")
+	report := func(b *testing.B, files, lines int) {
+		b.ReportMetric(float64(files), "advm_files")
+		b.ReportMetric(float64(lines), "advm_lines")
+	}
+	b.Run("uncached", func(b *testing.B) {
+		var files, lines int
+		for i := 0; i < b.N; i++ {
+			files, lines = portAndReverify(b, nil)
+		}
+		report(b, files, lines)
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := advm.NewBuildCache()
+		portAndReverify(b, cache) // prime
+		var files, lines int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			files, lines = portAndReverify(b, cache)
+		}
+		report(b, files, lines)
+	})
 }
 
 // BenchmarkE8_RandGen regenerates the Section 2 outlook: constrained-
@@ -293,31 +323,111 @@ func BenchmarkE10_GateEquivalence(b *testing.B) {
 // BenchmarkE7b_ScalingAblation is the suite-growth ablation behind the
 // paper's porting claim: as the number of directed tests grows, the ADVM
 // port cost stays flat (abstraction-layer files only) while the hardwired
-// baseline cost grows linearly. Sub-benchmarks report both at several
-// suite sizes.
+// baseline cost grows linearly. Each suite size runs in two modes —
+// cache=off and cache=on — where an iteration is "port the suite, then
+// re-verify the whole family on the golden model", so the modes show how
+// the build cache keeps re-verification affordable as the suite grows.
 func BenchmarkE7b_ScalingAblation(b *testing.B) {
 	for _, n := range []int{0, 48, 96} {
-		b.Run(fmt.Sprintf("extra=%d", n), func(b *testing.B) {
-			var advmFiles, baseFiles, baseLines int
-			for i := 0; i < b.N; i++ {
-				s := content.UnportedSystem()
-				if err := content.AddScaledTests(s, n); err != nil {
-					b.Fatal(err)
-				}
-				res, err := port.ApplyAll(s, port.FamilyChanges()...)
-				if err != nil {
-					b.Fatal(err)
-				}
-				advmFiles = res.Cost.FilesTouched()
-				c := baseline.ScaledPortCost(derivative.A(), derivative.C(), n)
-				a, r := c.LinesTouched()
-				baseFiles, baseLines = c.FilesTouched(), a+r
+		for _, cached := range []bool{false, true} {
+			mode := "off"
+			if cached {
+				mode = "on"
 			}
-			b.ReportMetric(float64(advmFiles), "advm_files")
-			b.ReportMetric(float64(baseFiles), "baseline_files")
-			b.ReportMetric(float64(baseLines), "baseline_lines")
-		})
+			b.Run(fmt.Sprintf("extra=%d/cache=%s", n, mode), func(b *testing.B) {
+				cache := advm.NewBuildCache()
+				var advmFiles, baseFiles, baseLines int
+				for i := 0; i < b.N; i++ {
+					s := content.UnportedSystem()
+					if err := content.AddScaledTests(s, n); err != nil {
+						b.Fatal(err)
+					}
+					res, err := port.ApplyAll(s, port.FamilyChanges()...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bc := sysenv.BuildContext{}
+					if cached {
+						bc = s.NewBuildContext(cache)
+					}
+					if st := port.Reverify(s, bc, nil, nil, platform.RunSpec{}); st.Fail != 0 {
+						b.Fatalf("re-verify failed: %v", st.Failures[0])
+					}
+					advmFiles = res.Cost.FilesTouched()
+					c := baseline.ScaledPortCost(derivative.A(), derivative.C(), n)
+					a, r := c.LinesTouched()
+					baseFiles, baseLines = c.FilesTouched(), a+r
+				}
+				b.ReportMetric(float64(advmFiles), "advm_files")
+				b.ReportMetric(float64(baseFiles), "baseline_files")
+				b.ReportMetric(float64(baseLines), "baseline_lines")
+				if cached {
+					st := cache.Stats()
+					b.ReportMetric(float64(st.Hits)*100/float64(st.Hits+st.Misses), "cache_reuse_%")
+				}
+			})
+		}
 	}
+}
+
+// BenchmarkBuildCache measures the content-addressed build cache over the
+// full build matrix (every test × every derivative × all six platform
+// kinds, assembly and link only, no simulation). Modes: off (no cache),
+// cold (fresh cache each iteration — fills plus hash overhead), warm
+// (shared primed cache — all hits). The acceptance bar for the cache is
+// warm doing at least 3x less build work than cold.
+func BenchmarkBuildCache(b *testing.B) {
+	s := content.PortedSystem()
+	kinds := []platform.Kind{
+		platform.KindGolden, platform.KindRTL, platform.KindGate,
+		platform.KindEmulator, platform.KindBondout, platform.KindSilicon,
+	}
+	buildAll := func(b *testing.B, bc sysenv.BuildContext) int {
+		b.Helper()
+		built := 0
+		for _, d := range derivative.Family() {
+			for _, e := range s.Envs() {
+				for _, id := range e.TestIDs() {
+					for _, k := range kinds {
+						if _, err := s.BuildTestWith(bc, e.Module, id, d, k); err != nil {
+							b.Fatalf("%s/%s on %s/%s: %v", e.Module, id, d.Name, k, err)
+						}
+						built++
+					}
+				}
+			}
+		}
+		return built
+	}
+	perSecond := func(b *testing.B, built int) {
+		b.ReportMetric(float64(built)*float64(b.N)/b.Elapsed().Seconds(), "images/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		built := 0
+		for i := 0; i < b.N; i++ {
+			built = buildAll(b, sysenv.BuildContext{})
+		}
+		perSecond(b, built)
+	})
+	b.Run("cold", func(b *testing.B) {
+		built := 0
+		for i := 0; i < b.N; i++ {
+			built = buildAll(b, s.NewBuildContext(advm.NewBuildCache()))
+		}
+		perSecond(b, built)
+	})
+	b.Run("warm", func(b *testing.B) {
+		bc := s.NewBuildContext(advm.NewBuildCache())
+		buildAll(b, bc) // prime
+		built := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			built = buildAll(b, bc)
+		}
+		perSecond(b, built)
+		st := bc.Cache.Stats()
+		b.ReportMetric(float64(st.Hits)*100/float64(st.Hits+st.Misses), "cache_reuse_%")
+	})
 }
 
 // BenchmarkDifftest measures differential-testing throughput: random

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/advm"
 )
@@ -27,7 +29,8 @@ func main() {
 	label := flag.String("label", "SYSREG_LOCAL", "release label name")
 	verbose := flag.Bool("v", false, "print each failing cell")
 	junit := flag.String("junit", "", "write a JUnit XML report to this file")
-	workers := flag.Int("workers", 1, "concurrent matrix cells")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent matrix cells")
+	cache := flag.Bool("cache", true, "memoise assembled units and linked images by content hash")
 	flag.Parse()
 
 	sys := advm.StandardSystem()
@@ -38,6 +41,9 @@ func main() {
 	fmt.Printf("frozen release: %s\n\n", sl)
 
 	spec := advm.RegressionSpec{Workers: *workers}
+	if *cache {
+		spec.Cache = advm.NewBuildCache()
+	}
 	if *derivs != "all" {
 		for _, name := range strings.Split(*derivs, ",") {
 			d, err := advm.DerivativeByName(strings.TrimSpace(name))
@@ -62,12 +68,22 @@ func main() {
 		}
 	}
 
+	t0 := time.Now()
 	rep, err := advm.Regress(sys, sl, spec)
+	wall := time.Since(t0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(rep.Table())
 	fmt.Println(rep.Summary())
+	for _, kt := range rep.TimesByKind() {
+		fmt.Printf("  %-10s %3d cells  build %8.1f ms  run %8.1f ms\n",
+			kt.Kind, kt.Cells, float64(kt.BuildNanos)/1e6, float64(kt.RunNanos)/1e6)
+	}
+	fmt.Printf("wall time: %s (%d workers)\n", wall.Round(time.Millisecond), *workers)
+	if spec.Cache != nil {
+		fmt.Printf("build cache: %s\n", spec.Cache.Stats())
+	}
 	if *junit != "" {
 		f, err := os.Create(*junit)
 		if err != nil {

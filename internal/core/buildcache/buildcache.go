@@ -1,0 +1,176 @@
+// Package buildcache is a concurrency-safe, content-addressed
+// memoisation layer for the ADVM build pipeline. Every cell of a
+// regression matrix re-renders the materialised source tree and
+// re-assembles the five translation units, yet four of the five depend
+// only on (derivative, platform kind, module) and the tree depends only
+// on the derivative — so the same artefacts are rebuilt hundreds of
+// times per regression. The cache keys each artefact by a SHA-256
+// content address (unit source + resolved include closure + sorted
+// defines) and deduplicates concurrent builds of the same key with
+// singleflight semantics: one worker assembles, the others block on the
+// in-flight entry and share the result.
+//
+// Soundness rests on the release-label invariant of the paper's
+// Section 3: a regression only runs against a frozen label, the module
+// environments are immutable while the label holds, and the global layer
+// is a pure function of the derivative. The epoch (the content hash of
+// the frozen environments) is part of every tree key, so a mutated
+// system can never observe stale entries.
+package buildcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Key hashes an ordered list of parts into a content address. Parts are
+// length-prefixed so that ("ab","c") and ("a","bc") cannot collide.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashTree hashes a file tree deterministically (sorted path/content
+// pairs). The release-label content hashes use the same algorithm, which
+// is what lets a frozen label double as a cache epoch.
+func HashTree(tree map[string]string) string {
+	paths := make([]string, 0, len(tree))
+	for p := range tree {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		h.Write([]byte(tree[p]))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls answered from a completed entry.
+	Hits uint64
+	// Misses counts Do calls that ran the fill function.
+	Misses uint64
+	// Merged counts Do calls that blocked on another caller's in-flight
+	// fill instead of duplicating it (singleflight deduplication).
+	Merged uint64
+	// Entries is the number of cached entries (including cached errors).
+	Entries int
+	// Bytes sums the sizes reported by the fill functions.
+	Bytes int64
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	total := s.Hits + s.Misses + s.Merged
+	reuse := 0.0
+	if total > 0 {
+		reuse = float64(s.Hits+s.Merged) / float64(total) * 100
+	}
+	return fmt.Sprintf("%d hits, %d misses, %d merged (%.1f%% reuse), %d entries, %.1f KiB cached",
+		s.Hits, s.Misses, s.Merged, reuse, s.Entries, float64(s.Bytes)/1024)
+}
+
+// entry is one cache slot. ready is closed once val/size/err are final.
+type entry struct {
+	ready chan struct{}
+	val   any
+	size  int64
+	err   error
+}
+
+// Cache is a content-addressed memoisation table with singleflight
+// semantics. The zero value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   Stats
+}
+
+// New creates an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// Do returns the value cached under key, running fill to compute it on
+// first use. Concurrent calls for the same key run fill exactly once;
+// the others block until it completes and share the result. fill returns
+// the value, its approximate size in bytes (for Stats accounting), and
+// an error. Errors are cached too: the build pipeline is deterministic,
+// so a failed build fails identically for every caller and retrying
+// would only duplicate the diagnostic work.
+//
+// If fill panics, the panic propagates to the caller that ran it, any
+// waiting callers receive an error, and the entry is dropped so a later
+// Do retries.
+func (c *Cache) Do(key string, fill func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.ready:
+			c.stats.Hits++
+			c.mu.Unlock()
+		default:
+			c.stats.Merged++
+			c.mu.Unlock()
+			<-e.ready
+		}
+		return e.val, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	// Pre-set the failure waiters observe if fill panics out of this call.
+	e.err = fmt.Errorf("buildcache: build for key %.12s aborted", key)
+	c.entries[key] = e
+	c.stats.Misses++
+	c.stats.Entries++
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+				c.stats.Entries--
+			}
+			c.mu.Unlock()
+		}
+		close(e.ready)
+	}()
+	v, n, err := fill()
+	e.val, e.size, e.err = v, n, err
+	completed = true
+	c.mu.Lock()
+	c.stats.Bytes += n
+	c.mu.Unlock()
+	return e.val, e.err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry)
+	c.stats = Stats{}
+}

@@ -11,7 +11,9 @@ import (
 	"strings"
 
 	"repro/internal/core/basefuncs"
+	"repro/internal/core/derivative"
 	"repro/internal/core/sysenv"
+	"repro/internal/platform"
 )
 
 // Change is one derivative or specification change event to absorb.
@@ -328,6 +330,56 @@ func ApplyAll(s *sysenv.System, changes ...Change) (*Result, error) {
 	}
 	after := EnvTree(s)
 	return &Result{Changes: changes, Cost: Diff(before, after)}, nil
+}
+
+// ---- re-verification ----
+
+// VerifyStatus is the outcome of re-running the suite around a port.
+type VerifyStatus struct {
+	// Pass and Fail count cells; build/link errors count as failures.
+	Pass, Fail int
+	// Failures describes each non-passing cell.
+	Failures []string
+}
+
+// Reverify runs every test cell of the system on the given derivatives
+// and platform kinds — the paper's "re-verify the ported environment"
+// step. It builds through the supplied cache context, so a
+// re-verification right after a port re-assembles only what the port
+// actually changed (the abstraction layers), while the untouched global
+// units and test sources hit the cache. Pass a zero BuildContext to run
+// uncached. Defaults: the whole family on the golden model.
+func Reverify(s *sysenv.System, bc sysenv.BuildContext, derivs []*derivative.Derivative, kinds []platform.Kind, spec platform.RunSpec) *VerifyStatus {
+	if len(derivs) == 0 {
+		derivs = derivative.Family()
+	}
+	if len(kinds) == 0 {
+		kinds = []platform.Kind{platform.KindGolden}
+	}
+	st := &VerifyStatus{}
+	for _, d := range derivs {
+		for _, e := range s.Envs() {
+			for _, id := range e.TestIDs() {
+				for _, k := range kinds {
+					res, err := s.RunTestWith(bc, e.Module, id, d, k, spec)
+					switch {
+					case err != nil:
+						st.Fail++
+						st.Failures = append(st.Failures,
+							fmt.Sprintf("%s/%s on %s/%s: %v", e.Module, id, d.Name, k, err))
+					case !res.Passed():
+						st.Fail++
+						st.Failures = append(st.Failures,
+							fmt.Sprintf("%s/%s on %s/%s: %s mbox=0x%04x %s",
+								e.Module, id, d.Name, k, res.Reason, res.MboxResult, res.Detail))
+					default:
+						st.Pass++
+					}
+				}
+			}
+		}
+	}
+	return st
 }
 
 // FamilyChanges returns the canonical change list that ports the shipped

@@ -1,0 +1,61 @@
+package port_test
+
+import (
+	"testing"
+
+	"repro/internal/core/buildcache"
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	. "repro/internal/core/port"
+	"repro/internal/core/sysenv"
+	"repro/internal/platform"
+)
+
+// TestReverifyPortedFamily: the shipped ported system re-verifies clean
+// on the whole family, cached and uncached alike, and the verdicts agree
+// with the plain per-cell loop.
+func TestReverifyPortedFamily(t *testing.T) {
+	s := content.PortedSystem()
+
+	plain := Reverify(s, sysenv.BuildContext{}, nil, nil, platform.RunSpec{})
+	if plain.Fail != 0 {
+		t.Fatalf("uncached re-verify failed: %v", plain.Failures)
+	}
+
+	bc := s.NewBuildContext(buildcache.New())
+	cached := Reverify(s, bc, nil, nil, platform.RunSpec{})
+	if cached.Pass != plain.Pass || cached.Fail != plain.Fail {
+		t.Fatalf("cached re-verify diverges: %d/%d vs %d/%d",
+			cached.Pass, cached.Fail, plain.Pass, plain.Fail)
+	}
+
+	// A warm second sweep is all hits: no new cache fills.
+	misses := bc.Cache.Stats().Misses
+	warm := Reverify(s, bc, nil, nil, platform.RunSpec{})
+	if warm.Fail != 0 {
+		t.Fatalf("warm re-verify failed: %v", warm.Failures)
+	}
+	if got := bc.Cache.Stats().Misses; got != misses {
+		t.Errorf("warm re-verify caused %d new misses", got-misses)
+	}
+}
+
+// TestReverifyDetectsBreakage: re-verification on the unported system
+// reports failures on the derivatives the suite was not written for, and
+// names the broken cells.
+func TestReverifyDetectsBreakage(t *testing.T) {
+	s := content.UnportedSystem()
+	bc := s.NewBuildContext(buildcache.New())
+	st := Reverify(s, bc, []*derivative.Derivative{derivative.SEC()}, nil, platform.RunSpec{})
+	if st.Fail == 0 {
+		t.Fatal("unported suite unexpectedly re-verifies on SC88-SEC")
+	}
+	if len(st.Failures) != st.Fail {
+		t.Errorf("Failures has %d entries for %d fails", len(st.Failures), st.Fail)
+	}
+	for _, f := range st.Failures {
+		if f == "" {
+			t.Error("empty failure description")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // junitFailure is the <failure> element.
@@ -12,10 +13,15 @@ type junitFailure struct {
 	Type    string `xml:"type,attr"`
 }
 
-// junitCase is one <testcase>.
+// junitCase is one <testcase>. Alongside the standard time attribute it
+// carries the build/run split so CI dashboards can separate assembly
+// cost from simulation cost per cell.
 type junitCase struct {
 	ClassName string        `xml:"classname,attr"`
 	Name      string        `xml:"name,attr"`
+	Time      string        `xml:"time,attr"`
+	BuildTime string        `xml:"build_time,attr"`
+	RunTime   string        `xml:"run_time,attr"`
 	Failure   *junitFailure `xml:"failure,omitempty"`
 }
 
@@ -26,7 +32,13 @@ type junitSuite struct {
 	Tests    int         `xml:"tests,attr"`
 	Failures int         `xml:"failures,attr"`
 	Errors   int         `xml:"errors,attr"`
+	Time     string      `xml:"time,attr"`
 	Cases    []junitCase `xml:"testcase"`
+}
+
+// junitSecs renders nanoseconds as JUnit's fractional seconds.
+func junitSecs(nanos int64) string {
+	return strconv.FormatFloat(float64(nanos)/1e9, 'f', 6, 64)
 }
 
 // WriteJUnit renders the regression report in JUnit XML, one testcase per
@@ -34,11 +46,16 @@ type junitSuite struct {
 // Build/link problems map to JUnit errors; test failures to failures.
 func (r *Report) WriteJUnit(w io.Writer) error {
 	suite := junitSuite{Name: "advm-regression/" + r.Label}
+	var totalNanos int64
 	for _, o := range r.Outcomes {
 		c := junitCase{
 			ClassName: fmt.Sprintf("%s.%s", o.Module, o.Test),
 			Name:      fmt.Sprintf("%s/%s", o.Derivative, o.Platform),
+			Time:      junitSecs(o.BuildNanos + o.RunNanos),
+			BuildTime: junitSecs(o.BuildNanos),
+			RunTime:   junitSecs(o.RunNanos),
 		}
+		totalNanos += o.BuildNanos + o.RunNanos
 		suite.Tests++
 		switch {
 		case o.BuildErr != "":
@@ -54,6 +71,7 @@ func (r *Report) WriteJUnit(w io.Writer) error {
 		}
 		suite.Cases = append(suite.Cases, c)
 	}
+	suite.Time = junitSecs(totalNanos)
 	if _, err := io.WriteString(w, xml.Header); err != nil {
 		return err
 	}

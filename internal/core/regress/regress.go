@@ -7,10 +7,13 @@ package regress
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/core/buildcache"
 	"repro/internal/core/derivative"
 	"repro/internal/core/release"
 	"repro/internal/core/sysenv"
@@ -31,6 +34,11 @@ type Spec struct {
 	// image and platform instance, so cells are independent). 0 or 1
 	// means serial. The report order is deterministic regardless.
 	Workers int
+	// Cache, when non-nil, memoises materialised trees, assembled units,
+	// and linked images across cells (and across regressions sharing the
+	// cache). Safe by the release-label invariant: Run refuses unfrozen
+	// systems, and the frozen label's content hash keys every entry.
+	Cache *buildcache.Cache
 }
 
 // Outcome is one cell of the regression matrix.
@@ -44,7 +52,14 @@ type Outcome struct {
 	MboxResult uint32
 	Cycles     uint64
 	Insts      uint64
-	// BuildErr is non-empty when the test failed to assemble or link.
+	// BuildNanos is the wall time spent assembling and linking the cell
+	// (near zero on a warm cache); RunNanos the time spent instantiating
+	// the platform and simulating. Together they let the speed ladder
+	// separate build cost from simulation cost.
+	BuildNanos int64
+	RunNanos   int64
+	// BuildErr is non-empty when the cell could not produce a verdict:
+	// assembly or link failure, platform error, or a recovered panic.
 	BuildErr string
 	Detail   string
 }
@@ -98,26 +113,58 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		}
 	}
 
+	// Bind the cache to the frozen label's content hash: entries written
+	// during this regression are keyed by exactly the content Verify
+	// just attested.
+	bc := sysenv.BuildContext{Cache: spec.Cache, Epoch: label.Epoch()}
+
 	rep := &Report{Label: label.Name}
 	rep.Outcomes = make([]Outcome, len(cells))
 	runCell := func(i int) {
 		c := cells[i]
-		out := Outcome{
+		out := &rep.Outcomes[i]
+		*out = Outcome{
 			Module: c.module, Test: c.test,
 			Derivative: c.d.Name, Platform: c.k,
 		}
-		res, err := s.RunTest(c.module, c.test, c.d, c.k, spec.RunSpec)
+		// A panicking platform (or build) breaks its own cell, not the
+		// regression: record it and let the other workers finish.
+		defer func() {
+			if r := recover(); r != nil {
+				out.Passed = false
+				out.BuildErr = fmt.Sprintf("panic: %v", r)
+				out.Detail = firstLines(string(debug.Stack()), 8)
+			}
+		}()
+		t0 := time.Now()
+		img, err := s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
+		out.BuildNanos = time.Since(t0).Nanoseconds()
 		if err != nil {
 			out.BuildErr = err.Error()
-		} else {
-			out.Passed = res.Passed()
-			out.Reason = res.Reason
-			out.MboxResult = res.MboxResult
-			out.Cycles = res.Cycles
-			out.Insts = res.Instructions
-			out.Detail = res.Detail
+			return
 		}
-		rep.Outcomes[i] = out
+		t1 := time.Now()
+		p, err := platform.New(c.k, c.d.HW)
+		if err != nil {
+			out.BuildErr = err.Error()
+			return
+		}
+		if err := p.Load(img); err != nil {
+			out.BuildErr = err.Error()
+			return
+		}
+		res, err := p.Run(spec.RunSpec)
+		out.RunNanos = time.Since(t1).Nanoseconds()
+		if err != nil {
+			out.BuildErr = err.Error()
+			return
+		}
+		out.Passed = res.Passed()
+		out.Reason = res.Reason
+		out.MboxResult = res.MboxResult
+		out.Cycles = res.Cycles
+		out.Insts = res.Instructions
+		out.Detail = res.Detail
 	}
 
 	workers := spec.Workers
@@ -193,7 +240,9 @@ func (r *Report) Summary() string {
 }
 
 // Table renders a per-platform × derivative pass-count matrix, the row
-// format the cross-platform experiment (E6) reports.
+// format the cross-platform experiment (E6) reports, with per-platform
+// build and run time totals so build cost and simulation cost read
+// separately on the speed ladder.
 func (r *Report) Table() string {
 	type key struct {
 		k platform.Kind
@@ -222,12 +271,17 @@ func (r *Report) Table() string {
 		derivs = append(derivs, d)
 	}
 	sort.Strings(derivs)
+	times := map[platform.Kind]KindTime{}
+	for _, kt := range r.TimesByKind() {
+		times[kt.Kind] = kt
+	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s", "platform")
 	for _, d := range derivs {
 		fmt.Fprintf(&b, " %12s", d)
 	}
+	fmt.Fprintf(&b, " %10s %10s", "build_ms", "run_ms")
 	b.WriteString("\n")
 	for _, k := range kinds {
 		fmt.Fprintf(&b, "%-10s", k)
@@ -235,7 +289,49 @@ func (r *Report) Table() string {
 			kk := key{k, d}
 			fmt.Fprintf(&b, " %7d/%-4d", pass[kk], total[kk])
 		}
+		kt := times[k]
+		fmt.Fprintf(&b, " %10.1f %10.1f", float64(kt.BuildNanos)/1e6, float64(kt.RunNanos)/1e6)
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// KindTime aggregates cell times for one platform kind.
+type KindTime struct {
+	Kind       platform.Kind
+	Cells      int
+	BuildNanos int64
+	RunNanos   int64
+}
+
+// TimesByKind sums per-cell build and run time for each platform kind,
+// in kind order. The sums are over cells, not wall clock: concurrent
+// workers overlap them.
+func (r *Report) TimesByKind() []KindTime {
+	acc := map[platform.Kind]*KindTime{}
+	for _, o := range r.Outcomes {
+		kt, ok := acc[o.Platform]
+		if !ok {
+			kt = &KindTime{Kind: o.Platform}
+			acc[o.Platform] = kt
+		}
+		kt.Cells++
+		kt.BuildNanos += o.BuildNanos
+		kt.RunNanos += o.RunNanos
+	}
+	out := make([]KindTime, 0, len(acc))
+	for _, kt := range acc {
+		out = append(out, *kt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// firstLines truncates s to its first n lines.
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
 }

@@ -8,12 +8,11 @@
 package release
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/core/buildcache"
 	"repro/internal/core/env"
 	"repro/internal/core/sysenv"
 )
@@ -39,21 +38,29 @@ type SystemLabel struct {
 	Sub map[string]*Label
 }
 
-// HashTree hashes a file tree deterministically.
+// HashTree hashes a file tree deterministically. It delegates to the
+// build cache's tree hash so that a frozen label doubles as a cache
+// epoch (see SystemLabel.Epoch).
 func HashTree(tree map[string]string) string {
-	paths := make([]string, 0, len(tree))
-	for p := range tree {
-		paths = append(paths, p)
+	return buildcache.HashTree(tree)
+}
+
+// Epoch returns the build-cache epoch of the frozen content: the
+// composition of the per-module sub-label hashes. A system that passes
+// Verify against this label has exactly this epoch — it is the same
+// derivation as sysenv.System.ContentEpoch over the live environments —
+// so cache entries written under it are valid for any verified run.
+func (sl *SystemLabel) Epoch() string {
+	mods := make([]string, 0, len(sl.Sub))
+	for m := range sl.Sub {
+		mods = append(mods, m)
 	}
-	sort.Strings(paths)
-	h := sha256.New()
-	for _, p := range paths {
-		h.Write([]byte(p))
-		h.Write([]byte{0})
-		h.Write([]byte(tree[p]))
-		h.Write([]byte{0})
+	sort.Strings(mods)
+	parts := []string{"epoch"}
+	for _, m := range mods {
+		parts = append(parts, m, sl.Sub[m].Hash)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return buildcache.Key(parts...)
 }
 
 // Snapshot freezes a module environment under a label name.

@@ -1,0 +1,304 @@
+// Build caching. The regression matrix re-builds the same artefacts for
+// hundreds of cells: the materialised tree depends only on the
+// derivative, and four of the five translation units depend only on
+// (derivative, platform kind, module), not on the individual test. This
+// file threads a content-addressed cache (internal/core/buildcache)
+// through the build pipeline at three levels:
+//
+//  1. the materialised source tree, memoised per (epoch, derivative);
+//  2. assembled objects, keyed by SHA-256 of (unit name + unit source +
+//     resolved include closure + sorted defines);
+//  3. linked images, keyed by the five unit keys plus the link layout.
+//
+// Object and image keys are fully content-addressed and therefore
+// self-validating. Tree keys additionally carry the epoch — the content
+// hash of the module environments — because hashing the tree to validate
+// it would cost as much as rendering it. The epoch is sound by the
+// release-label invariant: regressions only run against a frozen label,
+// and the environments are immutable while the label holds.
+
+package sysenv
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core/buildcache"
+	"repro/internal/core/derivative"
+	"repro/internal/core/env"
+	"repro/internal/obj"
+	"repro/internal/platform"
+)
+
+// BuildContext carries an optional build cache plus the content epoch the
+// cached trees are valid under. The zero value disables caching, so every
+// uncached call site can pass BuildContext{}.
+type BuildContext struct {
+	Cache *buildcache.Cache
+	// Epoch is the content hash of the module environments the cache
+	// entries were built from (System.ContentEpoch or
+	// release.SystemLabel.Epoch — identical derivations).
+	Epoch string
+}
+
+// Enabled reports whether the context actually caches.
+func (bc BuildContext) Enabled() bool { return bc.Cache != nil && bc.Epoch != "" }
+
+// NewBuildContext computes the system's current content epoch and binds
+// it to the cache. Create the context once per frozen system state (after
+// a release freeze or a port), not per cell: a context created before a
+// mutation keys a different epoch than one created after, so stale trees
+// are unreachable by construction.
+func (s *System) NewBuildContext(c *buildcache.Cache) BuildContext {
+	if c == nil {
+		return BuildContext{}
+	}
+	return BuildContext{Cache: c, Epoch: s.ContentEpoch()}
+}
+
+// ContentEpoch hashes the module environments — the derivative-
+// independent part of every materialised tree. A frozen release label
+// over the same content yields the same epoch (release.SystemLabel.Epoch
+// composes the identical per-module tree hashes).
+func (s *System) ContentEpoch() string {
+	mods := s.Modules()
+	sort.Strings(mods)
+	parts := []string{"epoch"}
+	for _, m := range mods {
+		parts = append(parts, m, buildcache.HashTree(s.index[m].Materialise()))
+	}
+	return buildcache.Key(parts...)
+}
+
+// MaterialiseWith is Materialise through the build cache: the rendered
+// Figure 5 tree is memoised per (epoch, derivative). The returned map is
+// shared between callers and MUST be treated as read-only.
+func (s *System) MaterialiseWith(bc BuildContext, d *derivative.Derivative) map[string]string {
+	if !bc.Enabled() {
+		return s.Materialise(d)
+	}
+	key := buildcache.Key("tree", bc.Epoch, derivFingerprint(d))
+	v, _ := bc.Cache.Do(key, func() (any, int64, error) {
+		tree := s.Materialise(d)
+		var n int64
+		for p, c := range tree {
+			n += int64(len(p) + len(c))
+		}
+		return tree, n, nil
+	})
+	if tree, ok := v.(map[string]string); ok {
+		return tree
+	}
+	return s.Materialise(d)
+}
+
+// BuildTestWith assembles and links one test cell through the build
+// cache. With a disabled context it is exactly BuildTest.
+func (s *System) BuildTestWith(bc BuildContext, module, testID string, d *derivative.Derivative, k platform.Kind) (*obj.Image, error) {
+	e, ok := s.index[module]
+	if !ok {
+		return nil, fmt.Errorf("sysenv: no module environment %q", module)
+	}
+	if _, ok := e.Test(testID); !ok {
+		return nil, fmt.Errorf("sysenv: module %q has no test %q", module, testID)
+	}
+	tree := s.MaterialiseWith(bc, d)
+	res := resolver{tree: tree, module: module}
+	defs := BuildDefines(d, k)
+
+	units := []struct{ name, path string }{
+		{"crt0.asm", GlobalDir + "/" + Crt0File},
+		{"trap_handlers.asm", GlobalDir + "/" + TrapHandlersFile},
+		{"embedded_software.asm", GlobalDir + "/" + EmbeddedSWFile},
+		{"Base_Functions.asm", module + "/" + env.BaseFuncsFile},
+		{testID + "/test.asm", e.TestSourcePath(testID)},
+	}
+	srcs := make([]string, len(units))
+	for i, u := range units {
+		src, ok := tree[u.path]
+		if !ok {
+			return nil, fmt.Errorf("sysenv: missing source %q", u.path)
+		}
+		srcs[i] = src
+	}
+	cfg := obj.LinkConfig{TextBase: d.HW.RomBase, DataBase: d.HW.RamBase, Entry: "_start"}
+
+	assembleUnit := func(i int, key string) (*obj.Object, error) {
+		opts := asm.Options{Defines: defs, Resolver: res}
+		if key == "" {
+			return asm.Assemble(units[i].name, srcs[i], opts)
+		}
+		v, err := bc.Cache.Do(key, func() (any, int64, error) {
+			o, err := asm.Assemble(units[i].name, srcs[i], opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			return o, int64(len(o.Text) + len(o.Data)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return v.(*obj.Object), nil
+	}
+	buildImage := func(unitKeys []string) (*obj.Image, error) {
+		objects := make([]*obj.Object, len(units))
+		for i := range units {
+			key := ""
+			if unitKeys != nil {
+				key = unitKeys[i]
+			}
+			o, err := assembleUnit(i, key)
+			if err != nil {
+				return nil, fmt.Errorf("sysenv: %s/%s on %s: %w", module, testID, d.Name, err)
+			}
+			objects[i] = o
+		}
+		img, err := obj.Link(cfg, objects...)
+		if err != nil {
+			return nil, fmt.Errorf("sysenv: link %s/%s on %s: %w", module, testID, d.Name, err)
+		}
+		return img, nil
+	}
+
+	if !bc.Enabled() {
+		return buildImage(nil)
+	}
+
+	sortedDefs := sortDefines(defs)
+	unitKeys := make([]string, len(units))
+	for i, u := range units {
+		unitKeys[i] = objectKey(u.name, srcs[i], res, sortedDefs)
+	}
+	imgKey := buildcache.Key(append([]string{"image",
+		strconv.FormatUint(uint64(cfg.TextBase), 16),
+		strconv.FormatUint(uint64(cfg.DataBase), 16),
+		cfg.Entry}, unitKeys...)...)
+	v, err := bc.Cache.Do(imgKey, func() (any, int64, error) {
+		img, err := buildImage(unitKeys)
+		if err != nil {
+			return nil, 0, err
+		}
+		var n int64
+		for _, seg := range img.Segments {
+			n += int64(len(seg.Data))
+		}
+		return img, n, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*obj.Image), nil
+}
+
+// RunTestWith builds the image through the cache, instantiates the
+// platform for the derivative hardware, loads, and runs. Linked images
+// are immutable (platforms copy segment bytes into their own memory), so
+// sharing cached images between concurrent runs is safe.
+func (s *System) RunTestWith(bc BuildContext, module, testID string, d *derivative.Derivative, k platform.Kind, spec platform.RunSpec) (*platform.Result, error) {
+	img, err := s.BuildTestWith(bc, module, testID, d, k)
+	if err != nil {
+		return nil, err
+	}
+	p, err := platform.New(k, d.HW)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Load(img); err != nil {
+		return nil, err
+	}
+	return p.Run(spec)
+}
+
+// derivFingerprint content-addresses the derivative-dependent build
+// inputs: the rendered global layer plus the link bases. Rendering the
+// four global files is string formatting only — negligible next to the
+// assembly work the fingerprinted entries save.
+func derivFingerprint(d *derivative.Derivative) string {
+	gl := GlobalLayer(d)
+	paths := make([]string, 0, len(gl))
+	for p := range gl {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	parts := []string{"deriv", d.Name, d.Macro, strconv.Itoa(int(d.ES)),
+		strconv.FormatUint(uint64(d.HW.RomBase), 16),
+		strconv.FormatUint(uint64(d.HW.RamBase), 16)}
+	for _, p := range paths {
+		parts = append(parts, p, gl[p])
+	}
+	return buildcache.Key(parts...)
+}
+
+// sortDefines renders a define set as deterministic key parts.
+func sortDefines(defs map[string]string) []string {
+	names := make([]string, 0, len(defs))
+	for n := range defs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = "define:" + n + "=" + defs[n]
+	}
+	return out
+}
+
+// objectKey content-addresses one assembled unit: the unit name, its
+// source, the resolved include closure, and the sorted define set. The
+// include scan over-approximates the closure (an .INCLUDE inside a false
+// conditional is still hashed), which is sound: the key can only be more
+// specific than necessary, never stale. An include the resolver cannot
+// supply keys on its absence — if it sits inside a false conditional the
+// assembly still succeeds, and if not, the (cached) assembly error is
+// reproduced for every caller.
+func objectKey(name, src string, res asm.Resolver, sortedDefs []string) string {
+	parts := []string{"object", name, src}
+	seen := map[string]bool{}
+	var walk func(string)
+	walk = func(source string) {
+		for _, inc := range scanIncludes(source) {
+			if seen[inc] {
+				continue
+			}
+			seen[inc] = true
+			content, err := res.ReadFile(inc)
+			if err != nil {
+				parts = append(parts, "missing:"+inc)
+				continue
+			}
+			parts = append(parts, inc, string(content))
+			walk(string(content))
+		}
+	}
+	walk(src)
+	parts = append(parts, sortedDefs...)
+	return buildcache.Key(parts...)
+}
+
+// scanIncludes returns the .INCLUDE operands of a source text in
+// appearance order. Directives are case-insensitive, may only open a
+// line (the preprocessor rejects a label before .INCLUDE), and take one
+// quoted operand.
+func scanIncludes(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if len(t) < len(".INCLUDE") || !strings.EqualFold(t[:len(".INCLUDE")], ".INCLUDE") {
+			continue
+		}
+		rest := t[len(".INCLUDE"):]
+		i := strings.IndexByte(rest, '"')
+		if i < 0 {
+			continue
+		}
+		j := strings.IndexByte(rest[i+1:], '"')
+		if j < 0 {
+			continue
+		}
+		out = append(out, rest[i+1:i+1+j])
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package sysenv_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core/buildcache"
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/core/sysenv"
+	"repro/internal/obj"
+	"repro/internal/platform"
+)
+
+// allKinds lists every platform class explicitly: building needs only
+// the kind's preprocessor macro, not a registered simulator.
+var allKinds = []platform.Kind{
+	platform.KindGolden, platform.KindRTL, platform.KindGate,
+	platform.KindEmulator, platform.KindBondout, platform.KindSilicon,
+}
+
+// TestCacheByteIdenticalImages is the acceptance criterion: cache on vs
+// off must produce byte-identical linked images for every (module, test,
+// derivative, platform) cell of the shipped system.
+func TestCacheByteIdenticalImages(t *testing.T) {
+	s := content.PortedSystem()
+	bc := s.NewBuildContext(buildcache.New())
+	cells := 0
+	for _, d := range derivative.Family() {
+		for _, k := range allKinds {
+			for _, e := range s.Envs() {
+				for _, id := range e.TestIDs() {
+					plain, err := s.BuildTest(e.Module, id, d, k)
+					if err != nil {
+						t.Fatalf("uncached %s/%s on %s/%s: %v", e.Module, id, d.Name, k, err)
+					}
+					cached, err := s.BuildTestWith(bc, e.Module, id, d, k)
+					if err != nil {
+						t.Fatalf("cached %s/%s on %s/%s: %v", e.Module, id, d.Name, k, err)
+					}
+					if !reflect.DeepEqual(plain, cached) {
+						t.Fatalf("%s/%s on %s/%s: cached image differs from uncached",
+							e.Module, id, d.Name, k)
+					}
+					cells++
+				}
+			}
+		}
+	}
+	if cells != 21*4*6 {
+		t.Errorf("covered %d cells, want %d", cells, 21*4*6)
+	}
+	st := bc.Cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("cache did no work: %+v", st)
+	}
+	// Second pass over the warm cache: every image must now be a hit.
+	before := bc.Cache.Stats().Misses
+	for _, e := range s.Envs() {
+		for _, id := range e.TestIDs() {
+			if _, err := s.BuildTestWith(bc, e.Module, id, derivative.A(), platform.KindGolden); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if after := bc.Cache.Stats().Misses; after != before {
+		t.Errorf("warm rebuild caused %d new misses", after-before)
+	}
+}
+
+// TestGlobalUnitsAssembledOncePerDerivativeKind checks the sharing
+// structure the cache exists for: the four test-independent units are
+// assembled once per (derivative, kind, module), not once per test.
+func TestGlobalUnitsAssembledOncePerDerivativeKind(t *testing.T) {
+	s := content.PortedSystem()
+	bc := s.NewBuildContext(buildcache.New())
+	d := derivative.A()
+	k := platform.KindGolden
+	tests := 0
+	for _, e := range s.Envs() {
+		for _, id := range e.TestIDs() {
+			if _, err := s.BuildTestWith(bc, e.Module, id, d, k); err != nil {
+				t.Fatal(err)
+			}
+			tests++
+		}
+	}
+	st := bc.Cache.Stats()
+	// Misses: 1 tree + 3 global units + 1 Base_Functions per module +
+	// 1 test unit per test + 1 image per test.
+	want := uint64(1 + 3 + len(s.Envs()) + 2*tests)
+	if st.Misses != want {
+		t.Errorf("misses = %d, want %d (tests=%d, modules=%d): %+v",
+			st.Misses, want, tests, len(s.Envs()), st)
+	}
+}
+
+// TestEpochInvalidation: mutating an environment and creating a fresh
+// context must re-render the tree; reusing a stale context is the
+// caller's bug, creating a fresh one is always sound.
+func TestEpochInvalidation(t *testing.T) {
+	s := content.PortedSystem()
+	cache := buildcache.New()
+	d := derivative.A()
+
+	bc1 := s.NewBuildContext(cache)
+	tree1 := s.MaterialiseWith(bc1, d)
+
+	e, _ := s.Env("NVM")
+	if err := e.Defines.SetDefault("TEST1_TARGET_PAGE", "9"); err != nil {
+		t.Fatal(err)
+	}
+	bc2 := s.NewBuildContext(cache)
+	if bc1.Epoch == bc2.Epoch {
+		t.Fatal("epoch did not change after environment mutation")
+	}
+	tree2 := s.MaterialiseWith(bc2, d)
+	p := "NVM/Abstraction_Layer/Globals.inc"
+	if tree1[p] == tree2[p] {
+		t.Error("fresh context returned the stale tree")
+	}
+	// The same context returns the identical shared tree.
+	tree2b := s.MaterialiseWith(bc2, d)
+	if tree2b[p] != tree2[p] {
+		t.Error("tree not shared within one context")
+	}
+	if cache.Stats().Hits == 0 {
+		t.Error("second MaterialiseWith should hit")
+	}
+}
+
+// TestConcurrentBuildersSingleAssembly races many builders over
+// overlapping cells and asserts the cache did no duplicate work: the
+// miss count equals a serial pass's miss count, and every image matches
+// the serially built one. Run with -race.
+func TestConcurrentBuildersSingleAssembly(t *testing.T) {
+	s := content.PortedSystem()
+
+	type cell struct {
+		module, id string
+		d          *derivative.Derivative
+		k          platform.Kind
+	}
+	var cells []cell
+	for _, d := range derivative.Family() {
+		for _, k := range []platform.Kind{platform.KindGolden, platform.KindRTL} {
+			for _, e := range s.Envs() {
+				for _, id := range e.TestIDs() {
+					cells = append(cells, cell{e.Module, id, d, k})
+				}
+			}
+		}
+	}
+
+	serial := s.NewBuildContext(buildcache.New())
+	want := make([]*obj.Image, len(cells))
+	for i, c := range cells {
+		img, err := s.BuildTestWith(serial, c.module, c.id, c.d, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = img
+	}
+	serialMisses := serial.Cache.Stats().Misses
+
+	bc := s.NewBuildContext(buildcache.New())
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range cells {
+				c := cells[(i+w*7)%len(cells)]
+				img, err := s.BuildTestWith(bc, c.module, c.id, c.d, c.k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(img, want[(i+w*7)%len(cells)]) {
+					t.Errorf("worker %d: image for %s/%s differs", w, c.module, c.id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := bc.Cache.Stats()
+	if st.Misses != serialMisses {
+		t.Errorf("concurrent misses = %d, serial misses = %d: duplicate assembly happened",
+			st.Misses, serialMisses)
+	}
+	if st.Hits+st.Merged+st.Misses < uint64(workers*len(cells)) {
+		t.Errorf("stats don't cover all calls: %+v", st)
+	}
+}
+
+// TestBuildContextDisabled: zero context and nil cache behave as the
+// uncached path.
+func TestBuildContextDisabled(t *testing.T) {
+	s := content.PortedSystem()
+	if (sysenv.BuildContext{}).Enabled() {
+		t.Error("zero BuildContext must be disabled")
+	}
+	if s.NewBuildContext(nil).Enabled() {
+		t.Error("nil cache must yield a disabled context")
+	}
+	img, err := s.BuildTestWith(sysenv.BuildContext{}, "NVM", "TEST_NVM_PAGE_SELECT",
+		derivative.A(), platform.KindGolden)
+	if err != nil || img == nil {
+		t.Fatalf("disabled context build failed: %v", err)
+	}
+}
+
+// TestContentEpochMatchesLabelDerivation: the epoch computed from the
+// live system must be reproducible (same content, same epoch) and
+// sensitive to content.
+func TestContentEpoch(t *testing.T) {
+	s1 := content.PortedSystem()
+	s2 := content.PortedSystem()
+	if s1.ContentEpoch() != s2.ContentEpoch() {
+		t.Error("identical systems must share an epoch")
+	}
+	e, _ := s2.Env("UART")
+	if err := e.Defines.SetDefault("UART_TEST_DIVIDER", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if s1.ContentEpoch() == s2.ContentEpoch() {
+		t.Error("mutated system must change its epoch")
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/asm"
 	"repro/internal/core/derivative"
 	"repro/internal/core/env"
 	"repro/internal/obj"
@@ -147,64 +146,16 @@ func BuildDefines(d *derivative.Derivative, k platform.Kind) map[string]string {
 }
 
 // BuildTest assembles and links one test cell for a derivative and
-// platform, returning the loadable image.
+// platform, returning the loadable image. It is BuildTestWith without a
+// build cache (see cache.go).
 func (s *System) BuildTest(module, testID string, d *derivative.Derivative, k platform.Kind) (*obj.Image, error) {
-	e, ok := s.index[module]
-	if !ok {
-		return nil, fmt.Errorf("sysenv: no module environment %q", module)
-	}
-	if _, ok := e.Test(testID); !ok {
-		return nil, fmt.Errorf("sysenv: module %q has no test %q", module, testID)
-	}
-	tree := s.Materialise(d)
-	res := resolver{tree: tree, module: module}
-	defs := BuildDefines(d, k)
-
-	units := []struct{ name, path string }{
-		{"crt0.asm", GlobalDir + "/" + Crt0File},
-		{"trap_handlers.asm", GlobalDir + "/" + TrapHandlersFile},
-		{"embedded_software.asm", GlobalDir + "/" + EmbeddedSWFile},
-		{"Base_Functions.asm", module + "/" + env.BaseFuncsFile},
-		{testID + "/test.asm", e.TestSourcePath(testID)},
-	}
-	var objects []*obj.Object
-	for _, u := range units {
-		src, ok := tree[u.path]
-		if !ok {
-			return nil, fmt.Errorf("sysenv: missing source %q", u.path)
-		}
-		o, err := asm.Assemble(u.name, src, asm.Options{Defines: defs, Resolver: res})
-		if err != nil {
-			return nil, fmt.Errorf("sysenv: %s/%s on %s: %w", module, testID, d.Name, err)
-		}
-		objects = append(objects, o)
-	}
-	img, err := obj.Link(obj.LinkConfig{
-		TextBase: d.HW.RomBase,
-		DataBase: d.HW.RamBase,
-		Entry:    "_start",
-	}, objects...)
-	if err != nil {
-		return nil, fmt.Errorf("sysenv: link %s/%s on %s: %w", module, testID, d.Name, err)
-	}
-	return img, nil
+	return s.BuildTestWith(BuildContext{}, module, testID, d, k)
 }
 
 // RunTest builds the image, instantiates the platform for the derivative
 // hardware, loads, and runs.
 func (s *System) RunTest(module, testID string, d *derivative.Derivative, k platform.Kind, spec platform.RunSpec) (*platform.Result, error) {
-	img, err := s.BuildTest(module, testID, d, k)
-	if err != nil {
-		return nil, err
-	}
-	p, err := platform.New(k, d.HW)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.Load(img); err != nil {
-		return nil, err
-	}
-	return p.Run(spec)
+	return s.RunTestWith(BuildContext{}, module, testID, d, k, spec)
 }
 
 // ---- global layer sources ----
