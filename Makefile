@@ -4,10 +4,11 @@
 #   make race      vet + full test suite under the race detector
 #   make bench     regenerate the EXPERIMENTS.md benchmarks
 #   make cache     the build-cache benchmarks only (off/cold/warm)
+#   make bench-json  telemetry-overhead benchmarks (E12) -> BENCH_telemetry.json
 
 GO ?= go
 
-.PHONY: all tier1 vet race bench cache tools
+.PHONY: all tier1 vet race bench cache bench-json tools
 
 all: tier1
 
@@ -27,6 +28,12 @@ bench:
 
 cache:
 	$(GO) test -run xxx -bench 'BenchmarkBuildCache|BenchmarkE3_SystemRegression|BenchmarkE7' -benchtime 5x .
+
+# The E12 telemetry-overhead numbers, as machine-readable JSON: standard
+# go-test benchmark JSON events, one per line, for dashboards to ingest.
+bench-json:
+	$(GO) test -run xxx -bench BenchmarkE12_TracingOverhead -benchtime 20x -json . > BENCH_telemetry.json
+	@grep -c '"Action"' BENCH_telemetry.json >/dev/null && echo "wrote BENCH_telemetry.json"
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

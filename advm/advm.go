@@ -39,6 +39,7 @@ import (
 	"repro/internal/core/regress"
 	"repro/internal/core/release"
 	"repro/internal/core/sysenv"
+	"repro/internal/core/telemetry"
 	"repro/internal/obj"
 	"repro/internal/platform"
 	"repro/internal/soc"
@@ -254,6 +255,67 @@ func Regress(s *System, label *SystemLabel, spec RegressionSpec) (*RegressionRep
 // regressions, ports, and custom builds of the same session; pass it to
 // RegressionSpec.Cache or wrap it with System.NewBuildContext.
 func NewBuildCache() *BuildCache { return buildcache.New() }
+
+// Telemetry: execution tracing, metrics, timelines, triage.
+type (
+	// Event is one structured execution-trace event.
+	Event = telemetry.Event
+	// EventKind enumerates trace event kinds.
+	EventKind = telemetry.EventKind
+	// EventMask selects trace event kinds.
+	EventMask = telemetry.EventMask
+	// EventSink receives trace events from a running platform.
+	EventSink = telemetry.EventSink
+	// TraceRing is a bounded in-memory event buffer.
+	TraceRing = telemetry.Ring
+	// MetricsRegistry is a concurrency-safe counter/gauge/histogram set.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time registry rendering.
+	MetricsSnapshot = telemetry.Snapshot
+	// Timeline collects spans for Chrome trace-event export.
+	Timeline = telemetry.Timeline
+	// Triage is a first-divergence artifact for a failing cell.
+	Triage = regress.Triage
+	// TriageFrame is one retired instruction in a triage window.
+	TriageFrame = regress.TriageFrame
+)
+
+// Trace event kinds.
+const (
+	EvInstRetired = telemetry.EvInstRetired
+	EvMemRead     = telemetry.EvMemRead
+	EvMemWrite    = telemetry.EvMemWrite
+	EvRegWrite    = telemetry.EvRegWrite
+	EvIRQEnter    = telemetry.EvIRQEnter
+	EvIRQExit     = telemetry.EvIRQExit
+	EvTrap        = telemetry.EvTrap
+	EvUARTByte    = telemetry.EvUARTByte
+)
+
+// ErrNoTrace is returned by Run when RunSpec.Events is set on a platform
+// without a trace port.
+var ErrNoTrace = platform.ErrNoTrace
+
+// NewTraceRing creates a bounded event ring (capacity <= 0 selects the
+// default).
+func NewTraceRing(capacity int) *TraceRing { return telemetry.NewRing(capacity) }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewTimeline creates a timeline whose clock starts now.
+func NewTimeline() *Timeline { return telemetry.NewTimeline() }
+
+// ParseEventKinds parses a comma-separated kind list
+// ("inst,mem,reg,irq,trap,uart" or "all") into a mask.
+func ParseEventKinds(s string) (EventMask, error) { return telemetry.ParseKinds(s) }
+
+// FirstDivergence replays one image on a reference and a subject
+// platform (both already loaded) and returns the first point where
+// their instruction streams differ.
+func FirstDivergence(ref, subject Platform, spec RunSpec) *Triage {
+	return regress.FirstDivergence(ref, subject, spec)
+}
 
 // ReverifyPort re-runs every test cell of the system around a port,
 // building through the given cache context (zero context = uncached).

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core/randgen"
 	"repro/internal/core/release"
 	"repro/internal/core/sysenv"
+	"repro/internal/core/telemetry"
 	"repro/internal/difftest"
 	"repro/internal/gate"
 	"repro/internal/isa"
@@ -481,5 +482,76 @@ func BenchmarkIrqLatency(b *testing.B) {
 			}
 			b.ReportMetric(latency, "cycles_arm_to_handler")
 		})
+	}
+}
+
+// BenchmarkE12_TracingOverhead measures what the telemetry layer costs on
+// the two platforms developers trace most: nothing measurable when no
+// sink is armed (the per-instruction cost is one nil check), and a
+// bounded slowdown when the full event stream is on. Metrics: simulated
+// instructions per second per mode, events per second when tracing, and
+// the enabled-tracing slowdown factor.
+func BenchmarkE12_TracingOverhead(b *testing.B) {
+	cfg := derivative.A().HW
+	img := testprog.MustBuild(cfg, nil, map[string]string{"t.asm": testprog.LoopProgram(20000)})
+	for _, kind := range []platform.Kind{platform.KindGolden, platform.KindRTL} {
+		offPerInst := 0.0
+		for _, mode := range []string{"off", "masked", "full", "ring"} {
+			b.Run(kind.String()+"/"+mode, func(b *testing.B) {
+				var insts, events uint64
+				for i := 0; i < b.N; i++ {
+					p, err := platform.New(kind, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := p.Load(img); err != nil {
+						b.Fatal(err)
+					}
+					spec := platform.RunSpec{}
+					var ring *telemetry.Ring
+					switch mode {
+					case "off":
+						// No sink armed: the shipped default.
+					case "masked":
+						// Sink armed but masked down to trap events, which
+						// the loop program never raises: arming cost only.
+						spec.Events = telemetry.SinkFunc(func(telemetry.Event) bool { return true })
+						spec.EventMask = telemetry.EvTrap.Bit()
+					case "full":
+						spec.Events = telemetry.SinkFunc(func(telemetry.Event) bool {
+							events++
+							return true
+						})
+					case "ring":
+						ring = telemetry.NewRing(1 << 12)
+						spec.Events = ring
+					}
+					res, err := p.Run(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Passed() {
+						b.Fatalf("loop failed on %s/%s: %+v", kind, mode, res)
+					}
+					insts += res.Instructions
+					if ring != nil {
+						events += ring.Total()
+					}
+				}
+				perInst := b.Elapsed().Seconds() / float64(insts)
+				b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "inst/s")
+				if events > 0 {
+					b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+				}
+				switch mode {
+				case "off":
+					offPerInst = perInst
+				default:
+					if offPerInst > 0 {
+						b.ReportMetric(perInst/offPerInst, "slowdown_x")
+					}
+				}
+			})
+		}
 	}
 }

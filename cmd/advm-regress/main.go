@@ -31,6 +31,9 @@ func main() {
 	junit := flag.String("junit", "", "write a JUnit XML report to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent matrix cells")
 	cache := flag.Bool("cache", true, "memoise assembled units and linked images by content hash")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event timeline of the matrix run (load in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON ('-' for stdout)")
+	triageDir := flag.String("triage-dir", "", "replay failing cells against a reference and write first-divergence artifacts here")
 	flag.Parse()
 
 	sys := advm.StandardSystem()
@@ -40,9 +43,14 @@ func main() {
 	}
 	fmt.Printf("frozen release: %s\n\n", sl)
 
-	spec := advm.RegressionSpec{Workers: *workers}
+	spec := advm.RegressionSpec{Workers: *workers, TriageDir: *triageDir}
 	if *cache {
 		spec.Cache = advm.NewBuildCache()
+	}
+	metrics := advm.NewMetricsRegistry()
+	spec.Metrics = metrics
+	if *traceOut != "" {
+		spec.Timeline = advm.NewTimeline()
 	}
 	if *derivs != "all" {
 		for _, name := range strings.Split(*derivs, ",") {
@@ -97,11 +105,44 @@ func main() {
 		}
 		fmt.Printf("junit report written to %s\n", *junit)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := spec.Timeline.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline written to %s (%d events)\n", *traceOut, spec.Timeline.Len())
+	}
+	if *metricsOut != "" {
+		w := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := metrics.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
+	}
 	if !rep.AllPassed() {
 		if *verbose {
 			for _, f := range rep.Failures() {
 				fmt.Printf("FAIL %s/%s on %s/%s: %s %s %s\n",
 					f.Module, f.Test, f.Derivative, f.Platform, f.Reason, f.Detail, f.BuildErr)
+				if f.Triage != nil {
+					fmt.Printf("  %s\n", f.Triage.Summary())
+				}
 			}
 		}
 		os.Exit(1)

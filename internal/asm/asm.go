@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
+	"repro/internal/core/telemetry"
 	"repro/internal/isa"
 	"repro/internal/obj"
 )
@@ -20,6 +22,9 @@ type Options struct {
 	Resolver Resolver
 	// Listing, when non-nil, receives a human-readable listing.
 	Listing io.Writer
+	// Metrics, when non-nil, receives assembler counters (units
+	// assembled, source lines, per-unit latency).
+	Metrics *telemetry.Registry
 }
 
 // maxErrors bounds diagnostics per assembly.
@@ -29,12 +34,22 @@ const maxErrors = 50
 // used for diagnostics and as the object name; include files are pulled
 // from opts.Resolver.
 func Assemble(name, src string, opts Options) (*obj.Object, error) {
+	if opts.Metrics != nil {
+		t0 := time.Now()
+		defer func() {
+			opts.Metrics.Counter("asm.units").Inc()
+			opts.Metrics.Histogram("asm.assemble_ns").Observe(time.Since(t0))
+		}()
+	}
 	res := opts.Resolver
 	if res == nil {
 		res = MapFS{}
 	}
 	pp := newPreprocessor(res, opts.Defines)
 	lines := strings.Split(src, "\n")
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("asm.lines").Add(uint64(len(lines)))
+	}
 	for i, text := range lines {
 		toks, err := lexLine(name, i+1, text)
 		if err != nil {

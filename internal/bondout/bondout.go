@@ -6,12 +6,19 @@
 package bondout
 
 import (
+	"repro/internal/core/telemetry"
 	"repro/internal/golden"
 	"repro/internal/mem"
 	"repro/internal/obj"
 	"repro/internal/platform"
 	"repro/internal/soc"
 )
+
+// traceFidelity is what the bonded-out trace port carries: the
+// instruction stream plus trap and interrupt markers — no data-side
+// (memory/register/UART) visibility while running.
+const traceFidelity = telemetry.EventMask(1)<<telemetry.EvInstRetired |
+	1<<telemetry.EvTrap | 1<<telemetry.EvIRQEnter | 1<<telemetry.EvIRQExit
 
 // maxHWBreakpoints is the size of the bonded-out breakpoint unit.
 const maxHWBreakpoints = 4
@@ -35,6 +42,7 @@ type Chip struct {
 func New(cfg soc.HWConfig) *Chip {
 	c := &Chip{core: golden.NewCore(soc.New(cfg)), name: "bondout/" + cfg.Name}
 	c.core.DebugStops = true
+	c.core.Fidelity = traceFidelity
 	return c
 }
 
@@ -82,6 +90,7 @@ func (c *Chip) AddWatchpoint(lo, hi uint32) {
 func (c *Chip) Load(img *obj.Image) error {
 	c.core = golden.NewCore(soc.New(c.core.S.Cfg))
 	c.core.DebugStops = true
+	c.core.Fidelity = traceFidelity
 	c.WatchHits = nil
 	return c.core.LoadImage(img)
 }
@@ -93,6 +102,11 @@ func (c *Chip) Run(spec platform.RunSpec) (*platform.Result, error) {
 	}
 	// With breakpoints armed, single-step and compare PC against the
 	// comparators before each instruction.
+	disarm, err := golden.ArmTrace(c.core, c.Caps(), spec)
+	if err != nil {
+		return nil, err
+	}
+	defer disarm()
 	maxInsts := spec.MaxInstructions
 	if maxInsts == 0 {
 		maxInsts = platform.DefaultMaxInstructions
@@ -100,6 +114,10 @@ func (c *Chip) Run(spec platform.RunSpec) (*platform.Result, error) {
 	core := c.core
 	res := &platform.Result{Platform: c.name, Kind: platform.KindBondout}
 	for {
+		if core.StopRequested() {
+			res.Reason = platform.StopAbort
+			break
+		}
 		if core.Insts >= maxInsts {
 			res.Reason = platform.StopMaxInsts
 			break

@@ -25,6 +25,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/core/telemetry"
 )
 
 // Key hashes an ordered list of parts into a content address. Parts are
@@ -99,11 +102,24 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	stats   Stats
+	metrics *telemetry.Registry
 }
 
 // New creates an empty cache.
 func New() *Cache {
 	return &Cache{entries: make(map[string]*entry)}
+}
+
+// SetMetrics mirrors the cache counters into a telemetry registry:
+// buildcache.hits / buildcache.misses / buildcache.merged counters, a
+// buildcache.fill_ns histogram over fill latency, and a
+// buildcache.wait_ns histogram over time spent blocked on another
+// caller's in-flight fill. Call it before sharing the cache between
+// goroutines; a nil registry detaches.
+func (c *Cache) SetMetrics(r *telemetry.Registry) {
+	c.mu.Lock()
+	c.metrics = r
+	c.mu.Unlock()
 }
 
 // Do returns the value cached under key, running fill to compute it on
@@ -119,15 +135,20 @@ func New() *Cache {
 // Do retries.
 func (c *Cache) Do(key string, fill func() (any, int64, error)) (any, error) {
 	c.mu.Lock()
+	m := c.metrics
 	if e, ok := c.entries[key]; ok {
 		select {
 		case <-e.ready:
 			c.stats.Hits++
 			c.mu.Unlock()
+			m.Counter("buildcache.hits").Inc()
 		default:
 			c.stats.Merged++
 			c.mu.Unlock()
+			m.Counter("buildcache.merged").Inc()
+			t0 := time.Now()
 			<-e.ready
+			m.Histogram("buildcache.wait_ns").Observe(time.Since(t0))
 		}
 		return e.val, e.err
 	}
@@ -138,6 +159,8 @@ func (c *Cache) Do(key string, fill func() (any, int64, error)) (any, error) {
 	c.stats.Misses++
 	c.stats.Entries++
 	c.mu.Unlock()
+	m.Counter("buildcache.misses").Inc()
+	fillStart := time.Now()
 
 	completed := false
 	defer func() {
@@ -152,6 +175,7 @@ func (c *Cache) Do(key string, fill func() (any, int64, error)) (any, error) {
 		close(e.ready)
 	}()
 	v, n, err := fill()
+	m.Histogram("buildcache.fill_ns").Observe(time.Since(fillStart))
 	e.val, e.size, e.err = v, n, err
 	completed = true
 	c.mu.Lock()

@@ -24,11 +24,11 @@ func init() {
 
 type panicPlatform struct{}
 
-func (panicPlatform) Name() string                 { return "panic/test" }
-func (panicPlatform) Kind() platform.Kind          { return panicKind }
-func (panicPlatform) Caps() platform.Caps          { return platform.Caps{} }
-func (panicPlatform) SoC() *soc.SoC                { return nil }
-func (panicPlatform) Load(*obj.Image) error        { return nil }
+func (panicPlatform) Name() string          { return "panic/test" }
+func (panicPlatform) Kind() platform.Kind   { return panicKind }
+func (panicPlatform) Caps() platform.Caps   { return platform.Caps{} }
+func (panicPlatform) SoC() *soc.SoC         { return nil }
+func (panicPlatform) Load(*obj.Image) error { return nil }
 func (panicPlatform) Run(platform.RunSpec) (*platform.Result, error) {
 	panic("simulated platform crash")
 }

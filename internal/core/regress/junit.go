@@ -13,27 +13,36 @@ type junitFailure struct {
 	Type    string `xml:"type,attr"`
 }
 
+// junitSystemOut is the <system-out> element; it carries the triage
+// summary for failing cells so CI log views show the divergence PC
+// without opening the artifact file.
+type junitSystemOut struct {
+	Text string `xml:",chardata"`
+}
+
 // junitCase is one <testcase>. Alongside the standard time attribute it
 // carries the build/run split so CI dashboards can separate assembly
 // cost from simulation cost per cell.
 type junitCase struct {
-	ClassName string        `xml:"classname,attr"`
-	Name      string        `xml:"name,attr"`
-	Time      string        `xml:"time,attr"`
-	BuildTime string        `xml:"build_time,attr"`
-	RunTime   string        `xml:"run_time,attr"`
-	Failure   *junitFailure `xml:"failure,omitempty"`
+	ClassName string          `xml:"classname,attr"`
+	Name      string          `xml:"name,attr"`
+	Time      string          `xml:"time,attr"`
+	BuildTime string          `xml:"build_time,attr"`
+	RunTime   string          `xml:"run_time,attr"`
+	Failure   *junitFailure   `xml:"failure,omitempty"`
+	SystemOut *junitSystemOut `xml:"system-out,omitempty"`
 }
 
 // junitSuite is the <testsuite> root.
 type junitSuite struct {
-	XMLName  xml.Name    `xml:"testsuite"`
-	Name     string      `xml:"name,attr"`
-	Tests    int         `xml:"tests,attr"`
-	Failures int         `xml:"failures,attr"`
-	Errors   int         `xml:"errors,attr"`
-	Time     string      `xml:"time,attr"`
-	Cases    []junitCase `xml:"testcase"`
+	XMLName   xml.Name    `xml:"testsuite"`
+	Name      string      `xml:"name,attr"`
+	Tests     int         `xml:"tests,attr"`
+	Failures  int         `xml:"failures,attr"`
+	Errors    int         `xml:"errors,attr"`
+	Time      string      `xml:"time,attr"`
+	Timestamp string      `xml:"timestamp,attr,omitempty"`
+	Cases     []junitCase `xml:"testcase"`
 }
 
 // junitSecs renders nanoseconds as JUnit's fractional seconds.
@@ -46,6 +55,9 @@ func junitSecs(nanos int64) string {
 // Build/link problems map to JUnit errors; test failures to failures.
 func (r *Report) WriteJUnit(w io.Writer) error {
 	suite := junitSuite{Name: "advm-regression/" + r.Label}
+	if !r.Started.IsZero() {
+		suite.Timestamp = r.Started.UTC().Format("2006-01-02T15:04:05")
+	}
 	var totalNanos int64
 	for _, o := range r.Outcomes {
 		c := junitCase{
@@ -68,6 +80,9 @@ func (r *Report) WriteJUnit(w io.Writer) error {
 				Message: fmt.Sprintf("reason=%s mbox=0x%04x %s",
 					o.Reason, o.MboxResult, o.Detail),
 			}
+		}
+		if o.Triage != nil {
+			c.SystemOut = &junitSystemOut{Text: o.Triage.Summary()}
 		}
 		suite.Cases = append(suite.Cases, c)
 	}

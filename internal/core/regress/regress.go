@@ -7,6 +7,8 @@ package regress
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -17,7 +19,9 @@ import (
 	"repro/internal/core/derivative"
 	"repro/internal/core/release"
 	"repro/internal/core/sysenv"
+	"repro/internal/core/telemetry"
 	"repro/internal/platform"
+	"repro/internal/soc"
 )
 
 // Spec selects the regression matrix.
@@ -39,6 +43,25 @@ type Spec struct {
 	// cache). Safe by the release-label invariant: Run refuses unfrozen
 	// systems, and the frozen label's content hash keys every entry.
 	Cache *buildcache.Cache
+	// Metrics, when non-nil, receives regression counters (cells run,
+	// pass/fail/broken, build/run latency histograms) and is threaded
+	// into the build pipeline for assembler and cache counters.
+	Metrics *telemetry.Registry
+	// Timeline, when non-nil, records one build span and one run span
+	// per cell on the executing worker's lane — a Chrome trace-event
+	// rendering of the whole matrix.
+	Timeline *telemetry.Timeline
+	// Triage replays each failing cell against a golden reference
+	// executing the same image and attaches a first-divergence artifact
+	// to the outcome (see triage.go).
+	Triage bool
+	// TriageDir, when non-empty, additionally writes each triage
+	// artifact to a file in that directory (implies Triage).
+	TriageDir string
+	// NewPlatform overrides platform instantiation for both the cell run
+	// and the triage replay; nil means platform.New. Fault-injection
+	// harnesses use it to hand the matrix a deliberately broken device.
+	NewPlatform func(platform.Kind, soc.HWConfig) (platform.Platform, error)
 }
 
 // Outcome is one cell of the regression matrix.
@@ -62,11 +85,16 @@ type Outcome struct {
 	// assembly or link failure, platform error, or a recovered panic.
 	BuildErr string
 	Detail   string
+	// Triage is the first-divergence artifact for a failing cell when
+	// Spec.Triage was set (nil for passing cells).
+	Triage *Triage
 }
 
 // Report is a completed regression.
 type Report struct {
-	Label    string
+	Label string
+	// Started is when the regression began (the JUnit suite timestamp).
+	Started  time.Time
 	Outcomes []Outcome
 }
 
@@ -116,17 +144,26 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	// Bind the cache to the frozen label's content hash: entries written
 	// during this regression are keyed by exactly the content Verify
 	// just attested.
-	bc := sysenv.BuildContext{Cache: spec.Cache, Epoch: label.Epoch()}
+	bc := sysenv.BuildContext{Cache: spec.Cache, Epoch: label.Epoch(), Metrics: spec.Metrics}
+	if spec.Cache != nil && spec.Metrics != nil {
+		spec.Cache.SetMetrics(spec.Metrics)
+	}
+	newPlat := spec.NewPlatform
+	if newPlat == nil {
+		newPlat = platform.New
+	}
+	triage := spec.Triage || spec.TriageDir != ""
 
-	rep := &Report{Label: label.Name}
+	rep := &Report{Label: label.Name, Started: time.Now()}
 	rep.Outcomes = make([]Outcome, len(cells))
-	runCell := func(i int) {
+	runCell := func(worker, i int) {
 		c := cells[i]
 		out := &rep.Outcomes[i]
 		*out = Outcome{
 			Module: c.module, Test: c.test,
 			Derivative: c.d.Name, Platform: c.k,
 		}
+		cellName := fmt.Sprintf("%s/%s %s %s", c.module, c.test, c.d.Name, c.k)
 		// A panicking platform (or build) breaks its own cell, not the
 		// regression: record it and let the other workers finish.
 		defer func() {
@@ -135,16 +172,28 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 				out.BuildErr = fmt.Sprintf("panic: %v", r)
 				out.Detail = firstLines(string(debug.Stack()), 8)
 			}
+			spec.Metrics.Counter("regress.cells").Inc()
+			switch {
+			case out.BuildErr != "":
+				spec.Metrics.Counter("regress.broken").Inc()
+			case out.Passed:
+				spec.Metrics.Counter("regress.passed").Inc()
+			default:
+				spec.Metrics.Counter("regress.failed").Inc()
+			}
 		}()
 		t0 := time.Now()
 		img, err := s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
 		out.BuildNanos = time.Since(t0).Nanoseconds()
+		spec.Metrics.Histogram("regress.build_ns").ObserveNanos(out.BuildNanos)
+		spec.Timeline.Span("build "+cellName, "build", worker, t0, time.Duration(out.BuildNanos),
+			map[string]any{"module": c.module, "test": c.test, "deriv": c.d.Name, "platform": c.k.String()})
 		if err != nil {
 			out.BuildErr = err.Error()
 			return
 		}
 		t1 := time.Now()
-		p, err := platform.New(c.k, c.d.HW)
+		p, err := newPlat(c.k, c.d.HW)
 		if err != nil {
 			out.BuildErr = err.Error()
 			return
@@ -155,6 +204,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		}
 		res, err := p.Run(spec.RunSpec)
 		out.RunNanos = time.Since(t1).Nanoseconds()
+		spec.Metrics.Histogram("regress.run_ns").ObserveNanos(out.RunNanos)
+		spec.Timeline.Span("run "+cellName, "run", worker, t1, time.Duration(out.RunNanos),
+			map[string]any{"platform": c.k.String()})
 		if err != nil {
 			out.BuildErr = err.Error()
 			return
@@ -165,12 +217,37 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		out.Cycles = res.Cycles
 		out.Insts = res.Instructions
 		out.Detail = res.Detail
+		if triage && !out.Passed && c.k != platform.KindGolden {
+			// Under a fault-injection harness the reference is a pristine
+			// instance of the subject's own kind: cycle-identical, so the
+			// first divergence is the injected fault, not a timing loop.
+			refKind := platform.KindGolden
+			if spec.NewPlatform != nil {
+				refKind = c.k
+			}
+			t2 := time.Now()
+			tri, terr := triageCell(img, c.d.HW, c.k, refKind, newPlat, spec.RunSpec)
+			spec.Timeline.Span("triage "+cellName, "triage", worker, t2, time.Since(t2), nil)
+			if terr != nil {
+				out.Detail = strings.TrimSpace(out.Detail + "\ntriage failed: " + terr.Error())
+				return
+			}
+			spec.Metrics.Counter("regress.triaged").Inc()
+			tri.Module, tri.Test, tri.Derivative = c.module, c.test, c.d.Name
+			out.Triage = tri
+			if spec.TriageDir != "" {
+				if werr := writeTriageFile(spec.TriageDir, tri); werr != nil {
+					out.Detail = strings.TrimSpace(out.Detail + "\ntriage write failed: " + werr.Error())
+				}
+			}
+		}
 	}
 
 	workers := spec.Workers
 	if workers <= 1 {
+		spec.Timeline.NameLane(0, "worker-0")
 		for i := range cells {
-			runCell(i)
+			runCell(0, i)
 		}
 		return rep, nil
 	}
@@ -181,12 +258,13 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			spec.Timeline.NameLane(worker, fmt.Sprintf("worker-%d", worker))
 			for i := range next {
-				runCell(i)
+				runCell(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := range cells {
 		next <- i
@@ -194,6 +272,23 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	close(next)
 	wg.Wait()
 	return rep, nil
+}
+
+// writeTriageFile renders one triage artifact into dir, creating it if
+// needed. The file name encodes the cell coordinates.
+func writeTriageFile(dir string, t *Triage) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("triage_%s_%s_%s_%s.txt", t.Module, t.Test, t.Derivative, t.Platform)
+	name = strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '-'
+		}
+		return r
+	}, name)
+	return os.WriteFile(filepath.Join(dir, name), []byte(t.Render()), 0o644)
 }
 
 // AllPassed reports whether every cell passed.
@@ -305,8 +400,9 @@ type KindTime struct {
 }
 
 // TimesByKind sums per-cell build and run time for each platform kind,
-// in kind order. The sums are over cells, not wall clock: concurrent
-// workers overlap them.
+// in the paper's platform order (golden, rtl, gate, emulator, bondout,
+// silicon) — the speed-ladder order every table in Section 4 uses. The
+// sums are over cells, not wall clock: concurrent workers overlap them.
 func (r *Report) TimesByKind() []KindTime {
 	acc := map[platform.Kind]*KindTime{}
 	for _, o := range r.Outcomes {
@@ -320,11 +416,21 @@ func (r *Report) TimesByKind() []KindTime {
 		kt.RunNanos += o.RunNanos
 	}
 	out := make([]KindTime, 0, len(acc))
-	for _, kt := range acc {
-		out = append(out, *kt)
+	for _, k := range []platform.Kind{platform.KindGolden, platform.KindRTL,
+		platform.KindGate, platform.KindEmulator, platform.KindBondout, platform.KindSilicon} {
+		if kt, ok := acc[k]; ok {
+			out = append(out, *kt)
+			delete(acc, k)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
-	return out
+	// Any kind outside the canonical six (future ladder rungs) follows,
+	// in numeric order, so the result stays total and deterministic.
+	var rest []KindTime
+	for _, kt := range acc {
+		rest = append(rest, *kt)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Kind < rest[j].Kind })
+	return append(out, rest...)
 }
 
 // firstLines truncates s to its first n lines.

@@ -1,0 +1,125 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// syntheticReport builds a report with outcomes deliberately inserted in
+// a scrambled platform order.
+func syntheticReport() *Report {
+	mk := func(k platform.Kind, passed bool, build, run int64) Outcome {
+		return Outcome{
+			Module: "NVM", Test: "T1", Derivative: "SC88-A",
+			Platform: k, Passed: passed,
+			BuildNanos: build, RunNanos: run,
+		}
+	}
+	return &Report{
+		Label:   "SYSREG_T",
+		Started: time.Date(2026, 8, 6, 12, 30, 0, 0, time.UTC),
+		Outcomes: []Outcome{
+			mk(platform.KindSilicon, true, 5e6, 1e6),
+			mk(platform.KindGolden, true, 3e6, 2e6),
+			mk(platform.KindBondout, true, 4e6, 7e6),
+			mk(platform.KindRTL, false, 2e6, 9e6),
+			mk(platform.KindGolden, true, 1e6, 1e6),
+			mk(platform.KindEmulator, true, 6e6, 3e6),
+			mk(platform.KindGate, true, 8e6, 4e6),
+		},
+	}
+}
+
+// TestTimesByKindPaperOrder: the speed-ladder aggregation must come out
+// in the paper's platform order regardless of outcome order, with
+// per-kind sums.
+func TestTimesByKindPaperOrder(t *testing.T) {
+	rep := syntheticReport()
+	times := rep.TimesByKind()
+	wantOrder := []platform.Kind{
+		platform.KindGolden, platform.KindRTL, platform.KindGate,
+		platform.KindEmulator, platform.KindBondout, platform.KindSilicon,
+	}
+	if len(times) != len(wantOrder) {
+		t.Fatalf("kinds = %d, want %d", len(times), len(wantOrder))
+	}
+	for i, kt := range times {
+		if kt.Kind != wantOrder[i] {
+			t.Errorf("position %d = %s, want %s", i, kt.Kind, wantOrder[i])
+		}
+	}
+	if g := times[0]; g.Cells != 2 || g.BuildNanos != 4e6 || g.RunNanos != 3e6 {
+		t.Errorf("golden aggregate = %+v", g)
+	}
+}
+
+// TestTableStable: Table() must render identically across calls (map
+// iteration must not leak into the output) and carry the per-platform
+// time columns.
+func TestTableStable(t *testing.T) {
+	rep := syntheticReport()
+	first := rep.Table()
+	for i := 0; i < 20; i++ {
+		if got := rep.Table(); got != first {
+			t.Fatalf("table rendering unstable on call %d:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	for _, want := range []string{"platform", "build_ms", "run_ms", "golden", "silicon", "SC88-A"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("table missing %q:\n%s", want, first)
+		}
+	}
+	// Rows must follow the same paper order as TimesByKind.
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	var rows []string
+	for _, l := range lines[1:] {
+		rows = append(rows, strings.Fields(l)[0])
+	}
+	// Table sorts kinds numerically, which is the paper order.
+	want := []string{"golden", "rtl", "gate", "emulator", "bondout", "silicon"}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("table row %d = %s, want %s", i, rows[i], want[i])
+		}
+	}
+}
+
+// TestJUnitTimestampAndTriageSystemOut: the suite carries the start
+// timestamp and failing cells with triage carry a <system-out> summary.
+func TestJUnitTimestampAndTriageSystemOut(t *testing.T) {
+	rep := syntheticReport()
+	rep.Outcomes[3].Triage = &Triage{
+		Module: "NVM", Test: "T1", Derivative: "SC88-A",
+		Platform: platform.KindRTL, Reference: platform.KindGolden,
+		Kind: TriagePCMismatch, DivergencePC: 0x0000031c, SubjectPC: 0x00000320,
+		FrameIndex: 41,
+	}
+	var sb strings.Builder
+	if err := rep.WriteJUnit(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`timestamp="2026-08-06T12:30:00"`,
+		"<system-out>",
+		"0x0000031c",
+		"first divergence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("junit missing %q:\n%s", want, out)
+		}
+	}
+	// A report without a start time must omit the attribute rather than
+	// render a zero date.
+	rep.Started = time.Time{}
+	sb.Reset()
+	if err := rep.WriteJUnit(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "timestamp=") {
+		t.Error("zero Started must omit the timestamp attribute")
+	}
+}

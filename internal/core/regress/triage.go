@@ -1,0 +1,436 @@
+// First-divergence triage. When a matrix cell fails on a platform that
+// has a trace port, the cell's image is replayed on two platforms at
+// once — the failing platform and a golden reference executing the very
+// same binary — with the telemetry event stream armed on both. The two
+// streams are compared instruction by instruction, frame-locked on
+// retired PCs, until the first divergence: a PC mismatch, a register
+// write with the wrong value, or one side ending early. The triage
+// artifact names the exact divergence PC, carries a ±triageWindow
+// instruction window from both sides, and diffs the architectural
+// register state accumulated up to the divergence. Memory is bounded:
+// frames stream through channels and only the sliding window is kept,
+// so a million-instruction replay costs a few kilobytes.
+//
+// This automates the paper's debugging ladder: a silicon or emulator
+// failure is reproduced on the best platform that can see it, and the
+// observable difference against the golden model is pinned to one
+// instruction before a human ever opens a waveform.
+
+package regress
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/telemetry"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// triageWindow is how many retired instructions are kept on each side
+// of the divergence.
+const triageWindow = 8
+
+// Divergence kinds.
+const (
+	TriagePCMismatch  = "pc-mismatch"
+	TriageRegMismatch = "reg-write-mismatch"
+	TriageEarlyEnd    = "stream-end"
+	TriageNone        = "no-divergence"
+	TriageNoTracePort = "no-trace-port"
+)
+
+// TriageFrame is one retired instruction with the register writes (and,
+// at golden fidelity, memory accesses) it performed.
+type TriageFrame struct {
+	// Index is the retired-instruction ordinal (0-based).
+	Index  int
+	PC     uint32
+	Disasm string
+	Writes []telemetry.Event
+}
+
+func (f TriageFrame) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-6d pc=0x%08x", f.Index, f.PC)
+	if f.Disasm != "" {
+		fmt.Fprintf(&b, "  %s", f.Disasm)
+	}
+	for _, w := range f.Writes {
+		if w.Kind == telemetry.EvRegWrite {
+			fmt.Fprintf(&b, "  %s=0x%08x", telemetry.RegName(w.Reg), w.Value)
+		}
+	}
+	return b.String()
+}
+
+// RegDelta is one architectural register whose accumulated value
+// differs between the two sides at the divergence point.
+type RegDelta struct {
+	Reg     string
+	Ref     uint32
+	Subject uint32
+}
+
+// Triage is a first-divergence artifact for one failing cell.
+type Triage struct {
+	Module     string
+	Test       string
+	Derivative string
+	Platform   platform.Kind
+	// Reference is the platform kind the subject was compared against:
+	// golden by default, or a pristine instance of the subject's own
+	// kind when Spec.NewPlatform is set (a fault-injection harness) —
+	// same-kind references are cycle-identical, so timing-dependent
+	// polling loops stay in lockstep and the first divergence is the
+	// injected fault itself.
+	Reference platform.Kind
+	// Kind classifies the divergence (TriagePCMismatch, ...).
+	Kind string
+	// DivergencePC is the PC where behaviour first differed: the
+	// reference (expected) PC for a control-flow divergence, the shared
+	// PC for a wrong register write.
+	DivergencePC uint32
+	// SubjectPC is the failing platform's PC at the divergence (equal to
+	// DivergencePC for a register-value divergence).
+	SubjectPC uint32
+	// FrameIndex is the retired-instruction ordinal of the divergence.
+	FrameIndex int
+	// RefWindow and SubjectWindow hold up to triageWindow frames before
+	// the divergence, the diverging frame, and up to triageWindow frames
+	// after, per side.
+	RefWindow     []TriageFrame
+	SubjectWindow []TriageFrame
+	// RegDiffs lists registers whose accumulated write state differs at
+	// the divergence.
+	RegDiffs []RegDelta
+	// Note carries free-form context (why triage was skipped, stream
+	// lengths, ...).
+	Note string
+}
+
+// Summary is a one-line rendering for tables and JUnit output.
+func (t *Triage) Summary() string {
+	switch t.Kind {
+	case TriagePCMismatch:
+		return fmt.Sprintf("triage: first divergence at instruction #%d: %s pc=0x%08x, %s pc=0x%08x",
+			t.FrameIndex, t.Reference, t.DivergencePC, t.Platform, t.SubjectPC)
+	case TriageRegMismatch:
+		return fmt.Sprintf("triage: first divergence at pc=0x%08x (instruction #%d): wrong register write on %s vs %s",
+			t.DivergencePC, t.FrameIndex, t.Platform, t.Reference)
+	case TriageEarlyEnd:
+		return fmt.Sprintf("triage: %s stream ended at instruction #%d (pc=0x%08x) while %s continued",
+			t.Platform, t.FrameIndex, t.DivergencePC, t.Reference)
+	case TriageNone:
+		return fmt.Sprintf("triage: instruction streams identical over %d instructions — failure reproduces on %s and is not a platform divergence",
+			t.FrameIndex, t.Reference)
+	case TriageNoTracePort:
+		return "triage: " + t.Note
+	}
+	return "triage: " + t.Kind
+}
+
+// Render produces the full text artifact.
+func (t *Triage) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ADVM first-divergence triage\n")
+	fmt.Fprintf(&b, "cell: %s/%s on %s derivative %s\n", t.Module, t.Test, t.Platform, t.Derivative)
+	fmt.Fprintf(&b, "%s\n", t.Summary())
+	if t.Note != "" && t.Kind != TriageNoTracePort {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	if len(t.RegDiffs) > 0 {
+		b.WriteString("\nregister state at divergence (accumulated writes):\n")
+		fmt.Fprintf(&b, "  %-6s %-12s %-12s\n", "reg", t.Reference.String(), t.Platform.String())
+		for _, d := range t.RegDiffs {
+			fmt.Fprintf(&b, "  %-6s 0x%08x   0x%08x\n", d.Reg, d.Ref, d.Subject)
+		}
+	}
+	writeWindow := func(name string, win []TriageFrame) {
+		if len(win) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n%s window (±%d instructions around divergence):\n", name, triageWindow)
+		for _, f := range win {
+			marker := "  "
+			if f.Index == t.FrameIndex {
+				marker = "=>"
+			}
+			fmt.Fprintf(&b, " %s %s\n", marker, f)
+		}
+	}
+	writeWindow(t.Reference.String(), t.RefWindow)
+	writeWindow(t.Platform.String(), t.SubjectWindow)
+	return b.String()
+}
+
+// frameStream converts a platform run into a channel of TriageFrames.
+// The platform runs in its own goroutine; the sink groups events into
+// one frame per retired instruction. Closing quit makes the sink return
+// false, which aborts the run with StopAbort — how the comparator stops
+// both sides once the divergence window is complete.
+func frameStream(p platform.Platform, spec platform.RunSpec, quit <-chan struct{}) <-chan TriageFrame {
+	out := make(chan TriageFrame, 64)
+	var cur *TriageFrame
+	idx := 0
+	spec.Trace = nil
+	spec.EventMask = telemetry.EvInstRetired.Bit() | telemetry.EvRegWrite.Bit()
+	spec.Events = telemetry.SinkFunc(func(ev telemetry.Event) bool {
+		if ev.Kind != telemetry.EvInstRetired {
+			if cur != nil {
+				cur.Writes = append(cur.Writes, ev)
+			}
+			return true
+		}
+		if cur != nil {
+			select {
+			case out <- *cur:
+			case <-quit:
+				return false
+			}
+		}
+		cur = &TriageFrame{Index: idx, PC: ev.PC, Disasm: ev.Disasm}
+		idx++
+		return true
+	})
+	go func() {
+		defer close(out)
+		// Run errors (and the final partial frame) end the stream; the
+		// comparator treats a shorter stream as TriageEarlyEnd.
+		if _, err := p.Run(spec); err != nil {
+			return
+		}
+		if cur != nil {
+			select {
+			case out <- *cur:
+			case <-quit:
+			}
+		}
+	}()
+	return out
+}
+
+// shadowRegs accumulates architectural register state from observed
+// register-write events.
+type shadowRegs map[uint8]uint32
+
+func (s shadowRegs) apply(f TriageFrame) {
+	for _, w := range f.Writes {
+		if w.Kind == telemetry.EvRegWrite {
+			s[w.Reg] = w.Value
+		}
+	}
+}
+
+// regWrites extracts the (reg, value) sequence of a frame.
+func regWrites(f TriageFrame) []telemetry.Event {
+	var out []telemetry.Event
+	for _, w := range f.Writes {
+		if w.Kind == telemetry.EvRegWrite {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// sameRegWrites reports whether two frames performed identical register
+// writes (same registers, same values, same order).
+func sameRegWrites(a, b TriageFrame) bool {
+	wa, wb := regWrites(a), regWrites(b)
+	if len(wa) != len(wb) {
+		return false
+	}
+	for i := range wa {
+		if wa[i].Reg != wb[i].Reg || wa[i].Value != wb[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// compareRegsOn reports whether a platform kind's trace fidelity
+// includes register writes, i.e. whether frame-level register
+// comparison against golden is meaningful.
+func compareRegsOn(k platform.Kind) bool {
+	switch k {
+	case platform.KindGolden, platform.KindRTL, platform.KindGate:
+		return true
+	}
+	return false
+}
+
+// FirstDivergence replays one image on a reference platform and on the
+// subject platform, both freshly loaded, and returns the first point
+// where their instruction streams differ. Both platforms must be
+// loaded with the same image by the caller. spec bounds both replays.
+func FirstDivergence(ref, subject platform.Platform, spec platform.RunSpec) *Triage {
+	quit := make(chan struct{})
+	gold := frameStream(ref, spec, quit)
+	subj := frameStream(subject, spec, quit)
+	defer func() {
+		// Stop both runs and drain so the goroutines exit.
+		for range gold {
+		}
+		for range subj {
+		}
+	}()
+
+	t := &Triage{Platform: subject.Kind(), Reference: ref.Kind()}
+	compareRegs := compareRegsOn(subject.Kind()) && compareRegsOn(ref.Kind())
+	gRegs, sRegs := shadowRegs{}, shadowRegs{}
+	var window []struct{ g, s TriageFrame }
+	frames := 0
+	for {
+		gf, gok := <-gold
+		sf, sok := <-subj
+		switch {
+		case !gok && !sok:
+			t.Kind = TriageNone
+			t.FrameIndex = frames
+			close(quit)
+			return t
+		case gok != sok:
+			t.Kind = TriageEarlyEnd
+			t.FrameIndex = frames
+			if gok {
+				t.DivergencePC = gf.PC
+				gRegs.apply(gf)
+				window = append(window, struct{ g, s TriageFrame }{gf, TriageFrame{Index: -1}})
+			} else {
+				t.DivergencePC = sf.PC
+				t.SubjectPC = sf.PC
+				sRegs.apply(sf)
+				window = append(window, struct{ g, s TriageFrame }{TriageFrame{Index: -1}, sf})
+			}
+		case gf.PC != sf.PC:
+			t.Kind = TriagePCMismatch
+			t.FrameIndex = gf.Index
+			t.DivergencePC = gf.PC
+			t.SubjectPC = sf.PC
+			gRegs.apply(gf)
+			sRegs.apply(sf)
+			window = append(window, struct{ g, s TriageFrame }{gf, sf})
+		case compareRegs && !sameRegWrites(gf, sf):
+			t.Kind = TriageRegMismatch
+			t.FrameIndex = gf.Index
+			t.DivergencePC = gf.PC
+			t.SubjectPC = sf.PC
+			gRegs.apply(gf)
+			sRegs.apply(sf)
+			window = append(window, struct{ g, s TriageFrame }{gf, sf})
+		default:
+			// In lockstep: advance the sliding window and shadow state.
+			gRegs.apply(gf)
+			sRegs.apply(sf)
+			window = append(window, struct{ g, s TriageFrame }{gf, sf})
+			if len(window) > triageWindow {
+				window = window[1:]
+			}
+			frames++
+			continue
+		}
+		break
+	}
+
+	// Divergence found: collect up to triageWindow trailing frames from
+	// each side, then stop both runs.
+	for i := 0; i < triageWindow; i++ {
+		if gf, ok := <-gold; ok {
+			window = append(window, struct{ g, s TriageFrame }{gf, TriageFrame{Index: -1}})
+		} else {
+			break
+		}
+	}
+	tail := len(window)
+	for i := 0; i < triageWindow; i++ {
+		if sf, ok := <-subj; ok {
+			window = append(window, struct{ g, s TriageFrame }{TriageFrame{Index: -1}, sf})
+		} else {
+			break
+		}
+	}
+	close(quit)
+
+	for _, w := range window[:tail] {
+		if w.g.Index >= 0 {
+			t.RefWindow = append(t.RefWindow, w.g)
+		}
+		if w.s.Index >= 0 {
+			t.SubjectWindow = append(t.SubjectWindow, w.s)
+		}
+	}
+	for _, w := range window[tail:] {
+		if w.s.Index >= 0 {
+			t.SubjectWindow = append(t.SubjectWindow, w.s)
+		}
+	}
+	if compareRegs {
+		t.RegDiffs = diffShadow(gRegs, sRegs)
+	}
+	return t
+}
+
+// diffShadow lists registers whose accumulated state differs, in
+// register order.
+func diffShadow(g, s shadowRegs) []RegDelta {
+	regs := map[uint8]bool{}
+	for r := range g {
+		regs[r] = true
+	}
+	for r := range s {
+		regs[r] = true
+	}
+	var order []int
+	for r := range regs {
+		order = append(order, int(r))
+	}
+	sort.Ints(order)
+	var out []RegDelta
+	for _, r := range order {
+		gv, sv := g[uint8(r)], s[uint8(r)]
+		if gv != sv {
+			out = append(out, RegDelta{Reg: telemetry.RegName(uint8(r)), Ref: gv, Subject: sv})
+		}
+	}
+	return out
+}
+
+// triageCell builds the triage artifact for one failing cell: it loads
+// the cell's image into a fresh reference platform and a fresh subject
+// platform and runs FirstDivergence. The subject goes through newPlat,
+// so injected faults are reproduced; the reference is always a pristine
+// platform.New instance. refKind selects the reference rung: golden by
+// default, the subject's own kind under a fault-injection harness
+// (cycle-identical, so timing-dependent polling loops cannot diverge
+// benignly). Platforms without a trace port yield a stub artifact
+// explaining that triage needs a higher rung of the ladder.
+func triageCell(img *obj.Image, hw soc.HWConfig, k, refKind platform.Kind,
+	newPlat func(platform.Kind, soc.HWConfig) (platform.Platform, error),
+	spec platform.RunSpec) (*Triage, error) {
+
+	subject, err := newPlat(k, hw)
+	if err != nil {
+		return nil, err
+	}
+	if !subject.Caps().Trace {
+		return &Triage{
+			Platform:  k,
+			Reference: refKind,
+			Kind:      TriageNoTracePort,
+			Note:      fmt.Sprintf("%s has no trace port; reproduce on a platform with Caps.Trace (golden, rtl, gate, bondout) to locate the divergence", k),
+		}, nil
+	}
+	ref, err := platform.New(refKind, hw)
+	if err != nil {
+		return nil, err
+	}
+	if err := subject.Load(img); err != nil {
+		return nil, err
+	}
+	if err := ref.Load(img); err != nil {
+		return nil, err
+	}
+	return FirstDivergence(ref, subject, spec), nil
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core/buildcache"
 	"repro/internal/core/derivative"
 	"repro/internal/core/env"
+	"repro/internal/core/telemetry"
 	"repro/internal/obj"
 	"repro/internal/platform"
 )
@@ -42,6 +43,10 @@ type BuildContext struct {
 	// entries were built from (System.ContentEpoch or
 	// release.SystemLabel.Epoch — identical derivations).
 	Epoch string
+	// Metrics, when non-nil, receives assembler counters for every unit
+	// actually assembled through this context (cache hits assemble
+	// nothing and therefore count nothing).
+	Metrics *telemetry.Registry
 }
 
 // Enabled reports whether the context actually caches.
@@ -127,7 +132,7 @@ func (s *System) BuildTestWith(bc BuildContext, module, testID string, d *deriva
 	cfg := obj.LinkConfig{TextBase: d.HW.RomBase, DataBase: d.HW.RamBase, Entry: "_start"}
 
 	assembleUnit := func(i int, key string) (*obj.Object, error) {
-		opts := asm.Options{Defines: defs, Resolver: res}
+		opts := asm.Options{Defines: defs, Resolver: res, Metrics: bc.Metrics}
 		if key == "" {
 			return asm.Assemble(units[i].name, srcs[i], opts)
 		}

@@ -1,0 +1,304 @@
+// Package telemetry is the unified observability layer of the ADVM
+// reproduction: a structured execution-trace event stream with a bounded
+// ring buffer, a concurrency-safe metrics registry, and a Chrome
+// trace-event (Perfetto-loadable) timeline exporter.
+//
+// The paper's six-platform ladder differs chiefly in observability —
+// platform.Caps already models per-platform trace/register/memory
+// visibility — and this package gives that model teeth: platforms whose
+// trace port exists emit Events at their fidelity (the golden model
+// fully; RTL and gate-level at instruction+register granularity; bondout
+// through its bonded-out trace port), while platforms without one refuse
+// with platform.ErrNoTrace. The package is a leaf: it imports only the
+// standard library, so the assembler, the build cache, the platforms,
+// and the regression runner can all depend on it without cycles.
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// EventKind enumerates the execution-trace event classes.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvInstRetired: one instruction executed. PC and Disasm identify it;
+	// Insts/Cycles are the counters after retirement.
+	EvInstRetired EventKind = iota
+	// EvMemRead: a data-space read. Addr/Value carry the access.
+	EvMemRead
+	// EvMemWrite: a data-space write. Addr/Value carry the access.
+	EvMemWrite
+	// EvRegWrite: an architectural register changed. Reg names it (see
+	// RegName), Value is the new contents.
+	EvRegWrite
+	// EvIRQEnter: an asynchronous interrupt was dispatched. Addr is the
+	// handler entry, Value the ICAUSE code.
+	EvIRQEnter
+	// EvIRQExit: an RFE returned from a trap or interrupt handler. Addr
+	// is the resume PC.
+	EvIRQExit
+	// EvTrap: a synchronous trap was dispatched (fault, TRAP, illegal).
+	// Addr is the handler entry, Value the ICAUSE code.
+	EvTrap
+	// EvUARTByte: a byte left the UART shifter. Value holds the byte.
+	EvUARTByte
+
+	numEventKinds
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvInstRetired:
+		return "inst"
+	case EvMemRead:
+		return "mem-read"
+	case EvMemWrite:
+		return "mem-write"
+	case EvRegWrite:
+		return "reg-write"
+	case EvIRQEnter:
+		return "irq-enter"
+	case EvIRQExit:
+		return "irq-exit"
+	case EvTrap:
+		return "trap"
+	case EvUARTByte:
+		return "uart-byte"
+	}
+	return "event?"
+}
+
+// Bit returns the kind's mask bit.
+func (k EventKind) Bit() EventMask { return 1 << k }
+
+// EventMask selects event kinds. The zero mask means "everything" at the
+// RunSpec level (callers that don't care get full fidelity); use Has on
+// an Effective() mask when filtering.
+type EventMask uint16
+
+// MaskAll selects every event kind.
+const MaskAll EventMask = 1<<numEventKinds - 1
+
+// MaskInstOnly selects instruction-retirement events only.
+const MaskInstOnly = EventMask(1) << EvInstRetired
+
+// Has reports whether the mask includes kind.
+func (m EventMask) Has(k EventKind) bool { return m&k.Bit() != 0 }
+
+// Effective maps the zero mask to MaskAll.
+func (m EventMask) Effective() EventMask {
+	if m == 0 {
+		return MaskAll
+	}
+	return m
+}
+
+// ParseKinds parses a comma-separated kind list ("inst,mem,reg,irq,
+// trap,uart") into a mask. "all" or "" yields MaskAll. "mem" selects
+// both read and write; "irq" selects enter and exit.
+func ParseKinds(s string) (EventMask, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return MaskAll, nil
+	}
+	var m EventMask
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "inst":
+			m |= EvInstRetired.Bit()
+		case "mem":
+			m |= EvMemRead.Bit() | EvMemWrite.Bit()
+		case "mem-read":
+			m |= EvMemRead.Bit()
+		case "mem-write":
+			m |= EvMemWrite.Bit()
+		case "reg", "reg-write":
+			m |= EvRegWrite.Bit()
+		case "irq":
+			m |= EvIRQEnter.Bit() | EvIRQExit.Bit()
+		case "trap":
+			m |= EvTrap.Bit()
+		case "uart", "uart-byte":
+			m |= EvUARTByte.Bit()
+		case "":
+		default:
+			return 0, fmt.Errorf("telemetry: unknown event kind %q (inst, mem, reg, irq, trap, uart, all)", part)
+		}
+	}
+	if m == 0 {
+		return MaskAll, nil
+	}
+	return m, nil
+}
+
+// Register codes for Event.Reg.
+const (
+	RegD0  uint8 = 0  // d0..d15 are 0..15
+	RegA0  uint8 = 16 // a0..a15 are 16..31
+	RegPSW uint8 = 32
+	RegPC  uint8 = 33
+)
+
+// RegName renders a register code.
+func RegName(code uint8) string {
+	switch {
+	case code < 16:
+		return fmt.Sprintf("d%d", code)
+	case code < 32:
+		return fmt.Sprintf("a%d", code-16)
+	case code == RegPSW:
+		return "psw"
+	case code == RegPC:
+		return "pc"
+	}
+	return fmt.Sprintf("r?%d", code)
+}
+
+// Event is one execution-trace record. The meaning of Addr, Value and
+// Reg depends on Kind; Seq is the per-run emission sequence number and
+// Insts/Cycles snapshot the platform's counters at emission time.
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	Seq    uint64    `json:"seq"`
+	PC     uint32    `json:"pc"`
+	Addr   uint32    `json:"addr,omitempty"`
+	Value  uint32    `json:"value,omitempty"`
+	Reg    uint8     `json:"reg,omitempty"`
+	Disasm string    `json:"disasm,omitempty"`
+	Insts  uint64    `json:"insts"`
+	Cycles uint64    `json:"cycles"`
+}
+
+// String renders a one-line human-readable form.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvInstRetired:
+		return fmt.Sprintf("%-9s pc=0x%08x %s", e.Kind, e.PC, e.Disasm)
+	case EvMemRead, EvMemWrite:
+		return fmt.Sprintf("%-9s pc=0x%08x [0x%08x] = 0x%08x", e.Kind, e.PC, e.Addr, e.Value)
+	case EvRegWrite:
+		return fmt.Sprintf("%-9s pc=0x%08x %s = 0x%08x", e.Kind, e.PC, RegName(e.Reg), e.Value)
+	case EvIRQEnter, EvTrap:
+		return fmt.Sprintf("%-9s pc=0x%08x handler=0x%08x cause=0x%x", e.Kind, e.PC, e.Addr, e.Value)
+	case EvIRQExit:
+		return fmt.Sprintf("%-9s pc=0x%08x resume=0x%08x", e.Kind, e.PC, e.Addr)
+	case EvUARTByte:
+		return fmt.Sprintf("%-9s pc=0x%08x byte=0x%02x", e.Kind, e.PC, e.Value)
+	}
+	return fmt.Sprintf("%-9s pc=0x%08x", e.Kind, e.PC)
+}
+
+// EventSink receives execution-trace events. Emit returns false to ask
+// the emitting platform to stop the run (the run ends with
+// StopReason "aborted"); sinks that never stop simply return true.
+// Platforms call Emit from the simulation goroutine only, but a sink may
+// be shared between concurrently running platforms, so implementations
+// must be safe for concurrent use.
+type EventSink interface {
+	Emit(Event) bool
+}
+
+// SinkFunc adapts a function to an EventSink.
+type SinkFunc func(Event) bool
+
+// Emit implements EventSink.
+func (f SinkFunc) Emit(e Event) bool { return f(e) }
+
+// DefaultRingCapacity bounds a Ring created with capacity <= 0.
+const DefaultRingCapacity = 1 << 16
+
+// Ring is a bounded event ring buffer: the canonical EventSink for
+// post-mortem inspection. When full it overwrites the oldest events and
+// counts them as dropped — exactly what a hardware trace buffer does.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing creates a ring holding up to capacity events
+// (DefaultRingCapacity if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit implements EventSink; it never requests a stop.
+func (r *Ring) Emit(e Event) bool {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+		}
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+	return true
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Len reports the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total reports every event ever emitted, including overwritten ones.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped reports how many events were overwritten.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
+// Reset empties the ring.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.full = false
+	r.total = 0
+}
+
+// CountByKind tallies the buffered events per kind.
+func (r *Ring) CountByKind() map[EventKind]int {
+	out := map[EventKind]int{}
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

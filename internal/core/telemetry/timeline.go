@@ -1,0 +1,136 @@
+package telemetry
+
+// Timeline collects wall-clock spans and instants and exports them in
+// the Chrome trace-event JSON format, loadable in Perfetto or
+// chrome://tracing. The regression runner records one span per cell
+// build and per cell run, keyed by worker, so a matrix run renders as a
+// per-worker lane diagram: build latency, run latency, cache effects,
+// and worker imbalance become visible at a glance.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// chromeEvent is one entry of the traceEvents array. Fields follow the
+// Trace Event Format: ph "X" is a complete span (ts+dur), "i" an
+// instant, "M" metadata (thread names). Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Timeline is a concurrency-safe span collector. The zero value is not
+// usable; call NewTimeline. A nil *Timeline swallows records, so call
+// sites need no guards.
+type Timeline struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []chromeEvent
+}
+
+// NewTimeline creates a timeline whose clock starts now.
+func NewTimeline() *Timeline {
+	return &Timeline{start: time.Now()}
+}
+
+// Start returns the timeline's epoch; spans are expressed relative to it.
+func (t *Timeline) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+func (t *Timeline) add(e chromeEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// micros converts a wall-clock instant to trace microseconds.
+func (t *Timeline) micros(at time.Time) float64 {
+	return float64(at.Sub(t.start).Nanoseconds()) / 1e3
+}
+
+// Span records a completed span on lane tid, started at start and
+// lasting dur. args are attached verbatim (keep them small).
+func (t *Timeline) Span(name, cat string, tid int, start time.Time, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(chromeEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts:  t.micros(start),
+		Dur: float64(dur.Nanoseconds()) / 1e3,
+		Pid: 1, Tid: tid, Args: args,
+	})
+}
+
+// Instant records a point event on lane tid at time now.
+func (t *Timeline) Instant(name, cat string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(chromeEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		Ts:  t.micros(time.Now()),
+		Pid: 1, Tid: tid, Args: args,
+	})
+}
+
+// NameLane attaches a human-readable name to lane tid (rendered as the
+// thread name in Perfetto).
+func (t *Timeline) NameLane(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Len reports the number of recorded events.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// chromeTrace is the JSON object format root ({"traceEvents": [...]}),
+// which both Perfetto and chrome://tracing accept.
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace renders the timeline as Chrome trace-event JSON.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	if t != nil {
+		t.mu.Lock()
+		evs = append(evs, t.events...)
+		t.mu.Unlock()
+	}
+	if evs == nil {
+		evs = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents: evs,
+		Metadata:    map[string]any{"producer": "advm telemetry"},
+	})
+}

@@ -9,6 +9,7 @@ package golden
 import (
 	"fmt"
 
+	"repro/internal/core/telemetry"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/obj"
@@ -56,6 +57,21 @@ type Core struct {
 
 	// Img allows source-level trace annotation.
 	Img *obj.Image
+
+	// Sink receives execution-trace events when armed (see ArmTrace);
+	// nil keeps every telemetry hook on the nil fast path.
+	Sink telemetry.EventSink
+	// Mask is the effective event selection while the sink is armed.
+	Mask telemetry.EventMask
+	// Fidelity is the platform's trace-port fidelity: which event kinds
+	// this core may emit at all. Zero means full fidelity (the golden
+	// model); wrappers like bondout narrow it to what their hardware
+	// trace port carries.
+	Fidelity telemetry.EventMask
+
+	// seq numbers emitted events; stopReq latches a sink stop request.
+	seq     uint64
+	stopReq bool
 
 	// stepCost accumulates this instruction's bus costs.
 	stepCost uint64
@@ -118,15 +134,123 @@ func (c *Core) setReg(r isa.Reg, v uint32) {
 	}
 }
 
+// emit delivers one event to the armed sink, stamping sequence and
+// counters. A sink returning false latches a stop request that the run
+// loops convert into StopAbort.
+func (c *Core) emit(ev telemetry.Event) {
+	if c.Sink == nil || c.stopReq || !c.Mask.Has(ev.Kind) {
+		return
+	}
+	c.seq++
+	ev.Seq = c.seq
+	ev.Insts = c.Insts
+	ev.Cycles = c.Cycles
+	if !c.Sink.Emit(ev) {
+		c.stopReq = true
+	}
+}
+
+// StopRequested reports whether the armed sink asked the run to stop.
+func (c *Core) StopRequested() bool { return c.stopReq }
+
+// ArmTrace wires a RunSpec's event stream into the core: it checks the
+// platform's trace capability, intersects the requested mask with the
+// core's fidelity, and installs the UART tap when bytes are selected.
+// The returned disarm function must run when the run ends. With no
+// events requested it is a no-op. Shared by every golden-core-based
+// platform (golden, emulator, bondout, silicon).
+func ArmTrace(c *Core, caps platform.Caps, spec platform.RunSpec) (func(), error) {
+	if spec.Events == nil {
+		return func() {}, nil
+	}
+	if !caps.Trace {
+		return nil, platform.ErrNoTrace
+	}
+	fid := c.Fidelity
+	if fid == 0 {
+		fid = telemetry.MaskAll
+	}
+	c.Sink = spec.Events
+	c.Mask = fid & spec.EventMask.Effective()
+	c.seq, c.stopReq = 0, false
+	if c.Mask.Has(telemetry.EvUARTByte) {
+		c.S.Uart.TxHook = func(b byte) {
+			c.emit(telemetry.Event{Kind: telemetry.EvUARTByte, PC: c.PC, Value: uint32(b)})
+		}
+	}
+	return func() {
+		c.Sink = nil
+		c.S.Uart.TxHook = nil
+	}, nil
+}
+
+// emitRegDiffs reports every architectural register the last instruction
+// changed, by diffing against the pre-step snapshot.
+func (c *Core) emitRegDiffs(pc uint32, snapD, snapA *[16]uint32, snapPSW uint32) {
+	for i := 0; i < 16; i++ {
+		if c.D[i] != snapD[i] {
+			c.emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pc, Reg: uint8(i), Value: c.D[i]})
+		}
+		if c.A[i] != snapA[i] {
+			c.emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pc, Reg: telemetry.RegA0 + uint8(i), Value: c.A[i]})
+		}
+	}
+	if c.PSW != snapPSW {
+		c.emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pc, Reg: telemetry.RegPSW, Value: c.PSW})
+	}
+}
+
 func (c *Core) busRead32(addr uint32) (uint32, error) {
 	v, err := c.S.Bus.Read32(addr, mem.AccessRead)
 	c.stepCost += c.S.Bus.LastCost
+	if err == nil && c.Sink != nil {
+		c.emit(telemetry.Event{Kind: telemetry.EvMemRead, PC: c.PC, Addr: addr, Value: v})
+	}
 	return v, err
 }
 
 func (c *Core) busWrite32(addr, v uint32) error {
 	err := c.S.Bus.Write32(addr, v)
 	c.stepCost += c.S.Bus.LastCost
+	if err == nil && c.Sink != nil {
+		c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: v})
+	}
+	return err
+}
+
+func (c *Core) busRead16(addr uint32) (uint16, error) {
+	v, err := c.S.Bus.Read16(addr, mem.AccessRead)
+	c.stepCost += c.S.Bus.LastCost
+	if err == nil && c.Sink != nil {
+		c.emit(telemetry.Event{Kind: telemetry.EvMemRead, PC: c.PC, Addr: addr, Value: uint32(v)})
+	}
+	return v, err
+}
+
+func (c *Core) busWrite16(addr uint32, v uint16) error {
+	err := c.S.Bus.Write16(addr, v)
+	c.stepCost += c.S.Bus.LastCost
+	if err == nil && c.Sink != nil {
+		c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: uint32(v)})
+	}
+	return err
+}
+
+func (c *Core) busRead8(addr uint32) (byte, error) {
+	v, err := c.S.Bus.Read8(addr, mem.AccessRead)
+	c.stepCost += c.S.Bus.LastCost
+	if err == nil && c.Sink != nil {
+		c.emit(telemetry.Event{Kind: telemetry.EvMemRead, PC: c.PC, Addr: addr, Value: uint32(v)})
+	}
+	return v, err
+}
+
+func (c *Core) busWrite8(addr uint32, v byte) error {
+	err := c.S.Bus.Write8(addr, v)
+	c.stepCost += c.S.Bus.LastCost
+	if err == nil && c.Sink != nil {
+		c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: uint32(v)})
+	}
 	return err
 }
 
@@ -174,6 +298,13 @@ func (c *Core) trap(vec int, returnPC uint32, cause uint32) StepOutcome {
 		c.unhandledDetail = fmt.Sprintf("unhandled trap: vector %d (cause 0x%x) at pc 0x%08x", vec, cause, c.PC)
 		return StepUnhandled
 	}
+	if c.Sink != nil {
+		kind := telemetry.EvTrap
+		if vec >= isa.VecIRQBase || vec == isa.VecWatchdog {
+			kind = telemetry.EvIRQEnter
+		}
+		c.emit(telemetry.Event{Kind: kind, PC: c.PC, Addr: handler, Value: cause})
+	}
 	c.SPC = returnPC
 	c.SPSW = c.PSW
 	c.ICause = cause
@@ -205,6 +336,17 @@ func (c *Core) PollAsync() StepOutcome {
 func (c *Core) Step() StepOutcome {
 	c.stepCost = c.CyclesPerInst
 
+	// Telemetry snapshot: register-write events are produced by diffing
+	// the architectural state across exec, which keeps the emission
+	// complete without touching every assignment in the interpreter.
+	pc := c.PC
+	trackRegs := c.Sink != nil && c.Mask.Has(telemetry.EvRegWrite)
+	var snapD, snapA [16]uint32
+	var snapPSW uint32
+	if trackRegs {
+		snapD, snapA, snapPSW = c.D, c.A, c.PSW
+	}
+
 	w0, err := c.S.Bus.Read32(c.PC, mem.AccessFetch)
 	c.stepCost += c.S.Bus.LastCost
 	if err != nil {
@@ -230,9 +372,18 @@ func (c *Core) Step() StepOutcome {
 		c.Insts++
 		return c.finish(c.trap(isa.VecIllegal, c.PC, isa.VecIllegal))
 	}
+	// Gate on the mask here, not just the sink: rendering the disassembly
+	// is the expensive part, and a mask excluding instruction events must
+	// not pay for it.
+	if c.Sink != nil && c.Mask.Has(telemetry.EvInstRetired) {
+		c.emit(telemetry.Event{Kind: telemetry.EvInstRetired, PC: pc, Disasm: in.String()})
+	}
 	next := c.PC + uint32(size)*4
 	out := c.exec(in, next)
 	c.Insts++
+	if trackRegs {
+		c.emitRegDiffs(pc, &snapD, &snapA, snapPSW)
+	}
 	return c.finish(out)
 }
 
@@ -300,8 +451,7 @@ func (c *Core) exec(in isa.Inst, next uint32) StepOutcome {
 		c.PC = next
 	case isa.OpLdH, isa.OpLdHU:
 		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
-		v, err := c.S.Bus.Read16(addr, mem.AccessRead)
-		c.stepCost += c.S.Bus.LastCost
+		v, err := c.busRead16(addr)
 		if err != nil {
 			return dataFault()
 		}
@@ -313,8 +463,7 @@ func (c *Core) exec(in isa.Inst, next uint32) StepOutcome {
 		c.PC = next
 	case isa.OpLdB, isa.OpLdBU:
 		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
-		v, err := c.S.Bus.Read8(addr, mem.AccessRead)
-		c.stepCost += c.S.Bus.LastCost
+		v, err := c.busRead8(addr)
 		if err != nil {
 			return dataFault()
 		}
@@ -332,17 +481,13 @@ func (c *Core) exec(in isa.Inst, next uint32) StepOutcome {
 		c.PC = next
 	case isa.OpStH:
 		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
-		err := c.S.Bus.Write16(addr, uint16(c.D[in.Rd.Index()]))
-		c.stepCost += c.S.Bus.LastCost
-		if err != nil {
+		if err := c.busWrite16(addr, uint16(c.D[in.Rd.Index()])); err != nil {
 			return dataFault()
 		}
 		c.PC = next
 	case isa.OpStB:
 		addr := c.A[in.Rs.Index()] + uint32(in.Imm)
-		err := c.S.Bus.Write8(addr, byte(c.D[in.Rd.Index()]))
-		c.stepCost += c.S.Bus.LastCost
-		if err != nil {
+		if err := c.busWrite8(addr, byte(c.D[in.Rd.Index()])); err != nil {
 			return dataFault()
 		}
 		c.PC = next
@@ -463,6 +608,9 @@ func (c *Core) exec(in isa.Inst, next uint32) StepOutcome {
 		n := uint32(in.Imm) & 0xff
 		return c.trap(isa.VecSyscall, next, uint32(isa.VecSyscall)|n<<8)
 	case isa.OpRfe:
+		if c.Sink != nil {
+			c.emit(telemetry.Event{Kind: telemetry.EvIRQExit, PC: c.PC, Addr: c.SPC})
+		}
 		c.PC = c.SPC
 		c.PSW = c.SPSW
 	case isa.OpMfcr:
@@ -564,12 +712,21 @@ func (c *Core) writeCR(idx uint16, v uint32) {
 // RunCore drives a core to completion under a RunSpec; shared by the
 // golden-core-based platforms.
 func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec platform.RunSpec) (*platform.Result, error) {
+	disarm, err := ArmTrace(c, caps, spec)
+	if err != nil {
+		return nil, err
+	}
+	defer disarm()
 	maxInsts := spec.MaxInstructions
 	if maxInsts == 0 {
 		maxInsts = platform.DefaultMaxInstructions
 	}
 	res := &platform.Result{Platform: name, Kind: kind}
 	for {
+		if c.stopReq {
+			res.Reason = platform.StopAbort
+			break
+		}
 		if c.Insts >= maxInsts {
 			res.Reason = platform.StopMaxInsts
 			break

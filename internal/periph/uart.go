@@ -48,6 +48,9 @@ type Uart struct {
 	shiftVal byte
 	// line collects bytes leaving the device when not in loopback.
 	line []byte
+	// TxHook, when set, observes every byte leaving the shifter (both
+	// loopback and line paths) — the telemetry layer's UART tap.
+	TxHook func(b byte)
 }
 
 // NewUart creates a UART raising interrupts on hub.
@@ -161,6 +164,9 @@ func (u *Uart) Tick(n uint64) {
 }
 
 func (u *Uart) deliver(b byte) {
+	if u.TxHook != nil {
+		u.TxHook(b)
+	}
 	if u.cr&UartCrLoopback != 0 {
 		u.receive(b)
 		return

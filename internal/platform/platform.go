@@ -7,11 +7,20 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/core/telemetry"
 	"repro/internal/obj"
 	"repro/internal/soc"
 )
+
+// ErrNoTrace is returned by Run when RunSpec.Events requests an
+// execution-trace event stream on a platform without a trace port
+// (Caps.Trace false): the hardware accelerator and product silicon.
+// The legacy RunSpec.Trace callback is still silently ignored on those
+// platforms for compatibility with pre-telemetry callers.
+var ErrNoTrace = errors.New("platform: no trace port (Caps.Trace is false)")
 
 // Kind enumerates the platform classes.
 type Kind uint8
@@ -82,6 +91,20 @@ type RunSpec struct {
 	MaxCycles uint64
 	// Trace receives per-instruction records on platforms with Caps.Trace.
 	Trace func(TraceRecord)
+	// Events receives the structured execution-trace event stream
+	// (instruction retired, memory access, register write, IRQ
+	// entry/exit, trap, UART byte). Each platform emits at its own
+	// fidelity: the golden model emits every kind, RTL and gate-level
+	// emit instruction and register-write events, bondout emits what its
+	// bonded-out trace port carries (instructions, traps, interrupts).
+	// Platforms without a trace port return ErrNoTrace from Run when
+	// Events is set. A sink returning false aborts the run with
+	// StopAbort.
+	Events telemetry.EventSink
+	// EventMask restricts the emitted kinds; zero means all the platform
+	// can produce. The effective stream is the intersection of the mask
+	// and the platform's fidelity.
+	EventMask telemetry.EventMask
 }
 
 // DefaultMaxInstructions bounds runaway tests.
@@ -98,6 +121,8 @@ const (
 	StopBreakpoint  StopReason = "breakpoint"
 	StopUnhandled   StopReason = "unhandled-trap"
 	StopDoubleFault StopReason = "double-fault"
+	// StopAbort: the RunSpec.Events sink asked the platform to stop.
+	StopAbort StopReason = "aborted"
 )
 
 // Result is the outcome of one run.

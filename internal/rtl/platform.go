@@ -3,10 +3,18 @@ package rtl
 import (
 	"io"
 
+	"repro/internal/core/telemetry"
 	"repro/internal/obj"
 	"repro/internal/platform"
 	"repro/internal/soc"
 )
+
+// traceFidelity is what the simulated design's trace port carries:
+// retired instructions and architectural register writes, observed at
+// retire boundaries. Bus transactions, traps and UART bytes are not
+// reconstructed from RTL signals.
+const traceFidelity = telemetry.EventMask(1)<<telemetry.EvInstRetired |
+	1<<telemetry.EvRegWrite
 
 // Sim is the RTL simulation platform.
 type Sim struct {
@@ -91,9 +99,41 @@ func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
 		maxInsts = platform.DefaultMaxInstructions
 	}
 	res := &platform.Result{Platform: s.name, Kind: s.kind}
+	// Event stream: the RTL trace port reports instructions at retire
+	// boundaries (detected as Insts advancing) with the PC captured at
+	// fetch, plus register writes found by diffing the architectural
+	// state across the instruction.
+	var (
+		emitEvents = spec.Events != nil
+		mask       telemetry.EventMask
+		seq        uint64
+		aborted    bool
+		pendingPC  uint32
+		prevInsts  = c.Insts
+		snapD      [16]uint32
+		snapA      [16]uint32
+		snapPSW    uint32
+	)
+	if emitEvents {
+		mask = traceFidelity & spec.EventMask.Effective()
+	}
+	emit := func(ev telemetry.Event) {
+		if aborted || !mask.Has(ev.Kind) {
+			return
+		}
+		seq++
+		ev.Seq = seq
+		ev.Insts = c.Insts
+		ev.Cycles = c.Cycles
+		if !spec.Events.Emit(ev) {
+			aborted = true
+		}
+	}
 	var lastTracedPC uint32 = 1 // unaligned: never a valid PC
 	for {
 		switch {
+		case aborted:
+			res.Reason = platform.StopAbort
 		case c.Halted:
 			res.Reason = platform.StopHalt
 			res.HaltCode = c.HaltCode
@@ -110,16 +150,37 @@ func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
 		if res.Reason != "" {
 			break
 		}
-		if spec.Trace != nil && c.state == stFetch && c.PC != lastTracedPC {
+		if (spec.Trace != nil || emitEvents) && c.state == stFetch && c.PC != lastTracedPC {
 			lastTracedPC = c.PC
-			rec := platform.TraceRecord{PC: c.PC}
-			if s.img != nil {
-				rec.File, rec.Line, _ = s.img.SourceAt(c.PC)
+			pendingPC = c.PC
+			if emitEvents {
+				snapD, snapA, snapPSW = c.D, c.A, c.PSW
 			}
-			spec.Trace(rec)
+			if spec.Trace != nil {
+				rec := platform.TraceRecord{PC: c.PC}
+				if s.img != nil {
+					rec.File, rec.Line, _ = s.img.SourceAt(c.PC)
+				}
+				spec.Trace(rec)
+			}
 		}
 		if err := c.Clk.Cycles(1); err != nil {
 			return nil, err
+		}
+		if emitEvents && c.Insts > prevInsts {
+			prevInsts = c.Insts
+			emit(telemetry.Event{Kind: telemetry.EvInstRetired, PC: pendingPC})
+			for i := 0; i < 16; i++ {
+				if c.D[i] != snapD[i] {
+					emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pendingPC, Reg: uint8(i), Value: c.D[i]})
+				}
+				if c.A[i] != snapA[i] {
+					emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pendingPC, Reg: telemetry.RegA0 + uint8(i), Value: c.A[i]})
+				}
+			}
+			if c.PSW != snapPSW {
+				emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pendingPC, Reg: telemetry.RegPSW, Value: c.PSW})
+			}
 		}
 	}
 	res.Instructions = c.Insts
