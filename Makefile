@@ -1,14 +1,17 @@
 # ADVM reproduction — build/test entry points.
 #
 #   make           tier-1: build + test everything
+#   make lint      go vet + advm-vet static analysis of the shipped suite
 #   make race      vet + full test suite under the race detector
+#   make fuzz      short-budget fuzz smoke (assembler lexer, CFG decoder)
 #   make bench     regenerate the EXPERIMENTS.md benchmarks
 #   make cache     the build-cache benchmarks only (off/cold/warm)
 #   make bench-json  telemetry-overhead benchmarks (E12) -> BENCH_telemetry.json
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all tier1 vet race bench cache bench-json tools
+.PHONY: all tier1 vet lint race fuzz bench cache bench-json tools
 
 all: tier1
 
@@ -17,6 +20,18 @@ tier1:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis of the shipped test suite itself: layer discipline,
+# CFG checks, portability, dead abstraction. Non-zero exit on any
+# error-severity finding.
+lint: vet
+	$(GO) run ./cmd/advm-lint
+
+# Short-budget fuzz smoke: the assembler lexer and the vet CFG decoder,
+# FUZZTIME each (CI uses the default 10s; raise it locally for real runs).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzLexLine -fuzztime $(FUZZTIME) ./internal/asm
+	$(GO) test -run xxx -fuzz FuzzCFGDecode -fuzztime $(FUZZTIME) ./internal/core/vet
 
 # The concurrency gate: the regression runner, the build cache's
 # singleflight, and every cached build path run under -race.

@@ -12,10 +12,11 @@
 //   - Execution platforms: the same linked image runs on the golden
 //     reference model, HDL-RTL simulation, gate-level simulation, the
 //     hardware accelerator, bondout silicon, and product silicon.
-//   - Methodology machinery: release labels, the regression runner, the
-//     abstraction-violation lint, the porting engine with cost
-//     accounting, the hardwired baseline comparator, and
-//     constrained-random Global-Defines generation.
+//   - Methodology machinery: release labels, the regression runner with
+//     its static-analysis preflight gate, the multi-pass analyzer (layer
+//     discipline, control flow, portability, dead abstraction), the
+//     porting engine with cost accounting, the hardwired baseline
+//     comparator, and constrained-random Global-Defines generation.
 //
 // Quickstart:
 //
@@ -33,13 +34,13 @@ import (
 	"repro/internal/core/defines"
 	"repro/internal/core/derivative"
 	"repro/internal/core/env"
-	"repro/internal/core/lint"
 	"repro/internal/core/port"
 	"repro/internal/core/randgen"
 	"repro/internal/core/regress"
 	"repro/internal/core/release"
 	"repro/internal/core/sysenv"
 	"repro/internal/core/telemetry"
+	"repro/internal/core/vet"
 	"repro/internal/obj"
 	"repro/internal/platform"
 	"repro/internal/soc"
@@ -124,10 +125,19 @@ type (
 	RegressionSpec = regress.Spec
 	// RegressionReport is a completed regression.
 	RegressionReport = regress.Report
-	// Violation is one abstraction-violation lint finding (Figure 2).
-	Violation = lint.Violation
-	// LintOptions tunes the violation checker.
-	LintOptions = lint.Options
+	// Finding is one static-analysis finding (Figure 2 and beyond).
+	Finding = vet.Finding
+	// VetReport is a completed analyzer run.
+	VetReport = vet.Report
+	// VetOptions tunes the analyzer.
+	VetOptions = vet.Options
+	// Severity grades a finding (info / warning / error).
+	Severity = vet.Severity
+	// PortImpactCell records one test cell a derivative port touches.
+	PortImpactCell = vet.Impact
+	// PreflightError carries the analyzer report that blocked a
+	// regression preflight.
+	PreflightError = release.PreflightError
 	// Change is one derivative/specification change event (Section 4).
 	Change = port.Change
 	// PortResult is the outcome of applying a change list.
@@ -324,13 +334,36 @@ func ReverifyPort(s *System, bc BuildContext, derivs []*Derivative, kinds []Kind
 	return port.Reverify(s, bc, derivs, kinds, spec)
 }
 
-// Lint checks every test cell for abstraction violations (Figure 2).
-func Lint(s *System, d *Derivative, opts LintOptions) []Violation {
-	return lint.CheckSystem(s, d, opts)
+// Finding severities.
+const (
+	SevInfo  = vet.SevInfo
+	SevWarn  = vet.SevWarn
+	SevError = vet.SevError
+)
+
+// Vet runs the multi-pass static analyzer over a system environment:
+// layer discipline (Figure 2), control-flow checks, cross-variant
+// portability, and dead-abstraction detection.
+func Vet(s *System, opts VetOptions) *VetReport { return vet.Check(s, opts) }
+
+// DefaultVetOptions returns the default analyzer configuration.
+func DefaultVetOptions() VetOptions { return vet.NewOptions() }
+
+// VetChecks lists every analyzer check ID.
+func VetChecks() []string { return vet.Checks() }
+
+// VetPortImpact statically computes which test cells a derivative port
+// touches (the Figure 6/7 surface), without building or running anything.
+func VetPortImpact(s *System, from, to *Derivative, k Kind) ([]PortImpactCell, error) {
+	return vet.PortImpact(s, from, to, k)
 }
 
-// DefaultLintOptions returns the default lint configuration.
-func DefaultLintOptions() LintOptions { return lint.NewOptions() }
+// Preflight verifies a system against its frozen label and runs the
+// analyzer; error-severity findings block with a *PreflightError. Regress
+// applies the same gate automatically unless RegressionSpec.SkipVet.
+func Preflight(s *System, sl *SystemLabel, opts VetOptions) (*VetReport, error) {
+	return release.Preflight(s, sl, opts)
+}
 
 // GenerateBaseline produces the hardwired non-ADVM comparator suite for a
 // derivative.

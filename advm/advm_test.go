@@ -113,10 +113,23 @@ _main:
 	}
 }
 
-func TestLintFacade(t *testing.T) {
+func TestVetFacade(t *testing.T) {
 	sys := advm.StandardSystem()
-	if vs := advm.Lint(sys, advm.DerivativeA(), advm.DefaultLintOptions()); len(vs) != 0 {
-		t.Errorf("shipped system should be clean, got %v", vs)
+	rep := advm.Vet(sys, advm.DefaultVetOptions())
+	if n := rep.Errors(); n != 0 {
+		t.Errorf("shipped system should have no analyzer errors, got %d:\n%s", n, rep)
+	}
+	impacts, err := advm.VetPortImpact(sys, advm.DerivativeA(), advm.DerivativeB(), advm.KindGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range impacts {
+		if im.Module != "NVM" {
+			t.Errorf("A->B port impact outside NVM: %+v", im)
+		}
+	}
+	if len(impacts) == 0 {
+		t.Error("A->B port impact empty")
 	}
 }
 

@@ -1,35 +1,49 @@
-// Command advm-lint runs the abstraction-violation checker over the
-// shipped system environment (or over a demonstration environment with a
-// deliberately abusive test, to show what the checker catches — the
-// paper's Figure 2).
+// Command advm-lint runs the advm-vet static analyzer over the shipped
+// system environment: layer discipline (the paper's Figure 2), per-test
+// control-flow checks, cross-variant portability, and dead-abstraction
+// detection — or, with -impact, the static port-impact analysis that
+// lists exactly which test cells a derivative port touches.
 //
 // Usage:
 //
-//	advm-lint              # lint the shipped system (expected clean)
-//	advm-lint -demo        # inject a Figure 2 violation and report it
+//	advm-lint                      # analyze the shipped system
+//	advm-lint -demo                # inject a Figure 2 violation and report it
+//	advm-lint -json                # machine-readable findings
+//	advm-lint -deriv SC88-B        # restrict the analysis to one derivative
+//	advm-lint -impact SC88-A:SC88-B  # which cells does the A->B port touch?
+//
+// Exit status is 1 when any finding has error severity (or, with
+// -strict, any finding at all).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/advm"
 )
 
 func main() {
 	log.SetFlags(0)
-	demo := flag.Bool("demo", false, "inject a deliberately abusive test before linting")
-	deriv := flag.String("deriv", "SC88-A", "derivative whose global layer defines the forbidden names")
+	demo := flag.Bool("demo", false, "inject a deliberately abusive test before analyzing")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	deriv := flag.String("deriv", "", "restrict analysis to one derivative (default: whole family)")
 	threshold := flag.Int64("magic-threshold", 15, "literals above this magnitude are hardwired values")
+	disable := flag.String("disable", "", "comma-separated check IDs to turn off")
+	strict := flag.Bool("strict", false, "exit non-zero on warnings too, not just errors")
+	impact := flag.String("impact", "", "OLD:NEW derivative pair: print the static port-impact set and exit")
 	flag.Parse()
 
-	d, err := advm.DerivativeByName(*deriv)
-	if err != nil {
-		log.Fatal(err)
-	}
 	sys := advm.StandardSystem()
+
+	if *impact != "" {
+		runImpact(sys, *impact, *asJSON)
+		return
+	}
 
 	if *demo {
 		e, _ := sys.Env("NVM")
@@ -42,24 +56,78 @@ test_main:
     LOAD d14, [0x80002014]
     INSERT d14, d14, 8, 0, 5
     STORE [0x80002014], d14
-    LOAD CallAddr, ES_Nvm_Unlock
-    CALL CallAddr
-    HALT
+    LOAD a12, ES_Nvm_Unlock
+    CALL a12
+    CALL Base_Report_Pass
 `,
 		})
-		fmt.Println("injected TEST_NVM_ABUSE into the NVM environment")
+		fmt.Fprintln(os.Stderr, "injected TEST_NVM_ABUSE into the NVM environment")
 	}
 
-	opts := advm.DefaultLintOptions()
+	opts := advm.DefaultVetOptions()
 	opts.MagicThreshold = *threshold
-	vs := advm.Lint(sys, d, opts)
-	if len(vs) == 0 {
-		fmt.Println("no abstraction violations: every test goes through its abstraction layer")
+	if *deriv != "" {
+		d, err := advm.DerivativeByName(*deriv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Derivatives = []*advm.Derivative{d}
+	}
+	if *disable != "" {
+		opts.Disable = map[string]bool{}
+		for _, id := range strings.Split(*disable, ",") {
+			opts.Disable[strings.TrimSpace(id)] = true
+		}
+	}
+
+	rep := advm.Vet(sys, opts)
+	if *asJSON {
+		out, err := rep.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	} else if len(rep.Findings) == 0 {
+		fmt.Println("no findings: every test goes through its abstraction layer")
+	} else {
+		fmt.Print(rep)
+	}
+	if rep.Errors() > 0 || (*strict && len(rep.Findings) > 0) {
+		os.Exit(1)
+	}
+}
+
+func runImpact(sys *advm.System, pair string, asJSON bool) {
+	names := strings.SplitN(pair, ":", 2)
+	if len(names) != 2 {
+		log.Fatalf("-impact wants OLD:NEW, got %q", pair)
+	}
+	from, err := advm.DerivativeByName(names[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	to, err := advm.DerivativeByName(names[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	impacts, err := advm.VetPortImpact(sys, from, to, advm.KindGolden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(impacts, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
 		return
 	}
-	fmt.Printf("%d abstraction violation(s):\n", len(vs))
-	for _, v := range vs {
-		fmt.Println("  " + v.String())
+	if len(impacts) == 0 {
+		fmt.Printf("port %s -> %s touches no test cell\n", from.Name, to.Name)
+		return
 	}
-	os.Exit(1)
+	fmt.Printf("port %s -> %s touches %d test cell(s):\n", from.Name, to.Name, len(impacts))
+	for _, im := range impacts {
+		fmt.Printf("  %s/%s (changed units: %s)\n", im.Module, im.Test, strings.Join(im.Units, ", "))
+	}
 }

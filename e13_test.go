@@ -1,0 +1,105 @@
+// E13 — the comparative static-analysis claim behind advm-vet: the
+// analyzer flags every hardwired baseline test while passing the shipped
+// ADVM suite clean, and a full-system analysis is fast and byte-for-byte
+// deterministic. See EXPERIMENTS.md (E13).
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+	"repro/internal/core/vet"
+)
+
+// baselineSystem wraps the generated baseline suite as a System so the
+// analyzer can run over it: one env per module, empty abstraction layer
+// (the baseline has none — that is the point).
+func baselineSystem(tb testing.TB, d *derivative.Derivative) (*sysenv.System, int) {
+	tb.Helper()
+	suite := baseline.Generate(d)
+	sys := sysenv.New("BASELINE")
+	envs := map[string]*env.Env{}
+	for _, t := range suite.Tests {
+		e, ok := envs[t.Module]
+		if !ok {
+			var err error
+			e, err = env.New(t.Module)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			envs[t.Module] = e
+			if err := sys.AddEnv(e); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		e.MustAddTest(env.TestCell{ID: t.ID, Source: t.Source})
+	}
+	return sys, len(suite.Tests)
+}
+
+// TestE13_ComparativeVet is the headline comparison: 100% of the
+// hardwired baseline tests draw at least one error-severity finding;
+// the ADVM suite draws zero.
+func TestE13_ComparativeVet(t *testing.T) {
+	opts := vet.NewOptions()
+	opts.Derivatives = []*derivative.Derivative{derivative.A()}
+
+	sys, total := baselineSystem(t, derivative.A())
+	rep := vet.Check(sys, opts)
+	flagged := map[string]bool{}
+	for _, f := range rep.Findings {
+		if f.Severity >= vet.SevError && f.Test != "" {
+			flagged[f.Module+"/"+f.Test] = true
+		}
+	}
+	if len(flagged) != total {
+		for _, e := range sys.Envs() {
+			for _, tc := range e.Tests() {
+				if !flagged[e.Module+"/"+tc.ID] {
+					t.Errorf("baseline test not flagged: %s/%s", e.Module, tc.ID)
+				}
+			}
+		}
+		t.Errorf("flagged %d of %d baseline tests", len(flagged), total)
+	}
+
+	advmRep := vet.Check(content.PortedSystem(), vet.NewOptions())
+	if n := advmRep.Errors(); n != 0 {
+		t.Errorf("ADVM suite has %d error-severity findings, want 0", n)
+	}
+
+	t.Logf("baseline: %d/%d tests flagged, %d error findings; ADVM: %d errors, %d warnings, %d info",
+		len(flagged), total, rep.Errors(),
+		advmRep.Errors(), advmRep.Count(vet.SevWarn), advmRep.Count(vet.SevInfo))
+}
+
+// BenchmarkE13_VetSuite regenerates the analyzer-cost experiment: one
+// full multi-pass analysis of the shipped system (all four derivatives,
+// all six platform kinds in the portability matrix), asserting
+// byte-identical reports across runs. Metrics: findings and ms/op
+// (acceptance: well under a second).
+func BenchmarkE13_VetSuite(b *testing.B) {
+	s := content.PortedSystem()
+	var first []byte
+	findings := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := vet.Check(s, vet.NewOptions())
+		out, err := rep.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if first == nil {
+			first = out
+		} else if !bytes.Equal(first, out) {
+			b.Fatal("analyzer output changed between runs")
+		}
+		findings = len(rep.Findings)
+	}
+	b.ReportMetric(float64(findings), "findings")
+}

@@ -65,17 +65,22 @@ func Assemble(name, src string, opts Options) (*obj.Object, error) {
 		pp.errs = append(pp.errs, fmt.Errorf("%s: unterminated conditional block", name))
 	}
 	u := &unit{name: name, syms: make(map[string]*symEntry)}
-	u.errs = append(u.errs, pp.errs...)
+	for _, err := range pp.errs {
+		u.addErr(err)
+	}
 
 	u.pass1(pp.out)
 	u.pass2()
 
-	if len(u.errs) > 0 {
-		if len(u.errs) > maxErrors {
-			u.errs = append(u.errs[:maxErrors],
-				fmt.Errorf("%s: too many errors (%d total)", name, len(u.errs)))
+	if u.errTotal > 0 {
+		errs := u.errs
+		if u.errTotal > len(errs) {
+			// Diagnostics past maxErrors were dropped, not lost count of:
+			// the summary reports the true total.
+			errs = append(errs[:len(errs):len(errs)],
+				fmt.Errorf("%s: too many errors (%d total)", name, u.errTotal))
 		}
-		return nil, errors.Join(u.errs...)
+		return nil, errors.Join(errs...)
 	}
 	if opts.Listing != nil {
 		u.writeListing(opts.Listing)
@@ -139,16 +144,26 @@ type unit struct {
 	cur   obj.Section
 	lc    [3]uint32
 	errs  []error
-	out   *obj.Object
+	// errTotal counts every diagnostic, including the ones dropped once
+	// errs reached maxErrors; the "too many errors" summary reports it.
+	errTotal int
+	out      *obj.Object
 
 	text, data []byte
 	lines      []obj.LineInfo
 }
 
-func (u *unit) errf(ln Line, format string, args ...interface{}) {
-	if len(u.errs) <= maxErrors {
-		u.errs = append(u.errs, errAt(ln.File, ln.Num, format, args...))
+// addErr records a diagnostic: the first maxErrors are kept, the rest
+// only counted.
+func (u *unit) addErr(err error) {
+	u.errTotal++
+	if len(u.errs) < maxErrors {
+		u.errs = append(u.errs, err)
 	}
+}
+
+func (u *unit) errf(ln Line, format string, args ...interface{}) {
+	u.addErr(errAt(ln.File, ln.Num, format, args...))
 }
 
 // ResolveSym implements SymResolver over the unit's symbol table.
@@ -248,7 +263,7 @@ func (u *unit) parseLine(ln Line) {
 	// Instruction.
 	plans, err := u.selectInst(ln, toks)
 	if err != nil {
-		u.errs = append(u.errs, err)
+		u.addErr(err)
 		return
 	}
 	if u.cur != obj.SecText {
@@ -284,7 +299,7 @@ func (u *unit) defineEqu(ln Line, name string, rest []Token) {
 	}
 	e, next, err := parseExpr(rest, 0, ln.File, ln.Num)
 	if err != nil {
-		u.errs = append(u.errs, err)
+		u.addErr(err)
 		return
 	}
 	if next != len(rest) {
@@ -327,7 +342,7 @@ func (u *unit) parseData(ln Line, dir string, rest []Token) {
 	case "SPACE", "ALIGN":
 		e, next, err := parseExpr(rest, 0, ln.File, ln.Num)
 		if err != nil {
-			u.errs = append(u.errs, err)
+			u.addErr(err)
 			return
 		}
 		if next != len(rest) {
@@ -372,7 +387,7 @@ func (u *unit) parseData(ln Line, dir string, rest []Token) {
 		for _, arg := range args {
 			e, next, err := parseExpr(arg, 0, ln.File, ln.Num)
 			if err != nil {
-				u.errs = append(u.errs, err)
+				u.addErr(err)
 				return
 			}
 			if next != len(arg) {
@@ -429,7 +444,7 @@ func (u *unit) pass2() {
 		case symEqu:
 			v, err := u.ResolveSym(e.name)
 			if err != nil {
-				u.errs = append(u.errs, err)
+				u.addErr(err)
 				continue
 			}
 			if v.Const {
@@ -478,7 +493,7 @@ func (u *unit) emitData(s *stmt) {
 			off := s.off + uint32(i*4)
 			v, err := Eval(e, u)
 			if err != nil {
-				u.errs = append(u.errs, err)
+				u.addErr(err)
 				v = Value{Const: true}
 			}
 			var word uint32
@@ -495,7 +510,7 @@ func (u *unit) emitData(s *stmt) {
 		for _, e := range s.exprs {
 			v, err := Eval(e, u)
 			if err != nil {
-				u.errs = append(u.errs, err)
+				u.addErr(err)
 				continue
 			}
 			if !v.Const {
@@ -558,7 +573,7 @@ func (u *unit) emitInst(s *stmt) {
 		} else if p.imm != nil {
 			v, err := Eval(p.imm, u)
 			if err != nil {
-				u.errs = append(u.errs, err)
+				u.addErr(err)
 				v = Value{Const: true}
 			}
 			switch {
@@ -635,7 +650,7 @@ func (u *unit) constOperand(ln Line, e Expr, what string) (int64, bool) {
 	}
 	v, err := Eval(e, u)
 	if err != nil {
-		u.errs = append(u.errs, err)
+		u.addErr(err)
 		return 0, false
 	}
 	if !v.Const {

@@ -1,0 +1,102 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestErrorTruncationReportsTrueTotal regression-tests the diagnostic
+// cap: with more than maxErrors bad lines, the joined error must keep
+// exactly maxErrors diagnostics plus one summary line whose count is
+// the TRUE number of errors, not the truncated slice length.
+func TestErrorTruncationReportsTrueTotal(t *testing.T) {
+	const bad = 120
+	var sb strings.Builder
+	for i := 0; i < bad; i++ {
+		sb.WriteString(".NOPE\n")
+	}
+	_, err := Assemble("flood.asm", sb.String(), Options{})
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	msg := err.Error()
+	want := fmt.Sprintf("too many errors (%d total)", bad)
+	if !strings.Contains(msg, want) {
+		t.Fatalf("error summary missing %q; got:\n%s", want, msg)
+	}
+	lines := strings.Split(msg, "\n")
+	if got := len(lines); got != maxErrors+1 {
+		t.Fatalf("joined error has %d lines, want %d diagnostics + 1 summary", got, maxErrors+1)
+	}
+}
+
+// TestErrorsUnderCapNoSummary checks the summary line is absent when
+// the diagnostics all fit.
+func TestErrorsUnderCapNoSummary(t *testing.T) {
+	_, err := Assemble("few.asm", ".NOPE\n.ALSONOPE\n", Options{})
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if strings.Contains(err.Error(), "too many errors") {
+		t.Fatalf("unexpected truncation summary for 2 errors:\n%s", err)
+	}
+	if got := len(strings.Split(err.Error(), "\n")); got != 2 {
+		t.Fatalf("want 2 diagnostics, got %d:\n%s", got, err)
+	}
+}
+
+// TestExpandProvenance checks that Expand keeps macro-body and define
+// tokens attributed to the file their author wrote them in, while the
+// use site stays on File/Line.
+func TestExpandProvenance(t *testing.T) {
+	inc := strings.Join([]string{
+		"UART_BASE .EQU 0x80001000",
+		".DEFINE CallAddr A12",
+		".MACRO SEND_CH ch",
+		"  LOAD d0, ch",
+		"  STORE [UART_BASE+0], d0",
+		".ENDM",
+	}, "\n")
+	src := strings.Join([]string{
+		`.INCLUDE "Globals.inc"`,
+		"SEND_CH 'A'",
+		"LOAD CallAddr, 5",
+	}, "\n")
+	lines, errs := Expand("test.asm", src, Options{
+		Resolver: MapFS{"Globals.inc": inc},
+	})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	var sawMacroTok, sawArgTok, sawDefineTok bool
+	for _, ln := range lines {
+		for _, tok := range ln.Toks {
+			if ln.File == "test.asm" && tok.Text == "UART_BASE" {
+				// Macro body token at the call site: origin is Globals.inc.
+				if tok.Origin() != "Globals.inc" {
+					t.Errorf("UART_BASE origin = %q, want Globals.inc", tok.Origin())
+				}
+				sawMacroTok = true
+			}
+			if ln.File == "test.asm" && tok.Kind == TokNumber && tok.Val == 'A' {
+				// Macro argument written by the test author: origin stays test.asm.
+				if tok.Origin() != "test.asm" {
+					t.Errorf("macro arg origin = %q, want test.asm", tok.Origin())
+				}
+				sawArgTok = true
+			}
+			if tok.Kind == TokIdent && tok.Text == "A12" && ln.File == "test.asm" {
+				// Define replacement text: origin is the defining file.
+				if tok.Origin() != "Globals.inc" {
+					t.Errorf("A12 origin = %q, want Globals.inc", tok.Origin())
+				}
+				sawDefineTok = true
+			}
+		}
+	}
+	if !sawMacroTok || !sawArgTok || !sawDefineTok {
+		t.Fatalf("missing expected tokens: macro=%v arg=%v define=%v",
+			sawMacroTok, sawArgTok, sawDefineTok)
+	}
+}

@@ -1,0 +1,41 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expand runs only the preprocessing half of the assembler over one
+// source file: .INCLUDE, .DEFINE/.UNDEF, .MACRO/.ENDM, and the
+// conditional directives, with define substitution and macro expansion
+// applied. It returns the expanded logical lines exactly as pass 1 of
+// Assemble would consume them, plus any preprocessing diagnostics.
+//
+// Static-analysis tools use this to see a unit the way the assembler
+// does — comments and inactive conditional arms gone, macros expanded —
+// while each Token still carries its provenance (File/Line are the use
+// site, Origin() the file its author wrote it in), which is what lets a
+// checker tell test-authored text from text injected by the abstraction
+// layer.
+func Expand(name, src string, opts Options) ([]Line, []error) {
+	res := opts.Resolver
+	if res == nil {
+		res = MapFS{}
+	}
+	pp := newPreprocessor(res, opts.Defines)
+	for i, text := range strings.Split(src, "\n") {
+		toks, err := lexLine(name, i+1, text)
+		if err != nil {
+			pp.errs = append(pp.errs, err)
+			continue
+		}
+		pp.handleLine(Line{File: name, Num: i + 1, Toks: toks}, 0)
+	}
+	if pp.collecting != nil {
+		pp.errf(pp.collecting.file, pp.collecting.line, "unterminated .MACRO %s", pp.collecting.name)
+	}
+	if len(pp.conds) > 0 {
+		pp.errs = append(pp.errs, fmt.Errorf("%s: unterminated conditional block", name))
+	}
+	return pp.out, pp.errs
+}

@@ -1,0 +1,37 @@
+package asm
+
+import "testing"
+
+// FuzzLexLine feeds arbitrary text through the lexer. The lexer must
+// never panic; any failure is reported as a *SyntaxError.
+func FuzzLexLine(f *testing.F) {
+	seeds := []string{
+		"",
+		"; comment only",
+		"TEST_PAGE .EQU TEST1_TARGET_PAGE",
+		".DEFINE CallAddr A12",
+		"INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE",
+		"LOAD d0, [UART_BASE+UART_DR_OFF]",
+		"\tSTORE [0x80002014], d1 ; raw",
+		".ASCII \"hello\\n\"",
+		"'x' '\\0' 0b1010 0xFFFF_BAD",
+		"label: CALL f \\@",
+		".IF (A << 2) > ~B",
+		"0x 0b2 \"unterminated",
+		"@#$%^&*()[]<<>>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := LexLine("fuzz.asm", 1, src)
+		if err != nil {
+			return
+		}
+		// Every token must render without panicking.
+		for _, tok := range toks {
+			_ = tok.String()
+			_ = tok.Origin()
+		}
+	})
+}

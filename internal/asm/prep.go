@@ -398,6 +398,9 @@ func (p *preprocessor) expandMacro(m *macroDef, call Line, argToks []Token, dept
 func retag(toks []Token, file string, line int) []Token {
 	out := make([]Token, len(toks))
 	for i, t := range toks {
+		if t.Src == "" {
+			t.Src = t.File // remember where the token was written
+		}
 		t.File, t.Line = file, line
 		out[i] = t
 	}

@@ -31,6 +31,21 @@ type Token struct {
 	Val  int64  // numeric value for TokNumber
 	File string
 	Line int
+	// Src is the file the token was originally written in when macro or
+	// define expansion retagged it to the use site; empty when the token
+	// still sits where its author wrote it (Src == "" means File). Static
+	// analysis uses it to tell author-written tokens from text injected
+	// by abstraction-layer defines.
+	Src string
+}
+
+// Origin returns the file the token was originally written in: Src when
+// expansion moved it, File otherwise.
+func (t Token) Origin() string {
+	if t.Src != "" {
+		return t.Src
+	}
+	return t.File
 }
 
 func (t Token) String() string {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core/release"
 	"repro/internal/core/sysenv"
 	"repro/internal/core/telemetry"
+	"repro/internal/core/vet"
 	"repro/internal/platform"
 	"repro/internal/soc"
 )
@@ -62,6 +63,15 @@ type Spec struct {
 	// and the triage replay; nil means platform.New. Fault-injection
 	// harnesses use it to hand the matrix a deliberately broken device.
 	NewPlatform func(platform.Kind, soc.HWConfig) (platform.Platform, error)
+	// SkipVet disables the static-analysis preflight gate. The gate runs
+	// by default: a frozen system with error-severity analyzer findings
+	// is refused before the matrix is enumerated, because a test that
+	// bypasses the abstraction layer invalidates the release's porting
+	// guarantees whatever its runs report.
+	SkipVet bool
+	// VetOptions tunes the preflight analyzer; nil means vet.NewOptions
+	// narrowed to the spec's derivatives.
+	VetOptions *vet.Options
 }
 
 // Outcome is one cell of the regression matrix.
@@ -96,6 +106,8 @@ type Report struct {
 	// Started is when the regression began (the JUnit suite timestamp).
 	Started  time.Time
 	Outcomes []Outcome
+	// Vet is the preflight analyzer report (nil when Spec.SkipVet).
+	Vet *vet.Report
 }
 
 // Run executes the regression. The system must match the frozen label.
@@ -109,6 +121,23 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	derivs := spec.Derivatives
 	if len(derivs) == 0 {
 		derivs = derivative.Family()
+	}
+
+	// Static-analysis preflight: the frozen content must be clean before
+	// any cycle is spent on the matrix. The report rides along on the
+	// regression report either way.
+	var vetReport *vet.Report
+	if !spec.SkipVet {
+		opts := vet.NewOptions()
+		opts.Derivatives = derivs
+		if spec.VetOptions != nil {
+			opts = *spec.VetOptions
+		}
+		var err error
+		vetReport, err = release.Preflight(s, label, opts)
+		if err != nil {
+			return nil, fmt.Errorf("regress: refusing to run: %w", err)
+		}
 	}
 	kinds := spec.Kinds
 	if len(kinds) == 0 {
@@ -154,7 +183,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	}
 	triage := spec.Triage || spec.TriageDir != ""
 
-	rep := &Report{Label: label.Name, Started: time.Now()}
+	rep := &Report{Label: label.Name, Started: time.Now(), Vet: vetReport}
 	rep.Outcomes = make([]Outcome, len(cells))
 	runCell := func(worker, i int) {
 		c := cells[i]

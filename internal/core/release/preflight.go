@@ -1,0 +1,43 @@
+package release
+
+import (
+	"fmt"
+
+	"repro/internal/core/sysenv"
+	"repro/internal/core/vet"
+)
+
+// PreflightError reports that a frozen system carries error-severity
+// analyzer findings and must not be regressed until they are fixed (or
+// explicitly suppressed in the offending tests).
+type PreflightError struct {
+	Report *vet.Report
+}
+
+func (e *PreflightError) Error() string {
+	n := e.Report.Errors()
+	msg := fmt.Sprintf("release: preflight failed: %d error-severity finding(s)", n)
+	for _, f := range e.Report.Findings {
+		if f.Severity >= vet.SevError {
+			msg += "\n  " + f.String()
+		}
+	}
+	return msg
+}
+
+// Preflight verifies a system against its frozen label and then runs the
+// static analyzer over it. The analyzer report is returned either way;
+// the error is a *PreflightError when any finding has error severity.
+// This is the gate a regression passes through before the matrix is
+// enumerated: a release that bypasses the abstraction layer is broken by
+// construction, however green its runs are today.
+func Preflight(s *sysenv.System, sl *SystemLabel, opts vet.Options) (*vet.Report, error) {
+	if err := sl.Verify(s); err != nil {
+		return nil, err
+	}
+	r := vet.Check(s, opts)
+	if r.Errors() > 0 {
+		return r, &PreflightError{Report: r}
+	}
+	return r, nil
+}

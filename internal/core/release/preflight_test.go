@@ -1,0 +1,113 @@
+package release
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core/content"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+	"repro/internal/core/vet"
+)
+
+// freeze snapshots every module of a system into a composed label.
+func freeze(t *testing.T, name string, s *sysenv.System) *SystemLabel {
+	t.Helper()
+	var subs []*Label
+	for _, e := range s.Envs() {
+		subs = append(subs, Snapshot(e.Module+"_R1", e))
+	}
+	sl, err := ComposeSystem(name, s, subs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+// withTest returns the shipped system with one extra NVM test.
+func withTest(t *testing.T, cell env.TestCell) *sysenv.System {
+	t.Helper()
+	s := content.PortedSystem()
+	sys := sysenv.New("SYS")
+	for _, m := range s.Modules() {
+		e, _ := s.Env(m)
+		if m == content.ModuleNVM {
+			e = e.Clone()
+			e.MustAddTest(cell)
+		}
+		if err := sys.AddEnv(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestPreflightCleanSystem(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, "SYSREG_CLEAN", s)
+	r, err := Preflight(s, sl, vet.NewOptions())
+	if err != nil {
+		t.Fatalf("clean system failed preflight: %v", err)
+	}
+	if r == nil || r.Errors() != 0 {
+		t.Fatalf("report = %v", r)
+	}
+}
+
+func TestPreflightRejectsViolation(t *testing.T) {
+	s := withTest(t, env.TestCell{
+		ID: "TEST_NVM_RAW",
+		Source: `.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, 0x80002014
+    CALL Base_Report_Pass
+`,
+	})
+	sl := freeze(t, "SYSREG_DIRTY", s)
+	r, err := Preflight(s, sl, vet.NewOptions())
+	if err == nil {
+		t.Fatal("dirty system passed preflight")
+	}
+	var pe *PreflightError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type = %T, want *PreflightError", err)
+	}
+	if r == nil || r.Errors() == 0 {
+		t.Fatal("report not attached or empty")
+	}
+	if !strings.Contains(err.Error(), vet.CheckRawAddress) {
+		t.Errorf("error does not name the failing check: %v", err)
+	}
+}
+
+func TestPreflightRequiresFrozenMatch(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, "SYSREG_STALE", s)
+	drifted := withTest(t, env.TestCell{
+		ID:     "TEST_NVM_NEW",
+		Source: ".INCLUDE \"Globals.inc\"\ntest_main:\n    CALL Base_Report_Pass\n",
+	})
+	if _, err := Preflight(drifted, sl, vet.NewOptions()); err == nil {
+		t.Fatal("drifted system passed preflight against a stale label")
+	}
+}
+
+func TestPreflightSuppressionUnblocks(t *testing.T) {
+	s := withTest(t, env.TestCell{
+		ID: "TEST_NVM_RAW_OK",
+		Source: `.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, 0x80002014 ; lint:disable layer/raw-address
+    CALL Base_Report_Pass
+`,
+	})
+	sl := freeze(t, "SYSREG_SUPPRESSED", s)
+	r, err := Preflight(s, sl, vet.NewOptions())
+	if err != nil {
+		t.Fatalf("suppressed violation still blocks: %v", err)
+	}
+	if r.Suppressed == 0 {
+		t.Error("suppression not recorded in the report")
+	}
+}

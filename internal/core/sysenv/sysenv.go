@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/asm"
 	"repro/internal/core/derivative"
 	"repro/internal/core/env"
 	"repro/internal/obj"
@@ -117,6 +118,13 @@ func (s *System) Materialise(d *derivative.Derivative) map[string]string {
 type resolver struct {
 	tree   map[string]string
 	module string
+}
+
+// NewResolver returns an include resolver over a materialised tree using
+// the ADVM search order for the given module. The static analyzer uses it
+// to preprocess test cells exactly the way the build pipeline would.
+func NewResolver(tree map[string]string, module string) asm.Resolver {
+	return resolver{tree: tree, module: module}
 }
 
 // ReadFile implements asm.Resolver.

@@ -1,0 +1,125 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+)
+
+// deadFindings is the dead-abstraction pass: Global Defines and Base
+// Functions that no test of their environment can reach. Liveness
+// propagates through the abstraction layer itself — a define used only
+// by a live base function is live, a base function called only by
+// another live base function is live — so the report names exactly the
+// entries that could be deleted without changing any test build.
+func deadFindings(s *sysenv.System, opts Options) []Finding {
+	if !opts.enabled(CheckDeadDefine) && !opts.enabled(CheckDeadBaseFunc) {
+		return nil
+	}
+	var out []Finding
+	for _, e := range s.Envs() {
+		out = append(out, deadInEnv(e, opts)...)
+	}
+	return out
+}
+
+func deadInEnv(e *env.Env, opts Options) []Finding {
+	// uses[name] = identifiers the abstraction-layer item references.
+	uses := make(map[string]map[string]bool)
+	isItem := make(map[string]bool)
+
+	defineNames := e.Defines.Names()
+	for _, name := range defineNames {
+		entry, _ := e.Defines.Get(name)
+		set := make(map[string]bool)
+		identsOf(entry.Default, set)
+		for _, expr := range entry.PerDerivative {
+			identsOf(expr, set)
+		}
+		for _, expr := range entry.PerPlatform {
+			identsOf(expr, set)
+		}
+		uses[name] = set
+		isItem[name] = true
+	}
+	funcNames := e.Funcs.Names()
+	for _, name := range funcNames {
+		fn, _ := e.Funcs.Get(name)
+		set := make(map[string]bool)
+		for _, line := range strings.Split(fn.Body, "\n") {
+			identsOf(line, set)
+		}
+		uses[name] = set
+		isItem[name] = true
+	}
+
+	// Roots: identifiers the test authors wrote.
+	live := make(map[string]bool)
+	var work []string
+	mark := func(name string) {
+		if isItem[name] && !live[name] {
+			live[name] = true
+			work = append(work, name)
+		}
+	}
+	for _, t := range e.Tests() {
+		roots := make(map[string]bool)
+		for _, line := range strings.Split(t.Source, "\n") {
+			identsOf(line, roots)
+		}
+		for name := range roots {
+			mark(name)
+		}
+	}
+	for len(work) > 0 {
+		name := work[len(work)-1]
+		work = work[:len(work)-1]
+		for used := range uses[name] {
+			mark(used)
+		}
+	}
+
+	var out []Finding
+	if opts.enabled(CheckDeadDefine) {
+		for _, name := range defineNames {
+			if live[name] {
+				continue
+			}
+			out = append(out, finding(CheckDeadDefine, Finding{
+				Path:   e.Module + "/" + env.GlobalsFile,
+				Module: e.Module,
+				Message: fmt.Sprintf("Global Define %s is never reached by any test of module %s (directly or through a live Base Function)",
+					name, e.Module),
+			}))
+		}
+	}
+	if opts.enabled(CheckDeadBaseFunc) {
+		for _, name := range funcNames {
+			if live[name] {
+				continue
+			}
+			out = append(out, finding(CheckDeadBaseFunc, Finding{
+				Path:   e.Module + "/" + env.BaseFuncsFile,
+				Module: e.Module,
+				Message: fmt.Sprintf("Base Function %s is never called by any test of module %s (directly or through a live Base Function)",
+					name, e.Module),
+			}))
+		}
+	}
+	return out
+}
+
+// identsOf lexes one line of assembler text and collects its identifier
+// spellings. Lex errors just end the line early — partial tokens are
+// still collected.
+func identsOf(text string, into map[string]bool) {
+	toks, _ := asm.LexLine("", 0, text)
+	for _, t := range toks {
+		if t.Kind == asm.TokIdent {
+			into[t.Text] = true
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package vet implements advm-vet, the multi-pass semantic analyzer for
+// ADVM system verification environments. Where the original checker
+// pattern-matched raw source text, vet works on the assembler's own
+// artefacts — preprocessed token streams with expansion provenance,
+// symbol tables, and assembled objects — so its passes can resolve
+// symbols, see through macros and comments, and reason about control
+// flow:
+//
+//	layer  discipline of the paper's Figure 2: tests must reach the
+//	       global layer only through their abstraction layer
+//	cfg    per-test control-flow: unreachable code, falling off the
+//	       section, return-address clobbering, missing PASS/FAIL epilogue
+//	port   symbols whose resolved values differ across the derivative ×
+//	       platform matrix, and the static port-impact set of Figure 6/7
+//	dead   Global Defines and Base Functions no test ever reaches
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a finding. Error-severity findings block a frozen
+// release at the regression pre-flight gate.
+type Severity uint8
+
+// Severities, in increasing order.
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return "severity?"
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarn
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("vet: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Check IDs. IDs are stable: suppression comments and CI baselines key
+// on them.
+const (
+	CheckGlobalRef      = "layer/global-ref"      // test references a global-layer symbol
+	CheckBypassInclude  = "layer/bypass-include"  // test includes a file other than Globals.inc
+	CheckRawAddress     = "layer/raw-address"     // literal inside a peripheral register block
+	CheckMagicValue     = "layer/magic-value"     // hardwired numeric literal
+	CheckMagicField     = "layer/magic-field"     // literal bit-field geometry operand
+	CheckUnreachable    = "cfg/unreachable"       // code no path reaches
+	CheckFallThrough    = "cfg/fall-through"      // execution can run off the text section
+	CheckCallImbalance  = "cfg/call-imbalance"    // RET after CALL without saving ra
+	CheckNoEpilogue     = "cfg/no-epilogue"       // no reachable PASS/FAIL report
+	CheckVariantDiverge = "port/variant-divergence" // symbol resolves differently per variant
+	CheckDeadDefine     = "dead/define"           // Global Define no test reaches
+	CheckDeadBaseFunc   = "dead/basefunc"         // Base Function no test reaches
+	CheckBuildError     = "build/error"           // unit does not assemble
+)
+
+// severityOf maps each check to its default severity.
+var severityOf = map[string]Severity{
+	CheckGlobalRef:      SevError,
+	CheckBypassInclude:  SevError,
+	CheckRawAddress:     SevError,
+	CheckMagicValue:     SevError,
+	CheckMagicField:     SevError,
+	CheckUnreachable:    SevWarn,
+	CheckFallThrough:    SevError,
+	CheckCallImbalance:  SevWarn,
+	CheckNoEpilogue:     SevError,
+	CheckVariantDiverge: SevInfo,
+	CheckDeadDefine:     SevWarn,
+	CheckDeadBaseFunc:   SevWarn,
+	CheckBuildError:     SevError,
+}
+
+// Checks lists every check ID in sorted order.
+func Checks() []string {
+	out := make([]string, 0, len(severityOf))
+	for id := range severityOf {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Finding is one analyzer result.
+type Finding struct {
+	// Check is the stable check ID, e.g. "layer/global-ref".
+	Check string `json:"check"`
+	// Severity ranks the finding.
+	Severity Severity `json:"severity"`
+	// Path and Line locate the finding in the materialised tree, when it
+	// has a source location.
+	Path string `json:"path,omitempty"`
+	Line int    `json:"line,omitempty"`
+	// Module and Test name the environment and test cell, when the
+	// finding belongs to one.
+	Module string `json:"module,omitempty"`
+	Test   string `json:"test,omitempty"`
+	// Variant names the derivative the finding is specific to; empty when
+	// it holds for every analysed derivative.
+	Variant string `json:"variant,omitempty"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	var b strings.Builder
+	if f.Path != "" {
+		fmt.Fprintf(&b, "%s:", f.Path)
+		if f.Line > 0 {
+			fmt.Fprintf(&b, "%d:", f.Line)
+		}
+		b.WriteString(" ")
+	}
+	fmt.Fprintf(&b, "%s: [%s] %s", f.Severity, f.Check, f.Message)
+	if f.Variant != "" {
+		fmt.Fprintf(&b, " (on %s)", f.Variant)
+	}
+	return b.String()
+}
+
+// sortKey orders findings deterministically.
+func (f Finding) sortKey() string {
+	return fmt.Sprintf("%s\x00%08d\x00%s\x00%s\x00%s\x00%s\x00%s",
+		f.Path, f.Line, f.Check, f.Module, f.Test, f.Variant, f.Message)
+}
+
+// mergeKey identifies a finding modulo the variant, for cross-derivative
+// merging.
+func (f Finding) mergeKey() string {
+	return fmt.Sprintf("%s\x00%d\x00%s\x00%s\x00%s\x00%s",
+		f.Path, f.Line, f.Check, f.Module, f.Test, f.Message)
+}
+
+// Report is the analyzer output for one system environment.
+type Report struct {
+	// System is the analysed system's name.
+	System string `json:"system"`
+	// Derivatives lists the analysed derivative names.
+	Derivatives []string `json:"derivatives"`
+	// Findings, in deterministic order.
+	Findings []Finding `json:"findings"`
+	// Suppressed counts findings removed by lint:disable annotations.
+	Suppressed int `json:"suppressed,omitempty"`
+}
+
+// Sort puts the findings in their canonical order.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		return r.Findings[i].sortKey() < r.Findings[j].sortKey()
+	})
+}
+
+// Count returns the number of findings at a severity.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the number of error-severity findings.
+func (r *Report) Errors() int { return r.Count(SevError) }
+
+// ByCheck returns the findings with a given check ID.
+func (r *Report) ByCheck(id string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Check == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%d error(s), %d warning(s), %d info\n",
+		r.Count(SevError), r.Count(SevWarn), r.Count(SevInfo))
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/obj"
+	"repro/internal/platform"
+)
+
+// imagesEqual deep-compares two linked images.
+func imagesEqual(a, b *obj.Image) bool {
+	if a.Entry != b.Entry || a.BssAddr != b.BssAddr || a.BssSize != b.BssSize {
+		return false
+	}
+	if len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i := range a.Segments {
+		if a.Segments[i].Addr != b.Segments[i].Addr ||
+			string(a.Segments[i].Data) != string(b.Segments[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPortImpactMatchesDynamicDiff is the E7 cross-check: the static
+// port-impact set for A->B must be exactly the set of test cells whose
+// fully linked images differ between the two derivatives.
+func TestPortImpactMatchesDynamicDiff(t *testing.T) {
+	s := content.PortedSystem()
+	from, to := derivative.A(), derivative.B()
+	k := platform.KindGolden
+
+	impacts, err := PortImpact(s, from, to, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := map[string]bool{}
+	for _, im := range impacts {
+		static[im.Module+"/"+im.Test] = true
+	}
+
+	dynamic := map[string]bool{}
+	for _, e := range s.Envs() {
+		for _, tc := range e.Tests() {
+			ia, err := s.BuildTest(e.Module, tc.ID, from, k)
+			if err != nil {
+				t.Fatalf("build %s/%s on %s: %v", e.Module, tc.ID, from.Name, err)
+			}
+			ib, err := s.BuildTest(e.Module, tc.ID, to, k)
+			if err != nil {
+				t.Fatalf("build %s/%s on %s: %v", e.Module, tc.ID, to.Name, err)
+			}
+			if !imagesEqual(ia, ib) {
+				dynamic[e.Module+"/"+tc.ID] = true
+			}
+		}
+	}
+
+	for cell := range dynamic {
+		if !static[cell] {
+			t.Errorf("image differs but static analysis missed it: %s", cell)
+		}
+	}
+	for cell := range static {
+		if !dynamic[cell] {
+			t.Errorf("static analysis flagged %s but the images are identical", cell)
+		}
+	}
+	// The A->B port moves only the NVM page-field width: Figure 6's
+	// claim is that exactly the NVM module is touched.
+	for cell := range static {
+		if cell[:4] != "NVM/" {
+			t.Errorf("A->B impact outside the NVM module: %s", cell)
+		}
+	}
+	if len(static) == 0 {
+		t.Error("A->B port impact is empty; the page-field change must touch the NVM tests")
+	}
+}
+
+func TestPortImpactIdentity(t *testing.T) {
+	s := content.PortedSystem()
+	impacts, err := PortImpact(s, derivative.A(), derivative.A(), platform.KindGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) != 0 {
+		t.Errorf("A->A impact = %v, want empty", impacts)
+	}
+}
+
+func TestVariantDivergenceFindings(t *testing.T) {
+	r := Check(content.PortedSystem(), NewOptions())
+	want := map[string]bool{
+		"PAGE_FIELD_SIZE":           false,
+		"PAGE_FIELD_START_POSITION": false,
+		"TIMEOUT_LOOPS":             false,
+	}
+	for _, f := range r.Findings {
+		if f.Check != CheckVariantDiverge || f.Module != "NVM" {
+			continue
+		}
+		if f.Severity != SevInfo {
+			t.Errorf("divergence finding is %s, want info: %s", f.Severity, f)
+		}
+		for name := range want {
+			if strings.Contains(f.Message, "symbol "+name+" ") {
+				want[name] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no divergence finding for %s in NVM", name)
+		}
+	}
+}
+
+func TestDescribeValues(t *testing.T) {
+	// 2 derivatives x 3 kinds = 6 variants.
+	derivs := []string{"A", "A", "A", "B", "B", "B"}
+	kinds := []string{"g", "r", "s", "g", "r", "s"}
+	derivOf := func(i int) string { return derivs[i] }
+	kindOf := func(i int) string { return kinds[i] }
+
+	// Derivative-controlled: collapses to derivative labels.
+	got := describeValues(6, map[int]int64{0: 5, 1: 5, 2: 5, 3: 6, 4: 6, 5: 6}, derivOf, kindOf)
+	if got != "0x5 on A; 0x6 on B" {
+		t.Errorf("derivative collapse = %q", got)
+	}
+	// Kind-controlled: collapses to kind labels.
+	got = describeValues(6, map[int]int64{0: 1, 1: 2, 2: 3, 3: 1, 4: 2, 5: 3}, derivOf, kindOf)
+	if got != "0x1 on g; 0x2 on r; 0x3 on s" {
+		t.Errorf("kind collapse = %q", got)
+	}
+	// Mixed: falls back to full deriv/kind labels.
+	got = describeValues(6, map[int]int64{0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 9}, derivOf, kindOf)
+	if got != "0x1 on A/g,A/r,A/s,B/g,B/r; 0x9 on B/s" {
+		t.Errorf("mixed fallback = %q", got)
+	}
+}
