@@ -38,11 +38,13 @@ import (
 	"repro/internal/core/randgen"
 	"repro/internal/core/regress"
 	"repro/internal/core/release"
+	"repro/internal/core/runcache"
 	"repro/internal/core/sysenv"
 	"repro/internal/core/telemetry"
 	"repro/internal/core/vet"
 	"repro/internal/obj"
 	"repro/internal/platform"
+	"repro/internal/predecode"
 	"repro/internal/soc"
 
 	// Link in all six execution platforms so that NewPlatform can build
@@ -125,6 +127,8 @@ type (
 	RegressionSpec = regress.Spec
 	// RegressionReport is a completed regression.
 	RegressionReport = regress.Report
+	// RegressionOutcome is one cell of the regression matrix.
+	RegressionOutcome = regress.Outcome
 	// Finding is one static-analysis finding (Figure 2 and beyond).
 	Finding = vet.Finding
 	// VetReport is a completed analyzer run.
@@ -161,6 +165,14 @@ type (
 	BuildCacheStats = buildcache.Stats
 	// BuildContext binds a BuildCache to a system content epoch.
 	BuildContext = sysenv.BuildContext
+	// RunCache memoises deterministic-platform run outcomes by content
+	// hash (image, kind, hardware config, run bounds), with singleflight
+	// deduplication.
+	RunCache = runcache.Cache
+	// RunCacheStats is a run-cache hit/miss/bypass snapshot.
+	RunCacheStats = runcache.Stats
+	// PredecodeStats snapshots the simulators' predecoded-fetch counters.
+	PredecodeStats = predecode.Stats
 	// KindTime aggregates per-cell build/run time for one platform kind.
 	KindTime = regress.KindTime
 	// VerifyStatus summarises a port re-verification.
@@ -265,6 +277,16 @@ func Regress(s *System, label *SystemLabel, spec RegressionSpec) (*RegressionRep
 // regressions, ports, and custom builds of the same session; pass it to
 // RegressionSpec.Cache or wrap it with System.NewBuildContext.
 func NewBuildCache() *BuildCache { return buildcache.New() }
+
+// NewRunCache creates an empty run-outcome cache. Share one cache across
+// regressions of the same frozen content; pass it to
+// RegressionSpec.RunCache. Fault-injection harnesses and traced runs
+// bypass it automatically.
+func NewRunCache() *RunCache { return runcache.New() }
+
+// PredecodeTotals reports the process-wide predecoded-instruction-fetch
+// statistics accumulated by the golden and RTL simulators.
+func PredecodeTotals() PredecodeStats { return predecode.GlobalStats() }
 
 // Telemetry: execution tracing, metrics, timelines, triage.
 type (

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/advm"
 	"repro/internal/baseline"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core/telemetry"
 	"repro/internal/difftest"
 	"repro/internal/gate"
+	"repro/internal/golden"
 	"repro/internal/isa"
 	"repro/internal/platform"
 	"repro/internal/rtl"
@@ -488,6 +490,151 @@ func BenchmarkIrqLatency(b *testing.B) {
 			b.ReportMetric(latency, "cycles_arm_to_handler")
 		})
 	}
+}
+
+// BenchmarkE14_RunCache measures run-result memoisation over the
+// deterministic regression matrix: the whole family on the two
+// cycle-true simulators (RTL and gate), where simulation is the
+// dominant cost run memoisation exists to remove. Both modes share a
+// primed build cache so the delta is pure run memoisation: cold
+// simulates every cell into a fresh run cache, warm serves every cell
+// from a primed one. The acceptance bar is warm at least 5x faster than
+// cold.
+func BenchmarkE14_RunCache(b *testing.B) {
+	s := content.PortedSystem()
+	sl := mustFreeze(b, s)
+	base := advm.RegressionSpec{
+		Derivatives: derivative.Family(),
+		Kinds:       []platform.Kind{platform.KindRTL, platform.KindGate},
+		SkipVet:     true,
+		Cache:       advm.NewBuildCache(),
+	}
+	run := func(b *testing.B, spec advm.RegressionSpec) {
+		cells := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := advm.Regress(s, sl, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.AllPassed() {
+				b.Fatal("regression failed")
+			}
+			cells = len(rep.Outcomes)
+		}
+		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+	}
+	if _, err := advm.Regress(s, sl, base); err != nil { // prime the build cache
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		spec := base
+		for i := 0; i < b.N; i++ {
+			spec.RunCache = advm.NewRunCache()
+			rep, err := advm.Regress(s, sl, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.AllPassed() {
+				b.Fatal("regression failed")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		spec := base
+		spec.RunCache = advm.NewRunCache()
+		if _, err := advm.Regress(s, sl, spec); err != nil { // prime
+			b.Fatal(err)
+		}
+		run(b, spec)
+		st := spec.RunCache.Stats()
+		b.ReportMetric(float64(st.Hits+st.Merged)*100/float64(st.Hits+st.Misses+st.Merged), "run_reuse_%")
+	})
+}
+
+// BenchmarkE14_Predecode measures the predecoded-instruction-cache fast
+// path on the interpreting simulators: the same loop program with the
+// predecode tables armed (shipped default) and disabled. Metric:
+// simulated instructions per second. The golden model's acceptance bar
+// is at least 3x.
+func BenchmarkE14_Predecode(b *testing.B) {
+	cfg := derivative.A().HW
+	img := testprog.MustBuild(cfg, nil, map[string]string{"t.asm": testprog.LoopProgram(20000)})
+	measure := func(b *testing.B, mk func() platform.Platform) {
+		var insts uint64
+		var running time.Duration
+		for i := 0; i < b.N; i++ {
+			p := mk()
+			if err := p.Load(img); err != nil {
+				b.Fatal(err)
+			}
+			t0 := time.Now()
+			res, err := p.Run(platform.RunSpec{})
+			running += time.Since(t0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Passed() {
+				b.Fatalf("loop failed: %+v", res)
+			}
+			insts += res.Instructions
+		}
+		// inst/s is the acceptance metric: simulated instructions per
+		// second of run time, excluding model construction and load.
+		b.ReportMetric(float64(insts)/running.Seconds(), "inst/s")
+	}
+	b.Run("golden/on", func(b *testing.B) {
+		measure(b, func() platform.Platform { return golden.NewModel(cfg) })
+	})
+	b.Run("golden/off", func(b *testing.B) {
+		measure(b, func() platform.Platform {
+			m := golden.NewModel(cfg)
+			m.Core().PredecodeOff = true
+			return m
+		})
+	})
+	b.Run("rtl/on", func(b *testing.B) {
+		measure(b, func() platform.Platform { return rtl.NewSim(cfg) })
+	})
+	b.Run("rtl/off", func(b *testing.B) {
+		measure(b, func() platform.Platform {
+			s := rtl.NewSim(cfg)
+			s.DisablePredecode()
+			return s
+		})
+	})
+}
+
+// BenchmarkE14_GateBatch measures the 64-lane bit-parallel gate path
+// against per-op scalar interpretation on a straight-line ALU stream.
+// Metrics: operations per second and, for the batched backend, the
+// achieved lane occupancy per sweep (the ~64x amortisation of the
+// per-gate interpretation cost).
+func BenchmarkE14_GateBatch(b *testing.B) {
+	b.Run("scalar", func(b *testing.B) {
+		alu := gate.NewNetALU()
+		for i := 0; i < b.N; i++ {
+			alu.Execute(isa.OpAdd, uint32(i), uint32(i)*3)
+		}
+		b.ReportMetric(float64(alu.GateEvals())/float64(b.N), "gate_evals/op")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
+	b.Run("batched64", func(b *testing.B) {
+		alu := gate.NewNetALU64()
+		for i := 0; i < b.N; i++ {
+			alu.Execute(isa.OpAdd, uint32(i), uint32(i)*3)
+		}
+		alu.FlushALU()
+		if _, bad := alu.ALUDivergence(); bad {
+			b.Fatal("pristine netlist diverged")
+		}
+		b.ReportMetric(float64(alu.GateEvals())/float64(b.N), "gate_evals/op")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		if alu.Sweeps() > 0 {
+			occ := float64(alu.GateEvals()) / float64(alu.Sweeps()) / float64(alu.Netlist().NumGates())
+			b.ReportMetric(occ, "lanes/sweep")
+		}
+	})
 }
 
 // BenchmarkE12_TracingOverhead measures what the telemetry layer costs on

@@ -31,6 +31,7 @@ func main() {
 	junit := flag.String("junit", "", "write a JUnit XML report to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent matrix cells")
 	cache := flag.Bool("cache", true, "memoise assembled units and linked images by content hash")
+	runCache := flag.Bool("run-cache", true, "memoise deterministic-platform run outcomes by content hash")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event timeline of the matrix run (load in Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON ('-' for stdout)")
 	triageDir := flag.String("triage-dir", "", "replay failing cells against a reference and write first-divergence artifacts here")
@@ -46,6 +47,9 @@ func main() {
 	spec := advm.RegressionSpec{Workers: *workers, TriageDir: *triageDir}
 	if *cache {
 		spec.Cache = advm.NewBuildCache()
+	}
+	if *runCache {
+		spec.RunCache = advm.NewRunCache()
 	}
 	metrics := advm.NewMetricsRegistry()
 	spec.Metrics = metrics
@@ -91,6 +95,12 @@ func main() {
 	fmt.Printf("wall time: %s (%d workers)\n", wall.Round(time.Millisecond), *workers)
 	if spec.Cache != nil {
 		fmt.Printf("build cache: %s\n", spec.Cache.Stats())
+	}
+	if spec.RunCache != nil {
+		fmt.Printf("run cache: %s\n", spec.RunCache.Stats())
+	}
+	if ps := advm.PredecodeTotals(); ps.Hits+ps.Slow > 0 {
+		fmt.Printf("predecode: %s\n", ps)
 	}
 	if *junit != "" {
 		f, err := os.Create(*junit)

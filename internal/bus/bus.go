@@ -22,9 +22,26 @@ type Device interface {
 	Read32(off uint32) (uint32, error)
 	// Write32 writes the register at the given word-aligned offset.
 	Write32(off uint32, v uint32) error
+}
+
+// Ticker is implemented by devices with time-dependent internal state
+// (transmit shifters, countdowns). Ticking is opt-in: devices whose
+// registers are purely combinational stay off the per-instruction hot
+// path entirely.
+type Ticker interface {
 	// Tick advances device-internal time by n bus clock cycles.
 	Tick(n uint64)
+	// NextEvent returns how many cycles from now the device next changes
+	// observable state (raises an IRQ, flips a status bit, delivers a
+	// byte), or NoEvent while it is quiescent. The bus defers Tick
+	// delivery until the soonest event across all tickers, so the
+	// estimate must never be later than the true event; earlier just
+	// costs an extra flush.
+	NextEvent() uint64
 }
+
+// NoEvent is returned by NextEvent while a device is quiescent.
+const NoEvent = ^uint64(0)
 
 // window binds a device to a base address.
 type window struct {
@@ -36,6 +53,14 @@ type window struct {
 type Bus struct {
 	Mem     *mem.Memory
 	windows []window
+	// tickers is the subset of attached devices implementing Ticker,
+	// collected at Attach time so Tick never dispatches to inert devices.
+	tickers []Ticker
+	// pending accumulates cycles not yet delivered to the tickers;
+	// horizon is the soonest NextEvent across them, measured from the
+	// last flush. Tick only dispatches once pending reaches the horizon
+	// (or a peripheral register access forces the devices current).
+	pending, horizon uint64
 	// waits maps region names to per-access extra cycles. Missing names
 	// cost DefaultWait.
 	waits map[string]uint64
@@ -52,7 +77,7 @@ type Bus struct {
 
 // New creates a bus over the given memory.
 func New(m *mem.Memory) *Bus {
-	return &Bus{Mem: m, waits: make(map[string]uint64), PeriphWait: 2, DefaultWait: 1}
+	return &Bus{Mem: m, waits: make(map[string]uint64), PeriphWait: 2, DefaultWait: 1, horizon: NoEvent}
 }
 
 // SetWait assigns a per-access cycle cost to the named memory region.
@@ -87,6 +112,10 @@ func (b *Bus) Attach(base uint32, dev Device) {
 	}
 	b.windows = append(b.windows, window{base: base, dev: dev})
 	sort.Slice(b.windows, func(i, j int) bool { return b.windows[i].base < b.windows[j].base })
+	if t, ok := dev.(Ticker); ok {
+		b.tickers = append(b.tickers, t)
+		b.recomputeHorizon()
+	}
 }
 
 // Devices returns the attached devices in ascending base order.
@@ -116,12 +145,46 @@ func (b *Bus) findWindow(addr uint32) *window {
 	return nil
 }
 
-// Tick advances every attached device by n cycles.
+// Tick advances device time by n cycles. Delivery to the tickers is
+// deferred until the accumulated cycles reach the event horizon, so an
+// all-quiescent SoC pays two integer ops per instruction instead of a
+// dispatch per device. Timing stays exact: the horizon is never later
+// than the soonest device event, so every IRQ and status change is
+// delivered at the same instruction boundary as eager ticking.
 func (b *Bus) Tick(n uint64) {
-	for _, w := range b.windows {
-		w.dev.Tick(n)
+	b.pending += n
+	if b.pending >= b.horizon {
+		b.flushTicks()
 	}
 }
+
+// flushTicks delivers the accumulated cycles and recomputes the horizon.
+func (b *Bus) flushTicks() {
+	n := b.pending
+	b.pending = 0
+	if n > 0 {
+		for _, t := range b.tickers {
+			t.Tick(n)
+		}
+	}
+	b.recomputeHorizon()
+}
+
+func (b *Bus) recomputeHorizon() {
+	h := uint64(NoEvent)
+	for _, t := range b.tickers {
+		if e := t.NextEvent(); e < h {
+			h = e
+		}
+	}
+	b.horizon = h
+}
+
+// CostOf returns the per-access wait-state cost of a plain memory access
+// at addr — exactly the LastCost a Read32/Write32 there would report.
+// Predecoded instruction tables bake this into their entries so the fast
+// path charges the same fetch cycles as a live bus access.
+func (b *Bus) CostOf(addr uint32) uint64 { return b.memCost(addr) }
 
 func (b *Bus) memCost(addr uint32) uint64 {
 	if r := b.Mem.FindRegion(addr); r != nil {
@@ -142,7 +205,12 @@ func (b *Bus) Read32(addr uint32, kind mem.Access) (uint32, error) {
 		if kind == mem.AccessFetch {
 			return 0, &mem.Fault{Addr: addr, Size: 4, Kind: kind, Reason: "fetch from peripheral window"}
 		}
-		return w.dev.Read32(addr - w.base)
+		// Bring device time current before the access, and re-derive the
+		// horizon after: a register read can itself change device state.
+		b.flushTicks()
+		v, err := w.dev.Read32(addr - w.base)
+		b.recomputeHorizon()
+		return v, err
 	}
 	b.LastCost = b.memCost(addr)
 	return b.Mem.Read32(addr, kind)
@@ -155,7 +223,12 @@ func (b *Bus) Write32(addr uint32, v uint32) error {
 		if addr%4 != 0 {
 			return &mem.Fault{Addr: addr, Size: 4, Kind: mem.AccessWrite, Reason: "misaligned peripheral access"}
 		}
-		return w.dev.Write32(addr-w.base, v)
+		// As in Read32 — and a write can arm a countdown, pulling the
+		// horizon in.
+		b.flushTicks()
+		err := w.dev.Write32(addr-w.base, v)
+		b.recomputeHorizon()
+		return err
 	}
 	b.LastCost = b.memCost(addr)
 	if err := b.guardWrite(addr, 4); err != nil {

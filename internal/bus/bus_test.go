@@ -24,6 +24,10 @@ func (d *stubDev) Write32(off uint32, v uint32) error {
 }
 func (d *stubDev) Tick(n uint64) { d.ticks += n }
 
+// NextEvent keeps the stub permanently on the event horizon so every
+// Bus.Tick flushes through to it.
+func (d *stubDev) NextEvent() uint64 { return 1 }
+
 func newTestBus() (*Bus, *stubDev) {
 	m := &mem.Memory{}
 	m.AddRegion("ram", 0x2000, 0x1000, mem.PermRead|mem.PermWrite)

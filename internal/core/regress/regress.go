@@ -18,10 +18,13 @@ import (
 	"repro/internal/core/buildcache"
 	"repro/internal/core/derivative"
 	"repro/internal/core/release"
+	"repro/internal/core/runcache"
 	"repro/internal/core/sysenv"
 	"repro/internal/core/telemetry"
 	"repro/internal/core/vet"
+	"repro/internal/obj"
 	"repro/internal/platform"
+	"repro/internal/predecode"
 	"repro/internal/soc"
 )
 
@@ -44,6 +47,14 @@ type Spec struct {
 	// cache). Safe by the release-label invariant: Run refuses unfrozen
 	// systems, and the frozen label's content hash keys every entry.
 	Cache *buildcache.Cache
+	// RunCache, when non-nil, memoises run outcomes across cells and
+	// regressions sharing the cache. Only deterministic platforms
+	// (golden, RTL, gate) are memoised, and only for plain runs: cells
+	// under a fault-injection harness (NewPlatform) or with tracing or
+	// event streams armed always execute. Sound for the same reason the
+	// build cache is: a frozen label pins the image content, and the
+	// outcome is a pure function of (image, kind, config, bounds).
+	RunCache *runcache.Cache
 	// Metrics, when non-nil, receives regression counters (cells run,
 	// pass/fail/broken, build/run latency histograms) and is threaded
 	// into the build pipeline for assembler and cache counters.
@@ -95,6 +106,10 @@ type Outcome struct {
 	// assembly or link failure, platform error, or a recovered panic.
 	BuildErr string
 	Detail   string
+	// RunCached reports that the outcome was served from Spec.RunCache
+	// (or merged with another worker's in-flight run of the same cell)
+	// instead of being simulated by this cell.
+	RunCached bool
 	// Triage is the first-divergence artifact for a failing cell when
 	// Spec.Triage was set (nil for passing cells).
 	Triage *Triage
@@ -177,6 +192,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	if spec.Cache != nil && spec.Metrics != nil {
 		spec.Cache.SetMetrics(spec.Metrics)
 	}
+	if spec.RunCache != nil && spec.Metrics != nil {
+		spec.RunCache.SetMetrics(spec.Metrics)
+	}
 	newPlat := spec.NewPlatform
 	if newPlat == nil {
 		newPlat = platform.New
@@ -211,31 +229,61 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 				spec.Metrics.Counter("regress.failed").Inc()
 			}
 		}()
-		t0 := time.Now()
-		img, err := s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
-		out.BuildNanos = time.Since(t0).Nanoseconds()
-		spec.Metrics.Histogram("regress.build_ns").ObserveNanos(out.BuildNanos)
-		spec.Timeline.Span("build "+cellName, "build", worker, t0, time.Duration(out.BuildNanos),
-			map[string]any{"module": c.module, "test": c.test, "deriv": c.d.Name, "platform": c.k.String()})
-		if err != nil {
-			out.BuildErr = err.Error()
-			return
+		// buildAndRun is the uncached path and the run cache's fill
+		// function: the whole build → instantiate → load → run pipeline
+		// for this cell. The run cache keys cells by (epoch, cell
+		// coordinates, kind, config, bounds) — see runcache.OutcomeKey —
+		// so a warm hit skips the build as well as the simulation.
+		var img *obj.Image
+		buildAndRun := func() (*platform.Result, error) {
+			t0 := time.Now()
+			var err error
+			img, err = s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
+			out.BuildNanos = time.Since(t0).Nanoseconds()
+			spec.Metrics.Histogram("regress.build_ns").ObserveNanos(out.BuildNanos)
+			spec.Timeline.Span("build "+cellName, "build", worker, t0, time.Duration(out.BuildNanos),
+				map[string]any{"module": c.module, "test": c.test, "deriv": c.d.Name, "platform": c.k.String()})
+			if err != nil {
+				return nil, err
+			}
+			t1 := time.Now()
+			defer func() {
+				out.RunNanos = time.Since(t1).Nanoseconds()
+				spec.Metrics.Histogram("regress.run_ns").ObserveNanos(out.RunNanos)
+				spec.Timeline.Span("run "+cellName, "run", worker, t1, time.Duration(out.RunNanos),
+					map[string]any{"platform": c.k.String()})
+			}()
+			p, err := newPlat(c.k, c.d.HW)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Load(img); err != nil {
+				return nil, err
+			}
+			return p.Run(spec.RunSpec)
 		}
-		t1 := time.Now()
-		p, err := newPlat(c.k, c.d.HW)
-		if err != nil {
-			out.BuildErr = err.Error()
-			return
+		var res *platform.Result
+		var err error
+		// The run cache only memoises pure runs: deterministic platform
+		// kinds, stock instantiation (a NewPlatform harness may inject
+		// faults), and no observers (trace callbacks and event sinks are
+		// side effects a cached replay would silently drop).
+		pure := spec.RunCache != nil && spec.NewPlatform == nil &&
+			spec.RunSpec.Trace == nil && spec.RunSpec.Events == nil
+		if pure && runcache.Cacheable(c.k) {
+			tc := time.Now()
+			res, out.RunCached, err = spec.RunCache.Do(
+				runcache.OutcomeKey(bc.Epoch, c.module, c.test, c.d.Name, c.k, c.d.HW, spec.RunSpec),
+				buildAndRun)
+			if out.RunCached {
+				out.RunNanos = time.Since(tc).Nanoseconds()
+			}
+		} else {
+			if spec.RunCache != nil {
+				spec.RunCache.Bypass()
+			}
+			res, err = buildAndRun()
 		}
-		if err := p.Load(img); err != nil {
-			out.BuildErr = err.Error()
-			return
-		}
-		res, err := p.Run(spec.RunSpec)
-		out.RunNanos = time.Since(t1).Nanoseconds()
-		spec.Metrics.Histogram("regress.run_ns").ObserveNanos(out.RunNanos)
-		spec.Timeline.Span("run "+cellName, "run", worker, t1, time.Duration(out.RunNanos),
-			map[string]any{"platform": c.k.String()})
 		if err != nil {
 			out.BuildErr = err.Error()
 			return
@@ -253,6 +301,18 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			refKind := platform.KindGolden
 			if spec.NewPlatform != nil {
 				refKind = c.k
+			}
+			if img == nil {
+				// The failing outcome was served from the run cache, so
+				// this worker never built the image. The build is
+				// deterministic (same epoch, same inputs) and usually a
+				// build-cache hit, so rebuilding for the replay is cheap.
+				var berr error
+				img, berr = s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
+				if berr != nil {
+					out.Detail = strings.TrimSpace(out.Detail + "\ntriage rebuild failed: " + berr.Error())
+					return
+				}
 			}
 			t2 := time.Now()
 			tri, terr := triageCell(img, c.d.HW, c.k, refKind, newPlat, spec.RunSpec)
@@ -300,6 +360,15 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	}
 	close(next)
 	wg.Wait()
+	if spec.Metrics != nil {
+		// Simulator hot-path gauges: process-wide predecoded-fetch totals
+		// as of the end of this regression.
+		ps := predecode.GlobalStats()
+		spec.Metrics.Gauge("predecode.fetches").Set(int64(ps.Hits))
+		spec.Metrics.Gauge("predecode.slow").Set(int64(ps.Slow))
+		spec.Metrics.Gauge("predecode.pages_decoded").Set(int64(ps.PagesDecoded))
+		spec.Metrics.Gauge("predecode.pages_poisoned").Set(int64(ps.PagesPoisoned))
+	}
 	return rep, nil
 }
 

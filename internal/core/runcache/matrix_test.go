@@ -1,0 +1,168 @@
+package runcache_test
+
+import (
+	"testing"
+
+	"repro/advm"
+	"repro/internal/platform"
+)
+
+// matrixSpec is the shared regression slice: every family derivative on
+// every deterministic platform, UART module only (the matrix is about
+// cache behaviour, not module coverage).
+func matrixSpec() advm.RegressionSpec {
+	return advm.RegressionSpec{
+		Derivatives: advm.Family(),
+		Kinds:       []advm.Kind{advm.KindGolden, advm.KindRTL, advm.KindGate},
+		Modules:     []string{"UART"},
+		RunSpec:     advm.RunSpec{MaxInstructions: 200_000},
+		Workers:     4,
+	}
+}
+
+func runMatrix(t *testing.T, spec advm.RegressionSpec) *advm.RegressionReport {
+	t.Helper()
+	s := advm.StandardSystem()
+	label, err := advm.FreezeSystem("runcache-matrix", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := advm.Regress(s, label, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) == 0 {
+		t.Fatal("empty matrix")
+	}
+	return rep
+}
+
+// TestRunCacheMatrixEquivalence is the run-cache correctness property:
+// over the full 4-derivative x 3-deterministic-platform matrix, a
+// cache-served outcome is indistinguishable from a fresh simulation.
+func TestRunCacheMatrixEquivalence(t *testing.T) {
+	fresh := runMatrix(t, matrixSpec())
+
+	rc := advm.NewRunCache()
+	cold := matrixSpec()
+	cold.RunCache = rc
+	coldRep := runMatrix(t, cold)
+
+	warm := matrixSpec()
+	warm.RunCache = rc
+	warmRep := runMatrix(t, warm)
+
+	if n := len(fresh.Outcomes); len(coldRep.Outcomes) != n || len(warmRep.Outcomes) != n {
+		t.Fatalf("matrix sizes differ: %d/%d/%d",
+			n, len(coldRep.Outcomes), len(warmRep.Outcomes))
+	}
+	for i := range fresh.Outcomes {
+		f, c, w := fresh.Outcomes[i], coldRep.Outcomes[i], warmRep.Outcomes[i]
+		for _, pair := range []struct {
+			name string
+			got  advm.RegressionOutcome
+		}{{"cold", c}, {"warm", w}} {
+			g := pair.got
+			if g.Module != f.Module || g.Test != f.Test || g.Derivative != f.Derivative || g.Platform != f.Platform {
+				t.Fatalf("outcome %d (%s): cell coordinates differ", i, pair.name)
+			}
+			if g.Passed != f.Passed || g.Reason != f.Reason || g.MboxResult != f.MboxResult ||
+				g.Cycles != f.Cycles || g.Insts != f.Insts || g.Detail != f.Detail || g.BuildErr != f.BuildErr {
+				t.Errorf("outcome %d (%s %s/%s %s %s) diverges from fresh run:\nfresh: %+v\n%s:  %+v",
+					i, pair.name, f.Module, f.Test, f.Derivative, f.Platform, f, pair.name, g)
+			}
+		}
+		if c.RunCached {
+			t.Errorf("outcome %d: cold run claims cache service", i)
+		}
+		if !w.RunCached {
+			t.Errorf("outcome %d: warm run was not served from cache", i)
+		}
+	}
+
+	st := rc.Stats()
+	cells := len(fresh.Outcomes)
+	if st.Misses != uint64(cells) {
+		t.Errorf("cold pass: misses = %d, want %d", st.Misses, cells)
+	}
+	if st.Hits+st.Merged != uint64(cells) {
+		t.Errorf("warm pass: hits+merged = %d, want %d", st.Hits+st.Merged, cells)
+	}
+	if st.Bypassed != 0 {
+		t.Errorf("deterministic matrix bypassed %d runs", st.Bypassed)
+	}
+}
+
+// TestRunCacheBypassesImpureRuns: fault-injection harnesses and
+// event-stream observers must execute, never hit the cache.
+func TestRunCacheBypassesImpureRuns(t *testing.T) {
+	rc := advm.NewRunCache()
+
+	// Prime with a normal pass.
+	prime := matrixSpec()
+	prime.Kinds = []advm.Kind{advm.KindGolden}
+	prime.RunCache = rc
+	runMatrix(t, prime)
+	primed := rc.Stats()
+	if primed.Misses == 0 || primed.Bypassed != 0 {
+		t.Fatalf("prime pass: %+v", primed)
+	}
+
+	// A fault-injection harness (NewPlatform set) must bypass even
+	// though every key is now cached.
+	injected := matrixSpec()
+	injected.Kinds = []advm.Kind{advm.KindGolden}
+	injected.RunCache = rc
+	// A stock factory, but its mere presence marks the run impure: the
+	// runner cannot know the harness is not injecting faults.
+	injected.NewPlatform = func(k advm.Kind, hw advm.HWConfig) (advm.Platform, error) {
+		return platform.New(k, hw)
+	}
+	rep := runMatrix(t, injected)
+	for i, o := range rep.Outcomes {
+		if o.RunCached {
+			t.Errorf("outcome %d: harnessed run served from cache", i)
+		}
+	}
+	st := rc.Stats()
+	if st.Bypassed == 0 {
+		t.Error("harnessed runs were not counted as bypassed")
+	}
+	if st.Hits != primed.Hits {
+		t.Error("harnessed runs consumed cache hits")
+	}
+
+	// An armed trace callback must bypass too.
+	traced := matrixSpec()
+	traced.Kinds = []advm.Kind{advm.KindGolden}
+	traced.RunCache = rc
+	traced.RunSpec.Trace = func(advm.TraceRecord) {}
+	rep = runMatrix(t, traced)
+	for i, o := range rep.Outcomes {
+		if o.RunCached {
+			t.Errorf("outcome %d: traced run served from cache", i)
+		}
+	}
+	if rc.Stats().Bypassed <= st.Bypassed {
+		t.Error("traced runs were not counted as bypassed")
+	}
+}
+
+// TestRunCacheBypassesNondeterministicKinds: the emulator's timing model
+// is approximate, so its runs are never memoised.
+func TestRunCacheBypassesNondeterministicKinds(t *testing.T) {
+	rc := advm.NewRunCache()
+	spec := matrixSpec()
+	spec.Kinds = []advm.Kind{advm.KindEmulator}
+	spec.RunCache = rc
+	rep := runMatrix(t, spec)
+	for i, o := range rep.Outcomes {
+		if o.RunCached {
+			t.Errorf("outcome %d: emulator run served from cache", i)
+		}
+	}
+	st := rc.Stats()
+	if st.Bypassed != uint64(len(rep.Outcomes)) || st.Misses != 0 {
+		t.Errorf("stats = %+v, want all %d runs bypassed", st, len(rep.Outcomes))
+	}
+}

@@ -1,0 +1,265 @@
+// Package runcache is a concurrency-safe, content-addressed memoisation
+// layer for regression runs, the run-side twin of
+// internal/core/buildcache. A regression matrix re-executes the same
+// linked image on the same simulated hardware many times across
+// regressions (and, with overlapping module selections, within one), yet
+// the deterministic platforms — golden, RTL, gate — are pure functions
+// of (image, platform kind, hardware config, run bounds): no wall-clock,
+// no randomness, no external input. The cache keys each outcome by a
+// SHA-256 content address over exactly those inputs and deduplicates
+// concurrent runs of the same key with singleflight semantics.
+//
+// Soundness rests on the same release-label invariant as the build
+// cache (the paper's Section 3): regressions only run against frozen
+// labels, so an image content hash fully determines the program, and a
+// platform kind plus hardware config fully determines the machine.
+// Anything that breaks run purity bypasses the cache: fault-injection
+// harnesses (Spec.NewPlatform), trace callbacks, event streams, and the
+// non-deterministic platform rungs (emulator, bondout, silicon, whose
+// models carry approximate timing and asynchronous peripherals).
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core/buildcache"
+	"repro/internal/core/telemetry"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// Cacheable reports whether a platform kind's runs are deterministic
+// functions of (image, config, bounds) and may be memoised. The golden
+// model, RTL and gate-level simulations qualify; the emulator, bondout
+// and product-silicon models do not (approximate timing, asynchronous
+// peripheral behaviour).
+func Cacheable(k platform.Kind) bool {
+	switch k {
+	case platform.KindGolden, platform.KindRTL, platform.KindGate:
+		return true
+	}
+	return false
+}
+
+// imageHashes memoises ImageHash by image pointer: regressions share one
+// *obj.Image across the cells of a (module, test, derivative) row, and
+// images are immutable once linked.
+var imageHashes sync.Map // *obj.Image -> string
+
+// ImageHash content-addresses a linked image: entry point, segment
+// addresses and bytes, and BSS geometry — every input that affects
+// execution. Symbol and line tables are excluded; they only feed
+// tracing, which bypasses the cache.
+func ImageHash(img *obj.Image) string {
+	if h, ok := imageHashes.Load(img); ok {
+		return h.(string)
+	}
+	h := sha256.New()
+	var n [8]byte
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(n[:4], v)
+		h.Write(n[:4])
+	}
+	w32(img.Entry)
+	w32(img.BssAddr)
+	w32(img.BssSize)
+	for _, seg := range img.Segments {
+		w32(seg.Addr)
+		binary.LittleEndian.PutUint64(n[:], uint64(len(seg.Data)))
+		h.Write(n[:])
+		h.Write(seg.Data)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	imageHashes.Store(img, sum)
+	return sum
+}
+
+// CellKey content-addresses one run: image, platform kind, hardware
+// configuration, and the run bounds. HWConfig is a flat value struct, so
+// its deterministic %+v rendering is a faithful serialisation.
+func CellKey(img *obj.Image, k platform.Kind, hw soc.HWConfig, spec platform.RunSpec) string {
+	return buildcache.Key(
+		ImageHash(img),
+		k.String(),
+		fmt.Sprintf("%+v", hw),
+		fmt.Sprintf("max-insts=%d max-cycles=%d", spec.MaxInstructions, spec.MaxCycles),
+	)
+}
+
+// OutcomeKey content-addresses one regression cell without needing the
+// built image: the release epoch (the content hash of the frozen module
+// environments) pins every source the cell's build reads, and the build
+// pipeline is deterministic, so (epoch, module, test, derivative, kind)
+// determines the image exactly. Keying on the inputs instead of the
+// output is what lets a warm hit skip the build entirely — the run
+// cache then subsumes the build cache for memoised cells.
+func OutcomeKey(epoch, module, test, deriv string, k platform.Kind, hw soc.HWConfig, spec platform.RunSpec) string {
+	return buildcache.Key(
+		epoch, module, test, deriv,
+		k.String(),
+		fmt.Sprintf("%+v", hw),
+		fmt.Sprintf("max-insts=%d max-cycles=%d", spec.MaxInstructions, spec.MaxCycles),
+	)
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls answered from a completed entry.
+	Hits uint64
+	// Misses counts Do calls that executed the run.
+	Misses uint64
+	// Merged counts Do calls that blocked on another caller's in-flight
+	// run instead of duplicating it.
+	Merged uint64
+	// Bypassed counts runs that skipped the cache: non-deterministic
+	// platform kinds, fault-injection harnesses, traced runs.
+	Bypassed uint64
+	// Entries is the number of cached outcomes (including cached errors).
+	Entries int
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	total := s.Hits + s.Misses + s.Merged
+	reuse := 0.0
+	if total > 0 {
+		reuse = float64(s.Hits+s.Merged) / float64(total) * 100
+	}
+	return fmt.Sprintf("%d hits, %d misses, %d merged (%.1f%% reuse), %d bypassed, %d entries",
+		s.Hits, s.Misses, s.Merged, reuse, s.Bypassed, s.Entries)
+}
+
+// entry is one cache slot. ready is closed once res/err are final.
+type entry struct {
+	ready chan struct{}
+	res   *platform.Result
+	err   error
+}
+
+// Cache memoises run outcomes under content-address keys with
+// singleflight semantics. The zero value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   Stats
+	metrics *telemetry.Registry
+}
+
+// New creates an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// SetMetrics mirrors the cache counters into a telemetry registry:
+// runcache.hits / runcache.misses / runcache.merged / runcache.bypassed
+// counters and a runcache.wait_ns histogram over time spent blocked on
+// another caller's in-flight run. A nil registry detaches.
+func (c *Cache) SetMetrics(r *telemetry.Registry) {
+	c.mu.Lock()
+	c.metrics = r
+	c.mu.Unlock()
+}
+
+// Bypass records a run that skipped the cache, for the reuse accounting.
+func (c *Cache) Bypass() {
+	c.mu.Lock()
+	m := c.metrics
+	c.stats.Bypassed++
+	c.mu.Unlock()
+	m.Counter("runcache.bypassed").Inc()
+}
+
+// clone deep-copies a result so callers can mutate what they receive
+// (triage annotations, detail rewrites) without corrupting the cache.
+func clone(r *platform.Result) *platform.Result {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	if r.State != nil {
+		st := *r.State
+		out.State = &st
+	}
+	if r.Checkpoints != nil {
+		out.Checkpoints = append([]uint32(nil), r.Checkpoints...)
+	}
+	return &out
+}
+
+// Do returns the outcome cached under key, executing run to produce it
+// on first use. Concurrent calls for the same key execute run exactly
+// once; the others block and share the outcome. Every caller receives
+// its own deep copy. Errors are cached too: a deterministic platform
+// fails identically on every replay. The second return reports whether
+// the outcome came from the cache (hit or merged) rather than this
+// caller's own execution.
+//
+// If run panics, the panic propagates to the caller that ran it, any
+// waiting callers receive an error, and the entry is dropped so a later
+// Do retries.
+func (c *Cache) Do(key string, run func() (*platform.Result, error)) (*platform.Result, bool, error) {
+	c.mu.Lock()
+	m := c.metrics
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.ready:
+			c.stats.Hits++
+			c.mu.Unlock()
+			m.Counter("runcache.hits").Inc()
+		default:
+			c.stats.Merged++
+			c.mu.Unlock()
+			m.Counter("runcache.merged").Inc()
+			t0 := time.Now()
+			<-e.ready
+			m.Histogram("runcache.wait_ns").Observe(time.Since(t0))
+		}
+		return clone(e.res), true, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	// Pre-set the failure waiters observe if run panics out of this call.
+	e.err = fmt.Errorf("runcache: run for key %.12s aborted", key)
+	c.entries[key] = e
+	c.stats.Misses++
+	c.stats.Entries++
+	c.mu.Unlock()
+	m.Counter("runcache.misses").Inc()
+
+	completed := false
+	defer func() {
+		if !completed {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+				c.stats.Entries--
+			}
+			c.mu.Unlock()
+		}
+		close(e.ready)
+	}()
+	res, err := run()
+	e.res, e.err = clone(res), err
+	completed = true
+	return res, false, err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry)
+	c.stats = Stats{}
+}

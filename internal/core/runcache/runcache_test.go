@@ -1,0 +1,190 @@
+package runcache
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core/telemetry"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+func res(code uint32) *platform.Result {
+	return &platform.Result{
+		Reason:      platform.StopHalt,
+		MboxResult:  code,
+		MboxDone:    true,
+		Cycles:      1234,
+		Checkpoints: []uint32{1, 2, 3},
+		State:       &platform.ArchState{PC: 0x40, D: [16]uint32{code}},
+	}
+}
+
+func TestDoCachesAndDeepCopies(t *testing.T) {
+	c := New()
+	runs := 0
+	fill := func() (*platform.Result, error) { runs++; return res(0x600D), nil }
+
+	r1, cached, err := c.Do("k", fill)
+	if err != nil || cached {
+		t.Fatalf("first Do: cached=%v err=%v", cached, err)
+	}
+	r2, cached, err := c.Do("k", fill)
+	if err != nil || !cached {
+		t.Fatalf("second Do: cached=%v err=%v", cached, err)
+	}
+	if runs != 1 {
+		t.Fatalf("run executed %d times", runs)
+	}
+	// Mutating one caller's copy must not corrupt the cache or other
+	// callers (triage and the regress runner annotate results in place).
+	r1.Checkpoints[0] = 99
+	r1.State.PC = 0xdead
+	r1.MboxResult = 0
+	if r2.Checkpoints[0] != 1 || r2.State.PC != 0x40 || r2.MboxResult != 0x600D {
+		t.Fatal("cached result shares memory with a caller's copy")
+	}
+	r3, _, _ := c.Do("k", fill)
+	if r3.Checkpoints[0] != 1 || r3.State.PC != 0x40 {
+		t.Fatal("cache entry was corrupted by caller mutation")
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "2 hits") {
+		t.Errorf("stats string: %s", st.String())
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New()
+	c.SetMetrics(telemetry.NewRegistry())
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, _, err := c.Do("shared", func() (*platform.Result, error) {
+				<-gate
+				runs.Add(1)
+				return res(0x600D), nil
+			})
+			if err != nil || r.MboxResult != 0x600D {
+				t.Errorf("Do: %v %+v", err, r)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run executed %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Hits+st.Merged != callers-1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDoCachesErrors(t *testing.T) {
+	c := New()
+	boom := errors.New("platform wedged")
+	runs := 0
+	for i := 0; i < 2; i++ {
+		_, _, err := c.Do("k", func() (*platform.Result, error) { runs++; return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("failed run executed %d times, want 1 (errors are deterministic too)", runs)
+	}
+}
+
+func TestDoPanicDropsEntry(t *testing.T) {
+	c := New()
+	func() {
+		defer func() { recover() }()
+		c.Do("k", func() (*platform.Result, error) { panic("injected") })
+	}()
+	r, cached, err := c.Do("k", func() (*platform.Result, error) { return res(7), nil })
+	if err != nil || cached || r.MboxResult != 7 {
+		t.Fatalf("retry after panic: r=%+v cached=%v err=%v", r, cached, err)
+	}
+}
+
+func TestBypassCounting(t *testing.T) {
+	c := New()
+	c.Bypass()
+	c.Bypass()
+	if st := c.Stats(); st.Bypassed != 2 {
+		t.Errorf("bypassed = %d", st.Bypassed)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Bypassed != 0 || st.Entries != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
+func TestCacheable(t *testing.T) {
+	want := map[platform.Kind]bool{
+		platform.KindGolden:   true,
+		platform.KindRTL:      true,
+		platform.KindGate:     true,
+		platform.KindEmulator: false,
+		platform.KindBondout:  false,
+		platform.KindSilicon:  false,
+	}
+	for k, w := range want {
+		if Cacheable(k) != w {
+			t.Errorf("Cacheable(%s) = %v, want %v", k, !w, w)
+		}
+	}
+}
+
+func img(entry uint32, data ...byte) *obj.Image {
+	return &obj.Image{
+		Entry:    entry,
+		Segments: []obj.Segment{{Addr: 0, Data: data}},
+	}
+}
+
+func TestImageHashAndCellKey(t *testing.T) {
+	a := img(0, 1, 2, 3)
+	b := img(0, 1, 2, 3)
+	cDiff := img(0, 1, 2, 4)
+	if ImageHash(a) != ImageHash(b) {
+		t.Error("identical images hash differently")
+	}
+	if ImageHash(a) != ImageHash(a) {
+		t.Error("memoised hash unstable")
+	}
+	if ImageHash(a) == ImageHash(cDiff) {
+		t.Error("different contents share a hash")
+	}
+
+	hw := soc.DefaultConfig()
+	base := CellKey(a, platform.KindRTL, hw, platform.RunSpec{})
+	if CellKey(b, platform.KindRTL, hw, platform.RunSpec{}) != base {
+		t.Error("key must depend on content, not image identity")
+	}
+	if CellKey(a, platform.KindGate, hw, platform.RunSpec{}) == base {
+		t.Error("key must depend on platform kind")
+	}
+	hw2 := hw
+	hw2.RamWait = 7
+	if CellKey(a, platform.KindRTL, hw2, platform.RunSpec{}) == base {
+		t.Error("key must depend on hardware config")
+	}
+	if CellKey(a, platform.KindRTL, hw, platform.RunSpec{MaxInstructions: 5}) == base {
+		t.Error("key must depend on run bounds")
+	}
+}

@@ -1,0 +1,145 @@
+package gate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/netlist"
+	"repro/internal/platform"
+	"repro/internal/rtl"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+)
+
+// TestNetALU64MatchesDirectALU drives the deferred-verification backend
+// with random operations, flushing at irregular points, and checks that
+// a pristine netlist never reports a divergence while the returned
+// results match the behavioural ALU.
+func TestNetALU64MatchesDirectALU(t *testing.T) {
+	g := NewNetALU64()
+	d := rtl.DirectALU{}
+	ops := []isa.Opcode{
+		isa.OpAdd, isa.OpSub, isa.OpCmp, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpSar,
+	}
+	rng := rand.New(rand.NewSource(14))
+	vecs := []uint32{0, 1, 0x7fffffff, 0x80000000, 0xffffffff}
+	for i := 0; i < 200; i++ {
+		vecs = append(vecs, rng.Uint32())
+	}
+	for i := 0; i < 3000; i++ {
+		op := ops[rng.Intn(len(ops))]
+		a := vecs[rng.Intn(len(vecs))]
+		b := vecs[rng.Intn(len(vecs))]
+		gr, gf := g.Execute(op, a, b)
+		dr, df := d.Execute(op, a, b)
+		if gr != dr || gf != df {
+			t.Fatalf("%s(%#x,%#x): batched=(%#x,%+v) direct=(%#x,%+v)", op, a, b, gr, gf, dr, df)
+		}
+		if rng.Intn(40) == 0 {
+			g.FlushALU() // partial-batch flush, like a PSW read mid-stream
+		}
+	}
+	g.FlushALU()
+	if d, bad := g.ALUDivergence(); bad {
+		t.Fatalf("pristine netlist diverged: %s", d)
+	}
+	if g.GateEvals() == 0 || g.Sweeps() == 0 {
+		t.Error("batched gate evals not counted")
+	}
+	// 3000 ops with ~75 forced partial flushes must still average well
+	// above one op per sweep.
+	if perSweep := g.GateEvals() / g.Sweeps(); perSweep < 8*uint64(g.Netlist().NumGates()) {
+		t.Errorf("amortisation too low: %d evals/sweep, netlist has %d gates",
+			perSweep, g.Netlist().NumGates())
+	}
+}
+
+// TestNetALU64DetectsMutation checks the deferred path end to end: a
+// gate-level fault injected into the netlist must stop a real program
+// run with StopDivergence and a mismatch message, even though the FSM
+// ran on behavioural results.
+func TestNetALU64DetectsMutation(t *testing.T) {
+	// Find a mutation that corrupts ADD on small operands (every program
+	// trips over those via address arithmetic).
+	find := func() (int, netlist.GateKind) {
+		for idx := 0; idx < netlist.BuildALU().NumGates(); idx++ {
+			for _, kind := range []netlist.GateKind{netlist.KXor, netlist.KAnd, netlist.KOr} {
+				nl := netlist.BuildALU()
+				if old := nl.MutateGate(idx, kind); old == kind {
+					continue
+				}
+				ev := netlist.NewEvaluator(nl)
+				ev.SetInput("a", 2)
+				ev.SetInput("b", 3)
+				ev.SetInput("op", netlist.ALUAdd)
+				ev.Eval()
+				if uint32(ev.Output("y")) != 5 {
+					return idx, kind
+				}
+			}
+		}
+		t.Fatal("no ALU-breaking mutation found")
+		return 0, 0
+	}
+	idx, kind := find()
+
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.ArithProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	s.ALU().Netlist().MutateGate(idx, kind)
+	if err := s.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("mutated netlist must not pass")
+	}
+	if res.Reason != platform.StopDivergence {
+		t.Fatalf("reason = %s (detail %q), want %s", res.Reason, res.Detail, platform.StopDivergence)
+	}
+	if !strings.Contains(res.Detail, "netlist") {
+		t.Errorf("divergence detail missing mismatch report: %q", res.Detail)
+	}
+}
+
+// TestNetALU64ResetOnLoad checks that a diverged backend is usable again
+// after Load: the platform clears latched divergence for the new run.
+func TestNetALU64ResetOnLoad(t *testing.T) {
+	g := NewNetALU64()
+	g.diverged = true
+	g.divergence = "stale"
+	g.qn = 7
+	g.ResetALU()
+	if _, bad := g.ALUDivergence(); bad || g.qn != 0 {
+		t.Fatal("ResetALU did not clear state")
+	}
+
+	// End-to-end: run a passing program twice on one platform instance.
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"t.asm": testprog.ArithProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	for i := 0; i < 2; i++ {
+		if err := s.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(platform.RunSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("run %d: %+v", i, res)
+		}
+	}
+}

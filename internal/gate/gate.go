@@ -80,15 +80,17 @@ func init() {
 	})
 }
 
-// Sim is the gate-level platform.
+// Sim is the gate-level platform. It runs the deferred-verification
+// NetALU64 backend: behavioural results drive the FSM, and the netlist
+// verifies retired operations in 64-lane batches (see alu64.go).
 type Sim struct {
 	*rtl.Sim
-	alu *NetALU
+	alu *NetALU64
 }
 
 // New creates a gate-level platform instance.
 func New(cfg soc.HWConfig) *Sim {
-	alu := NewNetALU()
+	alu := NewNetALU64()
 	return &Sim{
 		Sim: rtl.NewSimWithALU("gate/"+cfg.Name, platform.KindGate, cfg, alu),
 		alu: alu,
@@ -96,7 +98,7 @@ func New(cfg soc.HWConfig) *Sim {
 }
 
 // ALU exposes the netlist backend for work metrics.
-func (s *Sim) ALU() *NetALU { return s.alu }
+func (s *Sim) ALU() *NetALU64 { return s.alu }
 
 // Caps narrows the RTL capabilities: gate-level sims are cycle-accurate
 // but typically run without full register visibility tooling; we keep

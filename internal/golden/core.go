@@ -14,6 +14,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obj"
 	"repro/internal/platform"
+	"repro/internal/predecode"
 	"repro/internal/soc"
 )
 
@@ -77,6 +78,32 @@ type Core struct {
 	stepCost uint64
 	// unhandledDetail records why StepUnhandled was returned.
 	unhandledDetail string
+
+	// PredecodeOff disables the predecoded-instruction fast path; set it
+	// before LoadImage. Benchmarks and A/B fidelity checks use it — the
+	// two paths must agree cycle-for-cycle.
+	PredecodeOff bool
+	// pdRom is the ROM predecode table, shared across every core running
+	// the same image; pdRam is this core's private RAM overlay. Both are
+	// nil when predecode is off.
+	pdRom, pdRam *predecode.Table
+	// pdPage/pdPageBase cache the ROM page containing the last fetch, so
+	// straight-line and loop code fetches with one compare and one index.
+	// Safe for ROM only: ROM pages are never poisoned (stores to ROM
+	// fault on the bus), while RAM overlay pages can be and must be
+	// re-looked-up every fetch.
+	pdPage     *predecode.Page
+	pdPageBase uint32
+	// pdHits/pdSlow count fetches per run, flushed to the package
+	// counters by RunCore (plain fields: no atomics on the hot path).
+	pdHits, pdSlow uint64
+
+	// snapD/snapA/snapPSW hold the pre-step register snapshot while a
+	// sink tracks register writes. Core fields rather than Step locals:
+	// address-taken locals would cost a 128-byte stack clear on every
+	// instruction, tracked or not.
+	snapD, snapA [16]uint32
+	snapPSW      uint32
 }
 
 // NewCore creates a core over a SoC, in reset state.
@@ -108,7 +135,20 @@ func (c *Core) LoadImage(img *obj.Image) error {
 	c.Img = img
 	c.PC = img.Entry
 	c.A[isa.SP.Index()] = c.S.Cfg.RamBase + c.S.Cfg.RamSize - 16
+	if !c.PredecodeOff {
+		cfg := c.S.Cfg
+		c.pdRom = predecode.ForImage(img, cfg.RomBase, cfg.RomSize, c.S.Bus.CostOf(cfg.RomBase))
+		c.pdRam = predecode.NewOverlay(c.S.Mem, cfg.RamBase, cfg.RamSize, c.S.Bus.CostOf(cfg.RamBase))
+	}
+	c.pdPage, c.pdPageBase = nil, 0
 	return nil
+}
+
+// FlushPredecodeStats folds this core's fetch counters into the package
+// totals; RunCore calls it at the end of every run.
+func (c *Core) FlushPredecodeStats() {
+	predecode.AddRunStats(c.pdHits, c.pdSlow)
+	c.pdHits, c.pdSlow = 0, 0
 }
 
 // State snapshots the architectural registers.
@@ -185,17 +225,17 @@ func ArmTrace(c *Core, caps platform.Caps, spec platform.RunSpec) (func(), error
 }
 
 // emitRegDiffs reports every architectural register the last instruction
-// changed, by diffing against the pre-step snapshot.
-func (c *Core) emitRegDiffs(pc uint32, snapD, snapA *[16]uint32, snapPSW uint32) {
+// changed, by diffing against the pre-step snapshot (c.snapD/snapA/snapPSW).
+func (c *Core) emitRegDiffs(pc uint32) {
 	for i := 0; i < 16; i++ {
-		if c.D[i] != snapD[i] {
+		if c.D[i] != c.snapD[i] {
 			c.emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pc, Reg: uint8(i), Value: c.D[i]})
 		}
-		if c.A[i] != snapA[i] {
+		if c.A[i] != c.snapA[i] {
 			c.emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pc, Reg: telemetry.RegA0 + uint8(i), Value: c.A[i]})
 		}
 	}
-	if c.PSW != snapPSW {
+	if c.PSW != c.snapPSW {
 		c.emit(telemetry.Event{Kind: telemetry.EvRegWrite, PC: pc, Reg: telemetry.RegPSW, Value: c.PSW})
 	}
 }
@@ -212,8 +252,11 @@ func (c *Core) busRead32(addr uint32) (uint32, error) {
 func (c *Core) busWrite32(addr, v uint32) error {
 	err := c.S.Bus.Write32(addr, v)
 	c.stepCost += c.S.Bus.LastCost
-	if err == nil && c.Sink != nil {
-		c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: v})
+	if err == nil {
+		c.pdRam.Invalidate(addr)
+		if c.Sink != nil {
+			c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: v})
+		}
 	}
 	return err
 }
@@ -230,8 +273,11 @@ func (c *Core) busRead16(addr uint32) (uint16, error) {
 func (c *Core) busWrite16(addr uint32, v uint16) error {
 	err := c.S.Bus.Write16(addr, v)
 	c.stepCost += c.S.Bus.LastCost
-	if err == nil && c.Sink != nil {
-		c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: uint32(v)})
+	if err == nil {
+		c.pdRam.Invalidate(addr)
+		if c.Sink != nil {
+			c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: uint32(v)})
+		}
 	}
 	return err
 }
@@ -248,8 +294,11 @@ func (c *Core) busRead8(addr uint32) (byte, error) {
 func (c *Core) busWrite8(addr uint32, v byte) error {
 	err := c.S.Bus.Write8(addr, v)
 	c.stepCost += c.S.Bus.LastCost
-	if err == nil && c.Sink != nil {
-		c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: uint32(v)})
+	if err == nil {
+		c.pdRam.Invalidate(addr)
+		if c.Sink != nil {
+			c.emit(telemetry.Event{Kind: telemetry.EvMemWrite, PC: c.PC, Addr: addr, Value: uint32(v)})
+		}
 	}
 	return err
 }
@@ -314,6 +363,14 @@ func (c *Core) trap(vec int, returnPC uint32, cause uint32) StepOutcome {
 	return StepOK
 }
 
+// AsyncPending reports whether PollAsync would do anything: watchdog
+// fired, or interrupts enabled with an active line. Small enough to
+// inline, it lets run loops skip the PollAsync call on the (overwhelming)
+// idle iterations.
+func (c *Core) AsyncPending() bool {
+	return c.S.Hub.WatchdogFired || (c.PSW&isa.FlagI != 0 && c.S.Intc.Armed())
+}
+
 // PollAsync checks for watchdog expiry and enabled interrupts; it must be
 // called between instructions. It returns StepUnhandled if a trap was
 // taken with no handler.
@@ -341,36 +398,59 @@ func (c *Core) Step() StepOutcome {
 	// complete without touching every assignment in the interpreter.
 	pc := c.PC
 	trackRegs := c.Sink != nil && c.Mask.Has(telemetry.EvRegWrite)
-	var snapD, snapA [16]uint32
-	var snapPSW uint32
 	if trackRegs {
-		snapD, snapA, snapPSW = c.D, c.A, c.PSW
+		c.snapD, c.snapA, c.snapPSW = c.D, c.A, c.PSW
 	}
 
-	w0, err := c.S.Bus.Read32(c.PC, mem.AccessFetch)
-	c.stepCost += c.S.Bus.LastCost
-	if err != nil {
-		// A faulting fetch still consumes an issue slot so that trap
-		// ping-pong through a corrupt vector table cannot run unbounded.
-		c.Insts++
-		return c.finish(c.trap(isa.VecMemFault, c.PC, isa.VecMemFault))
+	var in isa.Inst
+	var size int
+	var e *predecode.Entry
+	if off := pc - c.pdPageBase; off < predecode.PageBytes && c.pdPage != nil && pc&3 == 0 {
+		e = c.pdPage.EntryAt(off)
+	} else if p, base := c.pdRom.PageFor(pc); p != nil {
+		c.pdPage, c.pdPageBase = p, base
+		if pc&3 == 0 {
+			e = p.EntryAt(pc - base)
+		}
+	} else {
+		e = c.pdRam.Lookup(pc)
 	}
-	words := [2]uint32{w0, 0}
-	n := 1
-	if isa.Opcode(w0 >> 24).HasExt() {
-		w1, err := c.S.Bus.Read32(c.PC+4, mem.AccessFetch)
+	if e != nil {
+		// Predecode fast path: the entry carries the decoded instruction
+		// and the exact per-word fetch cost the bus would charge.
+		c.pdHits++
+		c.stepCost += uint64(e.Size) * e.Wait
+		in, size = e.Inst, int(e.Size)
+	} else {
+		if c.pdRom != nil || c.pdRam != nil {
+			c.pdSlow++
+		}
+		w0, err := c.S.Bus.Read32(c.PC, mem.AccessFetch)
 		c.stepCost += c.S.Bus.LastCost
 		if err != nil {
+			// A faulting fetch still consumes an issue slot so that trap
+			// ping-pong through a corrupt vector table cannot run unbounded.
 			c.Insts++
 			return c.finish(c.trap(isa.VecMemFault, c.PC, isa.VecMemFault))
 		}
-		words[1] = w1
-		n = 2
-	}
-	in, size, ok := isa.Decode(words[:n])
-	if !ok {
-		c.Insts++
-		return c.finish(c.trap(isa.VecIllegal, c.PC, isa.VecIllegal))
+		words := [2]uint32{w0, 0}
+		n := 1
+		if isa.Opcode(w0 >> 24).HasExt() {
+			w1, err := c.S.Bus.Read32(c.PC+4, mem.AccessFetch)
+			c.stepCost += c.S.Bus.LastCost
+			if err != nil {
+				c.Insts++
+				return c.finish(c.trap(isa.VecMemFault, c.PC, isa.VecMemFault))
+			}
+			words[1] = w1
+			n = 2
+		}
+		var ok bool
+		in, size, ok = isa.Decode(words[:n])
+		if !ok {
+			c.Insts++
+			return c.finish(c.trap(isa.VecIllegal, c.PC, isa.VecIllegal))
+		}
 	}
 	// Gate on the mask here, not just the sink: rendering the disassembly
 	// is the expensive part, and a mask excluding instruction events must
@@ -382,7 +462,7 @@ func (c *Core) Step() StepOutcome {
 	out := c.exec(in, next)
 	c.Insts++
 	if trackRegs {
-		c.emitRegDiffs(pc, &snapD, &snapA, snapPSW)
+		c.emitRegDiffs(pc)
 	}
 	return c.finish(out)
 }
@@ -721,6 +801,11 @@ func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec 
 	if maxInsts == 0 {
 		maxInsts = platform.DefaultMaxInstructions
 	}
+	maxCycles := spec.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = ^uint64(0)
+	}
+	doTrace := caps.Trace && spec.Trace != nil
 	res := &platform.Result{Platform: name, Kind: kind}
 	for {
 		if c.stopReq {
@@ -731,16 +816,18 @@ func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec 
 			res.Reason = platform.StopMaxInsts
 			break
 		}
-		if spec.MaxCycles > 0 && c.Cycles >= spec.MaxCycles {
+		if c.Cycles >= maxCycles {
 			res.Reason = platform.StopMaxCycles
 			break
 		}
-		if out := c.PollAsync(); out == StepUnhandled {
-			res.Reason = platform.StopUnhandled
-			res.Detail = c.UnhandledDetail()
-			break
+		if c.AsyncPending() {
+			if out := c.PollAsync(); out == StepUnhandled {
+				res.Reason = platform.StopUnhandled
+				res.Detail = c.UnhandledDetail()
+				break
+			}
 		}
-		if caps.Trace && spec.Trace != nil {
+		if doTrace {
 			rec := platform.TraceRecord{PC: c.PC, Disasm: DisasmAt(c.S, c.PC)}
 			if c.Img != nil {
 				rec.File, rec.Line, _ = c.Img.SourceAt(c.PC)
@@ -764,6 +851,7 @@ func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec 
 		}
 		break
 	}
+	c.FlushPredecodeStats()
 	res.Instructions = c.Insts
 	res.Cycles = c.Cycles
 	res.MboxResult, res.MboxDone = c.S.Mbox.Result()

@@ -51,7 +51,9 @@ func (m *Model) Core() *Core { return m.core }
 // Load implements platform.Platform.
 func (m *Model) Load(img *obj.Image) error {
 	s := soc.New(m.core.S.Cfg)
+	off := m.core.PredecodeOff
 	m.core = NewCore(s)
+	m.core.PredecodeOff = off
 	return m.core.LoadImage(img)
 }
 

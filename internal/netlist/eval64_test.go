@@ -1,0 +1,226 @@
+package netlist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestInputNamesSorted is the regression test for InputNames returning
+// map-iteration (nondeterministic) order: the names must come back
+// sorted, stably, on every call.
+func TestInputNamesSorted(t *testing.T) {
+	b := NewBuilder()
+	for _, name := range []string{"zeta", "op", "a", "mid", "b", "carry"} {
+		b.Input(name, 4)
+	}
+	nl := b.Build()
+	want := []string{"a", "b", "carry", "mid", "op", "zeta"}
+	for trial := 0; trial < 20; trial++ {
+		got := nl.InputNames()
+		if !sort.StringsAreSorted(got) {
+			t.Fatalf("InputNames not sorted: %v", got)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("InputNames = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("InputNames = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// alu64Vectors drives one batch of up to 64 (op,a,b) vectors through a
+// shared scalar evaluator and a 64-lane evaluator of the same netlist and
+// fails on any lane whose y/c/v outputs differ.
+func alu64Vectors(t *testing.T, nl *Netlist, ev *Evaluator, ev64 *Evaluator64, ops []uint64, as, bs []uint32) {
+	t.Helper()
+	for i := range ops {
+		ev64.SetInput("op", i, ops[i])
+		ev64.SetInput("a", i, uint64(as[i]))
+		ev64.SetInput("b", i, uint64(bs[i]))
+	}
+	ev64.EvalLanes(len(ops))
+	for i := range ops {
+		ev.SetInput("op", ops[i])
+		ev.SetInput("a", uint64(as[i]))
+		ev.SetInput("b", uint64(bs[i]))
+		ev.Eval()
+		for _, out := range []string{"y", "c", "v"} {
+			if got, want := ev64.Output(out, i), ev.Output(out); got != want {
+				t.Fatalf("lane %d op %d (%#x,%#x): %s = %#x, scalar %#x",
+					i, ops[i], as[i], bs[i], out, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluator64MatchesScalar asserts bit-identical results between the
+// 64-lane and scalar evaluators over exhaustive op/operand sweeps: every
+// ALU op crossed with the full corner-value product, every shift amount
+// 0..63, and a large randomised mix with lanes packed in batches of 64.
+func TestEvaluator64MatchesScalar(t *testing.T) {
+	nl := BuildALU()
+	ev := NewEvaluator(nl)
+	ev64 := NewEvaluator64(nl)
+	if ev64.Netlist() != nl {
+		t.Fatal("Netlist() must return the live netlist")
+	}
+
+	var ops []uint64
+	var as, bs []uint32
+	flush := func() {
+		if len(ops) == 0 {
+			return
+		}
+		alu64Vectors(t, nl, ev, ev64, ops, as, bs)
+		ops, as, bs = ops[:0], as[:0], bs[:0]
+	}
+	add := func(op uint64, a, b uint32) {
+		ops = append(ops, op)
+		as = append(as, a)
+		bs = append(bs, b)
+		if len(ops) == Lanes {
+			flush()
+		}
+	}
+
+	corners := []uint32{0, 1, 2, 3, 31, 32, 33,
+		0x7ffffffe, 0x7fffffff, 0x80000000, 0x80000001,
+		0xaaaaaaaa, 0x55555555, 0xfffffffe, 0xffffffff}
+	for op := ALUAdd; op <= ALUSar; op++ {
+		for _, a := range corners {
+			for _, b := range corners {
+				add(op, a, b)
+			}
+		}
+	}
+	// Every shift amount, including the >31 wrap, on both shift inputs.
+	for _, op := range []uint64{ALUShl, ALUShr, ALUSar} {
+		for amt := uint32(0); amt < 64; amt++ {
+			for _, a := range []uint32{0x80000001, 0xdeadbeef, 1} {
+				add(op, a, amt)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 4096; i++ {
+		add(uint64(rng.Intn(8)), rng.Uint32(), rng.Uint32())
+	}
+	// Leave a final partial batch so the non-full-lane path is covered.
+	add(ALUAdd, 7, 9)
+	flush()
+
+	if ev64.Sweeps == 0 || ev64.GateEvals == 0 {
+		t.Fatalf("counters not advancing: sweeps=%d evals=%d", ev64.Sweeps, ev64.GateEvals)
+	}
+	// Amortisation accounting: scalar-equivalent work per sweep must be
+	// far above one netlist's gate count on the full batches.
+	if avg := float64(ev64.GateEvals) / float64(ev64.Sweeps); avg < 32*float64(nl.NumGates()) {
+		t.Errorf("evals/sweep = %.0f, want >= %d (batches should be near-full)",
+			avg, 32*nl.NumGates())
+	}
+}
+
+// TestEvaluator64LaneIsolation checks lanes do not bleed into each other:
+// the same vector must produce the same result regardless of what the
+// other 63 lanes carry.
+func TestEvaluator64LaneIsolation(t *testing.T) {
+	nl := BuildALU()
+	ev := NewEvaluator(nl)
+	ev64 := NewEvaluator64(nl)
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 32; trial++ {
+		probe := rng.Intn(Lanes)
+		op, a, b := uint64(rng.Intn(8)), rng.Uint32(), rng.Uint32()
+		for lane := 0; lane < Lanes; lane++ {
+			if lane == probe {
+				ev64.SetInput("op", lane, op)
+				ev64.SetInput("a", lane, uint64(a))
+				ev64.SetInput("b", lane, uint64(b))
+			} else {
+				ev64.SetInput("op", lane, uint64(rng.Intn(8)))
+				ev64.SetInput("a", lane, uint64(rng.Uint32()))
+				ev64.SetInput("b", lane, uint64(rng.Uint32()))
+			}
+		}
+		ev64.Eval()
+		ev.SetInput("op", op)
+		ev.SetInput("a", uint64(a))
+		ev.SetInput("b", uint64(b))
+		ev.Eval()
+		if got, want := ev64.Output("y", probe), ev.Output("y"); got != want {
+			t.Fatalf("trial %d lane %d: y = %#x, scalar %#x", trial, probe, got, want)
+		}
+	}
+}
+
+// TestEvaluator64SeesMutations: the 64-lane evaluator must read the gate
+// list live, so single-gate defects injected for checker mutation testing
+// are visible through the batched path too.
+func TestEvaluator64SeesMutations(t *testing.T) {
+	nl := BuildALU()
+	ev64 := NewEvaluator64(nl)
+	set := func(lane int, op uint64, a, b uint32) {
+		ev64.SetInput("op", lane, op)
+		ev64.SetInput("a", lane, uint64(a))
+		ev64.SetInput("b", lane, uint64(b))
+	}
+	rng := rand.New(rand.NewSource(66))
+	caught, tried := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		idx := rng.Intn(nl.NumGates())
+		old := nl.gates[idx].Kind
+		newKind := GateKind((int(old) + 1 + rng.Intn(3)) % 5)
+		if newKind == old {
+			continue
+		}
+		nl.MutateGate(idx, newKind)
+		tried++
+		detected := false
+		for batch := 0; batch < 8 && !detected; batch++ {
+			vec := make([][3]uint32, Lanes)
+			for lane := 0; lane < Lanes; lane++ {
+				v := [3]uint32{uint32(rng.Intn(8)), rng.Uint32(), rng.Uint32()}
+				vec[lane] = v
+				set(lane, uint64(v[0]), v[1], v[2])
+			}
+			ev64.Eval()
+			for lane := 0; lane < Lanes; lane++ {
+				op, a, b := uint64(vec[lane][0]), vec[lane][1], vec[lane][2]
+				var want uint32
+				switch op {
+				case ALUAdd:
+					want = a + b
+				case ALUSub:
+					want = a - b
+				case ALUAnd:
+					want = a & b
+				case ALUOr:
+					want = a | b
+				case ALUXor:
+					want = a ^ b
+				case ALUShl:
+					want = a << (b & 31)
+				case ALUShr:
+					want = a >> (b & 31)
+				default:
+					want = uint32(int32(a) >> (b & 31))
+				}
+				if uint32(ev64.Output("y", lane)) != want {
+					detected = true
+					break
+				}
+			}
+		}
+		if detected {
+			caught++
+		}
+		nl.MutateGate(idx, old)
+	}
+	if tried == 0 || float64(caught)/float64(tried) < 0.7 {
+		t.Errorf("mutation coverage through 64-lane path too low: %d/%d", caught, tried)
+	}
+}

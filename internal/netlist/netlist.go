@@ -8,7 +8,10 @@
 // list.
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Net identifies a single-bit wire. Nets 0 and 1 are the constants false
 // and true.
@@ -83,12 +86,13 @@ func (n *Netlist) Depth() int {
 	return max
 }
 
-// InputNames lists declared input buses.
+// InputNames lists declared input buses in sorted order.
 func (n *Netlist) InputNames() []string {
 	var out []string
 	for k := range n.inputs {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -34,9 +34,6 @@ func (g *Gpio) Name() string { return g.name }
 // Size implements bus.Device.
 func (g *Gpio) Size() uint32 { return 0x10 }
 
-// Tick implements bus.Device.
-func (g *Gpio) Tick(uint64) {}
-
 // Read32 implements bus.Device.
 func (g *Gpio) Read32(off uint32) (uint32, error) {
 	switch off {

@@ -36,10 +36,12 @@ func (ic *Intc) Name() string { return ic.name }
 // Size implements bus.Device.
 func (ic *Intc) Size() uint32 { return 0x14 }
 
-// Tick implements bus.Device.
-func (ic *Intc) Tick(uint64) {}
-
 func (ic *Intc) active() uint32 { return ic.hub.Pending() & ic.enable }
+
+// Armed reports whether any enabled interrupt line is pending. It is the
+// cheap gate CPU run loops use before paying for Next's priority scan;
+// small enough to inline into the per-instruction poll.
+func (ic *Intc) Armed() bool { return ic.hub.Pending()&ic.enable != 0 }
 
 // Next returns the lowest-numbered active interrupt line, if any. CPU
 // cores call this between instructions when PSW.I is set.

@@ -8,6 +8,9 @@ package periph
 
 import "repro/internal/isa"
 
+// noEvent mirrors bus.NoEvent: the NextEvent value of a quiescent device.
+const noEvent = ^uint64(0)
+
 // IrqHub collects interrupt requests from devices. The interrupt
 // controller device exposes masking and acknowledge on top of it, and CPU
 // cores poll it between instructions.

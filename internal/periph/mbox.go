@@ -46,9 +46,6 @@ func (m *Mailbox) Name() string { return m.name }
 // Size implements bus.Device.
 func (m *Mailbox) Size() uint32 { return 0x20 }
 
-// Tick implements bus.Device.
-func (m *Mailbox) Tick(uint64) {}
-
 // Read32 implements bus.Device.
 func (m *Mailbox) Read32(off uint32) (uint32, error) {
 	switch off {

@@ -34,9 +34,6 @@ func (m *Mpu) Name() string { return m.name }
 // Size implements bus.Device.
 func (m *Mpu) Size() uint32 { return 0x10 }
 
-// Tick implements bus.Device.
-func (m *Mpu) Tick(uint64) {}
-
 // Read32 implements bus.Device.
 func (m *Mpu) Read32(off uint32) (uint32, error) {
 	switch off {

@@ -226,7 +226,16 @@ func (n *Nvm) start(cycles uint64, effect func()) {
 	n.stat |= NvmStLocked
 }
 
-// Tick implements bus.Device: counts down command busy time.
+// NextEvent implements bus.Ticker: cycles until the pending command
+// completes.
+func (n *Nvm) NextEvent() uint64 {
+	if n.busy == 0 {
+		return noEvent
+	}
+	return n.busy
+}
+
+// Tick implements bus.Ticker: counts down command busy time.
 func (n *Nvm) Tick(c uint64) {
 	if n.busy == 0 {
 		return

@@ -85,7 +85,21 @@ func (t *Timer) Write32(off uint32, v uint32) error {
 	}
 }
 
-// Tick implements bus.Device.
+// NextEvent implements bus.Ticker: cycles until the counter next expires.
+func (t *Timer) NextEvent() uint64 {
+	if t.ctrl&TimerCtrlEnable == 0 {
+		return noEvent
+	}
+	if t.cnt == 0 {
+		if t.ctrl&TimerCtrlAuto == 0 || t.reload == 0 {
+			return noEvent
+		}
+		return uint64(t.reload)
+	}
+	return uint64(t.cnt)
+}
+
+// Tick implements bus.Ticker.
 func (t *Timer) Tick(n uint64) {
 	if t.ctrl&TimerCtrlEnable == 0 {
 		return

@@ -134,7 +134,23 @@ func (u *Uart) Write32(off uint32, v uint32) error {
 	}
 }
 
-// Tick implements bus.Device: advances the transmit shifter.
+// NextEvent implements bus.Ticker: cycles until the shifter next
+// delivers a byte (or picks one up and delivers it, when idle with a
+// queued FIFO).
+func (u *Uart) NextEvent() uint64 {
+	if u.cr&UartCrEnable == 0 {
+		return noEvent
+	}
+	if u.shifting > 0 {
+		return u.shifting
+	}
+	if len(u.tx) > 0 {
+		return uint64(u.brr) * 10
+	}
+	return noEvent
+}
+
+// Tick implements bus.Ticker: advances the transmit shifter.
 func (u *Uart) Tick(n uint64) {
 	if u.cr&UartCrEnable == 0 {
 		return

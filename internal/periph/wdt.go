@@ -75,7 +75,15 @@ func (w *Wdt) Write32(off uint32, v uint32) error {
 	}
 }
 
-// Tick implements bus.Device.
+// NextEvent implements bus.Ticker: cycles until the watchdog bites.
+func (w *Wdt) NextEvent() uint64 {
+	if w.ctrl&WdtCtrlEnable == 0 || w.expired {
+		return noEvent
+	}
+	return w.count
+}
+
+// Tick implements bus.Ticker.
 func (w *Wdt) Tick(n uint64) {
 	if w.ctrl&WdtCtrlEnable == 0 || w.expired {
 		return

@@ -123,6 +123,11 @@ const (
 	StopDoubleFault StopReason = "double-fault"
 	// StopAbort: the RunSpec.Events sink asked the platform to stop.
 	StopAbort StopReason = "aborted"
+	// StopDivergence: a deferred equivalence check (the gate-level
+	// platform's batched ALU checker) found the structural model
+	// disagreeing with the behavioural prediction; the run cannot
+	// meaningfully continue past the fault.
+	StopDivergence StopReason = "alu-divergence"
 )
 
 // Result is the outcome of one run.

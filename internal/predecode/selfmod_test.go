@@ -1,0 +1,129 @@
+package predecode_test
+
+import (
+	"testing"
+
+	"repro/internal/golden"
+	"repro/internal/platform"
+	"repro/internal/rtl"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+)
+
+// selfModProgram copies a thunk from ROM into RAM and calls it twice.
+// On its first call the thunk loads 0x1111 into d3 and then overwrites
+// its own first instruction (in a page the predecoder has already
+// decoded) with the encoding of "LOAD d3, 0x2222", taken verbatim from
+// a never-executed ROM copy so the test does not depend on instruction
+// encodings. The second call must observe the patched code. This
+// exercises both predecode paths: the RAM overlay decodes the copied
+// thunk on first fetch, and the self-modifying store poisons the page
+// so later fetches fall back to decode-per-step.
+const selfModProgram = `
+DEST .EQU 0x20000400
+_main:
+    LOAD a0, thunk
+    LOAD a1, DEST
+    LOAD d0, thunk
+    LOAD d1, thunk_end
+    SUB d2, d1, d0          ; thunk size in bytes
+    LOAD d4, 0
+copy:
+    LOAD d3, [a0]
+    STORE [a1], d3
+    LEAO a0, a0, 4
+    LEAO a1, a1, 4
+    SUB d2, d2, 4
+    BNE d2, d4, copy
+    LOAD a7, DEST
+    CALLI a7                ; first call: unpatched thunk
+    LOAD d4, 0x1111
+    BNE d3, d4, fail
+    CALLI a7                ; second call: thunk patched itself
+    LOAD d4, 0x2222
+    BNE d3, d4, fail
+    JMP pass
+thunk:
+    LOAD d3, 0x1111
+    LOAD a6, DEST
+    LOAD a5, newinst
+    LOAD d5, [a5]
+    STORE [a6], d5          ; patch own first instruction
+    RET
+thunk_end:
+newinst:
+    LOAD d3, 0x2222         ; data: replacement encoding, never executed
+` + testprog.PassTail
+
+// runSelfMod loads and runs the self-modifying program on p.
+func runSelfMod(t *testing.T, p platform.Platform) *platform.Result {
+	t.Helper()
+	cfg := soc.DefaultConfig()
+	img, err := testprog.Build(cfg, nil, map[string]string{"selfmod.asm": selfModProgram})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := p.Load(img); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := p.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// TestSelfModifyingCodeGolden checks that a program that stores into its
+// own (already predecoded) code page executes correctly on the golden
+// model, and that the predecode fast path does not change the reported
+// instruction or cycle counts.
+func TestSelfModifyingCodeGolden(t *testing.T) {
+	cfg := soc.DefaultConfig()
+
+	fast := runSelfMod(t, golden.NewModel(cfg))
+	if !fast.Passed() {
+		t.Fatalf("predecode on: not passed: %+v", fast)
+	}
+
+	slow := golden.NewModel(cfg)
+	slow.Core().PredecodeOff = true
+	ref := runSelfMod(t, slow)
+	if !ref.Passed() {
+		t.Fatalf("predecode off: not passed: %+v", ref)
+	}
+
+	if fast.Instructions != ref.Instructions || fast.Cycles != ref.Cycles {
+		t.Errorf("predecode changed counts: on=(%d insts, %d cycles) off=(%d insts, %d cycles)",
+			fast.Instructions, fast.Cycles, ref.Instructions, ref.Cycles)
+	}
+	if fast.MboxResult != ref.MboxResult {
+		t.Errorf("mailbox result differs: on=%#x off=%#x", fast.MboxResult, ref.MboxResult)
+	}
+}
+
+// TestSelfModifyingCodeRTL is the same check against the cycle-true RTL
+// simulation: the predecoded fetch path must burn exactly the wait
+// states of the FSM it bypasses.
+func TestSelfModifyingCodeRTL(t *testing.T) {
+	cfg := soc.DefaultConfig()
+
+	fast := runSelfMod(t, rtl.NewSim(cfg))
+	if !fast.Passed() {
+		t.Fatalf("predecode on: not passed: %+v", fast)
+	}
+
+	slow := rtl.NewSim(cfg)
+	slow.DisablePredecode()
+	ref := runSelfMod(t, slow)
+	if !ref.Passed() {
+		t.Fatalf("predecode off: not passed: %+v", ref)
+	}
+
+	if fast.Instructions != ref.Instructions || fast.Cycles != ref.Cycles {
+		t.Errorf("predecode changed counts: on=(%d insts, %d cycles) off=(%d insts, %d cycles)",
+			fast.Instructions, fast.Cycles, ref.Instructions, ref.Cycles)
+	}
+	if fast.MboxResult != ref.MboxResult {
+		t.Errorf("mailbox result differs: on=%#x off=%#x", fast.MboxResult, ref.MboxResult)
+	}
+}

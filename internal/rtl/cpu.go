@@ -14,6 +14,7 @@ import (
 	"repro/internal/hdl"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/predecode"
 	"repro/internal/soc"
 )
 
@@ -32,6 +33,22 @@ type ALUFlags struct {
 // Shr, Sar, Cmp (= Sub).
 type ALUBackend interface {
 	Execute(op isa.Opcode, a, b uint32) (uint32, ALUFlags)
+}
+
+// ALUChecker is an ALUBackend that defers part of its verification work
+// (the gate-level platform batches netlist evaluation across 64 pending
+// ops). The core drains the queue at architecturally flag-observable
+// boundaries — PSW reads and trap entry, where software could see the
+// flags — and the run loop polls ALUDivergence to stop a run whose
+// netlist disagreed with the behavioural prediction. SC88 conditional
+// branches compare registers, not flags, so branch boundaries need no
+// flush; the queue-full bound keeps detection within one batch anyway.
+type ALUChecker interface {
+	ALUBackend
+	// FlushALU verifies every queued, not-yet-checked operation.
+	FlushALU()
+	// ALUDivergence reports a detected backend/behavioural mismatch.
+	ALUDivergence() (string, bool)
 }
 
 // DirectALU is the behavioural ALU backend.
@@ -115,12 +132,23 @@ type CPU struct {
 	UnhandledAt string
 	DebugStop   bool
 	DebugStops  bool
+
+	// pdRom is the shared ROM predecode table, pdRam the private RAM
+	// overlay; nil when predecode is disabled. pdHits/pdSlow count
+	// fetches per run and are flushed by the platform run loop.
+	pdRom, pdRam   *predecode.Table
+	pdHits, pdSlow uint64
+	// aluFlush is non-nil when the ALU backend is an ALUChecker.
+	aluFlush ALUChecker
 }
 
 // NewCPU builds the core and its clocked process.
 func NewCPU(s *soc.SoC, alu ALUBackend) *CPU {
 	sim := hdl.NewSimulator()
 	c := &CPU{Sim: sim, S: s, ALU: alu}
+	if chk, ok := alu.(ALUChecker); ok {
+		c.aluFlush = chk
+	}
 	c.Clk = sim.NewClock("clk", 2)
 	c.sigState = sim.NewSignal("state", 3, stFetch)
 	c.sigPC = sim.NewSignal("pc", 32, uint64(s.Cfg.RomBase))
@@ -156,6 +184,23 @@ func (c *CPU) posedge() {
 		if c.pollAsync() {
 			return
 		}
+		if e := c.pdEntry(c.PC); e != nil {
+			// Predecode fast path: identical FSM sequence, IR signal and
+			// wait-state burn as a live fetch, minus the bus round-trip.
+			c.pdHits++
+			c.ir0 = e.W0
+			c.sigIR.Set(uint64(e.W0))
+			c.burn(e.Wait)
+			if e.Size == 2 {
+				c.setState(stFetchExt)
+			} else {
+				c.setState(stDecode)
+			}
+			return
+		}
+		if c.pdRom != nil || c.pdRam != nil {
+			c.pdSlow++
+		}
 		w, err := c.S.Bus.Read32(c.PC, mem.AccessFetch)
 		if err != nil {
 			c.Insts++
@@ -171,6 +216,12 @@ func (c *CPU) posedge() {
 			c.setState(stDecode)
 		}
 	case stFetchExt:
+		if e := c.pdEntry(c.PC); e != nil && e.Size == 2 && e.W0 == c.ir0 {
+			c.ir1 = e.W1
+			c.burn(e.Wait)
+			c.setState(stDecode)
+			return
+		}
 		w, err := c.S.Bus.Read32(c.PC+4, mem.AccessFetch)
 		if err != nil {
 			c.Insts++
@@ -181,6 +232,12 @@ func (c *CPU) posedge() {
 		c.burn(c.S.Bus.LastCost)
 		c.setState(stDecode)
 	case stDecode:
+		if e := c.pdEntry(c.PC); e != nil && e.W0 == c.ir0 && (e.Size == 1 || e.W1 == c.ir1) {
+			c.inst = e.Inst
+			c.instSize = e.Size * 4
+			c.setState(stExecute)
+			return
+		}
 		in, size, ok := isa.Decode([]uint32{c.ir0, c.ir1})
 		if !ok {
 			c.Insts++
@@ -201,6 +258,22 @@ func (c *CPU) posedge() {
 	case stHalt:
 		// Remain halted.
 	}
+}
+
+// pdEntry returns the predecoded entry for the current instruction, or
+// nil to take the live-bus slow path.
+func (c *CPU) pdEntry(pc uint32) *predecode.Entry {
+	if e := c.pdRom.Lookup(pc); e != nil {
+		return e
+	}
+	return c.pdRam.Lookup(pc)
+}
+
+// FlushPredecodeStats folds this core's fetch counters into the package
+// totals; the platform run loop calls it when a run ends.
+func (c *CPU) FlushPredecodeStats() {
+	predecode.AddRunStats(c.pdHits, c.pdSlow)
+	c.pdHits, c.pdSlow = 0, 0
 }
 
 func (c *CPU) setState(s uint64) {
@@ -231,6 +304,11 @@ func (c *CPU) pollAsync() bool {
 }
 
 func (c *CPU) enterTrap(vec int, returnPC, cause uint32) {
+	// Trap entry saves PSW to SPSW — a flag-observable boundary, so any
+	// deferred ALU verification must complete first.
+	if c.aluFlush != nil {
+		c.aluFlush.FlushALU()
+	}
 	handler, err := c.S.Bus.Read32(c.VBR+uint32(vec)*4, mem.AccessRead)
 	if err != nil || handler == 0 {
 		c.Unhandled = true
@@ -476,6 +554,11 @@ func (c *CPU) execute() {
 		c.PSW = c.SPSW
 		done(c.SPC)
 	case isa.OpMfcr:
+		// Reading PSW observes the flags: drain any deferred ALU
+		// verification before software can see them.
+		if uint16(in.Imm) == isa.CrPSW && c.aluFlush != nil {
+			c.aluFlush.FlushALU()
+		}
 		c.D[in.Rd.Index()] = c.readCR(uint16(in.Imm))
 		done(next)
 	case isa.OpMtcr:
@@ -552,6 +635,11 @@ func (c *CPU) memAccess() {
 			fault()
 			return
 		}
+	}
+	switch in.Op {
+	case isa.OpStW, isa.OpStWX, isa.OpStA, isa.OpStH, isa.OpStB:
+		// A successful store into a decoded code page poisons it.
+		c.pdRam.Invalidate(c.memAddr)
 	}
 	c.burn(c.S.Bus.LastCost)
 	c.PC = next

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core/telemetry"
 	"repro/internal/obj"
 	"repro/internal/platform"
+	"repro/internal/predecode"
 	"repro/internal/soc"
 )
 
@@ -18,13 +19,14 @@ const traceFidelity = telemetry.EventMask(1)<<telemetry.EvInstRetired |
 
 // Sim is the RTL simulation platform.
 type Sim struct {
-	name string
-	cfg  soc.HWConfig
-	cpu  *CPU
-	img  *obj.Image
-	alu  ALUBackend
-	kind platform.Kind
-	vcd  io.Writer
+	name        string
+	cfg         soc.HWConfig
+	cpu         *CPU
+	img         *obj.Image
+	alu         ALUBackend
+	kind        platform.Kind
+	vcd         io.Writer
+	noPredecode bool
 }
 
 func init() {
@@ -75,6 +77,10 @@ func (s *Sim) CPU() *CPU { return s.cpu }
 // SetVCD enables waveform dumping for the next Load/Run.
 func (s *Sim) SetVCD(w io.Writer) { s.vcd = w }
 
+// DisablePredecode turns off the predecoded-instruction fast path for
+// subsequent Loads (benchmarks and A/B cycle-fidelity checks).
+func (s *Sim) DisablePredecode() { s.noPredecode = true }
+
 // Load implements platform.Platform.
 func (s *Sim) Load(img *obj.Image) error {
 	sc := soc.New(s.cfg)
@@ -85,6 +91,15 @@ func (s *Sim) Load(img *obj.Image) error {
 	s.img = img
 	s.cpu.PC = img.Entry
 	s.cpu.SetSP(s.cfg.RamBase + s.cfg.RamSize - 16)
+	if !s.noPredecode {
+		s.cpu.pdRom = predecode.ForImage(img, s.cfg.RomBase, s.cfg.RomSize, sc.Bus.CostOf(s.cfg.RomBase))
+		s.cpu.pdRam = predecode.NewOverlay(sc.Mem, s.cfg.RamBase, s.cfg.RamSize, sc.Bus.CostOf(s.cfg.RamBase))
+	}
+	// A reloaded platform starts a fresh run: clear any queued or
+	// diverged state left in a deferred-verification ALU backend.
+	if r, ok := s.alu.(interface{ ResetALU() }); ok {
+		r.ResetALU()
+	}
 	if s.vcd != nil {
 		s.cpu.Sim.StartVCD(s.vcd)
 	}
@@ -130,24 +145,53 @@ func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
 		}
 	}
 	var lastTracedPC uint32 = 1 // unaligned: never a valid PC
+	chk, _ := s.alu.(ALUChecker)
+	// Observability runs (trace callback or event stream armed) disable
+	// deferred batching: the queue is drained every cycle, so a netlist
+	// divergence stops the run at the instruction that caused it.
+	// First-divergence triage depends on that — a batched check that only
+	// fires at the end-of-run drain leaves the (behaviourally correct)
+	// event stream identical to the reference's, hiding the fault.
+	eager := chk != nil && (spec.Trace != nil || spec.Events != nil)
 	for {
-		switch {
-		case aborted:
-			res.Reason = platform.StopAbort
-		case c.Halted:
-			res.Reason = platform.StopHalt
-			res.HaltCode = c.HaltCode
-		case c.Unhandled:
-			res.Reason = platform.StopUnhandled
-			res.Detail = c.UnhandledAt
-		case c.DebugStop:
-			res.Reason = platform.StopBreakpoint
-		case c.Insts >= maxInsts:
-			res.Reason = platform.StopMaxInsts
-		case spec.MaxCycles > 0 && c.Cycles >= spec.MaxCycles:
-			res.Reason = platform.StopMaxCycles
+		if eager {
+			chk.FlushALU()
+		}
+		if chk != nil {
+			if d, bad := chk.ALUDivergence(); bad {
+				res.Reason = platform.StopDivergence
+				res.Detail = d
+			}
+		}
+		if res.Reason == "" {
+			switch {
+			case aborted:
+				res.Reason = platform.StopAbort
+			case c.Halted:
+				res.Reason = platform.StopHalt
+				res.HaltCode = c.HaltCode
+			case c.Unhandled:
+				res.Reason = platform.StopUnhandled
+				res.Detail = c.UnhandledAt
+			case c.DebugStop:
+				res.Reason = platform.StopBreakpoint
+			case c.Insts >= maxInsts:
+				res.Reason = platform.StopMaxInsts
+			case spec.MaxCycles > 0 && c.Cycles >= spec.MaxCycles:
+				res.Reason = platform.StopMaxCycles
+			}
 		}
 		if res.Reason != "" {
+			// Drain the deferred-verification queue so a divergence in the
+			// final partial batch is not lost to the stop.
+			if chk != nil && res.Reason != platform.StopDivergence {
+				chk.FlushALU()
+				if d, bad := chk.ALUDivergence(); bad {
+					res.Reason = platform.StopDivergence
+					res.Detail = d
+					res.HaltCode = 0
+				}
+			}
 			break
 		}
 		if (spec.Trace != nil || emitEvents) && c.state == stFetch && c.PC != lastTracedPC {
@@ -183,6 +227,7 @@ func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
 			}
 		}
 	}
+	c.FlushPredecodeStats()
 	res.Instructions = c.Insts
 	res.Cycles = c.Cycles
 	res.MboxResult, res.MboxDone = c.S.Mbox.Result()
