@@ -8,11 +8,13 @@
 #   make cache     the build-cache benchmarks only (off/cold/warm)
 #   make bench-json  telemetry-overhead benchmarks (E12) -> BENCH_telemetry.json
 #                    and perf benchmarks (E14) -> BENCH_perf.json
+#   make smoke     end-to-end resilience run of advm-regress
+#                  (-deadline/-retries/-quarantine-after/-breaker)
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 vet lint race fuzz bench cache bench-json tools
+.PHONY: all tier1 vet lint race fuzz bench cache bench-json smoke tools
 
 all: tier1
 
@@ -53,6 +55,15 @@ bench-json:
 	@grep -c '"Action"' BENCH_telemetry.json >/dev/null && echo "wrote BENCH_telemetry.json"
 	$(GO) test -run xxx -bench 'BenchmarkE14_' -benchtime 2s -json . > BENCH_perf.json
 	@grep -c '"Action"' BENCH_perf.json >/dev/null && echo "wrote BENCH_perf.json"
+
+# End-to-end resilience smoke: the full matrix on the golden + emulator
+# rungs with per-cell deadlines, a retry budget, quarantine, and the
+# per-kind circuit breaker armed. Exercises the flag plumbing and the
+# resilience footer; any wedged cell would fail the run at its deadline
+# instead of hanging CI.
+smoke:
+	$(GO) run ./cmd/advm-regress -platforms golden,emulator \
+		-deadline 30s -retries 2 -quarantine-after 2 -breaker 5
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

@@ -38,10 +38,12 @@ import (
 	"repro/internal/core/randgen"
 	"repro/internal/core/regress"
 	"repro/internal/core/release"
+	"repro/internal/core/resilience"
 	"repro/internal/core/runcache"
 	"repro/internal/core/sysenv"
 	"repro/internal/core/telemetry"
 	"repro/internal/core/vet"
+	"repro/internal/flaky"
 	"repro/internal/obj"
 	"repro/internal/platform"
 	"repro/internal/predecode"
@@ -287,6 +289,70 @@ func NewRunCache() *RunCache { return runcache.New() }
 // PredecodeTotals reports the process-wide predecoded-instruction-fetch
 // statistics accumulated by the golden and RTL simulators.
 func PredecodeTotals() PredecodeStats { return predecode.GlobalStats() }
+
+// Resilience: deadlines, retries, circuit breakers, quarantine, and
+// seeded fault injection for the regression matrix.
+type (
+	// RetryPolicy budgets re-runs of transiently failing cells with
+	// deterministic, seeded exponential backoff.
+	RetryPolicy = resilience.RetryPolicy
+	// Breaker is a per-platform-kind circuit breaker.
+	Breaker = resilience.Breaker
+	// BreakerState is the closed/open/half-open automaton state.
+	BreakerState = resilience.BreakerState
+	// BreakerSet holds one breaker per physical platform kind.
+	BreakerSet = resilience.BreakerSet
+	// Quarantine benches chronically flaky cells across regressions.
+	Quarantine = resilience.Quarantine
+	// FailureClass grades an outcome passed/deterministic/transient.
+	FailureClass = resilience.Class
+	// FlakyHarness wraps platforms with seeded fault injection; pass its
+	// NewPlatform method to RegressionSpec.NewPlatform.
+	FlakyHarness = flaky.Harness
+	// FlakyPlan configures what the harness injects, where, and when.
+	FlakyPlan = flaky.Plan
+	// Fault enumerates the injectable failure modes.
+	Fault = flaky.Fault
+)
+
+// Injectable failure modes.
+const (
+	// FaultHang wedges the run until its context deadline.
+	FaultHang = flaky.FaultHang
+	// FaultTransient fails the run with a transient (retryable) error.
+	FaultTransient = flaky.FaultTransient
+	// FaultDropMbox completes the run but loses the mailbox verdict.
+	FaultDropMbox = flaky.FaultDropMbox
+	// FaultReset stops the run with a spurious non-architectural reset.
+	FaultReset = flaky.FaultReset
+)
+
+// StopCancelled is the stop reason of a run cancelled by its context
+// (deadline or matrix shutdown).
+const StopCancelled = platform.StopCancelled
+
+// NewBreakerSet creates circuit breakers for the physical platform kinds
+// (emulator, bondout, silicon): a kind's breaker opens after threshold
+// consecutive transient failures and fast-fails its cells, re-admitting
+// a probe after probation skipped cells. Pass to RegressionSpec.Breakers.
+func NewBreakerSet(threshold, probation int) *BreakerSet {
+	return resilience.NewBreakerSet(threshold, probation)
+}
+
+// NewQuarantine creates a flaky-cell quarantine store: a cell observed
+// flaky in `after` distinct regressions is benched and skipped. Share one
+// store across regressions via RegressionSpec.Quarantine.
+func NewQuarantine(after int) *Quarantine { return resilience.NewQuarantine(after) }
+
+// NewFlakyHarness creates a seeded fault-injection harness.
+func NewFlakyHarness(plan FlakyPlan) *FlakyHarness { return flaky.New(plan) }
+
+// TransientError marks an error as transient so the retry policy re-runs
+// the cell.
+func TransientError(err error) error { return resilience.Transient(err) }
+
+// IsTransient reports whether any error in the chain is transient.
+func IsTransient(err error) bool { return resilience.IsTransient(err) }
 
 // Telemetry: execution tracing, metrics, timelines, triage.
 type (

@@ -35,6 +35,15 @@ import (
 
 func lineCount(s string) int { return len(strings.Split(strings.TrimRight(s, "\n"), "\n")) }
 
+// reusePct is hits as a percentage of lookups, 0 (not NaN) when there
+// were no lookups — an all-bypass or empty matrix must report 0.0%.
+func reusePct(hits, lookups uint64) float64 {
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) * 100 / float64(lookups)
+}
+
 // BenchmarkE1_TestDevelopment regenerates the Figure 1/3 claim: once the
 // abstraction layer exists, a new directed test is much smaller than the
 // same test written stand-alone. Metrics: average source lines per test
@@ -371,7 +380,7 @@ func BenchmarkE7b_ScalingAblation(b *testing.B) {
 				b.ReportMetric(float64(baseLines), "baseline_lines")
 				if cached {
 					st := cache.Stats()
-					b.ReportMetric(float64(st.Hits)*100/float64(st.Hits+st.Misses), "cache_reuse_%")
+					b.ReportMetric(reusePct(st.Hits, st.Hits+st.Misses), "cache_reuse_%")
 				}
 			})
 		}
@@ -434,7 +443,7 @@ func BenchmarkBuildCache(b *testing.B) {
 		}
 		perSecond(b, built)
 		st := bc.Cache.Stats()
-		b.ReportMetric(float64(st.Hits)*100/float64(st.Hits+st.Misses), "cache_reuse_%")
+		b.ReportMetric(reusePct(st.Hits, st.Hits+st.Misses), "cache_reuse_%")
 	})
 }
 
@@ -548,7 +557,7 @@ func BenchmarkE14_RunCache(b *testing.B) {
 		}
 		run(b, spec)
 		st := spec.RunCache.Stats()
-		b.ReportMetric(float64(st.Hits+st.Merged)*100/float64(st.Hits+st.Misses+st.Merged), "run_reuse_%")
+		b.ReportMetric(reusePct(st.Hits+st.Merged, st.Hits+st.Misses+st.Merged), "run_reuse_%")
 	})
 }
 

@@ -172,7 +172,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("run on %s: reason=%s mbox=0x%04X passed=%v insts=%d cycles=%d\n",
+	fmt.Printf("run on %s: reason=%s mbox=0x%08X passed=%v insts=%d cycles=%d\n",
 		res.Platform, res.Reason, res.MboxResult, res.Passed(), res.Instructions, res.Cycles)
 	if res.Console != "" {
 		fmt.Printf("console: %q\n", res.Console)

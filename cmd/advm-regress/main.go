@@ -35,6 +35,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event timeline of the matrix run (load in Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON ('-' for stdout)")
 	triageDir := flag.String("triage-dir", "", "replay failing cells against a reference and write first-divergence artifacts here")
+	deadline := flag.Duration("deadline", 0, "per-cell wall-clock deadline; a wedged platform run is cancelled, not hung (0 = unbounded)")
+	retries := flag.Int("retries", 0, "extra attempts for transiently failing cells on physical platforms (emulator/bondout/silicon)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "bench a cell after this many flaky regressions and skip it (0 = off)")
+	breaker := flag.Int("breaker", 0, "open a platform's circuit breaker after this many consecutive transient failures (0 = off)")
 	flag.Parse()
 
 	sys := advm.StandardSystem()
@@ -44,7 +48,20 @@ func main() {
 	}
 	fmt.Printf("frozen release: %s\n\n", sl)
 
-	spec := advm.RegressionSpec{Workers: *workers, TriageDir: *triageDir}
+	spec := advm.RegressionSpec{Workers: *workers, TriageDir: *triageDir, Deadline: *deadline}
+	if *retries > 0 {
+		spec.Retry = advm.RetryPolicy{
+			MaxAttempts: *retries + 1,
+			BaseBackoff: 50 * time.Millisecond,
+			MaxBackoff:  2 * time.Second,
+		}
+	}
+	if *quarantineAfter > 0 {
+		spec.Quarantine = advm.NewQuarantine(*quarantineAfter)
+	}
+	if *breaker > 0 {
+		spec.Breakers = advm.NewBreakerSet(*breaker, 8)
+	}
 	if *cache {
 		spec.Cache = advm.NewBuildCache()
 	}
@@ -101,6 +118,40 @@ func main() {
 	}
 	if ps := advm.PredecodeTotals(); ps.Hits+ps.Slow > 0 {
 		fmt.Printf("predecode: %s\n", ps)
+	}
+	if *deadline > 0 || *retries > 0 || *quarantineAfter > 0 || *breaker > 0 {
+		var attempts, retried, flaky, cancelled, backoff int64
+		quarantined := 0
+		for _, o := range rep.Outcomes {
+			attempts += int64(o.Attempts)
+			if o.Attempts > 1 {
+				retried++
+			}
+			if o.Flaky {
+				flaky++
+			}
+			if o.Quarantined {
+				quarantined++
+			}
+			if o.Reason == advm.StopCancelled || o.BuildErr == "cancelled" {
+				cancelled++
+			}
+			backoff += o.BackoffNanos
+		}
+		fmt.Printf("resilience: %d attempts over %d cells (%d retried, %d flaky, %d cancelled), backoff %s\n",
+			attempts, len(rep.Outcomes), retried, flaky, cancelled,
+			time.Duration(backoff).Round(time.Millisecond))
+		if spec.Quarantine != nil {
+			fmt.Printf("quarantine: %d cells benched, %d skipped this run\n",
+				spec.Quarantine.Size(), quarantined)
+		}
+		if spec.Breakers != nil {
+			sum := spec.Breakers.Summary()
+			if sum == "" {
+				sum = "all closed, no trips"
+			}
+			fmt.Printf("breakers: %s\n", sum)
+		}
 	}
 	if *junit != "" {
 		f, err := os.Create(*junit)

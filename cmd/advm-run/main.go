@@ -98,7 +98,7 @@ func main() {
 	}
 	fmt.Printf("test      : %s/%s\n", *module, *test)
 	fmt.Printf("target    : %s on %s\n", d.Name, res.Platform)
-	fmt.Printf("verdict   : passed=%v (reason=%s, mailbox=0x%04X)\n", res.Passed(), res.Reason, res.MboxResult)
+	fmt.Printf("verdict   : passed=%v (reason=%s, mailbox=0x%08X)\n", res.Passed(), res.Reason, res.MboxResult)
 	fmt.Printf("work      : %d instructions, %d cycles\n", res.Instructions, res.Cycles)
 	if res.Console != "" {
 		fmt.Printf("console   : %q\n", res.Console)

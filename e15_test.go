@@ -1,0 +1,153 @@
+// E15 — regression-matrix resilience under injected platform faults:
+// seeded fault rates crossed with retry budgets on the emulator rung,
+// measuring eventual-completion rate, attempt inflation, and the
+// wall-clock overhead of retrying. The whole campaign is deterministic
+// for a fixed seed. See EXPERIMENTS.md (E15).
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/advm"
+)
+
+const e15Seed = 99
+
+// e15Run executes one campaign cell: SC88-A x emulator under a seeded
+// transient-fault plan with the given retry budget.
+func e15Run(t *testing.T, rate float64, budget int) *advm.RegressionReport {
+	t.Helper()
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem("E15", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := advm.NewFlakyHarness(advm.FlakyPlan{
+		Fault: advm.FaultTransient,
+		Rate:  rate,
+		Seed:  e15Seed,
+	})
+	spec := advm.RegressionSpec{
+		Derivatives: []*advm.Derivative{advm.DerivativeA()},
+		Kinds:       []advm.Kind{advm.KindEmulator},
+		NewPlatform: h.NewPlatform,
+		Deadline:    5 * time.Second,
+	}
+	if budget > 0 {
+		spec.Retry = advm.RetryPolicy{
+			MaxAttempts: budget + 1,
+			BaseBackoff: 200 * time.Microsecond,
+			Seed:        e15Seed,
+		}
+	}
+	rep, err := advm.Regress(sys, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// e15Stats reduces a report to the campaign's observables: cells that
+// eventually produced a passing verdict (clean or flaky), and total
+// attempts spent.
+func e15Stats(rep *advm.RegressionReport) (completed, attempts, flaky int) {
+	for _, o := range rep.Outcomes {
+		attempts += o.Attempts
+		if o.Passed || o.Flaky {
+			completed++
+		}
+		if o.Flaky {
+			flaky++
+		}
+	}
+	return completed, attempts, flaky
+}
+
+// TestE15_RetryBudgetRecoversCompletion is the headline sweep: at a 30%
+// transient-fault rate, a zero retry budget loses cells, and completion
+// rate climbs monotonically with the budget while every recovered cell
+// is reported flaky, never silently clean.
+func TestE15_RetryBudgetRecoversCompletion(t *testing.T) {
+	const rate = 0.3
+	budgets := []int{0, 1, 3}
+	var completions []int
+	total := 0
+	for _, b := range budgets {
+		rep := e15Run(t, rate, b)
+		total = len(rep.Outcomes)
+		completed, attempts, flaky := e15Stats(rep)
+		t.Logf("rate=%.0f%% budget=%d: %d/%d completed, %d attempts, %d flaky",
+			rate*100, b, completed, total, attempts, flaky)
+		completions = append(completions, completed)
+		if b == 0 {
+			if completed == total {
+				t.Errorf("budget 0 at rate %.0f%% lost no cells; fault plan inert", rate*100)
+			}
+			if flaky != 0 {
+				t.Errorf("budget 0 reported %d flaky cells; nothing was retried", flaky)
+			}
+			if attempts != total {
+				t.Errorf("budget 0 spent %d attempts over %d cells", attempts, total)
+			}
+		} else {
+			if attempts <= total {
+				t.Errorf("budget %d spent no extra attempts (%d over %d cells)", b, attempts, total)
+			}
+			if flaky == 0 {
+				t.Errorf("budget %d recovered cells but reported none flaky", b)
+			}
+		}
+		// A recovered cell must surface as Flaky, not Passed: retries may
+		// never silently upgrade an unstable cell to clean.
+		for _, o := range rep.Outcomes {
+			if o.Passed && o.Attempts > 1 {
+				t.Errorf("%s/%s passed on attempt %d without a flaky mark", o.Module, o.Test, o.Attempts)
+			}
+		}
+	}
+	for i := 1; i < len(completions); i++ {
+		if completions[i] < completions[i-1] {
+			t.Errorf("completion not monotone in retry budget: %v over budgets %v", completions, budgets)
+		}
+	}
+	if completions[len(completions)-1] <= completions[0] {
+		t.Errorf("largest budget recovered nothing: %v over budgets %v", completions, budgets)
+	}
+}
+
+// TestE15_CampaignDeterministic: the same seed replays the same
+// campaign cell-for-cell — verdicts, attempt counts, and flaky marks.
+func TestE15_CampaignDeterministic(t *testing.T) {
+	a := e15Run(t, 0.3, 1)
+	b := e15Run(t, 0.3, 1)
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("report sizes differ: %d vs %d", len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		x, y := a.Outcomes[i], b.Outcomes[i]
+		if x.Passed != y.Passed || x.Flaky != y.Flaky || x.Attempts != y.Attempts || x.BuildErr != y.BuildErr {
+			t.Errorf("cell %d (%s/%s) diverged across identical seeds: %+v vs %+v",
+				i, x.Module, x.Test, x, y)
+		}
+	}
+}
+
+// TestE15_OverheadBounded: the fault-free matrix pays nothing for the
+// resilience machinery — one attempt per cell, no backoff, all clean.
+func TestE15_OverheadBounded(t *testing.T) {
+	rep := e15Run(t, 0, 3)
+	completed, attempts, flaky := e15Stats(rep)
+	n := len(rep.Outcomes)
+	if completed != n || flaky != 0 {
+		t.Fatalf("clean matrix: %d/%d completed, %d flaky", completed, n, flaky)
+	}
+	if attempts != n {
+		t.Errorf("clean matrix spent %d attempts over %d cells; retries must be lazy", attempts, n)
+	}
+	for _, o := range rep.Outcomes {
+		if o.BackoffNanos != 0 {
+			t.Errorf("%s/%s slept %dns with no failures", o.Module, o.Test, o.BackoffNanos)
+		}
+	}
+}

@@ -75,7 +75,7 @@ t_fail:
 		log.Fatal(err)
 	}
 	fmt.Printf("platform      : %s\n", res.Platform)
-	fmt.Printf("verdict       : passed=%v (mailbox 0x%04X)\n", res.Passed(), res.MboxResult)
+	fmt.Printf("verdict       : passed=%v (mailbox 0x%08X)\n", res.Passed(), res.MboxResult)
 	fmt.Printf("instructions  : %d\n", res.Instructions)
 	fmt.Printf("cycles        : %d\n", res.Cycles)
 

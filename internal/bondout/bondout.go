@@ -6,6 +6,8 @@
 package bondout
 
 import (
+	"fmt"
+
 	"repro/internal/core/telemetry"
 	"repro/internal/golden"
 	"repro/internal/mem"
@@ -112,8 +114,16 @@ func (c *Chip) Run(spec platform.RunSpec) (*platform.Result, error) {
 		maxInsts = platform.DefaultMaxInstructions
 	}
 	core := c.core
+	ctx := spec.Context
 	res := &platform.Result{Platform: c.name, Kind: platform.KindBondout}
 	for {
+		if ctx != nil && core.Insts&(platform.CancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Reason = platform.StopCancelled
+				res.Detail = fmt.Sprintf("run cancelled after %d instructions: %v", core.Insts, err)
+				break
+			}
+		}
 		if core.StopRequested() {
 			res.Reason = platform.StopAbort
 			break

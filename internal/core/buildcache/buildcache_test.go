@@ -228,3 +228,12 @@ func TestStatsString(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsStringZero pins the empty-cache rendering: with no lookups
+// the reuse percentage must read 0.0%, never NaN%.
+func TestStatsStringZero(t *testing.T) {
+	got := Stats{}.String()
+	if !strings.Contains(got, "0.0% reuse") || strings.Contains(got, "NaN") {
+		t.Errorf("zero stats render %q, want 0.0%% reuse", got)
+	}
+}

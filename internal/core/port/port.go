@@ -370,7 +370,7 @@ func Reverify(s *sysenv.System, bc sysenv.BuildContext, derivs []*derivative.Der
 					case !res.Passed():
 						st.Fail++
 						st.Failures = append(st.Failures,
-							fmt.Sprintf("%s/%s on %s/%s: %s mbox=0x%04x %s",
+							fmt.Sprintf("%s/%s on %s/%s: %s mbox=0x%08x %s",
 								e.Module, id, d.Name, k, res.Reason, res.MboxResult, res.Detail))
 					default:
 						st.Pass++

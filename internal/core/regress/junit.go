@@ -73,11 +73,22 @@ func (r *Report) WriteJUnit(w io.Writer) error {
 		case o.BuildErr != "":
 			suite.Errors++
 			c.Failure = &junitFailure{Type: "build", Message: o.BuildErr}
-		case !o.Passed:
+		case o.Flaky:
+			// A flaky cell is a failure with its own type so CI
+			// dashboards can track flake rate separately from real
+			// verdicts.
 			suite.Failures++
 			c.Failure = &junitFailure{
+				Type:    "flaky",
+				Message: fmt.Sprintf("attempts=%d %s", o.Attempts, o.Detail),
+			}
+		case !o.Passed:
+			suite.Failures++
+			// The mailbox verdict is a 32-bit word: render all eight
+			// nibbles, matching every other mbox rendering in the tree.
+			c.Failure = &junitFailure{
 				Type: "verdict",
-				Message: fmt.Sprintf("reason=%s mbox=0x%04x %s",
+				Message: fmt.Sprintf("reason=%s mbox=0x%08x %s",
 					o.Reason, o.MboxResult, o.Detail),
 			}
 		}

@@ -6,6 +6,7 @@
 package regress
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core/buildcache"
 	"repro/internal/core/derivative"
 	"repro/internal/core/release"
+	"repro/internal/core/resilience"
 	"repro/internal/core/runcache"
 	"repro/internal/core/sysenv"
 	"repro/internal/core/telemetry"
@@ -38,6 +40,34 @@ type Spec struct {
 	Modules []string
 	// RunSpec bounds each individual run.
 	RunSpec platform.RunSpec
+	// Context, when non-nil, cancels the whole regression: the worker
+	// pool stops dispatching, in-flight runs are cancelled
+	// cooperatively (their per-cell context is a child of this one),
+	// and cells that never started are reported broken with
+	// BuildErr="cancelled". Nil means the matrix runs to completion.
+	Context context.Context
+	// Deadline is the per-cell wall-clock budget. When positive, every
+	// attempt runs under a context.WithTimeout child and a platform
+	// that makes no progress — a wedged model, a hung lab connection —
+	// is stopped with StopCancelled at the deadline instead of hanging
+	// its worker forever. The triage replay of a failing cell runs
+	// under a fresh deadline of its own.
+	Deadline time.Duration
+	// Retry bounds transient-failure retries. Only the physical kinds
+	// (emulator, bondout, silicon) are retried — the simulated rungs
+	// are deterministic, so their failures replay identically. The
+	// zero value means one attempt per cell.
+	Retry resilience.RetryPolicy
+	// Breakers, when non-nil, guards each physical kind with a circuit
+	// breaker: after a run of consecutive transient faults the kind's
+	// cells fast-fail (BuildErr="breaker open...") instead of queueing
+	// against a dead platform, until a probe cell succeeds.
+	Breakers *resilience.BreakerSet
+	// Quarantine, when non-nil, benches chronically flaky cells: a
+	// cell reported Flaky enough times is skipped by later regressions
+	// sharing the store (BuildErr="quarantined..."). Shared across
+	// regressions like the build and run caches.
+	Quarantine *resilience.Quarantine
 	// Workers runs matrix cells concurrently (each cell builds its own
 	// image and platform instance, so cells are independent). 0 or 1
 	// means serial. The report order is deterministic regardless.
@@ -110,6 +140,21 @@ type Outcome struct {
 	// (or merged with another worker's in-flight run of the same cell)
 	// instead of being simulated by this cell.
 	RunCached bool
+	// Attempts is how many times the cell ran (1 unless transient
+	// faults were retried; 0 for cells that never ran at all —
+	// cancelled, quarantined, or breaker-skipped).
+	Attempts int
+	// Flaky reports a cell that failed transiently and then passed on
+	// retry. A flaky cell is never Passed — the paper's regression
+	// discipline wants an answer, not a coin flip — and counts toward
+	// quarantine.
+	Flaky bool
+	// Quarantined reports the cell was skipped because earlier runs
+	// benched it as chronically flaky.
+	Quarantined bool
+	// BackoffNanos is the total wall time this cell spent waiting in
+	// retry backoff (part of RunNanos' wall-clock overhead story).
+	BackoffNanos int64
 	// Triage is the first-divergence artifact for a failing cell when
 	// Spec.Triage was set (nil for passing cells).
 	Triage *Triage
@@ -203,6 +248,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 
 	rep := &Report{Label: label.Name, Started: time.Now(), Vet: vetReport}
 	rep.Outcomes = make([]Outcome, len(cells))
+	matrixCtx := spec.Context
 	runCell := func(worker, i int) {
 		c := cells[i]
 		out := &rep.Outcomes[i]
@@ -211,6 +257,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			Derivative: c.d.Name, Platform: c.k,
 		}
 		cellName := fmt.Sprintf("%s/%s %s %s", c.module, c.test, c.d.Name, c.k)
+		key := resilience.CellKey(c.module, c.test, c.d.Name, c.k)
 		// A panicking platform (or build) breaks its own cell, not the
 		// regression: record it and let the other workers finish.
 		defer func() {
@@ -229,29 +276,55 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 				spec.Metrics.Counter("regress.failed").Inc()
 			}
 		}()
+		// Matrix shutdown: cells reached after cancellation never run.
+		if matrixCtx != nil && matrixCtx.Err() != nil {
+			out.BuildErr = "cancelled"
+			spec.Metrics.Counter("resilience.cancelled_cells").Inc()
+			return
+		}
+		// A benched cell is skipped outright: a chronically flaky
+		// pairing stops burning platform time until someone clears the
+		// quarantine store.
+		if spec.Quarantine.Quarantined(key) {
+			out.Quarantined = true
+			out.BuildErr = "quarantined: chronically flaky in earlier runs"
+			spec.Metrics.Counter("resilience.quarantine_skips").Inc()
+			return
+		}
+		// Circuit breaker: while a physical rung is presumed down its
+		// cells fast-fail instead of queueing against a dead platform.
+		brk := spec.Breakers.For(c.k)
+		if !brk.Allow() {
+			out.BuildErr = fmt.Sprintf("breaker open: %s platform failing transiently", c.k)
+			spec.Metrics.Counter("resilience.breaker_fastfail").Inc()
+			return
+		}
 		// buildAndRun is the uncached path and the run cache's fill
 		// function: the whole build → instantiate → load → run pipeline
-		// for this cell. The run cache keys cells by (epoch, cell
-		// coordinates, kind, config, bounds) — see runcache.OutcomeKey —
-		// so a warm hit skips the build as well as the simulation.
+		// for one attempt at this cell. The run cache keys cells by
+		// (epoch, cell coordinates, kind, config, bounds) — see
+		// runcache.OutcomeKey — so a warm hit skips the build as well as
+		// the simulation. Build and run times accumulate across attempts.
 		var img *obj.Image
-		buildAndRun := func() (*platform.Result, error) {
+		buildAndRun := func(runSpec platform.RunSpec, attempt int) (*platform.Result, error) {
 			t0 := time.Now()
 			var err error
 			img, err = s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
-			out.BuildNanos = time.Since(t0).Nanoseconds()
-			spec.Metrics.Histogram("regress.build_ns").ObserveNanos(out.BuildNanos)
-			spec.Timeline.Span("build "+cellName, "build", worker, t0, time.Duration(out.BuildNanos),
-				map[string]any{"module": c.module, "test": c.test, "deriv": c.d.Name, "platform": c.k.String()})
+			bn := time.Since(t0).Nanoseconds()
+			out.BuildNanos += bn
+			spec.Metrics.Histogram("regress.build_ns").ObserveNanos(bn)
+			spec.Timeline.Span("build "+cellName, "build", worker, t0, time.Duration(bn),
+				map[string]any{"module": c.module, "test": c.test, "deriv": c.d.Name, "platform": c.k.String(), "attempt": attempt})
 			if err != nil {
 				return nil, err
 			}
 			t1 := time.Now()
 			defer func() {
-				out.RunNanos = time.Since(t1).Nanoseconds()
-				spec.Metrics.Histogram("regress.run_ns").ObserveNanos(out.RunNanos)
-				spec.Timeline.Span("run "+cellName, "run", worker, t1, time.Duration(out.RunNanos),
-					map[string]any{"platform": c.k.String()})
+				rn := time.Since(t1).Nanoseconds()
+				out.RunNanos += rn
+				spec.Metrics.Histogram("regress.run_ns").ObserveNanos(rn)
+				spec.Timeline.Span("run "+cellName, "run", worker, t1, time.Duration(rn),
+					map[string]any{"platform": c.k.String(), "attempt": attempt})
 			}()
 			p, err := newPlat(c.k, c.d.HW)
 			if err != nil {
@@ -260,21 +333,25 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			if err := p.Load(img); err != nil {
 				return nil, err
 			}
-			return p.Run(spec.RunSpec)
+			return p.Run(runSpec)
 		}
 		var res *platform.Result
 		var err error
 		// The run cache only memoises pure runs: deterministic platform
 		// kinds, stock instantiation (a NewPlatform harness may inject
-		// faults), and no observers (trace callbacks and event sinks are
-		// side effects a cached replay would silently drop).
+		// faults), no observers (trace callbacks and event sinks are side
+		// effects a cached replay would silently drop), and no
+		// cancellation regime — a StopCancelled outcome reflects this
+		// host's deadline, not the image, and must never be replayed.
 		pure := spec.RunCache != nil && spec.NewPlatform == nil &&
-			spec.RunSpec.Trace == nil && spec.RunSpec.Events == nil
+			spec.RunSpec.Trace == nil && spec.RunSpec.Events == nil &&
+			matrixCtx == nil && spec.Deadline == 0
 		if pure && runcache.Cacheable(c.k) {
 			tc := time.Now()
+			out.Attempts = 1
 			res, out.RunCached, err = spec.RunCache.Do(
 				runcache.OutcomeKey(bc.Epoch, c.module, c.test, c.d.Name, c.k, c.d.HW, spec.RunSpec),
-				buildAndRun)
+				func() (*platform.Result, error) { return buildAndRun(spec.RunSpec, 1) })
 			if out.RunCached {
 				out.RunNanos = time.Since(tc).Nanoseconds()
 			}
@@ -282,19 +359,111 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			if spec.RunCache != nil {
 				spec.RunCache.Bypass()
 			}
-			res, err = buildAndRun()
+			// Attempt loop: transient faults on the physical rungs are
+			// retried with deterministic backoff; everything else settles
+			// on the first attempt. Each attempt runs under its own
+			// deadline context so a wedged platform stops at Deadline
+			// with StopCancelled instead of hanging the worker.
+			maxAttempts := 1
+			if resilience.Retryable(c.k) {
+				maxAttempts = spec.Retry.Attempts()
+			}
+			var firstFault string
+			for attempt := 1; ; attempt++ {
+				out.Attempts = attempt
+				spec.Metrics.Counter("resilience.attempts").Inc()
+				runSpec := spec.RunSpec
+				var cancel context.CancelFunc
+				if spec.Deadline > 0 {
+					base := matrixCtx
+					if base == nil {
+						base = context.Background()
+					}
+					runSpec.Context, cancel = context.WithTimeout(base, spec.Deadline)
+				} else {
+					runSpec.Context = matrixCtx
+				}
+				res, err = buildAndRun(runSpec, attempt)
+				if cancel != nil {
+					cancel()
+				}
+				var class resilience.Class
+				if err != nil {
+					class = resilience.ClassifyError(err)
+				} else {
+					class = resilience.ClassifyResult(res)
+				}
+				if class == resilience.ClassTransient {
+					brk.OnTransient()
+					spec.Metrics.Counter("resilience.transients").Inc()
+				} else {
+					brk.OnSuccess()
+				}
+				if class != resilience.ClassTransient || attempt >= maxAttempts {
+					if class == resilience.ClassPassed && attempt > 1 {
+						// Fail-then-pass is Flaky, never Passed: the
+						// regression discipline wants an answer, not a
+						// coin flip. Enough flaky runs bench the cell.
+						out.Flaky = true
+						spec.Metrics.Counter("resilience.flaky").Inc()
+						out.Detail = fmt.Sprintf("flaky: passed on attempt %d/%d; attempt 1 failed with %s",
+							attempt, maxAttempts, firstFault)
+						if spec.Quarantine.RecordFlaky(key) {
+							out.Detail += "; cell quarantined"
+						}
+					}
+					break
+				}
+				// Transient fault with retry budget left — unless the
+				// whole matrix is shutting down, in which case settle for
+				// what we have.
+				if matrixCtx != nil && matrixCtx.Err() != nil {
+					break
+				}
+				if firstFault == "" {
+					if err != nil {
+						firstFault = err.Error()
+					} else {
+						firstFault = string(res.Reason)
+						if res.Detail != "" {
+							firstFault += " (" + res.Detail + ")"
+						}
+					}
+				}
+				if d := spec.Retry.Backoff(key, attempt); d > 0 {
+					tb := time.Now()
+					timer := time.NewTimer(d)
+					if matrixCtx != nil {
+						select {
+						case <-timer.C:
+						case <-matrixCtx.Done():
+							timer.Stop()
+						}
+					} else {
+						<-timer.C
+					}
+					waited := time.Since(tb).Nanoseconds()
+					out.BackoffNanos += waited
+					spec.Metrics.Histogram("resilience.backoff_ns").ObserveNanos(waited)
+					spec.Timeline.Span("backoff "+cellName, "backoff", worker, tb, time.Duration(waited),
+						map[string]any{"attempt": attempt})
+				}
+				spec.Metrics.Counter("resilience.retries").Inc()
+			}
 		}
 		if err != nil {
 			out.BuildErr = err.Error()
 			return
 		}
-		out.Passed = res.Passed()
+		out.Passed = res.Passed() && !out.Flaky
 		out.Reason = res.Reason
 		out.MboxResult = res.MboxResult
 		out.Cycles = res.Cycles
 		out.Insts = res.Instructions
-		out.Detail = res.Detail
-		if triage && !out.Passed && c.k != platform.KindGolden {
+		if !out.Flaky {
+			out.Detail = res.Detail
+		}
+		if triage && !out.Passed && !out.Flaky && c.k != platform.KindGolden {
 			// Under a fault-injection harness the reference is a pristine
 			// instance of the subject's own kind: cycle-identical, so the
 			// first divergence is the injected fault, not a timing loop.
@@ -314,8 +483,23 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 					return
 				}
 			}
+			// The replay inherits the cell's run bounds and runs under a
+			// fresh deadline of its own: triaging a hung or
+			// fault-injected cell must not itself hang the worker.
+			tspec := spec.RunSpec
+			if spec.Deadline > 0 {
+				base := matrixCtx
+				if base == nil {
+					base = context.Background()
+				}
+				var tcancel context.CancelFunc
+				tspec.Context, tcancel = context.WithTimeout(base, spec.Deadline)
+				defer tcancel()
+			} else {
+				tspec.Context = matrixCtx
+			}
 			t2 := time.Now()
-			tri, terr := triageCell(img, c.d.HW, c.k, refKind, newPlat, spec.RunSpec)
+			tri, terr := triageCell(img, c.d.HW, c.k, refKind, newPlat, tspec)
 			spec.Timeline.Span("triage "+cellName, "triage", worker, t2, time.Since(t2), nil)
 			if terr != nil {
 				out.Detail = strings.TrimSpace(out.Detail + "\ntriage failed: " + terr.Error())
@@ -338,28 +522,49 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		for i := range cells {
 			runCell(0, i)
 		}
-		return rep, nil
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			spec.Timeline.NameLane(worker, fmt.Sprintf("worker-%d", worker))
-			for i := range next {
-				runCell(worker, i)
+	} else {
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				spec.Timeline.NameLane(worker, fmt.Sprintf("worker-%d", worker))
+				for i := range next {
+					runCell(worker, i)
+				}
+			}(w)
+		}
+		// Dispatch watches the matrix context: on cancellation it stops
+		// handing out cells, in-flight cells drain (their per-cell
+		// contexts are children of the matrix context, so they stop
+		// cooperatively), and the pool shuts down without leaking a
+		// goroutine.
+	dispatch:
+		for i := range cells {
+			if matrixCtx == nil {
+				next <- i
+				continue
 			}
-		}(w)
+			select {
+			case next <- i:
+			case <-matrixCtx.Done():
+				break dispatch
+			}
+		}
+		close(next)
+		wg.Wait()
+		// Cells never dispatched still get a deterministic outcome: the
+		// entry check inside runCell marks them cancelled.
+		for i := range cells {
+			if rep.Outcomes[i].Module == "" {
+				runCell(0, i)
+			}
+		}
 	}
-	for i := range cells {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	if spec.Metrics != nil {
 		// Simulator hot-path gauges: process-wide predecoded-fetch totals
 		// as of the end of this regression.
@@ -368,6 +573,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		spec.Metrics.Gauge("predecode.slow").Set(int64(ps.Slow))
 		spec.Metrics.Gauge("predecode.pages_decoded").Set(int64(ps.PagesDecoded))
 		spec.Metrics.Gauge("predecode.pages_poisoned").Set(int64(ps.PagesPoisoned))
+		if spec.Quarantine != nil {
+			spec.Metrics.Gauge("resilience.quarantine_size").Set(int64(spec.Quarantine.Size()))
+		}
 	}
 	return rep, nil
 }
@@ -425,9 +633,26 @@ func (r *Report) Failures() []Outcome {
 	return out
 }
 
+// CountFlaky returns the number of flaky cells. Flaky cells count as
+// failed in Counts — a fail-then-pass is not a pass — so this is a
+// refinement of the failed bucket, not a fourth bucket.
+func (r *Report) CountFlaky() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Flaky {
+			n++
+		}
+	}
+	return n
+}
+
 // Summary renders a one-line result.
 func (r *Report) Summary() string {
 	p, f, b := r.Counts()
+	if fl := r.CountFlaky(); fl > 0 {
+		return fmt.Sprintf("regression %s: %d passed, %d failed (%d flaky), %d broken (of %d)",
+			r.Label, p, f, fl, b, len(r.Outcomes))
+	}
 	return fmt.Sprintf("regression %s: %d passed, %d failed, %d broken (of %d)",
 		r.Label, p, f, b, len(r.Outcomes))
 }

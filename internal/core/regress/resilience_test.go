@@ -1,0 +1,259 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/core/resilience"
+	"repro/internal/core/telemetry"
+	"repro/internal/flaky"
+	"repro/internal/platform"
+
+	_ "repro/internal/rtl"
+)
+
+// resilientSpec is the shared shape of the fault-injection regressions
+// below: one derivative, the emulator rung, the NVM module.
+func resilientSpec() Spec {
+	return Spec{
+		Derivatives: []*derivative.Derivative{derivative.A()},
+		Kinds:       []platform.Kind{platform.KindEmulator},
+		Modules:     []string{"NVM"},
+	}
+}
+
+// TestWedgedPlatformRetriedAndFlaky is the issue's headline scenario: a
+// platform model that wedges on every cell's first run used to hang a
+// worker forever. With a deadline and one retry the cell is cancelled
+// at its deadline, retried, passes, and is reported Flaky — and the
+// regression completes.
+func TestWedgedPlatformRetriedAndFlaky(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	h := flaky.New(flaky.Plan{Fault: flaky.FaultHang, FailFirst: 1})
+	metrics := telemetry.NewRegistry()
+	spec := resilientSpec()
+	spec.NewPlatform = h.NewPlatform
+	spec.Deadline = 30 * time.Millisecond
+	spec.Retry = resilience.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	spec.Metrics = metrics
+	rep, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) == 0 {
+		t.Fatal("empty matrix")
+	}
+	for _, o := range rep.Outcomes {
+		if o.BuildErr != "" {
+			t.Fatalf("cell broken: %s", o.BuildErr)
+		}
+		if o.Passed {
+			t.Errorf("%s/%s reported Passed; fail-then-pass must be Flaky", o.Module, o.Test)
+		}
+		if !o.Flaky {
+			t.Errorf("%s/%s not flaky: reason=%s detail=%s", o.Module, o.Test, o.Reason, o.Detail)
+		}
+		if o.Attempts != 2 {
+			t.Errorf("%s/%s attempts = %d, want 2", o.Module, o.Test, o.Attempts)
+		}
+		if o.BackoffNanos <= 0 {
+			t.Errorf("%s/%s recorded no backoff time", o.Module, o.Test)
+		}
+		if !strings.Contains(o.Detail, "flaky") || !strings.Contains(o.Detail, "cancelled") {
+			t.Errorf("detail does not tell the story: %q", o.Detail)
+		}
+	}
+	if rep.CountFlaky() != len(rep.Outcomes) {
+		t.Errorf("CountFlaky = %d, want %d", rep.CountFlaky(), len(rep.Outcomes))
+	}
+	if !strings.Contains(rep.Summary(), "flaky") {
+		t.Errorf("summary omits flakiness: %s", rep.Summary())
+	}
+	n := len(rep.Outcomes)
+	if got := metrics.Counter("resilience.attempts").Value(); got != uint64(2*n) {
+		t.Errorf("resilience.attempts = %d, want %d", got, 2*n)
+	}
+	if got := metrics.Counter("resilience.retries").Value(); got != uint64(n) {
+		t.Errorf("resilience.retries = %d, want %d", got, n)
+	}
+	if got := metrics.Counter("resilience.flaky").Value(); got != uint64(n) {
+		t.Errorf("resilience.flaky = %d, want %d", got, n)
+	}
+	// JUnit renders flaky cells with their own failure type.
+	var sb strings.Builder
+	if err := rep.WriteJUnit(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `type="flaky"`) {
+		t.Error("junit does not mark flaky cells")
+	}
+}
+
+// TestWedgedPlatformNoRetryBudget: without retries the wedged cell is
+// still bounded — cancelled at its deadline and reported as a failure
+// with the cancelled reason, never a hang.
+func TestWedgedPlatformNoRetryBudget(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	h := flaky.New(flaky.Plan{Fault: flaky.FaultHang, FailFirst: 1000})
+	spec := resilientSpec()
+	spec.NewPlatform = h.NewPlatform
+	spec.Deadline = 30 * time.Millisecond
+	rep, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Passed || o.Flaky {
+			t.Errorf("%s/%s: passed=%v flaky=%v, want plain failure", o.Module, o.Test, o.Passed, o.Flaky)
+		}
+		if o.Reason != platform.StopCancelled {
+			t.Errorf("%s/%s reason = %s, want cancelled", o.Module, o.Test, o.Reason)
+		}
+		if o.Attempts != 1 {
+			t.Errorf("%s/%s attempts = %d, want 1", o.Module, o.Test, o.Attempts)
+		}
+	}
+}
+
+// TestQuarantineBenchesFlakyCells: a shared quarantine store benches
+// cells that keep flaking, and the next regression skips them.
+func TestQuarantineBenchesFlakyCells(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	q := resilience.NewQuarantine(1)
+	h := flaky.New(flaky.Plan{Fault: flaky.FaultTransient, FailFirst: 1})
+	spec := resilientSpec()
+	spec.NewPlatform = h.NewPlatform
+	spec.Retry = resilience.RetryPolicy{MaxAttempts: 2}
+	spec.Quarantine = q
+	rep, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rep.Outcomes {
+		if !o.Flaky {
+			t.Fatalf("%s/%s not flaky: %+v", o.Module, o.Test, o)
+		}
+		if !strings.Contains(o.Detail, "quarantined") {
+			t.Errorf("detail does not report quarantining: %q", o.Detail)
+		}
+	}
+	if q.Size() != len(rep.Outcomes) {
+		t.Fatalf("quarantine size = %d, want %d", q.Size(), len(rep.Outcomes))
+	}
+	// Second regression sharing the store: every benched cell is
+	// skipped without running.
+	spec2 := resilientSpec()
+	spec2.NewPlatform = flaky.New(flaky.Plan{Fault: flaky.FaultTransient, FailFirst: 1}).NewPlatform
+	spec2.Retry = resilience.RetryPolicy{MaxAttempts: 2}
+	spec2.Quarantine = q
+	rep2, err := Run(s, sl, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rep2.Outcomes {
+		if !o.Quarantined {
+			t.Errorf("%s/%s ran despite quarantine", o.Module, o.Test)
+		}
+		if o.Attempts != 0 {
+			t.Errorf("%s/%s attempts = %d, want 0 (skipped)", o.Module, o.Test, o.Attempts)
+		}
+		if !strings.Contains(o.BuildErr, "quarantined") {
+			t.Errorf("BuildErr = %q, want quarantined", o.BuildErr)
+		}
+	}
+}
+
+// TestBreakerFastFailsDeadPlatform: consecutive transient faults open
+// the emulator's breaker and the remaining cells fast-fail instead of
+// queueing against the dead rung.
+func TestBreakerFastFailsDeadPlatform(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	h := flaky.New(flaky.Plan{Fault: flaky.FaultTransient, FailFirst: 1_000_000})
+	spec := resilientSpec()
+	spec.NewPlatform = h.NewPlatform
+	spec.Breakers = resilience.NewBreakerSet(2, 1_000_000)
+	rep, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) < 3 {
+		t.Fatalf("matrix too small (%d cells) to exercise the breaker", len(rep.Outcomes))
+	}
+	for i, o := range rep.Outcomes {
+		switch {
+		case i < 2:
+			if !strings.Contains(o.BuildErr, "transient") {
+				t.Errorf("cell %d BuildErr = %q, want the transient fault", i, o.BuildErr)
+			}
+		default:
+			if !strings.Contains(o.BuildErr, "breaker open") {
+				t.Errorf("cell %d BuildErr = %q, want breaker fast-fail", i, o.BuildErr)
+			}
+			if o.Attempts != 0 {
+				t.Errorf("cell %d ran %d attempts past the open breaker", i, o.Attempts)
+			}
+		}
+	}
+	brk := spec.Breakers.For(platform.KindEmulator)
+	if brk.State() != resilience.BreakerOpen {
+		t.Errorf("breaker state = %v, want open", brk.State())
+	}
+	if sum := spec.Breakers.Summary(); !strings.Contains(sum, "emulator=open") {
+		t.Errorf("breaker summary = %q", sum)
+	}
+}
+
+// TestTriageWedgedReplayBounded is the triage satellite: replaying a
+// hung, fault-injected cell must not itself hang the worker. The RTL
+// rung traces, so a failing cell gets a real replay — under the same
+// harness that wedges every run — and the fresh per-replay deadline
+// bounds it.
+func TestTriageWedgedReplayBounded(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	h := flaky.New(flaky.Plan{
+		Fault:     flaky.FaultHang,
+		FailFirst: 1_000_000,
+		Kinds:     []platform.Kind{platform.KindRTL},
+	})
+	spec := Spec{
+		Derivatives: []*derivative.Derivative{derivative.A()},
+		Kinds:       []platform.Kind{platform.KindRTL},
+		Modules:     []string{"UART"},
+		NewPlatform: h.NewPlatform,
+		Deadline:    30 * time.Millisecond,
+		Triage:      true,
+	}
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(s, sl, spec)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	var rep *Report
+	select {
+	case rep = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("triage of a wedged platform hung the regression")
+	}
+	if rep == nil {
+		return
+	}
+	for _, o := range rep.Outcomes {
+		if o.Passed {
+			t.Errorf("%s/%s passed under an always-hang plan", o.Module, o.Test)
+		}
+		if o.Reason != platform.StopCancelled {
+			t.Errorf("%s/%s reason = %s, want cancelled", o.Module, o.Test, o.Reason)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package regress
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core/content"
+	"repro/internal/core/derivative"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// TestPreCancelledMatrix: a matrix started under an already-cancelled
+// context runs nothing, marks every cell cancelled, and keeps the
+// deterministic report order.
+func TestPreCancelledMatrix(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := Spec{
+		Derivatives: derivative.Family(),
+		Kinds:       []platform.Kind{platform.KindGolden},
+		Workers:     4,
+		Context:     ctx,
+	}
+	rep, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(s, sl, Spec{Derivatives: derivative.Family(), Kinds: []platform.Kind{platform.KindGolden}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != len(clean.Outcomes) {
+		t.Fatalf("cancelled report has %d cells, clean has %d", len(rep.Outcomes), len(clean.Outcomes))
+	}
+	for i, o := range rep.Outcomes {
+		if o.BuildErr != "cancelled" {
+			t.Errorf("cell %d BuildErr = %q, want cancelled", i, o.BuildErr)
+		}
+		if o.Attempts != 0 {
+			t.Errorf("cell %d ran %d attempts under a cancelled context", i, o.Attempts)
+		}
+		c := clean.Outcomes[i]
+		if o.Module != c.Module || o.Test != c.Test || o.Derivative != c.Derivative || o.Platform != c.Platform {
+			t.Fatalf("cell %d coordinates differ from the clean run: %+v vs %+v", i, o, c)
+		}
+	}
+	_, _, broken := rep.Counts()
+	if broken != len(rep.Outcomes) {
+		t.Errorf("broken = %d, want all %d", broken, len(rep.Outcomes))
+	}
+}
+
+// TestMidMatrixCancellation: cancelling while workers are mid-matrix
+// drains the in-flight cells, marks everything that never started
+// BuildErr="cancelled", keeps the report order deterministic, and leaks
+// no goroutines.
+func TestMidMatrixCancellation(t *testing.T) {
+	s := content.PortedSystem()
+	sl := freeze(t, s)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The trigger: the first platform instantiation cancels the matrix.
+	// Cells already handed to workers drain (their run context is the
+	// matrix context, so simulations stop with StopCancelled); cells
+	// still queued never start.
+	var fired atomic.Bool
+	newPlat := func(k platform.Kind, cfg soc.HWConfig) (platform.Platform, error) {
+		if fired.CompareAndSwap(false, true) {
+			cancel()
+		}
+		return platform.New(k, cfg)
+	}
+	spec := Spec{
+		Derivatives: derivative.Family(),
+		Kinds:       []platform.Kind{platform.KindGolden},
+		Workers:     4,
+		Context:     ctx,
+		NewPlatform: newPlat,
+	}
+	rep, err := Run(s, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(s, sl, Spec{Derivatives: derivative.Family(), Kinds: []platform.Kind{platform.KindGolden}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != len(clean.Outcomes) {
+		t.Fatalf("report truncated: %d cells, want %d", len(rep.Outcomes), len(clean.Outcomes))
+	}
+	cancelled := 0
+	for i, o := range rep.Outcomes {
+		c := clean.Outcomes[i]
+		if o.Module != c.Module || o.Test != c.Test || o.Derivative != c.Derivative || o.Platform != c.Platform {
+			t.Fatalf("cell %d coordinates differ from the clean run", i)
+		}
+		switch {
+		case o.BuildErr == "cancelled":
+			cancelled++
+			if o.Attempts != 0 {
+				t.Errorf("cell %d marked cancelled but ran %d attempts", i, o.Attempts)
+			}
+		case o.BuildErr != "":
+			t.Errorf("cell %d unexpected BuildErr %q", i, o.BuildErr)
+		default:
+			// An in-flight cell drained: it either finished cleanly
+			// before the cancellation landed or was stopped with the
+			// cancelled reason. Both are complete verdicts.
+			if o.Attempts < 1 {
+				t.Errorf("cell %d has a verdict but no attempts", i)
+			}
+			if !o.Passed && o.Reason != platform.StopCancelled {
+				t.Errorf("cell %d: reason %q, want pass or cancelled", i, o.Reason)
+			}
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no cell was marked cancelled; the trigger never beat the dispatcher")
+	}
+	// No leaked workers or runs: the goroutine count settles back to
+	// the baseline (with slack for runtime housekeeping goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,220 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed: traffic flows; transient failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the platform is presumed down; cells fast-fail
+	// without touching it until the probation count elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe cell is allowed through; its outcome
+	// closes or reopens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "breaker?"
+}
+
+// Breaker is a count-based circuit breaker guarding one platform kind.
+// Unlike the usual wall-clock design, cool-down is measured in skipped
+// cells (Probation): the matrix is a deterministic work list, so
+// counting cells keeps the whole fail/skip/probe schedule reproducible
+// under a seeded fault plan, independent of host timing. All methods
+// are safe on a nil receiver (no-op, always allow) so the pipeline can
+// thread an optional breaker without guards.
+type Breaker struct {
+	mu sync.Mutex
+	// threshold consecutive transient failures open the breaker.
+	threshold int
+	// probation is how many cells fast-fail while open before one
+	// probe is let through.
+	probation int
+
+	state    BreakerState
+	failures int // consecutive transients while closed
+	skipped  int // cells fast-failed while open
+	trips    int // times the breaker opened (telemetry)
+	fastFail int // total cells fast-failed (telemetry)
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// transient failures and probes again after probation skipped cells.
+// threshold < 1 disables the breaker (returns nil).
+func NewBreaker(threshold, probation int) *Breaker {
+	if threshold < 1 {
+		return nil
+	}
+	if probation < 1 {
+		probation = 1
+	}
+	return &Breaker{threshold: threshold, probation: probation}
+}
+
+// Allow reports whether the next cell may run. While open it counts the
+// denied cell toward probation; once probation elapses the breaker
+// half-opens and admits exactly one probe.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// One probe is already in flight; further cells keep fast-failing.
+		b.fastFail++
+		return false
+	default: // BreakerOpen
+		b.skipped++
+		if b.skipped >= b.probation {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		b.fastFail++
+		return false
+	}
+}
+
+// OnSuccess records a non-transient outcome (pass or deterministic
+// verdict — either way the platform answered) and closes the breaker.
+func (b *Breaker) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.skipped = 0
+}
+
+// OnTransient records a transient platform fault. At the failure
+// threshold — or on a failed half-open probe — the breaker (re)opens.
+func (b *Breaker) OnTransient() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.skipped = 0
+		b.trips++
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.skipped = 0
+		b.trips++
+	}
+}
+
+// State returns the current automaton state.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns (trips, cells fast-failed) for telemetry.
+func (b *Breaker) Stats() (trips, fastFailed int) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.fastFail
+}
+
+// BreakerSet holds one breaker per platform kind. Only the retryable
+// (physical) kinds get a breaker; the simulated kinds always pass
+// through, matching the retry policy's scope. Nil-safe throughout.
+type BreakerSet struct {
+	mu       sync.Mutex
+	breakers map[platform.Kind]*Breaker
+}
+
+// NewBreakerSet builds per-kind breakers for every retryable kind.
+// threshold < 1 disables breaking entirely (returns nil).
+func NewBreakerSet(threshold, probation int) *BreakerSet {
+	if threshold < 1 {
+		return nil
+	}
+	bs := &BreakerSet{breakers: map[platform.Kind]*Breaker{}}
+	for _, k := range []platform.Kind{platform.KindEmulator, platform.KindBondout, platform.KindSilicon} {
+		bs.breakers[k] = NewBreaker(threshold, probation)
+	}
+	return bs
+}
+
+// For returns the breaker guarding kind k (nil for unguarded kinds).
+func (bs *BreakerSet) For(k platform.Kind) *Breaker {
+	if bs == nil {
+		return nil
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.breakers[k]
+}
+
+// Summary renders the non-closed breakers plus trip totals, e.g.
+// "emulator=open(2 trips, 5 fast-failed)"; empty when everything is
+// closed and untripped.
+func (bs *BreakerSet) Summary() string {
+	if bs == nil {
+		return ""
+	}
+	bs.mu.Lock()
+	kinds := make([]platform.Kind, 0, len(bs.breakers))
+	for k := range bs.breakers {
+		kinds = append(kinds, k)
+	}
+	bs.mu.Unlock()
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var parts []string
+	for _, k := range kinds {
+		b := bs.For(k)
+		trips, ff := b.Stats()
+		if b.State() == BreakerClosed && trips == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s(%d trips, %d fast-failed)", k, b.State(), trips, ff))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	var out string
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

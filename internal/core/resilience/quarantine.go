@@ -1,0 +1,79 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+)
+
+// Quarantine benches chronically flaky matrix cells. A cell that fails
+// and then passes on retry is flaky — the pipeline reports it Flaky,
+// never Passed — and after `after` flaky runs the cell is quarantined:
+// subsequent regressions sharing the store skip it outright instead of
+// burning retry budget on a known-bad pairing. Like the build and run
+// caches, a Quarantine is shared across regressions by handing the same
+// instance to each Spec. All methods are nil-safe.
+type Quarantine struct {
+	mu      sync.Mutex
+	after   int
+	flaky   map[string]int
+	benched map[string]bool
+}
+
+// NewQuarantine benches a cell after it has been flaky `after` times.
+// after < 1 disables quarantining (returns nil).
+func NewQuarantine(after int) *Quarantine {
+	if after < 1 {
+		return nil
+	}
+	return &Quarantine{after: after, flaky: map[string]int{}, benched: map[string]bool{}}
+}
+
+// RecordFlaky counts one flaky run of the cell and reports whether the
+// cell is now (or already was) quarantined.
+func (q *Quarantine) RecordFlaky(key string) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.flaky[key]++
+	if q.flaky[key] >= q.after {
+		q.benched[key] = true
+	}
+	return q.benched[key]
+}
+
+// Quarantined reports whether the cell is benched.
+func (q *Quarantine) Quarantined(key string) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.benched[key]
+}
+
+// Size is the number of benched cells.
+func (q *Quarantine) Size() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.benched)
+}
+
+// Cells lists the benched cell keys, sorted.
+func (q *Quarantine) Cells() []string {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	out := make([]string, 0, len(q.benched))
+	for k := range q.benched {
+		out = append(out, k)
+	}
+	q.mu.Unlock()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,215 @@
+// Package resilience is the fault-tolerance layer of the regression
+// pipeline. The paper's Section 5 claim — one ADVM suite runs unmodified
+// on every platform of the speed ladder — silently assumes the platforms
+// always answer. Real accelerators, bondout parts, and product silicon
+// are shared lab hardware: slow, contended, and flaky. This package
+// provides the policy pieces the matrix runner threads through every
+// cell on those rungs:
+//
+//   - error classification: transient faults (a dropped connection, a
+//     wedged run cancelled at its deadline, a lost mailbox word) versus
+//     deterministic failures (a real test verdict, an assembly error);
+//   - a deterministic retry policy with exponential backoff and seeded
+//     jitter, applied only to the physical platform kinds;
+//   - a per-kind circuit breaker that stops hammering a rung that has
+//     answered with consecutive transient faults;
+//   - a flaky-cell quarantine: a cell that fails and then passes on
+//     retry is Flaky, never Passed, and after enough flaky runs it is
+//     benched so a known-bad pairing stops burning lab time.
+//
+// Everything here is deterministic by construction — backoff jitter is
+// seeded, breaker cool-down is counted in cells rather than wall-clock —
+// so the fault-injection tests (internal/flaky) reproduce bit-identical
+// schedules.
+package resilience
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// TransientError marks a platform error as transient: retrying the run
+// may succeed. The fault-injection harness and (in a lab deployment)
+// the platform transport wrap connection drops, timeouts, and device
+// resets in it; everything unwrapped is treated as deterministic.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as a transient platform fault. A nil err returns
+// nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// Transientf formats a new transient platform fault.
+func Transientf(format string, args ...any) error {
+	return &TransientError{Err: fmt.Errorf(format, args...)}
+}
+
+// IsTransient reports whether err is (or wraps) a TransientError.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// Class is the retry-relevant classification of one run attempt.
+type Class uint8
+
+// Attempt classes.
+const (
+	// ClassPassed: the run produced a passing verdict.
+	ClassPassed Class = iota
+	// ClassDeterministic: the run produced a stable failure — a real
+	// test verdict, an architectural stop, an assembly or link error.
+	// Retrying cannot change it.
+	ClassDeterministic
+	// ClassTransient: the run was lost to the platform rather than
+	// failed by the test — cancelled at its deadline, halted without a
+	// mailbox verdict, stopped for a reason outside the architectural
+	// set, or errored with a TransientError. Worth retrying on the
+	// physical rungs.
+	ClassTransient
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassPassed:
+		return "passed"
+	case ClassDeterministic:
+		return "deterministic"
+	case ClassTransient:
+		return "transient"
+	}
+	return "class?"
+}
+
+// architectural is the closed set of stop reasons a healthy platform
+// can report. Anything outside it (a spurious reset, a transport
+// artifact) is a platform fault, not a test verdict.
+var architectural = map[platform.StopReason]bool{
+	platform.StopHalt:        true,
+	platform.StopMaxInsts:    true,
+	platform.StopMaxCycles:   true,
+	platform.StopBreakpoint:  true,
+	platform.StopUnhandled:   true,
+	platform.StopDoubleFault: true,
+	platform.StopAbort:       true,
+	platform.StopDivergence:  true,
+}
+
+// ClassifyError classifies a run that returned an error instead of a
+// result: transient if wrapped as such, deterministic otherwise
+// (assembly and link failures replay identically).
+func ClassifyError(err error) Class {
+	if IsTransient(err) {
+		return ClassTransient
+	}
+	return ClassDeterministic
+}
+
+// ClassifyResult classifies a completed run. A pass is a pass; a run
+// cancelled at its deadline (a hung platform), a clean halt that never
+// latched a mailbox verdict (a dropped mailbox write), and any stop
+// reason outside the architectural set (a spurious reset) are
+// transient; every other failure is a deterministic test verdict.
+func ClassifyResult(res *platform.Result) Class {
+	switch {
+	case res.Passed():
+		return ClassPassed
+	case res.Reason == platform.StopCancelled:
+		return ClassTransient
+	case res.Reason == platform.StopHalt && !res.MboxDone:
+		return ClassTransient
+	case !architectural[res.Reason]:
+		return ClassTransient
+	}
+	return ClassDeterministic
+}
+
+// Retryable reports whether a platform kind's transient failures are
+// worth retrying: the physical rungs (hardware accelerator, bondout,
+// product silicon), which sit behind shared lab infrastructure. The
+// simulated rungs are deterministic — a failure there replays
+// identically, so retrying only wastes cycles.
+func Retryable(k platform.Kind) bool {
+	switch k {
+	case platform.KindEmulator, platform.KindBondout, platform.KindSilicon:
+		return true
+	}
+	return false
+}
+
+// RetryPolicy bounds transient-failure retries for one regression. The
+// zero value disables retries (a single attempt per cell).
+type RetryPolicy struct {
+	// MaxAttempts is the total run budget per cell, first attempt
+	// included; values below 1 mean one attempt (no retries).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each further
+	// retry doubles it. Zero retries immediately.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// Seed drives the deterministic jitter. Two regressions with the
+	// same seed produce identical backoff schedules.
+	Seed int64
+}
+
+// Attempts returns the effective per-cell attempt budget.
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the wait before retry number attempt (1 = the first
+// retry) of the cell identified by key: exponential doubling from
+// BaseBackoff, capped at MaxBackoff, with deterministic jitter in
+// [d/2, d) seeded by (Seed, key, attempt). Jitter decorrelates cells
+// retrying against the same contended platform without introducing
+// run-to-run nondeterminism.
+func (p RetryPolicy) Backoff(key string, attempt int) time.Duration {
+	if p.BaseBackoff <= 0 || attempt < 1 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(p.Seed))
+	binary.LittleEndian.PutUint64(b[8:], uint64(attempt))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	frac := h.Sum64() % 1000
+	half := d / 2
+	return half + time.Duration(uint64(half)*frac/1000)
+}
+
+// CellKey names one matrix cell for the quarantine store and backoff
+// jitter: module/test on a derivative and platform kind.
+func CellKey(module, test, deriv string, k platform.Kind) string {
+	return module + "/" + test + "@" + deriv + "/" + k.String()
+}

@@ -1,0 +1,218 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+func TestTransientWrapping(t *testing.T) {
+	base := errors.New("connection dropped")
+	te := Transient(base)
+	if !IsTransient(te) {
+		t.Error("Transient(err) not recognised")
+	}
+	if !errors.Is(te, base) {
+		t.Error("cause lost in wrapping")
+	}
+	if IsTransient(base) {
+		t.Error("plain error classified transient")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must be nil")
+	}
+	wrapped := fmt.Errorf("cell failed: %w", Transientf("timeout on %s", "emulator"))
+	if !IsTransient(wrapped) {
+		t.Error("transient not found through wrapping")
+	}
+	if ClassifyError(wrapped) != ClassTransient {
+		t.Error("ClassifyError(transient) != ClassTransient")
+	}
+	if ClassifyError(base) != ClassDeterministic {
+		t.Error("ClassifyError(plain) != ClassDeterministic")
+	}
+}
+
+func TestClassifyResult(t *testing.T) {
+	cases := []struct {
+		name string
+		res  platform.Result
+		want Class
+	}{
+		{"pass", platform.Result{Reason: platform.StopHalt, MboxDone: true, MboxResult: 0x600D}, ClassPassed},
+		{"fail-verdict", platform.Result{Reason: platform.StopHalt, MboxDone: true, MboxResult: 0xBAD0}, ClassDeterministic},
+		{"unhandled-trap", platform.Result{Reason: platform.StopUnhandled, MboxDone: true}, ClassDeterministic},
+		{"max-insts", platform.Result{Reason: platform.StopMaxInsts}, ClassDeterministic},
+		{"cancelled", platform.Result{Reason: platform.StopCancelled}, ClassTransient},
+		{"dropped-mailbox", platform.Result{Reason: platform.StopHalt, MboxDone: false}, ClassTransient},
+		{"spurious-reset", platform.Result{Reason: "spurious-reset"}, ClassTransient},
+	}
+	for _, c := range cases {
+		if got := ClassifyResult(&c.res); got != c.want {
+			t.Errorf("%s: classified %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRetryableKinds(t *testing.T) {
+	want := map[platform.Kind]bool{
+		platform.KindGolden: false, platform.KindRTL: false, platform.KindGate: false,
+		platform.KindEmulator: true, platform.KindBondout: true, platform.KindSilicon: true,
+	}
+	for k, w := range want {
+		if Retryable(k) != w {
+			t.Errorf("Retryable(%s) = %v, want %v", k, !w, w)
+		}
+	}
+}
+
+func TestBackoffDeterministicExponentialCapped(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond, Seed: 7}
+	key := CellKey("NVM", "TEST_X", "SC88-A", platform.KindEmulator)
+	d1 := p.Backoff(key, 1)
+	if d1 < 5*time.Millisecond || d1 >= 10*time.Millisecond {
+		t.Errorf("attempt 1 backoff %v outside [base/2, base)", d1)
+	}
+	if p.Backoff(key, 1) != d1 {
+		t.Error("backoff not deterministic for identical (seed, key, attempt)")
+	}
+	if (RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond, Seed: 8}).Backoff(key, 1) == d1 {
+		t.Error("seed does not perturb jitter")
+	}
+	// Exponential growth capped: attempt 4 would be 80ms uncapped, the
+	// cap bounds the pre-jitter duration at 40ms so the draw is < 40ms.
+	d4 := p.Backoff(key, 4)
+	if d4 >= 40*time.Millisecond {
+		t.Errorf("attempt 4 backoff %v not capped by MaxBackoff", d4)
+	}
+	if d4 < 20*time.Millisecond {
+		t.Errorf("attempt 4 backoff %v below capped/2", d4)
+	}
+	if (RetryPolicy{}).Backoff(key, 1) != 0 {
+		t.Error("zero policy must not wait")
+	}
+	if (RetryPolicy{}).Attempts() != 1 {
+		t.Error("zero policy must budget exactly one attempt")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(3, 2)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker denied traffic")
+		}
+		b.OnTransient()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Allow()
+	b.OnTransient() // third consecutive transient: opens
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker %v after threshold, want open", b.State())
+	}
+	// Probation: the first denied cell counts, the second flips to
+	// half-open and is admitted as the probe.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a cell during probation")
+	}
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open after probation")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second cell alongside the probe")
+	}
+	// Failed probe reopens…
+	b.OnTransient()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not reopen")
+	}
+	// …and a successful probe after the next probation closes.
+	b.Allow()
+	if !b.Allow() {
+		t.Fatal("no probe after reopen probation")
+	}
+	b.OnSuccess()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	trips, fastFailed := b.Stats()
+	if trips != 2 || fastFailed != 3 {
+		t.Errorf("stats = (%d trips, %d fast-failed), want (2, 3)", trips, fastFailed)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Error("nil breaker must always allow")
+	}
+	b.OnSuccess()
+	b.OnTransient()
+	if b.State() != BreakerClosed {
+		t.Error("nil breaker must read closed")
+	}
+	var bs *BreakerSet
+	if bs.For(platform.KindEmulator) != nil {
+		t.Error("nil set must hand out nil breakers")
+	}
+	if bs.Summary() != "" {
+		t.Error("nil set summary must be empty")
+	}
+	if NewBreakerSet(0, 1) != nil {
+		t.Error("threshold 0 must disable the set")
+	}
+}
+
+func TestBreakerSetScopesPhysicalKinds(t *testing.T) {
+	bs := NewBreakerSet(1, 1)
+	if bs.For(platform.KindGolden) != nil || bs.For(platform.KindRTL) != nil || bs.For(platform.KindGate) != nil {
+		t.Error("simulated kinds must not be breaker-guarded")
+	}
+	for _, k := range []platform.Kind{platform.KindEmulator, platform.KindBondout, platform.KindSilicon} {
+		if bs.For(k) == nil {
+			t.Errorf("physical kind %s has no breaker", k)
+		}
+	}
+	bs.For(platform.KindEmulator).OnTransient()
+	if s := bs.Summary(); s != "emulator=open(1 trips, 0 fast-failed)" {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	q := NewQuarantine(2)
+	key := CellKey("NVM", "TEST_X", "SC88-A", platform.KindEmulator)
+	if q.RecordFlaky(key) {
+		t.Error("benched after one flaky run, want threshold 2")
+	}
+	if q.Quarantined(key) || q.Size() != 0 {
+		t.Error("premature quarantine")
+	}
+	if !q.RecordFlaky(key) {
+		t.Error("not benched at threshold")
+	}
+	if !q.Quarantined(key) || q.Size() != 1 {
+		t.Error("quarantine not recorded")
+	}
+	q.RecordFlaky("other")
+	q.RecordFlaky("other")
+	cells := q.Cells()
+	if len(cells) != 2 || cells[0] != key && cells[1] != key {
+		t.Errorf("Cells() = %v", cells)
+	}
+	var nilQ *Quarantine
+	if nilQ.RecordFlaky(key) || nilQ.Quarantined(key) || nilQ.Size() != 0 || nilQ.Cells() != nil {
+		t.Error("nil quarantine must be inert")
+	}
+	if NewQuarantine(0) != nil {
+		t.Error("after 0 must disable quarantining")
+	}
+}

@@ -188,3 +188,21 @@ func TestImageHashAndCellKey(t *testing.T) {
 		t.Error("key must depend on run bounds")
 	}
 }
+
+// TestStatsStringZero pins the all-bypass/empty-matrix rendering: with
+// no lookups at all the reuse percentage must read 0.0%, never NaN%.
+func TestStatsStringZero(t *testing.T) {
+	got := Stats{}.String()
+	if !strings.Contains(got, "0.0% reuse") {
+		t.Errorf("zero stats render %q, want 0.0%% reuse", got)
+	}
+	if strings.Contains(got, "NaN") {
+		t.Errorf("zero stats render NaN: %q", got)
+	}
+	// A fresh cache that only ever bypassed must render the same way.
+	c := New()
+	c.Bypass()
+	if s := c.Stats().String(); !strings.Contains(s, "0.0% reuse") || strings.Contains(s, "NaN") {
+		t.Errorf("all-bypass stats render %q, want 0.0%% reuse", s)
+	}
+}

@@ -61,7 +61,11 @@ func (b *Box) Load(img *obj.Image) error {
 	return b.core.LoadImage(img)
 }
 
-// Run implements platform.Platform.
+// Run implements platform.Platform. Cooperative cancellation
+// (RunSpec.Context) is inherited from golden.RunCore: the accelerator
+// is one of the shared physical rungs the regression pipeline guards
+// with per-cell deadlines and retries, so a wedged job stops with
+// StopCancelled instead of holding the box.
 func (b *Box) Run(spec platform.RunSpec) (*platform.Result, error) {
 	// The accelerator ignores trace requests: it has no trace port.
 	spec.Trace = nil

@@ -1,0 +1,247 @@
+// Package flaky is a seeded fault-injection wrapper for the execution
+// platforms: it hands the regression matrix a deliberately unreliable
+// device so every resilience policy — per-cell deadlines, transient
+// retries, flaky reporting, quarantine, circuit breaking — is exercised
+// by deterministic tests instead of waiting for the lab to misbehave.
+//
+// A Harness wraps platform construction (it matches the signature of
+// regress.Spec.NewPlatform) and injects one of four fault modes into
+// Run:
+//
+//   - FaultHang: the run never completes; it blocks until the
+//     RunSpec.Context deadline fires, then reports StopCancelled — the
+//     wedged-platform scenario that used to hang a worker forever.
+//   - FaultTransient: Run returns a resilience.TransientError, the
+//     shape of a dropped lab connection.
+//   - FaultDropMbox: the run completes but the mailbox verdict is lost
+//     (MboxDone cleared), as when the result word never makes it off
+//     the device.
+//   - FaultReset: the run stops early with a non-architectural
+//     "spurious-reset" reason, as when a contended emulator is yanked
+//     mid-job.
+//
+// Faults are scheduled deterministically per (seed, cell, run ordinal):
+// FailFirst makes the first N runs of every cell fail and the rest
+// succeed (the canonical flaky cell), while Rate injects faults with a
+// seeded pseudo-random probability (the E15 campaign knob). Scheduling
+// depends only on how many times the harness has run a given cell, not
+// on worker interleaving, so concurrent matrices reproduce exactly.
+package flaky
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core/resilience"
+	"repro/internal/core/runcache"
+	"repro/internal/obj"
+	"repro/internal/platform"
+	"repro/internal/soc"
+)
+
+// Fault selects the injected failure mode.
+type Fault uint8
+
+// Fault modes.
+const (
+	// FaultHang wedges the run until its context deadline.
+	FaultHang Fault = iota
+	// FaultTransient fails the run with a transient platform error.
+	FaultTransient
+	// FaultDropMbox completes the run but loses the mailbox verdict.
+	FaultDropMbox
+	// FaultReset stops the run early with a spurious non-architectural
+	// reason.
+	FaultReset
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultHang:
+		return "hang"
+	case FaultTransient:
+		return "transient"
+	case FaultDropMbox:
+		return "drop-mbox"
+	case FaultReset:
+		return "spurious-reset"
+	}
+	return "fault?"
+}
+
+// StopSpuriousReset is the non-architectural stop reason FaultReset
+// reports; the resilience classifier treats it as transient precisely
+// because it is outside the architectural set.
+const StopSpuriousReset platform.StopReason = "spurious-reset"
+
+// Plan schedules fault injection for a Harness.
+type Plan struct {
+	// Seed drives the pseudo-random Rate schedule.
+	Seed int64
+	// Fault is the injected failure mode.
+	Fault Fault
+	// FailFirst fails the first N runs of each cell, after which the
+	// cell runs clean — the canonical fail-then-pass-on-retry flaky
+	// cell. 0 disables count-scheduled injection.
+	FailFirst int
+	// Rate injects the fault on each run with this probability
+	// (0..1), decided by a hash of (Seed, cell, run ordinal). The E15
+	// campaign sweeps this. Ignored when FailFirst > 0.
+	Rate float64
+	// Kinds restricts injection to these platform kinds; empty means
+	// the physical rungs (emulator, bondout, silicon), matching where
+	// real flakiness lives.
+	Kinds []platform.Kind
+}
+
+func (p Plan) targets(k platform.Kind) bool {
+	if len(p.Kinds) == 0 {
+		return resilience.Retryable(k)
+	}
+	for _, t := range p.Kinds {
+		if t == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Harness wraps platform construction with the fault plan. Use
+// NewPlatform as regress.Spec.NewPlatform. The zero value is unusable;
+// call New.
+type Harness struct {
+	plan Plan
+
+	mu   sync.Mutex
+	runs map[string]int // per-cell run ordinal
+	// Injected counts faults actually injected, by mode (telemetry for
+	// tests and the E15 report).
+	injected map[Fault]int
+}
+
+// New builds a harness executing the plan.
+func New(plan Plan) *Harness {
+	return &Harness{plan: plan, runs: map[string]int{}, injected: map[Fault]int{}}
+}
+
+// NewPlatform builds a real platform of the requested kind and wraps it
+// with the fault plan; it matches the regress.Spec.NewPlatform
+// signature.
+func (h *Harness) NewPlatform(k platform.Kind, cfg soc.HWConfig) (platform.Platform, error) {
+	p, err := platform.New(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wrap(p, cfg), nil
+}
+
+// Wrap interposes the harness on an existing platform instance.
+func (h *Harness) Wrap(p platform.Platform, cfg soc.HWConfig) platform.Platform {
+	return &wrapped{h: h, inner: p, cfg: cfg}
+}
+
+// Injected reports how many faults of each mode the harness has
+// injected so far.
+func (h *Harness) Injected() map[Fault]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[Fault]int, len(h.injected))
+	for k, v := range h.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// decide returns whether the next run of cell key gets the fault, and
+// advances the cell's run ordinal.
+func (h *Harness) decide(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ordinal := h.runs[key]
+	h.runs[key]++
+	inject := false
+	switch {
+	case h.plan.FailFirst > 0:
+		inject = ordinal < h.plan.FailFirst
+	case h.plan.Rate > 0:
+		// Hash (seed, key, ordinal) to a uniform fraction: the schedule
+		// is a pure function of the cell's own run count, so worker
+		// interleaving cannot perturb it.
+		f := fnv.New64a()
+		fmt.Fprintf(f, "%d|%s|%d", h.plan.Seed, key, ordinal)
+		inject = float64(f.Sum64()%1_000_000)/1_000_000 < h.plan.Rate
+	}
+	if inject {
+		h.injected[h.plan.Fault]++
+	}
+	return inject
+}
+
+// wrapped is one fault-injected platform instance.
+type wrapped struct {
+	h     *Harness
+	inner platform.Platform
+	cfg   soc.HWConfig
+	key   string // cell identity: kind/config/image, set at Load
+}
+
+func (w *wrapped) Name() string        { return w.inner.Name() + "+flaky" }
+func (w *wrapped) Kind() platform.Kind { return w.inner.Kind() }
+func (w *wrapped) Caps() platform.Caps { return w.inner.Caps() }
+func (w *wrapped) SoC() *soc.SoC       { return w.inner.SoC() }
+
+// Load keys the instance by (kind, config, image content) so the fault
+// schedule follows the cell across retries and fresh instances — the
+// matrix builds a new platform per attempt, and the run ordinal must
+// survive that.
+func (w *wrapped) Load(img *obj.Image) error {
+	w.key = fmt.Sprintf("%s|%s|%s", w.inner.Kind(), w.cfg.Name, runcache.ImageHash(img))
+	return w.inner.Load(img)
+}
+
+// Run executes the inner platform unless the plan schedules a fault for
+// this run of the cell.
+func (w *wrapped) Run(spec platform.RunSpec) (*platform.Result, error) {
+	if !w.h.plan.targets(w.inner.Kind()) || !w.h.decide(w.key) {
+		return w.inner.Run(spec)
+	}
+	switch w.h.plan.Fault {
+	case FaultHang:
+		// A wedged device: nothing happens until the deadline. Without
+		// a context this would be the forever-hang the resilience layer
+		// exists to prevent — refuse loudly instead of deadlocking the
+		// test suite.
+		if spec.Context == nil {
+			return nil, fmt.Errorf("flaky: hung platform run with no RunSpec.Context; set a deadline")
+		}
+		<-spec.Context.Done()
+		return &platform.Result{
+			Platform: w.Name(), Kind: w.Kind(),
+			Reason: platform.StopCancelled,
+			Detail: "wedged platform model: no progress until deadline: " + spec.Context.Err().Error(),
+		}, nil
+	case FaultTransient:
+		return nil, resilience.Transientf("flaky: injected transient platform error (%s)", w.inner.Name())
+	case FaultDropMbox:
+		res, err := w.inner.Run(spec)
+		if err != nil || res == nil {
+			return res, err
+		}
+		res.MboxDone = false
+		res.MboxResult = 0
+		res.Detail = "flaky: mailbox verdict dropped in transport"
+		return res, nil
+	case FaultReset:
+		res, err := w.inner.Run(spec)
+		if err != nil || res == nil {
+			return res, err
+		}
+		res.Reason = StopSpuriousReset
+		res.MboxDone = false
+		res.MboxResult = 0
+		res.Detail = "flaky: device reset mid-run"
+		return res, nil
+	}
+	return w.inner.Run(spec)
+}

@@ -1,0 +1,176 @@
+package flaky
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core/resilience"
+	"repro/internal/platform"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+
+	_ "repro/internal/emu"
+	_ "repro/internal/golden"
+)
+
+const passProgram = `
+_main:
+    JMP pass
+` + testprog.PassTail
+
+func buildAndLoad(t *testing.T, h *Harness, kind platform.Kind) platform.Platform {
+	t.Helper()
+	cfg := soc.DefaultConfig()
+	img := testprog.MustBuild(cfg, nil, map[string]string{"t.asm": passProgram})
+	p, err := h.NewPlatform(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHangFaultStopsAtDeadline(t *testing.T) {
+	h := New(Plan{Fault: FaultHang, FailFirst: 1})
+	p := buildAndLoad(t, h, platform.KindEmulator)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err := p.Run(platform.RunSpec{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != platform.StopCancelled {
+		t.Fatalf("reason = %s, want cancelled", res.Reason)
+	}
+	if resilience.ClassifyResult(res) != resilience.ClassTransient {
+		t.Error("hung run must classify transient")
+	}
+}
+
+func TestHangFaultRefusesNilContext(t *testing.T) {
+	h := New(Plan{Fault: FaultHang, FailFirst: 1})
+	p := buildAndLoad(t, h, platform.KindEmulator)
+	if _, err := p.Run(platform.RunSpec{}); err == nil {
+		t.Fatal("hang with no context must error, not deadlock")
+	}
+}
+
+func TestTransientFaultThenClean(t *testing.T) {
+	h := New(Plan{Fault: FaultTransient, FailFirst: 2})
+	cfg := soc.DefaultConfig()
+	img := testprog.MustBuild(cfg, nil, map[string]string{"t.asm": passProgram})
+	// Three fresh instances of the same cell: the schedule keys on the
+	// cell (kind, config, image), not the instance, so the first two
+	// runs fail and the third passes — exactly what the retry loop sees.
+	for i := 0; i < 3; i++ {
+		p, err := h.NewPlatform(platform.KindEmulator, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(platform.RunSpec{})
+		if i < 2 {
+			if err == nil || !resilience.IsTransient(err) {
+				t.Fatalf("run %d: err = %v, want transient", i, err)
+			}
+			continue
+		}
+		if err != nil || !res.Passed() {
+			t.Fatalf("run %d after faults: res=%+v err=%v, want pass", i, res, err)
+		}
+	}
+	if h.Injected()[FaultTransient] != 2 {
+		t.Errorf("injected = %v, want 2 transients", h.Injected())
+	}
+}
+
+func TestDropMboxFault(t *testing.T) {
+	h := New(Plan{Fault: FaultDropMbox, FailFirst: 1})
+	p := buildAndLoad(t, h, platform.KindEmulator)
+	res, err := p.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() || res.MboxDone {
+		t.Fatal("mailbox verdict must be dropped")
+	}
+	if res.Reason != platform.StopHalt {
+		t.Fatalf("reason = %s, want halt (the run itself completed)", res.Reason)
+	}
+	if resilience.ClassifyResult(res) != resilience.ClassTransient {
+		t.Error("halt without mailbox verdict must classify transient")
+	}
+}
+
+func TestResetFault(t *testing.T) {
+	h := New(Plan{Fault: FaultReset, FailFirst: 1})
+	p := buildAndLoad(t, h, platform.KindEmulator)
+	res, err := p.Run(platform.RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopSpuriousReset {
+		t.Fatalf("reason = %s, want spurious-reset", res.Reason)
+	}
+	if resilience.ClassifyResult(res) != resilience.ClassTransient {
+		t.Error("non-architectural stop must classify transient")
+	}
+}
+
+func TestKindScoping(t *testing.T) {
+	// Default plan targets only the physical rungs: a golden run is
+	// untouched even with injection always on.
+	h := New(Plan{Fault: FaultTransient, FailFirst: 1000})
+	p := buildAndLoad(t, h, platform.KindGolden)
+	res, err := p.Run(platform.RunSpec{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("golden run under default plan: res=%+v err=%v, want clean pass", res, err)
+	}
+	// An explicit kind list overrides the default scope.
+	h2 := New(Plan{Fault: FaultTransient, FailFirst: 1, Kinds: []platform.Kind{platform.KindGolden}})
+	p2 := buildAndLoad(t, h2, platform.KindGolden)
+	if _, err := p2.Run(platform.RunSpec{}); err == nil {
+		t.Fatal("explicitly targeted golden run must fault")
+	}
+}
+
+func TestRateScheduleDeterministic(t *testing.T) {
+	decide := func(seed int64) []bool {
+		h := New(Plan{Fault: FaultTransient, Rate: 0.5, Seed: seed})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, h.decide("cell"))
+		}
+		return out
+	}
+	a, b := decide(42), decide(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rate schedule not reproducible for equal seeds")
+		}
+	}
+	c := decide(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seed does not perturb the rate schedule")
+	}
+	n := 0
+	for _, v := range a {
+		if v {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Errorf("rate 0.5 injected %d/%d faults", n, len(a))
+	}
+}

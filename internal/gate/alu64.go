@@ -1,6 +1,7 @@
 package gate
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/isa"
@@ -31,7 +32,17 @@ type NetALU64 struct {
 
 	diverged   bool
 	divergence string
+
+	// ctx is the current run's cancellation context (see SetRunContext);
+	// a cancelled context makes FlushALU drop its queue unverified, so
+	// the gate evaluator — the dominant cost on this rung — stops doing
+	// netlist sweeps for a run that is already condemned.
+	ctx context.Context
 }
+
+// SetRunContext installs the run's cancellation context; rtl.Sim.Run
+// calls it at the top of every run (including with nil to clear it).
+func (g *NetALU64) SetRunContext(ctx context.Context) { g.ctx = ctx }
 
 // NewNetALU64 builds the netlist and its 64-lane evaluator.
 func NewNetALU64() *NetALU64 {
@@ -78,6 +89,10 @@ func (g *NetALU64) Execute(op isa.Opcode, a, b uint32) (uint32, rtl.ALUFlags) {
 func (g *NetALU64) FlushALU() {
 	qn := g.qn
 	if qn == 0 || g.diverged {
+		g.qn = 0
+		return
+	}
+	if g.ctx != nil && g.ctx.Err() != nil {
 		g.qn = 0
 		return
 	}

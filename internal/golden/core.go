@@ -806,8 +806,16 @@ func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec 
 		maxCycles = ^uint64(0)
 	}
 	doTrace := caps.Trace && spec.Trace != nil
+	ctx := spec.Context
 	res := &platform.Result{Platform: name, Kind: kind}
 	for {
+		if ctx != nil && c.Insts&(platform.CancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Reason = platform.StopCancelled
+				res.Detail = "run cancelled after " + fmt.Sprint(c.Insts) + " instructions: " + err.Error()
+				break
+			}
+		}
 		if c.stopReq {
 			res.Reason = platform.StopAbort
 			break

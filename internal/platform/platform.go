@@ -7,6 +7,7 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -84,6 +85,14 @@ type TraceRecord struct {
 
 // RunSpec bounds and instruments a run.
 type RunSpec struct {
+	// Context, when non-nil, cancels the run cooperatively: platforms
+	// poll ctx.Err() every CancelStride instructions (or an equivalent
+	// cycle stride) and stop with StopCancelled once the context is
+	// done. This is how the regression pipeline enforces per-cell
+	// wall-clock deadlines — a wedged platform model stops at its
+	// deadline instead of hanging a worker forever. Nil means the run
+	// is bounded only by the instruction/cycle limits.
+	Context context.Context
 	// MaxInstructions stops the run after this many instructions
 	// (0 = default limit).
 	MaxInstructions uint64
@@ -128,7 +137,19 @@ const (
 	// disagreeing with the behavioural prediction; the run cannot
 	// meaningfully continue past the fault.
 	StopDivergence StopReason = "alu-divergence"
+	// StopCancelled: RunSpec.Context was cancelled (deadline exceeded
+	// or matrix shutdown) and the platform stopped cooperatively. Not a
+	// test verdict — the resilience layer classifies it as a transient
+	// platform fault.
+	StopCancelled StopReason = "cancelled"
 )
+
+// CancelStride is how many instructions a platform retires between
+// RunSpec.Context polls. A power of two so the hot loop can test
+// `insts & (CancelStride-1) == 0`; at ~10M simulated inst/s this
+// bounds cancellation latency well under a millisecond while keeping
+// the poll invisible in profiles.
+const CancelStride = 4096
 
 // Result is the outcome of one run.
 type Result struct {

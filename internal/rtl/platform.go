@@ -1,6 +1,8 @@
 package rtl
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/core/telemetry"
@@ -106,12 +108,26 @@ func (s *Sim) Load(img *obj.Image) error {
 	return nil
 }
 
+// cancelCycleStride is how many clock cycles the RTL state machine runs
+// between RunSpec.Context polls — the cycle-domain analogue of
+// platform.CancelStride (an SC88 instruction retires in a handful of
+// cycles, so this bounds cancellation latency similarly). Power of two
+// for a mask test in the cycle loop.
+const cancelCycleStride = 8192
+
 // Run implements platform.Platform.
 func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
 	c := s.cpu
 	maxInsts := spec.MaxInstructions
 	if maxInsts == 0 {
 		maxInsts = platform.DefaultMaxInstructions
+	}
+	ctx := spec.Context
+	// A deferred-verification backend (the gate platform's batched ALU
+	// checker) observes the same context so a cancelled run's final
+	// drain does not burn netlist sweeps on a condemned result.
+	if cc, ok := s.alu.(interface{ SetRunContext(context.Context) }); ok {
+		cc.SetRunContext(ctx)
 	}
 	res := &platform.Result{Platform: s.name, Kind: s.kind}
 	// Event stream: the RTL trace port reports instructions at retire
@@ -161,6 +177,12 @@ func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
 			if d, bad := chk.ALUDivergence(); bad {
 				res.Reason = platform.StopDivergence
 				res.Detail = d
+			}
+		}
+		if res.Reason == "" && ctx != nil && c.Cycles&(cancelCycleStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Reason = platform.StopCancelled
+				res.Detail = fmt.Sprintf("run cancelled after %d cycles: %v", c.Cycles, err)
 			}
 		}
 		if res.Reason == "" {

@@ -49,7 +49,9 @@ func (c *Chip) Load(img *obj.Image) error {
 	return c.core.LoadImage(img)
 }
 
-// Run implements platform.Platform.
+// Run implements platform.Platform. RunSpec.Context cancellation is
+// inherited from golden.RunCore — on the real tester this is the
+// handler's watchdog yanking a part that stopped answering.
 func (c *Chip) Run(spec platform.RunSpec) (*platform.Result, error) {
 	spec.Trace = nil // no trace port on product silicon
 	res, err := golden.RunCore(c.core, c.name, platform.KindSilicon, c.Caps(), spec)
