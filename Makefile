@@ -7,7 +7,7 @@
 #   make bench     regenerate the EXPERIMENTS.md benchmarks
 #   make cache     the build-cache benchmarks only (off/cold/warm)
 #   make bench-json  telemetry-overhead benchmarks (E12) -> BENCH_telemetry.json
-#                    and perf benchmarks (E14) -> BENCH_perf.json
+#                    and perf benchmarks (E14 + E16) -> BENCH_perf.json
 #   make smoke     end-to-end resilience run of advm-regress
 #                  (-deadline/-retries/-quarantine-after/-breaker)
 
@@ -47,13 +47,14 @@ bench:
 cache:
 	$(GO) test -run xxx -bench 'BenchmarkBuildCache|BenchmarkE3_SystemRegression|BenchmarkE7' -benchtime 5x .
 
-# The E12 telemetry-overhead and E14 performance numbers, as
+# The E12 telemetry-overhead and E14/E16 performance numbers, as
 # machine-readable JSON: standard go-test benchmark JSON events, one per
-# line, for dashboards to ingest.
+# line, for dashboards to ingest. E16 covers the engine ladder
+# (interp/predecode/translate) on the hot-loop workload.
 bench-json:
 	$(GO) test -run xxx -bench BenchmarkE12_TracingOverhead -benchtime 20x -json . > BENCH_telemetry.json
 	@grep -c '"Action"' BENCH_telemetry.json >/dev/null && echo "wrote BENCH_telemetry.json"
-	$(GO) test -run xxx -bench 'BenchmarkE14_' -benchtime 2s -json . > BENCH_perf.json
+	$(GO) test -run xxx -bench 'BenchmarkE1[46]_' -benchtime 2s -json . > BENCH_perf.json
 	@grep -c '"Action"' BENCH_perf.json >/dev/null && echo "wrote BENCH_perf.json"
 
 # End-to-end resilience smoke: the full matrix on the golden + emulator

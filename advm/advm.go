@@ -48,6 +48,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/predecode"
 	"repro/internal/soc"
+	"repro/internal/translate"
 
 	// Link in all six execution platforms so that NewPlatform can build
 	// any of them.
@@ -107,6 +108,10 @@ type (
 	Caps = platform.Caps
 	// Image is a linked, loadable program.
 	Image = obj.Image
+	// Engine selects a simulator execution engine (RunSpec.Engine). All
+	// engines are bit-identical; the knob trades speed for simplicity in
+	// A/B fidelity checks.
+	Engine = platform.Engine
 )
 
 // Platform kinds in the paper's order.
@@ -118,6 +123,25 @@ const (
 	KindBondout  = platform.KindBondout
 	KindSilicon  = platform.KindSilicon
 )
+
+// Execution engines, fastest default first.
+const (
+	EngineDefault   = platform.EngineDefault
+	EngineInterp    = platform.EngineInterp
+	EnginePredecode = platform.EnginePredecode
+	EngineTranslate = platform.EngineTranslate
+)
+
+// ParseEngine parses an -engine flag value (interp, predecode,
+// translate, or empty for the default).
+func ParseEngine(s string) (Engine, error) { return platform.ParseEngine(s) }
+
+// TranslateStats is a snapshot of the translation-engine counters.
+type TranslateStats = translate.Stats
+
+// TranslateTotals snapshots the process-wide translation-engine
+// counters (blocks built/executed/invalidated, interpreter fallbacks).
+func TranslateTotals() TranslateStats { return translate.GlobalStats() }
 
 // Methodology machinery.
 type (

@@ -31,6 +31,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rtl"
 	"repro/internal/testprog"
+	"repro/internal/translate"
 )
 
 func lineCount(s string) int { return len(strings.Split(strings.TrimRight(s, "\n"), "\n")) }
@@ -578,7 +579,9 @@ func BenchmarkE14_Predecode(b *testing.B) {
 				b.Fatal(err)
 			}
 			t0 := time.Now()
-			res, err := p.Run(platform.RunSpec{})
+			// Pin the predecode engine: this benchmark measures the
+			// decode-cache fast path, not the translation engine (E16).
+			res, err := p.Run(platform.RunSpec{Engine: platform.EnginePredecode})
 			running += time.Since(t0)
 			if err != nil {
 				b.Fatal(err)
@@ -611,6 +614,50 @@ func BenchmarkE14_Predecode(b *testing.B) {
 			s.DisablePredecode()
 			return s
 		})
+	})
+}
+
+// BenchmarkE16_Translate measures the superblock translation engine on
+// the golden model against the two interpreting engines, on the same
+// loop workload as E14. Metric: simulated instructions per second per
+// engine. The acceptance bar is at least 5x over the predecode engine
+// (toward the roadmap's 100M+ inst/s); every engine is bit-identical,
+// so the comparison is pure dispatch overhead.
+func BenchmarkE16_Translate(b *testing.B) {
+	cfg := derivative.A().HW
+	img := testprog.MustBuild(cfg, nil, map[string]string{"t.asm": testprog.LoopProgram(20000)})
+	measure := func(b *testing.B, engine platform.Engine) {
+		var insts uint64
+		var running time.Duration
+		for i := 0; i < b.N; i++ {
+			p := golden.NewModel(cfg)
+			if err := p.Load(img); err != nil {
+				b.Fatal(err)
+			}
+			t0 := time.Now()
+			res, err := p.Run(platform.RunSpec{Engine: engine})
+			running += time.Since(t0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Passed() {
+				b.Fatalf("loop failed on %s: %+v", engine, res)
+			}
+			insts += res.Instructions
+		}
+		b.ReportMetric(float64(insts)/running.Seconds(), "inst/s")
+	}
+	b.Run("interp", func(b *testing.B) { measure(b, platform.EngineInterp) })
+	b.Run("predecode", func(b *testing.B) { measure(b, platform.EnginePredecode) })
+	b.Run("translate", func(b *testing.B) {
+		translate.ResetStats()
+		measure(b, platform.EngineTranslate)
+		st := translate.GlobalStats()
+		if st.Executed == 0 {
+			b.Fatal("translate engine never dispatched a block")
+		}
+		b.ReportMetric(float64(st.Built), "blocks_built")
+		b.ReportMetric(float64(st.Executed)/float64(b.N), "blocks_exec/run")
 	})
 }
 

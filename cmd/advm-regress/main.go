@@ -39,6 +39,7 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for transiently failing cells on physical platforms (emulator/bondout/silicon)")
 	quarantineAfter := flag.Int("quarantine-after", 0, "bench a cell after this many flaky regressions and skip it (0 = off)")
 	breaker := flag.Int("breaker", 0, "open a platform's circuit breaker after this many consecutive transient failures (0 = off)")
+	engine := flag.String("engine", "translate", "simulator execution engine for every cell (interp, predecode, translate); all are bit-identical")
 	flag.Parse()
 
 	sys := advm.StandardSystem()
@@ -49,6 +50,11 @@ func main() {
 	fmt.Printf("frozen release: %s\n\n", sl)
 
 	spec := advm.RegressionSpec{Workers: *workers, TriageDir: *triageDir, Deadline: *deadline}
+	eng, err := advm.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.RunSpec.Engine = eng
 	if *retries > 0 {
 		spec.Retry = advm.RetryPolicy{
 			MaxAttempts: *retries + 1,
@@ -118,6 +124,9 @@ func main() {
 	}
 	if ps := advm.PredecodeTotals(); ps.Hits+ps.Slow > 0 {
 		fmt.Printf("predecode: %s\n", ps)
+	}
+	if ts := advm.TranslateTotals(); ts.Executed > 0 {
+		fmt.Printf("translate: %s\n", ts)
 	}
 	if *deadline > 0 || *retries > 0 || *quarantineAfter > 0 || *breaker > 0 {
 		var attempts, retried, flaky, cancelled, backoff int64

@@ -35,6 +35,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print an instruction trace (tracing platforms only)")
 	coverage := flag.Bool("cover", false, "report ISA coverage of the run (tracing platforms only)")
 	maxInsts := flag.Uint64("max-insts", 0, "instruction budget (0 = default)")
+	engine := flag.String("engine", "translate", "simulator execution engine (interp, predecode, translate); all are bit-identical")
 	flag.Parse()
 
 	sys := advm.StandardSystem()
@@ -55,7 +56,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	spec := advm.RunSpec{MaxInstructions: *maxInsts}
+	eng, err := advm.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := advm.RunSpec{MaxInstructions: *maxInsts, Engine: eng}
 	if *trace {
 		spec.Trace = func(r advm.TraceRecord) {
 			fmt.Printf("  0x%08x  %-28s %s:%d\n", r.PC, r.Disasm, r.File, r.Line)

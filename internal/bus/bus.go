@@ -70,6 +70,12 @@ type Bus struct {
 	DefaultWait uint64
 	// LastCost is the wait-state cost of the most recent access.
 	LastCost uint64
+	// LastPeriph reports whether the most recent access targeted a
+	// peripheral window. The superblock translation engine uses it to
+	// exit a block after a register access: device state (and hence
+	// pending interrupts) may have changed, so the between-instructions
+	// event poll must run before straight-line execution resumes.
+	LastPeriph bool
 	// writeGuard, when set, can veto memory writes (the MPU hooks in
 	// here). Peripheral-window writes are not guarded.
 	writeGuard func(addr uint32, size int) error
@@ -180,6 +186,38 @@ func (b *Bus) recomputeHorizon() {
 	b.horizon = h
 }
 
+// TickBudget returns how many cycles Tick can absorb before the next
+// device event would fire: the distance from the accumulated pending
+// cycles to the event horizon. While every ticker is quiescent it is
+// effectively unbounded (NoEvent). The translation engine runs a
+// superblock without per-instruction event polls only when the block's
+// worst-case cost fits strictly inside this budget, which makes the
+// single check per block entry provably equivalent to the interpreter's
+// per-instruction polling.
+func (b *Bus) TickBudget() uint64 {
+	if b.pending >= b.horizon {
+		return 0
+	}
+	return b.horizon - b.pending
+}
+
+// MaxAccessCost returns an upper bound on LastCost for any single
+// access: the largest configured region wait, the default wait, or the
+// peripheral wait, whichever is greater. Superblock cost bounds use it
+// for data accesses whose target region is unknown at translation time.
+func (b *Bus) MaxAccessCost() uint64 {
+	m := b.DefaultWait
+	if b.PeriphWait > m {
+		m = b.PeriphWait
+	}
+	for _, c := range b.waits {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
 // CostOf returns the per-access wait-state cost of a plain memory access
 // at addr — exactly the LastCost a Read32/Write32 there would report.
 // Predecoded instruction tables bake this into their entries so the fast
@@ -198,7 +236,7 @@ func (b *Bus) memCost(addr uint32) uint64 {
 // Read32 reads a word from memory or a peripheral register.
 func (b *Bus) Read32(addr uint32, kind mem.Access) (uint32, error) {
 	if w := b.findWindow(addr); w != nil {
-		b.LastCost = b.PeriphWait
+		b.LastCost, b.LastPeriph = b.PeriphWait, true
 		if addr%4 != 0 {
 			return 0, &mem.Fault{Addr: addr, Size: 4, Kind: kind, Reason: "misaligned peripheral access"}
 		}
@@ -212,14 +250,14 @@ func (b *Bus) Read32(addr uint32, kind mem.Access) (uint32, error) {
 		b.recomputeHorizon()
 		return v, err
 	}
-	b.LastCost = b.memCost(addr)
+	b.LastCost, b.LastPeriph = b.memCost(addr), false
 	return b.Mem.Read32(addr, kind)
 }
 
 // Write32 writes a word to memory or a peripheral register.
 func (b *Bus) Write32(addr uint32, v uint32) error {
 	if w := b.findWindow(addr); w != nil {
-		b.LastCost = b.PeriphWait
+		b.LastCost, b.LastPeriph = b.PeriphWait, true
 		if addr%4 != 0 {
 			return &mem.Fault{Addr: addr, Size: 4, Kind: mem.AccessWrite, Reason: "misaligned peripheral access"}
 		}
@@ -230,7 +268,7 @@ func (b *Bus) Write32(addr uint32, v uint32) error {
 		b.recomputeHorizon()
 		return err
 	}
-	b.LastCost = b.memCost(addr)
+	b.LastCost, b.LastPeriph = b.memCost(addr), false
 	if err := b.guardWrite(addr, 4); err != nil {
 		return err
 	}
@@ -240,18 +278,20 @@ func (b *Bus) Write32(addr uint32, v uint32) error {
 // Read16 reads a halfword. Peripheral windows only support word access.
 func (b *Bus) Read16(addr uint32, kind mem.Access) (uint16, error) {
 	if w := b.findWindow(addr); w != nil {
+		b.LastPeriph = true
 		return 0, &mem.Fault{Addr: addr, Size: 2, Kind: kind, Reason: "sub-word peripheral access"}
 	}
-	b.LastCost = b.memCost(addr)
+	b.LastCost, b.LastPeriph = b.memCost(addr), false
 	return b.Mem.Read16(addr, kind)
 }
 
 // Write16 writes a halfword. Peripheral windows only support word access.
 func (b *Bus) Write16(addr uint32, v uint16) error {
 	if w := b.findWindow(addr); w != nil {
+		b.LastPeriph = true
 		return &mem.Fault{Addr: addr, Size: 2, Kind: mem.AccessWrite, Reason: "sub-word peripheral access"}
 	}
-	b.LastCost = b.memCost(addr)
+	b.LastCost, b.LastPeriph = b.memCost(addr), false
 	if err := b.guardWrite(addr, 2); err != nil {
 		return err
 	}
@@ -261,18 +301,20 @@ func (b *Bus) Write16(addr uint32, v uint16) error {
 // Read8 reads a byte. Peripheral windows only support word access.
 func (b *Bus) Read8(addr uint32, kind mem.Access) (byte, error) {
 	if w := b.findWindow(addr); w != nil {
+		b.LastPeriph = true
 		return 0, &mem.Fault{Addr: addr, Size: 1, Kind: kind, Reason: "sub-word peripheral access"}
 	}
-	b.LastCost = b.memCost(addr)
+	b.LastCost, b.LastPeriph = b.memCost(addr), false
 	return b.Mem.Read8(addr, kind)
 }
 
 // Write8 writes a byte. Peripheral windows only support word access.
 func (b *Bus) Write8(addr uint32, v byte) error {
 	if w := b.findWindow(addr); w != nil {
+		b.LastPeriph = true
 		return &mem.Fault{Addr: addr, Size: 1, Kind: mem.AccessWrite, Reason: "sub-word peripheral access"}
 	}
-	b.LastCost = b.memCost(addr)
+	b.LastCost, b.LastPeriph = b.memCost(addr), false
 	if err := b.guardWrite(addr, 1); err != nil {
 		return err
 	}

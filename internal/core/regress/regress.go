@@ -28,6 +28,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/predecode"
 	"repro/internal/soc"
+	"repro/internal/translate"
 )
 
 // Spec selects the regression matrix.
@@ -181,6 +182,15 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	derivs := spec.Derivatives
 	if len(derivs) == 0 {
 		derivs = derivative.Family()
+	}
+	if spec.Metrics != nil {
+		// Route the simulator hot-path counters through the registry for
+		// the duration of the matrix: concurrent workers' per-run flushes
+		// land in race-safe counters instead of ad-hoc package globals.
+		predecode.SetMetrics(spec.Metrics)
+		translate.SetMetrics(spec.Metrics)
+		defer predecode.SetMetrics(nil)
+		defer translate.SetMetrics(nil)
 	}
 
 	// Static-analysis preflight: the frozen content must be clean before
@@ -573,6 +583,11 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		spec.Metrics.Gauge("predecode.slow").Set(int64(ps.Slow))
 		spec.Metrics.Gauge("predecode.pages_decoded").Set(int64(ps.PagesDecoded))
 		spec.Metrics.Gauge("predecode.pages_poisoned").Set(int64(ps.PagesPoisoned))
+		ts := translate.GlobalStats()
+		spec.Metrics.Gauge("translate.blocks_built").Set(int64(ts.Built))
+		spec.Metrics.Gauge("translate.blocks_executed").Set(int64(ts.Executed))
+		spec.Metrics.Gauge("translate.blocks_invalidated").Set(int64(ts.Invalidated))
+		spec.Metrics.Gauge("translate.fallback_exits").Set(int64(ts.Fallbacks))
 		if spec.Quarantine != nil {
 			spec.Metrics.Gauge("resilience.quarantine_size").Set(int64(spec.Quarantine.Size()))
 		}

@@ -83,6 +83,18 @@ func ImageHash(img *obj.Image) string {
 // CellKey content-addresses one run: image, platform kind, hardware
 // configuration, and the run bounds. HWConfig is a flat value struct, so
 // its deterministic %+v rendering is a faithful serialisation.
+//
+// Purity audit — which RunSpec fields are keyed: only the run bounds
+// (MaxInstructions, MaxCycles) affect a run's observable outcome.
+// RunSpec.Engine is deliberately NOT keyed: every execution engine
+// (interpreter, predecode, translate) is bit-identical by contract —
+// same final state, counters, and stop reason — so a cached outcome is
+// valid for any engine and engines share cache entries. (Engine-divergence
+// is tested, not assumed: the golden package's differential fuzz suite
+// enforces the contract.) Trace/Events/Context/DebugStops never reach
+// the key because traced or cancellable runs bypass the cache entirely
+// (see Cache.Do). Anyone adding a RunSpec field that changes observable
+// results must add it to both key functions.
 func CellKey(img *obj.Image, k platform.Kind, hw soc.HWConfig, spec platform.RunSpec) string {
 	return buildcache.Key(
 		ImageHash(img),

@@ -206,3 +206,49 @@ func TestStatsStringZero(t *testing.T) {
 		t.Errorf("all-bypass stats render %q, want 0.0%% reuse", s)
 	}
 }
+
+// TestKeysEngineAgnostic pins the purity contract documented on
+// CellKey/OutcomeKey: execution engines are bit-identical, so the
+// engine knob must NOT reach either cache key — a result computed under
+// one engine is served to runs requesting any other.
+func TestKeysEngineAgnostic(t *testing.T) {
+	a := img(0, 1, 2, 3)
+	hw := soc.DefaultConfig()
+	engines := []platform.Engine{
+		platform.EngineDefault, platform.EngineInterp,
+		platform.EnginePredecode, platform.EngineTranslate,
+	}
+	cellBase := CellKey(a, platform.KindGolden, hw, platform.RunSpec{Engine: engines[0]})
+	outBase := OutcomeKey("e", "m", "t", "d", platform.KindGolden, hw, platform.RunSpec{Engine: engines[0]})
+	for _, e := range engines[1:] {
+		if CellKey(a, platform.KindGolden, hw, platform.RunSpec{Engine: e}) != cellBase {
+			t.Errorf("CellKey depends on engine %v", e)
+		}
+		if OutcomeKey("e", "m", "t", "d", platform.KindGolden, hw, platform.RunSpec{Engine: e}) != outBase {
+			t.Errorf("OutcomeKey depends on engine %v", e)
+		}
+	}
+
+	// End to end: an outcome cached under one engine's run answers a
+	// request made with another engine selected, without re-running.
+	c := New()
+	runs := 0
+	spec := platform.RunSpec{Engine: platform.EngineInterp}
+	key := CellKey(a, platform.KindGolden, hw, spec)
+	r1, hit1, err := c.Do(key, func() (*platform.Result, error) { runs++; return res(0xCAFE), nil })
+	if err != nil || hit1 {
+		t.Fatalf("first Do: hit=%v err=%v", hit1, err)
+	}
+	spec2 := platform.RunSpec{Engine: platform.EngineTranslate}
+	key2 := CellKey(a, platform.KindGolden, hw, spec2)
+	r2, hit2, err := c.Do(key2, func() (*platform.Result, error) { runs++; return res(0xDEAD), nil })
+	if err != nil || !hit2 {
+		t.Fatalf("cross-engine Do: hit=%v err=%v", hit2, err)
+	}
+	if runs != 1 {
+		t.Errorf("cross-engine request re-ran: %d runs", runs)
+	}
+	if r1.MboxResult != r2.MboxResult {
+		t.Errorf("cached outcome differs across engines: %#x vs %#x", r1.MboxResult, r2.MboxResult)
+	}
+}

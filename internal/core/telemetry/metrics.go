@@ -304,4 +304,3 @@ func (r *Registry) Names() []string {
 	sort.Strings(out)
 	return out
 }
-

@@ -12,6 +12,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obj"
 	"repro/internal/platform"
+	"repro/internal/translate"
 )
 
 // cfgFindings is the control-flow pass: every test cell is assembled the
@@ -233,6 +234,80 @@ func (u *cfgUnit) reach(noreturn map[string]bool) (reached []bool, fallOffAt []u
 	return reached, fallOffAt
 }
 
+// blockLeaders returns the set of text offsets where the superblock
+// translation engine can begin a block: the section start, every static
+// control-transfer target, and every instruction following one that
+// ends a block (mirroring translate.Form's formation rule). Any other
+// offset is mid-block.
+func (u *cfgUnit) blockLeaders() map[uint32]bool {
+	leaders := make(map[uint32]bool)
+	if len(u.insts) > 0 {
+		leaders[0] = true
+	}
+	for _, ci := range u.insts {
+		if translate.EndsBlock(ci.in.Op) {
+			leaders[ci.off+ci.size] = true
+		}
+		switch {
+		case ci.in.Op.IsBranch():
+			target := int64(ci.off) + 4 + int64(ci.in.Imm)*4
+			if target >= 0 && uint32(target) < u.textLen() {
+				leaders[uint32(target)] = true
+			}
+		case ci.in.Op == isa.OpJmp || ci.in.Op == isa.OpCall:
+			if sym, ok := u.extSym[ci.off]; ok {
+				if target, local := u.labels[sym]; local {
+					leaders[target] = true
+				}
+			}
+		}
+	}
+	return leaders
+}
+
+// takenLabel is an address-taken local label: its address escapes into
+// a register or a data word, so a computed jump can land on it.
+type takenLabel struct {
+	sym string
+	off uint32
+}
+
+// takenLabels lists the local text labels whose addresses escape —
+// materialised by a non-control-transfer instruction (LOAD a#, label)
+// or stored in a data word (handler tables). These are exactly the
+// roots the reachability walk treats as potential hardware entries.
+func (u *cfgUnit) takenLabels() []takenLabel {
+	var out []takenLabel
+	seen := make(map[string]bool)
+	add := func(sym string) {
+		if seen[sym] {
+			return
+		}
+		if off, local := u.labels[sym]; local {
+			seen[sym] = true
+			out = append(out, takenLabel{sym: sym, off: off})
+		}
+	}
+	for off, sym := range u.extSym {
+		idx, ok := u.index[off]
+		if !ok {
+			continue
+		}
+		op := u.insts[idx].in.Op
+		if op == isa.OpJmp || op == isa.OpCall {
+			continue
+		}
+		add(sym)
+	}
+	for _, rel := range u.o.Relocs {
+		if rel.Section != obj.SecText {
+			add(rel.Sym)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].off < out[j].off })
+	return out
+}
+
 // srcLine maps a text offset to its source file/line via the object's
 // line table.
 func (u *cfgUnit) srcLine(off uint32) (string, int) {
@@ -333,6 +408,27 @@ func checkCFG(o *obj.Object, noreturn map[string]bool, d *derivative.Derivative,
 			f.Line = line
 			f.Message = "RET executes after a CALL clobbered the return address and ra is never saved; PUSH ra / POP ra around the calls"
 			out = append(out, finding(CheckCallImbalance, f))
+		}
+	}
+
+	// Superblock-hostile computed-jump targets: warn when an
+	// address-taken label points into the middle of a superblock. The
+	// translation engine forms blocks at the entry, at static branch
+	// targets, and after block-ending instructions; a JI/CALLI through a
+	// label anywhere else enters code mid-block, so the engine must form
+	// and cache a second block overlapping the first — double lowering
+	// work and a cold dispatch on every indirect entry.
+	if opts.enabled(CheckSuperblockHostile) {
+		leaders := u.blockLeaders()
+		for _, tl := range u.takenLabels() {
+			if leaders[tl.off] {
+				continue
+			}
+			_, line := u.srcLine(tl.off)
+			f := base
+			f.Line = line
+			f.Message = fmt.Sprintf("address-taken label %s (text+0x%x) is a computed-jump target in the middle of a superblock; the translation engine must form an overlapping block for it — place the label after a control transfer or make it a direct branch target", tl.sym, tl.off)
+			out = append(out, finding(CheckSuperblockHostile, f))
 		}
 	}
 

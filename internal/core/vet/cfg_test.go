@@ -186,3 +186,50 @@ func FuzzCFGDecode(f *testing.F) {
 		}
 	})
 }
+
+func TestCFGSuperblockHostile(t *testing.T) {
+	// mid is address-taken (materialised into d1 for a computed jump)
+	// but sits in the middle of a straight-line run: the instruction
+	// before it falls through and no branch targets it, so a JI through
+	// d1 would enter mid-superblock.
+	fs := cfgCheck(t, `.INCLUDE "Globals.inc"
+test_main:
+    LOAD d0, 1
+    LOAD d1, mid
+    ADD d0, d0, 1
+mid:
+    ADD d0, d0, 2
+    CALL Base_Report_Pass
+`)
+	got := countByCheck(fs)
+	if got[CheckSuperblockHostile] != 1 {
+		t.Fatalf("superblock-hostile count = %d, want 1; findings: %v", got[CheckSuperblockHostile], fs)
+	}
+	for _, f := range fs {
+		if f.Check == CheckSuperblockHostile && f.Severity != SevWarn {
+			t.Errorf("severity = %v, want warn", f.Severity)
+		}
+	}
+}
+
+func TestCFGSuperblockFriendlyTargets(t *testing.T) {
+	// Address-taken labels at block-leader positions must not warn: a
+	// handler placed after a CALL (block-ending) and a label that is
+	// also a direct branch target are both legitimate computed-jump
+	// targets.
+	fs := cfgCheck(t, `.INCLUDE "Globals.inc"
+test_main:
+    LOAD d1, handler
+    LOAD d2, looptop
+    LOAD d0, 0
+looptop:
+    ADD d0, d0, 1
+    BLT d0, d2, looptop
+    CALL Base_Report_Pass
+handler:
+    RFE
+`)
+	if got := countByCheck(fs)[CheckSuperblockHostile]; got != 0 {
+		t.Errorf("block-leader labels flagged superblock-hostile: %v", fs)
+	}
+}

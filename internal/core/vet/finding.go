@@ -72,36 +72,42 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 // Check IDs. IDs are stable: suppression comments and CI baselines key
 // on them.
 const (
-	CheckGlobalRef      = "layer/global-ref"      // test references a global-layer symbol
-	CheckBypassInclude  = "layer/bypass-include"  // test includes a file other than Globals.inc
-	CheckRawAddress     = "layer/raw-address"     // literal inside a peripheral register block
-	CheckMagicValue     = "layer/magic-value"     // hardwired numeric literal
-	CheckMagicField     = "layer/magic-field"     // literal bit-field geometry operand
-	CheckUnreachable    = "cfg/unreachable"       // code no path reaches
-	CheckFallThrough    = "cfg/fall-through"      // execution can run off the text section
-	CheckCallImbalance  = "cfg/call-imbalance"    // RET after CALL without saving ra
-	CheckNoEpilogue     = "cfg/no-epilogue"       // no reachable PASS/FAIL report
+	CheckGlobalRef      = "layer/global-ref"        // test references a global-layer symbol
+	CheckBypassInclude  = "layer/bypass-include"    // test includes a file other than Globals.inc
+	CheckRawAddress     = "layer/raw-address"       // literal inside a peripheral register block
+	CheckMagicValue     = "layer/magic-value"       // hardwired numeric literal
+	CheckMagicField     = "layer/magic-field"       // literal bit-field geometry operand
+	CheckUnreachable    = "cfg/unreachable"         // code no path reaches
+	CheckFallThrough    = "cfg/fall-through"        // execution can run off the text section
+	CheckCallImbalance  = "cfg/call-imbalance"      // RET after CALL without saving ra
+	CheckNoEpilogue     = "cfg/no-epilogue"         // no reachable PASS/FAIL report
 	CheckVariantDiverge = "port/variant-divergence" // symbol resolves differently per variant
-	CheckDeadDefine     = "dead/define"           // Global Define no test reaches
-	CheckDeadBaseFunc   = "dead/basefunc"         // Base Function no test reaches
-	CheckBuildError     = "build/error"           // unit does not assemble
+	CheckDeadDefine     = "dead/define"             // Global Define no test reaches
+	CheckDeadBaseFunc   = "dead/basefunc"           // Base Function no test reaches
+	CheckBuildError     = "build/error"             // unit does not assemble
+	// CheckSuperblockHostile flags an address-taken label whose target
+	// sits mid-superblock: a computed jump (JI/CALLI) through it enters
+	// the middle of a block the translation engine has already formed,
+	// forcing a second, overlapping translation of the same code.
+	CheckSuperblockHostile = "cfg/superblock-hostile"
 )
 
 // severityOf maps each check to its default severity.
 var severityOf = map[string]Severity{
-	CheckGlobalRef:      SevError,
-	CheckBypassInclude:  SevError,
-	CheckRawAddress:     SevError,
-	CheckMagicValue:     SevError,
-	CheckMagicField:     SevError,
-	CheckUnreachable:    SevWarn,
-	CheckFallThrough:    SevError,
-	CheckCallImbalance:  SevWarn,
-	CheckNoEpilogue:     SevError,
-	CheckVariantDiverge: SevInfo,
-	CheckDeadDefine:     SevWarn,
-	CheckDeadBaseFunc:   SevWarn,
-	CheckBuildError:     SevError,
+	CheckGlobalRef:         SevError,
+	CheckBypassInclude:     SevError,
+	CheckRawAddress:        SevError,
+	CheckMagicValue:        SevError,
+	CheckMagicField:        SevError,
+	CheckUnreachable:       SevWarn,
+	CheckFallThrough:       SevError,
+	CheckCallImbalance:     SevWarn,
+	CheckNoEpilogue:        SevError,
+	CheckVariantDiverge:    SevInfo,
+	CheckDeadDefine:        SevWarn,
+	CheckDeadBaseFunc:      SevWarn,
+	CheckBuildError:        SevError,
+	CheckSuperblockHostile: SevWarn,
 }
 
 // Checks lists every check ID in sorted order.

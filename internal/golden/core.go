@@ -98,6 +98,27 @@ type Core struct {
 	// counters by RunCore (plain fields: no atomics on the hot path).
 	pdHits, pdSlow uint64
 
+	// engine is the resolved execution engine (never EngineDefault once
+	// SetEngine has run); see golden/translate.go for the superblock
+	// backend it selects.
+	engine platform.Engine
+	// transCache maps entry PC to lowered superblocks; dropped whenever
+	// the predecode tables are re-pointed (the blocks pin table/page
+	// pointers for their validity checks).
+	transCache map[uint32]*xblock
+	// tickDebt is device time owed to the bus by committed translated
+	// instructions; always zero at block entry and exit (see flushDebt).
+	tickDebt uint64
+	// transCooldown suppresses translated dispatch for a few interpreter
+	// steps after a low-tick-budget fallback.
+	transCooldown uint32
+	// transMaxAccess is Bus.MaxAccessCost() cached at SetEngine time for
+	// superblock worst-case cost bounds.
+	transMaxAccess uint64
+	// tBuilt/tExec/tInval/tFallback count translation activity per run,
+	// flushed by RunCore (plain fields, like pdHits).
+	tBuilt, tExec, tInval, tFallback uint64
+
 	// snapD/snapA/snapPSW hold the pre-step register snapshot while a
 	// sink tracks register writes. Core fields rather than Step locals:
 	// address-taken locals would cost a 128-byte stack clear on every
@@ -141,14 +162,21 @@ func (c *Core) LoadImage(img *obj.Image) error {
 		c.pdRam = predecode.NewOverlay(c.S.Mem, cfg.RamBase, cfg.RamSize, c.S.Bus.CostOf(cfg.RamBase))
 	}
 	c.pdPage, c.pdPageBase = nil, 0
+	// The RAM overlay above is new, so any translated blocks validated
+	// against the old one are stale.
+	c.transCache = nil
+	c.transMaxAccess = c.S.Bus.MaxAccessCost()
 	return nil
 }
 
 // FlushPredecodeStats folds this core's fetch counters into the package
-// totals; RunCore calls it at the end of every run.
+// totals; RunCore calls it at the end of every run. Copy-then-zero keeps
+// the flush idempotent — a duplicate call contributes zero instead of
+// double-counting a run.
 func (c *Core) FlushPredecodeStats() {
-	predecode.AddRunStats(c.pdHits, c.pdSlow)
+	h, s := c.pdHits, c.pdSlow
 	c.pdHits, c.pdSlow = 0, 0
+	predecode.AddRunStats(h, s)
 }
 
 // State snapshots the architectural registers.
@@ -792,6 +820,7 @@ func (c *Core) writeCR(idx uint16, v uint32) {
 // RunCore drives a core to completion under a RunSpec; shared by the
 // golden-core-based platforms.
 func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec platform.RunSpec) (*platform.Result, error) {
+	c.SetEngine(spec.Engine)
 	disarm, err := ArmTrace(c, caps, spec)
 	if err != nil {
 		return nil, err
@@ -807,7 +836,14 @@ func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec 
 	}
 	doTrace := caps.Trace && spec.Trace != nil
 	ctx := spec.Context
+	// Translated dispatch is the fast path, but only when nothing needs
+	// per-instruction observation: an armed event sink, a trace callback,
+	// or breakpoint semantics each force the interpreter (the fallback
+	// contract — fidelity is never traded for speed).
+	useTrans := c.engine == platform.EngineTranslate &&
+		c.Sink == nil && !doTrace && !c.DebugStops
 	res := &platform.Result{Platform: name, Kind: kind}
+run:
 	for {
 		if ctx != nil && c.Insts&(platform.CancelStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -835,6 +871,34 @@ func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec 
 				break
 			}
 		}
+		if useTrans && c.transCooldown == 0 {
+			switch c.transRun(maxInsts, maxCycles, ctx) {
+			case transOuter:
+				// A limit, async event, or cancellation needs this
+				// loop's checks; transRun always makes progress or
+				// reports one of those, so this cannot spin. Handle
+				// cancellation here rather than waiting for the strided
+				// poll above: block execution can step past the stride
+				// boundary, and cancellation latency must not grow.
+				if ctx != nil && ctx.Err() != nil {
+					res.Reason = platform.StopCancelled
+					res.Detail = "run cancelled after " + fmt.Sprint(c.Insts) + " instructions: " + ctx.Err().Error()
+					break run
+				}
+				continue
+			case transUnhandled:
+				res.Reason = platform.StopUnhandled
+				res.Detail = c.UnhandledDetail()
+				break run
+			}
+			// transStep: no translated progress possible at this PC —
+			// fall through to exactly one interpreter step. transRun's
+			// block-entry checks guarantee the limit/async/cancel state
+			// is the same as at this loop's head, so stepping without
+			// re-checking matches the interpreter schedule.
+		} else if useTrans {
+			c.transCooldown--
+		}
 		if doTrace {
 			rec := platform.TraceRecord{PC: c.PC, Disasm: DisasmAt(c.S, c.PC)}
 			if c.Img != nil {
@@ -860,6 +924,7 @@ func RunCore(c *Core, name string, kind platform.Kind, caps platform.Caps, spec 
 		break
 	}
 	c.FlushPredecodeStats()
+	c.FlushTranslateStats()
 	res.Instructions = c.Insts
 	res.Cycles = c.Cycles
 	res.MboxResult, res.MboxDone = c.S.Mbox.Result()

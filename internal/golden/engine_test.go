@@ -1,0 +1,260 @@
+package golden_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core/telemetry"
+	"repro/internal/difftest"
+	"repro/internal/golden"
+	"repro/internal/platform"
+	"repro/internal/soc"
+	"repro/internal/testprog"
+	"repro/internal/translate"
+)
+
+// runOnEngine builds src and runs it on a fresh golden model with the
+// given execution engine, returning the result and the difftest scratch
+// buffer contents.
+func runOnEngine(t *testing.T, cfg soc.HWConfig, src string, spec platform.RunSpec) (*platform.Result, []byte) {
+	t.Helper()
+	img, err := testprog.Build(cfg, nil, map[string]string{"p.asm": src})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m := golden.NewModel(cfg)
+	if err := m.Load(img); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := m.Run(spec)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	buf, err := m.SoC().Mem.Dump(difftest.BufBase, difftest.BufSize)
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	return res, buf
+}
+
+// diffEngines runs src under the interpreter and the translation engine
+// and fails the test on any observable divergence: stop reason, final
+// architectural state, scratch memory, instruction count, or cycle
+// count. The translation engine claims bit-identity, so the comparison
+// is exact — no tolerance anywhere.
+func diffEngines(t *testing.T, cfg soc.HWConfig, name, src string, spec platform.RunSpec) {
+	t.Helper()
+	ispec, tspec := spec, spec
+	ispec.Engine = platform.EngineInterp
+	tspec.Engine = platform.EngineTranslate
+	ires, ibuf := runOnEngine(t, cfg, src, ispec)
+	tres, tbuf := runOnEngine(t, cfg, src, tspec)
+	if d := difftest.Compare(&difftest.Outcome{Res: ires, Buf: ibuf}, &difftest.Outcome{Res: tres, Buf: tbuf}); d != "" {
+		t.Errorf("%s: interp vs translate: %s", name, d)
+	}
+	if ires.Cycles != tres.Cycles {
+		t.Errorf("%s: cycles: interp=%d translate=%d", name, ires.Cycles, tres.Cycles)
+	}
+	if ires.State != nil && tres.State != nil && ires.State.PC != tres.State.PC {
+		t.Errorf("%s: pc: interp=%#x translate=%#x", name, ires.State.PC, tres.State.PC)
+	}
+}
+
+// TestEngineDifferentialFuzz runs constrained-random difftest programs
+// on the interpreter and the translation engine and requires identical
+// final state, memory, instruction counts, cycle counts, and stop
+// reasons. This is the translation engine's primary correctness gate:
+// the generator covers the whole translatable ALU/bitfield/memory/
+// branch/division repertoire.
+func TestEngineDifferentialFuzz(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	gcfg := difftest.DefaultConfig()
+	for seed := int64(1); seed <= 40; seed++ {
+		src := difftest.Generate(seed, gcfg)
+		diffEngines(t, cfg, fmt.Sprintf("seed=%d", seed), src, platform.RunSpec{})
+	}
+}
+
+// countedLoopSrc builds the canonical counted-loop program the
+// translation engine solves in closed form: d0 steps by k from start
+// until the branch against d1=bound falls through.
+func countedLoopSrc(start, bound uint32, k int32, branch string) string {
+	return fmt.Sprintf(`
+_main:
+    LOAD d0, 0x%08X
+    LOAD d1, 0x%08X
+loop:
+    ADD d0, d0, %d
+    %s d0, d1, loop
+    JMP pass
+`, start, bound, k, branch) + testprog.PassTail
+}
+
+// TestEngineCountedLoops sweeps the counted-loop closed forms across
+// every branch comparison, positive/negative/zero steps, and values
+// chosen to cross the signed and unsigned wrap boundaries — each case
+// the trip-count solver handles arithmetically must match the
+// interpreter's pass-by-pass execution exactly, including the final
+// flags (PSW is part of the comparison) and cycle count.
+func TestEngineCountedLoops(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	type tc struct {
+		name         string
+		start, bound uint32
+		k            int32
+		branch       string
+		maxInsts     uint64 // 0 = default; set for non-terminating loops
+	}
+	cases := []tc{
+		{name: "blt/k1", start: 0, bound: 10000, k: 1, branch: "BLT"},
+		{name: "blt/k3", start: 0, bound: 10000, k: 3, branch: "BLT"},
+		{name: "blt/k3-overshoot", start: 0, bound: 9999, k: 3, branch: "BLT"},
+		{name: "blt/neg-start", start: 0xffff_0000, bound: 500, k: 7, branch: "BLT"}, // -65536 counting up
+		{name: "blt/signed-wrap", start: 0x7fff_ff00, bound: 0x7fff_fff0, k: 64, branch: "BLT"},
+		{name: "blt/kneg-exit1", start: 100, bound: 50, k: -1, branch: "BLT"},
+		{name: "blt/kneg-forever", start: 40, bound: 50, k: -3, branch: "BLT", maxInsts: 20000},
+		{name: "blt/k0-forever", start: 0, bound: 50, k: 0, branch: "BLT", maxInsts: 20000},
+		{name: "blt/k0-exit", start: 60, bound: 50, k: 0, branch: "BLT"},
+		{name: "bge/kneg", start: 10000, bound: 0, k: -1, branch: "BGE"},
+		{name: "bge/kneg5", start: 10000, bound: 3, k: -5, branch: "BGE"},
+		{name: "bge/signed-wrap-down", start: 0x8000_0100, bound: 0x8000_0000, k: -64, branch: "BGE"},
+		{name: "bge/kpos-forever", start: 100, bound: 50, k: 3, branch: "BGE", maxInsts: 20000},
+		{name: "bltu/k1", start: 0, bound: 10000, k: 1, branch: "BLTU"},
+		{name: "bltu/unsigned-wrap", start: 0xffff_ff00, bound: 0xffff_fff0, k: 32, branch: "BLTU"},
+		{name: "bltu/wrap-past-zero", start: 0xffff_fff0, bound: 0xffff_fff8, k: 3, branch: "BLTU", maxInsts: 20000},
+		{name: "bgeu/kneg", start: 10000, bound: 16, k: -4, branch: "BGEU"},
+		{name: "bgeu/wrap-below-zero", start: 16, bound: 8, k: -3, branch: "BGEU"},
+		{name: "beq/miss", start: 5, bound: 5, k: 2, branch: "BEQ"},
+		{name: "beq/hit-once", start: 3, bound: 5, k: 2, branch: "BEQ"},
+		{name: "beq/k0-forever", start: 5, bound: 5, k: 0, branch: "BEQ", maxInsts: 20000},
+		{name: "bne/k1", start: 0, bound: 10000, k: 1, branch: "BNE"},
+		{name: "bne/kodd", start: 1, bound: 0x61a9, k: 5, branch: "BNE"}, // 0x61a8/5 trips
+		{name: "bne/keven-hit", start: 0, bound: 4096, k: 4, branch: "BNE"},
+		{name: "bne/keven-miss", start: 1, bound: 4096, k: 4, branch: "BNE", maxInsts: 30000},
+		{name: "bne/kneg", start: 10000, bound: 0, k: -1, branch: "BNE"},
+		{name: "bne/k0-forever", start: 1, bound: 2, k: 0, branch: "BNE", maxInsts: 20000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			diffEngines(t, cfg, c.name, countedLoopSrc(c.start, c.bound, c.k, c.branch),
+				platform.RunSpec{MaxInstructions: c.maxInsts})
+		})
+	}
+}
+
+// TestEngineArmedSinkFidelity verifies the fallback contract for
+// observability: with an event sink armed the translation engine must
+// defer to the interpreter and produce the exact event stream the
+// interpreter produces — same events, same order, same Insts/Cycles
+// snapshots on every record.
+func TestEngineArmedSinkFidelity(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	src := countedLoopSrc(0, 300, 1, "BLT")
+	collect := func(engine platform.Engine) []telemetry.Event {
+		var evs []telemetry.Event
+		spec := platform.RunSpec{
+			Engine: engine,
+			Events: telemetry.SinkFunc(func(e telemetry.Event) bool {
+				evs = append(evs, e)
+				return true
+			}),
+		}
+		res, _ := runOnEngine(t, cfg, src, spec)
+		if !res.Passed() {
+			t.Fatalf("engine %v: not passed: %+v", engine, res)
+		}
+		return evs
+	}
+	ie := collect(platform.EngineInterp)
+	te := collect(platform.EngineTranslate)
+	if len(ie) == 0 {
+		t.Fatal("interpreter emitted no events")
+	}
+	if len(ie) != len(te) {
+		t.Fatalf("event counts differ: interp=%d translate=%d", len(ie), len(te))
+	}
+	for i := range ie {
+		if ie[i] != te[i] {
+			t.Fatalf("event %d differs:\n  interp:    %+v\n  translate: %+v", i, ie[i], te[i])
+		}
+	}
+}
+
+// TestEngineSelfModRetranslate checks the poison protocol end to end on
+// the translation engine: code copied to RAM is translated, executed,
+// patched by its own store (invalidating the translated block), and the
+// patched version must then execute — with final state and counters
+// identical to the interpreter, and the invalidation visible in the
+// translation statistics.
+func TestEngineSelfModRetranslate(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	// The thunk loops enough times before patching itself that its block
+	// is translated hot, then the store poisons the page mid-run.
+	src := `
+DEST .EQU 0x20000400
+_main:
+    LOAD a0, thunk
+    LOAD a1, DEST
+    LOAD d0, thunk
+    LOAD d1, thunk_end
+    SUB d2, d1, d0
+    LOAD d4, 0
+copy:
+    LOAD d3, [a0]
+    STORE [a1], d3
+    LEAO a0, a0, 4
+    LEAO a1, a1, 4
+    SUB d2, d2, 4
+    BNE d2, d4, copy
+    LOAD a7, DEST
+    LOAD d6, 0
+    LOAD d7, 200
+warm:
+    CALLI a7                ; hot RAM thunk: gets translated
+    ADD d6, d6, 1
+    BLT d6, d7, warm
+    LOAD d4, 0x1111
+    BNE d3, d4, fail
+    LOAD a6, DEST
+    LOAD a5, newinst
+    LOAD d5, [a5]
+    STORE [a6], d5          ; poison the thunk's page mid-run
+    CALLI a7                ; must observe the patched code
+    LOAD d4, 0x2222
+    BNE d3, d4, fail
+    JMP pass
+thunk:
+    LOAD d3, 0x1111
+    RET
+thunk_end:
+newinst:
+    LOAD d3, 0x2222         ; data: replacement encoding, never executed
+` + testprog.PassTail
+
+	translate.ResetStats()
+	diffEngines(t, cfg, "selfmod", src, platform.RunSpec{})
+	st := translate.GlobalStats()
+	if st.Invalidated == 0 {
+		t.Errorf("no block invalidations recorded across self-modifying run: %+v", st)
+	}
+	if st.Built == 0 || st.Executed == 0 {
+		t.Errorf("translation engine did not engage: %+v", st)
+	}
+}
+
+// TestEngineLimitEdges pins the behaviour at run-limit boundaries: the
+// engines must agree exactly on where a MaxInstructions or MaxCycles
+// stop lands, including mid-loop limits that fall inside what would be
+// a translated batch.
+func TestEngineLimitEdges(t *testing.T) {
+	cfg := soc.DefaultConfig()
+	src := countedLoopSrc(0, 1000000, 1, "BLT")
+	for _, lim := range []uint64{1, 2, 3, 7, 100, 101, 4095, 4096, 4097} {
+		diffEngines(t, cfg, fmt.Sprintf("maxinsts=%d", lim), src,
+			platform.RunSpec{MaxInstructions: lim})
+	}
+	for _, lim := range []uint64{5, 50, 5001} {
+		diffEngines(t, cfg, fmt.Sprintf("maxcycles=%d", lim), src,
+			platform.RunSpec{MaxCycles: lim})
+	}
+}

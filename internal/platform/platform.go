@@ -54,6 +54,55 @@ func (k Kind) String() string {
 	return "platform?"
 }
 
+// Engine selects the execution strategy of the behavioural simulators
+// (the golden core and the platforms wrapping it). Every engine is
+// bit-identical by construction — same architectural results, same
+// instruction and cycle counts, same stop reasons — so the choice is a
+// pure speed/observability trade and MUST NOT leak into run-cache
+// content addressing (see internal/core/runcache): a result computed by
+// one engine is a valid cached outcome for every other.
+type Engine uint8
+
+// Engines, slowest to fastest.
+const (
+	// EngineDefault resolves to EngineTranslate, the fastest engine.
+	EngineDefault Engine = iota
+	// EngineInterp is the plain decode-per-step interpreter.
+	EngineInterp
+	// EnginePredecode is the interpreter over predecoded instruction
+	// pages (PR 4).
+	EnginePredecode
+	// EngineTranslate executes superblock-translated threaded code
+	// (internal/translate), falling back to the interpreter at armed
+	// trace sinks, breakpoints, and poisoned pages.
+	EngineTranslate
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineInterp:
+		return "interp"
+	case EnginePredecode:
+		return "predecode"
+	case EngineTranslate, EngineDefault:
+		return "translate"
+	}
+	return "engine?"
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "default", "translate":
+		return EngineTranslate, nil
+	case "interp":
+		return EngineInterp, nil
+	case "predecode":
+		return EnginePredecode, nil
+	}
+	return EngineDefault, fmt.Errorf("platform: unknown engine %q (want interp|predecode|translate)", s)
+}
+
 // Caps describes a platform's observability and debug capabilities.
 type Caps struct {
 	// Trace: per-instruction tracing is available.
@@ -114,6 +163,12 @@ type RunSpec struct {
 	// can produce. The effective stream is the intersection of the mask
 	// and the platform's fidelity.
 	EventMask telemetry.EventMask
+	// Engine selects the simulator execution strategy on platforms built
+	// on the golden core (and predecode on/off on the RTL model). The
+	// zero value means EngineTranslate. Engines are bit-identical, so
+	// this knob never enters run-cache keys and cached outcomes are
+	// shared freely across engines.
+	Engine Engine
 }
 
 // DefaultMaxInstructions bounds runaway tests.

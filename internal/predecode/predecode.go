@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core/telemetry"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/obj"
@@ -185,7 +186,7 @@ func (t *Table) decodePage(pi int) *Page {
 		}
 	}
 	if t.pages[pi].CompareAndSwap(nil, p) {
-		stats.pagesDecoded.Add(1)
+		countPageDecoded()
 		return p
 	}
 	// Another core decoded (or a store poisoned) the page first.
@@ -215,7 +216,7 @@ func (t *Table) Invalidate(addr uint32) {
 	for pi := loPage; pi <= hiPage; pi++ {
 		if p := t.pages[pi].Load(); p != nil && p != poisonPage {
 			if t.pages[pi].CompareAndSwap(p, poisonPage) {
-				stats.pagesPoisoned.Add(1)
+				countPagePoisoned()
 			}
 		}
 	}
@@ -313,18 +314,56 @@ func NewOverlay(m *mem.Memory, base, size uint32, wait uint64) *Table {
 // Package-wide counters. Page events are rare and counted at the source;
 // per-step hit/miss counts are accumulated in plain core-local fields and
 // flushed here once per run (AddRunStats) to keep atomics off the
-// simulator hot path.
+// simulator hot path. The counters are atomics, so concurrent matrix
+// workers can flush at the same time without racing; idempotence is the
+// caller's half of the contract — cores must zero their local counts in
+// the same motion as the flush (copy-then-zero), so a duplicate flush
+// adds zero instead of double-counting a run.
 var stats struct {
 	hits, slow, pagesDecoded, pagesPoisoned atomic.Uint64
 }
 
+// metrics, when installed, mirrors every counter update into a
+// telemetry registry so aggregation across workers goes through the
+// race-safe metrics layer rather than ad-hoc package globals.
+var metrics atomic.Pointer[telemetry.Registry]
+
+// SetMetrics installs a telemetry registry that the package counters are
+// mirrored into, under predecode.fetches / predecode.slow /
+// predecode.pages_decoded / predecode.pages_poisoned. Pass nil to detach.
+func SetMetrics(r *telemetry.Registry) { metrics.Store(r) }
+
 // AddRunStats folds one run's fetch counters into the global totals.
+// Safe to call from concurrent workers.
 func AddRunStats(hits, slow uint64) {
+	if hits == 0 && slow == 0 {
+		return
+	}
 	if hits != 0 {
 		stats.hits.Add(hits)
 	}
 	if slow != 0 {
 		stats.slow.Add(slow)
+	}
+	if r := metrics.Load(); r != nil {
+		r.Counter("predecode.fetches").Add(hits)
+		r.Counter("predecode.slow").Add(slow)
+	}
+}
+
+// countPageDecoded/countPagePoisoned record the page-granularity events
+// at their source, mirroring into the registry when installed.
+func countPageDecoded() {
+	stats.pagesDecoded.Add(1)
+	if r := metrics.Load(); r != nil {
+		r.Counter("predecode.pages_decoded").Inc()
+	}
+}
+
+func countPagePoisoned() {
+	stats.pagesPoisoned.Add(1)
+	if r := metrics.Load(); r != nil {
+		r.Counter("predecode.pages_poisoned").Inc()
 	}
 }
 

@@ -2,7 +2,10 @@ package predecode
 
 import (
 	"encoding/binary"
+	"sync"
 	"testing"
+
+	"repro/internal/core/telemetry"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -157,5 +160,43 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Fatal("empty stats string")
+	}
+}
+
+// TestAddRunStatsConcurrent drives AddRunStats from many goroutines —
+// the regression-matrix worker pattern — with a metrics registry
+// installed, and requires both the package totals and the mirrored
+// telemetry counters to come out exact. Run with -race this also proves
+// the flush path is data-race free.
+func TestAddRunStatsConcurrent(t *testing.T) {
+	ResetStats()
+	r := telemetry.NewRegistry()
+	SetMetrics(r)
+	defer SetMetrics(nil)
+	const workers, rounds = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				AddRunStats(3, 1)
+				AddRunStats(0, 0) // zero flush: must be a no-op everywhere
+			}
+		}()
+	}
+	wg.Wait()
+	s := GlobalStats()
+	if want := uint64(workers * rounds * 3); s.Hits != want {
+		t.Errorf("hits = %d, want %d", s.Hits, want)
+	}
+	if want := uint64(workers * rounds); s.Slow != want {
+		t.Errorf("slow = %d, want %d", s.Slow, want)
+	}
+	if got := r.Counter("predecode.fetches").Value(); got != s.Hits {
+		t.Errorf("mirrored fetches = %d, want %d", got, s.Hits)
+	}
+	if got := r.Counter("predecode.slow").Value(); got != s.Slow {
+		t.Errorf("mirrored slow = %d, want %d", got, s.Slow)
 	}
 }

@@ -272,8 +272,9 @@ func (c *CPU) pdEntry(pc uint32) *predecode.Entry {
 // FlushPredecodeStats folds this core's fetch counters into the package
 // totals; the platform run loop calls it when a run ends.
 func (c *CPU) FlushPredecodeStats() {
-	predecode.AddRunStats(c.pdHits, c.pdSlow)
+	h, s := c.pdHits, c.pdSlow
 	c.pdHits, c.pdSlow = 0, 0
+	predecode.AddRunStats(h, s)
 }
 
 func (c *CPU) setState(s uint64) {

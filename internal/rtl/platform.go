@@ -118,6 +118,16 @@ const cancelCycleStride = 8192
 // Run implements platform.Platform.
 func (s *Sim) Run(spec platform.RunSpec) (*platform.Result, error) {
 	c := s.cpu
+	// Engine selection: the RTL state machine has no translated mode, so
+	// EngineInterp maps to predecode-off and everything else to the
+	// predecoded fast path (unless DisablePredecode pinned it off). Both
+	// are cycle-identical; the knob exists for A/B fidelity checks.
+	if spec.Engine == platform.EngineInterp {
+		c.pdRom, c.pdRam = nil, nil
+	} else if !s.noPredecode && s.img != nil && (c.pdRom == nil || c.pdRam == nil) {
+		c.pdRom = predecode.ForImage(s.img, s.cfg.RomBase, s.cfg.RomSize, c.S.Bus.CostOf(s.cfg.RomBase))
+		c.pdRam = predecode.NewOverlay(c.S.Mem, s.cfg.RamBase, s.cfg.RamSize, c.S.Bus.CostOf(s.cfg.RamBase))
+	}
 	maxInsts := spec.MaxInstructions
 	if maxInsts == 0 {
 		maxInsts = platform.DefaultMaxInstructions
