@@ -10,11 +10,16 @@
 #                    and perf benchmarks (E14 + E16) -> BENCH_perf.json
 #   make smoke     end-to-end resilience run of advm-regress
 #                  (-deadline/-retries/-quarantine-after/-breaker)
+#   make report    flight-recorder demo: journal + history a small matrix
+#                  twice, render text + HTML + trend reports via advm-report
+#
+#   REPORT_DIR ?= .advm-report   scratch dir for `make report` artifacts
 
 GO ?= go
 FUZZTIME ?= 10s
+REPORT_DIR ?= .advm-report
 
-.PHONY: all tier1 vet lint race fuzz bench cache bench-json smoke tools
+.PHONY: all tier1 vet lint race fuzz bench cache bench-json smoke report tools
 
 all: tier1
 
@@ -65,6 +70,25 @@ bench-json:
 smoke:
 	$(GO) run ./cmd/advm-regress -platforms golden,emulator \
 		-deadline 30s -retries 2 -quarantine-after 2 -breaker 5
+
+# Flight-recorder demo: run a small matrix twice with the journal,
+# run-history store, and metrics armed (the second run is history-
+# scheduled and run-cache warm), then render the second journal as text
+# and HTML with trend deltas against the first. Artifacts land in
+# $(REPORT_DIR); CI uploads them.
+report:
+	mkdir -p $(REPORT_DIR)
+	$(GO) run ./cmd/advm-regress -derivs SC88-A,SC88-SEC -platforms golden \
+		-journal $(REPORT_DIR)/run1.jsonl -history $(REPORT_DIR)/history \
+		-metrics-out $(REPORT_DIR)/metrics1.json
+	$(GO) run ./cmd/advm-regress -derivs SC88-A,SC88-SEC -platforms golden \
+		-journal $(REPORT_DIR)/run2.jsonl -history $(REPORT_DIR)/history \
+		-metrics-out $(REPORT_DIR)/metrics2.json
+	$(GO) run ./cmd/advm-report -prev $(REPORT_DIR)/run1.jsonl \
+		-history $(REPORT_DIR)/history $(REPORT_DIR)/run2.jsonl
+	$(GO) run ./cmd/advm-report -prev $(REPORT_DIR)/run1.jsonl \
+		-history $(REPORT_DIR)/history -html $(REPORT_DIR)/report.html \
+		$(REPORT_DIR)/run2.jsonl
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

@@ -26,6 +26,8 @@
 package advm
 
 import (
+	"io"
+
 	"repro/internal/asm"
 	"repro/internal/baseline"
 	"repro/internal/core/basefuncs"
@@ -34,6 +36,8 @@ import (
 	"repro/internal/core/defines"
 	"repro/internal/core/derivative"
 	"repro/internal/core/env"
+	"repro/internal/core/history"
+	"repro/internal/core/journal"
 	"repro/internal/core/port"
 	"repro/internal/core/randgen"
 	"repro/internal/core/regress"
@@ -401,6 +405,118 @@ type (
 	// TriageFrame is one retired instruction in a triage window.
 	TriageFrame = regress.TriageFrame
 )
+
+// Observability: the matrix flight recorder, run-history store, and
+// live progress board (see internal/core/journal and
+// internal/core/history).
+type (
+	// JournalRecord is one line of a matrix flight record.
+	JournalRecord = journal.Record
+	// JournalKind enumerates flight-record line types.
+	JournalKind = journal.Kind
+	// JournalSink receives flight-record lines; pass one (or a tee) to
+	// RegressionSpec.Journal.
+	JournalSink = journal.Sink
+	// JournalSinkFunc adapts a function to a JournalSink.
+	JournalSinkFunc = journal.SinkFunc
+	// JournalWriter persists a flight record as JSONL, flushed per line.
+	JournalWriter = journal.Writer
+	// JournalAnalysis is the digested form of one flight record.
+	JournalAnalysis = journal.Analysis
+	// JournalReportOptions tunes flight-record report rendering.
+	JournalReportOptions = journal.ReportOptions
+	// MatrixProgress renders a live in-place status line from flight
+	// records.
+	MatrixProgress = journal.Progress
+	// HistoryStore is the on-disk per-cell run-history store feeding the
+	// longest-expected-job-first scheduler; pass to
+	// RegressionSpec.History.
+	HistoryStore = history.Store
+	// CellHistory is one cell's accumulated history.
+	CellHistory = history.CellStats
+	// RuntimeSample is one reading of the Go runtime's health.
+	RuntimeSample = telemetry.RuntimeSample
+)
+
+// Flight-record line kinds.
+const (
+	JournalHeader     = journal.KindHeader
+	JournalSchedule   = journal.KindSchedule
+	JournalStart      = journal.KindStart
+	JournalRetry      = journal.KindRetry
+	JournalBreaker    = journal.KindBreaker
+	JournalQuarantine = journal.KindQuarantine
+	JournalCacheHit   = journal.KindCacheHit
+	JournalOutcome    = journal.KindOutcome
+	JournalTriage     = journal.KindTriage
+	JournalRuntime    = journal.KindRuntime
+	JournalEnd        = journal.KindEnd
+)
+
+// NewJournalWriter creates a flight-record writer over w (typically an
+// opened journal file); pass it to RegressionSpec.Journal and Close it
+// after the run.
+func NewJournalWriter(w io.Writer) *JournalWriter { return journal.NewWriter(w) }
+
+// TeeJournal fans one flight-record stream to several sinks (e.g. a
+// file writer plus the live progress board). Nil sinks are skipped.
+func TeeJournal(sinks ...JournalSink) JournalSink { return journal.Tee(sinks...) }
+
+// ReadJournal parses a JSONL flight record from a file.
+func ReadJournal(path string) ([]JournalRecord, error) { return journal.ReadFile(path) }
+
+// ParseJournal parses a JSONL flight record from an in-memory stream.
+func ParseJournal(r io.Reader) ([]JournalRecord, error) { return journal.Read(r) }
+
+// AnalyzeJournal digests flight records for reporting.
+func AnalyzeJournal(recs []JournalRecord) *JournalAnalysis { return journal.Analyze(recs) }
+
+// MaskJournal strips the wall-clock fields from a JSONL flight record
+// and re-encodes it canonically: two serial runs of the same frozen
+// spec produce byte-identical masked journals.
+func MaskJournal(data []byte) ([]byte, error) { return journal.Mask(data) }
+
+// WriteJournalText renders an analyzed flight record as plain text.
+func WriteJournalText(w io.Writer, a *JournalAnalysis, opts JournalReportOptions) error {
+	return journal.WriteText(w, a, opts)
+}
+
+// WriteJournalHTML renders an analyzed flight record as a
+// self-contained HTML report.
+func WriteJournalHTML(w io.Writer, a *JournalAnalysis, opts JournalReportOptions) error {
+	return journal.WriteHTML(w, a, opts)
+}
+
+// NewMatrixProgress creates a live progress board writing its status
+// line to out (typically stderr); tee it with the journal writer.
+func NewMatrixProgress(out io.Writer) *MatrixProgress { return journal.NewProgress(out) }
+
+// OpenHistory loads (or creates) the run-history store under dir; Save
+// it after the matrix to persist what the run learned.
+func OpenHistory(dir string) (*HistoryStore, error) { return history.Open(dir) }
+
+// NewMemoryHistory creates a process-lifetime history store with no
+// backing directory (benchmarks, tests).
+func NewMemoryHistory() *HistoryStore { return history.NewMemory() }
+
+// SimulateMakespan replays a greedy least-loaded dispatch of per-cell
+// durations (ns) under the given order permutation (nil = declaration
+// order) across workers and returns the simulated matrix makespan —
+// the deterministic counterpart of the wall-clock scheduler benchmark.
+func SimulateMakespan(durations []int64, order []int, workers int) int64 {
+	return history.Makespan(durations, order, workers)
+}
+
+// SampleRuntime reads the Go runtime's health (goroutines, heap, GC
+// pauses) and mirrors it into reg's runtime.* gauges; reg may be nil.
+func SampleRuntime(reg *MetricsRegistry) RuntimeSample { return telemetry.SampleRuntime(reg) }
+
+// CellKey names one matrix cell (module/test@deriv/platform) — the key
+// format shared by the quarantine store, the history store, and
+// flight-record cell IDs.
+func CellKey(module, test, deriv, kind string) string {
+	return resilience.CellKeyString(module, test, deriv, kind)
+}
 
 // Trace event kinds.
 const (

@@ -8,12 +8,15 @@
 //	advm-regress                      # family x golden
 //	advm-regress -platforms all       # family x all six platforms
 //	advm-regress -derivs SC88-A,SC88-SEC -platforms golden,rtl
+//	advm-regress -journal run.jsonl -history .advm-history -progress
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -40,7 +43,20 @@ func main() {
 	quarantineAfter := flag.Int("quarantine-after", 0, "bench a cell after this many flaky regressions and skip it (0 = off)")
 	breaker := flag.Int("breaker", 0, "open a platform's circuit breaker after this many consecutive transient failures (0 = off)")
 	engine := flag.String("engine", "translate", "simulator execution engine for every cell (interp, predecode, translate); all are bit-identical")
+	journalPath := flag.String("journal", "", "write a JSONL flight record of the matrix run to this file (render with advm-report)")
+	progress := flag.Bool("progress", false, "render a live in-place status line on stderr while the matrix runs")
+	historyDir := flag.String("history", "", "run-history store directory; enables longest-expected-first scheduling and progress ETAs")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+		fmt.Printf("pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	sys := advm.StandardSystem()
 	sl, err := advm.FreezeSystem(*label, sys)
@@ -79,6 +95,51 @@ func main() {
 	if *traceOut != "" {
 		spec.Timeline = advm.NewTimeline()
 	}
+	var hist *advm.HistoryStore
+	if *historyDir != "" {
+		hist, err = advm.OpenHistory(*historyDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.History = hist
+	}
+	// Flight-record sinks: the file writer, the live board, and (with
+	// -v) a streamer that prints failing cells as they land. All consume
+	// the one record stream, teed. The board draws on stderr and routes
+	// its log lines to stdout, so -progress and -v interleave cleanly.
+	var sinks []advm.JournalSink
+	var jw *advm.JournalWriter
+	var jf *os.File
+	if *journalPath != "" {
+		jf, err = os.Create(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jw = advm.NewJournalWriter(jf)
+		sinks = append(sinks, jw)
+	}
+	var prog *advm.MatrixProgress
+	if *progress {
+		prog = advm.NewMatrixProgress(os.Stderr)
+		prog.SetLogWriter(os.Stdout)
+		if hist != nil {
+			prog.SetEstimator(func(module, test, deriv, platform string) (int64, bool) {
+				return hist.Estimate(advm.CellKey(module, test, deriv, platform))
+			})
+		}
+		sinks = append(sinks, prog)
+		if *verbose {
+			sinks = append(sinks, advm.JournalSinkFunc(func(r advm.JournalRecord) {
+				if r.Kind == advm.JournalOutcome && r.Status != "passed" {
+					prog.Logf("FAIL %s: %s %s %s", r.CellID(),
+						r.Status, r.Reason, r.BuildErr)
+				}
+			}))
+		}
+	}
+	if len(sinks) > 0 {
+		spec.Journal = advm.TeeJournal(sinks...)
+	}
 	if *derivs != "all" {
 		for _, name := range strings.Split(*derivs, ",") {
 			d, err := advm.DerivativeByName(strings.TrimSpace(name))
@@ -106,6 +167,9 @@ func main() {
 	t0 := time.Now()
 	rep, err := advm.Regress(sys, sl, spec)
 	wall := time.Since(t0)
+	if prog != nil {
+		prog.Done()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -162,6 +226,21 @@ func main() {
 			fmt.Printf("breakers: %s\n", sum)
 		}
 	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := jf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("journal written to %s (%d records); render with advm-report\n", *journalPath, jw.Count())
+	}
+	if hist != nil {
+		if err := hist.Save(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("history: %d cells tracked in %s\n", hist.Len(), *historyDir)
+	}
 	if *junit != "" {
 		f, err := os.Create(*junit)
 		if err != nil {
@@ -206,7 +285,8 @@ func main() {
 		}
 	}
 	if !rep.AllPassed() {
-		if *verbose {
+		// With -progress the -v streamer already printed failures live.
+		if *verbose && !*progress {
 			for _, f := range rep.Failures() {
 				fmt.Printf("FAIL %s/%s on %s/%s: %s %s %s\n",
 					f.Module, f.Test, f.Derivative, f.Platform, f.Reason, f.Detail, f.BuildErr)

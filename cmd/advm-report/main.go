@@ -1,0 +1,85 @@
+// Command advm-report renders a matrix flight record (the JSONL journal
+// written by advm-regress -journal) into a human-readable report:
+// per-platform lanes, slowest cells, retry storms, breaker transitions,
+// triage references, and cache reuse. With -prev it adds a trend section
+// against an earlier journal of the same release label; with -history
+// it annotates the slowest cells with the run-history store's expected
+// times; with -html it writes a self-contained HTML report instead of
+// text.
+//
+// Usage:
+//
+//	advm-report run.jsonl
+//	advm-report -prev yesterday.jsonl -history .advm-history run.jsonl
+//	advm-report -html report.html run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/advm"
+)
+
+func main() {
+	log.SetFlags(0)
+	prev := flag.String("prev", "", "previous journal of the same release label; adds the trend section")
+	historyDir := flag.String("history", "", "run-history store directory; annotates slowest cells with expected times")
+	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file instead of text to stdout")
+	top := flag.Int("top", 10, "how many slowest cells to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: advm-report [-prev old.jsonl] [-history dir] [-html out.html] [-top n] <journal.jsonl>")
+	}
+
+	recs, err := advm.ReadJournal(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(recs) == 0 {
+		log.Fatalf("%s: empty journal", flag.Arg(0))
+	}
+	analysis := advm.AnalyzeJournal(recs)
+
+	opts := advm.JournalReportOptions{Top: *top}
+	if *prev != "" {
+		prevRecs, err := advm.ReadJournal(*prev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Prev = advm.AnalyzeJournal(prevRecs)
+	}
+	if *historyDir != "" {
+		hist, err := advm.OpenHistory(*historyDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Estimate = func(cellID string) (int64, int, bool) {
+			c, ok := hist.Get(cellID)
+			if !ok || c.Runs == 0 {
+				return 0, 0, false
+			}
+			return c.ExpectedNs(), c.Runs, true
+		}
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := advm.WriteJournalHTML(f, analysis, opts); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *htmlOut)
+		return
+	}
+	if err := advm.WriteJournalText(os.Stdout, analysis, opts); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// E17 — flight-recorder determinism and overhead, and the run-history
+// scheduler's makespan effect: (a) two serial runs of the same frozen
+// spec produce byte-identical masked journals and advm-report's renderer
+// accepts them; (b) journaling to a file costs a bounded overhead over a
+// silent matrix; (c) dispatching from a warm history store
+// (longest-expected-job-first) shortens the warm-matrix makespan at a
+// fixed worker count versus declaration order. See EXPERIMENTS.md (E17).
+package repro
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/advm"
+)
+
+// e17Journal runs one serial golden-family matrix with fresh caches and
+// returns the raw journal bytes.
+func e17Journal(t *testing.T) []byte {
+	t.Helper()
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem("E17", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := advm.NewJournalWriter(&buf)
+	spec := advm.RegressionSpec{
+		Derivatives: []*advm.Derivative{advm.DerivativeA(), advm.DerivativeSEC()},
+		Kinds:       []advm.Kind{advm.KindGolden},
+		Journal:     w,
+		Cache:       advm.NewBuildCache(),
+		RunCache:    advm.NewRunCache(),
+	}
+	rep, err := advm.Regress(sys, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatal("matrix failed")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestE17_JournalDeterministic is the flight recorder's headline
+// property: two serial runs of the same frozen spec, fresh caches each,
+// produce byte-identical journals once the wall-clock fields are masked
+// — and the report renderer accepts the record.
+func TestE17_JournalDeterministic(t *testing.T) {
+	a, err := advm.MaskJournal(e17Journal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := advm.MaskJournal(e17Journal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("masked journals differ:\n%s\n--- vs ---\n%s", a, b)
+	}
+
+	recs, err := advm.ParseJournal(bytes.NewReader(e17Journal(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis := advm.AnalyzeJournal(recs)
+	var text bytes.Buffer
+	if err := advm.WriteJournalText(&text, analysis, advm.JournalReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flight record", "E17", "passed", "golden", "cache reuse"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, text.String())
+		}
+	}
+	var html bytes.Buffer
+	if err := advm.WriteJournalHTML(&html, analysis, advm.JournalReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.String(), "</html>") {
+		t.Fatal("HTML report truncated")
+	}
+}
+
+// BenchmarkE17_JournalOverhead measures the flight recorder's cost on a
+// warm serial matrix: the same spec silent, journaling to an in-memory
+// sink, and journaling to io.Discard through the JSONL writer. The
+// acceptance bar is that journaling stays within a few percent of the
+// silent matrix (the EXPERIMENTS.md E17 table).
+func BenchmarkE17_JournalOverhead(b *testing.B) {
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem("E17B", sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := advm.RegressionSpec{
+		Derivatives: []*advm.Derivative{advm.DerivativeA()},
+		Kinds:       []advm.Kind{advm.KindGolden},
+		SkipVet:     true,
+		Cache:       advm.NewBuildCache(),
+	}
+	if _, err := advm.Regress(sys, sl, base); err != nil { // prime the build cache
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, journal func() advm.JournalSink) {
+		cells := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := base
+			if journal != nil {
+				spec.Journal = journal()
+			}
+			rep, err := advm.Regress(sys, sl, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.AllPassed() {
+				b.Fatal("regression failed")
+			}
+			cells = len(rep.Outcomes)
+		}
+		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "tests/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("sink", func(b *testing.B) {
+		run(b, func() advm.JournalSink {
+			return advm.JournalSinkFunc(func(advm.JournalRecord) {})
+		})
+	})
+	b.Run("writer", func(b *testing.B) {
+		run(b, func() advm.JournalSink { return advm.NewJournalWriter(io.Discard) })
+	})
+}
+
+// BenchmarkE17_Scheduler measures the history scheduler's makespan
+// effect on a warm matrix at a fixed worker count: declaration-order
+// dispatch versus longest-expected-job-first from a history store warmed
+// by one prior run. The golden+rtl mix gives the cell times an order of
+// magnitude of spread, and the module list deliberately declares NVM —
+// whose program/erase cells are the slowest in the matrix — last:
+// declaration order then strands the heavy cells at the tail where the
+// other workers idle behind them, which is exactly the shape LPT fixes.
+func BenchmarkE17_Scheduler(b *testing.B) {
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem("E17S", sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := advm.RegressionSpec{
+		Modules: []string{"SECURITY", "REGISTER", "UART", "IRQ", "NVM"},
+		Kinds:   []advm.Kind{advm.KindGolden, advm.KindRTL},
+		Workers: 16,
+		SkipVet: true,
+		Cache:   advm.NewBuildCache(),
+	}
+	warm := advm.NewMemoryHistory()
+	var keys, kinds []string
+	var durs []int64
+	{
+		spec := base
+		spec.History = warm
+		rep, err := advm.Regress(sys, sl, spec) // warm cache + history
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range rep.Outcomes {
+			k := advm.CellKey(o.Module, o.Test, o.Derivative, o.Platform.String())
+			keys = append(keys, k)
+			kinds = append(kinds, o.Platform.String())
+			est, _ := warm.Estimate(k)
+			durs = append(durs, est)
+		}
+	}
+	// The simulated makespans are the deterministic counterpart of the
+	// noisy wall-clock numbers: a greedy least-loaded replay of the
+	// learned cell times under each dispatch order.
+	simDecl := advm.SimulateMakespan(durs, nil, base.Workers)
+	simLPT := advm.SimulateMakespan(durs, warm.Order(keys, kinds), base.Workers)
+	run := func(b *testing.B, hist *advm.HistoryStore, simNs int64) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := base
+			spec.History = hist
+			rep, err := advm.Regress(sys, sl, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.AllPassed() {
+				b.Fatal("regression failed")
+			}
+		}
+		b.ReportMetric(float64(simNs)/1e6, "sim_makespan_ms")
+	}
+	b.Run("declaration", func(b *testing.B) { run(b, nil, simDecl) })
+	b.Run("history", func(b *testing.B) { run(b, warm, simLPT) })
+}

@@ -79,13 +79,18 @@ type Stats struct {
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	total := s.Hits + s.Misses + s.Merged
-	reuse := 0.0
-	if total > 0 {
-		reuse = float64(s.Hits+s.Merged) / float64(total) * 100
-	}
 	return fmt.Sprintf("%d hits, %d misses, %d merged (%.1f%% reuse), %d entries, %.1f KiB cached",
-		s.Hits, s.Misses, s.Merged, reuse, s.Entries, float64(s.Bytes)/1024)
+		s.Hits, s.Misses, s.Merged, s.Reuse(), s.Entries, float64(s.Bytes)/1024)
+}
+
+// Reuse is the percentage of lookups served without running the fill
+// function (hits plus singleflight merges), 0 on an untouched cache.
+func (s Stats) Reuse() float64 {
+	total := s.Hits + s.Misses + s.Merged
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Merged) / float64(total) * 100
 }
 
 // entry is one cache slot. ready is closed once val/size/err are final.

@@ -1,0 +1,319 @@
+package journal
+
+// Report rendering: the text and self-contained-HTML forms of an
+// Analysis, shared by cmd/advm-report. The HTML report inlines its CSS
+// and uses no scripts, so a single file attached to a CI run opens
+// anywhere.
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReportOptions tunes rendering.
+type ReportOptions struct {
+	// Top bounds the slowest-cells table (default 10).
+	Top int
+	// Prev, when non-nil, adds the trend section against a previous
+	// journal of the same release label.
+	Prev *Analysis
+	// Estimate, when non-nil, annotates slowest cells with the history
+	// store's expected time for the cell (historical mean, run count).
+	Estimate func(cellID string) (ns int64, runs int, ok bool)
+}
+
+func (o ReportOptions) top() int {
+	if o.Top <= 0 {
+		return 10
+	}
+	return o.Top
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the analysis as a plain-text report.
+func WriteText(w io.Writer, a *Analysis, opts ReportOptions) error {
+	var b strings.Builder
+	h := a.Header
+	fmt.Fprintf(&b, "flight record: label=%s epoch=%.12s cells=%d workers=%d engine=%s\n",
+		h.Label, h.Epoch, h.Cells, h.Workers, h.Engine)
+	p, f, br, fl := a.Counts()
+	verdict := fmt.Sprintf("verdict: %d passed, %d failed", p, f)
+	if fl > 0 {
+		verdict += fmt.Sprintf(" (%d flaky)", fl)
+	}
+	verdict += fmt.Sprintf(", %d broken", br)
+	if a.HasEnd {
+		verdict += fmt.Sprintf(" — wall %s", time.Duration(a.End.WallNs).Round(time.Millisecond))
+	} else {
+		verdict += " — journal has no end record (matrix did not close cleanly)"
+	}
+	fmt.Fprintln(&b, verdict)
+
+	fmt.Fprintf(&b, "\nper-platform lanes:\n")
+	fmt.Fprintf(&b, "  %-10s %5s %5s %5s %6s %6s %6s %7s %10s %10s\n",
+		"platform", "cells", "pass", "fail", "broken", "flaky", "cached", "retries", "build_ms", "run_ms")
+	for _, l := range a.Lanes() {
+		fmt.Fprintf(&b, "  %-10s %5d %5d %5d %6d %6d %6d %7d %10.1f %10.1f\n",
+			l.Platform, l.Cells, l.Passed, l.Failed, l.Broken, l.Flaky, l.Cached, l.Retries,
+			ms(l.BuildNs), ms(l.RunNs))
+	}
+
+	slow := a.Slowest(opts.top())
+	if len(slow) > 0 {
+		fmt.Fprintf(&b, "\nslowest cells (top %d):\n", len(slow))
+		for _, o := range slow {
+			fmt.Fprintf(&b, "  %10.1f ms  %-8s %s", ms(o.RunNs), o.Status, o.CellID())
+			if opts.Estimate != nil {
+				if est, runs, ok := opts.Estimate(o.CellID()); ok {
+					fmt.Fprintf(&b, "  (history: %.1f ms over %d runs)", ms(est), runs)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	if storms := a.RetryStorms(); len(storms) > 0 {
+		fmt.Fprintf(&b, "\nretry storms:\n")
+		for _, s := range storms {
+			fmt.Fprintf(&b, "  %d attempts (%s backoff) -> %-8s %s\n",
+				s.Attempts, time.Duration(s.BackoffNs).Round(time.Millisecond), s.Status, s.Cell)
+		}
+	}
+	if len(a.Breakers) > 0 {
+		fmt.Fprintf(&b, "\nbreaker transitions:\n")
+		for _, r := range a.Breakers {
+			fmt.Fprintf(&b, "  %-10s %s -> %s\n", r.Platform, r.From, r.To)
+		}
+	}
+	if len(a.TriageRefs) > 0 {
+		fmt.Fprintf(&b, "\ntriage:\n")
+		for _, cell := range sortedKeys(a.TriageRefs) {
+			fmt.Fprintf(&b, "  %s: %s\n", cell, a.TriageRefs[cell])
+		}
+	}
+	if a.QuarantineSkips > 0 {
+		fmt.Fprintf(&b, "\nquarantine: %d cells skipped\n", a.QuarantineSkips)
+	}
+	if cs := a.CacheSummary(); cs != "" {
+		fmt.Fprintf(&b, "\ncache reuse: %s\n", cs)
+	}
+	if a.MaxGoroutines > 0 || a.MaxHeapBytes > 0 {
+		fmt.Fprintf(&b, "runtime peaks: %d goroutines, heap %.1f MiB, max GC pause %s\n",
+			a.MaxGoroutines, float64(a.MaxHeapBytes)/(1<<20),
+			time.Duration(a.MaxGCPauseNs).Round(time.Microsecond))
+	}
+
+	if opts.Prev != nil {
+		t := a.TrendVs(opts.Prev)
+		fmt.Fprintf(&b, "\ntrend vs previous journal")
+		if !t.SameLabel {
+			fmt.Fprintf(&b, " (WARNING: labels differ: %s vs %s)", h.Label, opts.Prev.Header.Label)
+		}
+		fmt.Fprintln(&b, ":")
+		fmt.Fprintf(&b, "  %-10s %12s %12s %9s %11s\n", "platform", "run_ms", "prev_ms", "delta_%", "pass_delta")
+		for _, r := range t.Rows {
+			delta := "n/a"
+			if r.PrevRunNs > 0 {
+				delta = fmt.Sprintf("%+.1f", (float64(r.RunNs)/float64(r.PrevRunNs)-1)*100)
+			}
+			fmt.Fprintf(&b, "  %-10s %12.1f %12.1f %9s %+11d\n",
+				r.Platform, ms(r.RunNs), ms(r.PrevRunNs), delta, r.Passed-r.PrevPass)
+		}
+		for _, c := range t.Regressed {
+			fmt.Fprintf(&b, "  regressed: %s\n", c)
+		}
+		for _, c := range t.Recovered {
+			fmt.Fprintf(&b, "  recovered: %s\n", c)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// htmlReport is the template input.
+type htmlReport struct {
+	Header    Record
+	Verdict   string
+	Lanes     []htmlLane
+	Slowest   []htmlSlow
+	Storms    []Storm
+	Breakers  []Record
+	Triage    []htmlTriage
+	Cache     string
+	Runtime   string
+	Trend     *Trend
+	TrendWarn string
+}
+
+type htmlLane struct {
+	PlatformLane
+	BuildMs, RunMs float64
+	Bars           []htmlBar
+}
+
+// htmlBar is one cell rendered on its platform lane: offset and width
+// as percentages of the run's wall extent.
+type htmlBar struct {
+	LeftPct, WidthPct float64
+	Class             string
+	Title             string
+}
+
+type htmlTriage struct {
+	Cell, Ref string
+}
+
+type htmlSlow struct {
+	Cell    string
+	Status  string
+	RunMs   float64
+	History string
+}
+
+var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"msf": func(ns int64) float64 { return ms(ns) },
+	"sub": func(a, b int) int { return a - b },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>advm matrix report — {{.Header.Label}}</title>
+<style>
+body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:72rem;padding:0 1rem;color:#222}
+h1{font-size:1.3rem} h2{font-size:1.05rem;margin-top:1.6rem}
+table{border-collapse:collapse;margin:.5rem 0} td,th{padding:.15rem .6rem;text-align:right;border-bottom:1px solid #eee}
+th{border-bottom:1px solid #999} td:first-child,th:first-child{text-align:left}
+.lane{position:relative;height:14px;background:#f3f3f3;border-radius:3px;margin:2px 0;min-width:30rem}
+.lane div{position:absolute;top:1px;bottom:1px;border-radius:2px;min-width:2px}
+.passed{background:#4a8f4a}.failed{background:#c0392b}.flaky{background:#d98e04}.broken{background:#777}
+.mono{font-family:ui-monospace,monospace;font-size:12px}
+.warn{color:#c0392b}
+</style></head><body>
+<h1>advm matrix flight record — {{.Header.Label}}</h1>
+<p class="mono">epoch {{printf "%.12s" .Header.Epoch}} · {{.Header.Cells}} cells · {{.Header.Workers}} workers · engine {{.Header.Engine}}</p>
+<p><strong>{{.Verdict}}</strong></p>
+
+<h2>Per-platform lanes</h2>
+<table><tr><th>platform</th><th>cells</th><th>pass</th><th>fail</th><th>broken</th><th>flaky</th><th>cached</th><th>retries</th><th>build ms</th><th>run ms</th><th style="text-align:left">timeline</th></tr>
+{{range .Lanes}}<tr><td>{{.Platform}}</td><td>{{.Cells}}</td><td>{{.Passed}}</td><td>{{.Failed}}</td><td>{{.Broken}}</td><td>{{.Flaky}}</td><td>{{.Cached}}</td><td>{{.Retries}}</td><td>{{printf "%.1f" .BuildMs}}</td><td>{{printf "%.1f" .RunMs}}</td>
+<td><div class="lane">{{range .Bars}}<div class="{{.Class}}" style="left:{{printf "%.2f" .LeftPct}}%;width:{{printf "%.2f" .WidthPct}}%" title="{{.Title}}"></div>{{end}}</div></td></tr>
+{{end}}</table>
+
+{{if .Slowest}}<h2>Slowest cells</h2>
+<table><tr><th>run ms</th><th>status</th><th style="text-align:left">cell</th><th style="text-align:left">history</th></tr>
+{{range .Slowest}}<tr><td>{{printf "%.1f" .RunMs}}</td><td>{{.Status}}</td><td class="mono" style="text-align:left">{{.Cell}}</td><td style="text-align:left">{{.History}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Storms}}<h2>Retry storms</h2>
+<table><tr><th>attempts</th><th>status</th><th style="text-align:left">cell</th></tr>
+{{range .Storms}}<tr><td>{{.Attempts}}</td><td>{{.Status}}</td><td class="mono" style="text-align:left">{{.Cell}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Breakers}}<h2>Breaker transitions</h2>
+<table><tr><th style="text-align:left">platform</th><th>from</th><th>to</th></tr>
+{{range .Breakers}}<tr><td>{{.Platform}}</td><td>{{.From}}</td><td>{{.To}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Triage}}<h2>Triage</h2>
+<table><tr><th style="text-align:left">cell</th><th style="text-align:left">first divergence</th></tr>
+{{range .Triage}}<tr><td class="mono" style="text-align:left">{{.Cell}}</td><td class="mono" style="text-align:left">{{.Ref}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Cache}}<h2>Cache reuse</h2><p>{{.Cache}}</p>{{end}}
+{{if .Runtime}}<p>{{.Runtime}}</p>{{end}}
+
+{{if .Trend}}<h2>Trend vs previous journal</h2>
+{{if .TrendWarn}}<p class="warn">{{.TrendWarn}}</p>{{end}}
+<table><tr><th style="text-align:left">platform</th><th>run ms</th><th>prev ms</th><th>pass Δ</th></tr>
+{{range .Trend.Rows}}<tr><td>{{.Platform}}</td><td>{{printf "%.1f" (msf .RunNs)}}</td><td>{{printf "%.1f" (msf .PrevRunNs)}}</td><td>{{printf "%+d" (sub .Passed .PrevPass)}}</td></tr>
+{{end}}</table>
+{{range .Trend.Regressed}}<p class="warn mono">regressed: {{.}}</p>{{end}}
+{{range .Trend.Recovered}}<p class="mono">recovered: {{.}}</p>{{end}}
+{{end}}
+</body></html>
+`))
+
+// WriteHTML renders the analysis as a self-contained HTML report.
+func WriteHTML(w io.Writer, a *Analysis, opts ReportOptions) error {
+	rep := htmlReport{Header: a.Header}
+	p, f, br, fl := a.Counts()
+	rep.Verdict = fmt.Sprintf("%d passed, %d failed", p, f)
+	if fl > 0 {
+		rep.Verdict += fmt.Sprintf(" (%d flaky)", fl)
+	}
+	rep.Verdict += fmt.Sprintf(", %d broken", br)
+	if a.HasEnd {
+		rep.Verdict += fmt.Sprintf(" — wall %s", time.Duration(a.End.WallNs).Round(time.Millisecond))
+	}
+
+	// The time axis for the lane bars: the last outcome offset.
+	var extent int64 = 1
+	for _, o := range a.Outcomes {
+		if o.T > extent {
+			extent = o.T
+		}
+	}
+	barsByPlat := map[string][]htmlBar{}
+	for _, o := range a.Outcomes {
+		class := o.Status
+		if class == "" {
+			class = StatusBroken
+		}
+		start := o.T - o.BuildNs - o.RunNs
+		if start < 0 {
+			start = 0
+		}
+		barsByPlat[o.Platform] = append(barsByPlat[o.Platform], htmlBar{
+			LeftPct:  float64(start) / float64(extent) * 100,
+			WidthPct: float64(o.BuildNs+o.RunNs) / float64(extent) * 100,
+			Class:    class,
+			Title:    fmt.Sprintf("%s — %s, %.1f ms", o.CellID(), class, ms(o.BuildNs+o.RunNs)),
+		})
+	}
+	for _, l := range a.Lanes() {
+		rep.Lanes = append(rep.Lanes, htmlLane{
+			PlatformLane: l,
+			BuildMs:      ms(l.BuildNs), RunMs: ms(l.RunNs),
+			Bars: barsByPlat[l.Platform],
+		})
+	}
+	for _, o := range a.Slowest(opts.top()) {
+		hs := htmlSlow{Cell: o.CellID(), Status: o.Status, RunMs: ms(o.RunNs)}
+		if opts.Estimate != nil {
+			if est, runs, ok := opts.Estimate(o.CellID()); ok {
+				hs.History = fmt.Sprintf("%.1f ms over %d runs", ms(est), runs)
+			}
+		}
+		rep.Slowest = append(rep.Slowest, hs)
+	}
+	rep.Storms = a.RetryStorms()
+	rep.Breakers = a.Breakers
+	for _, cell := range sortedKeys(a.TriageRefs) {
+		rep.Triage = append(rep.Triage, htmlTriage{Cell: cell, Ref: a.TriageRefs[cell]})
+	}
+	rep.Cache = a.CacheSummary()
+	if a.MaxGoroutines > 0 || a.MaxHeapBytes > 0 {
+		rep.Runtime = fmt.Sprintf("Runtime peaks: %d goroutines, heap %.1f MiB, max GC pause %s.",
+			a.MaxGoroutines, float64(a.MaxHeapBytes)/(1<<20),
+			time.Duration(a.MaxGCPauseNs).Round(time.Microsecond))
+	}
+	if opts.Prev != nil {
+		rep.Trend = a.TrendVs(opts.Prev)
+		if !rep.Trend.SameLabel {
+			rep.TrendWarn = fmt.Sprintf("Labels differ: %s vs %s — cross-label trends compare different frozen content.",
+				a.Header.Label, opts.Prev.Header.Label)
+		}
+	}
+	return htmlTmpl.Execute(w, rep)
+}

@@ -14,10 +14,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core/buildcache"
 	"repro/internal/core/derivative"
+	"repro/internal/core/history"
+	"repro/internal/core/journal"
 	"repro/internal/core/release"
 	"repro/internal/core/resilience"
 	"repro/internal/core/runcache"
@@ -94,6 +97,21 @@ type Spec struct {
 	// per cell on the executing worker's lane — a Chrome trace-event
 	// rendering of the whole matrix.
 	Timeline *telemetry.Timeline
+	// Journal, when non-nil, receives the matrix's flight record: a
+	// header, one record per cell event (schedule, start, retry, breaker
+	// transition, quarantine skip, cache hit, outcome, triage reference,
+	// runtime sample), and a closing end record. A journal.Writer
+	// persists the stream as JSONL; the live -progress board consumes
+	// the same stream through a Tee. Emission order between concurrent
+	// workers is whatever the scheduler did — byte-determinism (modulo
+	// the masked wall-clock fields) holds for serial runs.
+	Journal journal.Sink
+	// History, when non-nil, is the cross-run per-cell time store: the
+	// matrix dispatches cells longest-expected-first from its estimates
+	// (shrinking the makespan at a fixed worker count) and records each
+	// live cell's build/run times and status back into it. Shared across
+	// regressions like the caches; a cold store keeps declaration order.
+	History *history.Store
 	// Triage replays each failing cell against a golden reference
 	// executing the same image and attaches a first-divergence artifact
 	// to the outcome (see triage.go).
@@ -259,6 +277,70 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	rep := &Report{Label: label.Name, Started: time.Now(), Vet: vetReport}
 	rep.Outcomes = make([]Outcome, len(cells))
 	matrixCtx := spec.Context
+
+	// Flight-recorder plumbing. emit is a no-op without a journal, so
+	// the cell hot path pays one nil check per event.
+	emit := func(r journal.Record) {
+		if spec.Journal != nil {
+			spec.Journal.Emit(r)
+		}
+	}
+	cellRec := func(kind journal.Kind, c cell) journal.Record {
+		return journal.Record{Kind: kind, Module: c.module, Test: c.test,
+			Deriv: c.d.Name, Platform: c.k.String()}
+	}
+	// sampleRuntime reads the Go runtime's health into the metrics
+	// gauges and, when a journal is attached, a runtime record.
+	sampleRuntime := func() {
+		if spec.Journal == nil && spec.Metrics == nil {
+			return
+		}
+		rs := telemetry.SampleRuntime(spec.Metrics)
+		emit(journal.Record{Kind: journal.KindRuntime, Goroutines: rs.Goroutines,
+			HeapBytes: rs.HeapBytes, GCPauseNs: rs.GCPauseMaxNs})
+	}
+	var outcomeN atomic.Int64
+
+	// Dispatch order: longest-expected-job-first from the history
+	// store's estimates, declaration order when the store is cold or
+	// absent. Only the dispatch permutation changes — rep.Outcomes stays
+	// indexed by the deterministic enumeration order, so reports are
+	// identical whichever order the cells ran in.
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	if spec.History != nil {
+		keys := make([]string, len(cells))
+		kindNames := make([]string, len(cells))
+		for i, c := range cells {
+			keys[i] = resilience.CellKey(c.module, c.test, c.d.Name, c.k)
+			kindNames[i] = c.k.String()
+		}
+		if o := spec.History.Order(keys, kindNames); o != nil {
+			order = o
+			spec.Metrics.Counter("regress.history_scheduled").Inc()
+		}
+	}
+
+	spec.Timeline.NameProcess("advm matrix " + label.Name)
+	if spec.Journal != nil {
+		ew := spec.Workers
+		if ew < 1 {
+			ew = 1
+		}
+		emit(journal.Record{
+			Kind: journal.KindHeader, Version: journal.Version,
+			Label: label.Name, Epoch: label.Epoch(), Workers: ew,
+			Cells: len(cells), Engine: "advm",
+			Wall: rep.Started.UTC().Format(time.RFC3339),
+		})
+		for _, i := range order {
+			emit(cellRec(journal.KindSchedule, cells[i]))
+		}
+	}
+	sampleRuntime()
+
 	runCell := func(worker, i int) {
 		c := cells[i]
 		out := &rep.Outcomes[i]
@@ -285,6 +367,41 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			default:
 				spec.Metrics.Counter("regress.failed").Inc()
 			}
+			// The outcome is final here — panics included — so this is
+			// where the flight record closes the cell and the history
+			// store learns its times.
+			status := journal.StatusFailed
+			switch {
+			case out.BuildErr != "":
+				status = journal.StatusBroken
+			case out.Flaky:
+				status = journal.StatusFlaky
+			case out.Passed:
+				status = journal.StatusPassed
+			}
+			if spec.Journal != nil {
+				r := cellRec(journal.KindOutcome, c)
+				r.Attempt = out.Attempts
+				r.Status = status
+				r.Reason = string(out.Reason)
+				r.BuildErr = out.BuildErr
+				r.Cycles = out.Cycles
+				r.Insts = out.Insts
+				r.BuildNs = out.BuildNanos
+				r.RunNs = out.RunNanos
+				r.Cached = out.RunCached
+				emit(r)
+				// Periodic runtime-health sample, amortised across cells.
+				if outcomeN.Add(1)%32 == 0 {
+					sampleRuntime()
+				}
+			}
+			// Cells that never ran (cancelled, quarantined, breaker) or
+			// were served from the run cache would poison the estimates;
+			// broken builds have no run time worth learning.
+			if out.Attempts > 0 && !out.RunCached && out.BuildErr == "" {
+				spec.History.Record(key, c.k.String(), out.BuildNanos, out.RunNanos, status)
+			}
 		}()
 		// Matrix shutdown: cells reached after cancellation never run.
 		if matrixCtx != nil && matrixCtx.Err() != nil {
@@ -299,12 +416,26 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			out.Quarantined = true
 			out.BuildErr = "quarantined: chronically flaky in earlier runs"
 			spec.Metrics.Counter("resilience.quarantine_skips").Inc()
+			emit(cellRec(journal.KindQuarantine, c))
 			return
 		}
 		// Circuit breaker: while a physical rung is presumed down its
 		// cells fast-fail instead of queueing against a dead platform.
+		// Every breaker interaction may move the automaton (Allow arms
+		// the half-open probe, OnTransient trips, OnSuccess closes), so
+		// each is bracketed by a state check that journals transitions.
 		brk := spec.Breakers.For(c.k)
-		if !brk.Allow() {
+		brkState := brk.State()
+		noteBreaker := func() {
+			if s := brk.State(); s != brkState {
+				emit(journal.Record{Kind: journal.KindBreaker, Platform: c.k.String(),
+					From: brkState.String(), To: s.String()})
+				brkState = s
+			}
+		}
+		allowed := brk.Allow()
+		noteBreaker()
+		if !allowed {
 			out.BuildErr = fmt.Sprintf("breaker open: %s platform failing transiently", c.k)
 			spec.Metrics.Counter("resilience.breaker_fastfail").Inc()
 			return
@@ -359,11 +490,15 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		if pure && runcache.Cacheable(c.k) {
 			tc := time.Now()
 			out.Attempts = 1
+			start := cellRec(journal.KindStart, c)
+			start.Attempt = 1
+			emit(start)
 			res, out.RunCached, err = spec.RunCache.Do(
 				runcache.OutcomeKey(bc.Epoch, c.module, c.test, c.d.Name, c.k, c.d.HW, spec.RunSpec),
 				func() (*platform.Result, error) { return buildAndRun(spec.RunSpec, 1) })
 			if out.RunCached {
 				out.RunNanos = time.Since(tc).Nanoseconds()
+				emit(cellRec(journal.KindCacheHit, c))
 			}
 		} else {
 			if spec.RunCache != nil {
@@ -382,6 +517,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			for attempt := 1; ; attempt++ {
 				out.Attempts = attempt
 				spec.Metrics.Counter("resilience.attempts").Inc()
+				start := cellRec(journal.KindStart, c)
+				start.Attempt = attempt
+				emit(start)
 				runSpec := spec.RunSpec
 				var cancel context.CancelFunc
 				if spec.Deadline > 0 {
@@ -409,6 +547,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 				} else {
 					brk.OnSuccess()
 				}
+				noteBreaker()
 				if class != resilience.ClassTransient || attempt >= maxAttempts {
 					if class == resilience.ClassPassed && attempt > 1 {
 						// Fail-then-pass is Flaky, never Passed: the
@@ -440,7 +579,13 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 						}
 					}
 				}
-				if d := spec.Retry.Backoff(key, attempt); d > 0 {
+				d := spec.Retry.Backoff(key, attempt)
+				retry := cellRec(journal.KindRetry, c)
+				retry.Attempt = attempt
+				retry.Class = "transient"
+				retry.BackoffNs = d.Nanoseconds()
+				emit(retry)
+				if d > 0 {
 					tb := time.Now()
 					timer := time.NewTimer(d)
 					if matrixCtx != nil {
@@ -518,6 +663,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			spec.Metrics.Counter("regress.triaged").Inc()
 			tri.Module, tri.Test, tri.Derivative = c.module, c.test, c.d.Name
 			out.Triage = tri
+			tref := cellRec(journal.KindTriage, c)
+			tref.Ref = tri.Summary()
+			emit(tref)
 			if spec.TriageDir != "" {
 				if werr := writeTriageFile(spec.TriageDir, tri); werr != nil {
 					out.Detail = strings.TrimSpace(out.Detail + "\ntriage write failed: " + werr.Error())
@@ -529,7 +677,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 	workers := spec.Workers
 	if workers <= 1 {
 		spec.Timeline.NameLane(0, "worker-0")
-		for i := range cells {
+		for _, i := range order {
 			runCell(0, i)
 		}
 	} else {
@@ -554,7 +702,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		// cooperatively), and the pool shuts down without leaking a
 		// goroutine.
 	dispatch:
-		for i := range cells {
+		for _, i := range order {
 			if matrixCtx == nil {
 				next <- i
 				continue
@@ -591,6 +739,29 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		if spec.Quarantine != nil {
 			spec.Metrics.Gauge("resilience.quarantine_size").Set(int64(spec.Quarantine.Size()))
 		}
+	}
+	sampleRuntime()
+	if spec.Journal != nil {
+		p, f, b := rep.Counts()
+		end := journal.Record{
+			Kind: journal.KindEnd, Passed: p, Failed: f, Broken: b,
+			Flaky:  rep.CountFlaky(),
+			WallNs: time.Since(rep.Started).Nanoseconds(),
+		}
+		for _, o := range rep.Outcomes {
+			if o.Quarantined {
+				end.Quarantine++
+			}
+		}
+		if spec.Cache != nil {
+			cs := spec.Cache.Stats()
+			end.BuildHits, end.BuildMiss = cs.Hits+cs.Merged, cs.Misses
+		}
+		if spec.RunCache != nil {
+			rs := spec.RunCache.Stats()
+			end.RunHits, end.RunMiss, end.RunBypass = rs.Hits+rs.Merged, rs.Misses, rs.Bypassed
+		}
+		emit(end)
 	}
 	return rep, nil
 }

@@ -211,5 +211,12 @@ func (p RetryPolicy) Backoff(key string, attempt int) time.Duration {
 // CellKey names one matrix cell for the quarantine store and backoff
 // jitter: module/test on a derivative and platform kind.
 func CellKey(module, test, deriv string, k platform.Kind) string {
-	return module + "/" + test + "@" + deriv + "/" + k.String()
+	return CellKeyString(module, test, deriv, k.String())
+}
+
+// CellKeyString is CellKey over an already-rendered platform kind name —
+// the canonical cell-naming format shared with the journal records and
+// the run-history store, which carry the kind as a string.
+func CellKeyString(module, test, deriv, kind string) string {
+	return module + "/" + test + "@" + deriv + "/" + kind
 }

@@ -138,13 +138,19 @@ type Stats struct {
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	total := s.Hits + s.Misses + s.Merged
-	reuse := 0.0
-	if total > 0 {
-		reuse = float64(s.Hits+s.Merged) / float64(total) * 100
-	}
 	return fmt.Sprintf("%d hits, %d misses, %d merged (%.1f%% reuse), %d bypassed, %d entries",
-		s.Hits, s.Misses, s.Merged, reuse, s.Bypassed, s.Entries)
+		s.Hits, s.Misses, s.Merged, s.Reuse(), s.Bypassed, s.Entries)
+}
+
+// Reuse is the percentage of memoisable runs served without simulating
+// (hits plus singleflight merges), 0 on an untouched cache. Bypassed
+// runs are outside the denominator — they were never candidates.
+func (s Stats) Reuse() float64 {
+	total := s.Hits + s.Misses + s.Merged
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Merged) / float64(total) * 100
 }
 
 // entry is one cache slot. ready is closed once res/err are final.

@@ -1,0 +1,126 @@
+package telemetry
+
+// Concurrency coverage for the event substrate: the ring's wraparound
+// accounting and EventMask filtering must stay exact when many platform
+// goroutines emit at once (the regression matrix runs one simulation
+// per worker, all feeding shared sinks).
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingWraparoundConcurrent(t *testing.T) {
+	const cap, emitters, per = 64, 8, 1000
+	r := NewRing(cap)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit(Event{Kind: EvInstRetired, PC: uint32(g<<16 | i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if r.Len() != cap {
+		t.Fatalf("Len = %d, want %d", r.Len(), cap)
+	}
+	if r.Total() != emitters*per {
+		t.Fatalf("Total = %d, want %d", r.Total(), emitters*per)
+	}
+	if r.Dropped() != emitters*per-cap {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), emitters*per-cap)
+	}
+	evs := r.Events()
+	if len(evs) != cap {
+		t.Fatalf("Events returned %d, want %d", len(evs), cap)
+	}
+	// Every surviving event must be one that was actually emitted, and
+	// per-goroutine order must be preserved (the ring is FIFO under one
+	// lock, so each goroutine's PCs appear in increasing order).
+	lastPerG := map[int]int{}
+	for _, e := range evs {
+		g, i := int(e.PC>>16), int(e.PC&0xFFFF)
+		if g >= emitters || i >= per {
+			t.Fatalf("ring contains an event never emitted: pc=%#x", e.PC)
+		}
+		if last, seen := lastPerG[g]; seen && i <= last {
+			t.Fatalf("goroutine %d events reordered: %d after %d", g, i, last)
+		}
+		lastPerG[g] = i
+	}
+
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestRingWraparoundExactSuffix(t *testing.T) {
+	// A capacity that does not divide the emit count: the ring must hold
+	// exactly the last cap events, oldest first.
+	const cap, total = 7, 23
+	r := NewRing(cap)
+	for i := 0; i < total; i++ {
+		r.Emit(Event{Kind: EvMemWrite, PC: uint32(i)})
+	}
+	evs := r.Events()
+	if len(evs) != cap {
+		t.Fatalf("len = %d, want %d", len(evs), cap)
+	}
+	for i, e := range evs {
+		if want := uint32(total - cap + i); e.PC != want {
+			t.Fatalf("event %d pc = %d, want %d", i, e.PC, want)
+		}
+	}
+}
+
+func TestEventMaskFilterConcurrent(t *testing.T) {
+	// A masked sink in front of the ring — the composition platforms use
+	// when -events selects a subset. Under concurrent emitters of every
+	// kind, only masked kinds may land in the ring and none may be lost.
+	mask, err := ParseKinds("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing(1 << 16)
+	filtered := SinkFunc(func(e Event) bool {
+		if !mask.Effective().Has(e.Kind) {
+			return false
+		}
+		return ring.Emit(e)
+	})
+
+	kinds := []EventKind{EvInstRetired, EvRegWrite, EvMemRead, EvMemWrite, EvTrap, EvIRQEnter, EvIRQExit, EvUARTByte}
+	// per is a multiple of len(kinds) so every kind is emitted equally.
+	const emitters, per = 8, 512
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				filtered.Emit(Event{Kind: kinds[i%len(kinds)], PC: uint32(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Each goroutine emits per/len(kinds) events of each kind; "mem"
+	// selects exactly EvMemRead and EvMemWrite.
+	want := uint64(emitters * (per / len(kinds)) * 2)
+	if ring.Total() != want {
+		t.Fatalf("filtered ring total = %d, want %d", ring.Total(), want)
+	}
+	for _, e := range ring.Events() {
+		if e.Kind != EvMemRead && e.Kind != EvMemWrite {
+			t.Fatalf("unmasked kind %s leaked through the filter", e.Kind)
+		}
+	}
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events despite ample capacity", ring.Dropped())
+	}
+}

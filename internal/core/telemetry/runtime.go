@@ -1,0 +1,108 @@
+package telemetry
+
+// Go-runtime health sampling for long matrix runs: a thin veneer over
+// runtime/metrics that snapshots the few signals worth watching while a
+// regression grinds (goroutine count, live heap, GC pause tail) and
+// mirrors them into Registry gauges so they ride along in -metrics-out
+// dumps and the journal's runtime records.
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeSample is one reading of the Go runtime's health.
+type RuntimeSample struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int64
+	// HeapBytes is the size of live heap objects.
+	HeapBytes int64
+	// GCCycles is the total completed GC cycles since process start.
+	GCCycles int64
+	// GCPauseP50Ns and GCPauseMaxNs summarise the stop-the-world pause
+	// distribution since process start (zero before the first GC).
+	GCPauseP50Ns int64
+	GCPauseMaxNs int64
+}
+
+// runtimeSamples are the runtime/metrics names SampleRuntime reads, in
+// the order of the sample slice below.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+// SampleRuntime reads the runtime's health and, when r is non-nil,
+// mirrors the reading into r's "runtime.*" gauges (runtime.goroutines,
+// runtime.heap_bytes, runtime.gc_cycles, runtime.gc_pause_p50_ns,
+// runtime.gc_pause_max_ns). Safe to call from any goroutine; a nil
+// registry just returns the sample.
+func SampleRuntime(r *Registry) RuntimeSample {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	var s RuntimeSample
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		s.Goroutines = int64(samples[0].Value.Uint64())
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		s.HeapBytes = int64(samples[1].Value.Uint64())
+	}
+	if samples[2].Value.Kind() == metrics.KindUint64 {
+		s.GCCycles = int64(samples[2].Value.Uint64())
+	}
+	if samples[3].Value.Kind() == metrics.KindFloat64Histogram {
+		s.GCPauseP50Ns, s.GCPauseMaxNs = pauseQuantiles(samples[3].Value.Float64Histogram())
+	}
+
+	if r != nil {
+		r.Gauge("runtime.goroutines").Set(s.Goroutines)
+		r.Gauge("runtime.heap_bytes").Set(s.HeapBytes)
+		r.Gauge("runtime.gc_cycles").Set(s.GCCycles)
+		r.Gauge("runtime.gc_pause_p50_ns").Set(s.GCPauseP50Ns)
+		r.Gauge("runtime.gc_pause_max_ns").Set(s.GCPauseMaxNs)
+	}
+	return s
+}
+
+// pauseQuantiles walks a runtime/metrics pause histogram (bucket
+// boundaries in seconds) and returns the p50 and the max observed
+// bucket, in nanoseconds. The max uses the bucket's lower bound so a
+// +Inf tail bucket still yields a finite number.
+func pauseQuantiles(h *metrics.Float64Histogram) (p50, max int64) {
+	if h == nil {
+		return 0, 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	toNs := func(sec float64) int64 { return int64(sec * float64(time.Second)) }
+	var cum uint64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		// Buckets[i] and Buckets[i+1] bound counts[i]; use the upper bound
+		// for the quantile, the lower bound when the upper is +Inf.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		bound := hi
+		if bound > 1e18 || bound != bound { // +Inf or NaN guard
+			bound = lo
+		}
+		if p50 == 0 && cum*2 >= total {
+			p50 = toNs(bound)
+		}
+		max = toNs(bound)
+	}
+	return p50, max
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	runtime.GC() // guarantee at least one pause histogram entry
+	s := SampleRuntime(nil)
+	if s.Goroutines < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", s.Goroutines)
+	}
+	if s.HeapBytes <= 0 {
+		t.Fatalf("heap bytes = %d, want > 0", s.HeapBytes)
+	}
+	if s.GCCycles < 1 {
+		t.Fatalf("gc cycles = %d, want >= 1 after runtime.GC", s.GCCycles)
+	}
+	if s.GCPauseMaxNs < s.GCPauseP50Ns {
+		t.Fatalf("pause max %d < p50 %d", s.GCPauseMaxNs, s.GCPauseP50Ns)
+	}
+}
+
+func TestSampleRuntimeSetsGauges(t *testing.T) {
+	r := NewRegistry()
+	s := SampleRuntime(r)
+	if got := r.Gauge("runtime.goroutines").Value(); got != s.Goroutines {
+		t.Fatalf("gauge goroutines = %d, sample = %d", got, s.Goroutines)
+	}
+	if got := r.Gauge("runtime.heap_bytes").Value(); got <= 0 {
+		t.Fatalf("gauge heap_bytes = %d, want > 0", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "runtime.goroutines") {
+		t.Fatalf("metrics dump missing runtime gauges:\n%s", buf.String())
+	}
+}
+
+func TestSampleRuntimeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				SampleRuntime(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Gauge("runtime.goroutines").Value() < 1 {
+		t.Fatal("gauge lost under concurrent sampling")
+	}
+}
+
+func TestTimelineProcessName(t *testing.T) {
+	tl := NewTimeline()
+	tl.NameProcess("advm matrix rel-1")
+	tl.NameLane(2, "rtl")
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	var gotProcess, gotThread bool
+	for _, e := range trace.TraceEvents {
+		switch e.Name {
+		case "process_name":
+			gotProcess = true
+			if e.Ph != "M" || e.Pid != 1 || e.Args["name"] != "advm matrix rel-1" {
+				t.Fatalf("process_name metadata = %+v", e)
+			}
+		case "thread_name":
+			gotThread = true
+			if e.Ph != "M" || e.Tid != 2 || e.Args["name"] != "rtl" {
+				t.Fatalf("thread_name metadata = %+v", e)
+			}
+		}
+	}
+	if !gotProcess || !gotThread {
+		t.Fatalf("metadata records missing (process %v, thread %v):\n%s", gotProcess, gotThread, buf.String())
+	}
+
+	// Nil timeline stays a no-op.
+	var nilTL *Timeline
+	nilTL.NameProcess("x")
+}

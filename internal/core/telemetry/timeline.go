@@ -100,6 +100,19 @@ func (t *Timeline) NameLane(tid int, name string) {
 	})
 }
 
+// NameProcess attaches a human-readable name to the trace's single
+// process (rendered as the process title in Perfetto — e.g. the matrix
+// release label, so stacked traces are tellable apart).
+func (t *Timeline) NameProcess(name string) {
+	if t == nil {
+		return
+	}
+	t.add(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": name},
+	})
+}
+
 // Len reports the number of recorded events.
 func (t *Timeline) Len() int {
 	if t == nil {
