@@ -3,7 +3,8 @@
 #   make           tier-1: build + test everything
 #   make lint      go vet + advm-vet static analysis of the shipped suite
 #   make race      vet + full test suite under the race detector
-#   make fuzz      short-budget fuzz smoke (assembler lexer, CFG decoder)
+#   make fuzz      short-budget fuzz smoke (assembler lexer, CFG decoder,
+#                  call-graph/stack-depth analysis)
 #   make bench     regenerate the EXPERIMENTS.md benchmarks
 #   make cache     the build-cache benchmarks only (off/cold/warm)
 #   make bench-json  telemetry-overhead benchmarks (E12) -> BENCH_telemetry.json
@@ -35,11 +36,13 @@ vet:
 lint: vet
 	$(GO) run ./cmd/advm-lint
 
-# Short-budget fuzz smoke: the assembler lexer and the vet CFG decoder,
-# FUZZTIME each (CI uses the default 10s; raise it locally for real runs).
+# Short-budget fuzz smoke: the assembler lexer, the vet CFG decoder, and
+# the whole-program call-graph/stack-depth analysis, FUZZTIME each (CI
+# uses the default 10s; raise it locally for real runs).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzLexLine -fuzztime $(FUZZTIME) ./internal/asm
 	$(GO) test -run xxx -fuzz FuzzCFGDecode -fuzztime $(FUZZTIME) ./internal/core/vet
+	$(GO) test -run xxx -fuzz FuzzCallGraph -fuzztime $(FUZZTIME) ./internal/core/vet
 
 # The concurrency gate: the regression runner, the build cache's
 # singleflight, and every cached build path run under -race.

@@ -172,6 +172,16 @@ type (
 	// PreflightError carries the analyzer report that blocked a
 	// regression preflight.
 	PreflightError = release.PreflightError
+	// Requirement is one entry of a system's requirements catalogue.
+	Requirement = sysenv.Requirement
+	// TraceMatrix is the two-way requirements-to-tests mapping.
+	TraceMatrix = vet.TraceMatrix
+	// StackBound is one row of the worst-case stack-depth table.
+	StackBound = vet.StackBound
+	// CertBundle is the sealed certification evidence bundle.
+	CertBundle = release.Bundle
+	// CertMatrixCell is one regression outcome inside a bundle.
+	CertMatrixCell = release.MatrixCell
 	// Change is one derivative/specification change event (Section 4).
 	Change = port.Change
 	// PortResult is the outcome of applying a change list.
@@ -592,6 +602,22 @@ func VetPortImpact(s *System, from, to *Derivative, k Kind) ([]PortImpactCell, e
 func Preflight(s *System, sl *SystemLabel, opts VetOptions) (*VetReport, error) {
 	return release.Preflight(s, sl, opts)
 }
+
+// Traceability builds the requirements-to-tests matrix from the system's
+// catalogue and the `; REQ:` annotations of its test cells.
+func Traceability(s *System) TraceMatrix { return vet.Traceability(s) }
+
+// Certify runs the full certification gate (preflight, traceability,
+// stack-depth and dataflow analysis) over a frozen system and seals the
+// evidence bundle. cells may come from RegressionReport.BundleCells, or
+// be nil for a preflight-only bundle. The bundle's JSON is byte-identical
+// across runs of the same frozen content.
+func Certify(s *System, sl *SystemLabel, opts VetOptions, cells []CertMatrixCell) (*CertBundle, error) {
+	return release.Certify(s, sl, opts, cells)
+}
+
+// ReadCertBundle parses a certification bundle and verifies its seal.
+func ReadCertBundle(raw []byte) (*CertBundle, error) { return release.ReadBundle(raw) }
 
 // GenerateBaseline produces the hardwired non-ADVM comparator suite for a
 // derivative.

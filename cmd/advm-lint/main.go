@@ -12,23 +12,32 @@
 //	advm-lint -deriv SC88-B        # restrict the analysis to one derivative
 //	advm-lint -impact SC88-A:SC88-B  # which cells does the A->B port touch?
 //
-// Exit status is 1 when any finding has error severity (or, with
-// -strict, any finding at all).
+// Exit status: 0 when the report is clean or carries only
+// warnings/infos; 1 when any finding has error severity, or, with
+// -strict, any finding at all; 2 when the analysis could not run. The
+// report — JSON or human-readable — always goes to stdout as one
+// uninterrupted stream; diagnostics and errors go to stderr, so piping
+// -json output into a consumer is safe even when findings are present.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
 	"repro/advm"
 )
 
+// fatal reports an operational failure (exit 2): the analysis could not
+// run, as opposed to the analysis finding problems (exit 1).
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"advm-lint:"}, v...)...)
+	os.Exit(2)
+}
+
 func main() {
-	log.SetFlags(0)
 	demo := flag.Bool("demo", false, "inject a deliberately abusive test before analyzing")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	deriv := flag.String("deriv", "", "restrict analysis to one derivative (default: whole family)")
@@ -69,7 +78,7 @@ test_main:
 	if *deriv != "" {
 		d, err := advm.DerivativeByName(*deriv)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		opts.Derivatives = []*advm.Derivative{d}
 	}
@@ -82,9 +91,12 @@ test_main:
 
 	rep := advm.Vet(sys, opts)
 	if *asJSON {
+		// The report is rendered in full before anything is written, so
+		// stdout carries exactly one JSON document or nothing at all.
 		out, err := rep.JSON()
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(os.Stderr, "advm-lint:", err)
+			os.Exit(2)
 		}
 		fmt.Println(string(out))
 	} else if len(rep.Findings) == 0 {
@@ -92,7 +104,11 @@ test_main:
 	} else {
 		fmt.Print(rep)
 	}
-	if rep.Errors() > 0 || (*strict && len(rep.Findings) > 0) {
+	switch {
+	case rep.Errors() > 0:
+		os.Exit(1)
+	case *strict && len(rep.Findings) > 0:
+		fmt.Fprintf(os.Stderr, "advm-lint: strict mode: %d non-error finding(s)\n", len(rep.Findings))
 		os.Exit(1)
 	}
 }
@@ -100,24 +116,24 @@ test_main:
 func runImpact(sys *advm.System, pair string, asJSON bool) {
 	names := strings.SplitN(pair, ":", 2)
 	if len(names) != 2 {
-		log.Fatalf("-impact wants OLD:NEW, got %q", pair)
+		fatal(fmt.Sprintf("-impact wants OLD:NEW, got %q", pair))
 	}
 	from, err := advm.DerivativeByName(names[0])
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	to, err := advm.DerivativeByName(names[1])
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	impacts, err := advm.VetPortImpact(sys, from, to, advm.KindGolden)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if asJSON {
 		out, err := json.MarshalIndent(impacts, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(string(out))
 		return

@@ -32,6 +32,7 @@ func main() {
 	label := flag.String("label", "SYSREG_LOCAL", "release label name")
 	verbose := flag.Bool("v", false, "print each failing cell")
 	junit := flag.String("junit", "", "write a JUnit XML report to this file")
+	bundle := flag.String("bundle", "", "write the sealed certification bundle (traceability x vet x matrix) to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent matrix cells")
 	cache := flag.Bool("cache", true, "memoise assembled units and linked images by content hash")
 	runCache := flag.Bool("run-cache", true, "memoise deterministic-platform run outcomes by content hash")
@@ -253,6 +254,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("junit report written to %s\n", *junit)
+	}
+	if *bundle != "" {
+		b, err := advm.Certify(sys, sl, advm.DefaultVetOptions(), rep.BundleCells())
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := b.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*bundle, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("certification bundle written to %s (seal %s..)\n", *bundle, b.Hash[:12])
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

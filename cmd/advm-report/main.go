@@ -7,11 +7,17 @@
 // times; with -html it writes a self-contained HTML report instead of
 // text.
 //
+// With -bundle it instead renders a sealed certification bundle (written
+// by advm-regress -bundle): the requirements traceability matrix, the
+// static-analysis verdict with its stack-bound table, and the regression
+// matrix outcomes, after re-verifying the content-hash seal.
+//
 // Usage:
 //
 //	advm-report run.jsonl
 //	advm-report -prev yesterday.jsonl -history .advm-history run.jsonl
 //	advm-report -html report.html run.jsonl
+//	advm-report -bundle cert.json
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/advm"
 )
@@ -29,9 +36,14 @@ func main() {
 	historyDir := flag.String("history", "", "run-history store directory; annotates slowest cells with expected times")
 	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file instead of text to stdout")
 	top := flag.Int("top", 10, "how many slowest cells to list")
+	bundlePath := flag.String("bundle", "", "render a sealed certification bundle instead of a journal")
 	flag.Parse()
+	if *bundlePath != "" {
+		renderBundle(*bundlePath)
+		return
+	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: advm-report [-prev old.jsonl] [-history dir] [-html out.html] [-top n] <journal.jsonl>")
+		log.Fatal("usage: advm-report [-prev old.jsonl] [-history dir] [-html out.html] [-top n] <journal.jsonl> | advm-report -bundle cert.json")
 	}
 
 	recs, err := advm.ReadJournal(flag.Arg(0))
@@ -81,5 +93,96 @@ func main() {
 	}
 	if err := advm.WriteJournalText(os.Stdout, analysis, opts); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// renderBundle verifies and prints a certification bundle: traceability
+// in both directions, the analyzer verdict, worst-case stack bounds per
+// derivative, and the regression matrix outcome counts.
+func renderBundle(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := advm.ReadCertBundle(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certification bundle: release %s (epoch %s)\n", b.Label, b.Epoch)
+	fmt.Printf("seal: %s (verified)\n\n", b.Hash)
+
+	fmt.Printf("requirements coverage: %d catalogued, all covered\n", len(b.Trace.Requirements))
+	for _, r := range b.Trace.Requirements {
+		fmt.Printf("  %-12s %-68s %s\n", r.ID, r.Title, strings.Join(r.Tests, ", "))
+	}
+	fmt.Printf("\ntest traceability: %d test cells\n", len(b.Trace.Tests))
+	for _, t := range b.Trace.Tests {
+		fmt.Printf("  %-9s %-24s -> %s\n", t.Module, t.Test, strings.Join(t.Reqs, ", "))
+	}
+
+	if b.Vet != nil {
+		fmt.Printf("\nstatic analysis: %d error(s), %d warning(s), %d info(s)\n",
+			b.Vet.Count(advm.SevError), b.Vet.Count(advm.SevWarn), b.Vet.Count(advm.SevInfo))
+		printStackBounds(b.Vet.Stack)
+	}
+
+	if len(b.Matrix) > 0 {
+		counts := map[string]int{}
+		for _, c := range b.Matrix {
+			counts[c.Status]++
+		}
+		fmt.Printf("\nregression matrix: %d cells", len(b.Matrix))
+		for _, st := range []string{"passed", "failed", "flaky", "broken"} {
+			if counts[st] > 0 {
+				fmt.Printf("  %s %d", st, counts[st])
+			}
+		}
+		fmt.Println()
+		for _, c := range b.Matrix {
+			if c.Status == "passed" {
+				continue
+			}
+			fmt.Printf("  %s %s/%s on %s/%s: %s %s\n",
+				c.Status, c.Module, c.Test, c.Derivative, c.Platform, c.Reason, c.Detail)
+		}
+	}
+}
+
+// printStackBounds condenses the per-test stack-bound table into the
+// worst case per derivative, which is what a certification reviewer
+// compares against the configured budgets.
+func printStackBounds(bounds []advm.StackBound) {
+	type worst struct {
+		depth  int
+		budget int
+		test   string
+	}
+	byDeriv := map[string]*worst{}
+	var order []string
+	for _, sb := range bounds {
+		w := byDeriv[sb.Derivative]
+		if w == nil {
+			w = &worst{depth: -2}
+			byDeriv[sb.Derivative] = w
+			order = append(order, sb.Derivative)
+		}
+		// DepthBytes -1 means unbounded, which dominates every bound.
+		if w.depth != -1 && (sb.DepthBytes == -1 || sb.DepthBytes > w.depth) {
+			w.depth = sb.DepthBytes
+			w.budget = sb.BudgetBytes
+			w.test = sb.Module + "/" + sb.Test
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Printf("worst-case stack depth per derivative (%d bounds computed):\n", len(bounds))
+	for _, d := range order {
+		w := byDeriv[d]
+		depth := fmt.Sprintf("%d bytes", w.depth)
+		if w.depth == -1 {
+			depth = "unbounded"
+		}
+		fmt.Printf("  %-10s %-12s of %5d budget  (deepest: %s)\n", d, depth, w.budget, w.test)
 	}
 }

@@ -1,0 +1,170 @@
+// E18 — whole-program vet as a certification gate: the interprocedural
+// analysis (call graph, worst-case stack depth per derivative budget,
+// register dataflow, traceability) covers the full shipped suite in tens
+// of milliseconds, every stack bound is finite and within its
+// derivative's budget, the requirements catalogue is fully covered, and
+// the sealed certification bundle is byte-identical across two
+// independent regression-plus-certify runs. See EXPERIMENTS.md (E18).
+package repro
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/advm"
+)
+
+// e18Certify freezes the shipped system, runs one serial golden-rung
+// family matrix with fresh caches, and seals the certification bundle.
+func e18Certify(t *testing.T) *advm.CertBundle {
+	t.Helper()
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem("E18", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := advm.RegressionSpec{
+		Kinds:    []advm.Kind{advm.KindGolden},
+		Cache:    advm.NewBuildCache(),
+		RunCache: advm.NewRunCache(),
+	}
+	rep, err := advm.Regress(sys, sl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("matrix not green: %s", rep.Summary())
+	}
+	b, err := advm.Certify(sys, sl, advm.DefaultVetOptions(), rep.BundleCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestE18_CertificationGate is the headline claim: the gate refuses an
+// untraced suite, passes the shipped one, bounds every test's stack on
+// every derivative within budget, covers the whole requirements
+// catalogue, and seals deterministic evidence.
+func TestE18_CertificationGate(t *testing.T) {
+	b := e18Certify(t)
+
+	// Every catalogued requirement is covered by at least one test, and
+	// every test row claims at least one requirement.
+	for _, r := range b.Trace.Requirements {
+		if len(r.Tests) == 0 {
+			t.Errorf("requirement %s uncovered in certified bundle", r.ID)
+		}
+	}
+	for _, row := range b.Trace.Tests {
+		if len(row.Reqs) == 0 {
+			t.Errorf("test %s/%s certified without a requirement", row.Module, row.Test)
+		}
+	}
+
+	// The whole-program stack table: one row per test x derivative, all
+	// finite, all within the derivative's configured budget (the SEC
+	// part's budget is half the others' — the analysis must respect the
+	// per-derivative configuration, not a global constant).
+	family := advm.Family()
+	wantRows := len(b.Trace.Tests) * len(family)
+	if len(b.Vet.Stack) != wantRows {
+		t.Fatalf("stack table has %d rows, want %d (tests x derivatives)",
+			len(b.Vet.Stack), wantRows)
+	}
+	budgets := map[string]int{}
+	worst := map[string]int{}
+	for _, sb := range b.Vet.Stack {
+		if sb.DepthBytes < 0 {
+			t.Errorf("%s/%s on %s: unbounded stack depth in shipped suite",
+				sb.Module, sb.Test, sb.Derivative)
+			continue
+		}
+		if sb.DepthBytes > sb.BudgetBytes {
+			t.Errorf("%s/%s on %s: depth %d exceeds budget %d",
+				sb.Module, sb.Test, sb.Derivative, sb.DepthBytes, sb.BudgetBytes)
+		}
+		budgets[sb.Derivative] = sb.BudgetBytes
+		if sb.DepthBytes > worst[sb.Derivative] {
+			worst[sb.Derivative] = sb.DepthBytes
+		}
+	}
+	if budgets["SC88-SEC"] >= budgets["SC88-A"] {
+		t.Errorf("SEC budget %d not tighter than A budget %d — per-derivative budgets not applied",
+			budgets["SC88-SEC"], budgets["SC88-A"])
+	}
+	for _, d := range family {
+		t.Logf("worst-case stack on %s: %d of %d bytes", d.Name, worst[d.Name], budgets[d.Name])
+	}
+
+	// Evidence determinism: an independent second run — fresh label
+	// object, fresh caches, fresh matrix — seals the same bytes.
+	b2 := e18Certify(t)
+	j1, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := b2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("two independent certification runs sealed different bundles")
+	}
+	if _, err := advm.ReadCertBundle(j1); err != nil {
+		t.Fatalf("sealed bundle does not verify: %v", err)
+	}
+	t.Logf("sealed %d-byte bundle, %d requirements, %d matrix cells, seal %.12s..",
+		len(j1), len(b.Requirements), len(b.Matrix), b.Hash)
+
+	// And the gate actually gates: one test without a `; REQ:` line
+	// refuses the whole release before any matrix cell is spent.
+	sys := advm.StandardSystem()
+	e, ok := sys.Env("NVM")
+	if !ok {
+		t.Fatal("no NVM env")
+	}
+	e.MustAddTest(advm.TestCell{ID: "TEST_NVM_UNTRACED", Source: ";; untraced\n" +
+		".INCLUDE \"Globals.inc\"\ntest_main:\n    CALL Base_Report_Pass\n"})
+	sl, err := advm.FreezeSystem("E18_UNTRACED", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = advm.Certify(sys, sl, advm.DefaultVetOptions(), nil)
+	var pf *advm.PreflightError
+	if !errors.As(err, &pf) {
+		t.Fatalf("untraced suite certified anyway (err=%v)", err)
+	}
+	if n := len(pf.Report.ByCheck("trace/no-requirement")); n != 1 {
+		t.Errorf("refusal carries %d trace/no-requirement findings, want 1", n)
+	}
+}
+
+// BenchmarkE18_WholeProgramVet regenerates the analyzer-cost number for
+// the certification gate: one full multi-pass whole-program analysis of
+// the shipped system — call graph, stack bounds on all four
+// derivatives, dataflow, discipline, portability, traceability —
+// asserting a byte-identical report every iteration. Metrics: findings
+// and stack-table rows per op (acceptance: tens of ms).
+func BenchmarkE18_WholeProgramVet(b *testing.B) {
+	sys := advm.StandardSystem()
+	var first []byte
+	var findings, stackRows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := advm.Vet(sys, advm.DefaultVetOptions())
+		out, err := rep.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if first == nil {
+			first = out
+		} else if !bytes.Equal(first, out) {
+			b.Fatal("analyzer output changed between runs")
+		}
+		findings, stackRows = len(rep.Findings), len(rep.Stack)
+	}
+	b.ReportMetric(float64(findings), "findings")
+	b.ReportMetric(float64(stackRows), "stackrows")
+}

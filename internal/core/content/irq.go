@@ -95,6 +95,7 @@ func irqEnv(ported bool) *env.Env {
 		ID:          "TEST_IRQ_TIMER",
 		Description: "a timer interrupt dispatches to the installed handler",
 		Source: `;; TEST_IRQ_TIMER
+; REQ: REQ-IRQ-001
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, VEC_TIMER_IRQ
@@ -121,6 +122,7 @@ tick_handler:
 		ID:          "TEST_IRQ_SYSCALL",
 		Description: "a software trap delivers its number through ICAUSE and resumes after RFE",
 		Source: `;; TEST_IRQ_SYSCALL
+; REQ: REQ-IRQ-002
 .INCLUDE "Globals.inc"
 TRAP_TEST_NUM .EQU 9
 test_main:
@@ -145,6 +147,7 @@ sys_handler:
 		ID:          "TEST_IRQ_WDT",
 		Description: "a starved watchdog takes the non-maskable trap",
 		Source: `;; TEST_IRQ_WDT
+; REQ: REQ-IRQ-003
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, VEC_WATCHDOG
@@ -162,6 +165,7 @@ wdog_handler:
 		ID:          "TEST_IRQ_MASKING",
 		Description: "a pending but masked interrupt stays pending and is not delivered",
 		Source: `;; TEST_IRQ_MASKING
+; REQ: REQ-IRQ-004
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, VEC_TIMER_IRQ

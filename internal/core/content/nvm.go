@@ -142,6 +142,7 @@ PRG_ok:
 		ID:          "TEST_NVM_PAGE_SELECT",
 		Description: "Figure 6 test 1: deposit TEST1_TARGET_PAGE into the PAGESEL field and read it back",
 		Source: `;; TEST_NVM_PAGE_SELECT
+; REQ: REQ-NVM-001
 .INCLUDE "Globals.inc"
 TEST_PAGE .EQU TEST1_TARGET_PAGE
 test_main:
@@ -164,6 +165,7 @@ t_fail:
 		ID:          "TEST_NVM_PAGE_SELECT_ALT",
 		Description: "Figure 6 test 2: same sequence with TEST2_TARGET_PAGE",
 		Source: `;; TEST_NVM_PAGE_SELECT_ALT
+; REQ: REQ-NVM-001
 .INCLUDE "Globals.inc"
 TEST_PAGE .EQU TEST2_TARGET_PAGE
 test_main:
@@ -183,6 +185,7 @@ t_fail:
 		ID:          "TEST_NVM_FIELD_WIDTH",
 		Description: "corner: all-ones write exposes the implemented field width and position",
 		Source: `;; TEST_NVM_FIELD_WIDTH
+; REQ: REQ-NVM-002
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, ALL_ONES_WORD
@@ -199,6 +202,7 @@ t_fail:
 		ID:          "TEST_NVM_ERASE",
 		Description: "erase TEST1_TARGET_PAGE: page reads erased, neighbour page untouched",
 		Source: `;; TEST_NVM_ERASE
+; REQ: REQ-NVM-003
 .INCLUDE "Globals.inc"
 TEST_PAGE .EQU TEST1_TARGET_PAGE
 test_main:
@@ -221,6 +225,7 @@ t_fail:
 		ID:          "TEST_NVM_PROGRAM",
 		Description: "program a word in an erased page; programming only clears bits",
 		Source: `;; TEST_NVM_PROGRAM
+; REQ: REQ-NVM-004
 .INCLUDE "Globals.inc"
 TEST_PAGE .EQU TEST2_TARGET_PAGE
 PROGRAM_VALUE .EQU 0x600DF00D
@@ -251,6 +256,7 @@ t_fail:
 		ID:          "TEST_NVM_LOCKED_CMD",
 		Description: "a command without the unlock sequence must set the error flag",
 		Source: `;; TEST_NVM_LOCKED_CMD
+; REQ: REQ-NVM-005
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, NVM_CMD_ERASE

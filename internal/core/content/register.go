@@ -54,6 +54,7 @@ BCR_done:
 		ID:          "TEST_REG_GPIO_PATTERN",
 		Description: "GPIO output latch holds alternating bit patterns",
 		Source: `;; TEST_REG_GPIO_PATTERN
+; REQ: REQ-REG-001
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, PATTERN_A
@@ -72,6 +73,7 @@ test_main:
 		ID:          "TEST_REG_TIMER_RELOAD",
 		Description: "timer reload register stores full-width patterns",
 		Source: `;; TEST_REG_TIMER_RELOAD
+; REQ: REQ-REG-002
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, PATTERN_A
@@ -90,6 +92,7 @@ test_main:
 		ID:          "TEST_REG_MBOX_MAGIC",
 		Description: "mailbox identification register reads the expected constant",
 		Source: `;; TEST_REG_MBOX_MAGIC
+; REQ: REQ-REG-003
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d2, [REG_MBOX_MAGIC]
@@ -104,6 +107,7 @@ t_fail:
 		ID:          "TEST_REG_WDT_PERIOD",
 		Description: "watchdog period write reflects into the count while disabled",
 		Source: `;; TEST_REG_WDT_PERIOD
+; REQ: REQ-REG-004
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, PATTERN_W

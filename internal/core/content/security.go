@@ -59,6 +59,7 @@ func securityEnv(ported bool) *env.Env {
 		ID:          "TEST_SEC_MPU_BLOCKS",
 		Description: "an armed MPU faults writes inside the window and passes writes outside it",
 		Source: `;; TEST_SEC_MPU_BLOCKS
+; REQ: REQ-SEC-001
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, VEC_MEMFAULT
@@ -89,6 +90,7 @@ t_fail:
 		ID:          "TEST_SEC_MPU_STICKY",
 		Description: "once armed, the MPU cannot be disarmed and its window is frozen",
 		Source: `;; TEST_SEC_MPU_STICKY
+; REQ: REQ-SEC-002
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, SEC_WINDOW_LO
@@ -116,6 +118,7 @@ t_fail:
 		ID:          "TEST_SEC_MPU_COUNTS",
 		Description: "the MPU status register counts blocked writes",
 		Source: `;; TEST_SEC_MPU_COUNTS
+; REQ: REQ-SEC-003
 .INCLUDE "Globals.inc"
 test_main:
     LOAD d0, VEC_MEMFAULT

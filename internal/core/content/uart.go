@@ -103,6 +103,7 @@ UWI_done:
 		ID:          "TEST_UART_LOOPBACK_SINGLE",
 		Description: "one byte through the loopback path returns unchanged",
 		Source: `;; TEST_UART_LOOPBACK_SINGLE
+; REQ: REQ-UART-001
 .INCLUDE "Globals.inc"
 TEST_BYTE .EQU 0x5A
 test_main:
@@ -122,6 +123,7 @@ t_fail:
 		ID:          "TEST_UART_LOOPBACK_BURST",
 		Description: "four bytes in sequence survive the loopback FIFO path in order",
 		Source: `;; TEST_UART_LOOPBACK_BURST
+; REQ: REQ-UART-001
 .INCLUDE "Globals.inc"
 BURST_BASE_BYTE .EQU 0x10
 BURST_LEN .EQU 4
@@ -156,6 +158,7 @@ t_fail:
 		ID:          "TEST_UART_TX_IDLE",
 		Description: "transmitter reports busy while shifting and idle afterwards",
 		Source: `;; TEST_UART_TX_IDLE
+; REQ: REQ-UART-002
 .INCLUDE "Globals.inc"
 IDLE_TEST_BYTE .EQU 0x77
 test_main:
@@ -181,6 +184,7 @@ t_fail:
 		ID:          "TEST_UART_STATUS_RESET",
 		Description: "after init: TX ready, nothing received",
 		Source: `;; TEST_UART_STATUS_RESET
+; REQ: REQ-UART-003
 .INCLUDE "Globals.inc"
 test_main:
     CALL Base_Uart_Init

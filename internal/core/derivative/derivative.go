@@ -46,6 +46,11 @@ type Derivative struct {
 	RegNames map[string]string
 	// ES is the embedded-software generation shipped with the chip.
 	ES ESVersion
+	// StackBytes is the RAM budget reserved for the call stack on this
+	// derivative. The whole-program stack-depth analysis reports each
+	// test's worst-case depth against this bound and errors when a test
+	// can exceed it.
+	StackBytes uint32
 }
 
 // Canonical register identities (keys of RegNames). The global layer's
@@ -92,6 +97,8 @@ func A() *Derivative {
 		HW:       soc.DefaultConfig(),
 		RegNames: defaultRegNames(),
 		ES:       ESv1,
+		// A reserves the top 4 KiB of its 64 KiB RAM for the stack.
+		StackBytes: 4096,
 	}
 }
 
@@ -139,6 +146,9 @@ func SEC() *Derivative {
 	d.HW.UartBase = 0x8001_0000
 	d.RegNames[RegUartDR] = "UART_DATA_OFF" // renamed register
 	d.ES = ESv2
+	// The security derivative partitions RAM between privilege domains
+	// and leaves the test stack half the budget of the open parts.
+	d.StackBytes = 2048
 	return d
 }
 

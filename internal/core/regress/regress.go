@@ -783,6 +783,41 @@ func writeTriageFile(dir string, t *Triage) error {
 	return os.WriteFile(filepath.Join(dir, name), []byte(t.Render()), 0o644)
 }
 
+// BundleCells converts the matrix outcomes into the certification
+// bundle's neutral cell form: verdict plus architectural evidence, minus
+// the wall-clock fields, so the bundle stays byte-identical across runs.
+func (r *Report) BundleCells() []release.MatrixCell {
+	out := make([]release.MatrixCell, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		status := "failed"
+		switch {
+		case o.BuildErr != "":
+			status = "broken"
+		case o.Flaky:
+			status = "flaky"
+		case o.Passed:
+			status = "passed"
+		}
+		detail := o.Detail
+		if o.BuildErr != "" {
+			detail = o.BuildErr
+		}
+		out = append(out, release.MatrixCell{
+			Module:     o.Module,
+			Test:       o.Test,
+			Derivative: o.Derivative,
+			Platform:   o.Platform.String(),
+			Status:     status,
+			Reason:     string(o.Reason),
+			MboxResult: o.MboxResult,
+			Cycles:     o.Cycles,
+			Insts:      o.Insts,
+			Detail:     detail,
+		})
+	}
+	return out
+}
+
 // AllPassed reports whether every cell passed.
 func (r *Report) AllPassed() bool {
 	for _, o := range r.Outcomes {

@@ -1,0 +1,147 @@
+package release
+
+// bundle.go is the certification evidence bundle: the traceability
+// matrix, the full static-analysis report, and the regression matrix
+// outcomes for a frozen release, sealed under a content hash. The bundle
+// is deterministic — the same frozen content and the same matrix verdicts
+// produce the same bytes, hash included — so two independent runs of the
+// pipeline can attest the same evidence. Wall-clock data (build/run
+// times) is deliberately excluded from the matrix cells for exactly that
+// reason.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core/buildcache"
+	"repro/internal/core/sysenv"
+	"repro/internal/core/vet"
+)
+
+// MatrixCell is one regression-matrix outcome as recorded in the bundle:
+// the verdict and its architectural evidence (reason, mailbox word,
+// cycle/instruction counts), without the wall-clock fields that would
+// break byte-determinism. regress.Report.BundleCells converts a live
+// report into this form.
+type MatrixCell struct {
+	Module     string `json:"module"`
+	Test       string `json:"test"`
+	Derivative string `json:"derivative"`
+	Platform   string `json:"platform"`
+	// Status is "passed", "failed", "flaky", or "broken".
+	Status     string `json:"status"`
+	Reason     string `json:"reason,omitempty"`
+	MboxResult uint32 `json:"mbox_result,omitempty"`
+	Cycles     uint64 `json:"cycles,omitempty"`
+	Insts      uint64 `json:"insts,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// Bundle is the certification evidence for one frozen release.
+type Bundle struct {
+	// Label and Epoch identify the frozen content the evidence covers.
+	Label string `json:"label"`
+	Epoch string `json:"epoch"`
+	// Requirements is the catalogue the suite was certified against.
+	Requirements []sysenv.Requirement `json:"requirements"`
+	// Trace is the two-way requirements-to-tests matrix.
+	Trace vet.TraceMatrix `json:"trace"`
+	// Vet is the full static-analysis report, stack-bound table included.
+	Vet *vet.Report `json:"vet"`
+	// Matrix is the regression outcome per cell, sorted by
+	// (module, test, derivative, platform).
+	Matrix []MatrixCell `json:"matrix,omitempty"`
+	// Hash seals the bundle: the content hash of everything above with
+	// this field blank. Verify recomputes it.
+	Hash string `json:"hash"`
+}
+
+// hashBundle computes the content hash over the canonical JSON with the
+// Hash field blanked.
+func hashBundle(b *Bundle) (string, error) {
+	c := *b
+	c.Hash = ""
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		return "", err
+	}
+	return buildcache.Key("certbundle", string(raw)), nil
+}
+
+// Certify runs the full certification gate over a frozen system and
+// seals the evidence bundle. It refuses — returning the preflight error —
+// when the analyzer finds anything of error severity, which includes a
+// test without a `; REQ:` annotation and a catalogued requirement
+// without a covering test. cells may be nil when no regression matrix
+// has run yet (a preflight-only bundle).
+func Certify(s *sysenv.System, sl *SystemLabel, opts vet.Options, cells []MatrixCell) (*Bundle, error) {
+	rep, err := Preflight(s, sl, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bundle{
+		Label:        sl.Name,
+		Epoch:        sl.Epoch(),
+		Requirements: s.Requirements(),
+		Trace:        vet.Traceability(s),
+		Vet:          rep,
+		Matrix:       append([]MatrixCell(nil), cells...),
+	}
+	sort.Slice(b.Matrix, func(i, j int) bool {
+		a, c := b.Matrix[i], b.Matrix[j]
+		if a.Module != c.Module {
+			return a.Module < c.Module
+		}
+		if a.Test != c.Test {
+			return a.Test < c.Test
+		}
+		if a.Derivative != c.Derivative {
+			return a.Derivative < c.Derivative
+		}
+		return a.Platform < c.Platform
+	})
+	b.Hash, err = hashBundle(b)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// JSON renders the sealed bundle as indented JSON, byte-identical across
+// runs of the same frozen content.
+func (b *Bundle) JSON() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// Verify recomputes the content hash and checks the seal.
+func (b *Bundle) Verify() error {
+	want, err := hashBundle(b)
+	if err != nil {
+		return err
+	}
+	if want != b.Hash {
+		return fmt.Errorf("release: bundle hash mismatch: sealed %s.., content %s..",
+			shortHash(b.Hash), shortHash(want))
+	}
+	return nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// ReadBundle parses a bundle from JSON and verifies its seal.
+func ReadBundle(raw []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("release: bad bundle: %w", err)
+	}
+	if err := b.Verify(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -37,11 +37,20 @@ const (
 // re-written (swapped-argument) embedded software.
 const ESv2Macro = "ES_V2"
 
+// Requirement is one entry of a system's requirements catalogue. Tests
+// claim coverage with `; REQ: <id>` annotations; the traceability pass
+// cross-checks the two directions.
+type Requirement struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
 // System is the complete verification environment.
 type System struct {
 	Name  string
 	envs  []*env.Env
 	index map[string]*env.Env
+	reqs  []Requirement
 }
 
 // New creates an empty system environment.
@@ -55,7 +64,20 @@ func (s *System) Clone() *System {
 	for _, e := range s.envs {
 		_ = out.AddEnv(e.Clone())
 	}
+	out.reqs = append([]Requirement(nil), s.reqs...)
 	return out
+}
+
+// SetRequirements attaches the requirements catalogue. A system with a
+// catalogue is subject to the traceability checks; a system without one
+// (a scratch environment) is exempt.
+func (s *System) SetRequirements(reqs []Requirement) {
+	s.reqs = append([]Requirement(nil), reqs...)
+}
+
+// Requirements returns the catalogue in declaration order.
+func (s *System) Requirements() []Requirement {
+	return append([]Requirement(nil), s.reqs...)
 }
 
 // AddEnv attaches a module environment. Module names must be unique.

@@ -13,6 +13,12 @@
 //	port   symbols whose resolved values differ across the derivative ×
 //	       platform matrix, and the static port-impact set of Figure 6/7
 //	dead   Global Defines and Base Functions no test ever reaches
+//	stack  whole-program worst-case stack depth per test against each
+//	       derivative's budget, over the interprocedural call graph
+//	flow   register def-use dataflow: may-uninitialised reads and dead
+//	       stores, with macro expansion provenance
+//	trace  requirements traceability: every test names a catalogued
+//	       requirement, every catalogued requirement has a covering test
 package vet
 
 import (
@@ -92,6 +98,20 @@ const (
 	CheckSuperblockHostile = "cfg/superblock-hostile"
 )
 
+// Whole-program check IDs (the interprocedural flow and traceability
+// passes).
+const (
+	CheckStackRecursion       = "stack/recursion"            // call-graph cycle: unbounded recursion
+	CheckStackUnbounded       = "stack/unbounded"            // loop grows the stack without bound
+	CheckStackOverflow        = "stack/overflow"             // worst-case depth exceeds the derivative budget
+	CheckLayerCall            = "layer/call-bypass"          // test-layer call edge into a global-layer function
+	CheckUninitRead           = "flow/uninit-read"           // register read with no reaching write on some path
+	CheckDeadStore            = "flow/dead-store"            // register write no path reads
+	CheckNoRequirement        = "trace/no-requirement"       // test declares no REQ id
+	CheckUnknownRequirement   = "trace/unknown-requirement"  // REQ id not in the catalogue
+	CheckUncoveredRequirement = "trace/uncovered-requirement" // catalogued requirement with no covering test
+)
+
 // severityOf maps each check to its default severity.
 var severityOf = map[string]Severity{
 	CheckGlobalRef:         SevError,
@@ -108,6 +128,16 @@ var severityOf = map[string]Severity{
 	CheckDeadBaseFunc:      SevWarn,
 	CheckBuildError:        SevError,
 	CheckSuperblockHostile: SevWarn,
+
+	CheckStackRecursion:       SevError,
+	CheckStackUnbounded:       SevError,
+	CheckStackOverflow:        SevError,
+	CheckLayerCall:            SevError,
+	CheckUninitRead:           SevError,
+	CheckDeadStore:            SevWarn,
+	CheckNoRequirement:        SevError,
+	CheckUnknownRequirement:   SevError,
+	CheckUncoveredRequirement: SevError,
 }
 
 // Checks lists every check ID in sorted order.
@@ -170,6 +200,18 @@ func (f Finding) mergeKey() string {
 		f.Path, f.Line, f.Check, f.Module, f.Test, f.Message)
 }
 
+// StackBound is one row of the worst-case stack-depth table: a test's
+// bound on one derivative, against that derivative's budget.
+type StackBound struct {
+	Module     string `json:"module"`
+	Test       string `json:"test"`
+	Derivative string `json:"derivative"`
+	// DepthBytes is the worst-case stack depth; -1 means unbounded
+	// (recursion or a stack-growing loop).
+	DepthBytes  int `json:"depth_bytes"`
+	BudgetBytes int `json:"budget_bytes"`
+}
+
 // Report is the analyzer output for one system environment.
 type Report struct {
 	// System is the analysed system's name.
@@ -178,6 +220,9 @@ type Report struct {
 	Derivatives []string `json:"derivatives"`
 	// Findings, in deterministic order.
 	Findings []Finding `json:"findings"`
+	// Stack is the whole-program stack-depth bound table, one row per
+	// test × derivative, in (module, test, derivative) order.
+	Stack []StackBound `json:"stack,omitempty"`
 	// Suppressed counts findings removed by lint:disable annotations.
 	Suppressed int `json:"suppressed,omitempty"`
 }

@@ -1,0 +1,157 @@
+package vet
+
+// trace.go is the requirements-traceability pass. A test cell declares
+// the requirements it verifies with `; REQ: <id>` annotation lines —
+// ordinary comments to the assembler, first-class annotations to vet.
+// When the system carries a requirements catalogue, the pass errors on
+// tests with no requirement, on annotations naming requirements the
+// catalogue does not know, and on catalogued requirements no test
+// covers. The resulting matrix is the traceability half of the
+// certification bundle.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/sysenv"
+)
+
+// reqMarker introduces a requirement annotation inside a comment:
+// `; REQ: REQ-NVM-001` (several ids may share a line, comma-separated).
+const reqMarker = "REQ:"
+
+// requirementRefs scans a test source for `; REQ:` annotations and
+// returns the referenced ids with the line each first appears on.
+func requirementRefs(src string) (ids []string, lines map[string]int) {
+	lines = make(map[string]int)
+	for num, line := range strings.Split(src, "\n") {
+		idx := strings.Index(line, ";")
+		if idx < 0 {
+			continue
+		}
+		comment := strings.TrimSpace(line[idx+1:])
+		comment = strings.TrimLeft(comment, "; ")
+		if !strings.HasPrefix(comment, reqMarker) {
+			continue
+		}
+		for _, id := range strings.Split(comment[len(reqMarker):], ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, seen := lines[id]; !seen {
+				lines[id] = num + 1
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids, lines
+}
+
+// ReqCoverage is one catalogue row of the traceability matrix: a
+// requirement and the tests that verify it.
+type ReqCoverage struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Tests []string `json:"tests,omitempty"` // "module/TEST_ID"
+}
+
+// TraceRow is one test row of the traceability matrix.
+type TraceRow struct {
+	Module string   `json:"module"`
+	Test   string   `json:"test"`
+	Reqs   []string `json:"reqs,omitempty"`
+}
+
+// TraceMatrix is the two-way requirements-to-tests mapping.
+type TraceMatrix struct {
+	Requirements []ReqCoverage `json:"requirements"`
+	Tests        []TraceRow    `json:"tests"`
+}
+
+// Traceability builds the system's traceability matrix from the
+// catalogue and the `; REQ:` annotations of every test cell. The matrix
+// is deterministic: requirements in catalogue order, tests sorted by
+// (module, id), covering tests sorted.
+func Traceability(s *sysenv.System) TraceMatrix {
+	var m TraceMatrix
+	covered := make(map[string][]string)
+	for _, e := range s.Envs() {
+		for _, t := range e.Tests() {
+			ids, _ := requirementRefs(t.Source)
+			sort.Strings(ids)
+			m.Tests = append(m.Tests, TraceRow{Module: e.Module, Test: t.ID, Reqs: ids})
+			for _, id := range ids {
+				covered[id] = append(covered[id], e.Module+"/"+t.ID)
+			}
+		}
+	}
+	sort.Slice(m.Tests, func(i, j int) bool {
+		if m.Tests[i].Module != m.Tests[j].Module {
+			return m.Tests[i].Module < m.Tests[j].Module
+		}
+		return m.Tests[i].Test < m.Tests[j].Test
+	})
+	for _, r := range s.Requirements() {
+		tests := covered[r.ID]
+		sort.Strings(tests)
+		m.Requirements = append(m.Requirements, ReqCoverage{ID: r.ID, Title: r.Title, Tests: tests})
+	}
+	return m
+}
+
+// traceFindings enforces traceability over a system that carries a
+// requirements catalogue. Systems without a catalogue (scratch systems,
+// the unported baseline) are exempt: traceability is a property of a
+// certified suite, not of every assembly of tests.
+func traceFindings(s *sysenv.System, opts Options) []Finding {
+	reqs := s.Requirements()
+	if len(reqs) == 0 {
+		return nil
+	}
+	known := make(map[string]bool, len(reqs))
+	for _, r := range reqs {
+		known[r.ID] = true
+	}
+	var out []Finding
+	covered := make(map[string]bool)
+	for _, e := range s.Envs() {
+		for _, t := range e.Tests() {
+			path := e.TestSourcePath(t.ID)
+			base := Finding{Path: path, Module: e.Module, Test: t.ID}
+			ids, lines := requirementRefs(t.Source)
+			if len(ids) == 0 && opts.enabled(CheckNoRequirement) {
+				f := base
+				f.Message = "test declares no requirement: add a `; REQ: <id>` annotation naming what it verifies"
+				out = append(out, finding(CheckNoRequirement, f))
+			}
+			for _, id := range ids {
+				if !known[id] {
+					if opts.enabled(CheckUnknownRequirement) {
+						f := base
+						f.Line = lines[id]
+						f.Message = fmt.Sprintf("requirement %s is not in the catalogue: the annotation is dangling", id)
+						out = append(out, finding(CheckUnknownRequirement, f))
+					}
+					continue
+				}
+				covered[id] = true
+			}
+		}
+	}
+	if opts.enabled(CheckUncoveredRequirement) {
+		for _, r := range reqs {
+			if covered[r.ID] {
+				continue
+			}
+			f := Finding{
+				Message: fmt.Sprintf("requirement %s (%s) has no covering test: the suite does not demonstrate it",
+					r.ID, r.Title),
+			}
+			out = append(out, finding(CheckUncoveredRequirement, f))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sortKey() < out[j].sortKey() })
+	return out
+}

@@ -1,0 +1,157 @@
+package vet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core/content"
+	"repro/internal/core/env"
+	"repro/internal/core/sysenv"
+	"repro/internal/testprog"
+)
+
+// injectCataloguedTest is injectTest plus the shipped requirements
+// catalogue, so the traceability pass runs.
+func injectCataloguedTest(t *testing.T, module string, cell env.TestCell) *sysenv.System {
+	t.Helper()
+	sys := injectTest(t, module, cell)
+	sys.SetRequirements(content.Requirements())
+	return sys
+}
+
+func TestRequirementRefs(t *testing.T) {
+	src := `;; TEST_X
+; REQ: REQ-A-001, REQ-B-002
+test_main:
+    LOAD d0, 1 ; REQ: REQ-A-001
+    ; REQ: REQ-C-003
+`
+	ids, lines := requirementRefs(src)
+	if !reflect.DeepEqual(ids, []string{"REQ-A-001", "REQ-B-002", "REQ-C-003"}) {
+		t.Errorf("ids = %v", ids)
+	}
+	if lines["REQ-A-001"] != 2 || lines["REQ-B-002"] != 2 || lines["REQ-C-003"] != 5 {
+		t.Errorf("lines = %v (first sighting wins)", lines)
+	}
+}
+
+// TestShippedTraceabilityMatrix: the shipped catalogue is fully covered,
+// every test claims at least one requirement, and the matrix is
+// deterministic.
+func TestShippedTraceabilityMatrix(t *testing.T) {
+	s := content.PortedSystem()
+	m := Traceability(s)
+	if len(m.Requirements) != len(content.Requirements()) {
+		t.Fatalf("matrix has %d requirements, catalogue has %d", len(m.Requirements), len(content.Requirements()))
+	}
+	for _, r := range m.Requirements {
+		if len(r.Tests) == 0 {
+			t.Errorf("requirement %s has no covering test", r.ID)
+		}
+	}
+	if len(m.Tests) != content.NumTests {
+		t.Fatalf("matrix has %d test rows, want %d", len(m.Tests), content.NumTests)
+	}
+	for _, row := range m.Tests {
+		if len(row.Reqs) == 0 {
+			t.Errorf("test %s/%s claims no requirement", row.Module, row.Test)
+		}
+	}
+	if !reflect.DeepEqual(m, Traceability(s)) {
+		t.Error("two Traceability runs differ")
+	}
+}
+
+// TestMissingRequirementFlagged: against a catalogued system, a test
+// without a `; REQ:` annotation is an error; the shipped tests stay
+// clean.
+func TestMissingRequirementFlagged(t *testing.T) {
+	sys := injectCataloguedTest(t, content.ModuleUART, env.TestCell{
+		ID: "TEST_UART_SEEDED_NOREQ", Source: testprog.SeededMissingReq,
+	})
+	r := Check(sys, NewOptions())
+	for _, f := range r.Findings {
+		if f.Check != CheckNoRequirement {
+			continue
+		}
+		if f.Test != "TEST_UART_SEEDED_NOREQ" {
+			t.Errorf("no-requirement fired on %s/%s", f.Module, f.Test)
+			continue
+		}
+		if f.Severity != SevError {
+			t.Errorf("severity = %v, want error", f.Severity)
+		}
+	}
+	if got := countByCheck(findingsFor(r, "TEST_UART_SEEDED_NOREQ"))[CheckNoRequirement]; got != 1 {
+		t.Errorf("trace/no-requirement count = %d, want 1", got)
+	}
+}
+
+// TestUnknownRequirementFlagged: an annotation naming a requirement the
+// catalogue does not know is dangling, reported at the annotation line.
+func TestUnknownRequirementFlagged(t *testing.T) {
+	sys := injectCataloguedTest(t, content.ModuleNVM, env.TestCell{
+		ID: "TEST_NVM_SEEDED_DANGLING",
+		Source: `;; seeded defect: names a requirement that does not exist
+; REQ: REQ-NVM-001, REQ-BOGUS-999
+.INCLUDE "Globals.inc"
+test_main:
+    CALL Base_Report_Pass
+`,
+	})
+	r := Check(sys, NewOptions())
+	fs := findingsFor(r, "TEST_NVM_SEEDED_DANGLING")
+	got := countByCheck(fs)
+	if got[CheckUnknownRequirement] != 1 {
+		t.Fatalf("trace/unknown-requirement count = %d, want 1; findings: %v", got[CheckUnknownRequirement], fs)
+	}
+	if got[CheckNoRequirement] != 0 {
+		t.Errorf("no-requirement fired despite a valid annotation")
+	}
+	for _, f := range fs {
+		if f.Check == CheckUnknownRequirement {
+			if f.Line != 2 || !strings.Contains(f.Message, "REQ-BOGUS-999") {
+				t.Errorf("dangling finding = %+v, want line 2 naming REQ-BOGUS-999", f)
+			}
+		}
+	}
+}
+
+// TestUncoveredRequirementFlagged: a catalogue entry no test claims
+// fails the suite, as a catalogue-level finding with no source location.
+func TestUncoveredRequirementFlagged(t *testing.T) {
+	s := content.PortedSystem()
+	s.SetRequirements(append(content.Requirements(),
+		sysenv.Requirement{ID: "REQ-GAP-001", Title: "a requirement nothing verifies"}))
+	r := Check(s, NewOptions())
+	var hits []Finding
+	for _, f := range r.Findings {
+		if f.Check == CheckUncoveredRequirement {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("trace/uncovered-requirement count = %d, want 1", len(hits))
+	}
+	f := hits[0]
+	if !strings.Contains(f.Message, "REQ-GAP-001") || f.Path != "" || f.Severity != SevError {
+		t.Errorf("uncovered finding = %+v, want a path-free error naming REQ-GAP-001", f)
+	}
+}
+
+// TestNoCatalogueNoTraceFindings: scratch systems without a catalogue
+// are exempt from traceability — it is a certification property, not a
+// property of every assembly of tests.
+func TestNoCatalogueNoTraceFindings(t *testing.T) {
+	sys := injectTest(t, content.ModuleUART, env.TestCell{
+		ID: "TEST_UART_SEEDED_NOREQ", Source: testprog.SeededMissingReq,
+	})
+	r := Check(sys, NewOptions())
+	for _, f := range r.Findings {
+		switch f.Check {
+		case CheckNoRequirement, CheckUnknownRequirement, CheckUncoveredRequirement:
+			t.Errorf("trace finding on a catalogue-free system: %s", f)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package vet
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/asm"
@@ -68,19 +69,33 @@ func Check(s *sysenv.System, opts Options) *Report {
 		r.Derivatives = append(r.Derivatives, d.Name)
 	}
 
-	// Layer + CFG run once per derivative; findings present on every
-	// derivative merge into one variant-free finding.
+	// Layer + CFG + whole-program flow run once per derivative; findings
+	// present on every derivative merge into one variant-free finding.
 	perDeriv := make([][]Finding, len(opts.Derivatives))
 	for i, d := range opts.Derivatives {
 		perDeriv[i] = append(layerFindings(s, d, opts.Kinds[0], opts),
 			cfgFindings(s, d, opts.Kinds[0], opts)...)
+		flow, bounds := flowFindings(s, d, opts.Kinds[0], opts)
+		perDeriv[i] = append(perDeriv[i], flow...)
+		r.Stack = append(r.Stack, bounds...)
 	}
 	r.Findings = append(r.Findings, mergeVariants(opts.Derivatives, perDeriv)...)
 
 	r.Findings = append(r.Findings, portFindings(s, opts)...)
 	r.Findings = append(r.Findings, deadFindings(s, opts)...)
+	r.Findings = append(r.Findings, traceFindings(s, opts)...)
 
 	r.Findings, r.Suppressed = applySuppressions(s, r.Findings)
+	sort.Slice(r.Stack, func(i, j int) bool {
+		a, b := r.Stack[i], r.Stack[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Test != b.Test {
+			return a.Test < b.Test
+		}
+		return a.Derivative < b.Derivative
+	})
 	r.Sort()
 	return r
 }

@@ -1,0 +1,58 @@
+package testprog
+
+// seeded.go holds ADVM test-layer sources that each plant exactly one
+// class of defect the whole-program flow analysis in core/vet must
+// catch. They are shared between the vet unit tests and the experiment
+// suite so both assert against the same seeded programs. Unlike the
+// platform programs above, these are test cells: they enter at
+// test_main and reach hardware only through the abstraction layer.
+
+// SeededRecursion carries a mutual CALL cycle (ping -> pong -> ping):
+// its worst-case stack depth is unbounded, which the stack/recursion
+// check must report with the cycle spelled out.
+const SeededRecursion = `;; seeded defect: ping and pong recurse without a base case
+.INCLUDE "Globals.inc"
+test_main:
+    CALL ping
+    CALL Base_Report_Pass
+ping:
+    CALL pong
+    RET
+pong:
+    CALL ping
+    RET
+`
+
+// SeededUninitRead reads d2 at the join point, but only the fall-through
+// arm of the branch ever writes it: on the taken path the register
+// arrives uninitialised, which the flow/uninit-read check must report at
+// the reading instruction.
+const SeededUninitRead = `;; seeded defect: d2 is written on only one arm of the branch
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d1, 1
+    BEQ d1, d1, join
+    LOAD d2, 5
+join:
+    ADD d0, d2, 1
+    CALL Base_Report_Pass
+`
+
+// SeededDeadStore writes a scratch value that no path reads before the
+// test's exit through the reporting Base function, which the
+// flow/dead-store check must report at the writing instruction.
+const SeededDeadStore = `;; seeded defect: the d5 scratch write is never read
+.INCLUDE "Globals.inc"
+test_main:
+    LOAD d5, 7
+    CALL Base_Report_Pass
+`
+
+// SeededMissingReq is a perfectly clean test with no `; REQ:`
+// annotation: against a system that carries a requirements catalogue,
+// the trace/no-requirement check must refuse it.
+const SeededMissingReq = `;; seeded defect: verifies nothing from the catalogue
+.INCLUDE "Globals.inc"
+test_main:
+    CALL Base_Report_Pass
+`
