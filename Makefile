@@ -11,16 +11,21 @@
 #                    and perf benchmarks (E14 + E16) -> BENCH_perf.json
 #   make smoke     end-to-end resilience run of advm-regress
 #                  (-deadline/-retries/-quarantine-after/-breaker)
+#   make smoke-served  regression-as-a-service smoke: advm-served daemon
+#                  + advm-regress -serve, certification bundle compared
+#                  byte-for-byte against a direct in-process run
 #   make report    flight-recorder demo: journal + history a small matrix
 #                  twice, render text + HTML + trend reports via advm-report
 #
 #   REPORT_DIR ?= .advm-report   scratch dir for `make report` artifacts
+#   SERVED_DIR ?= .advm-served   scratch dir for `make smoke-served`
 
 GO ?= go
 FUZZTIME ?= 10s
 REPORT_DIR ?= .advm-report
+SERVED_DIR ?= .advm-served
 
-.PHONY: all tier1 vet lint race fuzz bench cache bench-json smoke report tools
+.PHONY: all tier1 vet lint race fuzz bench cache bench-json smoke smoke-served report tools
 
 all: tier1
 
@@ -64,6 +69,8 @@ bench-json:
 	@grep -c '"Action"' BENCH_telemetry.json >/dev/null && echo "wrote BENCH_telemetry.json"
 	$(GO) test -run xxx -bench 'BenchmarkE1[46]_' -benchtime 2s -json . > BENCH_perf.json
 	@grep -c '"Action"' BENCH_perf.json >/dev/null && echo "wrote BENCH_perf.json"
+	$(GO) test -run xxx -bench 'BenchmarkE19_' -benchtime 5x -json . > BENCH_store.json
+	@grep -c '"Action"' BENCH_store.json >/dev/null && echo "wrote BENCH_store.json"
 
 # End-to-end resilience smoke: the full matrix on the golden + emulator
 # rungs with per-cell deadlines, a retry budget, quarantine, and the
@@ -73,6 +80,27 @@ bench-json:
 smoke:
 	$(GO) run ./cmd/advm-regress -platforms golden,emulator \
 		-deadline 30s -retries 2 -quarantine-after 2 -breaker 5
+
+# Regression-as-a-service smoke: a 2-worker advm-served daemon with a
+# persistent store behind it, a served run via advm-regress -serve, and
+# a direct in-process run of the same matrix slice — their sealed
+# certification bundles must be byte-identical. A second served run
+# against the warm daemon proves the store survives between requests.
+smoke-served:
+	rm -rf $(SERVED_DIR) && mkdir -p $(SERVED_DIR)
+	$(GO) build -o $(SERVED_DIR)/ ./cmd/advm-served ./cmd/advm-regress
+	$(SERVED_DIR)/advm-served -listen $(SERVED_DIR)/advm.sock -workers 2 \
+		-store $(SERVED_DIR)/store & \
+	trap "kill $$! 2>/dev/null" EXIT; \
+	$(SERVED_DIR)/advm-regress -platforms golden,emulator \
+		-bundle $(SERVED_DIR)/direct.json && \
+	$(SERVED_DIR)/advm-regress -serve $(SERVED_DIR)/advm.sock \
+		-platforms golden,emulator -bundle $(SERVED_DIR)/served.json && \
+	cmp $(SERVED_DIR)/direct.json $(SERVED_DIR)/served.json && \
+	$(SERVED_DIR)/advm-regress -serve $(SERVED_DIR)/advm.sock \
+		-platforms golden,emulator -bundle $(SERVED_DIR)/served2.json && \
+	cmp $(SERVED_DIR)/direct.json $(SERVED_DIR)/served2.json && \
+	echo "smoke-served: direct and served bundles identical"
 
 # Flight-recorder demo: run a small matrix twice with the journal,
 # run-history store, and metrics armed (the second run is history-

@@ -32,6 +32,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core/basefuncs"
 	"repro/internal/core/buildcache"
+	"repro/internal/core/castore"
 	"repro/internal/core/content"
 	"repro/internal/core/defines"
 	"repro/internal/core/derivative"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/core/release"
 	"repro/internal/core/resilience"
 	"repro/internal/core/runcache"
+	"repro/internal/core/shard"
 	"repro/internal/core/sysenv"
 	"repro/internal/core/telemetry"
 	"repro/internal/core/vet"
@@ -667,3 +669,63 @@ func LinkFor(d *Derivative) LinkConfig {
 
 // GlobalLayer renders the global-layer sources for a derivative.
 func GlobalLayer(d *Derivative) map[string]string { return sysenv.GlobalLayer(d) }
+
+// Persistent artifact store and the sharded multi-process matrix (see
+// internal/core/castore and internal/core/shard).
+type (
+	// ArtifactStore is the durable content-addressed artifact store:
+	// SHA-256-keyed entries under a directory, shared by concurrent
+	// processes, GC'd least-recently-used under a byte budget.
+	ArtifactStore = castore.Store
+	// ArtifactStoreOptions tunes the store (byte budget, GC slack).
+	ArtifactStoreOptions = castore.Options
+	// ArtifactStoreStats is a store usage snapshot.
+	ArtifactStoreStats = castore.Stats
+	// ShardDaemon serves regression requests over a socket, sharding
+	// cells across a pool of worker processes.
+	ShardDaemon = shard.Daemon
+	// ShardRequest asks a daemon for one regression matrix.
+	ShardRequest = shard.Request
+	// ShardPlan is the daemon's cell enumeration and dispatch order.
+	ShardPlan = shard.Plan
+	// ShardResult is one streamed cell result.
+	ShardResult = shard.Result
+	// ShardReply is a completed sharded regression, reassembled into
+	// the in-process report and journal shapes.
+	ShardReply = shard.Reply
+	// ShardWorkerOptions configures one worker process.
+	ShardWorkerOptions = shard.WorkerOptions
+)
+
+// OpenArtifactStore opens (or creates) a persistent artifact store
+// under dir. Options zero value: unbounded, default GC slack. Close it
+// to persist the session's usage counters.
+func OpenArtifactStore(dir string, opts ArtifactStoreOptions) (*ArtifactStore, error) {
+	return castore.Open(dir, opts)
+}
+
+// AttachArtifactStore plugs the persistent store in as the second tier
+// behind a build cache and/or run cache (either may be nil): memory
+// misses consult the store, successful fills write through, and warm
+// artifacts survive restarts and are shared across processes.
+func AttachArtifactStore(store *ArtifactStore, bc *BuildCache, rc *RunCache) {
+	if bc != nil {
+		bc.SetBackend(store, sysenv.PersistEncode, sysenv.PersistDecode)
+	}
+	if rc != nil {
+		rc.SetBackend(store)
+	}
+}
+
+// RunShardWorker serves the worker side of the shard protocol on the
+// given streams (a daemon child's stdin/stdout) until EOF.
+func RunShardWorker(r io.Reader, w io.Writer, opts ShardWorkerOptions) error {
+	return shard.RunWorker(r, w, opts)
+}
+
+// ShardRegress runs one regression request against the daemon at addr
+// (unix socket path or TCP host:port) and reassembles the streamed
+// results. onResult, when non-nil, observes each cell as it completes.
+func ShardRegress(addr string, req ShardRequest, onResult func(*ShardResult)) (*ShardReply, error) {
+	return shard.Regress(addr, req, onResult)
+}

@@ -48,7 +48,18 @@ func main() {
 	progress := flag.Bool("progress", false, "render a live in-place status line on stderr while the matrix runs")
 	historyDir := flag.String("history", "", "run-history store directory; enables longest-expected-first scheduling and progress ETAs")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	storeDir := flag.String("store", "", "persistent artifact store directory: build artifacts and run outcomes survive restarts and are shared across processes")
+	serveAddr := flag.String("serve", "", "run the matrix on an advm-served daemon at this address (unix socket path or host:port) instead of in-process")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		runServed(servedFlags{
+			addr: *serveAddr, label: *label, derivs: *derivs, plats: *plats,
+			engine: *engine, verbose: *verbose, junit: *junit, bundle: *bundle,
+			journalPath: *journalPath,
+		})
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -90,6 +101,14 @@ func main() {
 	}
 	if *runCache {
 		spec.RunCache = advm.NewRunCache()
+	}
+	var store *advm.ArtifactStore
+	if *storeDir != "" {
+		store, err = advm.OpenArtifactStore(*storeDir, advm.ArtifactStoreOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		advm.AttachArtifactStore(store, spec.Cache, spec.RunCache)
 	}
 	metrics := advm.NewMetricsRegistry()
 	spec.Metrics = metrics
@@ -186,6 +205,12 @@ func main() {
 	}
 	if spec.RunCache != nil {
 		fmt.Printf("run cache: %s\n", spec.RunCache.Stats())
+	}
+	if store != nil {
+		fmt.Printf("artifact store: %s\n", store.Stats())
+		if err := store.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if ps := advm.PredecodeTotals(); ps.Hits+ps.Slow > 0 {
 		fmt.Printf("predecode: %s\n", ps)
@@ -310,6 +335,147 @@ func main() {
 				}
 			}
 		}
+		os.Exit(1)
+	}
+}
+
+// servedFlags is the subset of the flag surface that travels to an
+// advm-served daemon.
+type servedFlags struct {
+	addr, label, derivs, plats, engine string
+	verbose                            bool
+	junit, bundle, journalPath         string
+}
+
+// runServed is the -serve client path: the matrix executes on the
+// daemon's worker pool, and this process reassembles the streamed
+// results into the same report, journal, JUnit, and bundle outputs the
+// in-process run produces. Execution policy (workers, caches, retries,
+// deadlines, triage) belongs to the daemon, so those flags are rejected
+// up front by main.
+func runServed(f servedFlags) {
+	// Local execution-policy flags make no sense against a remote pool;
+	// fail loudly rather than silently ignoring them.
+	incompatible := map[string]string{
+		"workers":          "the daemon's -workers sets the pool size",
+		"cache":            "the daemon's workers own their caches",
+		"run-cache":        "the daemon's workers own their caches",
+		"store":            "pass -store to advm-served instead",
+		"history":          "pass -history to advm-served instead",
+		"triage-dir":       "triage replay is not available over -serve",
+		"deadline":         "per-cell deadlines are not available over -serve",
+		"retries":          "retry policy is not available over -serve",
+		"quarantine-after": "quarantine is not available over -serve",
+		"breaker":          "circuit breakers are not available over -serve",
+		"trace-out":        "the timeline lives in the worker processes",
+		"metrics-out":      "the metrics registry lives in the worker processes",
+		"progress":         "use -v to stream failing cells over -serve",
+		"pprof":            "profile the daemon process instead",
+	}
+	flag.Visit(func(fl *flag.Flag) {
+		if why, ok := incompatible[fl.Name]; ok {
+			log.Fatalf("-%s cannot be combined with -serve: %s", fl.Name, why)
+		}
+	})
+	if _, err := advm.ParseEngine(f.engine); err != nil {
+		log.Fatal(err)
+	}
+	req := advm.ShardRequest{Label: f.label, Engine: f.engine}
+	if f.derivs != "all" {
+		for _, name := range strings.Split(f.derivs, ",") {
+			req.Derivs = append(req.Derivs, strings.TrimSpace(name))
+		}
+	}
+	if f.plats != "all" {
+		for _, name := range strings.Split(f.plats, ",") {
+			req.Platforms = append(req.Platforms, strings.TrimSpace(name))
+		}
+	}
+
+	// Freeze the same content locally: if the daemon's epoch differs,
+	// its verdicts describe someone else's sources.
+	sys := advm.StandardSystem()
+	sl, err := advm.FreezeSystem(f.label, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frozen release: %s\n\n", sl)
+
+	var onResult func(*advm.ShardResult)
+	if f.verbose {
+		onResult = func(r *advm.ShardResult) {
+			o := r.Outcome
+			if !o.Passed {
+				fmt.Printf("FAIL %s/%s on %s/%s (worker %d): %s %s\n",
+					o.Module, o.Test, o.Derivative, o.Platform, r.Worker, o.Reason, o.BuildErr)
+			}
+		}
+	}
+	t0 := time.Now()
+	reply, err := advm.ShardRegress(f.addr, req, onResult)
+	wall := time.Since(t0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if reply.Plan.Epoch != sl.Epoch() {
+		log.Fatalf("epoch drift: daemon froze %s, local content is %s — results discarded",
+			reply.Plan.Epoch, sl.Epoch())
+	}
+	rep := reply.Report()
+	fmt.Println(rep.Table())
+	fmt.Println(rep.Summary())
+	for _, kt := range rep.TimesByKind() {
+		fmt.Printf("  %-10s %3d cells  build %8.1f ms  run %8.1f ms\n",
+			kt.Kind, kt.Cells, float64(kt.BuildNanos)/1e6, float64(kt.RunNanos)/1e6)
+	}
+	fmt.Printf("wall time: %s (%d worker processes on %s, daemon wall %s)\n",
+		wall.Round(time.Millisecond), reply.Plan.Workers, f.addr,
+		time.Duration(reply.Done.WallNs).Round(time.Millisecond))
+	if f.journalPath != "" {
+		jf, err := os.Create(f.journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jw := advm.NewJournalWriter(jf)
+		for _, r := range reply.Journal {
+			jw.Emit(r)
+		}
+		if err := jw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := jf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("journal written to %s (%d records); render with advm-report\n", f.journalPath, jw.Count())
+	}
+	if f.junit != "" {
+		out, err := os.Create(f.junit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJUnit(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("junit report written to %s\n", f.junit)
+	}
+	if f.bundle != "" {
+		b, err := advm.Certify(sys, sl, advm.DefaultVetOptions(), rep.BundleCells())
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := b.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(f.bundle, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("certification bundle written to %s (seal %s..)\n", f.bundle, b.Hash[:12])
+	}
+	if !rep.AllPassed() {
 		os.Exit(1)
 	}
 }

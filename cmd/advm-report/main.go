@@ -37,13 +37,19 @@ func main() {
 	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file instead of text to stdout")
 	top := flag.Int("top", 10, "how many slowest cells to list")
 	bundlePath := flag.String("bundle", "", "render a sealed certification bundle instead of a journal")
+	storeDir := flag.String("store", "", "persistent artifact store directory; appends a store usage footer (usable without a journal)")
 	flag.Parse()
 	if *bundlePath != "" {
 		renderBundle(*bundlePath)
 		return
 	}
+	// -store alone inspects the persistent store without a journal.
+	if flag.NArg() == 0 && *storeDir != "" {
+		printStoreFooter(*storeDir)
+		return
+	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: advm-report [-prev old.jsonl] [-history dir] [-html out.html] [-top n] <journal.jsonl> | advm-report -bundle cert.json")
+		log.Fatal("usage: advm-report [-prev old.jsonl] [-history dir] [-store dir] [-html out.html] [-top n] <journal.jsonl> | advm-report -bundle cert.json | advm-report -store dir")
 	}
 
 	recs, err := advm.ReadJournal(flag.Arg(0))
@@ -92,6 +98,29 @@ func main() {
 		return
 	}
 	if err := advm.WriteJournalText(os.Stdout, analysis, opts); err != nil {
+		log.Fatal(err)
+	}
+	if *storeDir != "" {
+		fmt.Println()
+		printStoreFooter(*storeDir)
+	}
+}
+
+// printStoreFooter summarises a persistent artifact store: live entry
+// and byte counts plus the lifetime counters merged across every
+// process that has written stats back on Close.
+func printStoreFooter(dir string) {
+	store, err := advm.OpenArtifactStore(dir, advm.ArtifactStoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.Stats()
+	fmt.Printf("persistent store %s: %s\n", dir, st)
+	if total := st.Hits + st.Misses; total > 0 {
+		fmt.Printf("  lifetime reuse: %.1f%% of %d lookups served from disk\n",
+			100*float64(st.Hits)/float64(total), total)
+	}
+	if err := store.Close(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,132 @@
+// Command advm-served is the regression daemon: it listens on a local
+// socket for regression requests and shards the matrix cells across a
+// pool of worker processes, streaming each cell's outcome and flight
+// records back to the client as it completes. The process boundary is
+// the isolation: a crashed worker costs one cell, not the run.
+//
+// With -store, every worker writes build artifacts and run outcomes
+// through to a shared persistent content-addressed store, so warm work
+// survives daemon restarts and is shared across the pool.
+//
+// Usage:
+//
+//	advm-served -listen /tmp/advm.sock -workers 4 -store .advm-store
+//	advm-regress -serve /tmp/advm.sock -platforms all
+//
+// The daemon re-executes its own binary with -worker for each pool
+// slot; -worker is internal and speaks the job protocol on
+// stdin/stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/advm"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "advm-served.sock", "listen address: a unix socket path (contains '/' or ends in .sock) or TCP host:port")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker processes in the pool")
+	storeDir := flag.String("store", "", "persistent artifact store directory shared by all workers")
+	historyDir := flag.String("history", "", "run-history store directory; enables longest-expected-first dispatch across requests")
+	verbose := flag.Bool("v", false, "log each request and worker event")
+	workerMode := flag.Bool("worker", false, "internal: run as a pool worker speaking the job protocol on stdin/stdout")
+	workerID := flag.Int("worker-id", 0, "internal: this worker's pool slot")
+	flag.Parse()
+
+	if *workerMode {
+		runWorker(*workerID, *storeDir)
+		return
+	}
+
+	d := &advm.ShardDaemon{
+		NewSystem: advm.StandardSystem,
+		Workers:   *workers,
+		WorkerCommand: func(id int) *exec.Cmd {
+			exe, err := os.Executable()
+			if err != nil {
+				exe = os.Args[0]
+			}
+			args := []string{"-worker", "-worker-id", strconv.Itoa(id)}
+			if *storeDir != "" {
+				args = append(args, "-store", *storeDir)
+			}
+			cmd := exec.Command(exe, args...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+	}
+	if *verbose {
+		d.Logf = log.Printf
+	}
+	if *historyDir != "" {
+		hist, err := advm.OpenHistory(*historyDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.History = hist
+	}
+	if err := d.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	network := "tcp"
+	if strings.ContainsRune(*listen, '/') || strings.HasSuffix(*listen, ".sock") {
+		network = "unix"
+		os.Remove(*listen)
+	}
+	l, err := net.Listen(network, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A signal closes the listener so Serve returns and the deferred
+	// pool shutdown (and unix-socket cleanup) runs.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		l.Close()
+	}()
+	fmt.Printf("advm-served: %d workers, listening on %s %s\n", *workers, network, *listen)
+	if *storeDir != "" {
+		fmt.Printf("advm-served: persistent store at %s\n", *storeDir)
+	}
+	d.Serve(l)
+	if network == "unix" {
+		os.Remove(*listen)
+	}
+}
+
+// runWorker is the -worker mode: one pool slot, jobs on stdin, results
+// on stdout, until the daemon closes the pipe.
+func runWorker(id int, storeDir string) {
+	opts := advm.ShardWorkerOptions{ID: id, NewSystem: advm.StandardSystem}
+	var store *advm.ArtifactStore
+	if storeDir != "" {
+		var err error
+		store, err = advm.OpenArtifactStore(storeDir, advm.ArtifactStoreOptions{})
+		if err != nil {
+			log.Fatalf("worker %d: %v", id, err)
+		}
+		opts.Store = store
+	}
+	err := advm.RunShardWorker(os.Stdin, os.Stdout, opts)
+	if store != nil {
+		store.Close()
+	}
+	if err != nil {
+		log.Fatalf("worker %d: %v", id, err)
+	}
+}

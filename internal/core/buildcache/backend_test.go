@@ -1,0 +1,138 @@
+package buildcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memBackend is a Backend over a plain map, with fault hooks.
+type memBackend struct {
+	mu      sync.Mutex
+	store   map[string][]byte
+	gets    int
+	puts    int
+	failPut bool
+}
+
+func newMemBackend() *memBackend { return &memBackend{store: map[string][]byte{}} }
+
+func (b *memBackend) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gets++
+	data, ok := b.store[key]
+	return data, ok
+}
+
+func (b *memBackend) Put(key string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failPut {
+		return fmt.Errorf("backend full")
+	}
+	b.puts++
+	b.store[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (b *memBackend) Lock(key string) func() { return func() {} }
+
+// stringCodec is the test enc/dec pair: values are strings, bytes are
+// their UTF-8.
+func stringEnc(v any) ([]byte, bool) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, false
+	}
+	return []byte(s), true
+}
+
+func stringDec(data []byte) (any, int64, bool) {
+	return string(data), int64(len(data)), true
+}
+
+func TestBackendWriteThroughAndDiskHit(t *testing.T) {
+	be := newMemBackend()
+	c1 := New()
+	c1.SetBackend(be, stringEnc, stringDec)
+	fills := 0
+	fill := func() (any, int64, error) { fills++; return "artifact", int64(8), nil }
+
+	if v, err := c1.Do("key1", fill); err != nil || v != "artifact" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if fills != 1 || be.puts != 1 {
+		t.Fatalf("fills=%d puts=%d after cold Do", fills, be.puts)
+	}
+
+	// A second cache over the same backend is the "restarted process":
+	// its miss must be answered from the store without filling.
+	c2 := New()
+	c2.SetBackend(be, stringEnc, stringDec)
+	if v, err := c2.Do("key1", fill); err != nil || v != "artifact" {
+		t.Fatalf("restarted Do = %v, %v", v, err)
+	}
+	if fills != 1 {
+		t.Fatal("restart re-ran the fill despite a stored entry")
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("restarted stats = %+v, want 1 disk hit, 0 misses", st)
+	}
+	if st.Reuse() != 100 {
+		t.Fatalf("restarted reuse = %.1f, want 100", st.Reuse())
+	}
+
+	// And the in-memory tier now answers without touching the backend.
+	gets := be.gets
+	if _, err := c2.Do("key1", fill); err != nil {
+		t.Fatal(err)
+	}
+	if be.gets != gets {
+		t.Fatal("memory hit consulted the backend")
+	}
+}
+
+func TestBackendErrorsNotPersisted(t *testing.T) {
+	be := newMemBackend()
+	c := New()
+	c.SetBackend(be, stringEnc, stringDec)
+	if _, err := c.Do("bad", func() (any, int64, error) { return nil, 0, fmt.Errorf("boom") }); err == nil {
+		t.Fatal("fill error swallowed")
+	}
+	if be.puts != 0 {
+		t.Fatal("failed fill was written to the backend")
+	}
+}
+
+func TestBackendPutFailureDegradesGracefully(t *testing.T) {
+	be := newMemBackend()
+	be.failPut = true
+	c := New()
+	c.SetBackend(be, stringEnc, stringDec)
+	v, err := c.Do("key", func() (any, int64, error) { return "v", 1, nil })
+	if err != nil || v != "v" {
+		t.Fatalf("Do with failing backend = %v, %v", v, err)
+	}
+	// The in-memory tier still has it.
+	v, err = c.Do("key", func() (any, int64, error) { t.Fatal("refilled"); return nil, 0, nil })
+	if err != nil || v != "v" {
+		t.Fatalf("second Do = %v, %v", v, err)
+	}
+}
+
+func TestBackendUndecodablePayloadFallsThrough(t *testing.T) {
+	be := newMemBackend()
+	be.store["key"] = []byte("stored")
+	c := New()
+	rejectDec := func(data []byte) (any, int64, bool) { return nil, 0, false }
+	c.SetBackend(be, stringEnc, rejectDec)
+	v, err := c.Do("key", func() (any, int64, error) { return "fresh", 5, nil })
+	if err != nil || v != "fresh" {
+		t.Fatalf("Do = %v, %v; want the fill to run when decode rejects", v, err)
+	}
+	if st := c.Stats(); st.DiskHits != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

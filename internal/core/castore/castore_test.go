@@ -1,0 +1,397 @@
+package castore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testKey(s string) string {
+	// Keys are content addresses in production; tests use readable
+	// stand-ins long enough to pass validation.
+	return "k" + s + "0000000000000000"
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("the artifact payload")
+	if _, ok := s.Get(testKey("a")); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(testKey("a"), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(testKey("a"))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if want := int64(len(payload) + entryOverhead); st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestReopenSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey("a"), []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A new Store over the same directory is the "restarted process".
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(testKey("a"))
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("after reopen: Get = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Puts != 1 {
+		t.Fatalf("reopened stats lost the persisted counters: %+v", st)
+	}
+}
+
+func TestRejectsUnsafeKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../../../etc/passwd", testKey("a") + "/x", testKey("a") + "."} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an unsafe key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit on an unsafe key", key)
+		}
+	}
+}
+
+// TestTruncatedEntryIsMissAndRewritten covers the kill-mid-rename /
+// torn-disk case: a truncated entry must read as a miss, be deleted,
+// and accept a clean rewrite.
+func TestTruncatedEntryIsMissAndRewritten(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("trunc")
+	payload := []byte("full payload that will be cut short")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	path, err := s.entryPath(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("truncated entry read as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("truncated entry not deleted on read")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+	// The miss heals: the next writer rewrites a valid entry.
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("rewritten entry: Get = %q, %v", got, ok)
+	}
+}
+
+// TestHashMismatchIsMiss covers bit rot: a checksum-failing entry reads
+// as a miss and is deleted.
+func TestHashMismatchIsMiss(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("rot")
+	if err := s.Put(key, []byte("pristine payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := s.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(magic)+8+3] ^= 0x40 // flip one payload bit; length still matches
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("bit-flipped entry read as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not deleted")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestKillDuringWriteSweep covers a writer killed between stage and
+// rename: the stale temp file is swept by the next Open, while a fresh
+// temp file (a possibly-live writer) survives.
+func TestKillDuringWriteSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(s.tmpDir(), "put-killed")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(s.tmpDir(), "put-live")
+	if err := os.WriteFile(fresh, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{TmpMaxAge: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived the sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh temp file was swept")
+	}
+}
+
+// TestDoSingleflightGoroutines runs many same-key writers from one
+// process: exactly one fill must run, everyone gets the payload.
+func TestDoSingleflightGoroutines(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("flight")
+	var fills atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, _, err := s.Do(key, func() ([]byte, error) {
+				fills.Add(1)
+				time.Sleep(20 * time.Millisecond)
+				return []byte("the one payload"), nil
+			})
+			if err != nil || string(data) != "the one payload" {
+				t.Errorf("Do = %q, %v", data, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("%d fills ran, want 1 (singleflight)", n)
+	}
+}
+
+func TestDoErrorNotStored(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("err")
+	if _, _, err := s.Do(key, func() ([]byte, error) { return nil, fmt.Errorf("boom") }); err == nil {
+		t.Fatal("fill error swallowed")
+	}
+	// The failure was not persisted; the next Do fills for real.
+	data, cached, err := s.Do(key, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || cached || string(data) != "ok" {
+		t.Fatalf("Do after error = %q, cached=%v, err=%v", data, cached, err)
+	}
+}
+
+// TestDoTwoProcesses runs two whole processes racing Do on the same key
+// in a shared store: the flock must let exactly one fill run.
+func TestDoTwoProcesses(t *testing.T) {
+	dir := t.TempDir()
+	run := func(out *[]byte, wg *sync.WaitGroup) {
+		defer wg.Done()
+		cmd := exec.Command(os.Args[0], "-test.run=^TestCastoreHelperProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), "CASTORE_HELPER_DIR="+dir)
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Errorf("helper process: %v\n%s", err, b)
+		}
+		*out = b
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var out1, out2 []byte
+	go run(&out1, &wg)
+	go run(&out2, &wg)
+	wg.Wait()
+	combined := string(out1) + string(out2)
+	if n := strings.Count(combined, "castore-helper: filled"); n != 1 {
+		t.Fatalf("%d processes ran the fill, want exactly 1:\n%s", n, combined)
+	}
+	if n := strings.Count(combined, "castore-helper: got the one payload"); n != 2 {
+		t.Fatalf("%d processes saw the payload, want 2:\n%s", n, combined)
+	}
+}
+
+// TestCastoreHelperProcess is not a test: it is the subprocess body of
+// TestDoTwoProcesses, guarded by the environment variable.
+func TestCastoreHelperProcess(t *testing.T) {
+	dir := os.Getenv("CASTORE_HELPER_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestDoTwoProcesses")
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := s.Do(testKey("xproc"), func() ([]byte, error) {
+		fmt.Println("castore-helper: filled")
+		// Hold the key long enough that the sibling process arrives
+		// while the fill is in flight and must wait on the flock.
+		time.Sleep(300 * time.Millisecond)
+		return []byte("the one payload"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("castore-helper: got %s\n", data)
+}
+
+// TestGCUnderByteBudget fills past a budget and checks the LRU sweep:
+// oldest-by-mtime entries go first, recently-read entries survive.
+func TestGCUnderByteBudget(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1000)
+	perEntry := int64(len(payload) + entryOverhead)
+	for i := 0; i < 10; i++ {
+		key := testKey(fmt.Sprintf("gc%d", i))
+		if err := s.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Backdate each entry so mtime order equals insertion order
+		// regardless of filesystem timestamp granularity.
+		path, _ := s.entryPath(key)
+		mt := time.Now().Add(-time.Duration(10-i) * time.Hour)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest entry: a Get refreshes recency, so it must now
+	// survive a sweep that evicts half the store.
+	if _, ok := s.Get(testKey("gc0")); !ok {
+		t.Fatal("miss on a live entry")
+	}
+	evicted, freed := s.GC(5 * perEntry)
+	if evicted != 5 || freed != 5*perEntry {
+		t.Fatalf("GC evicted %d entries / %d bytes, want 5 / %d", evicted, freed, 5*perEntry)
+	}
+	st := s.Stats()
+	if st.Entries != 5 || st.Bytes != 5*perEntry {
+		t.Fatalf("after GC: %d entries / %d bytes", st.Entries, st.Bytes)
+	}
+	// gc0 was touched (most recent), gc1..gc5 were the LRU victims.
+	if _, ok := s.Get(testKey("gc0")); !ok {
+		t.Fatal("recently-read entry was evicted")
+	}
+	for i := 1; i <= 5; i++ {
+		path, _ := s.entryPath(testKey(fmt.Sprintf("gc%d", i)))
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("LRU victim gc%d survived", i)
+		}
+	}
+	for i := 6; i <= 9; i++ {
+		if _, ok := s.Get(testKey(fmt.Sprintf("gc%d", i))); !ok {
+			t.Fatalf("recent entry gc%d was evicted", i)
+		}
+	}
+}
+
+// TestAutoGCOnPut checks the byte budget is enforced by Put itself.
+func TestAutoGCOnPut(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 1000)
+	perEntry := int64(len(payload) + entryOverhead)
+	s, err := Open(t.TempDir(), Options{MaxBytes: 4 * perEntry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		key := testKey(fmt.Sprintf("auto%d", i))
+		if err := s.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		path, _ := s.entryPath(key)
+		mt := time.Now().Add(-time.Duration(100-i) * time.Minute)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bytes > 4*perEntry {
+		t.Fatalf("store at %d bytes, budget %d: auto-GC never ran", st.Bytes, 4*perEntry)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// The newest entry always survives the sweep that its own Put
+	// triggered.
+	if _, ok := s.Get(testKey("auto11")); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+}
+
+func TestPutReplaceKeepsAccounting(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("re")
+	if err := s.Put(key, bytes.Repeat([]byte("a"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, bytes.Repeat([]byte("b"), 300)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after replacing one key", st.Entries)
+	}
+	if want := int64(300 + entryOverhead); st.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, want)
+	}
+}

@@ -90,9 +90,10 @@ const (
 // Record is one journal line. It is a flat union over every record
 // kind: unused fields are omitted from the JSON, so each line carries
 // only its kind's payload. Fields named *_ns plus Wall, Goroutines and
-// HeapBytes are host wall-clock or process state and are the fields
-// Mask strips; everything else is a deterministic function of the
-// frozen spec on a serial run.
+// HeapBytes are host wall-clock or process state, and Seq, Workers and
+// the cache totals are execution shape (how the matrix was sharded,
+// not what it concluded); Mask strips them all. Everything else is a
+// deterministic function of the frozen spec.
 type Record struct {
 	Kind Kind   `json:"kind"`
 	Seq  uint64 `json:"seq"`
@@ -304,19 +305,31 @@ func ReadFile(path string) ([]Record, error) {
 	return Read(bytes.NewReader(data))
 }
 
-// volatileKeys are the JSON fields that depend on host wall-clock or
-// process state rather than on the frozen spec: Mask deletes them.
+// volatileKeys are the JSON fields that depend on host wall-clock,
+// process state, or execution shape rather than on the frozen spec:
+// Mask deletes them. Execution-shape fields (seq, workers, and the
+// cache totals) joined the set with the sharded matrix: a cell's
+// verdict is spec-determined, but which worker process ran it, how
+// records interleaved with dropped runtime samples, and which tier a
+// build was served from are not — a sharded run and a serial run of
+// the same frozen spec must mask to identical bytes.
 var volatileKeys = []string{
 	"t_ns", "wall", "wall_ns",
 	"build_ns", "run_ns", "backoff_ns",
 	"goroutines", "heap_bytes", "gc_pause_ns",
+	"seq", "workers",
+	"build_hits", "build_misses", "run_hits", "run_misses", "run_bypassed",
 }
 
-// Mask strips the wall-clock fields from a JSONL journal and re-encodes
-// each line canonically (sorted keys). Two serial runs of the same
-// frozen spec produce byte-identical Mask output — the determinism
-// contract the flight recorder is tested against, and the form trend
-// comparisons should diff.
+// Mask strips the volatile fields from a JSONL journal, drops the
+// runtime-sample records entirely (they describe the host, and their
+// cadence — every 32nd outcome per process — depends on how the matrix
+// was sharded), and re-encodes each surviving line canonically (sorted
+// keys). Two serial runs of the same frozen spec produce byte-identical
+// Mask output, and so do a serial run and a sharded multi-process run
+// dispatching in the same order — the determinism contracts the E17 and
+// E19 acceptance tests enforce, and the form trend comparisons should
+// diff.
 func Mask(data []byte) ([]byte, error) {
 	var out bytes.Buffer
 	sc := bufio.NewScanner(bytes.NewReader(data))
@@ -332,6 +345,9 @@ func Mask(data []byte) ([]byte, error) {
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return nil, fmt.Errorf("journal: mask: line %d: %w", line, err)
 		}
+		if m["kind"] == string(KindRuntime) {
+			continue
+		}
 		for _, k := range volatileKeys {
 			delete(m, k)
 		}
@@ -346,4 +362,22 @@ func Mask(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("journal: mask: %w", err)
 	}
 	return out.Bytes(), nil
+}
+
+// Resequence renumbers a merged record stream with a fresh monotonic
+// Seq, 1..n in slice order. A sharded matrix produces one record
+// sub-stream per worker process, each with its own worker-local
+// sequence; after the daemon's client merges them — schedule records in
+// dispatch order, per-cell groups in dispatch order, each group's
+// records in its worker's emission order (the worker-local Seq is the
+// tiebreak that makes the merge deterministic) — Resequence restores
+// the journal invariant that Seq increases line by line. The input is
+// not mutated.
+func Resequence(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		r.Seq = uint64(i + 1)
+		out[i] = r
+	}
+	return out
 }

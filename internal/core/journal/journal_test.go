@@ -322,3 +322,66 @@ func TestReadRejectsMalformedLine(t *testing.T) {
 		t.Fatalf("err = %v, want line-2 parse error", err)
 	}
 }
+
+func TestMaskDropsExecutionShape(t *testing.T) {
+	// Two journals of the same frozen spec, one serial and one sharded:
+	// different seq numbering, worker counts, runtime-sample cadence,
+	// and cache totals, same cells. They must mask identically.
+	serial := `{"kind":"header","seq":1,"t_ns":10,"version":1,"label":"rel-1","epoch":"e1","workers":1,"cells":1}
+{"kind":"schedule","seq":2,"module":"ES1","test":"t1","deriv":"SC88-A","platform":"golden"}
+{"kind":"runtime","seq":3,"goroutines":8,"heap_bytes":1000}
+{"kind":"start","seq":4,"module":"ES1","test":"t1","deriv":"SC88-A","platform":"golden","attempt":1}
+{"kind":"outcome","seq":5,"module":"ES1","test":"t1","deriv":"SC88-A","platform":"golden","attempt":1,"status":"passed","reason":"halt","cycles":100,"insts":50}
+{"kind":"end","seq":6,"passed":1,"wall_ns":999,"build_hits":12,"build_misses":3,"run_hits":1}
+`
+	sharded := `{"kind":"header","seq":1,"t_ns":77,"version":1,"label":"rel-1","epoch":"e1","workers":4,"cells":1}
+{"kind":"schedule","seq":2,"module":"ES1","test":"t1","deriv":"SC88-A","platform":"golden"}
+{"kind":"start","seq":3,"module":"ES1","test":"t1","deriv":"SC88-A","platform":"golden","attempt":1}
+{"kind":"outcome","seq":4,"module":"ES1","test":"t1","deriv":"SC88-A","platform":"golden","attempt":1,"status":"passed","reason":"halt","cycles":100,"insts":50}
+{"kind":"end","seq":5,"passed":1,"wall_ns":123}
+`
+	m1, err := Mask([]byte(serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Mask([]byte(sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m1) != string(m2) {
+		t.Fatalf("serial and sharded journals mask differently:\n%s\n--- vs ---\n%s", m1, m2)
+	}
+	if strings.Contains(string(m1), "runtime") {
+		t.Fatal("runtime record survived the mask")
+	}
+	for _, key := range []string{`"seq"`, `"workers"`, `"build_hits"`, `"run_hits"`} {
+		if strings.Contains(string(m1), key) {
+			t.Fatalf("masked journal still carries %s:\n%s", key, m1)
+		}
+	}
+	// The spec-determined payload survives.
+	for _, key := range []string{`"label":"rel-1"`, `"cycles":100`, `"status":"passed"`} {
+		if !strings.Contains(string(m1), key) {
+			t.Fatalf("masked journal lost %s:\n%s", key, m1)
+		}
+	}
+}
+
+func TestResequence(t *testing.T) {
+	in := []Record{
+		{Kind: KindHeader, Seq: 1},
+		{Kind: KindStart, Seq: 7, Module: "ES1"}, // worker-local numbering
+		{Kind: KindOutcome, Seq: 2, Module: "ES1"},
+		{Kind: KindEnd},
+	}
+	out := Resequence(in)
+	for i, r := range out {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("out[%d].Seq = %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	// Input untouched; payload carried over.
+	if in[1].Seq != 7 || out[1].Module != "ES1" {
+		t.Fatalf("Resequence mutated its input or dropped payload: %+v / %+v", in[1], out[1])
+	}
+}

@@ -42,6 +42,12 @@ type Spec struct {
 	Kinds []platform.Kind
 	// Modules restricts to named environments; default: all.
 	Modules []string
+	// Tests restricts to named test IDs within the selected modules;
+	// default: all. The sharded matrix (internal/core/shard) uses a
+	// one-element filter to run exactly one cell through the full
+	// pipeline in a worker process — same enumeration, same journal
+	// shape, zero drift from the in-process path.
+	Tests []string
 	// RunSpec bounds each individual run.
 	RunSpec platform.RunSpec
 	// Context, when non-nil, cancels the whole regression: the worker
@@ -189,6 +195,75 @@ type Report struct {
 	Vet *vet.Report
 }
 
+// CellCoord names one enumerated matrix cell.
+type CellCoord struct {
+	Module string
+	Test   string
+	Deriv  *derivative.Derivative
+	Kind   platform.Kind
+}
+
+// EnumerateCells expands a spec into its deterministic cell
+// enumeration — modules × tests × derivatives × platform kinds, in
+// declaration order — without running anything. This is the order
+// Report.Outcomes is indexed by, and the order the sharded matrix's
+// daemon plans and merges in: enumerating in one place is what makes
+// the serial and sharded journals comparable record for record.
+func EnumerateCells(s *sysenv.System, spec Spec) ([]CellCoord, error) {
+	derivs := spec.Derivatives
+	if len(derivs) == 0 {
+		derivs = derivative.Family()
+	}
+	kinds := spec.Kinds
+	if len(kinds) == 0 {
+		kinds = platform.AllKinds()
+	}
+	modules := spec.Modules
+	if len(modules) == 0 {
+		modules = s.Modules()
+	}
+	return enumerate(s, modules, spec.Tests, derivs, kinds)
+}
+
+// enumerate builds the cell list for already-defaulted selections. A
+// Tests filter that matches nothing it names is an error — a sharded
+// job naming a vanished test must fail loudly, not run zero cells.
+func enumerate(s *sysenv.System, modules, tests []string, derivs []*derivative.Derivative, kinds []platform.Kind) ([]CellCoord, error) {
+	var testFilter map[string]bool
+	if len(tests) > 0 {
+		testFilter = make(map[string]bool, len(tests))
+		for _, id := range tests {
+			testFilter[id] = false // set true once seen
+		}
+	}
+	var cells []CellCoord
+	for _, module := range modules {
+		e, ok := s.Env(module)
+		if !ok {
+			return nil, fmt.Errorf("regress: unknown module %q", module)
+		}
+		for _, id := range e.TestIDs() {
+			if testFilter != nil {
+				if _, ok := testFilter[id]; !ok {
+					continue
+				}
+				testFilter[id] = true
+			}
+			for _, d := range derivs {
+				for _, k := range kinds {
+					cells = append(cells, CellCoord{module, id, d, k})
+				}
+			}
+		}
+	}
+	for id, seen := range testFilter {
+		if !seen {
+			return nil, fmt.Errorf("regress: no module has test %q", id)
+		}
+	}
+	return cells, nil
+}
+
 // Run executes the regression. The system must match the frozen label.
 func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, error) {
 	if label == nil {
@@ -238,24 +313,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 
 	// Enumerate the matrix first so the report order is deterministic
 	// even under concurrency.
-	type cell struct {
-		module, test string
-		d            *derivative.Derivative
-		k            platform.Kind
-	}
-	var cells []cell
-	for _, module := range modules {
-		e, ok := s.Env(module)
-		if !ok {
-			return nil, fmt.Errorf("regress: unknown module %q", module)
-		}
-		for _, id := range e.TestIDs() {
-			for _, d := range derivs {
-				for _, k := range kinds {
-					cells = append(cells, cell{module, id, d, k})
-				}
-			}
-		}
+	cells, err := enumerate(s, modules, spec.Tests, derivs, kinds)
+	if err != nil {
+		return nil, err
 	}
 
 	// Bind the cache to the frozen label's content hash: entries written
@@ -285,9 +345,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			spec.Journal.Emit(r)
 		}
 	}
-	cellRec := func(kind journal.Kind, c cell) journal.Record {
-		return journal.Record{Kind: kind, Module: c.module, Test: c.test,
-			Deriv: c.d.Name, Platform: c.k.String()}
+	cellRec := func(kind journal.Kind, c CellCoord) journal.Record {
+		return journal.Record{Kind: kind, Module: c.Module, Test: c.Test,
+			Deriv: c.Deriv.Name, Platform: c.Kind.String()}
 	}
 	// sampleRuntime reads the Go runtime's health into the metrics
 	// gauges and, when a journal is attached, a runtime record.
@@ -314,8 +374,8 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		keys := make([]string, len(cells))
 		kindNames := make([]string, len(cells))
 		for i, c := range cells {
-			keys[i] = resilience.CellKey(c.module, c.test, c.d.Name, c.k)
-			kindNames[i] = c.k.String()
+			keys[i] = resilience.CellKey(c.Module, c.Test, c.Deriv.Name, c.Kind)
+			kindNames[i] = c.Kind.String()
 		}
 		if o := spec.History.Order(keys, kindNames); o != nil {
 			order = o
@@ -345,11 +405,11 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		c := cells[i]
 		out := &rep.Outcomes[i]
 		*out = Outcome{
-			Module: c.module, Test: c.test,
-			Derivative: c.d.Name, Platform: c.k,
+			Module: c.Module, Test: c.Test,
+			Derivative: c.Deriv.Name, Platform: c.Kind,
 		}
-		cellName := fmt.Sprintf("%s/%s %s %s", c.module, c.test, c.d.Name, c.k)
-		key := resilience.CellKey(c.module, c.test, c.d.Name, c.k)
+		cellName := fmt.Sprintf("%s/%s %s %s", c.Module, c.Test, c.Deriv.Name, c.Kind)
+		key := resilience.CellKey(c.Module, c.Test, c.Deriv.Name, c.Kind)
 		// A panicking platform (or build) breaks its own cell, not the
 		// regression: record it and let the other workers finish.
 		defer func() {
@@ -400,7 +460,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			// were served from the run cache would poison the estimates;
 			// broken builds have no run time worth learning.
 			if out.Attempts > 0 && !out.RunCached && out.BuildErr == "" {
-				spec.History.Record(key, c.k.String(), out.BuildNanos, out.RunNanos, status)
+				spec.History.Record(key, c.Kind.String(), out.BuildNanos, out.RunNanos, status)
 			}
 		}()
 		// Matrix shutdown: cells reached after cancellation never run.
@@ -424,11 +484,11 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		// Every breaker interaction may move the automaton (Allow arms
 		// the half-open probe, OnTransient trips, OnSuccess closes), so
 		// each is bracketed by a state check that journals transitions.
-		brk := spec.Breakers.For(c.k)
+		brk := spec.Breakers.For(c.Kind)
 		brkState := brk.State()
 		noteBreaker := func() {
 			if s := brk.State(); s != brkState {
-				emit(journal.Record{Kind: journal.KindBreaker, Platform: c.k.String(),
+				emit(journal.Record{Kind: journal.KindBreaker, Platform: c.Kind.String(),
 					From: brkState.String(), To: s.String()})
 				brkState = s
 			}
@@ -436,7 +496,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		allowed := brk.Allow()
 		noteBreaker()
 		if !allowed {
-			out.BuildErr = fmt.Sprintf("breaker open: %s platform failing transiently", c.k)
+			out.BuildErr = fmt.Sprintf("breaker open: %s platform failing transiently", c.Kind)
 			spec.Metrics.Counter("resilience.breaker_fastfail").Inc()
 			return
 		}
@@ -450,12 +510,12 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		buildAndRun := func(runSpec platform.RunSpec, attempt int) (*platform.Result, error) {
 			t0 := time.Now()
 			var err error
-			img, err = s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
+			img, err = s.BuildTestWith(bc, c.Module, c.Test, c.Deriv, c.Kind)
 			bn := time.Since(t0).Nanoseconds()
 			out.BuildNanos += bn
 			spec.Metrics.Histogram("regress.build_ns").ObserveNanos(bn)
 			spec.Timeline.Span("build "+cellName, "build", worker, t0, time.Duration(bn),
-				map[string]any{"module": c.module, "test": c.test, "deriv": c.d.Name, "platform": c.k.String(), "attempt": attempt})
+				map[string]any{"module": c.Module, "test": c.Test, "deriv": c.Deriv.Name, "platform": c.Kind.String(), "attempt": attempt})
 			if err != nil {
 				return nil, err
 			}
@@ -465,9 +525,9 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 				out.RunNanos += rn
 				spec.Metrics.Histogram("regress.run_ns").ObserveNanos(rn)
 				spec.Timeline.Span("run "+cellName, "run", worker, t1, time.Duration(rn),
-					map[string]any{"platform": c.k.String(), "attempt": attempt})
+					map[string]any{"platform": c.Kind.String(), "attempt": attempt})
 			}()
-			p, err := newPlat(c.k, c.d.HW)
+			p, err := newPlat(c.Kind, c.Deriv.HW)
 			if err != nil {
 				return nil, err
 			}
@@ -487,14 +547,14 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		pure := spec.RunCache != nil && spec.NewPlatform == nil &&
 			spec.RunSpec.Trace == nil && spec.RunSpec.Events == nil &&
 			matrixCtx == nil && spec.Deadline == 0
-		if pure && runcache.Cacheable(c.k) {
+		if pure && runcache.Cacheable(c.Kind) {
 			tc := time.Now()
 			out.Attempts = 1
 			start := cellRec(journal.KindStart, c)
 			start.Attempt = 1
 			emit(start)
 			res, out.RunCached, err = spec.RunCache.Do(
-				runcache.OutcomeKey(bc.Epoch, c.module, c.test, c.d.Name, c.k, c.d.HW, spec.RunSpec),
+				runcache.OutcomeKey(bc.Epoch, c.Module, c.Test, c.Deriv.Name, c.Kind, c.Deriv.HW, spec.RunSpec),
 				func() (*platform.Result, error) { return buildAndRun(spec.RunSpec, 1) })
 			if out.RunCached {
 				out.RunNanos = time.Since(tc).Nanoseconds()
@@ -510,7 +570,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 			// deadline context so a wedged platform stops at Deadline
 			// with StopCancelled instead of hanging the worker.
 			maxAttempts := 1
-			if resilience.Retryable(c.k) {
+			if resilience.Retryable(c.Kind) {
 				maxAttempts = spec.Retry.Attempts()
 			}
 			var firstFault string
@@ -618,13 +678,13 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 		if !out.Flaky {
 			out.Detail = res.Detail
 		}
-		if triage && !out.Passed && !out.Flaky && c.k != platform.KindGolden {
+		if triage && !out.Passed && !out.Flaky && c.Kind != platform.KindGolden {
 			// Under a fault-injection harness the reference is a pristine
 			// instance of the subject's own kind: cycle-identical, so the
 			// first divergence is the injected fault, not a timing loop.
 			refKind := platform.KindGolden
 			if spec.NewPlatform != nil {
-				refKind = c.k
+				refKind = c.Kind
 			}
 			if img == nil {
 				// The failing outcome was served from the run cache, so
@@ -632,7 +692,7 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 				// deterministic (same epoch, same inputs) and usually a
 				// build-cache hit, so rebuilding for the replay is cheap.
 				var berr error
-				img, berr = s.BuildTestWith(bc, c.module, c.test, c.d, c.k)
+				img, berr = s.BuildTestWith(bc, c.Module, c.Test, c.Deriv, c.Kind)
 				if berr != nil {
 					out.Detail = strings.TrimSpace(out.Detail + "\ntriage rebuild failed: " + berr.Error())
 					return
@@ -654,14 +714,14 @@ func Run(s *sysenv.System, label *release.SystemLabel, spec Spec) (*Report, erro
 				tspec.Context = matrixCtx
 			}
 			t2 := time.Now()
-			tri, terr := triageCell(img, c.d.HW, c.k, refKind, newPlat, tspec)
+			tri, terr := triageCell(img, c.Deriv.HW, c.Kind, refKind, newPlat, tspec)
 			spec.Timeline.Span("triage "+cellName, "triage", worker, t2, time.Since(t2), nil)
 			if terr != nil {
 				out.Detail = strings.TrimSpace(out.Detail + "\ntriage failed: " + terr.Error())
 				return
 			}
 			spec.Metrics.Counter("regress.triaged").Inc()
-			tri.Module, tri.Test, tri.Derivative = c.module, c.test, c.d.Name
+			tri.Module, tri.Test, tri.Derivative = c.Module, c.Test, c.Deriv.Name
 			out.Triage = tri
 			tref := cellRec(journal.KindTriage, c)
 			tref.Ref = tri.Summary()

@@ -1,0 +1,148 @@
+package runcache
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core/castore"
+	"repro/internal/platform"
+)
+
+func testStore(t *testing.T) *castore.Store {
+	t.Helper()
+	s, err := castore.Open(t.TempDir(), castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleResult() *platform.Result {
+	return &platform.Result{
+		Platform:     "golden/SC88-A",
+		Kind:         platform.KindGolden,
+		Reason:       platform.StopHalt,
+		MboxResult:   0x600D,
+		MboxDone:     true,
+		Instructions: 4242,
+		Cycles:       9001,
+		Console:      "PASS\n",
+		Checkpoints:  []uint32{1, 2, 3},
+		State:        &platform.ArchState{D: [16]uint32{7, 8}, PC: 0x1000, PSW: 0x4},
+	}
+}
+
+const backendKey = "cafe0000deadbeef0000000000000000"
+
+func TestBackendOutcomeSurvivesRestart(t *testing.T) {
+	store := testStore(t)
+	c1 := New()
+	c1.SetBackend(store)
+	want := sampleResult()
+	res, cached, err := c1.Do(backendKey, func() (*platform.Result, error) { return want, nil })
+	if err != nil || cached {
+		t.Fatalf("cold Do: cached=%v err=%v", cached, err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatalf("cold Do result mismatch: %+v", res)
+	}
+
+	// A fresh cache over the same store is the restarted process: the
+	// outcome must come back without simulating.
+	c2 := New()
+	c2.SetBackend(store)
+	res2, cached2, err := c2.Do(backendKey, func() (*platform.Result, error) {
+		t.Fatal("restart re-simulated a stored outcome")
+		return nil, nil
+	})
+	if err != nil || !cached2 {
+		t.Fatalf("restarted Do: cached=%v err=%v", cached2, err)
+	}
+	if !reflect.DeepEqual(res2, want) {
+		t.Fatalf("restarted result mismatch:\n got %+v\nwant %+v", res2, want)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("restarted stats = %+v", st)
+	}
+}
+
+// TestPersistentHitNoAliasing is the deep-clone audit: a caller that
+// corrupts the result it received — triage reattachment mutates state
+// and checkpoint slices in place — must not poison what later readers
+// of the same key see, whether they hit the in-memory tier or decode
+// the store afresh.
+func TestPersistentHitNoAliasing(t *testing.T) {
+	store := testStore(t)
+	c1 := New()
+	c1.SetBackend(store)
+	if _, _, err := c1.Do(backendKey, func() (*platform.Result, error) { return sampleResult(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+
+	corrupt := func(r *platform.Result) {
+		r.Checkpoints[0] = 0xDEAD
+		r.Checkpoints = append(r.Checkpoints, 0xBEEF)
+		r.State.D[0] = 0xFFFF
+		r.State.PC = 0
+		r.Console = "corrupted"
+		r.Detail = "scribbled by triage"
+	}
+
+	// Corrupt a disk-tier hit, then re-read from the memory tier.
+	c2 := New()
+	c2.SetBackend(store)
+	got, cached, err := c2.Do(backendKey, func() (*platform.Result, error) { return nil, fmt.Errorf("must not run") })
+	if err != nil || !cached {
+		t.Fatalf("disk hit: cached=%v err=%v", cached, err)
+	}
+	corrupt(got)
+	again, _, err := c2.Do(backendKey, func() (*platform.Result, error) { return nil, fmt.Errorf("must not run") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatalf("memory-tier re-read sees the corruption:\n got %+v %+v\nwant %+v %+v",
+			again, again.State, want, want.State)
+	}
+	// And corrupt the re-read too, then decode the store from scratch.
+	corrupt(again)
+	c3 := New()
+	c3.SetBackend(store)
+	fresh, _, err := c3.Do(backendKey, func() (*platform.Result, error) { return nil, fmt.Errorf("must not run") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, want) {
+		t.Fatalf("store re-decode sees the corruption:\n got %+v %+v\nwant %+v %+v",
+			fresh, fresh.State, want, want.State)
+	}
+}
+
+func TestBackendErrorsNotPersisted(t *testing.T) {
+	store := testStore(t)
+	c1 := New()
+	c1.SetBackend(store)
+	if _, _, err := c1.Do(backendKey, func() (*platform.Result, error) { return nil, fmt.Errorf("flaky lab") }); err == nil {
+		t.Fatal("run error swallowed")
+	}
+	// A fresh cache over the store must re-run: failures are memoised
+	// in memory only.
+	c2 := New()
+	c2.SetBackend(store)
+	ran := false
+	res, cached, err := c2.Do(backendKey, func() (*platform.Result, error) { ran = true; return sampleResult(), nil })
+	if err != nil || cached || !ran || res == nil {
+		t.Fatalf("Do after error: ran=%v cached=%v err=%v", ran, cached, err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, ok := decodeResult([]byte("not a gob stream")); ok {
+		t.Fatal("garbage decoded")
+	}
+	if _, ok := decodeResult(nil); ok {
+		t.Fatal("empty payload decoded")
+	}
+}

@@ -20,8 +20,10 @@
 package runcache
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/gob"
 	"encoding/hex"
 	"fmt"
 	"sync"
@@ -33,6 +35,11 @@ import (
 	"repro/internal/platform"
 	"repro/internal/soc"
 )
+
+// Backend is the persistent second tier, shared with the build cache —
+// one on-disk store (internal/core/castore) serves both, keyed by
+// their disjoint content-address namespaces.
+type Backend = buildcache.Backend
 
 // Cacheable reports whether a platform kind's runs are deterministic
 // functions of (image, config, bounds) and may be memoised. The golden
@@ -129,6 +136,9 @@ type Stats struct {
 	// Merged counts Do calls that blocked on another caller's in-flight
 	// run instead of duplicating it.
 	Merged uint64
+	// DiskHits counts Do calls answered from the persistent backend
+	// instead of simulating.
+	DiskHits uint64
 	// Bypassed counts runs that skipped the cache: non-deterministic
 	// platform kinds, fault-injection harnesses, traced runs.
 	Bypassed uint64
@@ -138,19 +148,24 @@ type Stats struct {
 
 // String renders a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d hits, %d misses, %d merged (%.1f%% reuse), %d bypassed, %d entries",
+	line := fmt.Sprintf("%d hits, %d misses, %d merged (%.1f%% reuse), %d bypassed, %d entries",
 		s.Hits, s.Misses, s.Merged, s.Reuse(), s.Bypassed, s.Entries)
+	if s.DiskHits > 0 {
+		line += fmt.Sprintf(", %d from store", s.DiskHits)
+	}
+	return line
 }
 
 // Reuse is the percentage of memoisable runs served without simulating
-// (hits plus singleflight merges), 0 on an untouched cache. Bypassed
-// runs are outside the denominator — they were never candidates.
+// (hits, singleflight merges, and persistent-store hits), 0 on an
+// untouched cache. Bypassed runs are outside the denominator — they
+// were never candidates.
 func (s Stats) Reuse() float64 {
-	total := s.Hits + s.Misses + s.Merged
+	total := s.Hits + s.Misses + s.Merged + s.DiskHits
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.Merged) / float64(total) * 100
+	return float64(s.Hits+s.Merged+s.DiskHits) / float64(total) * 100
 }
 
 // entry is one cache slot. ready is closed once res/err are final.
@@ -167,6 +182,7 @@ type Cache struct {
 	entries map[string]*entry
 	stats   Stats
 	metrics *telemetry.Registry
+	backend Backend
 }
 
 // New creates an empty cache.
@@ -182,6 +198,50 @@ func (c *Cache) SetMetrics(r *telemetry.Registry) {
 	c.mu.Lock()
 	c.metrics = r
 	c.mu.Unlock()
+}
+
+// SetBackend attaches a persistent second tier: on an in-memory miss
+// the backend is consulted, and a successful run's result is written
+// through, so memoised outcomes survive process restarts and are shared
+// between concurrent processes. Errors are never persisted — only
+// results that produced a verdict. A nil backend detaches.
+func (c *Cache) SetBackend(b Backend) {
+	c.mu.Lock()
+	c.backend = b
+	c.mu.Unlock()
+}
+
+// persistVersion tags the on-disk result encoding; a decoder that sees
+// any other version treats the entry as a miss, so the format can
+// evolve without migrations (stale entries simply re-run once).
+const persistVersion = 1
+
+// persistedResult is the gob envelope for one stored outcome.
+type persistedResult struct {
+	V   int
+	Res *platform.Result
+}
+
+// encodeResult serialises a result for the backend.
+func encodeResult(r *platform.Result) ([]byte, bool) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(persistedResult{V: persistVersion, Res: r}); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// decodeResult deserialises a backend payload; any decode failure or
+// version mismatch reads as a miss.
+func decodeResult(data []byte) (*platform.Result, bool) {
+	var p persistedResult
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, false
+	}
+	if p.V != persistVersion || p.Res == nil {
+		return nil, false
+	}
+	return p.Res, true
 }
 
 // Bypass records a run that skipped the cache, for the reuse accounting.
@@ -244,10 +304,9 @@ func (c *Cache) Do(key string, run func() (*platform.Result, error)) (*platform.
 	// Pre-set the failure waiters observe if run panics out of this call.
 	e.err = fmt.Errorf("runcache: run for key %.12s aborted", key)
 	c.entries[key] = e
-	c.stats.Misses++
 	c.stats.Entries++
+	backend := c.backend
 	c.mu.Unlock()
-	m.Counter("runcache.misses").Inc()
 
 	completed := false
 	defer func() {
@@ -261,9 +320,54 @@ func (c *Cache) Do(key string, run func() (*platform.Result, error)) (*platform.
 		}
 		close(e.ready)
 	}()
+
+	// Persistent second tier: a stored outcome fills the in-memory slot
+	// without simulating. The decoded result is cloned on the way in
+	// AND out, so no caller ever aliases the bytes another caller (or
+	// the cache itself) holds.
+	if backend != nil {
+		fromStore := func(data []byte) (*platform.Result, bool) {
+			res, ok := decodeResult(data)
+			if !ok {
+				return nil, false
+			}
+			e.res, e.err = clone(res), nil
+			completed = true
+			c.mu.Lock()
+			c.stats.DiskHits++
+			c.mu.Unlock()
+			m.Counter("runcache.disk_hits").Inc()
+			return clone(res), true
+		}
+		if data, ok := backend.Get(key); ok {
+			if res, ok := fromStore(data); ok {
+				return res, true, nil
+			}
+		}
+		// Cross-process singleflight: serialise same-key runners on the
+		// key's file lock, then re-check the store for the winner's
+		// entry before simulating.
+		unlock := backend.Lock(key)
+		defer unlock()
+		if data, ok := backend.Get(key); ok {
+			if res, ok := fromStore(data); ok {
+				return res, true, nil
+			}
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	m.Counter("runcache.misses").Inc()
 	res, err := run()
 	e.res, e.err = clone(res), err
 	completed = true
+	if err == nil && res != nil && backend != nil {
+		if data, ok := encodeResult(res); ok {
+			backend.Put(key, data)
+		}
+	}
 	return res, false, err
 }
 

@@ -1,0 +1,362 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/core/derivative"
+	"repro/internal/core/history"
+	"repro/internal/core/journal"
+	"repro/internal/core/regress"
+	"repro/internal/core/release"
+	"repro/internal/core/resilience"
+	"repro/internal/core/sysenv"
+	"repro/internal/core/vet"
+	"repro/internal/platform"
+)
+
+// Daemon shards regression requests across a pool of worker processes.
+// It owns the matrix-level decisions — freezing the release label,
+// running the vet preflight once, enumerating cells, dispatching
+// longest-expected-first from its history store — and leaves each
+// cell's build and run to a worker. Crash isolation is the point of the
+// process boundary: a worker that dies (OOM, a platform model
+// segfaulting through cgo, a kill -9) costs exactly its in-flight cell,
+// which is reported broken while a replacement worker takes over the
+// queue.
+type Daemon struct {
+	// NewSystem constructs the daemon's module environments (for
+	// freezing, vet, and enumeration — the daemon never builds a cell).
+	NewSystem func() *sysenv.System
+	// Workers is the worker-process pool size (minimum 1).
+	Workers int
+	// WorkerCommand builds the command for worker process id. The
+	// command must speak the job/result protocol on stdin/stdout —
+	// normally the daemon binary re-executing itself with a -worker
+	// flag.
+	WorkerCommand func(id int) *exec.Cmd
+	// History, when non-nil, orders dispatch longest-expected-first and
+	// learns each completed cell's times (saved after every request).
+	History *history.Store
+	// Logf, when non-nil, receives daemon progress lines.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex // one request at a time: the pool is exclusive
+	workers []*workerProc
+}
+
+// workerProc is one live worker process.
+type workerProc struct {
+	id    int
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	conn  *Conn
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// freezeSystem snapshots every module environment and composes a system
+// label — the advm.FreezeSystem recipe, shared by daemon and worker so
+// both sides derive the epoch the same way.
+func freezeSystem(name string, s *sysenv.System) (*release.SystemLabel, error) {
+	var subs []*release.Label
+	for _, e := range s.Envs() {
+		subs = append(subs, release.Snapshot(name+"_"+e.Module, e))
+	}
+	return release.ComposeSystem(name, s, subs...)
+}
+
+// spawn starts worker process id and wires its pipes.
+func (d *Daemon) spawn(id int) (*workerProc, error) {
+	cmd := d.WorkerCommand(id)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	d.logf("worker %d: pid %d", id, cmd.Process.Pid)
+	return &workerProc{id: id, cmd: cmd, stdin: stdin, conn: NewConn(stdout, stdin)}, nil
+}
+
+// Start spawns the worker pool.
+func (d *Daemon) Start() error {
+	if d.NewSystem == nil {
+		return fmt.Errorf("shard: daemon needs a NewSystem constructor")
+	}
+	if d.WorkerCommand == nil {
+		return fmt.Errorf("shard: daemon needs a WorkerCommand")
+	}
+	n := d.Workers
+	if n < 1 {
+		n = 1
+	}
+	d.workers = make([]*workerProc, n)
+	for i := 0; i < n; i++ {
+		w, err := d.spawn(i)
+		if err != nil {
+			d.Close()
+			return fmt.Errorf("shard: spawn worker %d: %w", i, err)
+		}
+		d.workers[i] = w
+	}
+	return nil
+}
+
+// Close shuts the pool down: closing each worker's stdin is the
+// protocol's EOF, so workers exit cleanly and are reaped.
+func (d *Daemon) Close() {
+	for _, w := range d.workers {
+		if w == nil {
+			continue
+		}
+		w.stdin.Close()
+		w.cmd.Wait()
+	}
+	d.workers = nil
+}
+
+// Serve accepts client connections until the listener closes, handling
+// one request per connection.
+func (d *Daemon) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		d.handle(conn)
+	}
+}
+
+// handle serves one client connection: request in, plan + result stream
+// + done out. Pre-flight failures (bad names, vet findings, unfrozen
+// content) are an error frame, not a half-run matrix.
+func (d *Daemon) handle(nc net.Conn) {
+	defer nc.Close()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	conn := NewConn(nc, nc)
+	fail := func(err error) {
+		d.logf("request failed: %v", err)
+		conn.Write(Frame{Type: FrameError, Error: err.Error()})
+	}
+	f, err := conn.Read()
+	if err != nil {
+		d.logf("read request: %v", err)
+		return
+	}
+	if f.Type != FrameRequest || f.Request == nil {
+		fail(fmt.Errorf("shard: expected a request frame, got %q", f.Type))
+		return
+	}
+	req := f.Request
+	if req.Label == "" {
+		fail(fmt.Errorf("shard: request needs a label"))
+		return
+	}
+	start := time.Now()
+
+	// Matrix-level setup, once per request: resolve names, freeze,
+	// preflight, enumerate, order.
+	var derivs []*derivative.Derivative
+	for _, name := range req.Derivs {
+		dv, err := derivative.ByName(name)
+		if err != nil {
+			fail(err)
+			return
+		}
+		derivs = append(derivs, dv)
+	}
+	var kinds []platform.Kind
+	for _, name := range req.Platforms {
+		k, err := ParseKind(name)
+		if err != nil {
+			fail(err)
+			return
+		}
+		kinds = append(kinds, k)
+	}
+	if _, err := platform.ParseEngine(req.Engine); err != nil {
+		fail(err)
+		return
+	}
+	sys := d.NewSystem()
+	label, err := freezeSystem(req.Label, sys)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if !req.SkipVet {
+		opts := vet.NewOptions()
+		if len(derivs) > 0 {
+			opts.Derivatives = derivs
+		}
+		if _, err := release.Preflight(sys, label, opts); err != nil {
+			fail(err)
+			return
+		}
+	}
+	cells, err := regress.EnumerateCells(sys, regress.Spec{
+		Derivatives: derivs, Kinds: kinds,
+		Modules: req.Modules, Tests: req.Tests,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	plan := &Plan{
+		Label: req.Label, Epoch: label.Epoch(), Workers: len(d.workers),
+		Cells: make([]CellID, len(cells)),
+	}
+	keys := make([]string, len(cells))
+	kindNames := make([]string, len(cells))
+	for i, c := range cells {
+		plan.Cells[i] = CellID{Module: c.Module, Test: c.Test,
+			Deriv: c.Deriv.Name, Platform: c.Kind.String()}
+		keys[i] = resilience.CellKey(c.Module, c.Test, c.Deriv.Name, c.Kind)
+		kindNames[i] = c.Kind.String()
+	}
+	if d.History != nil {
+		plan.Dispatch = d.History.Order(keys, kindNames)
+	}
+	if err := conn.Write(Frame{Type: FramePlan, Plan: plan}); err != nil {
+		d.logf("write plan: %v", err)
+		return
+	}
+	d.logf("request %s: %d cells across %d workers", req.Label, len(cells), len(d.workers))
+
+	// Dispatch. Each pool slot drains the job channel; a crashed worker
+	// breaks its in-flight cell, is respawned, and the slot continues.
+	// If the respawn itself fails the slot keeps draining, breaking its
+	// share of the queue — the request always produces a full matrix.
+	jobs := make(chan int)
+	var done Done
+	var countMu sync.Mutex
+	var wg sync.WaitGroup
+	for slot := range d.workers {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for idx := range jobs {
+				w := d.workers[slot]
+				job := &Job{
+					ID: idx, Label: req.Label, Epoch: plan.Epoch,
+					Cell:            plan.Cells[idx],
+					MaxInstructions: req.MaxInstructions,
+					MaxCycles:       req.MaxCycles,
+					Engine:          req.Engine,
+				}
+				var res *Result
+				if w == nil {
+					res = brokenResult(slot, job, "worker unavailable: respawn failed")
+				} else {
+					var rerr error
+					res, rerr = runOn(w, job)
+					if rerr != nil {
+						d.logf("worker %d crashed on %s: %v", slot, job.Cell, rerr)
+						res = brokenResult(slot, job, "worker crashed: "+rerr.Error())
+						w.stdin.Close()
+						w.cmd.Wait()
+						if nw, serr := d.spawn(slot); serr != nil {
+							d.logf("respawn worker %d: %v", slot, serr)
+							d.workers[slot] = nil
+						} else {
+							d.workers[slot] = nw
+						}
+					}
+				}
+				countMu.Lock()
+				o := res.Outcome
+				switch {
+				case o.BuildErr != "":
+					done.Broken++
+				case o.Passed:
+					done.Passed++
+				default:
+					done.Failed++
+				}
+				if o.Flaky {
+					done.Flaky++
+				}
+				if d.History != nil && o.Attempts > 0 && !o.RunCached && o.BuildErr == "" {
+					status := journal.StatusFailed
+					switch {
+					case o.Flaky:
+						status = journal.StatusFlaky
+					case o.Passed:
+						status = journal.StatusPassed
+					}
+					d.History.Record(keys[idx], kindNames[idx], o.BuildNanos, o.RunNanos, status)
+				}
+				countMu.Unlock()
+				if err := conn.Write(Frame{Type: FrameResult, Result: res}); err != nil {
+					d.logf("write result: %v", err)
+				}
+			}
+		}(slot)
+	}
+	for _, idx := range plan.Order() {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	if d.History != nil {
+		if err := d.History.Save(); err != nil {
+			d.logf("history save: %v", err)
+		}
+	}
+	done.WallNs = time.Since(start).Nanoseconds()
+	if err := conn.Write(Frame{Type: FrameDone, Done: &done}); err != nil {
+		d.logf("write done: %v", err)
+	}
+	d.logf("request %s: %d passed, %d failed, %d broken in %s",
+		req.Label, done.Passed, done.Failed, done.Broken, time.Duration(done.WallNs))
+}
+
+// runOn sends one job to a worker and waits for its result. Any
+// transport error — including the worker dying mid-cell — is returned
+// for the caller to translate into a broken cell.
+func runOn(w *workerProc, job *Job) (*Result, error) {
+	if err := w.conn.Write(Frame{Type: FrameJob, Job: job}); err != nil {
+		return nil, err
+	}
+	f, err := w.conn.Read()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != FrameResult || f.Result == nil {
+		return nil, fmt.Errorf("shard: worker sent %q, want result", f.Type)
+	}
+	return f.Result, nil
+}
+
+// brokenResult manufactures the deterministic outcome for a cell whose
+// worker died under it, with a synthesized outcome record so the merged
+// flight record still closes every cell.
+func brokenResult(worker int, job *Job, msg string) *Result {
+	return &Result{ID: job.ID, Worker: worker,
+		Outcome: Outcome{
+			Module: job.Cell.Module, Test: job.Cell.Test,
+			Derivative: job.Cell.Deriv, Platform: job.Cell.Platform,
+			BuildErr: msg,
+		},
+		Records: []journal.Record{{
+			Kind: journal.KindOutcome, Module: job.Cell.Module, Test: job.Cell.Test,
+			Deriv: job.Cell.Deriv, Platform: job.Cell.Platform,
+			Status: journal.StatusBroken, BuildErr: msg,
+		}},
+	}
+}

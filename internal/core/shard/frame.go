@@ -1,0 +1,270 @@
+// Package shard lifts the regression matrix across the process
+// boundary: a serialisable cell-job protocol, a daemon that shards
+// cells over N worker processes, and a client that reassembles their
+// streamed results into the same report and flight record the
+// in-process pool produces.
+//
+// The protocol is JSONL frames over any byte stream — a unix or TCP
+// socket between client and daemon, stdin/stdout pipes between daemon
+// and workers. One frame type per line, tagged by "type":
+//
+//	client → daemon:  request
+//	daemon → client:  plan, result*, done   (or error)
+//	daemon → worker:  job*
+//	worker → daemon:  result*
+//
+// Every job carries the frozen-spec epoch — the content hash of the
+// module environments the daemon froze — and the worker refuses a job
+// whose epoch its own frozen system does not reproduce: two processes
+// that disagree about the source content must fail loudly, not compare
+// incomparable runs. Per-cell isolation falls out of the process
+// boundary: a crashed worker costs its in-flight cell (reported broken,
+// like a panicking platform in the in-process pool) and the daemon
+// respawns the worker for the rest of the queue.
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/core/journal"
+	"repro/internal/core/regress"
+	"repro/internal/platform"
+)
+
+// Frame type tags.
+const (
+	FrameRequest = "request"
+	FramePlan    = "plan"
+	FrameJob     = "job"
+	FrameResult  = "result"
+	FrameDone    = "done"
+	FrameError   = "error"
+)
+
+// Frame is the one-of JSONL envelope: Type selects which payload field
+// is set.
+type Frame struct {
+	Type    string   `json:"type"`
+	Request *Request `json:"request,omitempty"`
+	Plan    *Plan    `json:"plan,omitempty"`
+	Job     *Job     `json:"job,omitempty"`
+	Result  *Result  `json:"result,omitempty"`
+	Done    *Done    `json:"done,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Request asks the daemon for one regression matrix. Selections are
+// by name (the client may not share memory with the daemon); empty
+// slices mean the matrix defaults (whole family, all platforms, all
+// modules and tests).
+type Request struct {
+	// Label is the release-label name the daemon freezes the matrix
+	// under.
+	Label     string   `json:"label"`
+	Derivs    []string `json:"derivs,omitempty"`
+	Platforms []string `json:"platforms,omitempty"`
+	Modules   []string `json:"modules,omitempty"`
+	Tests     []string `json:"tests,omitempty"`
+	// MaxInstructions and MaxCycles bound each cell's run.
+	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+	MaxCycles       uint64 `json:"max_cycles,omitempty"`
+	// Engine names the simulator execution engine (empty = default).
+	Engine string `json:"engine,omitempty"`
+	// SkipVet disables the daemon's static-analysis preflight gate.
+	SkipVet bool `json:"skip_vet,omitempty"`
+}
+
+// CellID names one matrix cell on the wire.
+type CellID struct {
+	Module   string `json:"module"`
+	Test     string `json:"test"`
+	Deriv    string `json:"deriv"`
+	Platform string `json:"platform"`
+}
+
+// String renders the resilience CellKey format.
+func (c CellID) String() string {
+	return c.Module + "/" + c.Test + "@" + c.Deriv + "/" + c.Platform
+}
+
+// Plan is the daemon's answer to a request, sent before any cell runs:
+// the frozen epoch, the worker count, the deterministic cell
+// enumeration, and the dispatch permutation (longest-expected-first
+// when the daemon's history store is warm, identity when cold).
+type Plan struct {
+	Label    string   `json:"label"`
+	Epoch    string   `json:"epoch"`
+	Workers  int      `json:"workers"`
+	Cells    []CellID `json:"cells"`
+	Dispatch []int    `json:"dispatch,omitempty"`
+}
+
+// Order returns the dispatch permutation, defaulting to enumeration
+// order.
+func (p *Plan) Order() []int {
+	if len(p.Dispatch) == len(p.Cells) {
+		return p.Dispatch
+	}
+	order := make([]int, len(p.Cells))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// Job dispatches one cell to a worker process.
+type Job struct {
+	// ID is the cell's enumeration index in the plan.
+	ID    int    `json:"id"`
+	Label string `json:"label"`
+	// Epoch is the daemon's frozen-spec epoch; the worker verifies its
+	// own frozen system reproduces it before running.
+	Epoch           string `json:"epoch"`
+	Cell            CellID `json:"cell"`
+	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+	MaxCycles       uint64 `json:"max_cycles,omitempty"`
+	Engine          string `json:"engine,omitempty"`
+}
+
+// Outcome is the wire form of regress.Outcome: platform kind and stop
+// reason as strings, wall-clock fields included (the report renders
+// them; the masked journal strips them).
+type Outcome struct {
+	Module     string `json:"module"`
+	Test       string `json:"test"`
+	Derivative string `json:"deriv"`
+	Platform   string `json:"platform"`
+	Passed     bool   `json:"passed"`
+	Reason     string `json:"reason,omitempty"`
+	MboxResult uint32 `json:"mbox_result,omitempty"`
+	Cycles     uint64 `json:"cycles,omitempty"`
+	Insts      uint64 `json:"insts,omitempty"`
+	BuildNanos int64  `json:"build_ns,omitempty"`
+	RunNanos   int64  `json:"run_ns,omitempty"`
+	BuildErr   string `json:"build_err,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	RunCached  bool   `json:"run_cached,omitempty"`
+	Attempts   int    `json:"attempts,omitempty"`
+	Flaky      bool   `json:"flaky,omitempty"`
+}
+
+// FromOutcome converts a matrix outcome to its wire form.
+func FromOutcome(o regress.Outcome) Outcome {
+	return Outcome{
+		Module: o.Module, Test: o.Test, Derivative: o.Derivative,
+		Platform: o.Platform.String(),
+		Passed:   o.Passed, Reason: string(o.Reason),
+		MboxResult: o.MboxResult, Cycles: o.Cycles, Insts: o.Insts,
+		BuildNanos: o.BuildNanos, RunNanos: o.RunNanos,
+		BuildErr: o.BuildErr, Detail: o.Detail,
+		RunCached: o.RunCached, Attempts: o.Attempts, Flaky: o.Flaky,
+	}
+}
+
+// ToRegress converts a wire outcome back to the matrix form.
+func (o Outcome) ToRegress() (regress.Outcome, error) {
+	k, err := ParseKind(o.Platform)
+	if err != nil {
+		return regress.Outcome{}, err
+	}
+	return regress.Outcome{
+		Module: o.Module, Test: o.Test, Derivative: o.Derivative,
+		Platform: k,
+		Passed:   o.Passed, Reason: platform.StopReason(o.Reason),
+		MboxResult: o.MboxResult, Cycles: o.Cycles, Insts: o.Insts,
+		BuildNanos: o.BuildNanos, RunNanos: o.RunNanos,
+		BuildErr: o.BuildErr, Detail: o.Detail,
+		RunCached: o.RunCached, Attempts: o.Attempts, Flaky: o.Flaky,
+	}, nil
+}
+
+// Result reports one completed cell: the outcome plus the cell's
+// journal records (start/cache-hit/outcome and any retries), each
+// stamped with the worker's local sequence — the (worker, seq) pair the
+// client merges by.
+type Result struct {
+	ID      int              `json:"id"`
+	Worker  int              `json:"worker"`
+	Outcome Outcome          `json:"outcome"`
+	Records []journal.Record `json:"records,omitempty"`
+}
+
+// Done closes a daemon's result stream with the verdict counts.
+type Done struct {
+	Passed int   `json:"passed"`
+	Failed int   `json:"failed"`
+	Broken int   `json:"broken"`
+	Flaky  int   `json:"flaky"`
+	WallNs int64 `json:"wall_ns"`
+}
+
+// ParseKind resolves a platform-kind name from the wire. Every kind on
+// the ladder parses, registered on this build or not — registration is
+// checked where the platform is instantiated.
+func ParseKind(name string) (platform.Kind, error) {
+	for _, k := range []platform.Kind{platform.KindGolden, platform.KindRTL,
+		platform.KindGate, platform.KindEmulator, platform.KindBondout, platform.KindSilicon} {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("shard: unknown platform kind %q", name)
+}
+
+// Conn frames JSONL messages over a byte stream. Writes are mutexed so
+// concurrent senders (the daemon's worker loops share the client
+// connection) interleave whole frames, never bytes. Reads are
+// single-consumer.
+type Conn struct {
+	wmu sync.Mutex
+	w   *bufio.Writer
+	sc  *bufio.Scanner
+}
+
+// NewConn wraps a read and a write stream (one net.Conn, or a pipe
+// pair).
+func NewConn(r io.Reader, w io.Writer) *Conn {
+	sc := bufio.NewScanner(r)
+	// Result frames carry journal records and console detail; a frame
+	// is bounded far below this, but be generous.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	return &Conn{w: bufio.NewWriter(w), sc: sc}
+}
+
+// Write sends one frame, flushed immediately — the protocol streams.
+func (c *Conn) Write(f Frame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("shard: encode %s frame: %w", f.Type, err)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Read receives the next frame; io.EOF at a clean end of stream.
+func (c *Conn) Read() (Frame, error) {
+	for c.sc.Scan() {
+		line := c.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return Frame{}, fmt.Errorf("shard: malformed frame: %w", err)
+		}
+		return f, nil
+	}
+	if err := c.sc.Err(); err != nil {
+		return Frame{}, err
+	}
+	return Frame{}, io.EOF
+}

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core/buildcache"
+	"repro/internal/core/castore"
+	"repro/internal/core/derivative"
+	"repro/internal/core/journal"
+	"repro/internal/core/regress"
+	"repro/internal/core/release"
+	"repro/internal/core/runcache"
+	"repro/internal/core/sysenv"
+	"repro/internal/platform"
+)
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// ID is the worker's index in the daemon's pool; stamped into every
+	// Result so the client can merge journal streams by (worker, seq).
+	ID int
+	// NewSystem constructs the worker's module environments from
+	// content. Every worker (and the daemon) builds from the same
+	// content source; the epoch check on each job proves it.
+	NewSystem func() *sysenv.System
+	// Store, when non-nil, is the shared persistent artifact store: the
+	// worker's build and run caches write through to it, so work done by
+	// one worker (or an earlier process) is a disk hit for the others.
+	Store *castore.Store
+}
+
+// worker is the per-process state behind RunWorker: one system, one
+// frozen label per requested release name, caches that live for the
+// process and optionally spill to the shared store.
+type worker struct {
+	opts   WorkerOptions
+	sys    *sysenv.System
+	labels map[string]*release.SystemLabel
+	bc     *buildcache.Cache
+	rc     *runcache.Cache
+	seq    uint64
+}
+
+// RunWorker serves the worker side of the protocol: read jobs from r,
+// run each cell through the full in-process pipeline, write results to
+// w. Returns nil on a clean EOF (daemon closed the pipe). Cell-level
+// failures — epoch drift, unknown derivative, build errors — are
+// reported in-band as broken outcomes; only protocol failures return an
+// error.
+func RunWorker(r io.Reader, w io.Writer, opts WorkerOptions) error {
+	if opts.NewSystem == nil {
+		return fmt.Errorf("shard: worker needs a NewSystem constructor")
+	}
+	wk := &worker{
+		opts:   opts,
+		sys:    opts.NewSystem(),
+		labels: make(map[string]*release.SystemLabel),
+		bc:     buildcache.New(),
+		rc:     runcache.New(),
+	}
+	if opts.Store != nil {
+		wk.bc.SetBackend(opts.Store, sysenv.PersistEncode, sysenv.PersistDecode)
+		wk.rc.SetBackend(opts.Store)
+	}
+	conn := NewConn(r, w)
+	for {
+		f, err := conn.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if f.Type != FrameJob || f.Job == nil {
+			return fmt.Errorf("shard: worker expected a job frame, got %q", f.Type)
+		}
+		res := wk.run(f.Job)
+		if err := conn.Write(Frame{Type: FrameResult, Result: res}); err != nil {
+			return err
+		}
+	}
+}
+
+// freeze returns the worker's frozen system label for name, composing
+// (and caching) it on first use.
+func (wk *worker) freeze(name string) (*release.SystemLabel, error) {
+	if l, ok := wk.labels[name]; ok {
+		return l, nil
+	}
+	var subs []*release.Label
+	for _, e := range wk.sys.Envs() {
+		subs = append(subs, release.Snapshot(name+"_"+e.Module, e))
+	}
+	l, err := release.ComposeSystem(name, wk.sys, subs...)
+	if err != nil {
+		return nil, err
+	}
+	wk.labels[name] = l
+	return l, nil
+}
+
+// run executes one cell job. The cell goes through regress.Run itself —
+// a one-cell matrix with the vet gate skipped (the daemon ran it once
+// for the whole request) — so enumeration, caching, journal emission,
+// and outcome semantics cannot drift from the in-process path.
+func (wk *worker) run(job *Job) *Result {
+	res := &Result{ID: job.ID, Worker: wk.opts.ID}
+	broken := func(msg string) *Result {
+		res.Outcome = Outcome{
+			Module: job.Cell.Module, Test: job.Cell.Test,
+			Derivative: job.Cell.Deriv, Platform: job.Cell.Platform,
+			BuildErr: msg,
+		}
+		return res
+	}
+	label, err := wk.freeze(job.Label)
+	if err != nil {
+		return broken("freeze: " + err.Error())
+	}
+	if label.Epoch() != job.Epoch {
+		// The worker's content disagrees with what the daemon froze —
+		// running would compare incomparable builds.
+		return broken(fmt.Sprintf("epoch drift: worker froze %s, daemon planned %s",
+			label.Epoch(), job.Epoch))
+	}
+	d, err := derivative.ByName(job.Cell.Deriv)
+	if err != nil {
+		return broken(err.Error())
+	}
+	k, err := ParseKind(job.Cell.Platform)
+	if err != nil {
+		return broken(err.Error())
+	}
+	eng, err := platform.ParseEngine(job.Engine)
+	if err != nil {
+		return broken(err.Error())
+	}
+	spec := regress.Spec{
+		Modules:     []string{job.Cell.Module},
+		Tests:       []string{job.Cell.Test},
+		Derivatives: []*derivative.Derivative{d},
+		Kinds:       []platform.Kind{k},
+		RunSpec: platform.RunSpec{
+			MaxInstructions: job.MaxInstructions,
+			MaxCycles:       job.MaxCycles,
+			Engine:          eng,
+		},
+		Cache:    wk.bc,
+		RunCache: wk.rc,
+		SkipVet:  true,
+		// Collect the cell's own flight records — start, cache-hit,
+		// retries, the outcome — and stamp them with this worker's local
+		// sequence. The one-cell run's header/schedule/runtime/end
+		// framing is the daemon's to emit once for the whole matrix, so
+		// it is dropped here.
+		Journal: journal.SinkFunc(func(r journal.Record) {
+			if r.Module == "" || r.Kind == journal.KindSchedule {
+				return
+			}
+			wk.seq++
+			r.Seq = wk.seq
+			res.Records = append(res.Records, r)
+		}),
+	}
+	rep, err := regress.Run(wk.sys, label, spec)
+	if err != nil {
+		return broken(err.Error())
+	}
+	if len(rep.Outcomes) != 1 {
+		return broken(fmt.Sprintf("one-cell run produced %d outcomes", len(rep.Outcomes)))
+	}
+	res.Outcome = FromOutcome(rep.Outcomes[0])
+	return res
+}

@@ -1,0 +1,93 @@
+// Persistent-store codec for the build cache. The in-memory build
+// cache stores three value shapes — materialised source trees,
+// assembled objects, and linked images — and the persistent second
+// tier (internal/core/castore) stores bytes. This file is the bridge:
+// a gob envelope tagged with the value shape and a format version, so
+// every build artifact survives process restarts. A payload that fails
+// to decode (format drift, foreign bytes) reads as a miss and the
+// artifact is rebuilt once — persistence never becomes a correctness
+// dependency.
+
+package sysenv
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/obj"
+)
+
+// persistVersion tags the on-disk artifact encoding.
+const persistVersion = 1
+
+// persistedArtifact is the one-of gob envelope: exactly one of Tree,
+// Obj, Img is set, selected by Kind.
+type persistedArtifact struct {
+	V    int
+	Kind string // "tree" | "object" | "image"
+	Tree map[string]string
+	Obj  *obj.Object
+	Img  *obj.Image
+}
+
+// PersistEncode serialises a build-cache value for the persistent
+// store; ok=false for value shapes the codec does not know (they stay
+// in memory only).
+func PersistEncode(v any) ([]byte, bool) {
+	var p persistedArtifact
+	p.V = persistVersion
+	switch val := v.(type) {
+	case map[string]string:
+		p.Kind, p.Tree = "tree", val
+	case *obj.Object:
+		p.Kind, p.Obj = "object", val
+	case *obj.Image:
+		p.Kind, p.Img = "image", val
+	default:
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// PersistDecode deserialises a stored build artifact, returning the
+// value and the same size accounting its fill function would have
+// reported. Any decode failure reads as a miss.
+func PersistDecode(data []byte) (any, int64, bool) {
+	var p persistedArtifact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, 0, false
+	}
+	if p.V != persistVersion {
+		return nil, 0, false
+	}
+	switch p.Kind {
+	case "tree":
+		if p.Tree == nil {
+			return nil, 0, false
+		}
+		var n int64
+		for path, content := range p.Tree {
+			n += int64(len(path) + len(content))
+		}
+		return p.Tree, n, true
+	case "object":
+		if p.Obj == nil {
+			return nil, 0, false
+		}
+		return p.Obj, int64(len(p.Obj.Text) + len(p.Obj.Data)), true
+	case "image":
+		if p.Img == nil {
+			return nil, 0, false
+		}
+		var n int64
+		for _, seg := range p.Img.Segments {
+			n += int64(len(seg.Data))
+		}
+		return p.Img, n, true
+	}
+	return nil, 0, false
+}

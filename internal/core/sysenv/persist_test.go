@@ -1,0 +1,88 @@
+package sysenv
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obj"
+)
+
+func TestPersistRoundtripTree(t *testing.T) {
+	tree := map[string]string{"GLOBAL/crt0.asm": "; boot", "ES1/Base_Functions.asm": "; base"}
+	data, ok := PersistEncode(tree)
+	if !ok {
+		t.Fatal("tree not encodable")
+	}
+	v, n, ok := PersistDecode(data)
+	if !ok {
+		t.Fatal("tree not decodable")
+	}
+	got, ok := v.(map[string]string)
+	if !ok || !reflect.DeepEqual(got, tree) {
+		t.Fatalf("roundtrip = %#v", v)
+	}
+	var want int64
+	for p, c := range tree {
+		want += int64(len(p) + len(c))
+	}
+	if n != want {
+		t.Fatalf("size = %d, want %d", n, want)
+	}
+}
+
+func TestPersistRoundtripObjectAndImage(t *testing.T) {
+	o := &obj.Object{
+		Name:    "crt0.asm",
+		Text:    []byte{1, 2, 3, 4},
+		Data:    []byte{5, 6},
+		BssSize: 16,
+		Symbols: []obj.Symbol{{Name: "_start", Section: obj.SecText, Off: 0}},
+		Relocs:  []obj.Reloc{{Section: obj.SecText, Off: 2, Sym: "main"}},
+		Lines:   []obj.LineInfo{{Off: 0, File: "crt0.asm", Line: 1}},
+	}
+	data, ok := PersistEncode(o)
+	if !ok {
+		t.Fatal("object not encodable")
+	}
+	v, n, ok := PersistDecode(data)
+	if !ok {
+		t.Fatal("object not decodable")
+	}
+	if got, _ := v.(*obj.Object); !reflect.DeepEqual(got, o) {
+		t.Fatalf("object roundtrip = %#v", v)
+	}
+	if n != int64(len(o.Text)+len(o.Data)) {
+		t.Fatalf("object size = %d", n)
+	}
+
+	img := &obj.Image{
+		Entry:    0x100,
+		Segments: []obj.Segment{{Addr: 0x100, Data: []byte{9, 9, 9}}},
+		Symbols:  map[string]uint32{"_start": 0x100},
+		Lines:    []obj.LineInfo{{Off: 0, File: "crt0.asm", Line: 1}},
+		BssAddr:  0x8000, BssSize: 32,
+	}
+	data, ok = PersistEncode(img)
+	if !ok {
+		t.Fatal("image not encodable")
+	}
+	v, n, ok = PersistDecode(data)
+	if !ok {
+		t.Fatal("image not decodable")
+	}
+	if got, _ := v.(*obj.Image); !reflect.DeepEqual(got, img) {
+		t.Fatalf("image roundtrip = %#v", v)
+	}
+	if n != 3 {
+		t.Fatalf("image size = %d", n)
+	}
+}
+
+func TestPersistRejects(t *testing.T) {
+	if _, ok := PersistEncode(42); ok {
+		t.Fatal("unknown shape encoded")
+	}
+	if _, _, ok := PersistDecode([]byte("junk")); ok {
+		t.Fatal("garbage decoded")
+	}
+}
