@@ -14,18 +14,25 @@
 #   make smoke-served  regression-as-a-service smoke: advm-served daemon
 #                  + advm-regress -serve, certification bundle compared
 #                  byte-for-byte against a direct in-process run
+#   make smoke-fleet   multi-machine smoke: a TCP daemon plus a second
+#                  advm-served -connect machine joining its pool over
+#                  loopback, bundles cmp-identical to a direct run
 #   make report    flight-recorder demo: journal + history a small matrix
 #                  twice, render text + HTML + trend reports via advm-report
 #
 #   REPORT_DIR ?= .advm-report   scratch dir for `make report` artifacts
 #   SERVED_DIR ?= .advm-served   scratch dir for `make smoke-served`
+#   FLEET_DIR  ?= .advm-fleet    scratch dir for `make smoke-fleet`
+#   FLEET_PORT ?= 17977          loopback TCP port for `make smoke-fleet`
 
 GO ?= go
 FUZZTIME ?= 10s
 REPORT_DIR ?= .advm-report
 SERVED_DIR ?= .advm-served
+FLEET_DIR ?= .advm-fleet
+FLEET_PORT ?= 17977
 
-.PHONY: all tier1 vet lint race fuzz bench cache bench-json smoke smoke-served report tools
+.PHONY: all tier1 vet lint race fuzz bench cache bench-json smoke smoke-served smoke-fleet report tools
 
 all: tier1
 
@@ -101,6 +108,29 @@ smoke-served:
 		-platforms golden,emulator -bundle $(SERVED_DIR)/served2.json && \
 	cmp $(SERVED_DIR)/direct.json $(SERVED_DIR)/served2.json && \
 	echo "smoke-served: direct and served bundles identical"
+
+# Multi-machine fleet smoke: two advm-served processes over loopback
+# TCP — a daemon (1 local worker + persistent store) and a -connect
+# machine contributing 2 more workers through the epoch-checked hello
+# handshake, fetch-through store included — then a served run of the
+# same matrix slice vs a direct in-process run. The sealed certification
+# bundles must be byte-identical: the paper's reproducibility invariant
+# held across machines.
+smoke-fleet:
+	rm -rf $(FLEET_DIR) && mkdir -p $(FLEET_DIR)
+	$(GO) build -o $(FLEET_DIR)/ ./cmd/advm-served ./cmd/advm-regress
+	set -e; \
+	$(FLEET_DIR)/advm-served -listen tcp:127.0.0.1:$(FLEET_PORT) -workers 1 \
+		-store $(FLEET_DIR)/store & D1=$$!; \
+	$(FLEET_DIR)/advm-served -connect tcp:127.0.0.1:$(FLEET_PORT) -workers 2 \
+		-name machine2 -store $(FLEET_DIR)/store2 & D2=$$!; \
+	trap "kill $$D1 $$D2 2>/dev/null" EXIT; \
+	$(FLEET_DIR)/advm-regress -platforms golden,emulator \
+		-bundle $(FLEET_DIR)/direct.json; \
+	$(FLEET_DIR)/advm-regress -serve tcp:127.0.0.1:$(FLEET_PORT) \
+		-platforms golden,emulator -bundle $(FLEET_DIR)/fleet.json; \
+	cmp $(FLEET_DIR)/direct.json $(FLEET_DIR)/fleet.json; \
+	echo "smoke-fleet: direct and fleet bundles identical"
 
 # Flight-recorder demo: run a small matrix twice with the journal,
 # run-history store, and metrics armed (the second run is history-

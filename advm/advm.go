@@ -27,6 +27,7 @@ package advm
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/baseline"
@@ -695,6 +696,16 @@ type (
 	ShardReply = shard.Reply
 	// ShardWorkerOptions configures one worker process.
 	ShardWorkerOptions = shard.WorkerOptions
+	// ShardConnectOptions configures one remote worker slot joining a
+	// daemon's pool over TCP.
+	ShardConnectOptions = shard.ConnectOptions
+	// ShardRemoteStore is an artifact-store backend served by a remote
+	// daemon over the frame protocol (fetch-through for fleet workers).
+	ShardRemoteStore = shard.RemoteStore
+	// ShardFetchThrough layers a local store tier in front of a remote
+	// one: local hits are free, remote hits fill the local tier, puts
+	// write through to both.
+	ShardFetchThrough = shard.FetchThrough
 )
 
 // OpenArtifactStore opens (or creates) a persistent artifact store
@@ -724,8 +735,31 @@ func RunShardWorker(r io.Reader, w io.Writer, opts ShardWorkerOptions) error {
 }
 
 // ShardRegress runs one regression request against the daemon at addr
-// (unix socket path or TCP host:port) and reassembles the streamed
-// results. onResult, when non-nil, observes each cell as it completes.
+// (unix socket path or TCP host:port, with optional "unix:"/"tcp:"
+// scheme prefix) and reassembles the streamed results. onResult, when
+// non-nil, observes each cell as it completes.
 func ShardRegress(addr string, req ShardRequest, onResult func(*ShardResult)) (*ShardReply, error) {
 	return shard.Regress(addr, req, onResult)
+}
+
+// ConnectShardWorker joins a remote daemon's worker pool over TCP: a
+// FrameHello registration handshake with epoch cross-check, then jobs
+// off the shared dispatch queue until the daemon hangs up. Heartbeats
+// let the daemon tell a long cell from a vanished machine.
+func ConnectShardWorker(addr string, opts ShardConnectOptions) error {
+	return shard.ConnectWorker(addr, opts)
+}
+
+// DialShardStore opens a fetch-through channel to the artifact store of
+// the daemon at addr, usable as the persistent backend of a remote
+// worker's caches.
+func DialShardStore(addr string, wait time.Duration) (*ShardRemoteStore, error) {
+	return shard.DialStore(addr, wait)
+}
+
+// SplitShardAddr resolves a daemon listen/dial address into (network,
+// address): explicit "unix:"/"tcp:" prefixes win, then the heuristic (a
+// '/' or ".sock" suffix means a unix socket path).
+func SplitShardAddr(addr string) (network, address string) {
+	return shard.SplitAddr(addr)
 }

@@ -1,20 +1,31 @@
 // Command advm-served is the regression daemon: it listens on a local
 // socket for regression requests and shards the matrix cells across a
-// pool of worker processes, streaming each cell's outcome and flight
-// records back to the client as it completes. The process boundary is
-// the isolation: a crashed worker costs one cell, not the run.
+// pool of workers, streaming each cell's outcome and flight records
+// back to the client as it completes. The process boundary is the
+// isolation: a crashed worker costs one cell, not the run.
 //
-// With -store, every worker writes build artifacts and run outcomes
-// through to a shared persistent content-addressed store, so warm work
-// survives daemon restarts and is shared across the pool.
+// The pool spans machines. A daemon on one host accepts requests and
+// runs its local worker processes; other hosts join the same pool with
+// -connect, registering TCP workers via an epoch-checked handshake.
+// Requests are scheduled concurrently across the shared pool, and a
+// machine that vanishes costs only its in-flight cells — missed
+// heartbeats break them and the rest of the pool drains the queue.
+//
+// With -store, every local worker writes build artifacts and run
+// outcomes through to a shared persistent content-addressed store, the
+// daemon serves that store to the fleet, and -connect workers
+// fetch-through it over the same TCP connection protocol (misses filled
+// back, payloads checksummed in transit).
 //
 // Usage:
 //
 //	advm-served -listen /tmp/advm.sock -workers 4 -store .advm-store
+//	advm-served -listen tcp:0.0.0.0:7777 -workers 4 -store .advm-store
+//	advm-served -connect tcp:daemon-host:7777 -workers 8 -store .advm-local
 //	advm-regress -serve /tmp/advm.sock -platforms all
 //
-// The daemon re-executes its own binary with -worker for each pool
-// slot; -worker is internal and speaks the job protocol on
+// The daemon re-executes its own binary with -worker for each local
+// pool slot; -worker is internal and speaks the job protocol on
 // stdin/stdout.
 package main
 
@@ -28,17 +39,20 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
-	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/advm"
 )
 
 func main() {
 	log.SetFlags(0)
-	listen := flag.String("listen", "advm-served.sock", "listen address: a unix socket path (contains '/' or ends in .sock) or TCP host:port")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker processes in the pool")
-	storeDir := flag.String("store", "", "persistent artifact store directory shared by all workers")
+	listen := flag.String("listen", "advm-served.sock", "listen address: unix socket path or TCP host:port, with optional unix:/tcp: scheme prefix")
+	connect := flag.String("connect", "", "join the daemon at this address as a remote worker machine instead of serving")
+	name := flag.String("name", "", "fleet name for this machine in daemon logs (default: hostname)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker processes in the pool (with -connect: worker slots contributed)")
+	storeDir := flag.String("store", "", "persistent artifact store directory (with -connect: local fetch-through tier over the daemon's store)")
 	historyDir := flag.String("history", "", "run-history store directory; enables longest-expected-first dispatch across requests")
 	verbose := flag.Bool("v", false, "log each request and worker event")
 	workerMode := flag.Bool("worker", false, "internal: run as a pool worker speaking the job protocol on stdin/stdout")
@@ -47,6 +61,10 @@ func main() {
 
 	if *workerMode {
 		runWorker(*workerID, *storeDir)
+		return
+	}
+	if *connect != "" {
+		runAgent(*connect, *name, *workers, *storeDir)
 		return
 	}
 
@@ -77,17 +95,27 @@ func main() {
 		}
 		d.History = hist
 	}
+	if *storeDir != "" {
+		// The daemon's own handle on the shared store, served to
+		// -connect machines over store-role connections. Local workers
+		// mount the same directory directly.
+		store, err := advm.OpenArtifactStore(*storeDir, advm.ArtifactStoreOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		d.Store = store
+	}
 	if err := d.Start(); err != nil {
 		log.Fatal(err)
 	}
 	defer d.Close()
 
-	network := "tcp"
-	if strings.ContainsRune(*listen, '/') || strings.HasSuffix(*listen, ".sock") {
-		network = "unix"
-		os.Remove(*listen)
+	network, address := advm.SplitShardAddr(*listen)
+	if network == "unix" {
+		os.Remove(address)
 	}
-	l, err := net.Listen(network, *listen)
+	l, err := net.Listen(network, address)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,13 +127,13 @@ func main() {
 		<-sig
 		l.Close()
 	}()
-	fmt.Printf("advm-served: %d workers, listening on %s %s\n", *workers, network, *listen)
+	fmt.Printf("advm-served: %d workers, listening on %s %s\n", *workers, network, address)
 	if *storeDir != "" {
 		fmt.Printf("advm-served: persistent store at %s\n", *storeDir)
 	}
 	d.Serve(l)
 	if network == "unix" {
-		os.Remove(*listen)
+		os.Remove(address)
 	}
 }
 
@@ -129,4 +157,56 @@ func runWorker(id int, storeDir string) {
 	if err != nil {
 		log.Fatalf("worker %d: %v", id, err)
 	}
+}
+
+// runAgent is the -connect mode: this machine contributes `slots`
+// workers to a remote daemon's pool. Each slot registers over its own
+// TCP connection (hello handshake, epoch cross-checked at the door) and
+// serves jobs until the daemon hangs up. The slots share one
+// fetch-through artifact backend: a store channel to the daemon's
+// persistent store, optionally fronted by a local castore tier, so the
+// machine warm-starts from fleet-wide work and fills daemon misses back.
+func runAgent(addr, name string, slots int, storeDir string) {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	var local *advm.ArtifactStore
+	if storeDir != "" {
+		var err error
+		local, err = advm.OpenArtifactStore(storeDir, advm.ArtifactStoreOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer local.Close()
+	}
+	remote, err := advm.DialShardStore(addr, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	store := &advm.ShardFetchThrough{Remote: remote}
+	if local != nil {
+		store.Local = local
+	}
+	fmt.Printf("advm-served: joining %s with %d workers as %q\n", addr, slots, name)
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := advm.ConnectShardWorker(addr, advm.ShardConnectOptions{
+				WorkerOptions: advm.ShardWorkerOptions{
+					ID: i, NewSystem: advm.StandardSystem, Store: store,
+				},
+				Name: fmt.Sprintf("%s/%d", name, i),
+			})
+			if err != nil {
+				log.Printf("slot %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
 }

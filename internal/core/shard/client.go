@@ -29,13 +29,14 @@ type Reply struct {
 
 // Dial connects to a daemon at addr with a short retry window, so a
 // client racing a just-started daemon (the smoke test does exactly
-// this) connects as soon as the socket exists. An addr containing a
-// path separator is a unix socket; anything else is TCP host:port.
+// this) connects as soon as the socket exists. An explicit "unix:" or
+// "tcp:" scheme prefix selects the network; without one, an addr
+// containing a path separator is a unix socket and anything else is TCP
+// host:port. The prefix exists because the bare heuristic misroutes
+// TCP addrs that legitimately contain '/' — IPv6 zone-scoped hosts and
+// URL-style addresses — and those must be able to say "tcp:" outright.
 func Dial(addr string, wait time.Duration) (net.Conn, error) {
-	network := "tcp"
-	if strings.ContainsRune(addr, '/') {
-		network = "unix"
-	}
+	network, addr := SplitAddr(addr)
 	deadline := time.Now().Add(wait)
 	for {
 		conn, err := net.Dial(network, addr)
@@ -46,6 +47,22 @@ func Dial(addr string, wait time.Duration) (net.Conn, error) {
 			return nil, fmt.Errorf("shard: dial %s %s: %w", network, addr, err)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// SplitAddr resolves a listen/dial address into (network, address):
+// explicit "unix:"/"tcp:" prefixes win, then the legacy heuristic (a
+// '/' or a ".sock" suffix means a unix socket path).
+func SplitAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	case strings.ContainsRune(addr, '/'), strings.HasSuffix(addr, ".sock"):
+		return "unix", addr
+	default:
+		return "tcp", addr
 	}
 }
 
@@ -78,6 +95,12 @@ func Regress(addr string, req Request, onResult func(*Result)) (*Reply, error) {
 		Outcomes: make([]regress.Outcome, len(f.Plan.Cells)),
 	}
 	groups := make([][]journal.Record, len(f.Plan.Cells))
+	// got tracks per-cell receipt: a duplicate result frame for the same
+	// cell ID must be rejected, not counted — counting it twice would
+	// let the done-frame completeness check pass with other cells never
+	// reported, and the duplicate would silently overwrite the earlier
+	// outcome.
+	got := make([]bool, len(f.Plan.Cells))
 	seen := 0
 	for {
 		f, err := conn.Read()
@@ -90,6 +113,11 @@ func Regress(addr string, req Request, onResult func(*Result)) (*Reply, error) {
 			if r == nil || r.ID < 0 || r.ID >= len(reply.Outcomes) {
 				return nil, fmt.Errorf("shard: result for unknown cell")
 			}
+			if got[r.ID] {
+				return nil, fmt.Errorf("shard: duplicate result for cell %d (%s)",
+					r.ID, reply.Plan.Cells[r.ID])
+			}
+			got[r.ID] = true
 			o, err := r.Outcome.ToRegress()
 			if err != nil {
 				return nil, err

@@ -13,6 +13,16 @@
 //	daemon → worker:  job*
 //	worker → daemon:  result*
 //
+// Fleet extensions (the multi-machine phase): a remote process opens a
+// TCP connection and registers with a hello frame — role "worker" joins
+// the daemon's dispatch pool, role "store" opens a fetch-through
+// channel to the daemon's persistent artifact store:
+//
+//	remote → daemon:  hello{role,epoch,ping}
+//	daemon → remote:  welcome{epoch}          (or error, and close)
+//	worker → daemon:  ping* interleaved with result*
+//	store:            store-get/store-put in, store-data out
+//
 // Every job carries the frozen-spec epoch — the content hash of the
 // module environments the daemon froze — and the worker refuses a job
 // whose epoch its own frozen system does not reproduce: two processes
@@ -44,18 +54,82 @@ const (
 	FrameResult  = "result"
 	FrameDone    = "done"
 	FrameError   = "error"
+	// Fleet frames: a remote process introduces itself with a hello
+	// (role + frozen probe epoch), the daemon answers with a welcome,
+	// and the remote side pings periodically so a vanished machine is
+	// distinguishable from a long-running cell.
+	FrameHello   = "hello"
+	FrameWelcome = "welcome"
+	FramePing    = "ping"
+	// Store frames: Get/Put against the daemon's persistent artifact
+	// store, multiplexed over a dedicated store-role connection.
+	FrameStoreGet  = "store-get"
+	FrameStorePut  = "store-put"
+	FrameStoreData = "store-data"
 )
+
+// Connection roles a hello frame can announce.
+const (
+	// RoleWorker joins the daemon's dispatch pool: the daemon writes
+	// job frames at the connection and reads result frames (and pings)
+	// back.
+	RoleWorker = "worker"
+	// RoleStore opens a fetch-through channel to the daemon's
+	// persistent artifact store: store-get/store-put in, store-data out.
+	RoleStore = "store"
+)
+
+// HelloLabel is the well-known release-label name both sides of a
+// registration freeze to cross-check content at handshake time, before
+// any request label exists. Epochs are content hashes over the frozen
+// module environments, so two processes that agree on this probe epoch
+// will agree on every per-request epoch too.
+const HelloLabel = "advm-fleet-hello"
 
 // Frame is the one-of JSONL envelope: Type selects which payload field
 // is set.
 type Frame struct {
-	Type    string   `json:"type"`
-	Request *Request `json:"request,omitempty"`
-	Plan    *Plan    `json:"plan,omitempty"`
-	Job     *Job     `json:"job,omitempty"`
-	Result  *Result  `json:"result,omitempty"`
-	Done    *Done    `json:"done,omitempty"`
-	Error   string   `json:"error,omitempty"`
+	Type    string      `json:"type"`
+	Request *Request    `json:"request,omitempty"`
+	Plan    *Plan       `json:"plan,omitempty"`
+	Job     *Job        `json:"job,omitempty"`
+	Result  *Result     `json:"result,omitempty"`
+	Done    *Done       `json:"done,omitempty"`
+	Error   string      `json:"error,omitempty"`
+	Hello   *Hello      `json:"hello,omitempty"`
+	Welcome *Welcome    `json:"welcome,omitempty"`
+	Store   *StoreFrame `json:"store,omitempty"`
+}
+
+// Hello registers a remote connection with the daemon. Epoch is the
+// sender's frozen probe epoch under HelloLabel; the daemon refuses a
+// worker whose content disagrees with its own at the door, instead of
+// per-job after cells have been planned onto it.
+type Hello struct {
+	Role string `json:"role"`
+	// Name identifies the remote machine/slot in daemon logs.
+	Name  string `json:"name,omitempty"`
+	Epoch string `json:"epoch,omitempty"`
+	// PingNs is the heartbeat interval the worker commits to. The
+	// daemon declares the worker dead after missing several of them.
+	PingNs int64 `json:"ping_ns,omitempty"`
+}
+
+// Welcome acknowledges a hello, echoing the daemon's own probe epoch.
+type Welcome struct {
+	Epoch string `json:"epoch,omitempty"`
+}
+
+// StoreFrame carries one store operation or its reply. Sum is the hex
+// SHA-256 of Data, verified on receipt in both directions: the store's
+// keys are content addresses over *inputs*, so the payload needs its
+// own transport checksum.
+type StoreFrame struct {
+	Key  string `json:"key"`
+	Data []byte `json:"data,omitempty"`
+	Sum  string `json:"sum,omitempty"`
+	OK   bool   `json:"ok,omitempty"`
+	Err  string `json:"err,omitempty"`
 }
 
 // Request asks the daemon for one regression matrix. Selections are
@@ -120,7 +194,13 @@ func (p *Plan) Order() []int {
 // Job dispatches one cell to a worker process.
 type Job struct {
 	// ID is the cell's enumeration index in the plan.
-	ID    int    `json:"id"`
+	ID int `json:"id"`
+	// Req is the daemon-assigned request ID the cell belongs to. With
+	// concurrent requests interleaving across one pool, the worker
+	// echoes it into the result and the daemon routes the result back
+	// to its request by (Req, ID) — a mismatched echo is a protocol
+	// desync and treated like a crash.
+	Req   uint64 `json:"req,omitempty"`
 	Label string `json:"label"`
 	// Epoch is the daemon's frozen-spec epoch; the worker verifies its
 	// own frozen system reproduces it before running.
@@ -188,7 +268,9 @@ func (o Outcome) ToRegress() (regress.Outcome, error) {
 // stamped with the worker's local sequence — the (worker, seq) pair the
 // client merges by.
 type Result struct {
-	ID      int              `json:"id"`
+	ID int `json:"id"`
+	// Req echoes the job's request ID (see Job.Req).
+	Req     uint64           `json:"req,omitempty"`
 	Worker  int              `json:"worker"`
 	Outcome Outcome          `json:"outcome"`
 	Records []journal.Record `json:"records,omitempty"`

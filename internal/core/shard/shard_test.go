@@ -62,22 +62,28 @@ func TestShardWorkerProcess(t *testing.T) {
 	}
 }
 
+// testWorkerCommand re-executes this test binary as a pool worker
+// process (TestShardWorkerProcess), with extra env for fault injection.
+func testWorkerCommand(env ...string) func(id int) *exec.Cmd {
+	return func(id int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestShardWorkerProcess$")
+		cmd.Env = append(os.Environ(),
+			"SHARD_WORKER_HELPER=1",
+			"SHARD_WORKER_ID="+strconv.Itoa(id))
+		cmd.Env = append(cmd.Env, env...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+}
+
 // startDaemon spins up a daemon with n re-exec'd worker processes and a
 // unix-socket listener, returning the socket path.
 func startDaemon(t *testing.T, n int, env ...string) string {
 	t.Helper()
 	d := &shard.Daemon{
-		NewSystem: content.PortedSystem,
-		Workers:   n,
-		WorkerCommand: func(id int) *exec.Cmd {
-			cmd := exec.Command(os.Args[0], "-test.run=^TestShardWorkerProcess$")
-			cmd.Env = append(os.Environ(),
-				"SHARD_WORKER_HELPER=1",
-				"SHARD_WORKER_ID="+strconv.Itoa(id))
-			cmd.Env = append(cmd.Env, env...)
-			cmd.Stderr = os.Stderr
-			return cmd
-		},
+		NewSystem:     content.PortedSystem,
+		Workers:       n,
+		WorkerCommand: testWorkerCommand(env...),
 	}
 	if err := d.Start(); err != nil {
 		t.Fatal(err)

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"repro/internal/core/buildcache"
-	"repro/internal/core/castore"
 	"repro/internal/core/derivative"
 	"repro/internal/core/journal"
 	"repro/internal/core/regress"
@@ -15,7 +14,8 @@ import (
 	"repro/internal/platform"
 )
 
-// WorkerOptions configures one worker process.
+// WorkerOptions configures one worker (a local pool subprocess or a
+// remote TCP slot).
 type WorkerOptions struct {
 	// ID is the worker's index in the daemon's pool; stamped into every
 	// Result so the client can merge journal streams by (worker, seq).
@@ -24,10 +24,12 @@ type WorkerOptions struct {
 	// content. Every worker (and the daemon) builds from the same
 	// content source; the epoch check on each job proves it.
 	NewSystem func() *sysenv.System
-	// Store, when non-nil, is the shared persistent artifact store: the
+	// Store, when non-nil, is the persistent artifact backend: the
 	// worker's build and run caches write through to it, so work done by
-	// one worker (or an earlier process) is a disk hit for the others.
-	Store *castore.Store
+	// one worker (or an earlier process) is a hit for the others. Local
+	// workers mount the daemon's castore directory; remote workers mount
+	// a RemoteStore (optionally fetch-through a local castore tier).
+	Store buildcache.Backend
 }
 
 // worker is the per-process state behind RunWorker: one system, one
@@ -42,15 +44,10 @@ type worker struct {
 	seq    uint64
 }
 
-// RunWorker serves the worker side of the protocol: read jobs from r,
-// run each cell through the full in-process pipeline, write results to
-// w. Returns nil on a clean EOF (daemon closed the pipe). Cell-level
-// failures — epoch drift, unknown derivative, build errors — are
-// reported in-band as broken outcomes; only protocol failures return an
-// error.
-func RunWorker(r io.Reader, w io.Writer, opts WorkerOptions) error {
+// newWorker builds the per-process worker state.
+func newWorker(opts WorkerOptions) (*worker, error) {
 	if opts.NewSystem == nil {
-		return fmt.Errorf("shard: worker needs a NewSystem constructor")
+		return nil, fmt.Errorf("shard: worker needs a NewSystem constructor")
 	}
 	wk := &worker{
 		opts:   opts,
@@ -63,7 +60,26 @@ func RunWorker(r io.Reader, w io.Writer, opts WorkerOptions) error {
 		wk.bc.SetBackend(opts.Store, sysenv.PersistEncode, sysenv.PersistDecode)
 		wk.rc.SetBackend(opts.Store)
 	}
-	conn := NewConn(r, w)
+	return wk, nil
+}
+
+// RunWorker serves the worker side of the protocol: read jobs from r,
+// run each cell through the full in-process pipeline, write results to
+// w. Returns nil on a clean EOF (daemon closed the pipe). Cell-level
+// failures — epoch drift, unknown derivative, build errors — are
+// reported in-band as broken outcomes; only protocol failures return an
+// error.
+func RunWorker(r io.Reader, w io.Writer, opts WorkerOptions) error {
+	wk, err := newWorker(opts)
+	if err != nil {
+		return err
+	}
+	return wk.serve(NewConn(r, w))
+}
+
+// serve is the job loop shared by pipe-mode and TCP-mode workers. Ping
+// frames (a daemon probing liveness) are tolerated and ignored.
+func (wk *worker) serve(conn *Conn) error {
 	for {
 		f, err := conn.Read()
 		if err == io.EOF {
@@ -71,6 +87,9 @@ func RunWorker(r io.Reader, w io.Writer, opts WorkerOptions) error {
 		}
 		if err != nil {
 			return err
+		}
+		if f.Type == FramePing {
+			continue
 		}
 		if f.Type != FrameJob || f.Job == nil {
 			return fmt.Errorf("shard: worker expected a job frame, got %q", f.Type)
@@ -105,7 +124,7 @@ func (wk *worker) freeze(name string) (*release.SystemLabel, error) {
 // for the whole request) — so enumeration, caching, journal emission,
 // and outcome semantics cannot drift from the in-process path.
 func (wk *worker) run(job *Job) *Result {
-	res := &Result{ID: job.ID, Worker: wk.opts.ID}
+	res := &Result{ID: job.ID, Req: job.Req, Worker: wk.opts.ID}
 	broken := func(msg string) *Result {
 		res.Outcome = Outcome{
 			Module: job.Cell.Module, Test: job.Cell.Test,
